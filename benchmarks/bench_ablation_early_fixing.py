@@ -1,0 +1,26 @@
+"""Ablation A1: the MWE early-fixing rule (the mechanism behind Fig 2).
+
+Three variants on the road graph: classic Prim, LLP-Prim, and LLP-Prim
+with the early-fixing rule disabled.  ``extra_info`` records the heap
+operation counts whose reduction the paper's single-thread win rests on.
+"""
+
+import pytest
+
+from repro.mst.llp_prim import llp_prim
+from repro.mst.prim import prim
+
+VARIANTS = {
+    "prim": lambda g: prim(g),
+    "llp-prim": lambda g: llp_prim(g),
+    "llp-prim-no-early-fixing": lambda g: llp_prim(g, early_fixing=False),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_ablation_early_fixing(benchmark, road_graph, variant):
+    benchmark.group = "ablation-early-fixing"
+    result = benchmark(lambda: VARIANTS[variant](road_graph))
+    for key in ("heap_pushes", "heap_pops", "heap_adjusts", "mwe_fixes"):
+        if key in result.stats:
+            benchmark.extra_info[key] = int(result.stats[key])

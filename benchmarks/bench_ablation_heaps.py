@@ -1,0 +1,28 @@
+"""Ablation A3: heap choice inside Prim's algorithm.
+
+Binary vs d-ary vs pairing vs lazy-deletion heaps; validates that the
+Prim baseline of Fig 2 sits on a competitive heap.
+"""
+
+import pytest
+
+from repro.mst.prim import prim
+from repro.mst.prim_lazy import prim_lazy
+from repro.structures.dary_heap import IndexedDaryHeap
+from repro.structures.pairing_heap import PairingHeap
+
+VARIANTS = {
+    "binary": lambda g: prim(g),
+    "4-ary": lambda g: prim(g, heap_factory=lambda n: IndexedDaryHeap(n, d=4)),
+    "8-ary": lambda g: prim(g, heap_factory=lambda n: IndexedDaryHeap(n, d=8)),
+    "pairing": lambda g: prim(g, heap_factory=PairingHeap),
+    "lazy": prim_lazy,
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=list(VARIANTS))
+def test_ablation_heap_choice(benchmark, road_graph, variant):
+    benchmark.group = "ablation-heaps"
+    result = benchmark(lambda: VARIANTS[variant](road_graph))
+    benchmark.extra_info["heap_pushes"] = int(result.stats["heap_pushes"])
+    benchmark.extra_info["heap_pops"] = int(result.stats["heap_pops"])

@@ -1,0 +1,26 @@
+"""Ablation A2: LLP-Boruvka contraction variants.
+
+``compact=True`` (semisort dedup of parallel super-edges, GBBS-style)
+versus ``compact=False`` (Algorithm 6 verbatim, multi-edges kept).  The
+forest is identical; the work and level structure differ.
+"""
+
+import pytest
+
+from repro.mst.llp_boruvka import llp_boruvka
+from repro.runtime.simulated import SimulatedBackend
+
+
+@pytest.mark.parametrize("compact", [True, False], ids=["compact", "multi-edges"])
+def test_ablation_contraction(benchmark, road_graph, compact):
+    benchmark.group = "ablation-pointer-jumping"
+
+    def run():
+        backend = SimulatedBackend(8)
+        result = llp_boruvka(road_graph, backend, compact=compact)
+        return backend, result
+
+    backend, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["levels"] = int(result.stats["levels"])
+    benchmark.extra_info["jump_rounds"] = int(result.stats["jump_rounds"])
+    benchmark.extra_info["parallel_work_units"] = backend.trace.parallel_work

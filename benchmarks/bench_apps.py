@@ -1,0 +1,43 @@
+"""Applications layer benchmarks: clustering, TSP, Steiner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.clustering import single_linkage_clusters
+from repro.apps.steiner import steiner_tree_approx
+from repro.apps.tsp import tsp_two_approx
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators import grid_graph
+
+
+@pytest.fixture(scope="module")
+def metric_graph():
+    rng = np.random.default_rng(3)
+    pts = rng.random((60, 2))
+    iu, iv = np.triu_indices(60, k=1)
+    w = np.hypot(pts[iu, 0] - pts[iv, 0], pts[iu, 1] - pts[iv, 1])
+    return CSRGraph.from_edgelist(
+        EdgeList.from_arrays(60, iu.astype(np.int64), iv.astype(np.int64), w)
+    )
+
+
+def test_clustering(benchmark, metric_graph):
+    benchmark.group = "apps"
+    labels = benchmark(lambda: single_linkage_clusters(metric_graph, 5))
+    assert np.unique(labels).size == 5
+
+
+def test_tsp(benchmark, metric_graph):
+    benchmark.group = "apps"
+    tour = benchmark(lambda: tsp_two_approx(metric_graph))
+    assert len(tour) == 60
+
+
+def test_steiner(benchmark):
+    benchmark.group = "apps"
+    g = grid_graph(8, 8, seed=4)
+    edges, weight = benchmark.pedantic(
+        lambda: steiner_tree_approx(g, [0, 7, 56, 63]), rounds=1, iterations=1
+    )
+    assert weight > 0

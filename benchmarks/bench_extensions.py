@@ -1,0 +1,41 @@
+"""Extension baselines: KKT (randomized linear-time) and GHS (distributed).
+
+E1: the comparison the paper's related-work section plans ("We plan to
+compare directly with this approach") — KKT vs the sequential algorithms.
+E2: GHS message complexity on both dataset morphologies.
+"""
+
+import pytest
+
+from repro.mst.ghs import ghs
+from repro.mst.kkt import kkt
+from repro.mst.kruskal import kruskal
+from repro.mst.llp_prim import llp_prim
+
+E1_ALGOS = {
+    "LLP-Prim": llp_prim,
+    "Kruskal": kruskal,
+    "KKT": lambda g: kkt(g, seed=0),
+}
+
+
+@pytest.mark.parametrize("algo_name", list(E1_ALGOS), ids=list(E1_ALGOS))
+@pytest.mark.parametrize("graph_name", ["road", "rmat"], ids=["usa-road", "graph500"])
+def test_e1_kkt_comparison(benchmark, road_graph, rmat_graph, graph_name, algo_name):
+    g = road_graph if graph_name == "road" else rmat_graph
+    benchmark.group = f"e1-kkt-{graph_name}"
+    result = benchmark(lambda: E1_ALGOS[algo_name](g))
+    benchmark.extra_info["forest_weight"] = result.total_weight
+    if algo_name == "KKT":
+        benchmark.extra_info["recursion_depth"] = int(result.stats["max_depth"])
+        benchmark.extra_info["fheavy_discarded"] = int(result.stats["fheavy_discarded"])
+
+
+@pytest.mark.parametrize("graph_name", ["road", "rmat"], ids=["usa-road", "graph500"])
+def test_e2_ghs_distributed(benchmark, road_graph, rmat_graph, graph_name):
+    g = road_graph if graph_name == "road" else rmat_graph
+    benchmark.group = "e2-ghs"
+    result = benchmark.pedantic(lambda: ghs(g), rounds=1, iterations=1)
+    benchmark.extra_info["messages"] = int(result.stats["messages"])
+    benchmark.extra_info["max_level"] = int(result.stats["max_level"])
+    benchmark.extra_info["logical_time"] = int(result.stats["logical_time"])

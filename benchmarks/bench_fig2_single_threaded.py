@@ -1,0 +1,37 @@
+"""Fig 2: single-threaded wall times — Prim vs LLP-Prim vs Boruvka (1T).
+
+Each (graph, algorithm) cell of the paper's bar chart is one benchmark;
+``pytest benchmarks/bench_fig2* --benchmark-only`` prints the grouped
+rows.  Expected shape: LLP-Prim ~15-30% faster than Prim; the GBBS-style
+Boruvka at one worker several times slower than the Prim family.
+"""
+
+import pytest
+
+from repro.mst.boruvka import boruvka
+from repro.mst.llp_prim import llp_prim
+from repro.mst.parallel_boruvka import parallel_boruvka
+from repro.mst.prim import prim
+from repro.runtime.sequential import SequentialBackend
+
+ALGOS = {
+    "Prim": prim,
+    "LLP-Prim-1T": llp_prim,
+    "Boruvka-1T": lambda g: parallel_boruvka(g, SequentialBackend()),
+    "Boruvka-classic": boruvka,
+}
+
+
+@pytest.mark.parametrize("algo_name", list(ALGOS), ids=list(ALGOS))
+@pytest.mark.parametrize("graph_name", ["road", "rmat"], ids=["usa-road", "graph500"])
+def test_fig2_cell(benchmark, road_graph, rmat_graph, graph_name, algo_name):
+    g = road_graph if graph_name == "road" else rmat_graph
+    benchmark.group = f"fig2-{graph_name}"
+    result = benchmark(lambda: ALGOS[algo_name](g))
+    benchmark.extra_info["total_weight"] = result.total_weight
+    heap_ops = sum(
+        int(result.stats.get(k, 0))
+        for k in ("heap_pushes", "heap_pops", "heap_adjusts")
+    )
+    benchmark.extra_info["heap_ops"] = heap_ops
+    assert result.n_edges <= g.n_vertices - 1

@@ -1,0 +1,44 @@
+"""Fig 3: multithreaded curves on the USA road graph.
+
+Each benchmark executes one (algorithm, worker-count) point on its own
+simulated machine; the modelled time and speedup for the figure are
+recorded in ``extra_info`` (the pytest-benchmark wall time measures the
+simulation itself, not the modelled machine).
+
+Expected shape: Boruvka-family near-linear speedup overtaking LLP-Prim
+around p=8; LLP-Prim peaks at low counts and slowly regresses;
+LLP-Boruvka below Boruvka with a tapering gap.
+"""
+
+import pytest
+
+from repro.mst.llp_boruvka import llp_boruvka
+from repro.mst.llp_prim_parallel import llp_prim_parallel
+from repro.mst.parallel_boruvka import parallel_boruvka
+from repro.runtime.simulated import SimulatedBackend
+
+ALGOS = {
+    "LLP-Prim": lambda g, b: llp_prim_parallel(g, backend=b),
+    "Boruvka": parallel_boruvka,
+    "LLP-Boruvka": llp_boruvka,
+}
+THREADS = (1, 2, 4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("p", THREADS, ids=[f"p{p}" for p in THREADS])
+@pytest.mark.parametrize("algo_name", list(ALGOS), ids=list(ALGOS))
+def test_fig3_point(benchmark, road_graph, algo_name, p):
+    benchmark.group = f"fig3-{algo_name}"
+    algo = ALGOS[algo_name]
+
+    def run():
+        backend = SimulatedBackend(p)
+        algo(road_graph, backend)
+        return backend
+
+    backend = benchmark.pedantic(run, rounds=1, iterations=1)
+    t_p = backend.modelled_time()
+    t_1 = backend.cost_model.modelled_time(backend.trace, 1)
+    benchmark.extra_info["modelled_time_s"] = round(t_p, 6)
+    benchmark.extra_info["modelled_speedup"] = round(t_1 / t_p, 3)
+    assert t_p > 0

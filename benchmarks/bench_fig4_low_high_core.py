@@ -1,0 +1,35 @@
+"""Fig 4: parallel algorithms at low/high core counts on both graphs.
+
+Expected shape: LLP-Prim wins at p=2 on both morphologies (strongest on
+the denser graph500); the Boruvka family wins at p=32 with LLP-Boruvka
+ahead of Boruvka.
+"""
+
+import pytest
+
+from repro.mst.llp_boruvka import llp_boruvka
+from repro.mst.llp_prim_parallel import llp_prim_parallel
+from repro.mst.parallel_boruvka import parallel_boruvka
+from repro.runtime.simulated import SimulatedBackend
+
+ALGOS = {
+    "LLP-Prim": lambda g, b: llp_prim_parallel(g, backend=b),
+    "Boruvka": parallel_boruvka,
+    "LLP-Boruvka": llp_boruvka,
+}
+
+
+@pytest.mark.parametrize("p", (2, 32), ids=["low-p2", "high-p32"])
+@pytest.mark.parametrize("algo_name", list(ALGOS), ids=list(ALGOS))
+@pytest.mark.parametrize("graph_name", ["road", "rmat"], ids=["usa-road", "graph500"])
+def test_fig4_cell(benchmark, road_graph, rmat_graph, graph_name, algo_name, p):
+    g = road_graph if graph_name == "road" else rmat_graph
+    benchmark.group = f"fig4-{graph_name}-p{p}"
+
+    def run():
+        backend = SimulatedBackend(p)
+        ALGOS[algo_name](g, backend)
+        return backend
+
+    backend = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["modelled_time_s"] = round(backend.modelled_time(), 6)

@@ -1,0 +1,47 @@
+"""Methodology experiments: scaling stability, weight ablation, census.
+
+These regenerate the S1/A4/M2 artifacts of DESIGN.md at benchmark scales;
+the headline content lands in ``extra_info`` rather than the timings.
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED
+from repro.bench.experiments import (
+    run_ablation_weights,
+    run_operation_census,
+    run_scaling_sizes,
+)
+
+
+def test_s1_scaling_sizes(benchmark):
+    benchmark.group = "methodology"
+    res = benchmark.pedantic(
+        lambda: run_scaling_sizes(scales=(10, 11, 12), seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["winner_structure_stable"] = bool(
+        res.notes["winner_structure_stable_across_sizes"]
+    )
+
+
+def test_a4_weight_distributions(benchmark):
+    benchmark.group = "methodology"
+    res = benchmark.pedantic(
+        lambda: run_ablation_weights(scale=11, seed=SEED, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    for key, value in res.notes.items():
+        benchmark.extra_info[key] = value
+
+
+def test_m2_operation_census(benchmark):
+    benchmark.group = "methodology"
+    res = benchmark.pedantic(
+        lambda: run_operation_census(scale=10, rmat_scale=9, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["tables"] = len(res.tables)

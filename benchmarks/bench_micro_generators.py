@@ -1,0 +1,26 @@
+"""Micro-benchmarks of the graph generators and CSR construction."""
+
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators.rmat import rmat_edgelist
+from repro.graphs.generators.road import road_edgelist
+
+
+def test_rmat_generation(benchmark):
+    benchmark.group = "micro-generators"
+    edges = benchmark(lambda: rmat_edgelist(12, 8, seed=1))
+    assert edges.n_vertices == 4096
+
+
+def test_road_generation(benchmark):
+    benchmark.group = "micro-generators"
+    edges = benchmark(lambda: road_edgelist(64, 64, seed=1))
+    assert edges.n_vertices == 4096
+
+
+def test_csr_construction(benchmark):
+    benchmark.group = "micro-generators"
+    edges = rmat_edgelist(12, 8, seed=2)
+    g = benchmark(lambda: CSRGraph.from_edgelist(edges))
+    assert g.n_edges == edges.n_edges

@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the LLP engine on the related-work problems."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.market_clearing import MarketClearingLLP
+from repro.llp.problems.shortest_path import ShortestPathLLP
+from repro.llp.problems.stable_marriage import StableMarriageLLP
+
+
+@pytest.fixture(scope="module")
+def sp_graph():
+    return random_connected_graph(400, 900, seed=4)
+
+
+@pytest.mark.parametrize("engine", [solve_sequential, solve_parallel],
+                         ids=["sequential", "parallel"])
+def test_llp_shortest_path(benchmark, sp_graph, engine):
+    benchmark.group = "llp-shortest-path"
+    result = benchmark(lambda: engine(ShortestPathLLP(sp_graph, 0)))
+    assert np.isfinite(result.state).all()
+
+
+def test_llp_stable_marriage(benchmark):
+    benchmark.group = "llp-stable-marriage"
+    rng = np.random.default_rng(5)
+    n = 48
+    men = np.array([rng.permutation(n) for _ in range(n)])
+    women = np.array([rng.permutation(n) for _ in range(n)])
+
+    def run():
+        problem = StableMarriageLLP(men, women)
+        return problem.matching(solve_parallel(problem).state)
+
+    wife = benchmark(run)
+    assert np.unique(wife).size == n
+
+
+def test_llp_market_clearing(benchmark):
+    benchmark.group = "llp-market-clearing"
+    rng = np.random.default_rng(6)
+    v = rng.integers(0, 30, size=(12, 12))
+
+    def run():
+        return solve_parallel(MarketClearingLLP(v)).state
+
+    prices = benchmark(run)
+    assert (prices >= 0).all()

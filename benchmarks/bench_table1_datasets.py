@@ -1,0 +1,26 @@
+"""Table I: dataset generation and characterisation.
+
+Benchmarks the two dataset generators and records the Table I morphology
+statistics in each benchmark's ``extra_info`` (regenerating the table's
+content alongside the generator cost).
+"""
+
+import pytest
+
+from benchmarks.conftest import RMAT_SCALE, ROAD_SCALE, SEED
+from repro.bench.datasets import DATASETS
+from repro.graphs.properties import graph_stats
+
+
+@pytest.mark.parametrize(
+    "name,scale",
+    [("usa-road", ROAD_SCALE), ("graph500", RMAT_SCALE)],
+    ids=["usa-road", "graph500"],
+)
+def test_table1_dataset(benchmark, name, scale):
+    ds = DATASETS[name]
+    g = benchmark(lambda: ds.build(scale, SEED))
+    st = graph_stats(g)
+    benchmark.extra_info.update(st.as_row())
+    benchmark.extra_info["paper_name"] = ds.paper_name
+    assert st.morphology == ds.kind

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Scales default to laptop-friendly sizes so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_BENCH_SCALE`` /
+``REPRO_BENCH_RMAT_SCALE`` to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.datasets import DATASETS
+
+ROAD_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12"))
+RMAT_SCALE = int(os.environ.get("REPRO_BENCH_RMAT_SCALE", "11"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def _prewarmed(name: str, scale: int):
+    g = DATASETS[name].build(scale, SEED)
+    g.py_adjacency
+    g.min_rank_per_vertex
+    g.edge_by_rank
+    return g
+
+
+@pytest.fixture(scope="session")
+def road_graph():
+    """The scaled USA-road stand-in."""
+    return _prewarmed("usa-road", ROAD_SCALE)
+
+
+@pytest.fixture(scope="session")
+def rmat_graph():
+    """The scaled graph500 stand-in."""
+    return _prewarmed("graph500", RMAT_SCALE)

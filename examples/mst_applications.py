@@ -1,0 +1,67 @@
+"""MST applications: clustering, route planning, and network design.
+
+Three classic downstream uses of the MST library on one point cloud:
+
+1. single-linkage clustering (cut the heaviest backbone edges),
+2. a 2-approximate travelling-salesman tour (MST preorder walk),
+3. a 2-approximate Steiner tree connecting a few depot locations.
+
+Run:  python examples/mst_applications.py
+"""
+
+import numpy as np
+
+from repro.apps import single_linkage_clusters, steiner_tree_approx, tour_weight, tsp_two_approx
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.delaunay import delaunay_graph
+from repro.mst import kruskal
+
+
+def _metric_complete(pts: np.ndarray) -> CSRGraph:
+    n = pts.shape[0]
+    iu, iv = np.triu_indices(n, k=1)
+    w = np.hypot(pts[iu, 0] - pts[iv, 0], pts[iu, 1] - pts[iv, 1])
+    return CSRGraph.from_edgelist(
+        EdgeList.from_arrays(n, iu.astype(np.int64), iv.astype(np.int64), w)
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    # three separated blobs of delivery stops
+    blobs = [
+        rng.normal((0.2, 0.2), 0.05, size=(12, 2)),
+        rng.normal((0.8, 0.3), 0.05, size=(10, 2)),
+        rng.normal((0.5, 0.85), 0.05, size=(8, 2)),
+    ]
+    pts = np.clip(np.concatenate(blobs), 0.0, 1.0)
+    n = pts.shape[0]
+    print(f"{n} delivery stops in 3 blobs\n")
+
+    # --- clustering ------------------------------------------------------
+    g = _metric_complete(pts)
+    labels = single_linkage_clusters(g, 3)
+    sizes = sorted(np.bincount(np.unique(labels, return_inverse=True)[1]).tolist(),
+                   reverse=True)
+    print(f"single-linkage, k=3: cluster sizes {sizes} (expected [12, 10, 8])")
+
+    # --- TSP tour --------------------------------------------------------
+    tour = tsp_two_approx(g)
+    w = tour_weight(g, tour)
+    mst_w = kruskal(g).total_weight
+    print(f"\nTSP 2-approx: tour length {w:.3f} "
+          f"(MST lower bound {mst_w:.3f}, ratio {w / mst_w:.2f} <= 2)")
+
+    # --- Steiner tree over depots ---------------------------------------
+    # connect one depot per blob through the Delaunay road mesh
+    mesh = delaunay_graph(0, points=pts)
+    depots = [0, 12, 22]
+    edges, weight = steiner_tree_approx(mesh, depots)
+    print(f"\nSteiner 2-approx over depots {depots}: "
+          f"{len(edges)} road segments, length {weight:.3f}")
+    print("(tree may route through non-depot stops — that's the Steiner part)")
+
+
+if __name__ == "__main__":
+    main()

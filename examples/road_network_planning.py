@@ -1,0 +1,68 @@
+"""Road-network planning: minimum-cost backbone of a synthetic road map.
+
+The motivating workload of the paper's USA-road experiments: given a road
+network with travel-cost weights, the MST is the cheapest set of roads
+that keeps every intersection reachable (e.g. a minimal plowing/repair
+plan).  This example:
+
+1. generates a road network (or loads a DIMACS ``.gr`` file if given),
+2. computes the backbone with LLP-Prim (the right algorithm for this
+   morphology at low core counts, per Fig 4),
+3. reports cost savings vs maintaining every road,
+4. shows how the early-fixing rule cut the heap traffic.
+
+Run:  python examples/road_network_planning.py [path/to/USA-road-d.*.gr]
+"""
+
+import sys
+import time
+
+from repro import llp_prim, prim, verify_minimum
+from repro.graphs.generators import road_network
+from repro.graphs.io import read_dimacs
+from repro.graphs.properties import graph_stats
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        print(f"loading {sys.argv[1]} ...")
+        g = read_dimacs(sys.argv[1])
+    else:
+        g = road_network(64, 64, seed=42)
+    st = graph_stats(g)
+    print(f"road network: {st.n_vertices} intersections, {st.n_edges} roads, "
+          f"avg degree {st.avg_degree:.2f}, diameter >= {st.approx_diameter}")
+
+    # materialise the shared adjacency/MWE caches outside the timed regions
+    g.py_adjacency
+    g.min_rank_per_vertex
+
+    t0 = time.perf_counter()
+    backbone = llp_prim(g)
+    t_llp = time.perf_counter() - t0
+    verify_minimum(g, backbone)
+
+    t0 = time.perf_counter()
+    baseline = prim(g)
+    t_prim = time.perf_counter() - t0
+    assert baseline.edge_set() == backbone.edge_set()
+
+    total_cost = g.total_weight
+    print(f"\nbackbone: {backbone.n_edges} roads "
+          f"({backbone.n_components} connected region(s))")
+    print(f"  maintain-everything cost: {total_cost:.1f}")
+    print(f"  backbone cost:            {backbone.total_weight:.1f} "
+          f"({100 * backbone.total_weight / total_cost:.1f}% of total)")
+
+    s = backbone.stats
+    print(f"\nLLP-Prim vs Prim on this graph:")
+    print(f"  wall time: {t_llp * 1e3:.1f} ms vs {t_prim * 1e3:.1f} ms "
+          f"({100 * (t_prim - t_llp) / t_prim:+.1f}% saved)")
+    print(f"  vertices fixed without the heap (MWE rule): {s['mwe_fixes']} "
+          f"of {g.n_vertices}")
+    print(f"  heap operations: {s['heap_pushes'] + s['heap_pops']} vs "
+          f"{baseline.stats['heap_pushes'] + baseline.stats['heap_pops']}")
+
+
+if __name__ == "__main__":
+    main()

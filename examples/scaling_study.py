@@ -1,0 +1,46 @@
+"""Scaling study: regenerate the paper's Fig 3 curves at your own scale.
+
+Runs the three parallel algorithms on a road network over a sweep of
+simulated worker counts and prints the modelled time/speedup curves with
+the crossover annotations the paper discusses.
+
+Run:  python examples/scaling_study.py [scale] [threads, e.g. 1,2,4,8,16,32]
+"""
+
+import sys
+
+from repro.bench.experiments import run_fig3
+from repro.bench.reporting import render_table
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    threads = (
+        tuple(int(t) for t in sys.argv[2].split(","))
+        if len(sys.argv) > 2
+        else (1, 2, 4, 8, 16, 32)
+    )
+    print(f"scaling study on the road network at scale {scale} "
+          f"(2^{scale} vertices), p in {list(threads)}\n")
+    result = run_fig3(scale=scale, threads=threads)
+
+    print(result.render())
+
+    cross = result.notes["boruvka_overtakes_llp_prim_at"]
+    print("\ninterpretation (cf. paper Section VII-B):")
+    if cross:
+        print(f"  - parallel Boruvka overtakes LLP-Prim at p={cross} "
+              f"(paper observed ~8 on the 23M-vertex graph)")
+    speed = result.series["Fig 3b: modelled speedup vs threads"]
+    peak_p = max(speed["LLP-Prim"], key=speed["LLP-Prim"].get)
+    print(f"  - LLP-Prim peaks at p={peak_p} "
+          f"(x{speed['LLP-Prim'][peak_p]:.2f}) then plateaus/regresses: "
+          f"its parallelism comes from short MWE chains plus a pipelined heap")
+    print(f"  - Boruvka reaches x{speed['Boruvka'][max(threads)]:.1f} at "
+          f"p={max(threads)} (near-linear), LLP-Boruvka stays "
+          f"{'ahead' if result.notes['llp_boruvka_faster_than_boruvka_everywhere'] else 'competitive'}"
+          f" with less work but a tapering gap")
+
+
+if __name__ == "__main__":
+    main()

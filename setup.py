@@ -1,0 +1,4 @@
+"""Setuptools shim (PEP 621 metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

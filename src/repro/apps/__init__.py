@@ -1,0 +1,18 @@
+"""Applications built on the MST library.
+
+Classic downstream uses of minimum spanning trees, each implemented on the
+public API: single-linkage clustering (cut the heaviest forest edges),
+metric TSP 2-approximation (preorder walk of the MST), and Steiner tree
+2-approximation (MST of the terminals' metric closure).
+"""
+
+from repro.apps.clustering import single_linkage_clusters
+from repro.apps.tsp import tsp_two_approx, tour_weight
+from repro.apps.steiner import steiner_tree_approx
+
+__all__ = [
+    "single_linkage_clusters",
+    "tsp_two_approx",
+    "tour_weight",
+    "steiner_tree_approx",
+]

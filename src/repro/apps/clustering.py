@@ -1,0 +1,59 @@
+"""Single-linkage clustering via the minimum spanning forest.
+
+The classic equivalence: cutting the ``k - 1`` heaviest edges of an MST
+yields exactly the ``k`` clusters of single-linkage agglomerative
+clustering (the merge order of single linkage is Kruskal's edge order).
+Works on any weighted graph; for point clouds, build a Delaunay graph
+first — its MST is the Euclidean MST, so the clustering matches the
+complete-graph result at a fraction of the edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult
+from repro.structures.union_find import UnionFind
+
+__all__ = ["single_linkage_clusters"]
+
+
+def single_linkage_clusters(
+    g: CSRGraph,
+    k: int,
+    *,
+    forest: MSTResult | None = None,
+) -> np.ndarray:
+    """Labels of the ``k``-cluster single-linkage partition of ``g``.
+
+    ``forest`` may supply a precomputed MSF (any algorithm's output);
+    otherwise Kruskal runs internally.  ``k`` must be at least the number
+    of connected components (clusters can never merge across components).
+    Labels are the least vertex id of each cluster.
+    """
+    from repro.mst.kruskal import kruskal
+
+    if g.n_vertices == 0:
+        if k != 0:
+            raise GraphError("an empty graph has no clusters")
+        return np.empty(0, dtype=np.int64)
+    result = forest if forest is not None else kruskal(g)
+    n_components = result.n_components
+    if not (n_components <= k <= g.n_vertices):
+        raise GraphError(
+            f"k must be in [{n_components}, {g.n_vertices}] for this graph, got {k}"
+        )
+    # Keep all forest edges except the k - n_components heaviest.
+    ids = result.edge_ids
+    n_cut = k - n_components
+    if n_cut and ids.size:
+        order = np.argsort(g.ranks[ids])  # ascending weight
+        keep = ids[order[: ids.size - n_cut]]
+    else:
+        keep = ids
+    uf = UnionFind(g.n_vertices)
+    for e in keep:
+        uf.union(int(g.edge_u[e]), int(g.edge_v[e]))
+    return uf.min_labels()

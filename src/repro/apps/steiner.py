@@ -1,0 +1,139 @@
+"""Steiner tree 2-approximation via the terminals' metric closure.
+
+The Kou-Markowsky-Berman scheme: (1) build the complete graph over the
+terminal set weighted by shortest-path distances (metric closure, one
+shortest-path LLP run per terminal), (2) take its MST, (3) expand each
+closure edge back into its underlying path, (4) prune to an MST of the
+expansion and trim non-terminal leaves.  The result connects all
+terminals with weight at most ``2 (1 - 1/t)`` times the optimal Steiner
+tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.problems.shortest_path import ShortestPathLLP
+
+__all__ = ["steiner_tree_approx"]
+
+
+def steiner_tree_approx(
+    g: CSRGraph, terminals: Sequence[int]
+) -> Tuple[List[int], float]:
+    """Edge ids and weight of a 2-approximate Steiner tree for ``terminals``.
+
+    Requires a connected graph and at least one terminal; duplicate
+    terminals are allowed (deduplicated).
+    """
+    terms = sorted({int(t) for t in terminals})
+    if not terms:
+        raise GraphError("at least one terminal required")
+    for t in terms:
+        if not (0 <= t < g.n_vertices):
+            raise GraphError(f"terminal {t} out of range")
+    if len(terms) == 1:
+        return [], 0.0
+
+    # 1. shortest-path tree from each terminal (distance + parent edge).
+    dist_rows = []
+    parent_rows = []
+    for t in terms:
+        d, parent_edge = _sssp_with_parents(g, t)
+        dist_rows.append(d)
+        parent_rows.append(parent_edge)
+
+    # 2. MST of the metric closure over the terminals (Prim on t nodes).
+    t_count = len(terms)
+    in_tree = [False] * t_count
+    best = np.full(t_count, np.inf)
+    best_from = np.zeros(t_count, dtype=np.int64)
+    in_tree[0] = True
+    best_pairs: List[Tuple[int, int]] = []
+    for i in range(1, t_count):
+        best[i] = dist_rows[0][terms[i]]
+        best_from[i] = 0
+    for _ in range(t_count - 1):
+        cand = min(
+            (i for i in range(t_count) if not in_tree[i]), key=lambda i: best[i]
+        )
+        in_tree[cand] = True
+        best_pairs.append((int(best_from[cand]), cand))
+        for i in range(t_count):
+            if not in_tree[i] and dist_rows[cand][terms[i]] < best[i]:
+                best[i] = dist_rows[cand][terms[i]]
+                best_from[i] = cand
+
+    # 3. expand closure edges into their underlying shortest paths.
+    edge_set: Set[int] = set()
+    for src_idx, dst_idx in best_pairs:
+        edge_set |= _path_edges(g, parent_rows[src_idx], terms[src_idx], terms[dst_idx])
+
+    # 4. prune: MST of the expansion, then trim non-terminal leaves.
+    kept = _forest_of(g, edge_set)
+    kept = _trim_leaves(g, kept, set(terms))
+    weight = float(sum(g.edge_w[e] for e in kept))
+    return sorted(kept), weight
+
+
+def _sssp_with_parents(g: CSRGraph, source: int):
+    """Distances plus a parent-edge array reconstructing shortest paths."""
+    result = solve_parallel(ShortestPathLLP(g, source))
+    d = result.state
+    parent_edge = np.full(g.n_vertices, -1, dtype=np.int64)
+    for v in range(g.n_vertices):
+        if v == source:
+            continue
+        nbrs = g.neighbors(v)
+        ws = g.neighbor_weights(v)
+        eids = g.neighbor_edge_ids(v)
+        for i in range(nbrs.size):
+            if abs(d[nbrs[i]] + ws[i] - d[v]) < 1e-12:
+                parent_edge[v] = eids[i]
+                break
+    return d, parent_edge
+
+
+def _path_edges(g, parent_edge, source, v) -> Set[int]:
+    out: Set[int] = set()
+    while v != source:
+        e = int(parent_edge[v])
+        if e < 0:
+            raise GraphError("graph must be connected for Steiner expansion")
+        out.add(e)
+        v = g.other_endpoint(e, v)
+    return out
+
+
+def _forest_of(g, edge_ids: Set[int]) -> Set[int]:
+    """An MSF of the given edge subset (drops expansion cycles)."""
+    from repro.structures.union_find import UnionFind
+
+    uf = UnionFind(g.n_vertices)
+    kept: Set[int] = set()
+    for e in sorted(edge_ids, key=lambda e: int(g.ranks[e])):
+        if uf.union(int(g.edge_u[e]), int(g.edge_v[e])):
+            kept.add(e)
+    return kept
+
+
+def _trim_leaves(g, edges: Set[int], terminals: Set[int]) -> Set[int]:
+    """Iteratively remove non-terminal degree-1 vertices of the tree."""
+    edges = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        degree: dict[int, List[int]] = {}
+        for e in edges:
+            for v in g.edge_endpoints(e):
+                degree.setdefault(v, []).append(e)
+        for v, incident in degree.items():
+            if len(incident) == 1 and v not in terminals:
+                edges.discard(incident[0])
+                changed = True
+    return edges

@@ -1,0 +1,48 @@
+"""Benchmark harness: datasets, timing, experiments, reporting.
+
+:mod:`repro.bench.experiments` regenerates every table and figure of the
+paper's evaluation (see DESIGN.md §4 for the experiment index); the CLI
+(``python -m repro``) and the pytest-benchmark suite under ``benchmarks/``
+are thin wrappers over the same functions.
+"""
+
+from repro.bench.datasets import DATASETS, Dataset, build_dataset
+from repro.bench.timing import TimingResult, time_callable
+from repro.bench.speedup import speedup_series
+from repro.bench.reporting import ascii_bar_chart, ascii_series, render_table
+from repro.bench.experiments import (
+    run_scaling_sizes,
+    run_calibration,
+    run_kkt_comparison,
+    run_table1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_ablation_early_fixing,
+    run_ablation_pointer_jumping,
+    run_ablation_heaps,
+    ALL_EXPERIMENTS,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "build_dataset",
+    "TimingResult",
+    "time_callable",
+    "speedup_series",
+    "render_table",
+    "ascii_series",
+    "ascii_bar_chart",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_scaling_sizes",
+    "run_calibration",
+    "run_kkt_comparison",
+    "run_ablation_early_fixing",
+    "run_ablation_pointer_jumping",
+    "run_ablation_heaps",
+    "ALL_EXPERIMENTS",
+]

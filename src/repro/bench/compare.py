@@ -1,0 +1,114 @@
+"""Compare two saved experiment results (regression tooling).
+
+``python -m repro compare results/old/fig3.json results/new/fig3.json``
+reports per-series deltas and flags qualitative changes (winner flips,
+crossover moves) so re-runs after a code change can be reviewed at a
+glance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.reporting import render_table
+from repro.errors import BenchmarkError
+
+__all__ = ["ComparisonReport", "compare_results", "load_result_json"]
+
+
+def load_result_json(path: str | Path) -> dict:
+    """Load one ExperimentResult JSON dump."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchmarkError(f"cannot read result file {path}: {exc}") from exc
+    for key in ("name", "series", "notes"):
+        if key not in data:
+            raise BenchmarkError(f"{path} is not an experiment result dump")
+    return data
+
+
+@dataclass
+class ComparisonReport:
+    """Structured outcome of comparing two result dumps."""
+
+    name: str
+    series_deltas: Dict[str, List[list]] = field(default_factory=dict)
+    note_changes: List[list] = field(default_factory=list)
+    qualitative_flags: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable diff report."""
+        out = [f"== comparison: {self.name} =="]
+        for title, rows in self.series_deltas.items():
+            out.append(f"\n-- {title} --")
+            out.append(
+                render_table(["series", "x", "old", "new", "delta_pct"], rows)
+            )
+        if self.note_changes:
+            out.append("\n-- note changes --")
+            out.append(render_table(["note", "old", "new"], self.note_changes))
+        if self.qualitative_flags:
+            out.append("\nqualitative changes:")
+            for flag in self.qualitative_flags:
+                out.append(f"  ! {flag}")
+        else:
+            out.append("\nno qualitative changes")
+        return "\n".join(out)
+
+
+def compare_results(old: dict, new: dict, *, threshold_pct: float = 5.0) -> ComparisonReport:
+    """Diff two dumps; series points moving more than ``threshold_pct`` are listed."""
+    if old["name"] != new["name"]:
+        raise BenchmarkError(
+            f"comparing different experiments: {old['name']} vs {new['name']}"
+        )
+    report = ComparisonReport(old["name"])
+
+    for title, old_series in old.get("series", {}).items():
+        new_series = new.get("series", {}).get(title)
+        if new_series is None:
+            report.qualitative_flags.append(f"series dropped: {title}")
+            continue
+        rows = []
+        for sname, old_points in old_series.items():
+            new_points = new_series.get(sname, {})
+            for x, old_y in old_points.items():
+                new_y = new_points.get(x)
+                if new_y is None:
+                    report.qualitative_flags.append(
+                        f"point dropped: {title} / {sname} @ {x}"
+                    )
+                    continue
+                if old_y == 0:
+                    continue
+                delta = 100.0 * (new_y - old_y) / abs(old_y)
+                if abs(delta) >= threshold_pct:
+                    rows.append([sname, x, old_y, new_y, round(delta, 1)])
+        if rows:
+            report.series_deltas[title] = rows
+        # winner flips at each x
+        xs = sorted({x for s in old_series.values() for x in s})
+        for x in xs:
+            old_winner = _winner_at(old_series, x)
+            new_winner = _winner_at(new_series, x)
+            if old_winner and new_winner and old_winner != new_winner:
+                report.qualitative_flags.append(
+                    f"winner flip in {title!r} @ {x}: {old_winner} -> {new_winner}"
+                )
+
+    for key, old_v in old.get("notes", {}).items():
+        new_v = new.get("notes", {}).get(key, "<missing>")
+        if str(new_v) != str(old_v):
+            report.note_changes.append([key, old_v, new_v])
+    return report
+
+
+def _winner_at(series: dict, x: str) -> str | None:
+    present = {name: pts[x] for name, pts in series.items() if x in pts}
+    if len(present) < 2:
+        return None
+    return min(present, key=present.get)

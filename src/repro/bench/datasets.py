@@ -1,0 +1,103 @@
+"""Dataset registry — the scaled stand-ins for Table I.
+
+The paper evaluates on two graphs; we register parameterised generators
+for both (DESIGN.md §2 documents the substitution):
+
+===========  =======================  =============================
+registry id  paper dataset            stand-in
+===========  =======================  =============================
+usa-road     USA-road-d.USA (~23.9M)  :func:`road_network` at 2^scale
+graph500     graph500-s25-ef16 (~18M) :func:`rmat_graph` (edgefactor 16)
+===========  =======================  =============================
+
+``scale`` is log2 of the vertex count, so the full-size datasets
+correspond to scale ≈ 24.5 and 25; benchmark defaults are laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import BenchmarkError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators.rmat import rmat_graph
+from repro.graphs.generators.road import road_network
+
+__all__ = ["Dataset", "DATASETS", "build_dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A registered benchmark graph family."""
+
+    name: str
+    paper_name: str
+    kind: str  # 'road' | 'scalefree'
+    builder: Callable[[int, int], CSRGraph]  # (scale, seed) -> graph
+    default_scale: int
+    paper_scale: float  # log2 of the paper's vertex count
+
+    def build(self, scale: int | None = None, seed: int = 0) -> CSRGraph:
+        """Instantiate the dataset at ``2^scale`` vertices."""
+        s = self.default_scale if scale is None else int(scale)
+        if s < 2 or s > 26:
+            raise BenchmarkError(f"scale must be in [2, 26], got {s}")
+        return self.builder(s, seed)
+
+
+def _build_road(scale: int, seed: int) -> CSRGraph:
+    rows = 1 << ((scale + 1) // 2)
+    cols = 1 << (scale // 2)
+    return road_network(rows, cols, seed=seed)
+
+
+def _build_rmat(scale: int, seed: int) -> CSRGraph:
+    return rmat_graph(scale, edgefactor=16, seed=seed)
+
+
+def _build_delaunay(scale: int, seed: int) -> CSRGraph:
+    from repro.graphs.generators.delaunay import delaunay_graph
+
+    return delaunay_graph(1 << scale, seed=seed)
+
+
+DATASETS: Dict[str, Dataset] = {
+    "usa-road": Dataset(
+        name="usa-road",
+        paper_name="USA Roads - 23M (USA-road-d.USA)",
+        kind="road",
+        builder=_build_road,
+        default_scale=13,
+        paper_scale=24.5,
+    ),
+    "graph500": Dataset(
+        name="graph500",
+        paper_name="Graph500 18M (graph500-s25-ef16)",
+        kind="scalefree",
+        builder=_build_rmat,
+        default_scale=12,
+        paper_scale=25.0,
+    ),
+    # Not in the paper: an irregular planar family for robustness checks
+    # (same low-degree/high-diameter regime as roads, different generator).
+    "delaunay": Dataset(
+        name="delaunay",
+        paper_name="Delaunay mesh (robustness extra)",
+        kind="road",
+        builder=_build_delaunay,
+        default_scale=12,
+        paper_scale=float("nan"),
+    ),
+}
+
+
+def build_dataset(name: str, scale: int | None = None, seed: int = 0) -> CSRGraph:
+    """Instantiate a registered dataset by name."""
+    try:
+        ds = DATASETS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown dataset {name!r}; available: {', '.join(sorted(DATASETS))}"
+        ) from None
+    return ds.build(scale, seed)

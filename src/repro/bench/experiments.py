@@ -1,0 +1,727 @@
+"""Experiment definitions — one function per paper table/figure.
+
+Every function regenerates the data behind one artifact of Section VII
+(plus the DESIGN.md ablations) and returns an
+:class:`~repro.bench.harness.ExperimentResult`.  The measurement protocol
+follows DESIGN.md §2:
+
+* single-threaded comparisons (Fig 2, Table I) use real wall time;
+* multi-threaded curves (Figs 3-4) run each worker count ``p`` on its own
+  :class:`~repro.runtime.simulated.SimulatedBackend`, whose work/span trace
+  is priced by the shared :class:`~repro.runtime.cost_model.CostModel` —
+  the documented substitution for the paper's 32-core machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.bench.datasets import DATASETS
+from repro.bench.harness import ExperimentResult
+from repro.bench.speedup import crossover_point, speedup_series
+from repro.bench.timing import time_callable
+from repro.graphs.csr import CSRGraph
+from repro.graphs.properties import graph_stats
+from repro.mst.boruvka import boruvka
+from repro.mst.llp_boruvka import llp_boruvka
+from repro.mst.llp_prim import llp_prim
+from repro.mst.llp_prim_parallel import llp_prim_parallel
+from repro.mst.parallel_boruvka import parallel_boruvka
+from repro.mst.prim import prim
+from repro.mst.prim_lazy import prim_lazy
+from repro.runtime.cost_model import CostModel
+from repro.runtime.sequential import SequentialBackend
+from repro.runtime.simulated import SimulatedBackend
+
+
+def _prewarm(g: CSRGraph) -> None:
+    """Materialise the graph's cached adjacency/mwe structures.
+
+    The paper's setting treats the graph (and per-vertex MWE table) as
+    input, so cache construction is excluded from timed regions.
+    """
+    g.py_adjacency
+    g.min_rank_per_vertex
+    g.edge_by_rank
+
+__all__ = [
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_scaling_sizes",
+    "run_calibration",
+    "run_gil_exhibit",
+    "run_seed_stability",
+    "run_operation_census",
+    "run_kkt_comparison",
+    "run_ablation_early_fixing",
+    "run_ablation_pointer_jumping",
+    "run_ablation_weights",
+    "run_ablation_heaps",
+    "ALL_EXPERIMENTS",
+]
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32)
+
+# The three parallel algorithms of Figs 3-4, keyed by their figure labels.
+_PARALLEL_ALGOS: Dict[str, Callable[[CSRGraph, SimulatedBackend], object]] = {
+    "LLP-Prim": lambda g, b: llp_prim_parallel(g, backend=b),
+    "Boruvka": lambda g, b: parallel_boruvka(g, b),
+    "LLP-Boruvka": lambda g, b: llp_boruvka(g, b),
+}
+
+
+# ----------------------------------------------------------------------
+# Table I — datasets
+# ----------------------------------------------------------------------
+def run_table1(
+    *, road_scale: int | None = None, rmat_scale: int | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Table I: the benchmark graphs and their morphology."""
+    res = ExperimentResult(
+        "table1-datasets",
+        params={"road_scale": road_scale, "rmat_scale": rmat_scale, "seed": seed},
+    )
+    headers = [
+        "dataset", "paper name", "type", "vertices", "edges",
+        "avg_deg", "max_deg", "diameter~",
+    ]
+    rows = []
+    for name, scale in (("usa-road", road_scale), ("graph500", rmat_scale)):
+        ds = DATASETS[name]
+        g = ds.build(scale, seed)
+        st = graph_stats(g)
+        rows.append(
+            [
+                ds.name, ds.paper_name, ds.kind, st.n_vertices, st.n_edges,
+                round(st.avg_degree, 2), st.max_degree, st.approx_diameter,
+            ]
+        )
+        res.notes[f"{name}_morphology"] = st.morphology
+    res.tables["Table I: graphs used in the evaluation (scaled)"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Fig 2 — single-threaded comparison
+# ----------------------------------------------------------------------
+def run_fig2(
+    *,
+    road_scale: int | None = None,
+    rmat_scale: int | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Fig 2: Prim vs LLP-Prim(1T) vs Boruvka(1T), wall clock, both graphs.
+
+    "Boruvka (1T)" is the GBBS-style *parallel* implementation run on one
+    worker — the configuration the paper benchmarks (its Boruvka numbers
+    come from GBBS) — so the 1T cost includes the parallel machinery
+    (union-find traversals, candidate atomics, filtering).  The classic
+    sequential Boruvka (Algorithm 3) is reported as an extra row.
+
+    Expected shape: Prim-family ≈3x faster than Boruvka (1T); LLP-Prim
+    ~20-30% faster than Prim.
+    """
+    res = ExperimentResult(
+        "fig2-single-threaded",
+        params={
+            "road_scale": road_scale, "rmat_scale": rmat_scale,
+            "seed": seed, "repeats": repeats,
+        },
+    )
+    headers = ["graph", "algorithm", "time_ms", "heap_ops", "weight"]
+    rows = []
+    for ds_name, scale in (("usa-road", road_scale), ("graph500", rmat_scale)):
+        g = DATASETS[ds_name].build(scale, seed)
+        _prewarm(g)
+        timings = {}
+        for label, fn in (
+            ("Prim", lambda: prim(g)),
+            ("LLP-Prim (1T)", lambda: llp_prim(g)),
+            ("Boruvka (1T)", lambda: parallel_boruvka(g, SequentialBackend())),
+            ("Boruvka (classic)", lambda: boruvka(g)),
+        ):
+            t = time_callable(fn, repeats=repeats, warmup=1)
+            timings[label] = t.best
+            st = t.result.stats
+            heap_ops = int(
+                st.get("heap_pushes", 0) + st.get("heap_pops", 0) + st.get("heap_adjusts", 0)
+            )
+            rows.append(
+                [ds_name, label, round(t.best * 1e3, 2), heap_ops,
+                 round(t.result.total_weight, 2)]
+            )
+        res.notes[f"{ds_name}_llp_prim_vs_prim_pct"] = round(
+            100.0 * (timings["Prim"] - timings["LLP-Prim (1T)"]) / timings["Prim"], 1
+        )
+        res.notes[f"{ds_name}_boruvka_over_prim_factor"] = round(
+            timings["Boruvka (1T)"] / timings["Prim"], 2
+        )
+    res.tables["Fig 2: single-threaded wall times"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Fig 3 — multi-threaded curves on the road graph
+# ----------------------------------------------------------------------
+def run_fig3(
+    *,
+    scale: int | None = None,
+    seed: int = 0,
+    threads: Sequence[int] = DEFAULT_THREADS,
+    cost_model: CostModel | None = None,
+) -> ExperimentResult:
+    """Fig 3: LLP-Prim / Boruvka / LLP-Boruvka vs thread count, USA road.
+
+    Expected shape: Boruvka-family near-linear speedup, overtaking
+    LLP-Prim around 8 threads; LLP-Prim plateaus/regresses past ~8;
+    LLP-Boruvka faster than Boruvka throughout, gap tapering.
+    """
+    res = ExperimentResult(
+        "fig3-multithreaded-road",
+        params={"scale": scale, "seed": seed, "threads": list(threads)},
+    )
+    g = DATASETS["usa-road"].build(scale, seed)
+    times = _parallel_time_matrix(g, threads, cost_model)
+    res.series["Fig 3: modelled time (s) vs threads, USA road"] = times
+    res.series["Fig 3b: modelled speedup vs threads"] = {
+        name: speedup_series(curve) for name, curve in times.items()
+    }
+    res.tables["Fig 3 data"] = _matrix_table(times, threads)
+    res.notes["boruvka_overtakes_llp_prim_at"] = crossover_point(
+        times["LLP-Prim"], times["Boruvka"]
+    )
+    res.notes["llp_boruvka_overtakes_llp_prim_at"] = crossover_point(
+        times["LLP-Prim"], times["LLP-Boruvka"]
+    )
+    res.notes["llp_boruvka_faster_than_boruvka_everywhere"] = all(
+        times["LLP-Boruvka"][p] < times["Boruvka"][p] for p in threads
+    )
+    return res
+
+
+# ----------------------------------------------------------------------
+# Fig 4 — low/high core counts on different graphs
+# ----------------------------------------------------------------------
+def run_fig4(
+    *,
+    road_scale: int | None = None,
+    rmat_scale: int | None = None,
+    seed: int = 0,
+    low: int = 2,
+    high: int = 32,
+    cost_model: CostModel | None = None,
+) -> ExperimentResult:
+    """Fig 4: the parallel algorithms at low/high core counts per graph.
+
+    Expected shape: LLP-Prim fastest at low core counts (strongest on the
+    denser scale-free graph); Boruvka-family fastest at high core counts
+    with LLP-Boruvka ahead of Boruvka.
+    """
+    res = ExperimentResult(
+        "fig4-low-high-core",
+        params={
+            "road_scale": road_scale, "rmat_scale": rmat_scale,
+            "seed": seed, "low": low, "high": high,
+        },
+    )
+    headers = ["graph", "algorithm", f"time@p={low} (s)", f"time@p={high} (s)"]
+    rows = []
+    for ds_name, scale in (("usa-road", road_scale), ("graph500", rmat_scale)):
+        g = DATASETS[ds_name].build(scale, seed)
+        times = _parallel_time_matrix(g, (low, high), cost_model)
+        for name, curve in times.items():
+            rows.append([ds_name, name, _sig(curve[low]), _sig(curve[high])])
+        res.notes[f"{ds_name}_winner_low"] = min(times, key=lambda a: times[a][low])
+        res.notes[f"{ds_name}_winner_high"] = min(times, key=lambda a: times[a][high])
+        res.series[f"Fig 4: {ds_name} modelled time (s)"] = times
+    res.tables["Fig 4 data"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# §VII-C — different sizes, same morphology
+# ----------------------------------------------------------------------
+def run_scaling_sizes(
+    *,
+    scales: Sequence[int] = (10, 11, 12, 13),
+    seed: int = 0,
+    p_low: int = 2,
+    p_high: int = 32,
+    cost_model: CostModel | None = None,
+) -> ExperimentResult:
+    """§VII-C: graphs of different sizes and the same morphology.
+
+    The paper reports that re-running the comparison on smaller road
+    graphs "didn't show any additional insight" — i.e. the who-wins
+    structure is size-stable.  This experiment sweeps road graphs across
+    scales and records the winner at low/high worker counts per size.
+    """
+    res = ExperimentResult(
+        "scaling-sizes",
+        params={"scales": list(scales), "seed": seed, "p_low": p_low, "p_high": p_high},
+    )
+    headers = ["scale", "vertices", f"winner@p={p_low}", f"winner@p={p_high}",
+               f"LLP-Prim@p={p_low} (s)", f"LLP-Boruvka@p={p_high} (s)"]
+    rows = []
+    stable = True
+    for scale in scales:
+        g = DATASETS["usa-road"].build(int(scale), seed)
+        times = _parallel_time_matrix(g, (p_low, p_high), cost_model)
+        w_low = min(times, key=lambda a: times[a][p_low])
+        w_high = min(times, key=lambda a: times[a][p_high])
+        rows.append(
+            [int(scale), g.n_vertices, w_low, w_high,
+             _sig(times["LLP-Prim"][p_low]), _sig(times["LLP-Boruvka"][p_high])]
+        )
+        stable &= w_low == "LLP-Prim" and w_high in ("Boruvka", "LLP-Boruvka")
+    res.tables["Scaling: winners by size (road morphology)"] = (headers, rows)
+    res.notes["winner_structure_stable_across_sizes"] = stable
+    return res
+
+
+# ----------------------------------------------------------------------
+# Cost-model calibration (validates the DESIGN.md §2 substitution)
+# ----------------------------------------------------------------------
+def run_calibration(
+    *, scale: int | None = None, seed: int = 0, repeats: int = 3
+) -> ExperimentResult:
+    """Fit the cost model's unit time to this host and sanity-check it.
+
+    Calibrates ``unit_time`` so the modelled single-worker time of
+    parallel Boruvka matches its real wall clock, then reports modelled
+    T(1) versus measured wall clock for each parallel algorithm — the
+    check that the simulated machine's work accounting tracks reality.
+    """
+    from repro.runtime.cost_model import calibrate_unit_time
+
+    res = ExperimentResult("calibration", params={"scale": scale, "seed": seed})
+    g = DATASETS["usa-road"].build(scale, seed)
+    _prewarm(g)
+
+    def traced_run():
+        backend = SimulatedBackend(1)
+        parallel_boruvka(g, backend)
+        return backend.trace
+
+    model = calibrate_unit_time(traced_run, repeats=repeats)
+    res.notes["calibrated_unit_time_ns"] = round(model.unit_time * 1e9, 3)
+
+    headers = ["algorithm", "wall T(1) ms", "modelled T(1) ms", "ratio"]
+    rows = []
+    for name, fn in _PARALLEL_ALGOS.items():
+        # One fresh backend per timed run so each trace covers one run.
+        t = time_callable(
+            lambda: fn(g, SimulatedBackend(1, model)), repeats=repeats, warmup=1
+        )
+        wall = t.best
+        backend = SimulatedBackend(1, model)
+        fn(g, backend)
+        modelled = backend.modelled_time(1)
+        rows.append(
+            [name, round(wall * 1e3, 2), round(modelled * 1e3, 2),
+             round(modelled / wall, 2)]
+        )
+        res.notes[f"{name}_model_over_wall"] = round(modelled / wall, 2)
+    res.tables["Calibration: modelled vs wall single-worker time"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Methodology M3 — seed stability (error bars for the headline claims)
+# ----------------------------------------------------------------------
+def run_seed_stability(
+    *,
+    scale: int | None = None,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    threads: Sequence[int] = (1, 2, 8, 32),
+    cost_model: CostModel | None = None,
+) -> ExperimentResult:
+    """Fig 3's qualitative claims across independently generated graphs.
+
+    Re-runs the Fig 3 measurement on several road graphs (different
+    generator seeds) and reports, per claim, how many seeds exhibit it,
+    plus mean±std of the modelled times.  The paper reports single runs;
+    this experiment supplies the missing dispersion.
+    """
+    import numpy as np
+
+    res = ExperimentResult(
+        "seed-stability",
+        params={"scale": scale, "seeds": list(seeds), "threads": list(threads)},
+    )
+    per_seed_times = []
+    claims = {
+        "llp_prim_fastest_at_p1": 0,
+        "boruvka_family_fastest_at_pmax": 0,
+        "llp_boruvka_beats_boruvka_everywhere": 0,
+        "llp_prim_speedup_peaks_low": 0,
+    }
+    p_max = max(threads)
+    for seed in seeds:
+        g = DATASETS["usa-road"].build(scale, int(seed))
+        times = _parallel_time_matrix(g, threads, cost_model)
+        per_seed_times.append(times)
+        if times["LLP-Prim"][1] == min(t[1] for t in times.values()):
+            claims["llp_prim_fastest_at_p1"] += 1
+        if min(times, key=lambda a: times[a][p_max]) in ("Boruvka", "LLP-Boruvka"):
+            claims["boruvka_family_fastest_at_pmax"] += 1
+        if all(times["LLP-Boruvka"][p] < times["Boruvka"][p] for p in threads):
+            claims["llp_boruvka_beats_boruvka_everywhere"] += 1
+        speed = {p: times["LLP-Prim"][1] / times["LLP-Prim"][p] for p in threads}
+        if max(speed, key=speed.get) <= 8:
+            claims["llp_prim_speedup_peaks_low"] += 1
+
+    headers = ["algorithm"] + [f"p={p} mean±std (ms)" for p in threads]
+    rows = []
+    for name in _PARALLEL_ALGOS:
+        row = [name]
+        for p in threads:
+            vals = np.array([t[name][p] for t in per_seed_times]) * 1e3
+            row.append(f"{vals.mean():.3f}±{vals.std():.3f}")
+        rows.append(row)
+    res.tables[f"M3: modelled times across {len(seeds)} seeds"] = (headers, rows)
+    for claim, count in claims.items():
+        res.notes[claim] = f"{count}/{len(seeds)} seeds"
+    res.notes["all_claims_unanimous"] = all(
+        c == len(seeds) for c in claims.values()
+    )
+    return res
+
+
+# ----------------------------------------------------------------------
+# Methodology M1 — the GIL exhibit
+# ----------------------------------------------------------------------
+def run_gil_exhibit(
+    *, scale: int | None = None, seed: int = 0, threads: Sequence[int] = (1, 2, 4)
+) -> ExperimentResult:
+    """Why the speedup figures are modelled: real threads do not speed up.
+
+    Runs parallel Boruvka on the real ``threading`` backend at increasing
+    worker counts and records wall time.  Under CPython's GIL the curve is
+    flat or worse — the quantitative justification for the simulated
+    work-depth machine (DESIGN.md §2).  Results are identical across
+    backends, which the experiment also checks.
+    """
+    from repro.runtime.threads import ThreadBackend
+
+    res = ExperimentResult(
+        "gil-exhibit", params={"scale": scale, "seed": seed, "threads": list(threads)}
+    )
+    g = DATASETS["usa-road"].build(scale, seed)
+    _prewarm(g)
+    headers = ["threads", "wall_ms", "speedup_vs_1T", "forest_weight"]
+    rows = []
+    walls: Dict[int, float] = {}
+    ref_weight = None
+    for p in threads:
+        with ThreadBackend(int(p)) as tb:
+            t = time_callable(lambda: parallel_boruvka(g, tb), repeats=2, warmup=1)
+        walls[int(p)] = t.best
+        ref_weight = ref_weight if ref_weight is not None else t.result.total_weight
+        assert t.result.total_weight == ref_weight  # identical output
+        rows.append(
+            [int(p), round(t.best * 1e3, 2),
+             round(walls[min(walls)] / t.best, 2),
+             round(t.result.total_weight, 2)]
+        )
+    res.tables["M1: real-thread wall times (the GIL in action)"] = (headers, rows)
+    best_speedup = max(walls[min(walls)] / t for t in walls.values())
+    res.notes["max_real_thread_speedup"] = round(best_speedup, 2)
+    res.notes["gil_blocks_scaling"] = best_speedup < 1.5
+    return res
+
+
+# ----------------------------------------------------------------------
+# Methodology M2 — operation census
+# ----------------------------------------------------------------------
+def run_operation_census(
+    *, scale: int | None = None, rmat_scale: int | None = None, seed: int = 0
+) -> ExperimentResult:
+    """Machine-independent operation counts per algorithm and graph.
+
+    The counts behind every performance claim, free of interpreter and
+    cost-model constants: edge scans, heap traffic, early fixes, rounds,
+    levels, messages.  Useful for comparing against other implementations
+    of the paper.
+    """
+    from repro.mst.ghs import ghs
+    from repro.mst.kruskal import kruskal
+
+    res = ExperimentResult(
+        "operation-census",
+        params={"scale": scale, "rmat_scale": rmat_scale, "seed": seed},
+    )
+    for ds_name, sc in (("usa-road", scale), ("graph500", rmat_scale)):
+        g = DATASETS[ds_name].build(sc, seed)
+        _prewarm(g)
+        headers = ["algorithm", "counter", "value"]
+        rows = []
+        runs = [
+            ("prim", prim(g)),
+            ("llp-prim", llp_prim(g)),
+            ("boruvka", boruvka(g)),
+            ("kruskal", kruskal(g)),
+            ("ghs", ghs(g)),
+            ("parallel-boruvka", parallel_boruvka(g, SimulatedBackend(8))),
+            ("llp-boruvka", llp_boruvka(g, SimulatedBackend(8))),
+        ]
+        for name, result in runs:
+            for key, value in sorted(result.stats.items()):
+                if key.startswith("backend_"):
+                    continue
+                rows.append([name, key, int(value)])
+            res.notes[f"{ds_name}/{name}/weight"] = round(result.total_weight, 4)
+        res.tables[
+            f"M2: operation census — {ds_name} (n={g.n_vertices}, m={g.n_edges})"
+        ] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Extension E1 — KKT comparison (paper's planned future comparison)
+# ----------------------------------------------------------------------
+def run_kkt_comparison(
+    *, scale: int | None = None, seed: int = 0, repeats: int = 3
+) -> ExperimentResult:
+    """Wall-clock comparison with the randomized linear-time KKT algorithm.
+
+    The related-work section plans to "compare directly with this
+    approach"; this experiment runs that comparison for the sequential
+    algorithms on both dataset morphologies.
+    """
+    from repro.mst.kkt import kkt
+    from repro.mst.kruskal import kruskal
+
+    res = ExperimentResult("kkt-comparison", params={"scale": scale, "seed": seed})
+    headers = ["graph", "algorithm", "time_ms", "notes"]
+    rows = []
+    for ds_name, sc in (("usa-road", scale), ("graph500", scale)):
+        g = DATASETS[ds_name].build(sc, seed)
+        _prewarm(g)
+        variants = (
+            ("LLP-Prim", lambda: llp_prim(g), ""),
+            ("Kruskal", lambda: kruskal(g), ""),
+            ("KKT", lambda: kkt(g, seed=seed), "randomized"),
+        )
+        times = {}
+        for label, fn, note in variants:
+            t = time_callable(fn, repeats=repeats, warmup=1)
+            times[label] = t.best
+            extra = note
+            if label == "KKT":
+                extra = (f"depth={int(t.result.stats['max_depth'])}, "
+                         f"F-heavy dropped={int(t.result.stats['fheavy_discarded'])}")
+            rows.append([ds_name, label, round(t.best * 1e3, 2), extra])
+        res.notes[f"{ds_name}_kkt_over_llp_prim"] = round(
+            times["KKT"] / times["LLP-Prim"], 2
+        )
+    res.tables["E1: LLP-Prim vs Kruskal vs KKT (1 thread)"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md A1-A3)
+# ----------------------------------------------------------------------
+def run_ablation_early_fixing(
+    *, scale: int | None = None, seed: int = 0, repeats: int = 3
+) -> ExperimentResult:
+    """A1: the MWE early-fixing rule's effect on heap traffic (road graph)."""
+    res = ExperimentResult(
+        "ablation-early-fixing", params={"scale": scale, "seed": seed}
+    )
+    g = DATASETS["usa-road"].build(scale, seed)
+    _prewarm(g)
+    headers = ["variant", "time_ms", "heap_pushes", "heap_pops", "heap_adjusts", "mwe_fixes"]
+    rows = []
+    variants = (
+        ("Prim", lambda: prim(g)),
+        ("LLP-Prim", lambda: llp_prim(g)),
+        ("LLP-Prim (no early fixing)", lambda: llp_prim(g, early_fixing=False)),
+    )
+    heap_ops = {}
+    for label, fn in variants:
+        t = time_callable(fn, repeats=repeats, warmup=1)
+        st = t.result.stats
+        heap_ops[label] = int(st.get("heap_pushes", 0) + st.get("heap_pops", 0))
+        rows.append(
+            [label, round(t.best * 1e3, 2), int(st.get("heap_pushes", 0)),
+             int(st.get("heap_pops", 0)), int(st.get("heap_adjusts", 0)),
+             int(st.get("mwe_fixes", 0))]
+        )
+    res.tables["A1: early fixing vs heap traffic"] = (headers, rows)
+    res.notes["heap_ops_saved_vs_prim_pct"] = round(
+        100.0 * (heap_ops["Prim"] - heap_ops["LLP-Prim"]) / max(heap_ops["Prim"], 1), 1
+    )
+    return res
+
+
+def run_ablation_pointer_jumping(
+    *, scale: int | None = None, seed: int = 0
+) -> ExperimentResult:
+    """A2: pointer-jumping rounds and the contraction dedup (road graph)."""
+    res = ExperimentResult(
+        "ablation-pointer-jumping", params={"scale": scale, "seed": seed}
+    )
+    g = DATASETS["usa-road"].build(scale, seed)
+    _prewarm(g)
+    headers = ["variant", "levels", "jump_rounds", "parallel_work", "rounds"]
+    rows = []
+    for label, compact in (("compact contraction", True), ("keep multi-edges", False)):
+        b = SimulatedBackend(8)
+        r = llp_boruvka(g, b, compact=compact)
+        rows.append(
+            [label, int(r.stats["levels"]), int(r.stats["jump_rounds"]),
+             b.trace.parallel_work, b.trace.n_rounds]
+        )
+        res.notes[f"work[{label}]"] = b.trace.parallel_work
+    res.tables["A2: LLP-Boruvka contraction variants"] = (headers, rows)
+    return res
+
+
+def run_ablation_weights(
+    *, scale: int | None = None, seed: int = 0, repeats: int = 3
+) -> ExperimentResult:
+    """A4: weight distribution vs the MWE early-fixing rate.
+
+    LLP-Prim's advantage scales with how many vertices fix through the
+    minimum-weight-edge rule.  Re-weight the *same* road topology four
+    ways and measure the mwe-fix fraction and the heap-op saving:
+
+    * ``euclidean`` — the road generator's locally-correlated lengths;
+    * ``uniform`` — i.i.d. uniform weights (no spatial correlation);
+    * ``heavy-tail`` — lognormal(sigma=2) weights;
+    * ``bfs-increasing`` — weights increase with BFS depth from the
+      root; every vertex's minimum edge then points rootward, which
+      maximises early fixing (the rule's best case; its floor is ~0.5
+      because every vertex's minimum incident edge is an MST edge).
+    """
+    import numpy as np
+
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.traversal import bfs_levels
+    from repro.graphs.weights import ensure_unique_weights
+
+    res = ExperimentResult("ablation-weights", params={"scale": scale, "seed": seed})
+    base = DATASETS["usa-road"].build(scale, seed)
+    rng = np.random.default_rng(seed + 1)
+    edges = base.to_edgelist()
+    levels = bfs_levels(base, 0)
+    depth_w = (
+        np.maximum(levels[edges.u], levels[edges.v]).astype(np.float64)
+        + rng.random(edges.n_edges) * 0.5
+    )
+    variants = {
+        "euclidean": edges.w,
+        "uniform": rng.random(edges.n_edges),
+        "heavy-tail": rng.lognormal(0.0, 2.0, size=edges.n_edges),
+        "bfs-increasing": depth_w,
+    }
+    headers = ["weights", "mwe_fix_fraction", "heap_ops_saved_pct", "llp_vs_prim_pct"]
+    rows = []
+    for label, w in variants.items():
+        g = CSRGraph.from_edgelist(edges.with_weights(ensure_unique_weights(w)))
+        _prewarm(g)
+        t_prim = time_callable(lambda: prim(g), repeats=repeats, warmup=1)
+        t_llp = time_callable(lambda: llp_prim(g), repeats=repeats, warmup=1)
+        s = t_llp.result.stats
+        sp = t_prim.result.stats
+        frac = s["mwe_fixes"] / g.n_vertices
+        saved = 100.0 * (
+            1.0
+            - (s["heap_pushes"] + s["heap_pops"])
+            / max(sp["heap_pushes"] + sp["heap_pops"], 1)
+        )
+        gain = 100.0 * (t_prim.best - t_llp.best) / t_prim.best
+        rows.append([label, round(frac, 3), round(saved, 1), round(gain, 1)])
+        res.notes[f"mwe_fraction[{label}]"] = round(frac, 3)
+    res.tables["A4: weight distribution vs early fixing"] = (headers, rows)
+    return res
+
+
+def run_ablation_heaps(
+    *, scale: int | None = None, seed: int = 0, repeats: int = 3
+) -> ExperimentResult:
+    """A3: heap implementation choice inside Prim (road graph)."""
+    from repro.structures.dary_heap import IndexedDaryHeap
+    from repro.structures.pairing_heap import PairingHeap
+
+    res = ExperimentResult("ablation-heaps", params={"scale": scale, "seed": seed})
+    g = DATASETS["usa-road"].build(scale, seed)
+    _prewarm(g)
+    headers = ["heap", "time_ms", "pushes", "pops", "adjusts/stale"]
+    rows = []
+    variants = (
+        ("binary (indexed)", lambda: prim(g)),
+        ("4-ary (indexed)", lambda: prim(g, heap_factory=lambda n: IndexedDaryHeap(n, d=4))),
+        ("8-ary (indexed)", lambda: prim(g, heap_factory=lambda n: IndexedDaryHeap(n, d=8))),
+        ("pairing", lambda: prim(g, heap_factory=PairingHeap)),
+        ("binary (lazy)", lambda: prim_lazy(g)),
+    )
+    for label, fn in variants:
+        t = time_callable(fn, repeats=repeats, warmup=1)
+        st = t.result.stats
+        extra = int(st.get("heap_adjusts", st.get("stale_pops", 0)))
+        rows.append(
+            [label, round(t.best * 1e3, 2), int(st["heap_pushes"]),
+             int(st["heap_pops"]), extra]
+        )
+    res.tables["A3: Prim heap variants"] = (headers, rows)
+    return res
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _parallel_time_matrix(
+    g: CSRGraph,
+    threads: Sequence[int],
+    cost_model: CostModel | None,
+) -> Dict[str, Dict[int, float]]:
+    """Modelled time of each parallel algorithm at each worker count.
+
+    Each ``p`` gets its own simulated machine (chunking adapts to the
+    worker count, as a real runtime's would), so the traces are the ones a
+    ``p``-worker execution would produce.
+    """
+    model = cost_model or CostModel()
+    out: Dict[str, Dict[int, float]] = {name: {} for name in _PARALLEL_ALGOS}
+    for name, fn in _PARALLEL_ALGOS.items():
+        for p in threads:
+            backend = SimulatedBackend(int(p), model)
+            fn(g, backend)
+            out[name][int(p)] = backend.modelled_time()
+    return out
+
+
+def _matrix_table(times: Dict[str, Dict[int, float]], threads: Sequence[int]):
+    headers = ["algorithm"] + [f"p={p}" for p in threads]
+    rows = [
+        [name] + [_sig(times[name][p]) for p in threads] for name in times
+    ]
+    return headers, rows
+
+
+def _sig(x: float) -> float:
+    """Stable 4-significant-digit rounding for table cells."""
+    return float(f"{x:.4g}")
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": run_table1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "scaling-sizes": run_scaling_sizes,
+    "calibration": run_calibration,
+    "gil-exhibit": run_gil_exhibit,
+    "seed-stability": run_seed_stability,
+    "operation-census": run_operation_census,
+    "kkt-comparison": run_kkt_comparison,
+    "ablation-early-fixing": run_ablation_early_fixing,
+    "ablation-pointer-jumping": run_ablation_pointer_jumping,
+    "ablation-weights": run_ablation_weights,
+    "ablation-heaps": run_ablation_heaps,
+}

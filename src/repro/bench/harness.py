@@ -1,0 +1,67 @@
+"""Experiment result container and JSON persistence."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.bench.reporting import ascii_series, render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    ``tables`` maps a title to ``(headers, rows)``; ``series`` maps a title
+    to named ``{x: y}`` curves (the figure data).  ``notes`` carry the
+    comparison hooks (ratios, crossovers) asserted by the benchmark tests
+    and quoted in EXPERIMENTS.md.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    tables: Dict[str, tuple] = field(default_factory=dict)
+    series: Dict[str, Mapping[str, Mapping[int, float]]] = field(default_factory=dict)
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self, *, markdown: bool = False) -> str:
+        """Human-readable report of everything in the result."""
+        out: List[str] = [f"== {self.name} =="]
+        if self.params:
+            out.append("params: " + ", ".join(f"{k}={v}" for k, v in self.params.items()))
+        for title, (headers, rows) in self.tables.items():
+            out.append(f"\n-- {title} --")
+            out.append(render_table(headers, rows, markdown=markdown))
+        for title, series in self.series.items():
+            out.append(f"\n-- {title} --")
+            out.append(ascii_series(series))
+        if self.notes:
+            out.append("\nnotes:")
+            for k, v in self.notes.items():
+                out.append(f"  {k}: {v}")
+        return "\n".join(out)
+
+    def to_json(self) -> str:
+        """JSON dump (tables, series, notes)."""
+        payload = {
+            "name": self.name,
+            "params": self.params,
+            "tables": {
+                t: {"headers": list(h), "rows": [list(r) for r in rows]}
+                for t, (h, rows) in self.tables.items()
+            },
+            "series": {
+                t: {n: {str(x): y for x, y in s.items()} for n, s in sers.items()}
+                for t, sers in self.series.items()
+            },
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=2, default=str)
+
+    def save(self, path: str | Path) -> None:
+        """Write the JSON dump to ``path``."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")

@@ -1,0 +1,69 @@
+"""Profiling helpers: find the hotspots before optimising anything.
+
+The first rule of the performance work in this repo ("no optimization
+without measuring"): wrap any callable in :func:`profile_callable` to get
+its top hotspots from :mod:`cProfile`, or use the CLI::
+
+    python -m repro profile --algo llp-prim --dataset usa-road --scale 12
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+__all__ = ["ProfileReport", "profile_callable"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Hotspot summary of one profiled run."""
+
+    total_time: float
+    total_calls: int
+    hotspots: List[Tuple[str, float, int]]  # (where, cumulative seconds, calls)
+    result: Any
+
+    def render(self, limit: int = 15) -> str:
+        """Aligned text table of the top hotspots."""
+        lines = [
+            f"total: {self.total_time * 1e3:.1f} ms over {self.total_calls} calls",
+            f"{'cum_ms':>9}  {'calls':>8}  location",
+        ]
+        for where, cum, calls in self.hotspots[:limit]:
+            lines.append(f"{cum * 1e3:9.2f}  {calls:8d}  {where}")
+        return "\n".join(lines)
+
+
+def profile_callable(fn: Callable[[], Any], *, top: int = 25) -> ProfileReport:
+    """Run ``fn()`` under cProfile and summarise its hotspots.
+
+    Hotspots are ordered by cumulative time with profiler-internal frames
+    dropped; ``result`` carries ``fn``'s return value.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+
+    hotspots: List[Tuple[str, float, int]] = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, callers) in stats.stats.items():
+        if "cProfile" in filename or funcname == "<built-in method builtins.exec>":
+            continue
+        short = filename.rsplit("/", 1)[-1]
+        hotspots.append((f"{short}:{lineno}({funcname})", ct, nc))
+    hotspots.sort(key=lambda h: -h[1])
+    return ProfileReport(
+        total_time=stats.total_tt,
+        total_calls=stats.total_calls,
+        hotspots=hotspots[:top],
+        result=result,
+    )

@@ -1,0 +1,95 @@
+"""Plain-text reporting: tables, series, and ASCII charts.
+
+No plotting dependency is available offline, so the harness renders every
+figure as (a) an aligned text table of the underlying numbers and (b) an
+ASCII chart mirroring the paper's bar/line figure.  ``render_table`` also
+emits GitHub-flavoured markdown for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "ascii_series", "ascii_bar_chart"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render rows as an aligned text (or markdown) table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    if markdown:
+        head = "| " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)) + " |"
+        sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+        body = [
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+            for row in cells
+        ]
+        return "\n".join([head, sep, *body])
+    head = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells]
+    return "\n".join([head, sep, *body])
+
+
+def ascii_series(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    x_label: str = "p",
+    y_label: str = "time",
+    width: int = 48,
+) -> str:
+    """Render named {x: y} series as horizontal bars grouped by x.
+
+    The rendering mirrors the paper's line figures: one block per x value,
+    one proportional bar per series, so who-wins-where is visible at a
+    glance in a terminal.
+    """
+    if not series:
+        return "(no data)"
+    all_y = [y for s in series.values() for y in s.values()]
+    y_max = max(all_y) if all_y else 1.0
+    name_w = max(len(n) for n in series)
+    xs = sorted({x for s in series.values() for x in s})
+    lines = [f"{y_label} by {x_label} (bar ∝ value, max {_fmt(y_max)})"]
+    for x in xs:
+        lines.append(f"{x_label}={x}")
+        for name, s in series.items():
+            if x not in s:
+                continue
+            y = s[x]
+            bar = "#" * max(1, round(width * y / y_max)) if y_max > 0 else ""
+            lines.append(f"  {name.ljust(name_w)} |{bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float], *, width: int = 48, unit: str = ""
+) -> str:
+    """Render a flat name -> value mapping as a bar chart."""
+    if not values:
+        return "(no data)"
+    v_max = max(values.values())
+    name_w = max(len(n) for n in values)
+    lines = []
+    for name, v in values.items():
+        bar = "#" * max(1, round(width * v / v_max)) if v_max > 0 else ""
+        lines.append(f"{name.ljust(name_w)} |{bar} {_fmt(v)}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,37 @@
+"""Speedup and efficiency series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["speedup_series", "efficiency_series", "crossover_point"]
+
+
+def speedup_series(times: Mapping[int, float]) -> dict[int, float]:
+    """Speedup relative to the entry at the smallest worker count."""
+    if not times:
+        return {}
+    base_p = min(times)
+    base = times[base_p]
+    return {p: base / t for p, t in sorted(times.items())}
+
+
+def efficiency_series(times: Mapping[int, float]) -> dict[int, float]:
+    """Parallel efficiency: speedup(p) / p."""
+    return {p: s / p for p, s in speedup_series(times).items()}
+
+
+def crossover_point(
+    a: Mapping[int, float], b: Mapping[int, float], ps: Sequence[int] | None = None
+) -> int | None:
+    """Smallest worker count where series ``b`` becomes faster than ``a``.
+
+    Used to locate the paper's "around 8 threads Boruvka overtakes
+    LLP-Prim" crossover in the regenerated Fig 3 data.  Returns ``None``
+    when ``b`` never wins.
+    """
+    keys = sorted(set(a) & set(b)) if ps is None else list(ps)
+    for p in keys:
+        if b[p] < a[p]:
+            return p
+    return None

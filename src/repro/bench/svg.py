@@ -1,0 +1,246 @@
+"""Minimal SVG chart rendering (no plotting dependency available offline).
+
+Renders the experiment series as real line/bar charts: axes, ticks,
+legends, and log-scale support — enough to regenerate the paper's figures
+as standalone ``.svg`` files from any
+:class:`~repro.bench.harness.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart", "save_experiment_figures"]
+
+_W, _H = 640, 400
+_ML, _MR, _MT, _MB = 70, 150, 40, 50  # margins (right holds the legend)
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def line_chart(
+    series: Mapping[str, Mapping[float, float]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named ``{x: y}`` series as an SVG line chart (returns SVG text)."""
+    pts = [(x, y) for s in series.values() for x, y in s.items()]
+    if not pts:
+        return _empty_svg(title)
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    sx = _Scale(min(xs), max(xs), _ML, _W - _MR, log_x)
+    sy = _Scale(min(ys), max(ys), _H - _MB, _MT, log_y)
+
+    parts = [_header(title, x_label, y_label, sx, sy)]
+    for idx, (name, s) in enumerate(series.items()):
+        color = _COLORS[idx % len(_COLORS)]
+        coords = sorted(s.items())
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(coords)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in coords:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" fill="{color}"/>'
+            )
+        ly = _MT + 16 + 18 * idx
+        parts.append(
+            f'<rect x="{_W - _MR + 10}" y="{ly - 9}" width="12" height="12" fill="{color}"/>'
+            f'<text x="{_W - _MR + 27}" y="{ly + 1}" font-size="12">{_esc(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    title: str = "",
+    y_label: str = "",
+    log_y: bool = False,
+) -> str:
+    """Render ``{group: {series: value}}`` as grouped bars (Fig 2 style)."""
+    values = [v for g in groups.values() for v in g.values()]
+    if not values:
+        return _empty_svg(title)
+    names: list[str] = []
+    for g in groups.values():
+        for name in g:
+            if name not in names:
+                names.append(name)
+    sy = _Scale(min(values) if log_y else 0.0, max(values), _H - _MB, _MT, log_y)
+    plot_w = _W - _ML - _MR
+    gw = plot_w / max(len(groups), 1)
+    bw = gw / (len(names) + 1)
+
+    parts = [_header(title, "", y_label, None, sy)]
+    for gi, (gname, g) in enumerate(groups.items()):
+        gx = _ML + gi * gw
+        for si, sname in enumerate(names):
+            if sname not in g:
+                continue
+            v = g[sname]
+            color = _COLORS[si % len(_COLORS)]
+            y = sy(v)
+            parts.append(
+                f'<rect x="{gx + bw * (si + 0.5):.1f}" y="{y:.1f}" '
+                f'width="{bw * 0.9:.1f}" height="{_H - _MB - y:.1f}" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{gx + gw / 2:.1f}" y="{_H - _MB + 18}" font-size="12" '
+            f'text-anchor="middle">{_esc(gname)}</text>'
+        )
+    for si, sname in enumerate(names):
+        color = _COLORS[si % len(_COLORS)]
+        ly = _MT + 16 + 18 * si
+        parts.append(
+            f'<rect x="{_W - _MR + 10}" y="{ly - 9}" width="12" height="12" fill="{color}"/>'
+            f'<text x="{_W - _MR + 27}" y="{ly + 1}" font-size="12">{_esc(sname)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_experiment_figures(result, out_dir: str | Path) -> list[Path]:
+    """Render every series of an ExperimentResult into ``out_dir``.
+
+    Series whose values span more than two decades get a log y axis.
+    Returns the written paths.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for title, series in result.series.items():
+        ys = [y for s in series.values() for y in s.values() if y > 0]
+        log_y = bool(ys) and max(ys) / min(ys) > 100
+        svg = line_chart(
+            series, title=title, x_label="workers p", y_label="", log_y=log_y
+        )
+        path = out_dir / (_slug(f"{result.name}-{title}") + ".svg")
+        path.write_text(svg, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+# ----------------------------------------------------------------------
+class _Scale:
+    """Affine (or log) data -> pixel mapping with tick generation."""
+
+    def __init__(self, lo: float, hi: float, p_lo: float, p_hi: float, log: bool):
+        self.log = log
+        if log:
+            lo = max(lo, 1e-300)
+            hi = max(hi, lo * 1.0001)
+            self.lo, self.hi = math.log10(lo), math.log10(hi)
+        else:
+            if hi <= lo:
+                hi = lo + 1.0
+            self.lo, self.hi = float(lo), float(hi)
+        self.p_lo, self.p_hi = float(p_lo), float(p_hi)
+
+    def __call__(self, v: float) -> float:
+        x = math.log10(max(v, 1e-300)) if self.log else float(v)
+        frac = (x - self.lo) / (self.hi - self.lo)
+        return self.p_lo + frac * (self.p_hi - self.p_lo)
+
+    def ticks(self, n: int = 5) -> list[float]:
+        if self.log:
+            lo, hi = math.floor(self.lo), math.ceil(self.hi)
+            return [10.0 ** k for k in range(int(lo), int(hi) + 1)]
+        step = _nice_step((self.hi - self.lo) / max(n, 1))
+        first = math.ceil(self.lo / step) * step
+        out = []
+        t = first
+        while t <= self.hi + 1e-12:
+            out.append(t)
+            t += step
+        return out
+
+
+def _nice_step(raw: float) -> float:
+    if raw <= 0:
+        return 1.0
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 5, 10):
+        if mult * mag >= raw:
+            return mult * mag
+    return 10 * mag
+
+
+def _header(title, x_label, y_label, sx, sy) -> str:
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2}" y="24" font-size="15" text-anchor="middle">{_esc(title)}</text>',
+        # axes
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" stroke="black"/>',
+        f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" y2="{_H - _MB}" stroke="black"/>',
+    ]
+    if x_label:
+        parts.append(
+            f'<text x="{(_ML + _W - _MR) / 2}" y="{_H - 12}" font-size="12" '
+            f'text-anchor="middle">{_esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{(_MT + _H - _MB) / 2}" font-size="12" '
+            f'text-anchor="middle" transform="rotate(-90 16 {(_MT + _H - _MB) / 2})">'
+            f"{_esc(y_label)}</text>"
+        )
+    if sy is not None:
+        for t in sy.ticks():
+            y = sy(t)
+            parts.append(
+                f'<line x1="{_ML - 4}" y1="{y:.1f}" x2="{_ML}" y2="{y:.1f}" stroke="black"/>'
+                f'<text x="{_ML - 8}" y="{y + 4:.1f}" font-size="10" '
+                f'text-anchor="end">{_fmt_tick(t)}</text>'
+                f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" y2="{y:.1f}" '
+                f'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+    if sx is not None:
+        for t in sx.ticks():
+            x = sx(t)
+            parts.append(
+                f'<line x1="{x:.1f}" y1="{_H - _MB}" x2="{x:.1f}" y2="{_H - _MB + 4}" stroke="black"/>'
+                f'<text x="{x:.1f}" y="{_H - _MB + 16}" font-size="10" '
+                f'text-anchor="middle">{_fmt_tick(t)}</text>'
+            )
+    return "\n".join(parts)
+
+
+def _fmt_tick(t: float) -> str:
+    if t == 0:
+        return "0"
+    if abs(t) >= 1000 or abs(t) < 0.01:
+        return f"{t:.0e}"
+    return f"{t:g}"
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _slug(text: str) -> str:
+    out = "".join(c if c.isalnum() or c in "-_" else "-" for c in text.lower())
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out.strip("-")[:80]
+
+
+def _empty_svg(title: str) -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}">'
+        f'<text x="20" y="30">{_esc(title)}: no data</text></svg>'
+    )

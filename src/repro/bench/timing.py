@@ -1,0 +1,51 @@
+"""Wall-clock timing with repeats.
+
+Single-threaded comparisons (Fig 2) use real wall time; following standard
+benchmarking practice the *minimum* over repeats is the headline number
+(least noise-contaminated), with mean/max kept for dispersion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["TimingResult", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall times of repeated runs of one callable."""
+
+    best: float
+    mean: float
+    worst: float
+    repeats: int
+    result: Any  # return value of the final run
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.best * 1e3:.2f} ms (best of {self.repeats})"
+
+
+def time_callable(
+    fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 0
+) -> TimingResult:
+    """Time ``fn()`` over ``repeats`` runs (after ``warmup`` discarded runs)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return TimingResult(
+        best=min(times),
+        mean=sum(times) / len(times),
+        worst=max(times),
+        repeats=repeats,
+        result=result,
+    )

@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mst``.
+
+Subcommands
+-----------
+``run``
+    Regenerate a paper experiment (``table1``, ``fig2``, ``fig3``,
+    ``fig4``, the ablations, or ``all``) and print its report.
+``mst``
+    Compute the MSF of a generated or loaded graph with a chosen
+    algorithm and print summary statistics.
+``info``
+    Show registered algorithms, datasets, and version information.
+
+Examples
+--------
+::
+
+    python -m repro run fig3 --scale 13 --threads 1,2,4,8,16,32
+    python -m repro run all --json-dir results/
+    python -m repro mst --algo llp-prim --dataset usa-road --scale 12
+    python -m repro mst --algo llp-boruvka --input graph.gr --workers 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mst",
+        description="Reproduction of 'Parallel MST via Lattice Linear Predicate Detection'",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser("run", help="regenerate a paper experiment")
+    runp.add_argument("experiment", help="table1|fig2|fig3|fig4|ablation-*|all")
+    runp.add_argument("--scale", type=int, default=None, help="log2 vertex count")
+    runp.add_argument("--rmat-scale", type=int, default=None,
+                      help="log2 vertex count for the graph500 dataset")
+    runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument("--repeats", type=int, default=3)
+    runp.add_argument("--threads", type=_int_list, default=None,
+                      help="comma-separated worker counts (fig3)")
+    runp.add_argument("--json-dir", type=Path, default=None,
+                      help="also write <experiment>.json files here")
+    runp.add_argument("--svg-dir", type=Path, default=None,
+                      help="also render each experiment's series as .svg charts")
+    runp.add_argument("--markdown", action="store_true",
+                      help="render tables as GitHub markdown")
+
+    mstp = sub.add_parser("mst", help="compute an MSF")
+    mstp.add_argument("--algo", default="llp-prim", help="algorithm name (see 'info')")
+    src = mstp.add_mutually_exclusive_group()
+    src.add_argument("--dataset", default="usa-road", help="registered dataset name")
+    src.add_argument("--input", type=Path, default=None,
+                     help="graph file (.gr DIMACS, .mtx MatrixMarket, .tsv, .npz)")
+    mstp.add_argument("--scale", type=int, default=None)
+    mstp.add_argument("--seed", type=int, default=0)
+    mstp.add_argument("--workers", type=int, default=1,
+                      help="simulated workers for parallel algorithms")
+    mstp.add_argument("--verify", action="store_true",
+                      help="verify the output against the Kruskal oracle")
+
+    profp = sub.add_parser("profile", help="profile one algorithm run (cProfile hotspots)")
+    profp.add_argument("--algo", default="llp-prim")
+    profp.add_argument("--dataset", default="usa-road")
+    profp.add_argument("--scale", type=int, default=None)
+    profp.add_argument("--seed", type=int, default=0)
+    profp.add_argument("--workers", type=int, default=1)
+    profp.add_argument("--top", type=int, default=15, help="hotspots to show")
+
+    cmpp = sub.add_parser("compare", help="diff two saved experiment JSON dumps")
+    cmpp.add_argument("old", type=Path)
+    cmpp.add_argument("new", type=Path)
+    cmpp.add_argument("--threshold", type=float, default=5.0,
+                      help="report series points moving more than this percent")
+
+    sub.add_parser("info", help="list algorithms and datasets")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "mst":
+        return _cmd_mst(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "info":
+        return _cmd_info()
+    raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"available: {', '.join(ALL_EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        fn = ALL_EXPERIMENTS[name]
+        kwargs = _experiment_kwargs(name, args)
+        t0 = time.perf_counter()
+        result = fn(**kwargs)
+        elapsed = time.perf_counter() - t0
+        print(result.render(markdown=args.markdown))
+        print(f"\n[{name} regenerated in {elapsed:.1f}s]\n")
+        if args.json_dir is not None:
+            args.json_dir.mkdir(parents=True, exist_ok=True)
+            result.save(args.json_dir / f"{name}.json")
+        if args.svg_dir is not None:
+            from repro.bench.svg import save_experiment_figures
+
+            for path in save_experiment_figures(result, args.svg_dir):
+                print(f"[figure written: {path}]")
+    return 0
+
+
+def _experiment_kwargs(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if name == "table1":
+        kwargs.update(road_scale=args.scale, rmat_scale=args.rmat_scale)
+    elif name == "fig2":
+        kwargs.update(
+            road_scale=args.scale, rmat_scale=args.rmat_scale, repeats=args.repeats
+        )
+    elif name == "fig3":
+        kwargs.update(scale=args.scale)
+        if args.threads:
+            kwargs.update(threads=args.threads)
+    elif name == "fig4":
+        kwargs.update(road_scale=args.scale, rmat_scale=args.rmat_scale)
+    elif name in ("ablation-early-fixing", "ablation-heaps", "ablation-weights"):
+        kwargs.update(scale=args.scale, repeats=args.repeats)
+    elif name == "ablation-pointer-jumping":
+        kwargs.update(scale=args.scale)
+    elif name == "seed-stability":
+        kwargs.pop("seed", None)
+        kwargs.update(scale=args.scale)
+        if args.threads:
+            kwargs.update(threads=args.threads)
+    elif name == "gil-exhibit":
+        kwargs.update(scale=args.scale)
+        if args.threads:
+            kwargs.update(threads=args.threads)
+    elif name == "operation-census":
+        kwargs.update(scale=args.scale, rmat_scale=args.rmat_scale)
+    elif name in ("calibration", "kkt-comparison"):
+        kwargs.update(scale=args.scale, repeats=args.repeats)
+    elif name == "scaling-sizes":
+        if args.scale:
+            kwargs.update(scales=tuple(range(max(8, args.scale - 3), args.scale + 1)))
+    return kwargs
+
+
+def _cmd_mst(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import build_dataset
+    from repro.mst.registry import PARALLEL_ALGORITHMS, get_algorithm
+    from repro.runtime.simulated import SimulatedBackend
+
+    if args.input is not None:
+        g = _load_graph(args.input)
+        source = str(args.input)
+    else:
+        g = build_dataset(args.dataset, args.scale, args.seed)
+        source = f"{args.dataset} (scale={args.scale or 'default'}, seed={args.seed})"
+    algo = get_algorithm(args.algo)
+    backend = SimulatedBackend(args.workers) if args.algo in PARALLEL_ALGORITHMS else None
+
+    t0 = time.perf_counter()
+    result = algo(g, backend=backend)
+    elapsed = time.perf_counter() - t0
+
+    print(f"graph:     {source}  (n={g.n_vertices}, m={g.n_edges})")
+    print(f"algorithm: {args.algo}")
+    print(f"forest:    {result.n_edges} edges, {result.n_components} component(s)")
+    print(f"weight:    {result.total_weight:.6f}")
+    print(f"wall time: {elapsed * 1e3:.2f} ms")
+    if backend is not None:
+        print(f"modelled:  {backend.modelled_time() * 1e3:.3f} ms at p={args.workers}")
+    if result.stats:
+        stats = ", ".join(f"{k}={v}" for k, v in sorted(result.stats.items()))
+        print(f"stats:     {stats}")
+    if args.verify:
+        from repro.mst.verify import verify_minimum
+
+        verify_minimum(g, result)
+        print("verified:  edge set equals the unique MSF (Kruskal oracle)")
+    return 0
+
+
+def _load_graph(path: Path):
+    from repro.graphs.io import read_dimacs, read_edge_tsv, read_matrix_market
+    from repro.graphs.io.binary import load_npz
+
+    suffix = path.suffix.lower()
+    if suffix == ".gr":
+        return read_dimacs(path)
+    if suffix == ".mtx":
+        return read_matrix_market(path)
+    if suffix in (".tsv", ".txt"):
+        return read_edge_tsv(path)
+    if suffix == ".npz":
+        return load_npz(path)
+    raise SystemExit(f"unsupported graph format {suffix!r} (use .gr/.mtx/.tsv/.npz)")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.datasets import build_dataset
+    from repro.bench.profiling import profile_callable
+    from repro.mst.registry import PARALLEL_ALGORITHMS, get_algorithm
+    from repro.runtime.simulated import SimulatedBackend
+
+    g = build_dataset(args.dataset, args.scale, args.seed)
+    g.py_adjacency
+    g.min_rank_per_vertex
+    algo = get_algorithm(args.algo)
+    backend = (
+        SimulatedBackend(args.workers) if args.algo in PARALLEL_ALGORITHMS else None
+    )
+    report = profile_callable(lambda: algo(g, backend=backend))
+    print(f"profiling {args.algo} on {args.dataset} "
+          f"(n={g.n_vertices}, m={g.n_edges})\n")
+    print(report.render(limit=args.top))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.compare import compare_results, load_result_json
+
+    report = compare_results(
+        load_result_json(args.old),
+        load_result_json(args.new),
+        threshold_pct=args.threshold,
+    )
+    print(report.render())
+    return 1 if report.qualitative_flags else 0
+
+
+def _cmd_info() -> int:
+    from repro.bench.datasets import DATASETS
+    from repro.mst.registry import available_algorithms
+
+    print(f"repro {__version__}")
+    print("\nalgorithms:")
+    for name in available_algorithms():
+        print(f"  {name}")
+    print("\ndatasets:")
+    for name, ds in sorted(DATASETS.items()):
+        print(f"  {name}: {ds.paper_name} [{ds.kind}], default scale {ds.default_scale}")
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    print("\nexperiments: " + " ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        return [int(t) for t in text.split(",") if t]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from exc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

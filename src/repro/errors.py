@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses group failures by subsystem:
+graph construction and validation, algorithm preconditions, the LLP engine,
+the parallel runtime, and I/O.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or violates a structural precondition."""
+
+
+class ValidationError(GraphError):
+    """A structural invariant check on a graph representation failed."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An algorithm requiring a connected graph was given a disconnected one."""
+
+
+class WeightError(GraphError):
+    """Edge weights violate a precondition (e.g. NaN, non-finite)."""
+
+
+class AlgorithmError(ReproError):
+    """An algorithm reached an invalid internal state."""
+
+
+class LLPError(ReproError):
+    """The LLP engine detected a protocol violation.
+
+    Raised, for example, when ``advance`` fails to strictly increase a
+    forbidden index (which would make the engine loop forever), or when the
+    state vector would exceed the lattice's top element for a problem where
+    that indicates infeasibility.
+    """
+
+
+class InfeasibleError(LLPError):
+    """The predicate has no satisfying element below the lattice top."""
+
+
+class BackendError(ReproError):
+    """The parallel runtime backend failed or was misused."""
+
+
+class GraphIOError(ReproError):
+    """A graph file could not be parsed or written."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness configuration is invalid."""

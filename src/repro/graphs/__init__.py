@@ -1,0 +1,29 @@
+"""Graph substrate: representations, builders, generators, and I/O.
+
+The central types are :class:`~repro.graphs.edgelist.EdgeList` (a canonical
+undirected weighted edge list backed by NumPy arrays) and
+:class:`~repro.graphs.csr.CSRGraph` (a compressed-sparse-row adjacency view
+with per-half-edge weights and undirected edge identifiers).
+
+All MST algorithms in :mod:`repro.mst` consume :class:`CSRGraph`.
+"""
+
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.csr import CSRGraph
+from repro.graphs.builder import GraphBuilder, from_edges, complete_graph_edges
+from repro.graphs.weights import ensure_unique_weights, weight_order_ranks
+from repro.graphs.subgraph import Subgraph, induced_subgraph, edge_subgraph, largest_component
+
+__all__ = [
+    "EdgeList",
+    "CSRGraph",
+    "GraphBuilder",
+    "from_edges",
+    "complete_graph_edges",
+    "ensure_unique_weights",
+    "weight_order_ranks",
+    "Subgraph",
+    "induced_subgraph",
+    "edge_subgraph",
+    "largest_component",
+]

@@ -1,0 +1,245 @@
+"""Compressed-sparse-row adjacency for undirected weighted graphs.
+
+A :class:`CSRGraph` stores each undirected edge as two directed half-edges.
+Four contiguous NumPy arrays hold the structure (structure-of-arrays, cache
+friendly, zero per-edge Python objects):
+
+``indptr``
+    ``indptr[v] .. indptr[v+1]`` delimits the half-edges out of ``v``.
+``indices``
+    Neighbor vertex of each half-edge.
+``weights``
+    Weight of each half-edge (duplicated across the two directions).
+``edge_ids``
+    Index of the *undirected* edge in the originating
+    :class:`~repro.graphs.edgelist.EdgeList`; the two half-edges of an edge
+    share the id.  MST outputs are expressed as sets of these ids.
+
+The paper assumes all edge weights are distinct ("they can be made unique by
+incorporating identities of its endpoints").  We realise that rule once, at
+construction: :attr:`ranks` assigns every undirected edge a unique ``int64``
+rank obtained by sorting on ``(weight, edge_id)``.  Algorithms compare ranks
+— a strict total order consistent with the weights — so ties never arise,
+while reported tree weights use the original ``weights``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.weights import weight_order_ranks
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable CSR adjacency view of an undirected weighted graph."""
+
+    __slots__ = (
+        "n_vertices",
+        "n_edges",
+        "indptr",
+        "indices",
+        "weights",
+        "edge_ids",
+        "half_ranks",
+        "edge_u",
+        "edge_v",
+        "edge_w",
+        "ranks",
+        "__dict__",
+    )
+
+    def __init__(
+        self,
+        n_vertices: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        edge_ids: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        edge_w: np.ndarray,
+    ) -> None:
+        self.n_vertices = int(n_vertices)
+        self.n_edges = int(edge_u.size)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.edge_ids = edge_ids
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.edge_w = edge_w
+        # Unique total order over undirected edges (weight, then edge id).
+        self.ranks = weight_order_ranks(edge_w)
+        self.half_ranks = self.ranks[edge_ids] if edge_ids.size else np.empty(0, np.int64)
+        for arr in (indptr, indices, weights, edge_ids, edge_u, edge_v, edge_w):
+            arr.setflags(write=False)
+        self.ranks.setflags(write=False)
+        self.half_ranks.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edgelist(edges: EdgeList) -> "CSRGraph":
+        """Build the CSR view of an :class:`EdgeList`."""
+        n = edges.n_vertices
+        m = edges.n_edges
+        # Two half-edges per undirected edge.
+        src = np.concatenate([edges.u, edges.v]) if m else np.empty(0, np.int64)
+        dst = np.concatenate([edges.v, edges.u]) if m else np.empty(0, np.int64)
+        eid = (
+            np.concatenate([np.arange(m, dtype=np.int64)] * 2)
+            if m
+            else np.empty(0, np.int64)
+        )
+        w = np.concatenate([edges.w, edges.w]) if m else np.empty(0, np.float64)
+
+        # Counting sort by source vertex, neighbors sorted within a vertex.
+        order = np.lexsort((dst, src)) if m else np.empty(0, np.int64)
+        src, dst, eid, w = src[order], dst[order], eid[order], w[order]
+        counts = np.bincount(src, minlength=n) if m else np.zeros(n, np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(n, indptr, dst, w, eid, edges.u, edges.v, edges.w)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor vertices of ``v`` (sorted)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_weights(self, v: int) -> np.ndarray:
+        """Weights of the half-edges out of ``v`` (parallel to neighbors)."""
+        return self.weights[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_edge_ids(self, v: int) -> np.ndarray:
+        """Undirected edge ids of half-edges out of ``v``."""
+        return self.edge_ids[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_ranks(self, v: int) -> np.ndarray:
+        """Unique weight-ranks of half-edges out of ``v``."""
+        return self.half_ranks[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of incident edges of ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        """Degree of every vertex."""
+        d = np.diff(self.indptr)
+        d.setflags(write=False)
+        return d
+
+    @cached_property
+    def min_rank_per_vertex(self) -> np.ndarray:
+        """For each vertex, the rank of its minimum-weight incident edge.
+
+        Vertices with no incident edge get ``n_edges`` (an impossible rank,
+        larger than any real one).  This is the ``mwe(v)`` oracle that both
+        LLP-Prim (the MWE early-fixing rule) and LLP-Boruvka (per-vertex
+        minimum edge selection) rely on; the paper notes it "can be computed
+        when the graph is input".
+        """
+        out = np.full(self.n_vertices, self.n_edges, dtype=np.int64)
+        if self.half_ranks.size:
+            src = self.half_edge_sources
+            np.minimum.at(out, src, self.half_ranks)
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def min_edge_per_vertex(self) -> np.ndarray:
+        """For each vertex, the undirected edge id of its MWE (or -1)."""
+        out = np.full(self.n_vertices, -1, dtype=np.int64)
+        mre = self.min_rank_per_vertex
+        has = mre < self.n_edges
+        if has.any():
+            out[has] = self.edge_by_rank[mre[has]]
+        out.setflags(write=False)
+        return out
+
+    @cached_property
+    def edge_by_rank(self) -> np.ndarray:
+        """Inverse of :attr:`ranks`: edge id holding each rank."""
+        inv = np.empty(self.n_edges, dtype=np.int64)
+        inv[self.ranks] = np.arange(self.n_edges, dtype=np.int64)
+        inv.setflags(write=False)
+        return inv
+
+    @cached_property
+    def py_adjacency(self) -> tuple[list, list, list]:
+        """Adjacency as nested Python lists: (neighbors, ranks, edge_ids).
+
+        The sequential MST algorithms iterate edges in tight Python loops;
+        indexing Python lists is several times faster than scalar-indexing
+        NumPy arrays, and all single-thread comparisons (Fig 2) must share
+        the same iteration idiom for their relative constants to reflect
+        algorithmic work.  Built once per graph and cached.
+        """
+        nbrs: list = []
+        ranks: list = []
+        eids: list = []
+        ind = self.indptr.tolist()
+        all_nbrs = self.indices.tolist()
+        all_ranks = self.half_ranks.tolist()
+        all_eids = self.edge_ids.tolist()
+        for v in range(self.n_vertices):
+            s, e = ind[v], ind[v + 1]
+            nbrs.append(all_nbrs[s:e])
+            ranks.append(all_ranks[s:e])
+            eids.append(all_eids[s:e])
+        return nbrs, ranks, eids
+
+    @cached_property
+    def half_edge_sources(self) -> np.ndarray:
+        """Source vertex of each half-edge (expanded from ``indptr``)."""
+        src = np.repeat(
+            np.arange(self.n_vertices, dtype=np.int64), np.diff(self.indptr)
+        )
+        src.setflags(write=False)
+        return src
+
+    def edge_endpoints(self, edge_id: int) -> Tuple[int, int]:
+        """Endpoints ``(u, v)`` with ``u < v`` of an undirected edge."""
+        return int(self.edge_u[edge_id]), int(self.edge_v[edge_id])
+
+    def edge_weight(self, edge_id: int) -> float:
+        """Weight of an undirected edge."""
+        return float(self.edge_w[edge_id])
+
+    def other_endpoint(self, edge_id: int, v: int) -> int:
+        """The endpoint of ``edge_id`` that is not ``v``."""
+        u, w = self.edge_endpoints(edge_id)
+        if v == u:
+            return w
+        if v == w:
+            return u
+        raise GraphError(f"vertex {v} is not an endpoint of edge {edge_id}")
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate undirected edges as ``(u, v, w)`` triples."""
+        for i in range(self.n_edges):
+            yield int(self.edge_u[i]), int(self.edge_v[i]), float(self.edge_w[i])
+
+    def to_edgelist(self) -> EdgeList:
+        """Round-trip back to an :class:`EdgeList`."""
+        return EdgeList.from_arrays(
+            self.n_vertices, self.edge_u, self.edge_v, self.edge_w, dedup=False
+        )
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all undirected edge weights."""
+        return float(self.edge_w.sum()) if self.n_edges else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n_vertices}, m={self.n_edges})"

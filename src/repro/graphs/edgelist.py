@@ -1,0 +1,186 @@
+"""Canonical undirected weighted edge lists.
+
+An :class:`EdgeList` stores each undirected edge exactly once in canonical
+orientation ``u < v`` as three parallel NumPy arrays (structure-of-arrays,
+per the HPC idiom: contiguous typed columns rather than an array of edge
+objects).  It is the interchange format between generators, file readers,
+and the CSR builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, WeightError
+
+__all__ = ["EdgeList"]
+
+_VERTEX_DTYPE = np.int64
+_WEIGHT_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """An immutable list of undirected weighted edges.
+
+    Attributes
+    ----------
+    n_vertices:
+        Number of vertices; vertex ids are ``0 .. n_vertices - 1``.
+    u, v:
+        Endpoint arrays with ``u[i] < v[i]`` for every edge ``i``.
+    w:
+        Edge weights (float64, finite).
+    """
+
+    n_vertices: int
+    u: np.ndarray
+    v: np.ndarray
+    w: np.ndarray
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_arrays(
+        n_vertices: int,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+        *,
+        dedup: bool = True,
+        validate: bool = True,
+    ) -> "EdgeList":
+        """Build a canonical edge list from raw endpoint/weight arrays.
+
+        Edges are canonicalised to ``u < v`` orientation.  Self loops are
+        dropped.  When ``dedup`` is true, parallel edges are collapsed
+        keeping the minimum weight (the only weight that can ever appear in
+        an MST).
+        """
+        u = np.asarray(u, dtype=_VERTEX_DTYPE).ravel()
+        v = np.asarray(v, dtype=_VERTEX_DTYPE).ravel()
+        w = np.asarray(w, dtype=_WEIGHT_DTYPE).ravel()
+        if not (u.shape == v.shape == w.shape):
+            raise GraphError(
+                f"endpoint/weight arrays must match: {u.shape}, {v.shape}, {w.shape}"
+            )
+        if n_vertices < 0:
+            raise GraphError(f"n_vertices must be >= 0, got {n_vertices}")
+        if u.size:
+            lo = min(int(u.min()), int(v.min()))
+            hi = max(int(u.max()), int(v.max()))
+            if lo < 0 or hi >= n_vertices:
+                raise GraphError(
+                    f"vertex ids must lie in [0, {n_vertices}); saw [{lo}, {hi}]"
+                )
+            if not np.isfinite(w).all():
+                raise WeightError("edge weights must be finite")
+
+        # Canonical orientation and self-loop removal.
+        lo_end = np.minimum(u, v)
+        hi_end = np.maximum(u, v)
+        keep = lo_end != hi_end
+        lo_end, hi_end, w = lo_end[keep], hi_end[keep], w[keep]
+
+        if dedup and lo_end.size:
+            # Sort by (u, v, w) so the first edge of each (u, v) group is the
+            # minimum-weight parallel edge; then keep group leaders.
+            order = np.lexsort((w, hi_end, lo_end))
+            lo_end, hi_end, w = lo_end[order], hi_end[order], w[order]
+            leader = np.empty(lo_end.size, dtype=bool)
+            leader[0] = True
+            np.not_equal(lo_end[1:], lo_end[:-1], out=leader[1:])
+            leader[1:] |= hi_end[1:] != hi_end[:-1]
+            lo_end, hi_end, w = lo_end[leader], hi_end[leader], w[leader]
+
+        for arr in (lo_end, hi_end, w):
+            arr.setflags(write=False)
+        return EdgeList(n_vertices, lo_end, hi_end, w, _validated=validate)
+
+    @staticmethod
+    def from_pairs(
+        n_vertices: int,
+        pairs: Iterable[Tuple[int, int, float]],
+    ) -> "EdgeList":
+        """Build from an iterable of ``(u, v, weight)`` triples."""
+        triples = list(pairs)
+        if not triples:
+            empty = np.empty(0, dtype=_VERTEX_DTYPE)
+            return EdgeList.from_arrays(
+                n_vertices, empty, empty.copy(), np.empty(0, dtype=_WEIGHT_DTYPE)
+            )
+        arr = np.asarray(triples, dtype=_WEIGHT_DTYPE)
+        return EdgeList.from_arrays(
+            n_vertices,
+            arr[:, 0].astype(_VERTEX_DTYPE),
+            arr[:, 1].astype(_VERTEX_DTYPE),
+            arr[:, 2],
+        )
+
+    @staticmethod
+    def empty(n_vertices: int = 0) -> "EdgeList":
+        """An edge list with ``n_vertices`` isolated vertices."""
+        e = np.empty(0, dtype=_VERTEX_DTYPE)
+        return EdgeList.from_arrays(
+            n_vertices, e, e.copy(), np.empty(0, dtype=_WEIGHT_DTYPE)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self.u.size)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(self.w.sum()) if self.w.size else 0.0
+
+    def __len__(self) -> int:
+        return self.n_edges
+
+    def __iter__(self) -> Iterator[Tuple[int, int, float]]:
+        for i in range(self.n_edges):
+            yield int(self.u[i]), int(self.v[i]), float(self.w[i])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeList(n={self.n_vertices}, m={self.n_edges})"
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def with_weights(self, w: np.ndarray) -> "EdgeList":
+        """Return a copy with replaced weights (same topology)."""
+        w = np.asarray(w, dtype=_WEIGHT_DTYPE)
+        if w.shape != self.w.shape:
+            raise GraphError(
+                f"weight array shape {w.shape} does not match edge count {self.w.shape}"
+            )
+        if w.size and not np.isfinite(w).all():
+            raise WeightError("edge weights must be finite")
+        w = w.copy()
+        w.setflags(write=False)
+        return EdgeList(self.n_vertices, self.u, self.v, w, _validated=self._validated)
+
+    def subset(self, mask: np.ndarray) -> "EdgeList":
+        """Return the edge list restricted to edges where ``mask`` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.u.shape:
+            raise GraphError("mask shape does not match edge count")
+        return EdgeList.from_arrays(
+            self.n_vertices, self.u[mask], self.v[mask], self.w[mask], dedup=False
+        )
+
+    def has_unique_weights(self) -> bool:
+        """True when no two edges share a weight."""
+        if self.n_edges <= 1:
+            return True
+        s = np.sort(self.w)
+        return bool((s[1:] != s[:-1]).all())

@@ -1,0 +1,50 @@
+"""Synthetic graph generators.
+
+Two generators stand in for the paper's datasets (DESIGN.md §2):
+:func:`~repro.graphs.generators.rmat.rmat_graph` for graph500 Kronecker
+instances and :func:`~repro.graphs.generators.road.road_network` for the
+USA road network.  The remaining families support tests, examples, and
+ablations.
+"""
+
+from repro.graphs.generators.rmat import rmat_graph, rmat_edgelist
+from repro.graphs.generators.road import road_network, road_edgelist
+from repro.graphs.generators.random_graphs import (
+    gnm_random_graph,
+    random_geometric_graph,
+    random_weighted_tree,
+    random_connected_graph,
+)
+from repro.graphs.generators.grid import grid_graph, torus_graph
+from repro.graphs.generators.delaunay import delaunay_graph, delaunay_edgelist
+from repro.graphs.generators.barabasi import barabasi_albert_graph
+from repro.graphs.generators.special import (
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    binary_tree_graph,
+    caterpillar_graph,
+)
+
+__all__ = [
+    "rmat_graph",
+    "rmat_edgelist",
+    "road_network",
+    "road_edgelist",
+    "gnm_random_graph",
+    "random_geometric_graph",
+    "random_weighted_tree",
+    "random_connected_graph",
+    "grid_graph",
+    "torus_graph",
+    "delaunay_graph",
+    "delaunay_edgelist",
+    "barabasi_albert_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree_graph",
+    "caterpillar_graph",
+]

@@ -1,0 +1,76 @@
+"""Delaunay-triangulation graphs — planar near-road morphology.
+
+An alternative stand-in for road-like networks: vertices are random
+points, edges the Delaunay triangulation (always planar and connected,
+average degree < 6), weights the Euclidean distances times an optional
+congestion factor.  Compared with the lattice-based
+:mod:`~repro.graphs.generators.road` generator this produces irregular
+planar meshes closer to inter-city road topology; the MST of a Delaunay
+triangulation is also the Euclidean MST of the points, which gives tests
+an independent geometric oracle.
+
+Requires SciPy (``scipy.spatial.Delaunay``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.rng import streams
+from repro.graphs.weights import ensure_unique_weights
+
+__all__ = ["delaunay_edgelist", "delaunay_graph"]
+
+
+def delaunay_edgelist(
+    n: int,
+    *,
+    seed: int = 0,
+    congestion_sigma: float = 0.0,
+    points: np.ndarray | None = None,
+) -> EdgeList:
+    """Delaunay triangulation of ``n`` random unit-square points.
+
+    ``congestion_sigma > 0`` multiplies each distance by a lognormal
+    factor (irregular travel times); 0 keeps pure Euclidean weights.
+    ``points`` overrides the random point set (shape ``(n, 2)``).
+    """
+    from scipy.spatial import Delaunay, QhullError
+
+    if n < 3 and points is None:
+        raise GraphError("Delaunay generation needs at least 3 points")
+    rng_pos, rng_cong = streams(seed, 2)
+    if points is None:
+        pts = rng_pos.random((n, 2))
+    else:
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise GraphError("points must have shape (n, 2)")
+        n = pts.shape[0]
+    try:
+        tri = Delaunay(pts)
+    except QhullError as exc:  # pragma: no cover - degenerate inputs
+        raise GraphError(f"degenerate point set: {exc}") from exc
+
+    # Each simplex contributes its 3 edges; dedup via canonical pairs.
+    s = tri.simplices
+    pairs = np.concatenate([s[:, [0, 1]], s[:, [1, 2]], s[:, [0, 2]]])
+    lo = pairs.min(axis=1).astype(np.int64)
+    hi = pairs.max(axis=1).astype(np.int64)
+    key = lo * np.int64(n) + hi
+    _, first = np.unique(key, return_index=True)
+    u, v = lo[first], hi[first]
+
+    dist = np.hypot(pts[u, 0] - pts[v, 0], pts[u, 1] - pts[v, 1])
+    if congestion_sigma > 0:
+        dist = dist * rng_cong.lognormal(0.0, congestion_sigma, size=u.size)
+    w = ensure_unique_weights(dist + 1e-12)
+    return EdgeList.from_arrays(n, u, v, w)
+
+
+def delaunay_graph(n: int, *, seed: int = 0, **kw) -> CSRGraph:
+    """CSR form of :func:`delaunay_edgelist`."""
+    return CSRGraph.from_edgelist(delaunay_edgelist(n, seed=seed, **kw))

@@ -1,0 +1,47 @@
+"""Regular lattice graphs (grids and tori)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.rng import streams, unique_uniform_weights
+
+__all__ = ["grid_graph", "torus_graph"]
+
+
+def grid_graph(rows: int, cols: int, *, seed: int = 0) -> CSRGraph:
+    """``rows x cols`` 4-neighbour grid with distinct uniform weights."""
+    if rows < 1 or cols < 1:
+        raise GraphError("rows/cols must be >= 1")
+    n = rows * cols
+    r_idx, c_idx = np.divmod(np.arange(n, dtype=np.int64), cols)
+    right_u = np.flatnonzero(c_idx < cols - 1).astype(np.int64)
+    down_u = np.flatnonzero(r_idx < rows - 1).astype(np.int64)
+    u = np.concatenate([right_u, down_u])
+    v = np.concatenate([right_u + 1, down_u + cols])
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, u.size)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def torus_graph(rows: int, cols: int, *, seed: int = 0) -> CSRGraph:
+    """``rows x cols`` torus (grid with wraparound edges).
+
+    Requires ``rows, cols >= 3`` so the wrap edges are distinct from the
+    mesh edges.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError("torus requires rows, cols >= 3")
+    n = rows * cols
+    r_idx, c_idx = np.divmod(np.arange(n, dtype=np.int64), cols)
+    all_v = np.arange(n, dtype=np.int64)
+    right = ((c_idx + 1) % cols) + r_idx * cols
+    down = ((r_idx + 1) % rows) * cols + c_idx
+    u = np.concatenate([all_v, all_v])
+    v = np.concatenate([right, down])
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, u.size)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))

@@ -1,0 +1,177 @@
+"""Random graph families for tests, examples, and property-based checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.rng import streams, unique_uniform_weights
+
+__all__ = [
+    "gnm_random_graph",
+    "random_geometric_graph",
+    "random_weighted_tree",
+    "random_connected_graph",
+]
+
+
+def gnm_random_graph(n: int, m: int, *, seed: int = 0) -> CSRGraph:
+    """Uniform G(n, m): ``m`` distinct edges sampled without replacement.
+
+    Samples undirected pairs by drawing linear indices into the strictly
+    upper triangle, so memory is O(m) even for large ``n``.
+    """
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    max_m = n * (n - 1) // 2
+    if m < 0 or m > max_m:
+        raise GraphError(f"m must be in [0, {max_m}] for n={n}")
+    rng_e, rng_w = streams(seed, 2)
+    if m == 0:
+        return CSRGraph.from_edgelist(EdgeList.empty(n))
+    # Draw with a safety margin, dedupe, top up until m distinct pairs.
+    chosen = np.empty(0, dtype=np.int64)
+    while chosen.size < m:
+        need = m - chosen.size
+        draw = rng_e.integers(0, max_m, size=int(need * 1.3) + 8, dtype=np.int64)
+        chosen = np.unique(np.concatenate([chosen, draw]))
+    chosen = rng_e.permutation(chosen)[:m]
+    u, v = _unrank_upper_triangle(chosen, n)
+    w = unique_uniform_weights(rng_w, m)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def random_geometric_graph(
+    n: int, radius: float, *, seed: int = 0, connect: bool = False
+) -> CSRGraph:
+    """Unit-square geometric graph: edge iff distance < radius, weight = distance.
+
+    With ``connect=True`` a minimal set of nearest-pair bridge edges joins
+    the components, yielding a connected graph with geometric weights.
+    """
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    rng_pos, _ = streams(seed, 2)
+    pts = rng_pos.random((n, 2))
+    u_list, v_list = [], []
+    # Grid-bucket neighbour search: buckets of side >= radius, so all pairs
+    # within `radius` live in the same or an adjacent bucket.
+    if n and radius > 0:
+        side = max(1, int(1.0 / radius))
+        cell = np.minimum((pts * side).astype(np.int64), side - 1)
+        from collections import defaultdict
+
+        buckets: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for i in range(n):
+            buckets[(int(cell[i, 0]), int(cell[i, 1]))].append(i)
+        # Visit each unordered bucket pair once (self + 4 forward offsets).
+        offsets = ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1))
+        for (cx, cy), base in buckets.items():
+            for dx, dy in offsets:
+                other = buckets.get((cx + dx, cy + dy))
+                if other is None:
+                    continue
+                same = dx == 0 and dy == 0
+                for ai, a in enumerate(base):
+                    cand = base[ai + 1 :] if same else other
+                    for b in cand:
+                        d = float(np.hypot(pts[a, 0] - pts[b, 0], pts[a, 1] - pts[b, 1]))
+                        if d < radius:
+                            u_list.append(min(a, b))
+                            v_list.append(max(a, b))
+    u = np.asarray(u_list, dtype=np.int64)
+    v = np.asarray(v_list, dtype=np.int64)
+    w = np.hypot(pts[u, 0] - pts[v, 0], pts[u, 1] - pts[v, 1]) if u.size else np.empty(0)
+    edges = EdgeList.from_arrays(n, u, v, w)
+    if connect and n > 1:
+        edges = _bridge_components(edges, pts)
+    from repro.graphs.weights import ensure_unique_weights
+
+    return CSRGraph.from_edgelist(edges.with_weights(ensure_unique_weights(edges.w)))
+
+
+def random_weighted_tree(n: int, *, seed: int = 0) -> CSRGraph:
+    """Uniform random attachment tree with distinct uniform weights."""
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    rng_t, rng_w = streams(seed, 2)
+    if n <= 1:
+        return CSRGraph.from_edgelist(EdgeList.empty(n))
+    v = np.arange(1, n, dtype=np.int64)
+    u = np.empty(n - 1, dtype=np.int64)
+    for i in range(1, n):  # attach each vertex to a uniform earlier vertex
+        u[i - 1] = rng_t.integers(0, i)
+    w = unique_uniform_weights(rng_w, n - 1)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def random_connected_graph(n: int, extra_edges: int, *, seed: int = 0) -> CSRGraph:
+    """Random tree plus ``extra_edges`` random chords: always connected."""
+    rng_t, rng_e, rng_w = streams(seed, 3)
+    if n <= 1:
+        return CSRGraph.from_edgelist(EdgeList.empty(max(n, 0)))
+    tv = np.arange(1, n, dtype=np.int64)
+    tu = np.empty(n - 1, dtype=np.int64)
+    for i in range(1, n):
+        tu[i - 1] = rng_t.integers(0, i)
+    eu = rng_e.integers(0, n, size=extra_edges, dtype=np.int64)
+    ev = rng_e.integers(0, n, size=extra_edges, dtype=np.int64)
+    u = np.concatenate([tu, eu])
+    v = np.concatenate([tv, ev])
+    w = unique_uniform_weights(rng_w, u.size)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def _unrank_upper_triangle(k: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Map linear indices of the strict upper triangle to (row, col) pairs.
+
+    Index k counts row-major over pairs (i, j), i < j.  Row i starts at
+    offset f(i) = i*n - i*(i+1)/2; invert with the quadratic formula.
+    """
+    k = k.astype(np.float64)
+    nn = float(n)
+    # Solve i from k >= f(i): i = floor((2n-1 - sqrt((2n-1)^2 - 8k)) / 2)
+    i = np.floor(((2 * nn - 1) - np.sqrt((2 * nn - 1) ** 2 - 8 * k)) / 2.0)
+    i = i.astype(np.int64)
+    # Guard against float rounding at row boundaries.
+    f = lambda r: r * n - (r * (r + 1)) // 2
+    i = np.where(k.astype(np.int64) < f(i), i - 1, i)
+    i = np.where(k.astype(np.int64) >= f(i + 1), i + 1, i)
+    j = k.astype(np.int64) - f(i) + i + 1
+    return i, j
+
+
+def _bridge_components(edges: EdgeList, pts: np.ndarray) -> EdgeList:
+    """Join components with the shortest inter-component pairs (greedy)."""
+    from repro.structures.union_find import UnionFind
+
+    n = edges.n_vertices
+    uf = UnionFind(n)
+    for u, v in zip(edges.u, edges.v):
+        uf.union(int(u), int(v))
+    if uf.n_sets <= 1:
+        return edges
+    add_u, add_v, add_w = [], [], []
+    while uf.n_sets > 1:
+        labels = uf.min_labels()
+        comps = np.unique(labels)
+        # Connect each non-first component to the nearest vertex of the
+        # first component (simple and deterministic).
+        base = np.flatnonzero(labels == comps[0])
+        other = np.flatnonzero(labels == comps[1])
+        d = np.hypot(
+            pts[other, 0][:, None] - pts[base, 0][None, :],
+            pts[other, 1][:, None] - pts[base, 1][None, :],
+        )
+        oi, bi = np.unravel_index(np.argmin(d), d.shape)
+        a, b = int(other[oi]), int(base[bi])
+        add_u.append(min(a, b))
+        add_v.append(max(a, b))
+        add_w.append(float(d[oi, bi]) + 1e-9)
+        uf.union(a, b)
+    u = np.concatenate([edges.u, np.asarray(add_u, dtype=np.int64)])
+    v = np.concatenate([edges.v, np.asarray(add_v, dtype=np.int64)])
+    w = np.concatenate([edges.w, np.asarray(add_w, dtype=np.float64)])
+    return EdgeList.from_arrays(n, u, v, w)

@@ -1,0 +1,85 @@
+"""Graph500-style RMAT (Kronecker) graph generator.
+
+Stands in for the paper's ``graph500-s25-ef16`` dataset: the Graph500
+reference generator draws each edge by recursively descending a 2x2
+partition of the adjacency matrix with probabilities (A, B, C, D) =
+(0.57, 0.19, 0.19, 0.05) for ``scale`` levels, yielding ``edgefactor * 2^scale``
+edges with a skewed (power-law-ish) degree distribution and low effective
+diameter — the "scalefree" morphology of Table I.
+
+The descent is vectorised: all edges advance one level per loop iteration
+(``scale`` iterations total), not one edge at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.rng import streams, unique_uniform_weights
+
+__all__ = ["rmat_edgelist", "rmat_graph"]
+
+
+def rmat_edgelist(
+    scale: int,
+    edgefactor: int = 16,
+    *,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    permute: bool = True,
+) -> EdgeList:
+    """RMAT edge list with ``2^scale`` vertices, ``edgefactor * 2^scale`` draws.
+
+    Self loops are dropped and parallel edges collapsed, so the final edge
+    count is slightly below ``edgefactor * 2^scale``, as with the reference
+    Graph500 kernel-1 output.  Weights are distinct uniforms in (0, 1),
+    matching Graph500's uniformly-random edge weights for SSSP/MST kernels.
+    """
+    if scale < 0 or scale > 30:
+        raise GraphError(f"scale must be in [0, 30], got {scale}")
+    if edgefactor < 1:
+        raise GraphError("edgefactor must be >= 1")
+    d = 1.0 - (a + b + c)
+    if min(a, b, c, d) < 0:
+        raise GraphError("RMAT probabilities must be a valid distribution")
+
+    n = 1 << scale
+    m_draws = edgefactor * n
+    rng_bits, rng_w, rng_perm = streams(seed, 3)
+
+    u = np.zeros(m_draws, dtype=np.int64)
+    v = np.zeros(m_draws, dtype=np.int64)
+    # Probability of descending into the "right half" for each coordinate:
+    # P(v-bit set) = (b + d); P(u-bit set) = (c + d), with correlation
+    # handled by conditioning as in the Graph500 octave reference.
+    ab = a + b
+    c_norm = c / (c + d) if (c + d) > 0 else 0.0
+    a_norm = a / (a + b) if (a + b) > 0 else 0.0
+    for level in range(scale):
+        bit = np.int64(1) << level
+        r1 = rng_bits.random(m_draws)
+        r2 = rng_bits.random(m_draws)
+        u_bit = r1 > ab
+        v_bit = r2 > np.where(u_bit, c_norm, a_norm)
+        u |= np.where(u_bit, bit, 0)
+        v |= np.where(v_bit, bit, 0)
+
+    if permute:
+        # Relabel vertices with a random permutation so vertex id carries no
+        # degree information (the Graph500 generator does the same).
+        perm = rng_perm.permutation(n).astype(np.int64)
+        u = perm[u]
+        v = perm[v]
+
+    w = unique_uniform_weights(rng_w, m_draws)
+    return EdgeList.from_arrays(n, u, v, w)
+
+
+def rmat_graph(scale: int, edgefactor: int = 16, *, seed: int = 0, **kw) -> CSRGraph:
+    """CSR form of :func:`rmat_edgelist`."""
+    return CSRGraph.from_edgelist(rmat_edgelist(scale, edgefactor, seed=seed, **kw))

@@ -1,0 +1,38 @@
+"""Seeded random-number utilities shared by the generators.
+
+Every generator takes an integer ``seed`` and derives an independent
+``numpy.random.Generator`` stream per purpose via
+:func:`numpy.random.SeedSequence.spawn`, so adding a new random decision to
+a generator never perturbs existing streams (stable fixtures across the
+test-suite and benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["streams", "unique_uniform_weights"]
+
+
+def streams(seed: int, n: int) -> list[np.random.Generator]:
+    """``n`` independent generator streams derived from ``seed``."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def unique_uniform_weights(
+    rng: np.random.Generator, n: int, low: float = 0.0, high: float = 1.0
+) -> np.ndarray:
+    """``n`` distinct uniform weights in ``(low, high)``.
+
+    Draws float64 uniforms and resolves the (astronomically rare) collisions
+    by redrawing, so downstream code can rely on the paper's distinct-weight
+    assumption at the value level too.
+    """
+    w = rng.uniform(low, high, size=n)
+    while np.unique(w).size != n:  # pragma: no cover - probability ~0
+        dup = np.ones(n, dtype=bool)
+        _, first = np.unique(w, return_index=True)
+        dup[first] = False
+        w[dup] = rng.uniform(low, high, size=int(dup.sum()))
+    return w

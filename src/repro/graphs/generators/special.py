@@ -1,0 +1,102 @@
+"""Special graph families with known MSTs (test oracles and edge cases).
+
+Each family's MST is analytically known, which gives the test-suite exact
+expectations independent of any algorithm: a path/star/tree *is* its own
+MST; a cycle's MST drops exactly the heaviest edge; K_n with the default
+weighting has a star MST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.builder import complete_graph_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators.rng import streams, unique_uniform_weights
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree_graph",
+    "caterpillar_graph",
+]
+
+
+def path_graph(n: int, *, seed: int = 0) -> CSRGraph:
+    """Path 0-1-...-(n-1) with distinct uniform weights."""
+    if n < 0:
+        raise GraphError("n must be >= 0")
+    if n <= 1:
+        return CSRGraph.from_edgelist(EdgeList.empty(n))
+    u = np.arange(n - 1, dtype=np.int64)
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, n - 1)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, u + 1, w))
+
+
+def cycle_graph(n: int, *, seed: int = 0) -> CSRGraph:
+    """Cycle over ``n >= 3`` vertices with distinct uniform weights."""
+    if n < 3:
+        raise GraphError("cycle requires n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, n)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def star_graph(n: int, *, seed: int = 0) -> CSRGraph:
+    """Star with centre 0 and ``n - 1`` leaves."""
+    if n < 1:
+        raise GraphError("star requires n >= 1")
+    if n == 1:
+        return CSRGraph.from_edgelist(EdgeList.empty(1))
+    v = np.arange(1, n, dtype=np.int64)
+    u = np.zeros(n - 1, dtype=np.int64)
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, n - 1)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def complete_graph(n: int, *, seed: int | None = None) -> CSRGraph:
+    """K_n; random distinct weights when ``seed`` given, else structured ones."""
+    if seed is None:
+        return CSRGraph.from_edgelist(complete_graph_edges(n))
+    edges = complete_graph_edges(n)
+    (rng_w,) = streams(seed, 1)
+    return CSRGraph.from_edgelist(
+        edges.with_weights(unique_uniform_weights(rng_w, edges.n_edges))
+    )
+
+
+def binary_tree_graph(depth: int, *, seed: int = 0) -> CSRGraph:
+    """Complete binary tree of the given depth (root = 0)."""
+    if depth < 0:
+        raise GraphError("depth must be >= 0")
+    n = (1 << (depth + 1)) - 1
+    if n == 1:
+        return CSRGraph.from_edgelist(EdgeList.empty(1))
+    v = np.arange(1, n, dtype=np.int64)
+    u = (v - 1) // 2
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, n - 1)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int, *, seed: int = 0) -> CSRGraph:
+    """Path of ``spine`` vertices, each with ``legs_per_vertex`` leaf legs."""
+    if spine < 1 or legs_per_vertex < 0:
+        raise GraphError("spine >= 1 and legs_per_vertex >= 0 required")
+    n = spine * (1 + legs_per_vertex)
+    su = np.arange(spine - 1, dtype=np.int64)
+    leg_parent = np.repeat(np.arange(spine, dtype=np.int64), legs_per_vertex)
+    leg_child = np.arange(spine, n, dtype=np.int64)
+    u = np.concatenate([su, leg_parent])
+    v = np.concatenate([su + 1, leg_child])
+    (rng_w,) = streams(seed, 1)
+    w = unique_uniform_weights(rng_w, u.size)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w))

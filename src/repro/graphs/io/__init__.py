@@ -1,0 +1,24 @@
+"""Graph file formats.
+
+DIMACS ``.gr`` is the format of the paper's USA road dataset; a real
+``USA-road-d.*.gr`` file can be loaded with
+:func:`~repro.graphs.io.dimacs.read_dimacs` and used anywhere the synthetic
+road generator is.  MatrixMarket and TSV cover common exchange formats;
+NPZ snapshots give fast binary round-trips for large generated instances.
+"""
+
+from repro.graphs.io.dimacs import read_dimacs, write_dimacs
+from repro.graphs.io.matrix_market import read_matrix_market, write_matrix_market
+from repro.graphs.io.edge_text import read_edge_tsv, write_edge_tsv
+from repro.graphs.io.binary import load_npz, save_npz
+
+__all__ = [
+    "read_dimacs",
+    "write_dimacs",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_edge_tsv",
+    "write_edge_tsv",
+    "load_npz",
+    "save_npz",
+]

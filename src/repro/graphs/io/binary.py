@@ -1,0 +1,47 @@
+"""Fast NPZ binary snapshots of graphs.
+
+Stores the canonical edge-list arrays plus the vertex count; loading
+rebuilds the CSR structure (cheaper than shipping the redundant half-edge
+arrays and keeps the file format trivially stable).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["save_npz", "load_npz"]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(g: CSRGraph, path: str | Path) -> None:
+    """Save a graph snapshot to ``path`` (``.npz``)."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        n_vertices=np.int64(g.n_vertices),
+        u=g.edge_u,
+        v=g.edge_v,
+        w=g.edge_w,
+    )
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph snapshot written by :func:`save_npz`."""
+    with np.load(path) as data:
+        try:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise GraphIOError(f"unsupported snapshot version {version}")
+            edges = EdgeList.from_arrays(
+                int(data["n_vertices"]), data["u"], data["v"], data["w"], dedup=False
+            )
+        except KeyError as exc:
+            raise GraphIOError(f"snapshot missing field {exc}") from exc
+    return CSRGraph.from_edgelist(edges)

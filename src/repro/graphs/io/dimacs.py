@@ -1,0 +1,106 @@
+"""DIMACS shortest-path challenge ``.gr`` format.
+
+The format of the paper's USA road networks (``USA-road-d.USA.gr``):
+
+* comment lines: ``c ...``
+* problem line: ``p sp <n_vertices> <n_arcs>``
+* arc lines: ``a <u> <v> <weight>`` with 1-based vertex ids
+
+Road files list each undirected edge as two directed arcs; the reader
+collapses them (keeping the minimum weight of parallel arcs) and converts
+to 0-based ids.  The writer emits both arc directions for round-tripping
+with standard tooling.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["read_dimacs", "write_dimacs"]
+
+
+def read_dimacs(source: str | Path | TextIO) -> CSRGraph:
+    """Parse a DIMACS ``.gr`` file into a :class:`CSRGraph`."""
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: TextIO = open(source, "r", encoding="ascii")
+        close = True
+    else:
+        fh = source
+    try:
+        n_vertices = None
+        declared_arcs = None
+        us: list[int] = []
+        vs: list[int] = []
+        ws: list[float] = []
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise GraphIOError(f"line {lineno}: malformed problem line {line!r}")
+                n_vertices = int(parts[2])
+                declared_arcs = int(parts[3])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise GraphIOError(f"line {lineno}: malformed arc line {line!r}")
+                if n_vertices is None:
+                    raise GraphIOError(f"line {lineno}: arc before problem line")
+                u, v, w = int(parts[1]), int(parts[2]), float(parts[3])
+                if not (1 <= u <= n_vertices and 1 <= v <= n_vertices):
+                    raise GraphIOError(f"line {lineno}: vertex id out of range")
+                us.append(u - 1)
+                vs.append(v - 1)
+                ws.append(w)
+            else:
+                raise GraphIOError(f"line {lineno}: unknown record type {parts[0]!r}")
+        if n_vertices is None:
+            raise GraphIOError("missing problem line ('p sp n m')")
+        if declared_arcs is not None and declared_arcs != len(us):
+            raise GraphIOError(
+                f"problem line declares {declared_arcs} arcs, file has {len(us)}"
+            )
+        edges = EdgeList.from_arrays(
+            n_vertices,
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ws, dtype=np.float64),
+        )
+        return CSRGraph.from_edgelist(edges)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_dimacs(g: CSRGraph, target: str | Path | TextIO, *, comment: str = "") -> None:
+    """Write a graph as DIMACS ``.gr`` (both arc directions, 1-based ids)."""
+    close = False
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="ascii")
+        close = True
+    else:
+        fh = target
+    try:
+        buf = io.StringIO()
+        if comment:
+            for line in comment.splitlines():
+                buf.write(f"c {line}\n")
+        buf.write(f"p sp {g.n_vertices} {2 * g.n_edges}\n")
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w):
+            wtxt = repr(float(w))
+            buf.write(f"a {u + 1} {v + 1} {wtxt}\n")
+            buf.write(f"a {v + 1} {u + 1} {wtxt}\n")
+        fh.write(buf.getvalue())
+    finally:
+        if close:
+            fh.close()

@@ -1,0 +1,80 @@
+"""Plain tab-separated edge lists (``u\\tv\\tw`` per line).
+
+The least-common-denominator format: one edge per line, ``#`` comments,
+0-based vertex ids.  Vertex count is the max id + 1 unless given.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["read_edge_tsv", "write_edge_tsv"]
+
+
+def read_edge_tsv(
+    source: str | Path | TextIO, *, n_vertices: int | None = None
+) -> CSRGraph:
+    """Parse a TSV edge list into a graph."""
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: TextIO = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        fh = source
+    try:
+        us, vs, ws = [], [], []
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t") if "\t" in line else line.split()
+            if len(parts) not in (2, 3):
+                raise GraphIOError(f"line {lineno}: expected 2 or 3 fields")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) == 3 else 1.0
+            except ValueError as exc:
+                raise GraphIOError(f"line {lineno}: bad field in {line!r}") from exc
+            if u < 0 or v < 0:
+                raise GraphIOError(f"line {lineno}: negative vertex id")
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
+        top = (max(max(us), max(vs)) + 1) if us else 0
+        n = n_vertices if n_vertices is not None else top
+        if n < top:
+            raise GraphIOError(f"n_vertices={n} smaller than max id {top - 1}")
+        edges = EdgeList.from_arrays(
+            n,
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ws, dtype=np.float64),
+        )
+        return CSRGraph.from_edgelist(edges)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_edge_tsv(g: CSRGraph, target: str | Path | TextIO) -> None:
+    """Write the graph as a TSV edge list (one undirected edge per line)."""
+    close = False
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="utf-8")
+        close = True
+    else:
+        fh = target
+    try:
+        fh.write(f"# n_vertices={g.n_vertices} n_edges={g.n_edges}\n")
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w):
+            fh.write(f"{u}\t{v}\t{float(w)!r}\n")
+    finally:
+        if close:
+            fh.close()

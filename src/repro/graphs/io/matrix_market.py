@@ -1,0 +1,103 @@
+"""MatrixMarket coordinate format for symmetric weighted graphs.
+
+Reads/writes ``%%MatrixMarket matrix coordinate real symmetric`` files, the
+exchange format of SuiteSparse and many graph repositories.  Only the
+symmetric real/integer/pattern variants are supported (a graph is a
+symmetric sparse matrix); ``pattern`` entries get unit weights.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.errors import GraphIOError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+
+def read_matrix_market(source: str | Path | TextIO) -> CSRGraph:
+    """Parse a symmetric MatrixMarket coordinate file into a graph."""
+    close = False
+    if isinstance(source, (str, Path)):
+        fh: TextIO = open(source, "r", encoding="ascii")
+        close = True
+    else:
+        fh = source
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphIOError("missing MatrixMarket header")
+        tokens = header.lower().split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphIOError(f"unsupported MatrixMarket header: {header!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if symmetry != "symmetric":
+            raise GraphIOError("only symmetric matrices represent undirected graphs")
+        if field not in ("real", "integer", "pattern"):
+            raise GraphIOError(f"unsupported field type {field!r}")
+        # Skip comments, read size line.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            rows, cols, nnz = (int(t) for t in line.split())
+        except ValueError as exc:
+            raise GraphIOError(f"malformed size line {line!r}") from exc
+        if rows != cols:
+            raise GraphIOError("adjacency matrix must be square")
+        us, vs, ws = [], [], []
+        count = 0
+        for raw in fh:
+            raw = raw.strip()
+            if not raw or raw.startswith("%"):
+                continue
+            parts = raw.split()
+            want = 2 if field == "pattern" else 3
+            if len(parts) != want:
+                raise GraphIOError(f"malformed entry line {raw!r}")
+            i, j = int(parts[0]), int(parts[1])
+            if not (1 <= i <= rows and 1 <= j <= rows):
+                raise GraphIOError(f"index out of range in {raw!r}")
+            w = 1.0 if field == "pattern" else float(parts[2])
+            count += 1
+            if i == j:
+                continue  # graphs have no self loops
+            us.append(i - 1)
+            vs.append(j - 1)
+            ws.append(w)
+        if count != nnz:
+            raise GraphIOError(f"size line declares {nnz} entries, file has {count}")
+        edges = EdgeList.from_arrays(
+            rows,
+            np.asarray(us, dtype=np.int64),
+            np.asarray(vs, dtype=np.int64),
+            np.asarray(ws, dtype=np.float64),
+        )
+        return CSRGraph.from_edgelist(edges)
+    finally:
+        if close:
+            fh.close()
+
+
+def write_matrix_market(g: CSRGraph, target: str | Path | TextIO) -> None:
+    """Write the graph as a symmetric real coordinate MatrixMarket file."""
+    close = False
+    if isinstance(target, (str, Path)):
+        fh: TextIO = open(target, "w", encoding="ascii")
+        close = True
+    else:
+        fh = target
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        fh.write(f"{g.n_vertices} {g.n_vertices} {g.n_edges}\n")
+        # Symmetric format stores the lower triangle: row >= col.
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w):
+            fh.write(f"{v + 1} {u + 1} {float(w)!r}\n")
+    finally:
+        if close:
+            fh.close()

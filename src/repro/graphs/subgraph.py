@@ -1,0 +1,88 @@
+"""Subgraph extraction and relabelling utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.components import components_union_find
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["Subgraph", "induced_subgraph", "edge_subgraph", "largest_component"]
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An extracted subgraph plus the mapping back to the original.
+
+    ``vertex_map[i]`` is the original id of the subgraph's vertex ``i``;
+    ``edge_map[e]`` the original undirected edge id of subgraph edge ``e``.
+    """
+
+    graph: CSRGraph
+    vertex_map: np.ndarray
+    edge_map: np.ndarray
+
+    def original_vertex(self, v: int) -> int:
+        """Original id of subgraph vertex ``v``."""
+        return int(self.vertex_map[v])
+
+    def original_edges(self, edge_ids: np.ndarray) -> np.ndarray:
+        """Map subgraph edge ids back to original edge ids."""
+        return self.edge_map[np.asarray(edge_ids, dtype=np.int64)]
+
+
+def induced_subgraph(g: CSRGraph, vertices: np.ndarray) -> Subgraph:
+    """Subgraph induced by a vertex subset (edges with both ends inside)."""
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    if vertices.size and (vertices[0] < 0 or vertices[-1] >= g.n_vertices):
+        raise GraphError("vertex id out of range")
+    inside = np.zeros(g.n_vertices, dtype=bool)
+    inside[vertices] = True
+    keep = inside[g.edge_u] & inside[g.edge_v]
+    remap = np.full(g.n_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size, dtype=np.int64)
+    edges = EdgeList.from_arrays(
+        int(vertices.size),
+        remap[g.edge_u[keep]],
+        remap[g.edge_v[keep]],
+        g.edge_w[keep],
+        dedup=False,
+    )
+    return Subgraph(
+        CSRGraph.from_edgelist(edges),
+        vertices,
+        np.flatnonzero(keep).astype(np.int64),
+    )
+
+
+def edge_subgraph(g: CSRGraph, edge_ids: np.ndarray) -> Subgraph:
+    """Subgraph of the given edges plus their endpoints (relabelled)."""
+    edge_ids = np.unique(np.asarray(edge_ids, dtype=np.int64))
+    if edge_ids.size and (edge_ids[0] < 0 or edge_ids[-1] >= g.n_edges):
+        raise GraphError("edge id out of range")
+    u, v = g.edge_u[edge_ids], g.edge_v[edge_ids]
+    vertices = np.unique(np.concatenate([u, v])) if edge_ids.size else np.empty(0, np.int64)
+    remap = np.full(g.n_vertices, -1, dtype=np.int64)
+    remap[vertices] = np.arange(vertices.size, dtype=np.int64)
+    edges = EdgeList.from_arrays(
+        int(vertices.size), remap[u], remap[v], g.edge_w[edge_ids], dedup=False
+    )
+    return Subgraph(CSRGraph.from_edgelist(edges), vertices, edge_ids)
+
+
+def largest_component(g: CSRGraph) -> Subgraph:
+    """Induced subgraph of the largest connected component.
+
+    Ties break toward the component with the smallest label (lowest
+    member vertex id), keeping the choice deterministic.
+    """
+    if g.n_vertices == 0:
+        return Subgraph(g, np.empty(0, np.int64), np.empty(0, np.int64))
+    labels = components_union_find(g)
+    uniq, counts = np.unique(labels, return_counts=True)
+    winner = uniq[np.argmax(counts)]
+    return induced_subgraph(g, np.flatnonzero(labels == winner))

@@ -1,0 +1,120 @@
+"""Breadth- and depth-first traversal over CSR graphs.
+
+BFS here is the component-labelling primitive used by classic Boruvka
+(Algorithm 3 labels each component with its least-numbered vertex by BFS).
+The frontier-based implementation processes whole frontiers with NumPy
+gather/scatter operations rather than a Python-level queue, which is the
+idiomatic vectorised formulation of level-synchronous BFS.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["bfs_order", "bfs_levels", "bfs_tree", "dfs_order", "is_connected"]
+
+
+def bfs_levels(g: CSRGraph, source: int) -> np.ndarray:
+    """Level (hop distance) of every vertex from ``source``; -1 if unreached."""
+    levels = np.full(g.n_vertices, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    depth = 0
+    while frontier.size:
+        depth += 1
+        # Gather all half-edges out of the frontier.
+        starts = g.indptr[frontier]
+        stops = g.indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        nbrs = _gather_neighbors(g, frontier, starts, stops, total)
+        fresh = nbrs[levels[nbrs] < 0]
+        if fresh.size == 0:
+            break
+        fresh = np.unique(fresh)
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+def bfs_order(g: CSRGraph, source: int) -> np.ndarray:
+    """Vertices reachable from ``source`` in BFS (level, then id) order."""
+    levels = bfs_levels(g, source)
+    reached = np.flatnonzero(levels >= 0)
+    return reached[np.argsort(levels[reached], kind="stable")]
+
+
+def bfs_tree(g: CSRGraph, source: int) -> np.ndarray:
+    """BFS parent array rooted at ``source`` (-1 for root and unreached)."""
+    parent = np.full(g.n_vertices, -1, dtype=np.int64)
+    seen = np.zeros(g.n_vertices, dtype=bool)
+    seen[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    while frontier.size:
+        starts = g.indptr[frontier]
+        stops = g.indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        nbrs, srcs = _gather_neighbors(g, frontier, starts, stops, total, with_src=True)
+        new_mask = ~seen[nbrs]
+        if not new_mask.any():
+            break
+        cand_v = nbrs[new_mask]
+        cand_p = srcs[new_mask]
+        # First occurrence wins deterministically (lowest source then order).
+        uniq, first = np.unique(cand_v, return_index=True)
+        parent[uniq] = cand_p[first]
+        seen[uniq] = True
+        frontier = uniq
+    return parent
+
+
+def dfs_order(g: CSRGraph, source: int) -> List[int]:
+    """Iterative depth-first preorder from ``source`` (neighbors ascending)."""
+    seen = np.zeros(g.n_vertices, dtype=bool)
+    order: List[int] = []
+    stack = [int(source)]
+    while stack:
+        v = stack.pop()
+        if seen[v]:
+            continue
+        seen[v] = True
+        order.append(v)
+        # Push descending so the smallest neighbor is visited first.
+        for nb in g.neighbors(v)[::-1]:
+            if not seen[nb]:
+                stack.append(int(nb))
+    return order
+
+
+def is_connected(g: CSRGraph) -> bool:
+    """True when the graph has a single connected component (or no vertices)."""
+    if g.n_vertices == 0:
+        return True
+    return int((bfs_levels(g, 0) >= 0).sum()) == g.n_vertices
+
+
+def _gather_neighbors(g, frontier, starts, stops, total, with_src=False):
+    """Concatenate adjacency slices of the frontier without a Python loop.
+
+    Builds a flat index into the half-edge arrays covering
+    ``[starts[i], stops[i])`` for every frontier vertex ``i``.
+    """
+    lens = stops - starts
+    # offsets[k] = position where slice k begins in the output
+    offsets = np.zeros(frontier.size, dtype=np.int64)
+    np.cumsum(lens[:-1], out=offsets[1:])
+    flat = np.arange(total, dtype=np.int64)
+    # For each output slot, subtract its slice's offset and add the start.
+    slice_id = np.repeat(np.arange(frontier.size, dtype=np.int64), lens)
+    idx = starts[slice_id] + (flat - offsets[slice_id])
+    nbrs = g.indices[idx]
+    if with_src:
+        return nbrs, frontier[slice_id]
+    return nbrs

@@ -1,0 +1,159 @@
+"""Forest path queries: LCA and path-maximum via binary lifting.
+
+The substrate for MST *verification* and for the F-light edge filter of
+the Karger-Klein-Tarjan randomized MST: given a weighted forest ``F`` and
+query pairs ``(u, v)``, report the maximum edge weight-rank on the tree
+path between them (or "disconnected").  Preprocessing O(n log n), queries
+O(log n) — not the O(m alpha) of Komlos-style verifiers, but comfortably
+inside the sampling analysis's needs and simple enough to trust.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["ForestPathMax", "DISCONNECTED"]
+
+DISCONNECTED = -1  # sentinel returned for queries across components
+
+
+class ForestPathMax:
+    """Path-maximum oracle over a rank-weighted forest.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    fu, fv, frank:
+        Forest edges (must be acyclic) with integer rank weights.
+    """
+
+    def __init__(self, n: int, fu: np.ndarray, fv: np.ndarray, frank: np.ndarray) -> None:
+        fu = np.asarray(fu, dtype=np.int64)
+        fv = np.asarray(fv, dtype=np.int64)
+        frank = np.asarray(frank, dtype=np.int64)
+        if not (fu.shape == fv.shape == frank.shape):
+            raise GraphError("forest edge arrays must have identical shape")
+        if fu.size >= n and n > 0:
+            raise GraphError("too many edges for a forest")
+        self.n = int(n)
+
+        # Build forest adjacency (counting sort).
+        m = fu.size
+        deg = np.zeros(n, dtype=np.int64)
+        if m:
+            np.add.at(deg, fu, 1)
+            np.add.at(deg, fv, 1)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        adj_v = np.empty(2 * m, dtype=np.int64)
+        adj_r = np.empty(2 * m, dtype=np.int64)
+        fill = indptr[:-1].copy()
+        for a, b, r in zip(fu, fv, frank):
+            adj_v[fill[a]] = b
+            adj_r[fill[a]] = r
+            fill[a] += 1
+            adj_v[fill[b]] = a
+            adj_r[fill[b]] = r
+            fill[b] += 1
+
+        # Root every component; record parent, parent-edge rank, depth, comp.
+        parent = np.full(n, -1, dtype=np.int64)
+        pedge = np.full(n, -1, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        comp = np.full(n, -1, dtype=np.int64)
+        visited = np.zeros(n, dtype=bool)
+        for root in range(n):
+            if visited[root]:
+                continue
+            visited[root] = True
+            comp[root] = root
+            stack = [root]
+            while stack:
+                x = stack.pop()
+                for i in range(indptr[x], indptr[x + 1]):
+                    y = int(adj_v[i])
+                    if visited[y]:
+                        continue
+                    visited[y] = True
+                    parent[y] = x
+                    pedge[y] = adj_r[i]
+                    depth[y] = depth[x] + 1
+                    comp[y] = root
+                    stack.append(y)
+        # Detect cycles: a forest with m edges visits exactly m parent links.
+        if int((parent >= 0).sum()) != m:
+            raise GraphError("edge set contains a cycle; not a forest")
+
+        self.depth = depth
+        self.comp = comp
+        levels = max(1, int(np.ceil(np.log2(max(int(depth.max()), 1) + 1))) + 1)
+        up = np.full((levels, n), -1, dtype=np.int64)
+        mx = np.full((levels, n), -1, dtype=np.int64)
+        # up[k][v] = 2^k-th ancestor of v (-1 when fewer ancestors exist);
+        # mx[k][v] = max edge rank on that 2^k-edge path (valid iff up >= 0).
+        up[0] = parent
+        mx[0] = pedge
+        for k in range(1, levels):
+            prev_up, prev_mx = up[k - 1], mx[k - 1]
+            has_mid = np.flatnonzero(prev_up >= 0)
+            mid = prev_up[has_mid]
+            full = has_mid[prev_up[mid] >= 0]  # both halves exist
+            mid_full = prev_up[full]
+            up[k, full] = prev_up[mid_full]
+            mx[k, full] = np.maximum(prev_mx[full], prev_mx[mid_full])
+        self._up = up
+        self._mx = mx
+        self._levels = levels
+
+    # ------------------------------------------------------------------
+    def connected(self, u: int, v: int) -> bool:
+        """True when ``u`` and ``v`` share a tree."""
+        return self.comp[u] == self.comp[v]
+
+    def path_max(self, u: int, v: int) -> int:
+        """Maximum edge rank on the tree path ``u .. v``.
+
+        Returns :data:`DISCONNECTED` when the endpoints are in different
+        components, and -1 when ``u == v`` (empty path).
+        """
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise GraphError("query vertex out of range")
+        if self.comp[u] != self.comp[v]:
+            return DISCONNECTED
+        if u == v:
+            return -1
+        up, mx, depth = self._up, self._mx, self.depth
+        best = -1
+        # Lift the deeper endpoint.
+        if depth[u] < depth[v]:
+            u, v = v, u
+        diff = int(depth[u] - depth[v])
+        k = 0
+        while diff:
+            if diff & 1:
+                best = max(best, int(mx[k, u]))
+                u = int(up[k, u])
+            diff >>= 1
+            k += 1
+        if u == v:
+            return best
+        # Lift both until just below the LCA.
+        for k in range(self._levels - 1, -1, -1):
+            if up[k, u] != up[k, v] and up[k, u] >= 0 and up[k, v] >= 0:
+                best = max(best, int(mx[k, u]), int(mx[k, v]))
+                u = int(up[k, u])
+                v = int(up[k, v])
+        best = max(best, int(mx[0, u]), int(mx[0, v]))
+        return best
+
+    def path_max_many(self, qu: np.ndarray, qv: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`path_max`."""
+        qu = np.asarray(qu, dtype=np.int64)
+        qv = np.asarray(qv, dtype=np.int64)
+        out = np.empty(qu.size, dtype=np.int64)
+        for i in range(qu.size):
+            out[i] = self.path_max(int(qu[i]), int(qv[i]))
+        return out

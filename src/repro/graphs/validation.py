@@ -1,0 +1,96 @@
+"""Structural invariant checks for graph representations.
+
+These checks are deliberately exhaustive and NumPy-vectorised; they are used
+by the test-suite and can be called on untrusted input (e.g. graphs parsed
+from files) before handing them to algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["validate_edgelist", "validate_csr"]
+
+
+def validate_edgelist(edges: EdgeList) -> None:
+    """Raise :class:`ValidationError` unless ``edges`` is canonical.
+
+    Canonical means: ``u < v`` per edge (no self loops), ids in range,
+    finite weights, and no duplicate ``(u, v)`` pairs.
+    """
+    u, v, w = edges.u, edges.v, edges.w
+    if not (u.shape == v.shape == w.shape):
+        raise ValidationError("parallel arrays of differing lengths")
+    if u.size == 0:
+        return
+    if u.min() < 0 or v.max() >= edges.n_vertices:
+        raise ValidationError("vertex id out of range")
+    if (u >= v).any():
+        raise ValidationError("edges must be canonical (u < v, no self loops)")
+    if not np.isfinite(w).all():
+        raise ValidationError("non-finite edge weight")
+    key = u * np.int64(edges.n_vertices) + v
+    if np.unique(key).size != key.size:
+        raise ValidationError("duplicate undirected edges present")
+
+
+def validate_csr(g: CSRGraph) -> None:
+    """Raise :class:`ValidationError` unless the CSR structure is coherent.
+
+    Checks monotone ``indptr``, in-range neighbor ids, sorted adjacency,
+    symmetric half-edges (each undirected edge appears exactly twice, once
+    in each direction, with identical weight and edge id), and a consistent
+    rank permutation.
+    """
+    n, m = g.n_vertices, g.n_edges
+    if g.indptr.shape != (n + 1,):
+        raise ValidationError("indptr has wrong shape")
+    if g.indptr[0] != 0 or g.indptr[-1] != 2 * m:
+        raise ValidationError("indptr endpoints wrong (must span 2*m half-edges)")
+    if (np.diff(g.indptr) < 0).any():
+        raise ValidationError("indptr not monotone")
+    if g.indices.size != 2 * m or g.weights.size != 2 * m or g.edge_ids.size != 2 * m:
+        raise ValidationError("half-edge arrays must have length 2*m")
+    if m == 0:
+        return
+    if g.indices.min() < 0 or g.indices.max() >= n:
+        raise ValidationError("neighbor id out of range")
+    # Sorted adjacency per vertex.
+    for v in range(n):
+        nb = g.neighbors(v)
+        if nb.size > 1 and (np.diff(nb) < 0).any():
+            raise ValidationError(f"adjacency of vertex {v} not sorted")
+        if (nb == v).any():
+            raise ValidationError(f"self loop at vertex {v}")
+    # Each undirected edge id appears exactly twice with matching data.
+    counts = np.bincount(g.edge_ids, minlength=m)
+    if (counts != 2).any():
+        raise ValidationError("each undirected edge must yield two half-edges")
+    src = g.half_edge_sources
+    # Vectorised symmetric-pair check: group half-edges by edge id.
+    order = np.argsort(g.edge_ids, kind="stable")
+    pair_src = src[order].reshape(m, 2)
+    pair_dst = g.indices[order].reshape(m, 2)
+    pair_w = g.weights[order].reshape(m, 2)
+    lo = np.minimum(pair_src, pair_dst)
+    hi = np.maximum(pair_src, pair_dst)
+    if (lo[:, 0] != lo[:, 1]).any() or (hi[:, 0] != hi[:, 1]).any():
+        raise ValidationError("half-edge pair endpoints disagree")
+    if (pair_src[:, 0] == pair_src[:, 1]).any():
+        raise ValidationError("half-edge pair must cover both directions")
+    if (pair_w[:, 0] != pair_w[:, 1]).any():
+        raise ValidationError("half-edge pair weights disagree")
+    eid_sorted = g.edge_ids[order].reshape(m, 2)[:, 0]
+    if (lo[:, 0] != g.edge_u[eid_sorted]).any() or (hi[:, 0] != g.edge_v[eid_sorted]).any():
+        raise ValidationError("edge endpoint table disagrees with half-edges")
+    # Rank permutation coherence.
+    r = np.sort(g.ranks)
+    if (r != np.arange(m)).any():
+        raise ValidationError("ranks must form a permutation of 0..m-1")
+    by_rank = g.edge_w[g.edge_by_rank]
+    if (np.diff(by_rank) < 0).any():
+        raise ValidationError("rank order inconsistent with weights")

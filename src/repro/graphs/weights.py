@@ -1,0 +1,86 @@
+"""Weight utilities: unique total orders and tie-breaking.
+
+The paper assumes distinct edge weights ("if edge weights are not unique,
+then they can be made unique by incorporating identities of its endpoints",
+Section V-A).  Two realisations are provided:
+
+* :func:`weight_order_ranks` — the representation-level fix used throughout
+  the library: a permutation-free *rank* per edge obtained by sorting on
+  ``(weight, edge_id)``.  Ranks are unique ``int64`` values whose order is
+  consistent with the weights, so algorithms that compare ranks behave
+  exactly as if weights had been perturbed infinitesimally.
+* :func:`ensure_unique_weights` — a value-level fix that adds a deterministic
+  epsilon ramp to duplicated weights, for interoperability tests against
+  external oracles that only see weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WeightError
+
+__all__ = ["weight_order_ranks", "ensure_unique_weights", "perturbation_scale"]
+
+
+def weight_order_ranks(w: np.ndarray) -> np.ndarray:
+    """Unique int64 rank per edge, ordered by ``(weight, edge index)``.
+
+    ``ranks[e]`` is the position of edge ``e`` in the sorted order; ties in
+    weight are broken by the (canonical) edge index, which encodes the
+    endpoint identities per the paper's uniqueness rule.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.size and not np.isfinite(w).all():
+        raise WeightError("weights must be finite to be ranked")
+    order = np.argsort(w, kind="stable")  # stable sort == tie-break by index
+    ranks = np.empty(w.size, dtype=np.int64)
+    ranks[order] = np.arange(w.size, dtype=np.int64)
+    return ranks
+
+
+def perturbation_scale(w: np.ndarray) -> float:
+    """A perturbation step small enough not to reorder distinct weights.
+
+    Returns ``gap / (2 * (len(w) + 1))`` where ``gap`` is the smallest
+    nonzero difference between distinct weights (or 1.0 when all weights are
+    equal), guaranteeing the cumulative perturbation stays below ``gap / 2``.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.size < 2:
+        return 1.0
+    s = np.sort(w)
+    diffs = np.diff(s)
+    nz = diffs[diffs > 0]
+    gap = float(nz.min()) if nz.size else 1.0
+    return gap / (2.0 * (w.size + 1))
+
+
+def ensure_unique_weights(w: np.ndarray) -> np.ndarray:
+    """Return weights with duplicates broken by a deterministic epsilon ramp.
+
+    The relative order of originally-distinct weights is preserved, and the
+    result is strictly increasing along the stable sort order — i.e. it is
+    the value-level realisation of :func:`weight_order_ranks`.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.size == 0:
+        return w.copy()
+    if not np.isfinite(w).all():
+        raise WeightError("weights must be finite")
+    step = perturbation_scale(w)
+    order = np.argsort(w, kind="stable")
+    s = w[order] + step * np.arange(w.size, dtype=np.float64)
+    # The i*step ramp makes duplicates strictly ordered by original index
+    # while distinct values keep their order (total perturbation < gap/2).
+    # When the gap is subnormal the step underflows to zero, so enforce
+    # strict monotonicity explicitly with minimal nextafter bumps.
+    if (np.diff(s) <= 0).any():
+        for i in range(1, s.size):
+            if s[i] <= s[i - 1]:
+                s[i] = np.nextafter(s[i - 1], np.inf)
+    if s.size and not np.isfinite(s[-1]):
+        raise WeightError("cannot uniquify weights at the top of the float range")
+    out = np.empty_like(s)
+    out[order] = s
+    return out

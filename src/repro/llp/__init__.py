@@ -1,0 +1,32 @@
+"""Lattice Linear Predicate (LLP) detection framework.
+
+Implements Algorithm 1 of the paper: given a distributive lattice of state
+vectors ``G`` and a lattice-linear predicate ``B``, repeatedly advance every
+*forbidden* index in parallel until no index is forbidden; the final ``G``
+is the least vector satisfying ``B``.
+
+Problems plug in by subclassing :class:`~repro.llp.core.LLPProblem`
+(defining ``forbidden`` and ``advance``); two engines run them:
+:func:`~repro.llp.engine_seq.solve_sequential` (one index at a time) and
+:func:`~repro.llp.engine_parallel.solve_parallel` (whole frontiers per
+round on any :class:`~repro.runtime.backend.Backend`).  Lattice-linearity
+guarantees both reach the same least fixpoint.
+
+:mod:`repro.llp.problems` instantiates the framework for the related-work
+problems (stable marriage, shortest paths, market clearing) alongside the
+MST algorithms in :mod:`repro.mst`.
+"""
+
+from repro.llp.core import LLPProblem, LLPResult, check_lattice_linearity
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_priority import solve_priority
+
+__all__ = [
+    "LLPProblem",
+    "LLPResult",
+    "check_lattice_linearity",
+    "solve_sequential",
+    "solve_parallel",
+    "solve_priority",
+]

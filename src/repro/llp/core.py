@@ -1,0 +1,124 @@
+"""LLP problem protocol and shared engine machinery.
+
+Definitions follow Section II of the paper:
+
+* the search space is a lattice ``L`` of n-vectors ordered componentwise;
+* ``forbidden(G, j)`` — index ``j`` must move before ``B`` can ever hold in
+  any ``H >= G`` with ``H[j] = G[j]`` (Definition 1);
+* ``advance(G, j)`` — the least useful next value for ``G[j]``
+  (Definition 3): every ``H >= G`` with ``H[j] < advance(G, j)`` violates
+  ``B``;
+* ``B`` is *lattice-linear* iff every infeasible ``G`` has a forbidden
+  index (Definition 2), which makes "advance all forbidden indices, in any
+  order or all at once" converge to the least feasible vector.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import LLPError
+
+__all__ = ["LLPProblem", "LLPResult", "check_lattice_linearity"]
+
+
+class LLPProblem(ABC):
+    """A predicate-detection problem over a lattice of state vectors.
+
+    Subclasses define the lattice bottom/top and the ``forbidden`` /
+    ``advance`` pair.  The engines only interact through this interface.
+    """
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Dimension of the state vector."""
+
+    @abstractmethod
+    def bottom(self) -> np.ndarray:
+        """The least element of the lattice (the initial ``G``)."""
+
+    def top(self) -> np.ndarray | None:
+        """Componentwise upper bound ``T``; ``None`` means unbounded.
+
+        Advancing past ``T[j]`` means no feasible vector exists at or below
+        ``T`` and the engine raises
+        :class:`~repro.errors.InfeasibleError`.
+        """
+        return None
+
+    @abstractmethod
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        """Definition 1: must index ``j`` advance before ``B`` can hold?"""
+
+    @abstractmethod
+    def advance(self, G: np.ndarray, j: int) -> float:
+        """Definition 3: the new (strictly larger) value for ``G[j]``."""
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def forbidden_indices(self, G: np.ndarray) -> Iterable[int]:
+        """Indices that are forbidden in ``G``.
+
+        The default scans every index; problems usually override this with
+        an incremental frontier to avoid the O(n) sweep per round.
+        """
+        return [j for j in range(self.n) if self.forbidden(G, j)]
+
+    def is_feasible(self, G: np.ndarray) -> bool:
+        """The predicate ``B``.  Default: no index is forbidden.
+
+        For genuinely lattice-linear predicates this default is exact; a
+        problem may override it with a cheaper direct test (used by
+        verification, not by the engines).
+        """
+        return not any(True for _ in self.forbidden_indices(G))
+
+    def on_advanced(self, G: np.ndarray, j: int, old: float, new: float) -> None:
+        """Notification hook after ``G[j]`` changes (for derived state)."""
+
+
+@dataclass
+class LLPResult:
+    """Outcome of an engine run."""
+
+    state: np.ndarray
+    rounds: int
+    advances: int
+    feasible: bool = True
+    history: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0 or self.advances < 0:
+            raise LLPError("negative counters in LLP result")
+
+
+def check_lattice_linearity(
+    problem: LLPProblem,
+    samples: Sequence[np.ndarray],
+) -> None:
+    """Spot-check Definition 2 on given sample states (test helper).
+
+    For every sample ``G`` that is infeasible, some index must be
+    forbidden; for every forbidden index, ``advance`` must strictly
+    increase the component.  Violations raise :class:`LLPError`.
+    """
+    for G in samples:
+        forb = list(problem.forbidden_indices(G))
+        for j in forb:
+            if not problem.forbidden(G, j):
+                raise LLPError(
+                    f"forbidden_indices listed {j} but forbidden(G, {j}) is false"
+                )
+            nxt = problem.advance(G, j)
+            if not nxt > G[j]:
+                raise LLPError(
+                    f"advance must strictly increase index {j}: {G[j]} -> {nxt}"
+                )
+        if not forb and not problem.is_feasible(G):
+            raise LLPError("infeasible state with no forbidden index (not lattice-linear)")

@@ -1,0 +1,74 @@
+"""Parallel LLP engine: advance every forbidden index each round.
+
+The maximally-parallel schedule of Algorithm 1: each round evaluates
+``forbidden`` for the whole frontier (one task per index, charged one unit
+plus whatever the problem charges via ``on_advanced``), then applies all
+advances.  Evaluating ``forbidden`` against the round-start snapshot and
+writing afterwards is exactly the "little or no synchronization" execution
+the paper describes — lattice-linearity makes the stale reads harmless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleError, LLPError
+from repro.llp.core import LLPProblem, LLPResult
+from repro.runtime.backend import Backend, TaskContext
+from repro.runtime.sequential import SequentialBackend
+
+__all__ = ["solve_parallel"]
+
+
+def solve_parallel(
+    problem: LLPProblem,
+    backend: Backend | None = None,
+    *,
+    max_rounds: int | None = None,
+    record_history: bool = False,
+) -> LLPResult:
+    """Run Algorithm 1 with all forbidden indices advancing per round."""
+    backend = backend or SequentialBackend()
+    G = np.array(problem.bottom(), copy=True)
+    if G.shape != (problem.n,):
+        raise LLPError(f"bottom() must have shape ({problem.n},), got {G.shape}")
+    top = problem.top()
+    rounds = 0
+    advances = 0
+    history = [G.copy()] if record_history else []
+    limit = max_rounds if max_rounds is not None else max(10_000, 4 * problem.n * problem.n)
+
+    while True:
+        frontier = list(problem.forbidden_indices(G))
+        if not frontier:
+            break
+        rounds += 1
+        if rounds > limit:
+            raise LLPError(
+                f"exceeded {limit} rounds; predicate is likely not lattice-linear"
+            )
+        # Snapshot semantics: all advances computed against the same G.
+        snapshot = G.copy()
+
+        def advance_task(ctx: TaskContext, j: int) -> tuple[int, float]:
+            ctx.charge(1)
+            return j, problem.advance(snapshot, int(j))
+
+        results = backend.run_round(frontier, advance_task)
+        for j, new in results:
+            old = G[j]
+            if not new > snapshot[j]:
+                raise LLPError(
+                    f"advance did not strictly increase index {j}: {snapshot[j]} -> {new}"
+                )
+            if top is not None and new > top[j]:
+                raise InfeasibleError(
+                    f"index {j} must exceed top ({new} > {top[j]}); no feasible state"
+                )
+            if new > old:
+                G[j] = new
+                problem.on_advanced(G, j, old, new)
+                advances += 1
+        if record_history:
+            history.append(G.copy())
+    return LLPResult(state=G, rounds=rounds, advances=advances, history=history)

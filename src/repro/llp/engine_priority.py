@@ -1,0 +1,73 @@
+"""Priority-scheduled sequential LLP engine.
+
+Lattice-linearity makes the fixpoint independent of which forbidden index
+advances first, but the *schedule* still controls how much work each run
+does.  This engine always advances the forbidden index with the smallest
+``advance`` value — a Dijkstra-flavoured schedule: low-lying parts of the
+state settle before anything built on top of them moves, which empirically
+cuts re-advances versus arbitrary orders (the shortest-path LLP under an
+adversarial order degrades toward Bellman-Ford's re-relaxations).
+
+Note the bottom-up lattice means this is not literally Dijkstra: states
+start at the lattice bottom (zero), not at infinity, so a component can
+pass through intermediate justified values before reaching its final one
+even under this schedule.  The engine demonstrates the framework claim
+that scheduling improvements transfer across problems unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InfeasibleError, LLPError
+from repro.llp.core import LLPProblem, LLPResult
+
+__all__ = ["solve_priority"]
+
+
+def solve_priority(
+    problem: LLPProblem,
+    *,
+    max_advances: int | None = None,
+) -> LLPResult:
+    """Run Algorithm 1 advancing the smallest-``advance`` forbidden index.
+
+    Each step evaluates ``advance`` for every currently forbidden index
+    and applies only the minimum (ties break on index).  Returns the same
+    least fixpoint as the other engines.
+    """
+    G = np.array(problem.bottom(), copy=True)
+    if G.shape != (problem.n,):
+        raise LLPError(f"bottom() must have shape ({problem.n},), got {G.shape}")
+    top = problem.top()
+    advances = 0
+    limit = max_advances if max_advances is not None else max(10_000, 4 * problem.n * problem.n)
+
+    while True:
+        frontier = list(problem.forbidden_indices(G))
+        if not frontier:
+            break
+        best_j = -1
+        best_val = np.inf
+        for j in frontier:
+            val = problem.advance(G, int(j))
+            if val < best_val or (val == best_val and j < best_j):
+                best_j, best_val = int(j), val
+        if not best_val > G[best_j]:
+            raise LLPError(
+                f"advance did not strictly increase index {best_j}: "
+                f"{G[best_j]} -> {best_val}"
+            )
+        if top is not None and best_val > top[best_j]:
+            raise InfeasibleError(
+                f"index {best_j} must exceed top ({best_val} > {top[best_j]})"
+            )
+        old = G[best_j]
+        G[best_j] = best_val
+        problem.on_advanced(G, best_j, old, best_val)
+        advances += 1
+        if advances > limit:
+            raise LLPError(
+                f"exceeded {limit} advances; predicate is likely not lattice-linear"
+            )
+    return LLPResult(state=G, rounds=advances, advances=advances)

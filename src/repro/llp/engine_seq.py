@@ -1,0 +1,73 @@
+"""Sequential LLP engine: advance one forbidden index at a time.
+
+The fully-serialised schedule of Algorithm 1.  Lattice-linearity makes the
+fixpoint independent of which forbidden index is picked each step; the
+``order`` parameter exposes that choice so tests can verify
+schedule-independence against the parallel engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import InfeasibleError, LLPError
+from repro.llp.core import LLPProblem, LLPResult
+
+__all__ = ["solve_sequential"]
+
+
+def solve_sequential(
+    problem: LLPProblem,
+    *,
+    order: Callable[[Iterable[int]], Iterable[int]] | None = None,
+    max_advances: int | None = None,
+    record_history: bool = False,
+) -> LLPResult:
+    """Run Algorithm 1 advancing a single forbidden index per step.
+
+    ``order`` reorders each step's forbidden set before picking its first
+    element (default: as produced by the problem).  ``max_advances`` guards
+    against non-lattice-linear problems that would loop forever.
+    """
+    G = np.array(problem.bottom(), copy=True)
+    if G.shape != (problem.n,):
+        raise LLPError(f"bottom() must have shape ({problem.n},), got {G.shape}")
+    top = problem.top()
+    advances = 0
+    history = [G.copy()] if record_history else []
+    limit = max_advances if max_advances is not None else _default_limit(problem)
+
+    while True:
+        picked = None
+        for j in order(problem.forbidden_indices(G)) if order else problem.forbidden_indices(G):
+            picked = int(j)
+            break
+        if picked is None:
+            break
+        old = G[picked]
+        new = problem.advance(G, picked)
+        if not new > old:
+            raise LLPError(
+                f"advance did not strictly increase index {picked}: {old} -> {new}"
+            )
+        if top is not None and new > top[picked]:
+            raise InfeasibleError(
+                f"index {picked} must exceed top ({new} > {top[picked]}); no feasible state"
+            )
+        G[picked] = new
+        problem.on_advanced(G, picked, old, new)
+        advances += 1
+        if record_history:
+            history.append(G.copy())
+        if advances > limit:
+            raise LLPError(
+                f"exceeded {limit} advances; predicate is likely not lattice-linear"
+            )
+    return LLPResult(state=G, rounds=advances, advances=advances, history=history)
+
+
+def _default_limit(problem: LLPProblem) -> int:
+    # Generous default: quadratic in n, at least a few thousand.
+    return max(10_000, 4 * problem.n * problem.n)

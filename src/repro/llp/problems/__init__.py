@@ -1,0 +1,31 @@
+"""LLP instantiations of the related-work problems.
+
+The paper positions LLP-Prim/LLP-Boruvka in a framework already shown to
+cover stable marriage (Gale-Shapley), shortest paths (Dijkstra /
+Bellman-Ford) and market clearing prices (Demange-Gale-Sotomayor) [15].
+These modules implement those instantiations against the same
+:class:`~repro.llp.core.LLPProblem` protocol the MST algorithms use,
+substantiating the "single, general framework" claim.
+"""
+
+from repro.llp.problems.shortest_path import ShortestPathLLP, shortest_paths_llp
+from repro.llp.problems.stable_marriage import StableMarriageLLP, stable_marriage_llp
+from repro.llp.problems.market_clearing import MarketClearingLLP, market_clearing_llp
+from repro.llp.problems.mst_prim import PrimLLP, mst_via_llp_engine
+from repro.llp.problems.pointer_jumping import PointerJumpingLLP, rooted_stars_llp
+from repro.llp.problems.scheduling import JobSchedulingLLP, earliest_schedule_llp
+
+__all__ = [
+    "ShortestPathLLP",
+    "shortest_paths_llp",
+    "StableMarriageLLP",
+    "stable_marriage_llp",
+    "MarketClearingLLP",
+    "market_clearing_llp",
+    "PrimLLP",
+    "mst_via_llp_engine",
+    "PointerJumpingLLP",
+    "rooted_stars_llp",
+    "JobSchedulingLLP",
+    "earliest_schedule_llp",
+]

@@ -1,0 +1,79 @@
+"""Bipartite maximum matching and Hall violators (market-clearing substrate).
+
+The Demange-Gale-Sotomayor auction needs, each round, a minimal
+*over-demanded* set of items: a set ``S`` whose collective demanders
+(buyers demanding only items of ``S``) outnumber ``|S|``.  That is exactly
+a Hall-condition violator of the demand graph, which falls out of a
+maximum-matching computation: run augmenting-path matching from the
+unmatched buyers; the items reached by alternating paths from any
+unmatched buyer form a minimal over-demanded set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["max_bipartite_matching", "hall_violator"]
+
+
+def max_bipartite_matching(
+    adj: Sequence[Sequence[int]], n_right: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hungarian-style augmenting path matching.
+
+    ``adj[l]`` lists right-vertices adjacent to left-vertex ``l``.  Returns
+    ``(match_left, match_right)`` arrays holding partner ids or -1.
+    """
+    n_left = len(adj)
+    match_left = np.full(n_left, -1, dtype=np.int64)
+    match_right = np.full(n_right, -1, dtype=np.int64)
+
+    def try_augment(l: int, seen: np.ndarray) -> bool:
+        for r in adj[l]:
+            if seen[r]:
+                continue
+            seen[r] = True
+            if match_right[r] < 0 or try_augment(int(match_right[r]), seen):
+                match_left[l] = r
+                match_right[r] = l
+                return True
+        return False
+
+    for l in range(n_left):
+        if adj[l]:
+            try_augment(l, np.zeros(n_right, dtype=bool))
+    return match_left, match_right
+
+
+def hall_violator(adj: Sequence[Sequence[int]], n_right: int) -> List[int]:
+    """A minimal over-demanded right-set, or ``[]`` when matching is perfect.
+
+    With a maximum matching in hand, pick any unmatched left vertex and
+    collect all right vertices reachable by alternating paths; if every
+    left vertex is matched the demand graph satisfies Hall's condition and
+    no over-demanded set exists.
+    """
+    match_left, match_right = max_bipartite_matching(adj, n_right)
+    unmatched = [l for l in range(len(adj)) if adj[l] and match_left[l] < 0]
+    if not unmatched:
+        return []
+    # BFS over alternating paths from one unmatched buyer.
+    seen_r = np.zeros(n_right, dtype=bool)
+    frontier = [unmatched[0]]
+    seen_l = {unmatched[0]}
+    reached_r: List[int] = []
+    while frontier:
+        nxt: List[int] = []
+        for l in frontier:
+            for r in adj[l]:
+                if not seen_r[r]:
+                    seen_r[r] = True
+                    reached_r.append(int(r))
+                    m = int(match_right[r])
+                    if m >= 0 and m not in seen_l:
+                        seen_l.add(m)
+                        nxt.append(m)
+        frontier = nxt
+    return sorted(reached_r)

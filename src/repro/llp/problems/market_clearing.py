@@ -1,0 +1,101 @@
+"""Market clearing prices (Demange-Gale-Sotomayor) as an LLP problem.
+
+``n`` items are auctioned to ``n`` buyers with integer valuations
+``v[b, i]``.  ``G`` is the item price vector (bottom = all zeros).  At
+prices ``G``, buyer ``b`` demands the items maximising surplus
+``v[b, i] - G[i]`` (provided the surplus is nonnegative).  Prices are
+*market clearing* when the demand graph admits a perfect matching.  The
+LLP dynamics are the DGS ascending auction:
+
+``forbidden(i) = item i belongs to a minimal over-demanded set``
+``advance(i)  = G[i] + 1``
+
+The least feasible vector is the (unique) minimum market-clearing price
+vector.  Valuations must be integers for unit price increments to be the
+exact ``advance`` (Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import LLPError
+from repro.llp.core import LLPProblem
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.problems.bipartite import hall_violator, max_bipartite_matching
+
+__all__ = ["MarketClearingLLP", "market_clearing_llp"]
+
+
+class MarketClearingLLP(LLPProblem):
+    """LLP formulation of the DGS minimum market-clearing prices."""
+
+    def __init__(self, valuations: np.ndarray) -> None:
+        v = np.asarray(valuations)
+        if v.ndim != 2 or v.shape[0] != v.shape[1]:
+            raise LLPError("valuations must be a square buyers x items matrix")
+        if not np.issubdtype(v.dtype, np.integer):
+            raise LLPError("valuations must be integers (unit price steps)")
+        if (v < 0).any():
+            raise LLPError("valuations must be nonnegative")
+        self.v = v.astype(np.int64)
+        self._n = v.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def bottom(self) -> np.ndarray:
+        return np.zeros(self._n, dtype=np.float64)
+
+    def top(self) -> np.ndarray:
+        # Prices never exceed the max valuation: an item priced above every
+        # buyer's value is demanded by nobody and cannot be over-demanded.
+        return np.full(self._n, float(self.v.max()) + 1.0, dtype=np.float64)
+
+    def demand_sets(self, G: np.ndarray) -> List[List[int]]:
+        """Items each buyer demands at prices ``G``."""
+        prices = G.astype(np.int64)
+        surplus = self.v - prices[None, :]
+        out: List[List[int]] = []
+        for b in range(self._n):
+            row = surplus[b]
+            best = row.max()
+            out.append([] if best < 0 else [int(i) for i in np.flatnonzero(row == best)])
+        return out
+
+    def _violator(self, G: np.ndarray) -> List[int]:
+        return hall_violator(self.demand_sets(G), self._n)
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        return j in self._violator(G)
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        return float(G[j]) + 1.0
+
+    def forbidden_indices(self, G: np.ndarray):
+        return self._violator(G)
+
+    def clearing_matching(self, G: np.ndarray) -> np.ndarray:
+        """Matching buyer -> item at clearing prices ``G`` (-1 if priced out).
+
+        Every buyer with a non-empty demand set must receive a demanded
+        item; a buyer whose surplus is negative on every item demands
+        nothing and is legitimately unmatched.
+        """
+        demands = self.demand_sets(G)
+        match_left, _ = max_bipartite_matching(demands, self._n)
+        for b, d in enumerate(demands):
+            if d and match_left[b] < 0:
+                raise LLPError("prices are not market clearing")
+        return match_left
+
+
+def market_clearing_llp(valuations, backend=None) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum clearing prices and a supporting matching."""
+    problem = MarketClearingLLP(np.asarray(valuations))
+    result = solve_parallel(problem, backend)
+    prices = result.state.astype(np.int64)
+    return prices, problem.clearing_matching(result.state)

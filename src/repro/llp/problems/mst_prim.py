@@ -1,0 +1,183 @@
+"""Algorithm 4 verbatim: the MST as a lattice-linear predicate.
+
+This is the paper's *direct* LLP formulation of rooted MST (Section V-A),
+kept deliberately literal so the generic engines of :mod:`repro.llp` can
+solve it — the derived, efficient realisation lives in
+:mod:`repro.mst.llp_prim`.
+
+Lattice
+    ``G[i]`` is the weight-rank of the parent edge currently proposed by
+    vertex ``i`` (one component per vertex except the root ``v_0``; the
+    root's component is pinned).  The bottom element proposes every
+    vertex's minimum-weight incident edge; the top element its maximum.
+    Components move only upward through each vertex's sorted incident
+    edge list, so the state space is exactly the paper's lattice of edge
+    choices (e.g. 3 x 4 x 3 x 2 = 72 states for Fig 1 rooted at ``a``).
+
+Predicate (Algorithm 4)::
+
+    fixed(j, G)   := following proposed edges from j reaches v_0
+    E'(G)         := edges (i, k) with i fixed and k not fixed
+    forbidden(j)  := j is the non-fixed endpoint of the minimum edge of E'
+    advance(j)    := G[j] becomes that minimum cut edge's rank
+
+The least feasible vector assigns every non-root vertex its MST parent
+edge.  If ``E'`` empties while vertices remain non-fixed the graph is
+disconnected and the instance is infeasible (the engine exceeds top).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.llp.core import LLPProblem
+from repro.llp.engine_parallel import solve_parallel
+from repro.mst.base import MSTResult, result_from_edge_ids
+
+__all__ = ["PrimLLP", "mst_via_llp_engine"]
+
+
+class PrimLLP(LLPProblem):
+    """The paper's Algorithm 4 as an :class:`LLPProblem`.
+
+    O(n + m) work per ``forbidden``/``advance`` evaluation — this is the
+    specification, not the optimised algorithm; use it for graphs small
+    enough to enumerate (tests, teaching, cross-checks).
+    """
+
+    def __init__(self, g: CSRGraph, root: int = 0) -> None:
+        if g.n_vertices == 0:
+            raise GraphError("MST LLP needs at least one vertex")
+        if not (0 <= root < g.n_vertices):
+            raise GraphError(f"root {root} out of range")
+        self.g = g
+        self.root = int(root)
+        # Sorted incident edge ranks per vertex: the per-vertex chains of
+        # the lattice.  G[i] must always be one of chain[i]'s values.
+        nbrs, ranks, eids = g.py_adjacency
+        self._chains = [sorted(r) for r in ranks]
+        # rank -> (edge id, endpoints) lookups
+        self._rank_to_eid = g.edge_by_rank
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.g.n_vertices
+
+    def bottom(self) -> np.ndarray:
+        out = np.empty(self.n, dtype=np.float64)
+        for v, chain in enumerate(self._chains):
+            out[v] = chain[0] if chain else -1.0  # isolated vertices inert
+        out[self.root] = -1.0  # the root proposes nothing
+        return out
+
+    def top(self) -> np.ndarray:
+        out = np.empty(self.n, dtype=np.float64)
+        for v, chain in enumerate(self._chains):
+            out[v] = chain[-1] if chain else -1.0
+        out[self.root] = -1.0
+        return out
+
+    # ------------------------------------------------------------------
+    def _proposal_target(self, G: np.ndarray, j: int) -> int:
+        """The vertex j's proposed edge leads to (-1 when none)."""
+        rank = int(G[j])
+        if rank < 0:
+            return -1
+        eid = int(self._rank_to_eid[rank])
+        return self.g.other_endpoint(eid, j)
+
+    def fixed_set(self, G: np.ndarray) -> np.ndarray:
+        """``fixed(j, G)``: following proposals from j reaches the root."""
+        n = self.n
+        fixed = np.zeros(n, dtype=bool)
+        fixed[self.root] = True
+        state = np.zeros(n, dtype=np.int8)  # 0 unknown, 1 visiting, 2 done
+        state[self.root] = 2
+        for start in range(n):
+            if state[start]:
+                continue
+            path = []
+            v = start
+            while state[v] == 0:
+                state[v] = 1
+                path.append(v)
+                nxt = self._proposal_target(G, v)
+                if nxt < 0:
+                    break
+                v = nxt
+            reached = (
+                state[v] == 2 and fixed[v]
+            )  # ended at a resolved fixed vertex
+            for p in path:
+                state[p] = 2
+                fixed[p] = reached
+        return fixed
+
+    def _min_cut_edge(self, G: np.ndarray) -> tuple[int, int] | None:
+        """Minimum-rank edge of E'(G); returns (rank, non-fixed endpoint)."""
+        fixed = self.fixed_set(G)
+        g = self.g
+        best = None
+        for e in range(g.n_edges):
+            u, v = int(g.edge_u[e]), int(g.edge_v[e])
+            if fixed[u] == fixed[v]:
+                continue
+            k = v if fixed[u] else u
+            r = int(g.ranks[e])
+            if best is None or r < best[0]:
+                best = (r, k)
+        return best
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        best = self._min_cut_edge(G)
+        return best is not None and best[1] == j
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        best = self._min_cut_edge(G)
+        if best is None or best[1] != j:
+            raise GraphError(f"advance called on non-forbidden index {j}")
+        return float(best[0])
+
+    def forbidden_indices(self, G: np.ndarray):
+        best = self._min_cut_edge(G)
+        return [] if best is None else [best[1]]
+
+    def is_feasible(self, G: np.ndarray) -> bool:
+        """B(G): every vertex with an edge is fixed (spanning tree found)."""
+        fixed = self.fixed_set(G)
+        has_edge = np.array([bool(c) for c in self._chains])
+        return bool(fixed[has_edge].all())
+
+    # ------------------------------------------------------------------
+    def extract_result(self, G: np.ndarray) -> MSTResult:
+        """Convert a feasible state into an :class:`MSTResult`."""
+        parent = np.full(self.n, -1, dtype=np.int64)
+        edges = []
+        for v in range(self.n):
+            rank = int(G[v])
+            if v == self.root or rank < 0:
+                continue
+            eid = int(self._rank_to_eid[rank])
+            edges.append(eid)
+            parent[v] = self.g.other_endpoint(eid, v)
+        return result_from_edge_ids(
+            self.g, np.asarray(edges, dtype=np.int64), parent=parent
+        )
+
+
+def mst_via_llp_engine(g: CSRGraph, root: int = 0, backend=None) -> MSTResult:
+    """Solve Algorithm 4 with the generic parallel LLP engine.
+
+    Connected graphs only (Algorithm 4's setting); quadratic-ish work —
+    intended for cross-checking the derived algorithms on small inputs.
+    """
+    from repro.graphs.traversal import is_connected
+
+    if not is_connected(g):
+        raise GraphError("Algorithm 4 assumes a connected graph")
+    problem = PrimLLP(g, root)
+    result = solve_parallel(problem, backend)
+    return problem.extract_result(result.state)

@@ -1,0 +1,115 @@
+"""Pointer jumping (rooted trees -> rooted stars) as an LLP problem.
+
+The inner LLP instance of every LLP-Boruvka level (Section VI, Lemma 4):
+given a forest encoded as a parent vector ``G`` (roots point to
+themselves),
+
+``forbidden(j) := G[j] != G[G[j]]``
+``advance(j)  := G[j] := G[G[j]]``
+
+until every vertex points directly at its root.  Lemma 4's lattice keeps,
+per component, the weight of the minimum edge on the path from ``j`` to
+``G[j]``; here the component values are realised as the *depth decrease*
+of ``j``'s pointer target, which is monotone under jumping — so the
+generic engines apply unchanged.
+
+:mod:`repro.mst.llp_boruvka` inlines an optimised version of this
+instance; this module is the standalone, engine-solvable formulation used
+for cross-checks and as a reusable primitive (e.g. the label-propagation
+connected components in :mod:`repro.graphs.components`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LLPError
+from repro.llp.core import LLPProblem
+from repro.llp.engine_parallel import solve_parallel
+
+__all__ = ["PointerJumpingLLP", "rooted_stars_llp"]
+
+
+class PointerJumpingLLP(LLPProblem):
+    """LLP formulation of tree-to-star conversion.
+
+    The engine's state vector holds, for each vertex, the *root-distance
+    already shortcut* (monotonically increasing, bounded by the vertex's
+    initial depth — the lattice top).  The parent vector itself is derived
+    state updated in :meth:`on_advanced`, which keeps the engine's
+    numeric-lattice contract while the interesting structure lives in the
+    pointers, mirroring how Lemma 4 separates the proof lattice from the
+    program state.
+    """
+
+    def __init__(self, parent: np.ndarray) -> None:
+        parent = np.asarray(parent, dtype=np.int64)
+        n = parent.size
+        if n and (parent.min() < 0 or parent.max() >= n):
+            raise LLPError("parent pointers out of range")
+        self.parent = parent.copy()
+        self._depth = self._initial_depths(self.parent)
+
+    @staticmethod
+    def _initial_depths(parent: np.ndarray) -> np.ndarray:
+        n = parent.size
+        depth = np.full(n, -1, dtype=np.int64)
+        for v in range(n):
+            # walk to the first vertex with known depth or a root
+            path = []
+            x = v
+            while depth[x] < 0 and parent[x] != x:
+                path.append(x)
+                x = int(parent[x])
+                if len(path) > n:
+                    raise LLPError("parent vector contains a cycle")
+            base = depth[x] if depth[x] >= 0 else 0
+            for i, p in enumerate(reversed(path), start=1):
+                depth[p] = base + i
+        depth[depth < 0] = 0
+        return depth
+
+    @property
+    def n(self) -> int:
+        return int(self.parent.size)
+
+    def bottom(self) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.float64)
+
+    def top(self) -> np.ndarray:
+        # A vertex can shortcut at most depth-1 levels.
+        return np.maximum(self._depth - 1, 0).astype(np.float64)
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        p = self.parent
+        return p[j] != p[p[j]]
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        # The lattice component counts shortcut levels: strictly increases
+        # on every jump.
+        return float(G[j]) + 1.0
+
+    def on_advanced(self, G: np.ndarray, j: int, old: float, new: float) -> None:
+        p = self.parent
+        p[j] = p[p[j]]
+
+    def forbidden_indices(self, G: np.ndarray):
+        p = self.parent
+        return [int(j) for j in np.flatnonzero(p[p] != p)]
+
+    def is_star(self) -> bool:
+        """True when every vertex points directly at a root."""
+        p = self.parent
+        return bool((p[p] == p).all())
+
+
+def rooted_stars_llp(parent: np.ndarray, backend=None) -> np.ndarray:
+    """Collapse a rooted forest to rooted stars via the parallel engine.
+
+    Returns the star parent vector (every vertex pointing at its root).
+    """
+    problem = PointerJumpingLLP(parent)
+    solve_parallel(problem, backend)
+    if not problem.is_star():
+        raise LLPError("engine terminated before reaching rooted stars")
+    return problem.parent

@@ -1,0 +1,92 @@
+"""Single-source shortest paths as an LLP problem.
+
+Garg's formulation [15]: the lattice is the set of tentative-distance
+vectors ``G`` (bottom = all zeros); the predicate is
+
+``B(G) = forall j != s:  G[j] >= min over in-neighbours i (G[i] + w(i, j))``
+
+i.e. every vertex's cost is *justified* by some neighbour.  The least
+vector satisfying ``B`` is the true distance vector.  A vertex ``j != s``
+is forbidden when its cost is below every neighbour's offer, and advances
+to the least offer:
+
+``forbidden(j) = G[j] < min_i (G[i] + w(i, j))``
+``advance(j)  = min_i (G[i] + w(i, j))``
+
+Requires nonnegative weights (like Dijkstra) and that the source reaches
+every vertex: an unreachable component's tentative costs would justify
+each other upward forever without converging, so connectivity is checked
+at construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.llp.core import LLPProblem
+from repro.llp.engine_parallel import solve_parallel
+
+__all__ = ["ShortestPathLLP", "shortest_paths_llp"]
+
+
+class ShortestPathLLP(LLPProblem):
+    """LLP formulation of single-source shortest paths."""
+
+    def __init__(self, g: CSRGraph, source: int) -> None:
+        if not (0 <= source < g.n_vertices):
+            raise GraphError(f"source {source} out of range")
+        if g.n_edges and float(g.edge_w.min()) < 0:
+            raise GraphError("shortest-path LLP requires nonnegative weights")
+        # Vertices the source cannot reach would ratchet upward forever
+        # (their mutual offers keep growing but never reach +inf), so the
+        # formulation requires every vertex to be reachable — the same
+        # connectivity assumption the paper makes for LLP-Prim.
+        from repro.graphs.traversal import bfs_levels
+
+        if g.n_vertices and (bfs_levels(g, source) < 0).any():
+            raise GraphError(
+                "shortest-path LLP requires all vertices reachable from the source"
+            )
+        self.g = g
+        self.source = int(source)
+
+    @property
+    def n(self) -> int:
+        return self.g.n_vertices
+
+    def bottom(self) -> np.ndarray:
+        return np.zeros(self.n, dtype=np.float64)
+
+    def _offer(self, G: np.ndarray, j: int) -> float:
+        nbrs = self.g.neighbors(j)
+        if nbrs.size == 0:
+            return np.inf
+        w = self.g.neighbor_weights(j)
+        return float(np.min(G[nbrs] + w))
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        if j == self.source:
+            return False
+        return G[j] < self._offer(G, j)
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        return self._offer(G, j)
+
+    def forbidden_indices(self, G: np.ndarray):
+        # Vectorised sweep: compute every vertex's best offer at once.
+        g = self.g
+        if g.n_edges == 0:
+            return [j for j in range(self.n) if j != self.source and G[j] < np.inf]
+        offers = np.full(self.n, np.inf)
+        src = g.half_edge_sources
+        np.minimum.at(offers, src, G[g.indices] + g.weights)
+        forb = np.flatnonzero(G < offers)
+        return [int(j) for j in forb if j != self.source]
+
+
+def shortest_paths_llp(g: CSRGraph, source: int, backend=None) -> np.ndarray:
+    """Distances from ``source`` via the parallel LLP engine."""
+    result = solve_parallel(ShortestPathLLP(g, source), backend)
+    return result.state

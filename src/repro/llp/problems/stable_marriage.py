@@ -1,0 +1,100 @@
+"""Stable marriage (Gale-Shapley) as an LLP problem.
+
+Garg's formulation [15]: ``G[m]`` is the 0-based rank of the woman man
+``m`` currently proposes to in his preference list (bottom = everyone
+proposes to his first choice).  A man is forbidden when his current
+proposal is *rejected*: the woman he proposes to is also proposed to by a
+man she strictly prefers.  Advancing moves him one step down his list:
+
+``forbidden(m) = exists m' != m proposing to the same woman w
+                 with rank_w(m') < rank_w(m)``
+``advance(m)  = G[m] + 1``
+
+The least feasible vector is the man-optimal stable matching.  The lattice
+top is ``n - 1`` per index; with complete preference lists the top is never
+exceeded (a stable matching always exists).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LLPError
+from repro.llp.core import LLPProblem
+from repro.llp.engine_parallel import solve_parallel
+
+__all__ = ["StableMarriageLLP", "stable_marriage_llp"]
+
+
+class StableMarriageLLP(LLPProblem):
+    """LLP formulation of stable marriage with complete preference lists."""
+
+    def __init__(
+        self,
+        men_prefs: Sequence[Sequence[int]],
+        women_prefs: Sequence[Sequence[int]],
+    ) -> None:
+        self.men_prefs = np.asarray(men_prefs, dtype=np.int64)
+        women = np.asarray(women_prefs, dtype=np.int64)
+        n = self.men_prefs.shape[0]
+        if self.men_prefs.shape != (n, n) or women.shape != (n, n):
+            raise LLPError("preference lists must be two n x n permutations")
+        for name, mat in (("men", self.men_prefs), ("women", women)):
+            if not (np.sort(mat, axis=1) == np.arange(n)).all():
+                raise LLPError(f"{name} preference rows must be permutations of 0..n-1")
+        # rank_by_woman[w, m] = position of man m in woman w's list.
+        self.rank_by_woman = np.empty((n, n), dtype=np.int64)
+        rows = np.arange(n)[:, None]
+        self.rank_by_woman[rows, women] = np.arange(n)[None, :]
+        self._n = n
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def bottom(self) -> np.ndarray:
+        return np.zeros(self._n, dtype=np.float64)
+
+    def top(self) -> np.ndarray:
+        return np.full(self._n, self._n - 1, dtype=np.float64)
+
+    def proposals(self, G: np.ndarray) -> np.ndarray:
+        """Woman each man currently proposes to."""
+        ranks = G.astype(np.int64)
+        return self.men_prefs[np.arange(self._n), ranks]
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        props = self.proposals(G)
+        w = props[j]
+        mine = self.rank_by_woman[w, j]
+        rivals = np.flatnonzero(props == w)
+        return bool((self.rank_by_woman[w, rivals] < mine).any())
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        return float(G[j]) + 1.0
+
+    def forbidden_indices(self, G: np.ndarray):
+        # For each woman, the best-ranked proposer is safe; all others are
+        # forbidden.  One vectorised pass.
+        props = self.proposals(G)
+        men = np.arange(self._n)
+        my_rank = self.rank_by_woman[props, men]
+        best = np.full(self._n, self._n, dtype=np.int64)  # per woman
+        np.minimum.at(best, props, my_rank)
+        return [int(m) for m in np.flatnonzero(my_rank > best[props])]
+
+    def matching(self, G: np.ndarray) -> np.ndarray:
+        """Final matching as an array ``wife[m]`` (engine output helper)."""
+        props = self.proposals(G)
+        if np.unique(props).size != self._n:
+            raise LLPError("state is not a perfect matching")
+        return props
+
+
+def stable_marriage_llp(men_prefs, women_prefs, backend=None) -> np.ndarray:
+    """Man-optimal stable matching via the parallel LLP engine."""
+    problem = StableMarriageLLP(men_prefs, women_prefs)
+    result = solve_parallel(problem, backend)
+    return problem.matching(result.state)

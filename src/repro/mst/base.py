@@ -1,0 +1,82 @@
+"""Common MST result type and assembly helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+
+__all__ = ["MSTResult", "result_from_edge_ids"]
+
+
+@dataclass(frozen=True)
+class MSTResult:
+    """A minimum spanning tree or forest.
+
+    Attributes
+    ----------
+    edge_ids:
+        Sorted undirected edge ids (into the graph's edge tables) chosen
+        for the tree/forest.
+    total_weight:
+        Sum of the chosen edges' weights.
+    n_components:
+        Number of trees in the forest (1 for a spanning tree).
+    parent:
+        Optional rooted-tree parent array (``-1`` for roots); produced by
+        the Prim-family algorithms, ``None`` for the Boruvka family.
+    stats:
+        Algorithm diagnostics (heap operation counts, rounds, ...).
+    """
+
+    edge_ids: np.ndarray
+    total_weight: float
+    n_components: int
+    parent: np.ndarray | None = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges in the forest."""
+        return int(self.edge_ids.size)
+
+    def weight_of(self, g: CSRGraph) -> float:
+        """Recompute the weight from the graph (consistency check)."""
+        return float(g.edge_w[self.edge_ids].sum()) if self.n_edges else 0.0
+
+    def edge_set(self) -> frozenset[int]:
+        """Edge ids as a frozenset (for cross-algorithm comparison)."""
+        return frozenset(int(e) for e in self.edge_ids)
+
+
+def result_from_edge_ids(
+    g: CSRGraph,
+    edge_ids: np.ndarray,
+    *,
+    parent: np.ndarray | None = None,
+    stats: Dict[str, float] | None = None,
+) -> MSTResult:
+    """Assemble an :class:`MSTResult`, computing weight and component count.
+
+    The component count follows from the forest identity
+    ``n_components = n_vertices - n_tree_edges`` (valid because a spanning
+    forest is acyclic; the verifier checks acyclicity independently).
+    """
+    edge_ids = np.sort(np.asarray(edge_ids, dtype=np.int64))
+    if edge_ids.size:
+        if edge_ids[0] < 0 or edge_ids[-1] >= g.n_edges:
+            raise AlgorithmError("edge id out of range in MST result")
+        if (np.diff(edge_ids) == 0).any():
+            raise AlgorithmError("duplicate edge ids in MST result")
+    total = float(g.edge_w[edge_ids].sum()) if edge_ids.size else 0.0
+    return MSTResult(
+        edge_ids=edge_ids,
+        total_weight=total,
+        n_components=g.n_vertices - int(edge_ids.size),
+        parent=parent,
+        stats=dict(stats or {}),
+    )

@@ -1,0 +1,66 @@
+"""Filter-Kruskal (Osipov-Sanders-Singler) — an extension baseline.
+
+Quicksort-flavoured Kruskal: partition the edges around a pivot weight,
+recurse on the light half, then *filter* the heavy half (dropping edges
+whose endpoints are already connected) before recursing on it.  Avoids
+sorting edges that can never join the forest; same output as Kruskal.
+
+Included as the "optional / future work" style extension: a stronger
+sequential baseline than plain Kruskal on dense graphs, and a second
+independent oracle for the cross-algorithm tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.structures.union_find import UnionFind
+
+__all__ = ["filter_kruskal"]
+
+_SMALL = 64  # below this many edges, fall back to sorted Kruskal scan
+
+
+def filter_kruskal(g: CSRGraph) -> MSTResult:
+    """Filter-Kruskal MSF of ``g``."""
+    n = g.n_vertices
+    uf = UnionFind(n)
+    chosen: list[int] = []
+    eu, ev, ranks = g.edge_u, g.edge_v, g.ranks
+    stats = {"partitions": 0, "filtered_out": 0, "edges_scanned": 0}
+
+    def kruskal_base(edges: np.ndarray) -> None:
+        order = np.argsort(ranks[edges], kind="stable")
+        for e in edges[order]:
+            stats["edges_scanned"] += 1
+            if uf.union(int(eu[e]), int(ev[e])):
+                chosen.append(int(e))
+
+    def flt(edges: np.ndarray) -> np.ndarray:
+        keep = np.empty(edges.size, dtype=bool)
+        for i, e in enumerate(edges):
+            keep[i] = uf.find(int(eu[e])) != uf.find(int(ev[e]))
+        stats["filtered_out"] += int(edges.size - keep.sum())
+        return edges[keep]
+
+    def rec(edges: np.ndarray) -> None:
+        if len(chosen) >= n - 1 or edges.size == 0:
+            return
+        if edges.size <= _SMALL:
+            kruskal_base(edges)
+            return
+        stats["partitions"] += 1
+        pivot = np.median(ranks[edges])
+        light = edges[ranks[edges] <= pivot]
+        heavy = edges[ranks[edges] > pivot]
+        if light.size == edges.size:  # all equal ranks cannot happen (unique),
+            kruskal_base(edges)  # but guard against degenerate pivots
+            return
+        rec(light)
+        if len(chosen) < n - 1:
+            rec(flt(heavy))
+
+    rec(np.arange(g.n_edges, dtype=np.int64))
+    return result_from_edge_ids(g, np.asarray(chosen, dtype=np.int64), stats=stats)

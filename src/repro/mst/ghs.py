@@ -1,0 +1,249 @@
+"""Gallager-Humblet-Spira (GHS) distributed MST.
+
+The asynchronous message-passing realisation of the fragment framework
+behind all the paper's algorithms (Section IV, Lemma 1: a fragment grows
+by its minimum outgoing edge).  Fragments at level ``L`` locate their
+minimum-weight outgoing edge with Test/Accept/Reject probes, report it up
+a fragment spanning tree, and merge over it with Connect — either
+absorbing a lower-level fragment or combining with an equal-level one
+into a level ``L+1`` fragment whose *core* edge names the fragment.
+
+Implemented verbatim from the GHS'83 pseudocode over the deterministic
+FIFO network of :mod:`repro.runtime.messaging`, with all nodes awakened
+spontaneously at time zero and unique weight ranks as edge identities
+(GHS requires distinct weights, which the rank order supplies).  Message
+complexity is O(m + n log n); the stats expose the count so tests can
+check the bound.
+
+Included as an extension baseline: it computes the identical MSF through
+a completely different execution model, which makes it a strong
+cross-check of the shared-memory algorithms — and a natural companion to
+the LLP view, whose "advance all forbidden indices independently"
+executions GHS realises with explicit messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.runtime.messaging import Message, Network
+
+__all__ = ["ghs"]
+
+_INF = 1 << 62
+
+# node states
+_SLEEPING, _FIND, _FOUND = 0, 1, 2
+# edge states
+_BASIC, _BRANCH, _REJECTED = 0, 1, 2
+
+
+@dataclass
+class _Node:
+    """Per-node GHS state (one protocol participant)."""
+
+    vid: int
+    nbrs: List[int]  # neighbor vertex ids
+    ranks: List[int]  # edge weight-ranks (the unique weights)
+    eids: List[int]  # undirected edge ids
+    sn: int = _SLEEPING
+    fn: int = -1  # fragment name: rank of the core edge
+    ln: int = 0  # fragment level
+    se: List[int] = field(default_factory=list)  # per-edge state
+    in_branch: int = -1  # local index of the edge toward the core
+    best_edge: int = -1  # local index of best outgoing candidate
+    best_wt: int = _INF
+    test_edge: int = -1
+    find_count: int = 0
+    halted: bool = False
+
+    def edge_index(self, nbr: int) -> int:
+        """Local index of the edge to ``nbr``."""
+        return self.nbrs.index(nbr)
+
+
+class _GHS:
+    def __init__(self, g: CSRGraph) -> None:
+        self.g = g
+        self.net = Network(g.n_vertices)
+        nbrs, ranks, eids = g.py_adjacency
+        self.nodes = [
+            _Node(v, nbrs[v], ranks[v], eids[v], se=[_BASIC] * len(nbrs[v]))
+            for v in range(g.n_vertices)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self) -> MSTResult:
+        for node in self.nodes:
+            if node.nbrs and node.sn == _SLEEPING:
+                self._wakeup(node)
+        stats = self.net.run(self._dispatch)
+        chosen = sorted(
+            {
+                node.eids[i]
+                for node in self.nodes
+                for i in range(len(node.nbrs))
+                if node.se[i] == _BRANCH
+            }
+        )
+        return result_from_edge_ids(
+            self.g,
+            np.asarray(chosen, dtype=np.int64),
+            stats={
+                "messages": stats.messages_sent,
+                "deferrals": stats.deferrals,
+                "logical_time": stats.final_time,
+                "max_level": max((n.ln for n in self.nodes), default=0),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, net: Network, msg: Message) -> None:
+        node = self.nodes[msg.dst]
+        j = node.edge_index(msg.src)
+        kind = msg.kind
+        if kind == "connect":
+            self._on_connect(node, j, msg)
+        elif kind == "initiate":
+            self._on_initiate(node, j, msg)
+        elif kind == "test":
+            self._on_test(node, j, msg)
+        elif kind == "accept":
+            self._on_accept(node, j)
+        elif kind == "reject":
+            self._on_reject(node, j)
+        elif kind == "report":
+            self._on_report(node, j, msg)
+        elif kind == "change_root":
+            self._change_root(node)
+        else:  # pragma: no cover - protocol is closed
+            raise AlgorithmError(f"unknown GHS message {kind!r}")
+
+    # ------------------------------------------------------------------
+    def _wakeup(self, node: _Node) -> None:
+        m = int(np.argmin(node.ranks))
+        node.se[m] = _BRANCH
+        node.ln = 0
+        node.sn = _FOUND
+        node.find_count = 0
+        self.net.send(node.vid, node.nbrs[m], "connect", 0)
+
+    def _on_connect(self, node: _Node, j: int, msg: Message) -> None:
+        (level,) = msg.payload
+        if node.sn == _SLEEPING:
+            self._wakeup(node)
+        if level < node.ln:
+            # absorb the lower-level fragment
+            node.se[j] = _BRANCH
+            self.net.send(node.vid, node.nbrs[j], "initiate", node.ln, node.fn, node.sn)
+            if node.sn == _FIND:
+                node.find_count += 1
+        elif node.se[j] == _BASIC:
+            self.net.defer(msg)  # equal level but not yet ready to merge
+        else:
+            # equal-level merge over edge j: it becomes the new core
+            self.net.send(
+                node.vid, node.nbrs[j], "initiate", node.ln + 1, node.ranks[j], _FIND
+            )
+
+    def _on_initiate(self, node: _Node, j: int, msg: Message) -> None:
+        level, name, state = msg.payload
+        node.ln = level
+        node.fn = name
+        node.sn = state
+        node.in_branch = j
+        node.best_edge = -1
+        node.best_wt = _INF
+        for i in range(len(node.nbrs)):
+            if i != j and node.se[i] == _BRANCH:
+                self.net.send(node.vid, node.nbrs[i], "initiate", level, name, state)
+                if state == _FIND:
+                    node.find_count += 1
+        if state == _FIND:
+            self._test(node)
+
+    def _test(self, node: _Node) -> None:
+        basic = [i for i in range(len(node.nbrs)) if node.se[i] == _BASIC]
+        if basic:
+            t = min(basic, key=lambda i: node.ranks[i])
+            node.test_edge = t
+            self.net.send(node.vid, node.nbrs[t], "test", node.ln, node.fn)
+        else:
+            node.test_edge = -1
+            self._report(node)
+
+    def _on_test(self, node: _Node, j: int, msg: Message) -> None:
+        level, name = msg.payload
+        if node.sn == _SLEEPING:
+            self._wakeup(node)
+        if level > node.ln:
+            self.net.defer(msg)  # cannot answer for a higher-level fragment
+            return
+        if name != node.fn:
+            self.net.send(node.vid, node.nbrs[j], "accept")
+            return
+        if node.se[j] == _BASIC:
+            node.se[j] = _REJECTED
+        if node.test_edge != j:
+            self.net.send(node.vid, node.nbrs[j], "reject")
+        else:
+            self._test(node)
+
+    def _on_accept(self, node: _Node, j: int) -> None:
+        node.test_edge = -1
+        if node.ranks[j] < node.best_wt:
+            node.best_edge = j
+            node.best_wt = node.ranks[j]
+        self._report(node)
+
+    def _on_reject(self, node: _Node, j: int) -> None:
+        if node.se[j] == _BASIC:
+            node.se[j] = _REJECTED
+        self._test(node)
+
+    def _report(self, node: _Node) -> None:
+        if node.find_count == 0 and node.test_edge == -1:
+            node.sn = _FOUND
+            self.net.send(node.vid, node.nbrs[node.in_branch], "report", node.best_wt)
+
+    def _on_report(self, node: _Node, j: int, msg: Message) -> None:
+        (wt,) = msg.payload
+        if j != node.in_branch:
+            # a child's answer
+            node.find_count -= 1
+            if wt < node.best_wt:
+                node.best_wt = wt
+                node.best_edge = j
+            self._report(node)
+            return
+        # the other core node's answer
+        if node.sn == _FIND:
+            self.net.defer(msg)
+        elif wt > node.best_wt:
+            self._change_root(node)
+        elif wt == _INF and node.best_wt == _INF:
+            node.halted = True  # fragment spans its whole component
+
+    def _change_root(self, node: _Node) -> None:
+        b = node.best_edge
+        if node.se[b] == _BRANCH:
+            self.net.send(node.vid, node.nbrs[b], "change_root")
+        else:
+            self.net.send(node.vid, node.nbrs[b], "connect", node.ln)
+            node.se[b] = _BRANCH
+
+
+def ghs(g: CSRGraph) -> MSTResult:
+    """Distributed MSF of ``g`` via the GHS protocol.
+
+    Every vertex is a protocol node; the returned forest is the set of
+    BRANCH edges when the network quiesces.  Isolated vertices simply
+    never participate.
+    """
+    return _GHS(g).run()

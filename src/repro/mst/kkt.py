@@ -1,0 +1,169 @@
+"""Karger-Klein-Tarjan randomized expected-linear-time MSF.
+
+The paper's related work plans a direct comparison with this algorithm
+("We plan to compare directly with this approach"); this module provides
+it as an extension baseline.  The classic recursion [KKT95]:
+
+1. **Contract**: run two Boruvka rounds, moving each chosen minimum edge
+   into the output and contracting components (vertex count drops to at
+   most n/4).
+2. **Sample**: keep each remaining edge independently with probability
+   1/2; recursively compute the MSF ``F`` of the sample.
+3. **Filter**: discard every non-sampled edge that is *F-heavy* (its rank
+   exceeds the maximum rank on its F-path — such edges can never be in
+   the MSF, by the cycle property).  Expected F-light edge count is
+   O(n'), which is what makes the total expected work linear.
+4. **Recurse** on the F-light edges and return the union with step 1's
+   contracted edges.
+
+The F-heavy filter uses the :class:`~repro.graphs.tree_queries.ForestPathMax`
+oracle (binary lifting, O(log n) per query — a simple stand-in for the
+linear-time Komlos verifier the original analysis assumes; the recursion
+shape and filtering behaviour are identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.tree_queries import DISCONNECTED, ForestPathMax
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.structures.union_find import UnionFind
+
+__all__ = ["kkt"]
+
+_BASE_CASE_EDGES = 24
+
+
+def kkt(g: CSRGraph, *, seed: int = 0) -> MSTResult:
+    """Randomized linear-time MSF of ``g`` (KKT recursion).
+
+    The output is the unique MSF (identical edge set to Kruskal); only the
+    running-time profile is randomized.
+    """
+    rng = np.random.default_rng(seed)
+    stats = {"boruvka_steps": 0, "base_cases": 0, "sampled_edges": 0,
+             "fheavy_discarded": 0, "max_depth": 0}
+    chosen = _kkt_rec(
+        g.n_vertices,
+        g.edge_u.astype(np.int64),
+        g.edge_v.astype(np.int64),
+        g.ranks.astype(np.int64),
+        np.arange(g.n_edges, dtype=np.int64),
+        rng,
+        stats,
+        depth=0,
+    )
+    return result_from_edge_ids(g, np.asarray(chosen, dtype=np.int64), stats=stats)
+
+
+# ----------------------------------------------------------------------
+def _kkt_rec(n, cu, cv, cranks, ceids, rng, stats, depth):
+    stats["max_depth"] = max(stats["max_depth"], depth)
+    if cu.size == 0:
+        return []
+    if cu.size <= _BASE_CASE_EDGES:
+        stats["base_cases"] += 1
+        return _kruskal_arrays(n, cu, cv, cranks, ceids)
+
+    # ---- Step 1: two Boruvka contraction steps.
+    chosen: list[int] = []
+    for _ in range(2):
+        if cu.size == 0:
+            return chosen
+        n, cu, cv, cranks, ceids, picked = _boruvka_step(n, cu, cv, cranks, ceids)
+        chosen.extend(picked)
+        stats["boruvka_steps"] += 1
+    if cu.size == 0:
+        return chosen
+
+    # ---- Step 2: sample half the edges, recurse for the sample's MSF F.
+    mask = rng.random(cu.size) < 0.5
+    if not mask.any():  # degenerate draw: resample deterministically
+        mask[rng.integers(0, cu.size)] = True
+    stats["sampled_edges"] += int(mask.sum())
+    f_ids = _kkt_rec(
+        n, cu[mask], cv[mask], cranks[mask], ceids[mask], rng, stats, depth + 1
+    )
+    # F as arrays in the current contracted vertex space.
+    f_set = set(f_ids)
+    in_f = np.fromiter((int(e) in f_set for e in ceids), dtype=bool, count=cu.size)
+    oracle = ForestPathMax(n, cu[in_f], cv[in_f], cranks[in_f])
+
+    # ---- Step 3: keep F edges + F-light non-sample edges.
+    keep = in_f.copy()
+    cand = np.flatnonzero(~in_f)
+    for i in cand:
+        pm = oracle.path_max(int(cu[i]), int(cv[i]))
+        # F-light: endpoints disconnected in F, or some F-path edge heavier.
+        if pm == DISCONNECTED or pm > cranks[i]:
+            keep[i] = True
+        else:
+            stats["fheavy_discarded"] += 1
+
+    # ---- Step 4: recurse on the filtered graph.
+    chosen.extend(
+        _kkt_rec(
+            n, cu[keep], cv[keep], cranks[keep], ceids[keep], rng, stats, depth + 1
+        )
+    )
+    return chosen
+
+
+def _boruvka_step(n, cu, cv, cranks, ceids):
+    """One Boruvka round on contracted arrays.
+
+    Returns the contracted arrays and the original ids of chosen edges.
+    """
+    best = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    np.minimum.at(best, cu, cranks)
+    np.minimum.at(best, cv, cranks)
+    picked_ranks = np.unique(best[best < np.iinfo(np.int64).max])
+    if picked_ranks.size == 0:
+        return n, cu[:0], cv[:0], cranks[:0], ceids[:0], []
+    pick_pos = np.flatnonzero(np.isin(cranks, picked_ranks))
+    picked_eids = [int(e) for e in ceids[pick_pos]]
+
+    # Union the picked edges, relabel survivors densely.
+    uf = UnionFind(n)
+    for i in pick_pos:
+        uf.union(int(cu[i]), int(cv[i]))
+    labels = uf.min_labels()
+    cu2, cv2 = labels[cu], labels[cv]
+    external = cu2 != cv2
+    cu2, cv2 = cu2[external], cv2[external]
+    cranks2, ceids2 = cranks[external], ceids[external]
+    if cu2.size:
+        verts = np.unique(np.concatenate([cu2, cv2]))
+        remap = np.empty(n, dtype=np.int64)
+        remap[verts] = np.arange(verts.size, dtype=np.int64)
+        cu2, cv2 = remap[cu2], remap[cv2]
+        n2 = int(verts.size)
+        # Dedup parallel super-edges keeping the lightest (keeps the
+        # instance size O(n'^2) and never discards an MSF candidate).
+        lo = np.minimum(cu2, cv2)
+        hi = np.maximum(cu2, cv2)
+        sel = np.lexsort((cranks2, hi, lo))
+        lo, hi = lo[sel], hi[sel]
+        cranks2, ceids2 = cranks2[sel], ceids2[sel]
+        leader = np.empty(lo.size, dtype=bool)
+        leader[0] = True
+        np.not_equal(lo[1:], lo[:-1], out=leader[1:])
+        leader[1:] |= hi[1:] != hi[:-1]
+        cu2, cv2 = lo[leader], hi[leader]
+        cranks2, ceids2 = cranks2[leader], ceids2[leader]
+    else:
+        n2 = 0
+    return n2, cu2, cv2, cranks2, ceids2, picked_eids
+
+
+def _kruskal_arrays(n, cu, cv, cranks, ceids):
+    """Kruskal base case on contracted arrays; returns original edge ids."""
+    order = np.argsort(cranks, kind="stable")
+    uf = UnionFind(n)
+    out = []
+    for i in order:
+        if uf.union(int(cu[i]), int(cv[i])):
+            out.append(int(ceids[i]))
+    return out

@@ -1,0 +1,109 @@
+"""Parallel Filter-Kruskal (Osipov-Sanders-Singler, parallel filter steps).
+
+The natural parallelisation of Filter-Kruskal and a further baseline for
+the Fig 3-4 family: partitioning and *filtering* (discarding edges whose
+endpoints are already connected) are embarrassingly parallel edge sweeps
+run as backend rounds, while the union scan of each small base case stays
+serial (unions order-depend; the base cases are below a threshold, so the
+serial share shrinks as the filter discards edge mass).
+
+Work is dominated by the parallel filters — O(m) expected per level with
+geometrically shrinking survivors — giving a profile between LLP-Prim's
+(serial-heavy) and Boruvka's (fully round-parallel): useful as a fourth
+point of comparison in the speedup studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.runtime.backend import Backend, TaskContext
+from repro.runtime.scheduling import chunk_indices
+from repro.runtime.sequential import SequentialBackend
+from repro.structures.union_find import UnionFind
+
+__all__ = ["parallel_filter_kruskal"]
+
+_SMALL = 256  # below this many edges, run the serial sorted scan
+
+
+def parallel_filter_kruskal(
+    g: CSRGraph, backend: Backend | None = None
+) -> MSTResult:
+    """Filter-Kruskal MSF with parallel partition/filter phases."""
+    backend = backend or SequentialBackend()
+    n = g.n_vertices
+    uf = UnionFind(n)
+    chosen: list[int] = []
+    eu, ev, ranks = g.edge_u, g.edge_v, g.ranks
+    n_chunks = max(4 * backend.n_workers, 4)
+    stats = {"partitions": 0, "filter_rounds": 0, "filtered_out": 0}
+
+    def kruskal_base(edges: np.ndarray) -> None:
+        order = np.argsort(ranks[edges], kind="stable")
+        for e in edges[order]:
+            backend.charge_serial(2)
+            if uf.union(int(eu[e]), int(ev[e])):
+                chosen.append(int(e))
+
+    def parallel_filter(edges: np.ndarray) -> np.ndarray:
+        """Drop edges already internal to a component (parallel sweep).
+
+        ``find`` is read-mostly here (path-halving writes are benign and
+        the union-find is quiescent during the round), so chunks scan
+        independently.
+        """
+        stats["filter_rounds"] += 1
+
+        def task(ctx: TaskContext, chunk: np.ndarray) -> np.ndarray:
+            keep = np.zeros(chunk.size, dtype=bool)
+            for i, e in enumerate(chunk):
+                e = int(e)
+                ctx.charge(2)
+                keep[i] = uf.find(int(eu[e])) != uf.find(int(ev[e]))
+            return chunk[keep]
+
+        parts = backend.run_round(chunk_indices(edges, n_chunks), task)
+        survivors = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        stats["filtered_out"] += int(edges.size - survivors.size)
+        return survivors
+
+    def parallel_partition(edges: np.ndarray, pivot: int):
+        """Split edges around the pivot rank (parallel sweep)."""
+        stats["partitions"] += 1
+
+        def task(ctx: TaskContext, chunk: np.ndarray):
+            ctx.charge(int(chunk.size))
+            mask = ranks[chunk] <= pivot
+            return chunk[mask], chunk[~mask]
+
+        parts = backend.run_round(chunk_indices(edges, n_chunks), task)
+        light = [p[0] for p in parts]
+        heavy = [p[1] for p in parts]
+        cat = lambda xs: (
+            np.concatenate(xs) if xs else np.empty(0, dtype=np.int64)
+        )
+        return cat(light), cat(heavy)
+
+    def rec(edges: np.ndarray) -> None:
+        if len(chosen) >= n - 1 or edges.size == 0:
+            return
+        if edges.size <= _SMALL:
+            kruskal_base(edges)
+            return
+        pivot = int(np.median(ranks[edges]))
+        light, heavy = parallel_partition(edges, pivot)
+        if light.size == edges.size:  # degenerate pivot; fall back
+            kruskal_base(edges)
+            return
+        rec(light)
+        if len(chosen) < n - 1:
+            rec(parallel_filter(heavy))
+
+    rec(np.arange(g.n_edges, dtype=np.int64))
+    stats["backend_workers"] = backend.n_workers
+    return result_from_edge_ids(g, np.asarray(chosen, dtype=np.int64), stats=stats)

@@ -1,0 +1,91 @@
+"""Lazy-deletion Prim — the variant of the paper's complexity analysis.
+
+Section IV analyses a Prim variant with a heap that "simply inserts the
+vertex" instead of adjusting keys, so the heap may hold a vertex several
+times; stale (already-fixed) entries are skipped on pop.  There are at
+most ``m`` insertions and ``m`` deletions, giving the O(m log n) bound.
+Implemented against :class:`~repro.structures.lazy_heap.LazyHeap`, mainly
+as the reference point for the heap-ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.structures.lazy_heap import LazyHeap
+
+__all__ = ["prim_lazy"]
+
+_INF = 1 << 60
+
+
+def prim_lazy(g: CSRGraph, root: int = 0, *, msf: bool = True) -> MSTResult:
+    """Prim with duplicate heap entries and lazy staleness filtering."""
+    n = g.n_vertices
+    heap = LazyHeap()
+    adj_n, adj_r, adj_e = g.py_adjacency
+    d = [_INF] * n
+    fixed = bytearray(n)
+    parent = [-1] * n
+    parent_edge = [-1] * n
+    chosen: list[int] = []
+    edges_scanned = 0
+    n_fixed = 0
+
+    roots = [root] if n else []
+    next_probe = 0
+    while roots:
+        r = roots.pop()
+        if fixed[r]:
+            continue
+        d[r] = -1
+        heap.push(r, -1)
+        while True:
+            entry = heap.pop_fresh(lambda v: fixed[v])
+            if entry is None:
+                break
+            j, _ = entry
+            fixed[j] = 1
+            n_fixed += 1
+            pe = parent_edge[j]
+            if pe >= 0:
+                chosen.append(pe)
+            nbrs = adj_n[j]
+            ranks = adj_r[j]
+            eids = adj_e[j]
+            edges_scanned += len(nbrs)
+            for idx in range(len(nbrs)):
+                k = nbrs[idx]
+                if fixed[k]:
+                    continue
+                rk = ranks[idx]
+                if rk < d[k]:
+                    d[k] = rk
+                    parent[k] = j
+                    parent_edge[k] = eids[idx]
+                    heap.push(k, rk)  # duplicate entries instead of adjust
+        if n_fixed < n:
+            if not msf:
+                raise DisconnectedGraphError(
+                    "graph is disconnected; rerun with msf=True for a forest"
+                )
+            while next_probe < n and fixed[next_probe]:
+                next_probe += 1
+            if next_probe < n:
+                roots.append(next_probe)
+
+    stats = {
+        "heap_pushes": heap.n_pushes,
+        "heap_pops": heap.n_pops,
+        "stale_pops": heap.n_stale_pops,
+        "edges_scanned": edges_scanned,
+    }
+    return result_from_edge_ids(
+        g,
+        np.asarray(chosen, dtype=np.int64),
+        parent=np.asarray(parent, dtype=np.int64),
+        stats=stats,
+    )

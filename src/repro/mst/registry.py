@@ -1,0 +1,95 @@
+"""Name-based algorithm registry (CLI and bench harness plumbing).
+
+Sequential algorithms take ``(graph)``; parallel ones also accept a
+``backend`` keyword.  :func:`get_algorithm` returns a uniform
+``fn(graph, backend=None) -> MSTResult`` adapter for either kind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import BenchmarkError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult
+
+__all__ = ["get_algorithm", "available_algorithms", "PARALLEL_ALGORITHMS"]
+
+_SEQUENTIAL: Dict[str, Callable[[CSRGraph], MSTResult]] = {}
+_PARALLEL: Dict[str, Callable[..., MSTResult]] = {}
+
+
+def _register() -> None:
+    from repro.mst.boruvka import boruvka
+    from repro.mst.filter_kruskal import filter_kruskal
+    from repro.mst.ghs import ghs
+    from repro.mst.kkt import kkt
+    from repro.mst.kruskal import kruskal
+    from repro.mst.llp_boruvka import llp_boruvka
+    from repro.mst.llp_prim import llp_prim
+    from repro.mst.llp_prim_parallel import llp_prim_parallel
+    from repro.mst.parallel_boruvka import parallel_boruvka
+    from repro.mst.parallel_filter_kruskal import parallel_filter_kruskal
+    from repro.mst.prim import prim
+    from repro.mst.prim_lazy import prim_lazy
+
+    _SEQUENTIAL.update(
+        {
+            "prim": prim,
+            "prim-lazy": prim_lazy,
+            "llp-prim": llp_prim,
+            "boruvka": boruvka,
+            "kruskal": kruskal,
+            "kkt": kkt,
+            "filter-kruskal": filter_kruskal,
+            "ghs": ghs,
+        }
+    )
+    _PARALLEL.update(
+        {
+            "llp-prim-parallel": llp_prim_parallel,
+            "parallel-boruvka": parallel_boruvka,
+            "parallel-filter-kruskal": parallel_filter_kruskal,
+            "llp-boruvka": llp_boruvka,
+        }
+    )
+
+
+PARALLEL_ALGORITHMS = (
+    "llp-prim-parallel",
+    "parallel-boruvka",
+    "llp-boruvka",
+    "parallel-filter-kruskal",
+)
+
+
+def available_algorithms() -> list[str]:
+    """Names of every registered algorithm."""
+    if not _SEQUENTIAL:
+        _register()
+    return sorted(_SEQUENTIAL) + sorted(_PARALLEL)
+
+
+def get_algorithm(name: str) -> Callable[..., MSTResult]:
+    """Uniform ``fn(graph, backend=None)`` adapter for a registered name."""
+    if not _SEQUENTIAL:
+        _register()
+    if name in _SEQUENTIAL:
+        seq = _SEQUENTIAL[name]
+
+        def run_sequential(g: CSRGraph, backend=None, **kw) -> MSTResult:
+            return seq(g, **kw)
+
+        run_sequential.__name__ = f"run_{name}"
+        return run_sequential
+    if name in _PARALLEL:
+        par = _PARALLEL[name]
+
+        def run_parallel(g: CSRGraph, backend=None, **kw) -> MSTResult:
+            return par(g, backend=backend, **kw)
+
+        run_parallel.__name__ = f"run_{name}"
+        return run_parallel
+    raise BenchmarkError(
+        f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+    )

@@ -1,0 +1,144 @@
+"""MST verification.
+
+Three independent checks with increasing strength:
+
+* :func:`verify_spanning_forest` — structural: the claimed edges form an
+  acyclic subgraph spanning each connected component of the input (pure
+  union-find argument, O(m alpha)).
+* :func:`verify_cut_property_sample` — semantic spot check: for sampled
+  tree edges, removing the edge splits its tree in two and the edge is the
+  minimum-rank edge crossing that cut (the cut property that every
+  algorithm's correctness proof leans on).
+* :func:`verify_minimum` — exact: with distinct weights the MSF is unique,
+  so the edge set must equal the Kruskal oracle's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult
+from repro.structures.union_find import UnionFind
+
+__all__ = [
+    "verify_spanning_forest",
+    "verify_minimum",
+    "verify_minimum_cycle_property",
+    "verify_cut_property_sample",
+]
+
+
+def verify_spanning_forest(g: CSRGraph, result: MSTResult) -> None:
+    """Raise :class:`AlgorithmError` unless the result is a spanning forest.
+
+    Checks: valid distinct edge ids; acyclic (every edge union succeeds);
+    spanning (the forest has exactly ``n - c`` edges where ``c`` is the
+    number of connected components of the input graph, i.e. it connects
+    everything the graph connects).
+    """
+    ids = result.edge_ids
+    if ids.size:
+        if int(ids.min()) < 0 or int(ids.max()) >= g.n_edges:
+            raise AlgorithmError("edge id out of range")
+        if np.unique(ids).size != ids.size:
+            raise AlgorithmError("duplicate edges in forest")
+    forest_uf = UnionFind(g.n_vertices)
+    for e in ids:
+        if not forest_uf.union(int(g.edge_u[e]), int(g.edge_v[e])):
+            raise AlgorithmError(f"edge {int(e)} closes a cycle")
+    graph_uf = UnionFind(g.n_vertices)
+    for u, v in zip(g.edge_u, g.edge_v):
+        graph_uf.union(int(u), int(v))
+    if forest_uf.n_sets != graph_uf.n_sets:
+        raise AlgorithmError(
+            f"forest has {forest_uf.n_sets} components, graph has {graph_uf.n_sets}"
+        )
+    if result.n_components != forest_uf.n_sets:
+        raise AlgorithmError("result.n_components inconsistent with edge set")
+    expected_weight = float(g.edge_w[ids].sum()) if ids.size else 0.0
+    if not np.isclose(result.total_weight, expected_weight, rtol=1e-12, atol=1e-12):
+        raise AlgorithmError("total_weight inconsistent with edge set")
+
+
+def verify_minimum(g: CSRGraph, result: MSTResult) -> None:
+    """Raise unless the edge set equals the unique MSF (Kruskal oracle)."""
+    from repro.mst.kruskal import kruskal
+
+    verify_spanning_forest(g, result)
+    oracle = kruskal(g)
+    if result.edge_set() != oracle.edge_set():
+        extra = sorted(result.edge_set() - oracle.edge_set())
+        missing = sorted(oracle.edge_set() - result.edge_set())
+        raise AlgorithmError(
+            f"not the minimum forest: extra edges {extra[:5]}, missing {missing[:5]}"
+        )
+
+
+def verify_minimum_cycle_property(g: CSRGraph, result: MSTResult) -> None:
+    """Complete MST verification via the cycle property (oracle-free).
+
+    A spanning forest is minimum iff every non-tree edge is the heaviest
+    edge on the cycle it closes — equivalently, its rank exceeds the
+    maximum rank on the forest path between its endpoints.  Checked for
+    *all* non-tree edges with the
+    :class:`~repro.graphs.tree_queries.ForestPathMax` oracle
+    (O((n + m) log n)), independently of any other MST implementation.
+    """
+    from repro.graphs.tree_queries import DISCONNECTED, ForestPathMax
+
+    verify_spanning_forest(g, result)
+    ids = result.edge_ids
+    in_tree = np.zeros(g.n_edges, dtype=bool)
+    in_tree[ids] = True
+    oracle = ForestPathMax(
+        g.n_vertices, g.edge_u[ids], g.edge_v[ids], g.ranks[ids]
+    )
+    for e in np.flatnonzero(~in_tree):
+        pm = oracle.path_max(int(g.edge_u[e]), int(g.edge_v[e]))
+        if pm == DISCONNECTED:
+            # spanning check above guarantees this cannot happen
+            raise AlgorithmError(f"non-tree edge {int(e)} bridges components")
+        if pm > int(g.ranks[e]):
+            raise AlgorithmError(
+                f"cycle property violated: non-tree edge {int(e)} is lighter "
+                f"than a tree edge on its cycle"
+            )
+
+
+def verify_cut_property_sample(
+    g: CSRGraph,
+    result: MSTResult,
+    *,
+    n_samples: int = 32,
+    seed: int = 0,
+) -> None:
+    """Check the cut property on a random sample of tree edges.
+
+    For tree edge ``e``: drop it from the forest, 2-colour the vertices by
+    the side of the split they land on, and confirm no crossing edge has a
+    lower rank than ``e``.
+    """
+    ids = result.edge_ids
+    if ids.size == 0:
+        return
+    rng = np.random.default_rng(seed)
+    sample = rng.choice(ids, size=min(n_samples, ids.size), replace=False)
+    for e in sample:
+        uf = UnionFind(g.n_vertices)
+        for t in ids:
+            if t != e:
+                uf.union(int(g.edge_u[t]), int(g.edge_v[t]))
+        side_u = uf.find(int(g.edge_u[e]))
+        side_v = uf.find(int(g.edge_v[e]))
+        if side_u == side_v:
+            raise AlgorithmError(f"removing tree edge {int(e)} does not split its tree")
+        rank_e = int(g.ranks[e])
+        for o in range(g.n_edges):
+            a, b = uf.find(int(g.edge_u[o])), uf.find(int(g.edge_v[o]))
+            crosses = {a, b} == {side_u, side_v}
+            if crosses and int(g.ranks[o]) < rank_e:
+                raise AlgorithmError(
+                    f"cut property violated: edge {o} is lighter than tree edge {int(e)}"
+                )

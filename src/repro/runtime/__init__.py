@@ -1,0 +1,39 @@
+"""Parallel runtime substrate.
+
+The paper's algorithms run on Galois/GBBS C++ shared-memory runtimes; this
+package replaces them with a pluggable backend API (see DESIGN.md §2).
+Algorithms submit *rounds* of independent tasks; each task accounts its
+work in abstract units through a :class:`~repro.runtime.backend.TaskContext`.
+
+Three interchangeable backends execute those rounds:
+
+* :class:`~repro.runtime.sequential.SequentialBackend` — single worker,
+  deterministic, traces work/span.
+* :class:`~repro.runtime.threads.ThreadBackend` — real ``threading`` pool;
+  correctness under true concurrency (wall-clock speedup is GIL-bound).
+* :class:`~repro.runtime.simulated.SimulatedBackend` — deterministic
+  work-depth (PRAM/Brent) machine; converts the traced rounds into modelled
+  time for any worker count via a calibrated
+  :class:`~repro.runtime.cost_model.CostModel`.  This is what regenerates
+  the paper's speedup figures.
+"""
+
+from repro.runtime.backend import Backend, TaskContext
+from repro.runtime.sequential import SequentialBackend
+from repro.runtime.threads import ThreadBackend
+from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.cost_model import CostModel
+from repro.runtime.metrics import ExecutionTrace, RoundRecord
+from repro.runtime.atomics import AtomicInt64Array
+
+__all__ = [
+    "Backend",
+    "TaskContext",
+    "SequentialBackend",
+    "ThreadBackend",
+    "SimulatedBackend",
+    "CostModel",
+    "ExecutionTrace",
+    "RoundRecord",
+    "AtomicInt64Array",
+]

@@ -1,0 +1,85 @@
+"""Atomic-style operations on shared int64 arrays.
+
+Parallel MST needs two read-modify-write primitives on shared arrays:
+``fetch_min`` (per-component minimum-edge selection in Boruvka rounds,
+distance relaxation in LLP-Prim) and ``compare_and_swap`` (claiming a
+vertex).  On real hardware these are single instructions; in CPython we
+emulate them with striped locks when true thread concurrency is in play
+(``thread_safe=True``, required by
+:class:`~repro.runtime.threads.ThreadBackend`), and with plain list
+operations otherwise — the sequential and simulated backends execute
+tasks one at a time, so paying lock overhead there would only distort the
+single-thread wall-clock comparisons.
+
+Storage is a plain Python list: the access pattern is scalar
+element-at-a-time, where list indexing beats ndarray indexing severalfold.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AtomicInt64Array"]
+
+_N_STRIPES = 64
+
+
+class AtomicInt64Array:
+    """Shared integer array with linearisable RMW operations."""
+
+    __slots__ = ("values", "_locks", "thread_safe")
+
+    def __init__(self, n: int, fill: int = 0, *, thread_safe: bool = True) -> None:
+        self.values = [fill] * n
+        self.thread_safe = bool(thread_safe)
+        self._locks = (
+            [threading.Lock() for _ in range(_N_STRIPES)] if self.thread_safe else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def load(self, i: int) -> int:
+        """Atomic read (plain reads of list slots are safe under the GIL)."""
+        return self.values[i]
+
+    def store(self, i: int, value: int) -> None:
+        """Atomic write."""
+        self.values[i] = value
+
+    def fetch_min(self, i: int, value: int) -> int:
+        """``values[i] = min(values[i], value)``; returns the *old* value."""
+        if self.thread_safe:
+            with self._locks[i % _N_STRIPES]:
+                old = self.values[i]
+                if value < old:
+                    self.values[i] = value
+                return old
+        old = self.values[i]
+        if value < old:
+            self.values[i] = value
+        return old
+
+    def fetch_add(self, i: int, delta: int) -> int:
+        """``values[i] += delta``; returns the *old* value."""
+        if self.thread_safe:
+            with self._locks[i % _N_STRIPES]:
+                old = self.values[i]
+                self.values[i] = old + delta
+                return old
+        old = self.values[i]
+        self.values[i] = old + delta
+        return old
+
+    def compare_and_swap(self, i: int, expected: int, new: int) -> bool:
+        """Set ``values[i] = new`` iff it equals ``expected``."""
+        if self.thread_safe:
+            with self._locks[i % _N_STRIPES]:
+                if self.values[i] == expected:
+                    self.values[i] = new
+                    return True
+                return False
+        if self.values[i] == expected:
+            self.values[i] = new
+            return True
+        return False

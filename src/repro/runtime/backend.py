@@ -1,0 +1,159 @@
+"""Backend protocol: bulk-synchronous rounds of work-accounted tasks.
+
+Algorithms written against this API express their parallel structure as a
+sequence of rounds.  Inside a round, every task is independent of the
+others; between rounds the algorithm may run serial code (which it accounts
+with :meth:`Backend.charge_serial`).  A task receives a
+:class:`TaskContext` whose :meth:`~TaskContext.charge` records the task's
+work in abstract units — typically one unit per edge scanned or pointer
+chased, mirroring how the paper's analyses count operations.
+
+This contract is what lets the same algorithm code run on the sequential,
+threaded, and simulated backends unchanged.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List, Sequence
+
+from repro.runtime.metrics import ExecutionTrace
+
+__all__ = ["TaskContext", "Backend"]
+
+
+class TaskContext:
+    """Per-task work accumulator handed to every task callable."""
+
+    __slots__ = ("units", "worker_id")
+
+    def __init__(self, worker_id: int = 0) -> None:
+        self.units = 0
+        self.worker_id = worker_id
+
+    def charge(self, units: int = 1) -> None:
+        """Account ``units`` of work to this task."""
+        self.units += units
+
+
+class Backend(ABC):
+    """Executes rounds of independent tasks and accumulates a trace."""
+
+    def __init__(self) -> None:
+        self.trace = ExecutionTrace()
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def n_workers(self) -> int:
+        """Number of workers this backend models or uses."""
+
+    @property
+    def concurrent(self) -> bool:
+        """True when tasks may genuinely overlap (real threads).
+
+        Algorithms consult this to decide whether shared structures need
+        lock-based atomics; the sequential and simulated backends execute
+        tasks one at a time, so lock emulation there would only distort
+        wall-clock measurements.
+        """
+        return False
+
+    @abstractmethod
+    def run_round(
+        self,
+        items: Sequence[Any],
+        task: Callable[[TaskContext, Any], Any],
+    ) -> List[Any]:
+        """Run ``task(ctx, item)`` for every item as one parallel round.
+
+        Returns the task results in item order.  Implementations must record
+        the round in :attr:`trace`.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def charge_serial(self, units: int) -> None:
+        """Account serial (between-round) work."""
+        self.trace.charge_serial(units)
+
+    def charge_pipelined(self, units: int) -> None:
+        """Account coordinator-stream work that overlaps parallel rounds."""
+        self.trace.charge_pipelined(units)
+
+    def charge_parallel(self, work: int, n_tasks: int | None = None) -> None:
+        """Account a balanced data-parallel pass executed out of band.
+
+        Used when the Python implementation performs a pass with one
+        vectorised NumPy call (a sort, filter, or semisort) that a real
+        parallel runtime would run as a balanced parallel primitive: the
+        work is recorded as one round of ``n_tasks`` equal tasks.
+        """
+        work = int(work)
+        if work <= 0:
+            return
+        n = min(work, n_tasks if n_tasks is not None else 4 * self.n_workers)
+        n = max(1, n)
+        self.trace.add_round(n, work, -(-work // n))
+
+    def run_worklist(
+        self,
+        seeds: Sequence[Any],
+        task: Callable[[TaskContext, Any], tuple[Iterable[Any], Any]],
+    ) -> List[Any]:
+        """Drain an asynchronous work-stealing region.
+
+        ``task(ctx, item)`` returns ``(children, payload)``: new items to
+        enqueue and an arbitrary result collected into the returned list.
+        The region is recorded as one *async* round whose span is the
+        longest spawn chain (each child's chain starts when its parent's
+        task finishes), modelling Galois-style worklist execution with no
+        barriers between waves.
+
+        The default implementation processes items in FIFO order on one
+        worker; thread backends override it with a truly concurrent pool.
+        """
+        from collections import deque
+
+        payloads: List[Any] = []
+        queue: deque = deque((s, 0) for s in seeds)
+        total = 0
+        span = 0
+        count = 0
+        while queue:
+            item, start = queue.popleft()
+            ctx = TaskContext(worker_id=count % max(self.n_workers, 1))
+            children, payload = task(ctx, item)
+            payloads.append(payload)
+            count += 1
+            total += ctx.units
+            finish = start + ctx.units
+            span = max(span, finish)
+            for child in children:
+                queue.append((child, finish))
+        if count:
+            self.trace.add_round(count, total, min(span, total), barrier=False)
+        return payloads
+
+    def map_round(
+        self, items: Iterable[Any], task: Callable[[TaskContext, Any], Any]
+    ) -> List[Any]:
+        """Materialise ``items`` and run them as one round."""
+        return self.run_round(list(items), task)
+
+    def reset_trace(self) -> ExecutionTrace:
+        """Swap in a fresh trace; returns the old one."""
+        old = self.trace
+        self.trace = ExecutionTrace()
+        return old
+
+    def _record(self, costs: Sequence[int]) -> None:
+        n = len(costs)
+        if n == 0:
+            return
+        work = int(sum(costs))
+        span = int(max(costs))
+        self.trace.add_round(n, work, span)

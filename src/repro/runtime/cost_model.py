@@ -1,0 +1,137 @@
+"""Machine cost model: traces -> modelled time.
+
+Converts an :class:`~repro.runtime.metrics.ExecutionTrace` into modelled
+seconds on a ``p``-worker shared-memory machine:
+
+``T(p) = serial_units * unit_time
+       + sum over rounds of [ makespan(round, p) * unit_time + sync(p) ]``
+
+where ``makespan`` follows Brent's theorem (``work/p`` plus a span term)
+and ``sync(p)`` is the cost of the round barrier, growing logarithmically
+with ``p`` as a tree barrier does.  Per-task scheduler overhead is folded
+into each round's work.
+
+The defaults are calibrated to commodity-server magnitudes (≈10 ns per
+edge-scan unit, microsecond-scale barriers).  Absolute values only set the
+time scale; the *shape* of speedup curves — which algorithm wins where,
+where the crossovers fall — is driven by the measured work/span structure
+of the trace, not by these constants.  :func:`calibrate_unit_time` can pin
+``unit_time`` to the host so modelled T(1) tracks real single-thread runs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, replace
+
+from repro.runtime.metrics import ExecutionTrace, RoundRecord
+
+__all__ = ["CostModel", "calibrate_unit_time"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters of the modelled shared-memory machine."""
+
+    unit_time: float = 1.0e-8  # seconds per abstract work unit
+    sync_base: float = 0.4e-6  # barrier cost at p = 1 (round dispatch)
+    sync_per_doubling: float = 0.9e-6  # added barrier cost per log2(p)
+    async_base: float = 0.03e-6  # worklist handoff cost per async region
+    async_per_doubling: float = 0.045e-6  # steal/contention growth per log2(p)
+    task_overhead_units: int = 2  # scheduler units added to each task
+    max_workers: int = 1024
+
+    def sync_cost(self, p: int) -> float:
+        """Barrier cost for one round at ``p`` workers (tree barrier)."""
+        if p < 1:
+            raise ValueError("worker count must be >= 1")
+        return self.sync_base + self.sync_per_doubling * math.log2(p) if p > 1 else self.sync_base
+
+    def async_cost(self, p: int) -> float:
+        """Coordination cost of one asynchronous worklist region.
+
+        No barrier: the cost is worklist handoff plus steal contention,
+        which grows mildly with worker count (idle workers hammering the
+        queue while the region's tail drains).
+        """
+        if p < 1:
+            raise ValueError("worker count must be >= 1")
+        return self.async_base + (self.async_per_doubling * math.log2(p) if p > 1 else 0.0)
+
+    def round_makespan_units(self, rec: RoundRecord, p: int) -> float:
+        """Brent-style makespan of one round, in work units."""
+        if rec.n_tasks == 0:
+            return 0.0
+        overhead = rec.n_tasks * self.task_overhead_units
+        work = rec.work + overhead
+        span = rec.span + self.task_overhead_units
+        if p == 1:
+            return float(work)
+        # Greedy list scheduling satisfies  makespan <= work/p + span.
+        # The (p-1)/p factor makes the bound exact at p = 1 and approaches
+        # the classic Brent bound as p grows.
+        return work / p + span * (p - 1) / p
+
+    def modelled_time(self, trace: ExecutionTrace, p: int) -> float:
+        """Modelled seconds for the traced execution at ``p`` workers.
+
+        Pipelined units (a coordinator stream such as heap maintenance)
+        execute inline at ``p = 1``; at ``p > 1`` one worker is dedicated
+        to the stream while ``p - 1`` run the rounds, and the two overlap:
+        the compute term is ``max(stream, rounds)``.
+        """
+        if p < 1 or p > self.max_workers:
+            raise ValueError(f"worker count must be in [1, {self.max_workers}]")
+        sync = self.sync_cost(p)
+        async_sync = self.async_cost(p)
+        sync_total = sum(
+            sync if rec.barrier else async_sync for rec in trace.rounds
+        )
+        pipelined = trace.pipelined_units * self.unit_time
+        if p == 1 or trace.pipelined_units == 0:
+            rounds_t = sum(
+                self.round_makespan_units(rec, p) for rec in trace.rounds
+            ) * self.unit_time
+            compute = pipelined + rounds_t
+        else:
+            q = p - 1
+            rounds_t = sum(
+                self.round_makespan_units(rec, q) for rec in trace.rounds
+            ) * self.unit_time
+            compute = max(pipelined, rounds_t)
+        return trace.serial_units * self.unit_time + compute + sync_total
+
+    def speedup(self, trace: ExecutionTrace, p: int) -> float:
+        """Modelled T(1) / T(p) for the same trace."""
+        return self.modelled_time(trace, 1) / self.modelled_time(trace, p)
+
+    def with_unit_time(self, unit_time: float) -> "CostModel":
+        """Copy with a recalibrated unit time."""
+        return replace(self, unit_time=unit_time)
+
+
+def calibrate_unit_time(
+    run_fn,
+    model: CostModel | None = None,
+    *,
+    repeats: int = 3,
+) -> CostModel:
+    """Fit ``unit_time`` so modelled T(1) matches a real timed run.
+
+    ``run_fn`` must execute the workload once and return its
+    :class:`ExecutionTrace`.  The best (minimum) wall time across
+    ``repeats`` runs is divided by the traced unit count.
+    """
+    model = model or CostModel()
+    best = math.inf
+    trace: ExecutionTrace | None = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        trace = run_fn()
+        best = min(best, time.perf_counter() - t0)
+    assert trace is not None
+    units = trace.total_work + sum(r.n_tasks for r in trace.rounds) * model.task_overhead_units
+    if units <= 0:
+        raise ValueError("trace has no work to calibrate against")
+    return model.with_unit_time(best / units)

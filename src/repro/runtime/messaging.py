@@ -1,0 +1,124 @@
+"""Deterministic asynchronous message-passing network simulator.
+
+The substrate for distributed algorithms (GHS in :mod:`repro.mst.ghs`):
+``n`` nodes exchange messages over point-to-point channels with FIFO
+delivery and configurable latency.  The event loop is a logical-time
+priority queue; ties break on send sequence, so runs are bit-reproducible
+while still exercising genuinely asynchronous interleavings (messages
+from different senders arrive interleaved by latency, not in lockstep
+rounds).
+
+Handlers may *defer* a message (the classic "place the message at the end
+of the queue" rule of GHS when a Connect/Test arrives too early): the
+message is redelivered after the node's next activity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import BackendError
+
+__all__ = ["Message", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message."""
+
+    src: int
+    dst: int
+    kind: str
+    payload: Tuple[Any, ...] = ()
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    deferrals: int = 0
+    final_time: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Event-driven network of ``n`` nodes with FIFO channels."""
+
+    def __init__(self, n_nodes: int, *, latency: int = 1) -> None:
+        if n_nodes < 0:
+            raise BackendError("n_nodes must be >= 0")
+        if latency < 1:
+            raise BackendError("latency must be >= 1")
+        self.n_nodes = int(n_nodes)
+        self.latency = int(latency)
+        self.time = 0
+        self._queue: list[tuple[int, int, Message]] = []
+        self._seq = itertools.count()
+        self._channel_clock: Dict[tuple[int, int], int] = {}
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, kind: str, *payload: Any) -> None:
+        """Queue a message for FIFO delivery after the channel latency."""
+        if not (0 <= dst < self.n_nodes):
+            raise BackendError(f"destination {dst} out of range")
+        deliver_at = self.time + self.latency
+        chan = (src, dst)
+        # FIFO: never schedule before the channel's last scheduled delivery.
+        deliver_at = max(deliver_at, self._channel_clock.get(chan, 0))
+        self._channel_clock[chan] = deliver_at
+        heapq.heappush(self._queue, (deliver_at, next(self._seq), Message(src, dst, kind, payload)))
+        self.stats.messages_sent += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+
+    def defer(self, msg: Message, delay: int | None = None) -> None:
+        """Requeue a message the destination is not ready to process.
+
+        Redelivered after ``delay`` ticks (default: the channel latency),
+        preserving the message itself; the deferral count is tracked so
+        livelocks surface in the stats.
+        """
+        deliver_at = self.time + (delay if delay is not None else self.latency)
+        heapq.heappush(self._queue, (deliver_at, next(self._seq), msg))
+        self.stats.deferrals += 1
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        handler: Callable[["Network", Message], None],
+        *,
+        max_deliveries: int | None = None,
+    ) -> NetworkStats:
+        """Drain the queue, invoking ``handler(network, message)`` per message.
+
+        ``max_deliveries`` guards against protocol livelock (defaults to a
+        generous bound scaled by queue traffic).
+        """
+        limit = max_deliveries if max_deliveries is not None else self._default_limit()
+        delivered = 0
+        while self._queue:
+            deliver_at, _, msg = heapq.heappop(self._queue)
+            self.time = max(self.time, deliver_at)
+            delivered += 1
+            if delivered > limit:
+                raise BackendError(
+                    f"exceeded {limit} deliveries; protocol is likely livelocked "
+                    f"({self.stats.deferrals} deferrals so far)"
+                )
+            self.stats.messages_delivered += 1
+            handler(self, msg)
+        self.stats.final_time = self.time
+        return self.stats
+
+    def pending(self) -> int:
+        """Number of undelivered messages."""
+        return len(self._queue)
+
+    def _default_limit(self) -> int:
+        base = max(64, self.n_nodes)
+        return 2000 * base

@@ -1,0 +1,125 @@
+"""Work/span execution traces.
+
+A parallel execution is a sequence of *rounds* (bulk-synchronous
+supersteps); each round runs independent tasks that account their work in
+abstract units.  :class:`ExecutionTrace` records, per round, the number of
+tasks, total work, and span (the heaviest task), plus work performed in the
+serial sections between rounds.  A :class:`~repro.runtime.cost_model.CostModel`
+then converts a trace into modelled time for any worker count — the
+substitution for wall-clock measurements on a real multicore (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Aggregate of one parallel round.
+
+    ``barrier`` distinguishes bulk-synchronous rounds (closed by a full
+    barrier, e.g. a Boruvka phase) from *asynchronous* regions (a Galois
+    style worklist drained by work-stealing, where the only coordination
+    is worklist handoff).  The cost model prices their synchronization
+    differently.
+    """
+
+    n_tasks: int
+    work: int
+    span: int
+    barrier: bool = True
+
+    def __post_init__(self) -> None:
+        if self.span > self.work:
+            raise ValueError("span cannot exceed work")
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulated work/span accounting of one algorithm execution."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    serial_units: int = 0
+    pipelined_units: int = 0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_round(
+        self, n_tasks: int, work: int, span: int, *, barrier: bool = True
+    ) -> None:
+        """Record one completed round (or async region)."""
+        self.rounds.append(RoundRecord(n_tasks, work, span, barrier))
+
+    def charge_serial(self, units: int) -> None:
+        """Record work done in the serial section between rounds."""
+        self.serial_units += int(units)
+
+    def charge_pipelined(self, units: int) -> None:
+        """Record single-threaded work that overlaps the parallel rounds.
+
+        Used for coordinator-stream work such as LLP-Prim's heap
+        maintenance: with one worker it executes inline; with more, one
+        worker streams it while the rest run the rounds, so the cost model
+        takes the max of the pipelined stream and the rounds instead of
+        their sum.
+        """
+        self.pipelined_units += int(units)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named diagnostic counter."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def n_rounds(self) -> int:
+        """Number of parallel rounds."""
+        return len(self.rounds)
+
+    @property
+    def parallel_work(self) -> int:
+        """Total work inside rounds."""
+        return sum(r.work for r in self.rounds)
+
+    @property
+    def total_work(self) -> int:
+        """Serial, pipelined, and parallel work combined."""
+        return self.serial_units + self.pipelined_units + self.parallel_work
+
+    @property
+    def critical_path(self) -> int:
+        """Work at p = infinity: serial, plus the larger of the pipelined
+        stream and the per-round span sum it overlaps."""
+        spans = sum(r.span for r in self.rounds)
+        return self.serial_units + max(self.pipelined_units, spans)
+
+    def merge(self, other: "ExecutionTrace") -> None:
+        """Fold another trace into this one (e.g. recursive calls)."""
+        self.rounds.extend(other.rounds)
+        self.serial_units += other.serial_units
+        self.pipelined_units += other.pipelined_units
+        for k, v in other.counters.items():
+            self.bump(k, v)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate metrics as a plain dict (for reports)."""
+        return {
+            "rounds": self.n_rounds,
+            "serial_units": self.serial_units,
+            "pipelined_units": self.pipelined_units,
+            "parallel_work": self.parallel_work,
+            "total_work": self.total_work,
+            "critical_path": self.critical_path,
+            "avg_tasks_per_round": (
+                sum(r.n_tasks for r in self.rounds) / self.n_rounds
+                if self.n_rounds
+                else 0.0
+            ),
+        }

@@ -1,0 +1,54 @@
+"""Work partitioning helpers.
+
+Fine-grained tasks (one per vertex or edge) drown in scheduler overhead;
+production runtimes hand each worker a contiguous *chunk*.  These helpers
+split index ranges and cost-weighted item sets into balanced chunks sized
+for a worker count, used by the parallel Boruvka edge scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["chunk_range", "chunk_indices", "balanced_chunks"]
+
+
+def chunk_range(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into at most ``n_chunks`` near-equal ``[lo, hi)``."""
+    if n <= 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = np.linspace(0, n, n_chunks + 1, dtype=np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_chunks)
+            if bounds[i] < bounds[i + 1]]
+
+
+def chunk_indices(idx: np.ndarray, n_chunks: int) -> List[np.ndarray]:
+    """Split an index array into at most ``n_chunks`` contiguous slices."""
+    return [idx[lo:hi] for lo, hi in chunk_range(idx.size, n_chunks)]
+
+
+def balanced_chunks(costs: np.ndarray, n_chunks: int) -> List[np.ndarray]:
+    """Split items into chunks of near-equal total cost.
+
+    Items keep their order; chunk boundaries are placed where the running
+    cost crosses multiples of ``total / n_chunks``.  Used to partition
+    vertices by degree so every edge-scan chunk does similar work.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = costs.size
+    if n == 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n))
+    cum = np.cumsum(costs)
+    total = cum[-1]
+    if total <= 0:
+        return chunk_indices(np.arange(n, dtype=np.int64), n_chunks)
+    targets = total * np.arange(1, n_chunks, dtype=np.float64) / n_chunks
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.concatenate([[0], np.unique(np.clip(cuts, 1, n)), [n]])
+    bounds = np.unique(bounds)
+    idx = np.arange(n, dtype=np.int64)
+    return [idx[int(bounds[i]) : int(bounds[i + 1])] for i in range(bounds.size - 1)]

@@ -1,0 +1,39 @@
+"""Single-worker backend: deterministic reference execution."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.runtime.backend import Backend, TaskContext
+
+__all__ = ["SequentialBackend"]
+
+
+class SequentialBackend(Backend):
+    """Runs every round's tasks in submission order on one worker.
+
+    This is the reference semantics: any correct parallel execution of a
+    round must produce the same algorithm output as this backend (the tasks
+    of a round are independent by contract).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    def run_round(
+        self,
+        items: Sequence[Any],
+        task: Callable[[TaskContext, Any], Any],
+    ) -> List[Any]:
+        results: List[Any] = []
+        costs: List[int] = []
+        for item in items:
+            ctx = TaskContext(worker_id=0)
+            results.append(task(ctx, item))
+            costs.append(ctx.units)
+        self._record(costs)
+        return results

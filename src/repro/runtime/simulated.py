@@ -1,0 +1,66 @@
+"""Deterministic work-depth simulated machine.
+
+Executes tasks exactly like the sequential backend (so outputs are
+bit-identical and runs are reproducible) while recording per-round work and
+span; :meth:`SimulatedBackend.modelled_time` then prices the trace for this
+machine's worker count through the :class:`~repro.runtime.cost_model.CostModel`.
+
+This is the measurement substrate for the paper's multi-threaded figures
+(DESIGN.md §2): CPython's GIL — and this container's single core — make
+real shared-memory speedups unobservable, but the *parallel structure*
+(how much independent work each round exposes, how many barriers an
+algorithm needs) is a property of the algorithm, which this machine
+measures exactly and Brent's theorem converts into time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import BackendError
+from repro.runtime.backend import Backend, TaskContext
+from repro.runtime.cost_model import CostModel
+
+__all__ = ["SimulatedBackend"]
+
+
+class SimulatedBackend(Backend):
+    """PRAM-style machine with ``n_workers`` virtual processors."""
+
+    def __init__(self, n_workers: int, cost_model: CostModel | None = None) -> None:
+        super().__init__()
+        self.cost_model = cost_model or CostModel()
+        if n_workers < 1 or n_workers > self.cost_model.max_workers:
+            raise BackendError(
+                f"n_workers must be in [1, {self.cost_model.max_workers}], got {n_workers}"
+            )
+        self._n_workers = int(n_workers)
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def run_round(
+        self,
+        items: Sequence[Any],
+        task: Callable[[TaskContext, Any], Any],
+    ) -> List[Any]:
+        results: List[Any] = []
+        costs: List[int] = []
+        for i, item in enumerate(items):
+            # Tasks are dealt to virtual workers round-robin; worker_id is
+            # advisory (for worker-local buffers in algorithm code).
+            ctx = TaskContext(worker_id=i % self._n_workers)
+            results.append(task(ctx, item))
+            costs.append(ctx.units)
+        self._record(costs)
+        return results
+
+    # ------------------------------------------------------------------
+    def modelled_time(self, p: int | None = None) -> float:
+        """Modelled seconds of everything traced so far, at ``p`` workers."""
+        return self.cost_model.modelled_time(self.trace, p or self._n_workers)
+
+    def modelled_speedup(self, p: int | None = None) -> float:
+        """Modelled speedup T(1)/T(p) of the traced execution."""
+        return self.cost_model.speedup(self.trace, p or self._n_workers)

@@ -1,0 +1,63 @@
+"""Unordered work bags — the ``R`` set of LLP-Prim (Algorithm 5).
+
+LLP-Prim "does not require that vertices in R be explored in the order of
+their cost"; any order is correct.  :class:`Bag` is an amortised-O(1)
+unordered multiset of integers that supports bulk draining, which is what
+the parallel engine does each superstep (drain the whole bag, process the
+chunk in parallel, refill).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+__all__ = ["Bag"]
+
+
+class Bag:
+    """Unordered integer work bag with O(1) push/pop and bulk drain."""
+
+    __slots__ = ("_items", "n_pushes", "n_pops")
+
+    def __init__(self, items: Iterable[int] | None = None) -> None:
+        self._items: List[int] = list(items) if items is not None else []
+        self.n_pushes = len(self._items)
+        self.n_pops = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def push(self, item: int) -> None:
+        """Add one item."""
+        self._items.append(item)
+        self.n_pushes += 1
+
+    def extend(self, items: Iterable[int]) -> None:
+        """Add many items."""
+        before = len(self._items)
+        self._items.extend(items)
+        self.n_pushes += len(self._items) - before
+
+    def pop(self) -> int:
+        """Remove and return an arbitrary item (LIFO order internally)."""
+        self.n_pops += 1
+        return self._items.pop()
+
+    def drain(self) -> np.ndarray:
+        """Remove and return all items as an array (one parallel superstep)."""
+        out = np.asarray(self._items, dtype=np.int64)
+        self.n_pops += len(self._items)
+        self._items.clear()
+        return out
+
+    def clear(self) -> None:
+        """Discard all items."""
+        self._items.clear()

@@ -1,0 +1,79 @@
+"""Packed bit vectors over ``0 .. n-1``.
+
+Used for the ``fixed`` flags of the MST algorithms; packing 64 flags per
+word keeps the structure cache-resident even on large vertex sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["BitSet"]
+
+
+class BitSet:
+    """Fixed-universe bitset backed by a uint64 word array."""
+
+    __slots__ = ("_words", "_n")
+
+    def __init__(self, n: int) -> None:
+        self._n = int(n)
+        self._words = np.zeros((n + 63) // 64, dtype=np.uint64)
+
+    @property
+    def universe(self) -> int:
+        """Size of the universe ``n``."""
+        return self._n
+
+    def add(self, i: int) -> None:
+        """Set bit ``i``."""
+        self._check(i)
+        self._words[i >> 6] |= np.uint64(1) << np.uint64(i & 63)
+
+    def discard(self, i: int) -> None:
+        """Clear bit ``i``."""
+        self._check(i)
+        self._words[i >> 6] &= ~(np.uint64(1) << np.uint64(i & 63))
+
+    def __contains__(self, i: int) -> bool:
+        if i < 0 or i >= self._n:
+            return False
+        return bool((self._words[i >> 6] >> np.uint64(i & 63)) & np.uint64(1))
+
+    def __len__(self) -> int:
+        return int(sum(int(w).bit_count() for w in self._words))
+
+    def __iter__(self) -> Iterator[int]:
+        for wi, word in enumerate(self._words):
+            w = int(word)
+            base = wi << 6
+            while w:
+                low = w & -w
+                yield base + low.bit_length() - 1
+                w ^= low
+
+    def add_many(self, idx: np.ndarray) -> None:
+        """Set many bits at once."""
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._n:
+            raise IndexError("bit index out of range")
+        words = idx >> 6
+        bits = (np.uint64(1) << (idx & 63).astype(np.uint64))
+        np.bitwise_or.at(self._words, words, bits)
+
+    def to_array(self) -> np.ndarray:
+        """Boolean array view of the whole universe."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self._n].astype(bool)
+
+    def clear(self) -> None:
+        """Clear all bits."""
+        self._words[:] = 0
+
+    def _check(self, i: int) -> None:
+        if i < 0 or i >= self._n:
+            raise IndexError(f"bit {i} outside universe [0, {self._n})")

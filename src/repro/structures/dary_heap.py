@@ -1,0 +1,158 @@
+"""Indexed d-ary min-heap (ablation variant of the binary heap).
+
+Same interface as :class:`~repro.structures.indexed_heap.IndexedBinaryHeap`;
+a wider fan-out trades cheaper ``decrease_key`` (shallower tree) against a
+more expensive ``pop``.  The heap-choice ablation bench compares d=2,4,8
+inside Prim's algorithm.  Storage is preallocated Python lists, matching
+the binary heap's scalar-access idiom.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlgorithmError
+
+__all__ = ["IndexedDaryHeap"]
+
+
+class IndexedDaryHeap:
+    """d-ary indexed min-heap over items ``0 .. capacity-1``."""
+
+    __slots__ = ("_d", "_keys", "_items", "_pos", "_size",
+                 "n_pushes", "n_pops", "n_adjusts")
+
+    def __init__(self, capacity: int, d: int = 4) -> None:
+        if d < 2:
+            raise ValueError("heap arity must be >= 2")
+        self._d = int(d)
+        self._keys = [0] * capacity
+        self._items = [0] * capacity
+        self._pos = [-1] * capacity
+        self._size = 0
+        self.n_pushes = 0
+        self.n_pops = 0
+        self.n_adjusts = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, item: int) -> bool:
+        return self._pos[item] >= 0
+
+    def key_of(self, item: int) -> int:
+        """Current key of ``item`` (must be present)."""
+        p = self._pos[item]
+        if p < 0:
+            raise KeyError(item)
+        return self._keys[p]
+
+    def peek(self) -> tuple[int, int]:
+        """Minimum ``(item, key)`` without removing it."""
+        if self._size == 0:
+            raise IndexError("peek from empty heap")
+        return self._items[0], self._keys[0]
+
+    def push(self, item: int, key: int) -> None:
+        """Insert a new item (must be absent)."""
+        if self._pos[item] >= 0:
+            raise AlgorithmError(f"item {item} already in heap")
+        i = self._size
+        self._size += 1
+        self._items[i] = item
+        self._keys[i] = key
+        self._pos[item] = i
+        self._sift_up(i)
+        self.n_pushes += 1
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the minimum ``(item, key)``."""
+        if self._size == 0:
+            raise IndexError("pop from empty heap")
+        item = self._items[0]
+        key = self._keys[0]
+        self._pos[item] = -1
+        self._size -= 1
+        if self._size:
+            moved = self._items[self._size]
+            self._items[0] = moved
+            self._keys[0] = self._keys[self._size]
+            self._pos[moved] = 0
+            self._sift_down(0)
+        self.n_pops += 1
+        return item, key
+
+    def decrease_key(self, item: int, key: int) -> None:
+        """Lower the key of a present item."""
+        p = self._pos[item]
+        if p < 0:
+            raise KeyError(item)
+        if key > self._keys[p]:
+            raise AlgorithmError("decrease_key would raise key")
+        self._keys[p] = key
+        self._sift_up(p)
+        self.n_adjusts += 1
+
+    def insert_or_adjust(self, item: int, key: int) -> None:
+        """Insert, or decrease the key if strictly smaller."""
+        p = self._pos[item]
+        if p < 0:
+            self.push(item, key)
+        elif key < self._keys[p]:
+            self.decrease_key(item, key)
+
+    def _sift_up(self, i: int) -> None:
+        keys, items, pos, d = self._keys, self._items, self._pos, self._d
+        k, it = keys[i], items[i]
+        while i > 0:
+            parent = (i - 1) // d
+            pk = keys[parent]
+            if pk <= k:
+                break
+            keys[i] = pk
+            moved = items[parent]
+            items[i] = moved
+            pos[moved] = i
+            i = parent
+        keys[i] = k
+        items[i] = it
+        pos[it] = i
+
+    def _sift_down(self, i: int) -> None:
+        keys, items, pos, d = self._keys, self._items, self._pos, self._d
+        n = self._size
+        k, it = keys[i], items[i]
+        while True:
+            first = d * i + 1
+            if first >= n:
+                break
+            last = min(first + d, n)
+            child = first
+            ck = keys[first]
+            for c in range(first + 1, last):
+                kc = keys[c]
+                if kc < ck:
+                    child = c
+                    ck = kc
+            if ck >= k:
+                break
+            keys[i] = ck
+            moved = items[child]
+            items[i] = moved
+            pos[moved] = i
+            i = child
+        keys[i] = k
+        items[i] = it
+        pos[it] = i
+
+    def check_invariants(self) -> None:
+        """Assert heap order and position-map coherence (test helper)."""
+        d = self._d
+        for i in range(1, self._size):
+            parent = (i - 1) // d
+            if self._keys[parent] > self._keys[i]:
+                raise AlgorithmError(f"heap order violated at {i}")
+        for i in range(self._size):
+            if self._pos[self._items[i]] != i:
+                raise AlgorithmError(f"position map incoherent at {i}")

@@ -1,0 +1,59 @@
+"""Lazy-deletion binary heap (the heap of the paper's complexity analysis).
+
+Section IV analyses a Prim variant that "instead of adjusting the key in
+the heap for a vertex ... simply inserts the vertex in the heap", so an
+item may appear multiple times with different keys and stale entries are
+skipped on pop.  :class:`LazyHeap` implements exactly that: a plain binary
+heap of ``(key, item)`` pairs with no position map, plus a caller-driven
+staleness test.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["LazyHeap"]
+
+
+class LazyHeap:
+    """Binary min-heap of ``(key, item)`` allowing duplicate items."""
+
+    __slots__ = ("_heap", "n_pushes", "n_pops", "n_stale_pops")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        # capacity accepted for interface parity with the indexed heaps
+        self._heap: list[tuple[int, int]] = []
+        self.n_pushes = 0
+        self.n_pops = 0
+        self.n_stale_pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, item: int, key: int) -> None:
+        """Insert ``item`` (duplicates allowed)."""
+        heapq.heappush(self._heap, (key, item))
+        self.n_pushes += 1
+
+    # Lazy heaps realise insert_or_adjust by just inserting again.
+    insert_or_adjust = push
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the minimum ``(item, key)`` (possibly stale)."""
+        key, item = heapq.heappop(self._heap)
+        self.n_pops += 1
+        return item, key
+
+    def pop_fresh(self, is_stale) -> tuple[int, int] | None:
+        """Pop entries until one passes ``not is_stale(item)``; None if drained."""
+        while self._heap:
+            key, item = heapq.heappop(self._heap)
+            self.n_pops += 1
+            if is_stale(item):
+                self.n_stale_pops += 1
+                continue
+            return item, key
+        return None

@@ -1,0 +1,154 @@
+"""Pairing heap with decrease-key (heap-ablation variant).
+
+A pointer-based meldable heap with O(1) amortised ``push`` and
+``decrease_key`` and O(log n) amortised ``pop`` via two-pass pairing.  Used
+by the heap-choice ablation bench inside Prim's algorithm; the complexity
+profile differs from the array heaps (cheap decrease-key, pointer-chasing
+pops), which is exactly the trade-off the ablation surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import AlgorithmError
+
+__all__ = ["PairingHeap"]
+
+
+class _PNode:
+    __slots__ = ("item", "key", "child", "sibling", "parent")
+
+    def __init__(self, item: int, key: int) -> None:
+        self.item = item
+        self.key = key
+        self.child: Optional["_PNode"] = None
+        self.sibling: Optional["_PNode"] = None
+        self.parent: Optional["_PNode"] = None
+
+
+class PairingHeap:
+    """Addressable pairing min-heap over integer items."""
+
+    __slots__ = ("_root", "_nodes", "n_pushes", "n_pops", "n_adjusts")
+
+    def __init__(self, capacity: int | None = None) -> None:
+        # capacity accepted for interface parity with the array heaps
+        self._root: Optional[_PNode] = None
+        self._nodes: Dict[int, _PNode] = {}
+        self.n_pushes = 0
+        self.n_pops = 0
+        self.n_adjusts = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._nodes
+
+    def key_of(self, item: int) -> int:
+        """Current key of ``item`` (must be present)."""
+        return self._nodes[item].key
+
+    def peek(self) -> tuple[int, int]:
+        """Minimum ``(item, key)`` without removing it."""
+        if self._root is None:
+            raise IndexError("peek from empty heap")
+        return self._root.item, self._root.key
+
+    def push(self, item: int, key: int) -> None:
+        """Insert a new item (must be absent)."""
+        if item in self._nodes:
+            raise AlgorithmError(f"item {item} already in heap")
+        node = _PNode(item, key)
+        self._nodes[item] = node
+        self._root = node if self._root is None else self._meld(self._root, node)
+        self.n_pushes += 1
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return the minimum ``(item, key)``."""
+        root = self._root
+        if root is None:
+            raise IndexError("pop from empty heap")
+        del self._nodes[root.item]
+        self._root = self._merge_pairs(root.child)
+        if self._root is not None:
+            self._root.parent = None
+            self._root.sibling = None
+        self.n_pops += 1
+        return root.item, root.key
+
+    def decrease_key(self, item: int, key: int) -> None:
+        """Lower the key of a present item (O(1) amortised)."""
+        node = self._nodes[item]
+        if key > node.key:
+            raise AlgorithmError("decrease_key would raise key")
+        node.key = key
+        self.n_adjusts += 1
+        if node is self._root:
+            return
+        # Detach node from its parent's child list and meld with the root.
+        parent = node.parent
+        if parent is not None:
+            if parent.child is node:
+                parent.child = node.sibling
+            else:
+                cur = parent.child
+                while cur is not None and cur.sibling is not node:
+                    cur = cur.sibling
+                if cur is None:
+                    raise AlgorithmError("pairing heap corrupted")
+                cur.sibling = node.sibling
+        node.parent = None
+        node.sibling = None
+        self._root = self._meld(self._root, node)
+
+    def insert_or_adjust(self, item: int, key: int) -> None:
+        """Insert, or decrease the key if strictly smaller."""
+        node = self._nodes.get(item)
+        if node is None:
+            self.push(item, key)
+        elif key < node.key:
+            self.decrease_key(item, key)
+
+    @staticmethod
+    def _meld(a: _PNode, b: _PNode) -> _PNode:
+        if (b.key, b.item) < (a.key, a.item):
+            a, b = b, a
+        b.sibling = a.child
+        b.parent = a
+        a.child = b
+        return a
+
+    def _merge_pairs(self, first: Optional[_PNode]) -> Optional[_PNode]:
+        # Two-pass pairing, iterative to avoid recursion depth limits.
+        pairs = []
+        cur = first
+        while cur is not None:
+            nxt = cur.sibling
+            cur.sibling = None
+            cur.parent = None
+            if nxt is not None:
+                nn = nxt.sibling
+                nxt.sibling = None
+                nxt.parent = None
+                pairs.append(self._meld(cur, nxt))
+                cur = nn
+            else:
+                pairs.append(cur)
+                cur = None
+        if not pairs:
+            return None
+        root = pairs[-1]
+        for node in reversed(pairs[:-1]):
+            root = self._meld(root, node)
+        return root
+
+    def check_invariants(self) -> None:
+        """Assert heap order along parent links (test helper)."""
+        for item, node in self._nodes.items():
+            if node.parent is not None and node.parent.key > node.key:
+                raise AlgorithmError(f"heap order violated at item {item}")

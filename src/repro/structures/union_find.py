@@ -1,0 +1,73 @@
+"""Sequential disjoint-set union (union by rank + path compression)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic DSU over ``0 .. n-1`` with near-constant amortised ops."""
+
+    __slots__ = ("parent", "rank", "_n_sets")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self._n_sets = n
+
+    def __len__(self) -> int:
+        return int(self.parent.size)
+
+    @property
+    def n_sets(self) -> int:
+        """Current number of disjoint sets."""
+        return self._n_sets
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        p = self.parent
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = int(p[x])
+        return x
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self.rank[rx] < self.rank[ry]:
+            rx, ry = ry, rx
+        self.parent[ry] = rx
+        if self.rank[rx] == self.rank[ry]:
+            self.rank[rx] += 1
+        self._n_sets -= 1
+        return True
+
+    def connected(self, x: int, y: int) -> bool:
+        """True when ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def roots(self) -> np.ndarray:
+        """Representative of every element (fully compressed)."""
+        n = len(self)
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            out[i] = self.find(i)
+        return out
+
+    def min_labels(self) -> np.ndarray:
+        """Label every element with the least element of its set."""
+        roots = self.roots()
+        n = len(self)
+        label_of_root = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(label_of_root, roots, np.arange(n, dtype=np.int64))
+        return label_of_root[roots]
+
+    def set_sizes(self) -> dict[int, int]:
+        """Mapping root -> size of its set."""
+        roots = self.roots()
+        uniq, counts = np.unique(roots, return_counts=True)
+        return {int(r): int(c) for r, c in zip(uniq, counts)}

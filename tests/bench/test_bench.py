@@ -1,0 +1,112 @@
+"""Bench harness: datasets, timing, speedup math, reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.datasets import DATASETS, build_dataset
+from repro.bench.harness import ExperimentResult
+from repro.bench.reporting import ascii_bar_chart, ascii_series, render_table
+from repro.bench.speedup import crossover_point, efficiency_series, speedup_series
+from repro.bench.timing import time_callable
+from repro.errors import BenchmarkError
+from repro.graphs.traversal import is_connected
+
+
+def test_datasets_registered():
+    assert set(DATASETS) == {"usa-road", "graph500", "delaunay"}
+    assert DATASETS["delaunay"].kind == "road"
+    assert DATASETS["usa-road"].kind == "road"
+    assert DATASETS["graph500"].kind == "scalefree"
+
+
+def test_build_dataset_scales():
+    g = build_dataset("usa-road", scale=8, seed=1)
+    assert g.n_vertices == 256
+    assert is_connected(g)
+    r = build_dataset("graph500", scale=8, seed=1)
+    assert r.n_vertices == 256
+
+
+def test_build_dataset_deterministic():
+    a = build_dataset("graph500", scale=7, seed=3)
+    b = build_dataset("graph500", scale=7, seed=3)
+    assert (a.edge_w == b.edge_w).all()
+
+
+def test_build_dataset_rejects():
+    with pytest.raises(BenchmarkError):
+        build_dataset("nope")
+    with pytest.raises(BenchmarkError):
+        build_dataset("usa-road", scale=1)
+
+
+def test_time_callable_basic():
+    calls = []
+    t = time_callable(lambda: calls.append(1) or 42, repeats=3, warmup=2)
+    assert len(calls) == 5
+    assert t.result == 42
+    assert t.best <= t.mean <= t.worst
+    assert t.repeats == 3
+
+
+def test_time_callable_rejects_zero_repeats():
+    with pytest.raises(ValueError):
+        time_callable(lambda: None, repeats=0)
+
+
+def test_speedup_series():
+    s = speedup_series({1: 10.0, 2: 5.0, 4: 2.5})
+    assert s == {1: 1.0, 2: 2.0, 4: 4.0}
+    assert speedup_series({}) == {}
+
+
+def test_efficiency_series():
+    e = efficiency_series({1: 8.0, 4: 2.0})
+    assert e[1] == pytest.approx(1.0)
+    assert e[4] == pytest.approx(1.0)
+
+
+def test_crossover_point():
+    a = {1: 1.0, 2: 1.0, 4: 1.0, 8: 1.0}
+    b = {1: 2.0, 2: 1.5, 4: 0.8, 8: 0.4}
+    assert crossover_point(a, b) == 4
+    c = {1: 3.0, 2: 3.0, 4: 3.0, 8: 3.0}
+    assert crossover_point(a, c) is None  # c never wins
+    assert crossover_point(b, a) == 1  # a wins immediately
+
+
+def test_render_table_plain_and_markdown():
+    txt = render_table(["x", "value"], [[1, 2.5], [10, 0.0001]])
+    assert "x" in txt and "1.000e-04" in txt
+    md = render_table(["x"], [[1]], markdown=True)
+    assert md.splitlines()[1].startswith("|-")
+
+
+def test_ascii_series_renders_all_points():
+    out = ascii_series({"A": {1: 1.0, 2: 0.5}, "B": {1: 2.0}})
+    assert "p=1" in out and "p=2" in out
+    assert out.count("A") >= 2
+    assert ascii_series({}) == "(no data)"
+
+
+def test_ascii_bar_chart():
+    out = ascii_bar_chart({"x": 1.0, "y": 2.0})
+    assert out.count("#") > 3
+    assert ascii_bar_chart({}) == "(no data)"
+
+
+def test_experiment_result_render_and_json(tmp_path):
+    res = ExperimentResult("demo", params={"scale": 5})
+    res.tables["t"] = (["a", "b"], [[1, 2]])
+    res.series["s"] = {"algo": {1: 2.0, 2: 1.0}}
+    res.notes["speedup"] = 2.0
+    text = res.render()
+    assert "demo" in text and "scale=5" in text and "speedup: 2.0" in text
+    path = tmp_path / "r.json"
+    res.save(path)
+    data = json.loads(path.read_text())
+    assert data["name"] == "demo"
+    assert data["tables"]["t"]["rows"] == [[1, 2]]
+    assert data["series"]["s"]["algo"]["2"] == 1.0

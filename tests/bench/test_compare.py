@@ -1,0 +1,91 @@
+"""Result-comparison tooling."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_results, load_result_json
+from repro.bench.harness import ExperimentResult
+from repro.errors import BenchmarkError
+
+
+def _dump(name, series, notes):
+    res = ExperimentResult(name)
+    res.series["t"] = series
+    res.notes.update(notes)
+    return json.loads(res.to_json())
+
+
+def test_identical_results_no_flags():
+    a = _dump("x", {"A": {1: 1.0, 2: 0.5}}, {"win": "A"})
+    report = compare_results(a, a)
+    assert not report.qualitative_flags
+    assert not report.series_deltas
+    assert not report.note_changes
+
+
+def test_detects_large_delta_and_ignores_small():
+    a = _dump("x", {"A": {1: 1.0, 2: 1.0}}, {})
+    b = _dump("x", {"A": {1: 1.02, 2: 2.0}}, {})
+    report = compare_results(a, b, threshold_pct=5.0)
+    rows = report.series_deltas["t"]
+    assert len(rows) == 1
+    assert rows[0][1] == "2"
+    assert rows[0][4] == pytest.approx(100.0)
+
+
+def test_detects_winner_flip():
+    a = _dump("x", {"A": {1: 1.0}, "B": {1: 2.0}}, {})
+    b = _dump("x", {"A": {1: 2.0}, "B": {1: 1.0}}, {})
+    report = compare_results(a, b)
+    assert any("winner flip" in f for f in report.qualitative_flags)
+
+
+def test_detects_note_change_and_dropped_series():
+    a = _dump("x", {"A": {1: 1.0}}, {"crossover": 8})
+    b = _dump("x", {}, {"crossover": 4})
+    b["series"] = {}
+    report = compare_results(a, b)
+    assert any("series dropped" in f for f in report.qualitative_flags)
+    assert report.note_changes == [["crossover", 8, 4]]
+    assert "crossover" in report.render()
+
+
+def test_rejects_mismatched_experiments():
+    a = _dump("x", {}, {})
+    b = _dump("y", {}, {})
+    with pytest.raises(BenchmarkError):
+        compare_results(a, b)
+
+
+def test_load_result_json_roundtrip(tmp_path):
+    res = ExperimentResult("demo")
+    res.series["s"] = {"A": {1: 2.0}}
+    path = tmp_path / "r.json"
+    res.save(path)
+    data = load_result_json(path)
+    assert data["name"] == "demo"
+    with pytest.raises(BenchmarkError):
+        load_result_json(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(BenchmarkError):
+        load_result_json(bad)
+
+
+def test_cli_compare(tmp_path, capsys):
+    from repro.cli import main
+
+    res = ExperimentResult("demo")
+    res.series["s"] = {"A": {1: 2.0}, "B": {1: 3.0}}
+    a = tmp_path / "a.json"
+    res.save(a)
+    res2 = ExperimentResult("demo")
+    res2.series["s"] = {"A": {1: 4.0}, "B": {1: 3.0}}
+    b = tmp_path / "b.json"
+    res2.save(b)
+    code = main(["compare", str(a), str(b)])
+    out = capsys.readouterr().out
+    assert "winner flip" in out
+    assert code == 1  # qualitative change -> nonzero exit
+    assert main(["compare", str(a), str(a)]) == 0

@@ -1,0 +1,203 @@
+"""Experiment regeneration at tiny scales: the paper's qualitative shapes.
+
+These run the real experiment functions at small scale and assert the
+*direction* of every headline claim (who wins where) rather than absolute
+numbers.  Wall-clock assertions are avoided — only modelled times and
+operation counts, which are deterministic.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_ablation_early_fixing,
+    run_ablation_heaps,
+    run_ablation_pointer_jumping,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_table1,
+)
+
+SCALE_ROAD = 12
+SCALE_RMAT = 11
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(scale=SCALE_ROAD, seed=0, threads=(1, 2, 8, 32))
+
+
+def test_table1_shapes():
+    res = run_table1(road_scale=SCALE_ROAD, rmat_scale=SCALE_RMAT, seed=0)
+    headers, rows = res.tables["Table I: graphs used in the evaluation (scaled)"]
+    assert len(rows) == 2
+    road, rmat = rows
+    assert road[2] == "road" and rmat[2] == "scalefree"
+    assert res.notes["usa-road_morphology"] == "road"
+    assert res.notes["graph500_morphology"] == "scalefree"
+    # road: low degree, high diameter; rmat: skewed degree
+    assert road[5] < 5.0
+    assert rmat[6] > 5 * rmat[5]
+
+
+def test_fig2_llp_prim_reduces_heap_ops():
+    res = run_fig2(road_scale=SCALE_ROAD, rmat_scale=SCALE_RMAT, seed=0, repeats=1)
+    headers, rows = res.tables["Fig 2: single-threaded wall times"]
+    by_key = {(r[0], r[1]): r for r in rows}
+    for ds in ("usa-road", "graph500"):
+        prim_ops = by_key[(ds, "Prim")][3]
+        llp_ops = by_key[(ds, "LLP-Prim (1T)")][3]
+        assert llp_ops < prim_ops
+        # identical forests
+        assert by_key[(ds, "Prim")][4] == by_key[(ds, "LLP-Prim (1T)")][4]
+        assert by_key[(ds, "Boruvka (1T)")][4] == by_key[(ds, "Prim")][4]
+
+
+def test_fig3_boruvka_family_scales(fig3):
+    times = fig3.series["Fig 3: modelled time (s) vs threads, USA road"]
+    speedups = fig3.series["Fig 3b: modelled speedup vs threads"]
+    # Boruvka: strong scaling throughout
+    assert speedups["Boruvka"][32] > 6.0
+    assert times["Boruvka"][32] < times["Boruvka"][1] / 6
+    # LLP-Boruvka beats Boruvka at every measured count
+    assert fig3.notes["llp_boruvka_faster_than_boruvka_everywhere"]
+
+
+def test_fig3_llp_prim_limited_scaling(fig3):
+    speedups = fig3.series["Fig 3b: modelled speedup vs threads"]
+    llp = speedups["LLP-Prim"]
+    assert llp[2] > 1.0  # some speedup at low counts
+    assert llp[32] < 3.0  # far from linear
+    assert llp[32] < llp[2] * 2  # plateau / regression at high counts
+
+
+def test_fig3_crossover_exists(fig3):
+    cross = fig3.notes["boruvka_overtakes_llp_prim_at"]
+    assert cross is not None and 2 <= cross <= 32
+
+
+def test_fig3_llp_prim_wins_single_thread(fig3):
+    times = fig3.series["Fig 3: modelled time (s) vs threads, USA road"]
+    assert times["LLP-Prim"][1] < times["Boruvka"][1]
+
+
+def test_fig4_winners():
+    res = run_fig4(road_scale=SCALE_ROAD, rmat_scale=SCALE_RMAT, seed=0, low=2, high=32)
+    # low core counts: LLP-Prim; high: a Boruvka-family algorithm,
+    # with LLP-Boruvka ahead of Boruvka
+    for ds in ("usa-road", "graph500"):
+        assert res.notes[f"{ds}_winner_low"] == "LLP-Prim"
+        assert res.notes[f"{ds}_winner_high"] == "LLP-Boruvka"
+
+
+def test_fig4_llp_prim_scales_better_on_denser_graph():
+    res = run_fig4(road_scale=SCALE_ROAD, rmat_scale=SCALE_RMAT, seed=0, low=2, high=32)
+    road = res.series["Fig 4: usa-road modelled time (s)"]["LLP-Prim"]
+    rmat = res.series["Fig 4: graph500 modelled time (s)"]["LLP-Prim"]
+    road_gain = road[2] / road[32]
+    rmat_gain = rmat[2] / rmat[32]
+    assert rmat_gain > road_gain  # "performs best in graphs with more edges"
+
+
+def test_ablation_early_fixing_reduces_heap_traffic():
+    res = run_ablation_early_fixing(scale=SCALE_ROAD, seed=0, repeats=1)
+    assert res.notes["heap_ops_saved_vs_prim_pct"] > 15.0
+    headers, rows = res.tables["A1: early fixing vs heap traffic"]
+    by_name = {r[0]: r for r in rows}
+    assert by_name["LLP-Prim"][2] < by_name["Prim"][2]  # fewer pushes
+    assert by_name["LLP-Prim (no early fixing)"][5] == 0  # no mwe fixes
+
+
+def test_ablation_pointer_jumping_compact_saves_work():
+    res = run_ablation_pointer_jumping(scale=SCALE_ROAD, seed=0)
+    assert res.notes["work[compact contraction]"] <= res.notes["work[keep multi-edges]"]
+
+
+def test_ablation_heaps_all_variants_run():
+    res = run_ablation_heaps(scale=9, seed=0, repeats=1)
+    headers, rows = res.tables["A3: Prim heap variants"]
+    assert len(rows) == 5
+    # all variants scanned the same graph: same pop magnitude
+    pops = [r[3] for r in rows[:4]]
+    assert max(pops) == min(pops)
+
+
+def test_scaling_sizes_winner_structure_stable():
+    from repro.bench.experiments import run_scaling_sizes
+
+    res = run_scaling_sizes(scales=(10, 12), seed=0)
+    assert res.notes["winner_structure_stable_across_sizes"]
+    headers, rows = res.tables["Scaling: winners by size (road morphology)"]
+    assert [r[0] for r in rows] == [10, 12]
+    assert all(r[2] == "LLP-Prim" for r in rows)
+
+
+def test_calibration_model_tracks_wall_clock():
+    from repro.bench.experiments import run_calibration
+
+    res = run_calibration(scale=11, seed=0, repeats=2)
+    assert res.notes["calibrated_unit_time_ns"] > 0
+    # the calibrated model lands within a small factor of wall clock for
+    # every parallel algorithm (same interpreter, same unit accounting)
+    for name in ("LLP-Prim", "Boruvka", "LLP-Boruvka"):
+        ratio = res.notes[f"{name}_model_over_wall"]
+        assert 0.1 < ratio < 10.0
+
+
+def test_kkt_comparison_runs_and_verifies_shape():
+    from repro.bench.experiments import run_kkt_comparison
+
+    res = run_kkt_comparison(scale=10, seed=0, repeats=1)
+    headers, rows = res.tables["E1: LLP-Prim vs Kruskal vs KKT (1 thread)"]
+    assert len(rows) == 6
+    assert res.notes["usa-road_kkt_over_llp_prim"] > 0
+
+
+def test_ablation_weights_mwe_fraction_bounds():
+    from repro.bench.experiments import run_ablation_weights
+
+    res = run_ablation_weights(scale=10, seed=0, repeats=1)
+    fracs = {k: v for k, v in res.notes.items() if k.startswith("mwe_fraction")}
+    assert len(fracs) == 4
+    # every vertex's minimum incident edge is in the MST, so the early-fix
+    # fraction has a structural floor around one half
+    assert all(0.45 <= v <= 1.0 for v in fracs.values())
+    assert res.notes["mwe_fraction[bfs-increasing]"] >= res.notes["mwe_fraction[uniform]"]
+
+
+def test_gil_exhibit_shows_flat_scaling():
+    from repro.bench.experiments import run_gil_exhibit
+
+    res = run_gil_exhibit(scale=10, seed=0, threads=(1, 2))
+    assert res.notes["max_real_thread_speedup"] < 2.0
+    headers, rows = res.tables["M1: real-thread wall times (the GIL in action)"]
+    assert len(rows) == 2
+    # identical forests across thread counts
+    assert rows[0][3] == rows[1][3]
+
+
+def test_operation_census_counts():
+    from repro.bench.experiments import run_operation_census
+
+    res = run_operation_census(scale=10, rmat_scale=9, seed=0)
+    assert len(res.tables) == 2
+    for title, (headers, rows) in res.tables.items():
+        algos = {r[0] for r in rows}
+        assert {"prim", "llp-prim", "ghs", "llp-boruvka"} <= algos
+        assert all(isinstance(r[2], int) for r in rows)
+    # all algorithms found the same forest per graph
+    road_weights = {v for k, v in res.notes.items() if k.startswith("usa-road")}
+    assert len(road_weights) == 1
+
+
+def test_seed_stability_claims_unanimous():
+    from repro.bench.experiments import run_seed_stability
+
+    # scale >= 12: below it LLP-Boruvka's barrier count outweighs its work
+    # advantage at p=32 (see the scaling-sizes experiment)
+    res = run_seed_stability(scale=12, seeds=(0, 1, 2), threads=(1, 2, 32))
+    assert res.notes["all_claims_unanimous"]
+    assert res.notes["llp_prim_fastest_at_p1"] == "3/3 seeds"
+    (headers, rows), = res.tables.values()
+    assert len(rows) == 3  # one per algorithm
+    assert all("±" in cell for row in rows for cell in row[1:])

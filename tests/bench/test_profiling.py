@@ -1,0 +1,31 @@
+"""cProfile wrapper."""
+
+from repro.bench.profiling import profile_callable
+
+
+def test_profile_callable_returns_result_and_hotspots():
+    def work():
+        total = 0
+        for i in range(20_000):
+            total += i * i
+        return total
+
+    report = profile_callable(work)
+    assert report.result == sum(i * i for i in range(20_000))
+    assert report.total_time >= 0
+    assert report.total_calls >= 1
+    text = report.render(limit=5)
+    assert "cum_ms" in text
+
+
+def test_profile_callable_propagates_exceptions():
+    import pytest
+
+    with pytest.raises(ValueError):
+        profile_callable(lambda: (_ for _ in ()).throw(ValueError("x")))
+
+
+def test_hotspots_sorted_by_cumulative_time():
+    report = profile_callable(lambda: sorted(range(50_000)))
+    cums = [c for _, c, _ in report.hotspots]
+    assert cums == sorted(cums, reverse=True)

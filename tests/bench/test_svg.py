@@ -1,0 +1,73 @@
+"""SVG chart rendering: well-formedness and content checks."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.svg import bar_chart, line_chart, save_experiment_figures
+
+
+def _parse(svg: str):
+    return xml.dom.minidom.parseString(svg)
+
+
+def test_line_chart_well_formed_and_has_series():
+    svg = line_chart(
+        {"A": {1: 10.0, 2: 5.0, 4: 2.5}, "B": {1: 20.0, 4: 1.0}},
+        title="demo",
+        x_label="p",
+        y_label="time",
+    )
+    doc = _parse(svg)
+    assert doc.documentElement.tagName == "svg"
+    assert svg.count("<path") == 2
+    assert svg.count("<circle") == 5
+    assert "demo" in svg and "A" in svg and "B" in svg
+
+
+def test_line_chart_log_scale():
+    svg = line_chart({"A": {1: 1.0, 32: 1e-4}}, log_y=True)
+    _parse(svg)
+    assert "1e-04" in svg or "1e-4" in svg  # log ticks
+
+
+def test_line_chart_empty():
+    svg = line_chart({})
+    _parse(svg)
+    assert "no data" in svg
+
+
+def test_line_chart_escapes_markup():
+    svg = line_chart({"<evil>": {1: 1.0}}, title="a & b")
+    _parse(svg)
+    assert "<evil>" not in svg
+    assert "&lt;evil&gt;" in svg
+
+
+def test_bar_chart_groups():
+    svg = bar_chart(
+        {"road": {"Prim": 30.0, "LLP-Prim": 25.0}, "rmat": {"Prim": 20.0}},
+        title="fig2",
+        y_label="ms",
+    )
+    _parse(svg)
+    assert svg.count("<rect") >= 5  # 3 bars + background + legend swatches
+    assert "road" in svg and "rmat" in svg
+
+
+def test_bar_chart_empty():
+    _parse(bar_chart({}))
+
+
+def test_save_experiment_figures(tmp_path):
+    res = ExperimentResult("demo")
+    res.series["curve one"] = {"X": {1: 5.0, 2: 2.0}}
+    res.series["wide range"] = {"Y": {1: 1.0, 2: 1e-4}}
+    paths = save_experiment_figures(res, tmp_path)
+    assert len(paths) == 2
+    for p in paths:
+        assert p.exists()
+        xml.dom.minidom.parse(str(p))
+    names = {p.name for p in paths}
+    assert any("curve-one" in n for n in names)

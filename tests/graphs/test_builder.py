@@ -1,0 +1,74 @@
+"""GraphBuilder incremental construction."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import GraphBuilder, complete_graph_edges, from_edges
+
+
+def test_add_edges_grows_vertex_set():
+    b = GraphBuilder()
+    b.add_edge(0, 5, 1.0)
+    assert b.n_vertices == 6
+    b.add_edge(9, 2, 2.0)
+    assert b.n_vertices == 10
+
+
+def test_add_vertex_returns_new_id():
+    b = GraphBuilder(2)
+    assert b.add_vertex() == 2
+    assert b.add_vertex() == 3
+    assert b.n_vertices == 4
+
+
+def test_ensure_vertices_only_grows():
+    b = GraphBuilder(5)
+    b.ensure_vertices(3)
+    assert b.n_vertices == 5
+    b.ensure_vertices(9)
+    assert b.n_vertices == 9
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(GraphError):
+        GraphBuilder(-1)
+    with pytest.raises(GraphError):
+        GraphBuilder().add_edge(-1, 0, 1.0)
+
+
+def test_to_csr_dedups_by_default():
+    b = GraphBuilder().add_edges([(0, 1, 3.0), (1, 0, 1.0)])
+    assert b.n_staged_edges == 2
+    g = b.to_csr()
+    assert g.n_edges == 1
+    assert g.edge_w[0] == 1.0
+
+
+def test_chaining_api():
+    g = GraphBuilder().add_edge(0, 1, 1.0).add_edge(1, 2, 2.0).to_csr()
+    assert g.n_vertices == 3
+    assert g.n_edges == 2
+
+
+def test_from_edges_with_explicit_vertex_count():
+    g = from_edges([(0, 1, 1.0)], n_vertices=10)
+    assert g.n_vertices == 10
+
+
+def test_complete_graph_edges_structure():
+    e = complete_graph_edges(5)
+    assert e.n_vertices == 5
+    assert e.n_edges == 10
+    assert e.has_unique_weights()
+
+
+def test_complete_graph_custom_weights():
+    e = complete_graph_edges(4, weight_fn=lambda u, v: 10.0 * u + v)
+    w = dict(((int(a), int(b)), float(x)) for a, b, x in zip(e.u, e.v, e.w))
+    assert w[(0, 3)] == 3.0
+    assert w[(2, 3)] == 23.0
+
+
+def test_complete_graph_negative_n_rejected():
+    with pytest.raises(GraphError):
+        complete_graph_edges(-2)

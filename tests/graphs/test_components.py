@@ -1,0 +1,57 @@
+"""Connected-component labelling: three implementations must agree."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.graphs.components import (
+    components_bfs,
+    components_label_propagation,
+    components_union_find,
+    count_components,
+)
+from repro.graphs.generators import gnm_random_graph, grid_graph
+
+ALL_IMPLS = [components_bfs, components_union_find, components_label_propagation]
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+def test_single_component(impl):
+    g = grid_graph(4, 4)
+    cid = impl(g)
+    assert (cid == 0).all()
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+def test_two_components_least_vertex_labels(impl):
+    g = from_edges([(0, 1, 1.0), (2, 3, 2.0)], n_vertices=5)
+    cid = impl(g)
+    assert cid.tolist() == [0, 0, 2, 2, 4]
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+def test_no_edges(impl):
+    g = from_edges([], n_vertices=4)
+    assert impl(g).tolist() == [0, 1, 2, 3]
+
+
+def test_implementations_agree_on_random_graphs():
+    for seed in range(6):
+        # sparse: expect several components
+        g = gnm_random_graph(50, 30, seed=seed)
+        ref = components_union_find(g)
+        assert (components_bfs(g) == ref).all()
+        assert (components_label_propagation(g) == ref).all()
+
+
+def test_count_components():
+    assert count_components(from_edges([], n_vertices=5)) == 5
+    assert count_components(grid_graph(3, 3)) == 1
+    assert count_components(from_edges([(0, 1, 1.0), (2, 3, 1.5)], n_vertices=4)) == 2
+    assert count_components(from_edges([], n_vertices=0)) == 0
+
+
+def test_label_propagation_round_limit():
+    g = grid_graph(2, 8)
+    cid = components_label_propagation(g, max_rounds=100)
+    assert (cid == 0).all()

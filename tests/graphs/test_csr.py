@@ -1,0 +1,134 @@
+"""CSRGraph structure, accessors, and cached tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+from tests.conftest import FIG1_EDGES
+
+
+def test_half_edge_counts(fig1_graph):
+    g = fig1_graph
+    assert g.n_vertices == 5
+    assert g.n_edges == 7
+    assert g.indices.size == 14
+    assert int(g.degrees.sum()) == 14
+
+
+def test_neighbors_sorted_and_symmetric(fig1_graph):
+    g = fig1_graph
+    for v in range(g.n_vertices):
+        nb = g.neighbors(v)
+        assert (np.diff(nb) >= 0).all()
+        for u in nb:
+            assert v in g.neighbors(int(u))
+
+
+def test_neighbor_weights_parallel_to_neighbors(fig1_graph):
+    g = fig1_graph
+    # a=0's neighbors: b(5.0), c(4.0)
+    nb = g.neighbors(0).tolist()
+    w = g.neighbor_weights(0).tolist()
+    assert dict(zip(nb, w)) == {1: 5.0, 2: 4.0}
+
+
+def test_edge_endpoints_and_weight(fig1_graph):
+    g = fig1_graph
+    for e in range(g.n_edges):
+        u, v = g.edge_endpoints(e)
+        assert u < v
+        assert g.edge_weight(e) in {2.0, 3.0, 4.0, 5.0, 7.0, 9.0, 11.0}
+
+
+def test_other_endpoint(fig1_graph):
+    g = fig1_graph
+    u, v = g.edge_endpoints(0)
+    assert g.other_endpoint(0, u) == v
+    assert g.other_endpoint(0, v) == u
+    with pytest.raises(GraphError):
+        outside = ({0, 1, 2, 3, 4} - {u, v}).pop()
+        g.other_endpoint(0, outside)
+
+
+def test_ranks_are_weight_order_permutation(fig1_graph):
+    g = fig1_graph
+    assert sorted(g.ranks.tolist()) == list(range(7))
+    by_rank = g.edge_w[g.edge_by_rank]
+    assert (np.diff(by_rank) > 0).all()  # distinct weights: strictly increasing
+
+
+def test_min_rank_per_vertex_matches_bruteforce(fig1_graph):
+    g = fig1_graph
+    for v in range(g.n_vertices):
+        expected = int(g.neighbor_ranks(v).min())
+        assert g.min_rank_per_vertex[v] == expected
+
+
+def test_min_edge_per_vertex_fig1(fig1_graph):
+    g = fig1_graph
+    # a's min edge is a-c (4); b's is b-c (3); d's and e's are d-e (2).
+    w_of = lambda v: g.edge_weight(int(g.min_edge_per_vertex[v]))
+    assert w_of(0) == 4.0
+    assert w_of(1) == 3.0
+    assert w_of(2) == 3.0
+    assert w_of(3) == 2.0
+    assert w_of(4) == 2.0
+
+
+def test_isolated_vertex_has_no_min_edge():
+    g = from_edges([(0, 1, 1.0)], n_vertices=3)
+    assert g.min_edge_per_vertex[2] == -1
+    assert g.degree(2) == 0
+
+
+def test_half_edge_sources(fig1_graph):
+    g = fig1_graph
+    src = g.half_edge_sources
+    for v in range(g.n_vertices):
+        lo, hi = g.indptr[v], g.indptr[v + 1]
+        assert (src[lo:hi] == v).all()
+
+
+def test_py_adjacency_matches_numpy_view(fig1_graph):
+    g = fig1_graph
+    nbrs, ranks, eids = g.py_adjacency
+    for v in range(g.n_vertices):
+        assert nbrs[v] == g.neighbors(v).tolist()
+        assert ranks[v] == g.neighbor_ranks(v).tolist()
+        assert eids[v] == g.neighbor_edge_ids(v).tolist()
+
+
+def test_roundtrip_to_edgelist(fig1_graph):
+    g = fig1_graph
+    e = g.to_edgelist()
+    g2 = CSRGraph.from_edgelist(e)
+    assert (g2.indptr == g.indptr).all()
+    assert (g2.indices == g.indices).all()
+    assert (g2.weights == g.weights).all()
+
+
+def test_empty_graph():
+    g = CSRGraph.from_edgelist(EdgeList.empty(0))
+    assert g.n_vertices == 0
+    assert g.n_edges == 0
+    assert g.total_weight == 0.0
+
+
+def test_vertices_without_edges():
+    g = CSRGraph.from_edgelist(EdgeList.empty(4))
+    assert g.n_vertices == 4
+    assert all(g.degree(v) == 0 for v in range(4))
+
+
+def test_iter_edges(fig1_graph):
+    triples = list(fig1_graph.iter_edges())
+    assert len(triples) == 7
+    assert {w for _, _, w in triples} == {2.0, 3.0, 4.0, 5.0, 7.0, 9.0, 11.0}
+
+
+def test_total_weight(fig1_graph):
+    assert fig1_graph.total_weight == pytest.approx(sum(w for _, _, w in FIG1_EDGES))

@@ -1,0 +1,77 @@
+"""Delaunay generator: planarity bounds and the Euclidean-MST oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators.delaunay import delaunay_edgelist, delaunay_graph
+from repro.graphs.traversal import is_connected
+from repro.graphs.validation import validate_csr
+from repro.mst.kruskal import kruskal
+
+
+def test_structurally_valid_and_connected():
+    g = delaunay_graph(120, seed=1)
+    validate_csr(g)
+    assert is_connected(g)
+
+
+def test_planarity_edge_bound():
+    # planar: m <= 3n - 6
+    g = delaunay_graph(200, seed=2)
+    assert g.n_edges <= 3 * g.n_vertices - 6
+
+
+def test_deterministic_and_seed_sensitive():
+    a = delaunay_graph(60, seed=7)
+    b = delaunay_graph(60, seed=7)
+    c = delaunay_graph(60, seed=8)
+    assert (a.edge_w == b.edge_w).all()
+    assert a.n_edges != c.n_edges or not (a.edge_w == c.edge_w).all()
+
+
+def test_congestion_changes_weights_not_topology():
+    a = delaunay_graph(50, seed=3)
+    b = delaunay_graph(50, seed=3, congestion_sigma=0.4)
+    assert (a.edge_u == b.edge_u).all() and (a.edge_v == b.edge_v).all()
+    assert not np.allclose(a.edge_w, b.edge_w)
+
+
+def test_explicit_points():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    g = delaunay_graph(0, points=pts)
+    assert g.n_vertices == 4
+    assert 5 <= g.n_edges <= 6  # unit square: 4 sides + 1-2 diagonals
+
+
+def test_mst_is_euclidean_mst():
+    """The MST of a Delaunay triangulation equals the Euclidean MST."""
+    from scipy.spatial.distance import pdist, squareform
+    import networkx as nx
+
+    rng = np.random.default_rng(4)
+    pts = rng.random((40, 2))
+    g = delaunay_graph(0, points=pts)
+    mst = kruskal(g)
+    ours = {
+        (int(g.edge_u[e]), int(g.edge_v[e])) for e in mst.edge_ids
+    }
+
+    # Euclidean MST over the complete graph.
+    d = squareform(pdist(pts))
+    G = nx.Graph()
+    for i in range(40):
+        for j in range(i + 1, 40):
+            G.add_edge(i, j, weight=d[i, j])
+    ref = {
+        (min(a, b), max(a, b))
+        for a, b in nx.minimum_spanning_tree(G).edges()
+    }
+    assert ours == ref
+
+
+def test_too_few_points_rejected():
+    with pytest.raises(GraphError):
+        delaunay_graph(2, seed=1)
+    with pytest.raises(GraphError):
+        delaunay_edgelist(0, points=np.zeros((3, 3)))

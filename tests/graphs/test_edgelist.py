@@ -1,0 +1,107 @@
+"""EdgeList construction, canonicalisation, and transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, WeightError
+from repro.graphs.edgelist import EdgeList
+
+
+def test_from_pairs_canonicalises_orientation():
+    e = EdgeList.from_pairs(4, [(3, 1, 2.0), (0, 2, 1.0)])
+    assert e.n_edges == 2
+    assert (e.u < e.v).all()
+    assert set(zip(e.u.tolist(), e.v.tolist())) == {(1, 3), (0, 2)}
+
+
+def test_self_loops_dropped():
+    e = EdgeList.from_pairs(3, [(1, 1, 5.0), (0, 1, 1.0), (2, 2, 9.0)])
+    assert e.n_edges == 1
+
+
+def test_dedup_keeps_minimum_weight_parallel_edge():
+    e = EdgeList.from_pairs(2, [(0, 1, 5.0), (1, 0, 2.0), (0, 1, 7.0)])
+    assert e.n_edges == 1
+    assert e.w[0] == 2.0
+
+
+def test_dedup_disabled_keeps_multiplicity():
+    e = EdgeList.from_arrays(
+        2, np.array([0, 1]), np.array([1, 0]), np.array([5.0, 2.0]), dedup=False
+    )
+    assert e.n_edges == 2
+
+
+def test_empty_edgelist():
+    e = EdgeList.empty(7)
+    assert e.n_vertices == 7
+    assert e.n_edges == 0
+    assert e.total_weight == 0.0
+    assert list(e) == []
+
+
+def test_vertex_out_of_range_rejected():
+    with pytest.raises(GraphError):
+        EdgeList.from_pairs(2, [(0, 5, 1.0)])
+    with pytest.raises(GraphError):
+        EdgeList.from_arrays(2, np.array([-1]), np.array([1]), np.array([1.0]))
+
+
+def test_nonfinite_weight_rejected():
+    with pytest.raises(WeightError):
+        EdgeList.from_pairs(2, [(0, 1, float("nan"))])
+    with pytest.raises(WeightError):
+        EdgeList.from_pairs(2, [(0, 1, float("inf"))])
+
+
+def test_mismatched_array_lengths_rejected():
+    with pytest.raises(GraphError):
+        EdgeList.from_arrays(3, np.array([0]), np.array([1, 2]), np.array([1.0]))
+
+
+def test_negative_vertex_count_rejected():
+    with pytest.raises(GraphError):
+        EdgeList.empty(-1)
+
+
+def test_arrays_are_read_only():
+    e = EdgeList.from_pairs(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    with pytest.raises(ValueError):
+        e.u[0] = 5
+    with pytest.raises(ValueError):
+        e.w[0] = 5.0
+
+
+def test_total_weight_and_len_and_iter():
+    e = EdgeList.from_pairs(3, [(0, 1, 1.5), (1, 2, 2.5)])
+    assert e.total_weight == pytest.approx(4.0)
+    assert len(e) == 2
+    assert sorted(w for _, _, w in e) == [1.5, 2.5]
+
+
+def test_with_weights_preserves_topology():
+    e = EdgeList.from_pairs(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    e2 = e.with_weights(np.array([9.0, 8.0]))
+    assert (e2.u == e.u).all() and (e2.v == e.v).all()
+    assert e2.w.tolist() == [9.0, 8.0]
+
+
+def test_with_weights_shape_mismatch_rejected():
+    e = EdgeList.from_pairs(3, [(0, 1, 1.0)])
+    with pytest.raises(GraphError):
+        e.with_weights(np.array([1.0, 2.0]))
+
+
+def test_subset_mask():
+    e = EdgeList.from_pairs(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+    sub = e.subset(np.array([True, False, True]))
+    assert sub.n_edges == 2
+    assert sub.n_vertices == 4
+    assert sorted(sub.w.tolist()) == [1.0, 3.0]
+
+
+def test_has_unique_weights():
+    assert EdgeList.from_pairs(3, [(0, 1, 1.0), (1, 2, 2.0)]).has_unique_weights()
+    dup = EdgeList.from_pairs(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    assert not dup.has_unique_weights()
+    assert EdgeList.empty(3).has_unique_weights()

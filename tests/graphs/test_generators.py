@@ -1,0 +1,216 @@
+"""Graph generators: determinism, morphology, and structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    binary_tree_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_graph,
+    path_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    random_weighted_tree,
+    rmat_graph,
+    road_network,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.traversal import is_connected
+from repro.graphs.validation import validate_csr
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda s: rmat_graph(7, 6, seed=s),
+        lambda s: road_network(9, 8, seed=s),
+        lambda s: gnm_random_graph(40, 70, seed=s),
+        lambda s: random_geometric_graph(50, 0.25, seed=s),
+        lambda s: random_weighted_tree(30, seed=s),
+        lambda s: random_connected_graph(30, 15, seed=s),
+        lambda s: grid_graph(5, 6, seed=s),
+        lambda s: torus_graph(4, 5, seed=s),
+        lambda s: path_graph(12, seed=s),
+        lambda s: cycle_graph(9, seed=s),
+        lambda s: star_graph(11, seed=s),
+        lambda s: binary_tree_graph(4, seed=s),
+        lambda s: caterpillar_graph(6, 3, seed=s),
+    ],
+    ids=[
+        "rmat", "road", "gnm", "geometric", "tree", "connected",
+        "grid", "torus", "path", "cycle", "star", "btree", "caterpillar",
+    ],
+)
+class TestAllGenerators:
+    def test_structurally_valid(self, make):
+        validate_csr(make(0))
+
+    def test_deterministic_under_seed(self, make):
+        a, b = make(42), make(42)
+        assert a.n_vertices == b.n_vertices
+        assert (a.edge_u == b.edge_u).all()
+        assert (a.edge_v == b.edge_v).all()
+        assert (a.edge_w == b.edge_w).all()
+
+    def test_seed_changes_output(self, make):
+        a, b = make(1), make(2)
+        same = (
+            a.n_edges == b.n_edges
+            and (a.edge_u == b.edge_u).all()
+            and (a.edge_v == b.edge_v).all()
+            and (a.edge_w == b.edge_w).all()
+        )
+        assert not same
+
+    def test_unique_weights(self, make):
+        g = make(3)
+        assert np.unique(g.edge_w).size == g.n_edges
+
+
+# ---------------------------------------------------------------------
+# Family-specific structure
+# ---------------------------------------------------------------------
+def test_rmat_size_and_skew():
+    g = rmat_graph(10, 8, seed=5)
+    assert g.n_vertices == 1024
+    # dedup removes some of the 8192 draws, but most survive
+    assert 4000 < g.n_edges <= 8192
+    deg = g.degrees
+    assert float(np.percentile(deg, 99)) > 4 * deg.mean()  # heavy tail
+
+
+def test_rmat_scale_zero_and_validation():
+    g = rmat_graph(0, 4, seed=1)
+    assert g.n_vertices == 1
+    assert g.n_edges == 0
+    with pytest.raises(GraphError):
+        rmat_graph(-1, 4)
+    with pytest.raises(GraphError):
+        rmat_graph(4, 0)
+    with pytest.raises(GraphError):
+        rmat_graph(4, 4, a=0.9, b=0.9, c=0.9)
+
+
+def test_road_is_connected_and_sparse():
+    g = road_network(15, 12, seed=7)
+    assert is_connected(g)
+    avg_deg = 2 * g.n_edges / g.n_vertices
+    assert 2.0 < avg_deg < 4.5
+
+
+def test_road_rejects_bad_params():
+    with pytest.raises(GraphError):
+        road_network(0, 5)
+    with pytest.raises(GraphError):
+        road_network(5, 5, drop_fraction=1.0)
+
+
+def test_gnm_exact_edge_count():
+    g = gnm_random_graph(30, 100, seed=3)
+    assert g.n_vertices == 30
+    assert g.n_edges == 100
+
+
+def test_gnm_bounds():
+    with pytest.raises(GraphError):
+        gnm_random_graph(4, 7)  # max is 6
+    g = gnm_random_graph(4, 6, seed=0)
+    assert g.n_edges == 6  # complete
+    assert gnm_random_graph(5, 0).n_edges == 0
+
+
+def test_geometric_edges_within_radius():
+    radius = 0.3
+    g = random_geometric_graph(60, radius, seed=4)
+    assert (g.edge_w < radius).all()
+
+
+def test_geometric_connect_bridges_components():
+    g = random_geometric_graph(80, 0.08, seed=5, connect=True)
+    assert is_connected(g)
+
+
+def test_tree_generators_have_tree_edge_count():
+    assert random_weighted_tree(25, seed=1).n_edges == 24
+    assert binary_tree_graph(3).n_edges == 14  # 15 vertices
+    assert path_graph(9).n_edges == 8
+    assert star_graph(9).n_edges == 8
+
+
+def test_random_connected_graph_connected():
+    g = random_connected_graph(40, 20, seed=6)
+    assert is_connected(g)
+    assert g.n_edges >= 39
+
+
+def test_grid_structure():
+    g = grid_graph(3, 4)
+    assert g.n_vertices == 12
+    assert g.n_edges == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+    assert g.degrees.max() == 4
+    assert g.degrees.min() == 2
+
+
+def test_torus_is_regular():
+    g = torus_graph(4, 5)
+    assert (g.degrees == 4).all()
+    with pytest.raises(GraphError):
+        torus_graph(2, 5)
+
+
+def test_cycle_requires_three():
+    with pytest.raises(GraphError):
+        cycle_graph(2)
+
+
+def test_caterpillar_structure():
+    g = caterpillar_graph(4, 2)
+    assert g.n_vertices == 12
+    assert g.n_edges == 3 + 8
+    assert is_connected(g)
+
+
+def test_complete_graph_with_and_without_seed():
+    g1 = complete_graph(6)
+    g2 = complete_graph(6, seed=1)
+    assert g1.n_edges == g2.n_edges == 15
+    assert not np.array_equal(g1.edge_w, g2.edge_w)
+
+
+def test_barabasi_albert_structure():
+    from repro.graphs.generators import barabasi_albert_graph
+    from repro.graphs.properties import classify_morphology
+
+    g = barabasi_albert_graph(400, 3, seed=2)
+    validate_csr(g)
+    assert is_connected(g)
+    assert g.n_edges == 3 + 3 * (400 - 4)  # star seed + m per new vertex
+    assert classify_morphology(g) == "scalefree"
+
+
+def test_barabasi_albert_deterministic_and_validated():
+    from repro.graphs.generators import barabasi_albert_graph
+
+    a = barabasi_albert_graph(100, 2, seed=5)
+    b = barabasi_albert_graph(100, 2, seed=5)
+    assert (a.edge_w == b.edge_w).all()
+    with pytest.raises(GraphError):
+        barabasi_albert_graph(3, 0)
+    with pytest.raises(GraphError):
+        barabasi_albert_graph(2, 2)
+
+
+def test_barabasi_albert_mst_agreement():
+    from repro.graphs.generators import barabasi_albert_graph
+    from repro.mst import llp_boruvka, llp_prim, verify_minimum
+
+    g = barabasi_albert_graph(150, 3, seed=7)
+    a = llp_prim(g)
+    b = llp_boruvka(g)
+    assert a.edge_set() == b.edge_set()
+    verify_minimum(g, a)

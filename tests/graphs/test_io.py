@@ -1,0 +1,225 @@
+"""Graph file formats: round-trips and malformed-input rejection."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph, road_network
+from repro.graphs.io import (
+    load_npz,
+    read_dimacs,
+    read_edge_tsv,
+    read_matrix_market,
+    save_npz,
+    write_dimacs,
+    write_edge_tsv,
+    write_matrix_market,
+)
+from repro.graphs.validation import validate_csr
+
+
+def _same_graph(a, b):
+    assert a.n_vertices == b.n_vertices
+    assert a.n_edges == b.n_edges
+    assert (a.edge_u == b.edge_u).all()
+    assert (a.edge_v == b.edge_v).all()
+    assert np.allclose(a.edge_w, b.edge_w)
+
+
+@pytest.fixture
+def sample():
+    return gnm_random_graph(25, 60, seed=9)
+
+
+# ---------------------------------------------------------------- DIMACS
+def test_dimacs_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.gr"
+    write_dimacs(sample, path, comment="test graph")
+    g2 = read_dimacs(path)
+    validate_csr(g2)
+    _same_graph(sample, g2)
+
+
+def test_dimacs_parses_usa_road_style():
+    text = """c USA-road-d style file
+c with comments
+p sp 4 6
+a 1 2 10
+a 2 1 10
+a 2 3 5
+a 3 2 5
+a 3 4 2.5
+a 4 3 2.5
+"""
+    g = read_dimacs(io.StringIO(text))
+    assert g.n_vertices == 4
+    assert g.n_edges == 3
+    assert sorted(g.edge_w.tolist()) == [2.5, 5.0, 10.0]
+
+
+def test_dimacs_missing_problem_line():
+    with pytest.raises(GraphIOError):
+        read_dimacs(io.StringIO("a 1 2 3\n"))
+
+
+def test_dimacs_arc_count_mismatch():
+    with pytest.raises(GraphIOError):
+        read_dimacs(io.StringIO("p sp 2 5\na 1 2 1\n"))
+
+
+def test_dimacs_vertex_out_of_range():
+    with pytest.raises(GraphIOError):
+        read_dimacs(io.StringIO("p sp 2 1\na 1 9 1\n"))
+
+
+def test_dimacs_unknown_record():
+    with pytest.raises(GraphIOError):
+        read_dimacs(io.StringIO("p sp 2 1\nx 1 2 1\n"))
+
+
+# ---------------------------------------------------------- MatrixMarket
+def test_matrix_market_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(sample, path)
+    g2 = read_matrix_market(path)
+    validate_csr(g2)
+    _same_graph(sample, g2)
+
+
+def test_matrix_market_pattern_field():
+    text = """%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.n_edges == 2
+    assert (g.edge_w == 1.0).all()
+
+
+def test_matrix_market_rejects_general_symmetry():
+    text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1.0\n"
+    with pytest.raises(GraphIOError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_matrix_market_rejects_nonsquare():
+    text = "%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 2 1.0\n"
+    with pytest.raises(GraphIOError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_matrix_market_rejects_bad_header():
+    with pytest.raises(GraphIOError):
+        read_matrix_market(io.StringIO("not a header\n"))
+
+
+def test_matrix_market_skips_self_loops():
+    text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 3.0\n2 1 1.0\n"
+    g = read_matrix_market(io.StringIO(text))
+    assert g.n_edges == 1
+
+
+# ------------------------------------------------------------------ TSV
+def test_tsv_roundtrip(sample, tmp_path):
+    path = tmp_path / "g.tsv"
+    write_edge_tsv(sample, path)
+    g2 = read_edge_tsv(path)
+    validate_csr(g2)
+    # vertex count inferred from max id; isolated trailing vertices may drop
+    assert g2.n_edges == sample.n_edges
+    assert np.allclose(np.sort(g2.edge_w), np.sort(sample.edge_w))
+
+
+def test_tsv_default_weight_and_comments():
+    g = read_edge_tsv(io.StringIO("# comment\n0 1\n1 2 2.5\n"))
+    assert g.n_edges == 2
+    assert sorted(g.edge_w.tolist()) == [1.0, 2.5]
+
+
+def test_tsv_explicit_vertex_count():
+    g = read_edge_tsv(io.StringIO("0\t1\t1.0\n"), n_vertices=10)
+    assert g.n_vertices == 10
+    with pytest.raises(GraphIOError):
+        read_edge_tsv(io.StringIO("0\t5\t1.0\n"), n_vertices=3)
+
+
+def test_tsv_malformed_line():
+    with pytest.raises(GraphIOError):
+        read_edge_tsv(io.StringIO("0 1 2 3 4\n"))
+    with pytest.raises(GraphIOError):
+        read_edge_tsv(io.StringIO("a b\n"))
+    with pytest.raises(GraphIOError):
+        read_edge_tsv(io.StringIO("-1 2\n"))
+
+
+# ------------------------------------------------------------------ NPZ
+def test_npz_roundtrip(tmp_path):
+    g = road_network(8, 9, seed=3)
+    path = tmp_path / "g.npz"
+    save_npz(g, path)
+    g2 = load_npz(path)
+    validate_csr(g2)
+    _same_graph(g, g2)
+
+
+def test_npz_preserves_isolated_vertices(tmp_path):
+    g = from_edges([(0, 1, 1.0)], n_vertices=5)
+    path = tmp_path / "iso.npz"
+    save_npz(g, path)
+    assert load_npz(path).n_vertices == 5
+
+
+def test_npz_missing_field(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, foo=np.arange(3))
+    with pytest.raises(GraphIOError):
+        load_npz(path)
+
+
+# -------------------------------------------------- property-based round-trips
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(1, 12))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(0, min(max_m, 20)))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < m:
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            pairs.add((min(int(a), int(b)), max(int(a), int(b))))
+    triples = [(u, v, float(w)) for (u, v), w in zip(sorted(pairs), rng.random(m))]
+    return from_edges(triples, n_vertices=n)
+
+
+@given(g=small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_dimacs_roundtrip_property(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.gr"
+    write_dimacs(g, path)
+    _same_graph(g, read_dimacs(path))
+
+
+@given(g=small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_matrix_market_roundtrip_property(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.mtx"
+    write_matrix_market(g, path)
+    _same_graph(g, read_matrix_market(path))
+
+
+@given(g=small_graphs())
+@settings(max_examples=25, deadline=None)
+def test_npz_roundtrip_property(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.npz"
+    save_npz(g, path)
+    _same_graph(g, load_npz(path))

@@ -1,0 +1,59 @@
+"""Graph morphology statistics."""
+
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import path_graph, rmat_graph, road_network, star_graph
+from repro.graphs.properties import (
+    approximate_diameter,
+    classify_morphology,
+    graph_stats,
+)
+
+
+def test_diameter_exact_on_path():
+    assert approximate_diameter(path_graph(10)) == 9
+
+
+def test_diameter_star():
+    assert approximate_diameter(star_graph(8)) == 2
+
+
+def test_diameter_handles_isolated_start():
+    # vertex 0 is isolated; the probe must not report 0
+    g = from_edges([(1, 2, 1.0), (2, 3, 2.0)], n_vertices=4)
+    assert approximate_diameter(g) == 2
+
+
+def test_diameter_empty_graph():
+    assert approximate_diameter(from_edges([], n_vertices=0)) == 0
+    assert approximate_diameter(from_edges([], n_vertices=3)) == 0
+
+
+def test_road_classified_as_road():
+    g = road_network(20, 20, seed=1)
+    assert classify_morphology(g) == "road"
+
+
+def test_rmat_classified_as_scalefree():
+    g = rmat_graph(10, 16, seed=1)
+    assert classify_morphology(g) == "scalefree"
+
+
+def test_graph_stats_fields():
+    g = road_network(10, 10, seed=2)
+    st = graph_stats(g)
+    assert st.n_vertices == 100
+    assert st.n_edges == g.n_edges
+    assert st.avg_degree == pytest.approx(2 * g.n_edges / 100)
+    assert st.n_components >= 1
+    assert st.approx_diameter > 5
+    row = st.as_row()
+    assert row["type"] == "road"
+    assert row["vertices"] == 100
+
+
+def test_graph_stats_empty():
+    st = graph_stats(from_edges([], n_vertices=0))
+    assert st.morphology == "empty"
+    assert st.n_vertices == 0

@@ -1,0 +1,89 @@
+"""Subgraph extraction utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph, grid_graph
+from repro.graphs.subgraph import edge_subgraph, induced_subgraph, largest_component
+from repro.graphs.traversal import is_connected
+from repro.graphs.validation import validate_csr
+
+
+def test_induced_subgraph_basic(fig1_graph):
+    sub = induced_subgraph(fig1_graph, np.array([0, 1, 2]))  # a, b, c
+    validate_csr(sub.graph)
+    assert sub.graph.n_vertices == 3
+    assert sub.graph.n_edges == 3  # a-b, a-c, b-c
+    assert sorted(sub.graph.edge_w.tolist()) == [3.0, 4.0, 5.0]
+    # mapping round-trips
+    for v in range(3):
+        assert sub.original_vertex(v) in (0, 1, 2)
+    orig = sub.original_edges(np.arange(3))
+    assert {fig1_graph.edge_weight(int(e)) for e in orig} == {3.0, 4.0, 5.0}
+
+
+def test_induced_subgraph_excludes_crossing_edges(fig1_graph):
+    sub = induced_subgraph(fig1_graph, np.array([3, 4]))  # d, e
+    assert sub.graph.n_edges == 1
+    assert sub.graph.edge_w[0] == 2.0
+
+
+def test_induced_subgraph_out_of_range(fig1_graph):
+    with pytest.raises(GraphError):
+        induced_subgraph(fig1_graph, np.array([99]))
+
+
+def test_induced_empty_selection(fig1_graph):
+    sub = induced_subgraph(fig1_graph, np.array([], dtype=np.int64))
+    assert sub.graph.n_vertices == 0
+
+
+def test_edge_subgraph(fig1_graph):
+    # pick the two lightest edges
+    ids = np.argsort(fig1_graph.edge_w)[:2]
+    sub = edge_subgraph(fig1_graph, ids)
+    validate_csr(sub.graph)
+    assert sub.graph.n_edges == 2
+    assert sorted(sub.graph.edge_w.tolist()) == [2.0, 3.0]
+    assert (np.sort(sub.original_edges(np.arange(2))) == np.sort(ids)).all()
+
+
+def test_edge_subgraph_out_of_range(fig1_graph):
+    with pytest.raises(GraphError):
+        edge_subgraph(fig1_graph, np.array([fig1_graph.n_edges]))
+
+
+def test_largest_component():
+    g = from_edges(
+        [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0)], n_vertices=6
+    )
+    sub = largest_component(g)
+    assert sub.graph.n_vertices == 3
+    assert is_connected(sub.graph)
+    assert set(sub.vertex_map.tolist()) == {0, 1, 2}
+
+
+def test_largest_component_of_connected_graph_is_identity_sized():
+    g = grid_graph(4, 4, seed=1)
+    sub = largest_component(g)
+    assert sub.graph.n_vertices == g.n_vertices
+    assert sub.graph.n_edges == g.n_edges
+
+
+def test_largest_component_empty_graph():
+    g = from_edges([], n_vertices=0)
+    assert largest_component(g).graph.n_vertices == 0
+
+
+def test_mst_of_subgraph_maps_back():
+    from repro.mst.kruskal import kruskal
+
+    g = gnm_random_graph(40, 60, seed=5)
+    sub = largest_component(g)
+    mst_sub = kruskal(sub.graph)
+    original_ids = sub.original_edges(mst_sub.edge_ids)
+    # the mapped-back edges are a subset of the full MSF
+    full = kruskal(g).edge_set()
+    assert set(int(e) for e in original_ids) <= full

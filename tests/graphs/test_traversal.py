@@ -1,0 +1,73 @@
+"""BFS/DFS traversal primitives."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import grid_graph, path_graph, star_graph
+from repro.graphs.traversal import bfs_levels, bfs_order, bfs_tree, dfs_order, is_connected
+
+
+def test_bfs_levels_on_path():
+    g = path_graph(6)
+    levels = bfs_levels(g, 0)
+    assert levels.tolist() == [0, 1, 2, 3, 4, 5]
+
+
+def test_bfs_levels_from_middle():
+    g = path_graph(5)
+    assert bfs_levels(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+
+def test_bfs_levels_unreachable_marked_minus_one():
+    g = from_edges([(0, 1, 1.0)], n_vertices=4)
+    levels = bfs_levels(g, 0)
+    assert levels[0] == 0 and levels[1] == 1
+    assert levels[2] == -1 and levels[3] == -1
+
+
+def test_bfs_levels_star():
+    g = star_graph(9)
+    levels = bfs_levels(g, 0)
+    assert levels[0] == 0
+    assert (levels[1:] == 1).all()
+
+
+def test_bfs_order_level_monotone():
+    g = grid_graph(4, 5)
+    order = bfs_order(g, 0)
+    levels = bfs_levels(g, 0)
+    assert (np.diff(levels[order]) >= 0).all()
+    assert order.size == g.n_vertices
+
+
+def test_bfs_tree_parents_consistent():
+    g = grid_graph(3, 4)
+    parent = bfs_tree(g, 0)
+    levels = bfs_levels(g, 0)
+    assert parent[0] == -1
+    for v in range(1, g.n_vertices):
+        p = int(parent[v])
+        assert p >= 0
+        assert levels[v] == levels[p] + 1
+        assert v in g.neighbors(p)
+
+
+def test_dfs_preorder_visits_all():
+    g = grid_graph(3, 3)
+    order = dfs_order(g, 0)
+    assert sorted(order) == list(range(9))
+    assert order[0] == 0
+
+
+def test_dfs_prefers_smallest_neighbor():
+    g = star_graph(5)
+    assert dfs_order(g, 0)[:2] == [0, 1]
+
+
+def test_is_connected():
+    assert is_connected(path_graph(5))
+    assert not is_connected(from_edges([(0, 1, 1.0)], n_vertices=3))
+    assert is_connected(from_edges([], n_vertices=0))
+    assert not is_connected(from_edges([], n_vertices=2))
+    assert is_connected(from_edges([], n_vertices=1))

@@ -1,0 +1,120 @@
+"""Forest path-max oracle (binary lifting) against a brute-force walker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs.tree_queries import DISCONNECTED, ForestPathMax
+
+
+def _brute_force(n, fu, fv, frank):
+    """Dict-based DFS path-max for cross-checking."""
+    adj = {v: [] for v in range(n)}
+    for a, b, r in zip(fu, fv, frank):
+        adj[a].append((b, r))
+        adj[b].append((a, r))
+
+    def query(u, v):
+        if u == v:
+            return -1
+        stack = [(u, -1, -1)]
+        seen = {u}
+        while stack:
+            x, mx, _ = stack.pop()
+            for y, r in adj[x]:
+                if y in seen:
+                    continue
+                seen.add(y)
+                best = max(mx, r)
+                if y == v:
+                    return best
+                stack.append((y, best, 0))
+        return DISCONNECTED
+
+    return query
+
+
+def test_single_path():
+    # path 0-1-2-3 with ranks 5, 2, 9
+    o = ForestPathMax(4, [0, 1, 2], [1, 2, 3], [5, 2, 9])
+    assert o.path_max(0, 3) == 9
+    assert o.path_max(0, 2) == 5
+    assert o.path_max(1, 2) == 2
+    assert o.path_max(2, 0) == 5  # symmetric
+    assert o.path_max(1, 1) == -1
+
+
+def test_disconnected_components():
+    o = ForestPathMax(5, [0, 3], [1, 4], [7, 8])
+    assert o.path_max(0, 1) == 7
+    assert o.path_max(0, 3) == DISCONNECTED
+    assert not o.connected(1, 4)
+    assert o.connected(3, 4)
+
+
+def test_star_queries():
+    n = 9
+    o = ForestPathMax(n, [0] * (n - 1), list(range(1, n)), list(range(10, 18)))
+    for a in range(1, n):
+        for b in range(1, n):
+            if a != b:
+                assert o.path_max(a, b) == max(a + 9, b + 9)
+
+
+def test_rejects_cycle():
+    with pytest.raises(GraphError):
+        ForestPathMax(3, [0, 1, 2], [1, 2, 0], [1, 2, 3])
+
+
+def test_rejects_too_many_edges():
+    with pytest.raises(GraphError):
+        ForestPathMax(2, [0, 0], [1, 1], [1, 2])
+
+
+def test_rejects_out_of_range_query():
+    o = ForestPathMax(2, [0], [1], [3])
+    with pytest.raises(GraphError):
+        o.path_max(0, 5)
+
+
+def test_empty_forest():
+    o = ForestPathMax(3, [], [], [])
+    assert o.path_max(0, 0) == -1
+    assert o.path_max(0, 2) == DISCONNECTED
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_matches_brute_force_on_random_forests(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 40))
+    # random forest: each vertex > 0 attaches to an earlier one with prob 0.8
+    fu, fv, frank = [], [], []
+    rank = 0
+    for v in range(1, n):
+        if rng.random() < 0.8:
+            fu.append(int(rng.integers(0, v)))
+            fv.append(v)
+            frank.append(rank)
+            rank += 1
+    o = ForestPathMax(n, fu, fv, frank)
+    brute = _brute_force(n, fu, fv, frank)
+    qs = rng.integers(0, n, size=(30, 2))
+    for u, v in qs:
+        assert o.path_max(int(u), int(v)) == brute(int(u), int(v))
+
+
+def test_path_max_many():
+    o = ForestPathMax(4, [0, 1, 2], [1, 2, 3], [5, 2, 9])
+    out = o.path_max_many([0, 1, 0], [3, 2, 0])
+    assert out.tolist() == [9, 2, -1]
+
+
+def test_deep_chain_lifting():
+    n = 300
+    o = ForestPathMax(n, list(range(n - 1)), list(range(1, n)), list(range(n - 1)))
+    assert o.path_max(0, n - 1) == n - 2
+    assert o.path_max(10, 20) == 19
+    assert o.path_max(250, 100) == 249

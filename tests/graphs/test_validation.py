@@ -1,0 +1,74 @@
+"""Structural validation of edge lists and CSR graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs.builder import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.validation import validate_csr, validate_edgelist
+
+
+def test_valid_graphs_pass(any_graph):
+    validate_csr(any_graph)
+    validate_edgelist(any_graph.to_edgelist())
+
+
+def test_empty_passes():
+    validate_edgelist(EdgeList.empty(3))
+    validate_csr(CSRGraph.from_edgelist(EdgeList.empty(3)))
+
+
+def _raw_edgelist(n, u, v, w):
+    """Bypass canonicalisation to build a deliberately broken edge list."""
+    return EdgeList(
+        n,
+        np.asarray(u, dtype=np.int64),
+        np.asarray(v, dtype=np.int64),
+        np.asarray(w, dtype=np.float64),
+    )
+
+
+def test_noncanonical_orientation_rejected():
+    bad = _raw_edgelist(3, [2], [1], [1.0])
+    with pytest.raises(ValidationError):
+        validate_edgelist(bad)
+
+
+def test_self_loop_rejected():
+    bad = _raw_edgelist(3, [1], [1], [1.0])
+    with pytest.raises(ValidationError):
+        validate_edgelist(bad)
+
+
+def test_duplicate_edge_rejected():
+    bad = _raw_edgelist(3, [0, 0], [1, 1], [1.0, 2.0])
+    with pytest.raises(ValidationError):
+        validate_edgelist(bad)
+
+
+def test_nan_weight_rejected():
+    bad = _raw_edgelist(3, [0], [1], [float("nan")])
+    with pytest.raises(ValidationError):
+        validate_edgelist(bad)
+
+
+def test_out_of_range_vertex_rejected():
+    bad = _raw_edgelist(2, [0], [5], [1.0])
+    with pytest.raises(ValidationError):
+        validate_edgelist(bad)
+
+
+def test_tampered_csr_indptr_rejected(fig1_graph):
+    g = from_edges([(0, 1, 1.0), (1, 2, 2.0)])
+    broken = g.indptr.copy()
+    broken[1] = 99
+    g2 = object.__new__(type(g))
+    for slot in ("n_vertices", "n_edges", "indices", "weights", "edge_ids",
+                 "edge_u", "edge_v", "edge_w", "ranks", "half_ranks"):
+        setattr(g2, slot, getattr(g, slot))
+    g2.indptr = broken
+    g2.__dict__ = {}
+    with pytest.raises(ValidationError):
+        validate_csr(g2)

@@ -1,0 +1,78 @@
+"""Weight ranking and uniqueness utilities (with property-based checks)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WeightError
+from repro.graphs.weights import (
+    ensure_unique_weights,
+    perturbation_scale,
+    weight_order_ranks,
+)
+
+finite_weights = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+def test_ranks_simple():
+    ranks = weight_order_ranks(np.array([5.0, 1.0, 3.0]))
+    assert ranks.tolist() == [2, 0, 1]
+
+
+def test_ranks_ties_broken_by_index():
+    ranks = weight_order_ranks(np.array([2.0, 2.0, 1.0]))
+    assert ranks.tolist() == [1, 2, 0]
+
+
+def test_ranks_reject_nonfinite():
+    with pytest.raises(WeightError):
+        weight_order_ranks(np.array([1.0, float("inf")]))
+
+
+@given(finite_weights)
+@settings(max_examples=60)
+def test_ranks_are_permutation_consistent_with_order(ws):
+    w = np.asarray(ws)
+    ranks = weight_order_ranks(w)
+    assert sorted(ranks.tolist()) == list(range(len(ws)))
+    # rank order must agree with (weight, index) lexicographic order
+    order = sorted(range(len(ws)), key=lambda i: (w[i], i))
+    for pos, i in enumerate(order):
+        assert ranks[i] == pos
+
+
+@given(finite_weights)
+@settings(max_examples=60)
+def test_unique_weights_distinct_and_order_preserving(ws):
+    w = np.asarray(ws)
+    out = ensure_unique_weights(w)
+    assert np.unique(out).size == out.size
+    # Originally strictly-ordered pairs keep their order.
+    for i in range(len(ws)):
+        for j in range(len(ws)):
+            if w[i] < w[j]:
+                assert out[i] < out[j]
+
+
+def test_unique_weights_equal_values_ordered_by_index():
+    out = ensure_unique_weights(np.array([3.0, 3.0, 3.0]))
+    assert out[0] < out[1] < out[2]
+
+
+def test_perturbation_scale_below_half_gap():
+    w = np.array([0.0, 1.0, 1.5])
+    assert perturbation_scale(w) <= 0.5 / 2
+
+
+def test_perturbation_scale_degenerate():
+    assert perturbation_scale(np.array([2.0])) == 1.0
+    assert perturbation_scale(np.array([2.0, 2.0])) > 0
+
+
+def test_unique_weights_empty():
+    assert ensure_unique_weights(np.array([])).size == 0

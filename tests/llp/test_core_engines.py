@@ -1,0 +1,173 @@
+"""LLP protocol and the sequential/parallel engines.
+
+Uses a tiny synthetic problem with a known least fixpoint: each index j
+must reach at least ``target[j]``, and additionally ``G[0] >= G[1]``
+(a cross-index constraint that keeps the predicate lattice-linear but
+non-trivial).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, LLPError
+from repro.llp.core import LLPProblem, check_lattice_linearity
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_seq import solve_sequential
+from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.threads import ThreadBackend
+
+
+class ThresholdProblem(LLPProblem):
+    """G[j] must reach target[j]; index 0 must also cover G[1]."""
+
+    def __init__(self, target, top=None):
+        self.target = np.asarray(target, dtype=np.float64)
+        self._top = top
+
+    @property
+    def n(self):
+        return self.target.size
+
+    def bottom(self):
+        return np.zeros(self.n)
+
+    def top(self):
+        return None if self._top is None else np.asarray(self._top, dtype=np.float64)
+
+    def forbidden(self, G, j):
+        if G[j] < self.target[j]:
+            return True
+        return j == 0 and G[0] < G[1]
+
+    def advance(self, G, j):
+        if G[j] < self.target[j]:
+            return float(max(self.target[j], G[1] if j == 0 else 0.0))
+        return float(G[1])
+
+
+def expected_fixpoint(target):
+    out = np.asarray(target, dtype=np.float64).copy()
+    out[0] = max(out[0], out[1])
+    return out
+
+
+@pytest.mark.parametrize("solver", [solve_sequential, solve_parallel])
+def test_engines_reach_least_fixpoint(solver):
+    problem = ThresholdProblem([1.0, 5.0, 2.0])
+    result = solver(problem)
+    assert result.feasible
+    assert np.allclose(result.state, [5.0, 5.0, 2.0])
+
+
+def test_engines_agree_on_many_instances():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        target = rng.uniform(0, 10, size=6)
+        a = solve_sequential(ThresholdProblem(target))
+        b = solve_parallel(ThresholdProblem(target))
+        assert np.allclose(a.state, b.state)
+        assert np.allclose(a.state, expected_fixpoint(target))
+
+
+def test_sequential_order_independence():
+    target = [3.0, 9.0, 1.0, 4.0]
+    fwd = solve_sequential(ThresholdProblem(target))
+    rev = solve_sequential(
+        ThresholdProblem(target), order=lambda idx: sorted(idx, reverse=True)
+    )
+    assert np.allclose(fwd.state, rev.state)
+
+
+def test_parallel_engine_on_backends():
+    target = [2.0, 7.0, 3.0]
+    sim = solve_parallel(ThresholdProblem(target), SimulatedBackend(4))
+    with ThreadBackend(3) as tb:
+        thr = solve_parallel(ThresholdProblem(target), tb)
+    assert np.allclose(sim.state, expected_fixpoint(target))
+    assert np.allclose(thr.state, expected_fixpoint(target))
+
+
+def test_already_feasible_returns_bottom():
+    result = solve_parallel(ThresholdProblem([0.0, 0.0]))
+    assert result.rounds == 0
+    assert result.advances == 0
+    assert np.allclose(result.state, 0.0)
+
+
+def test_infeasible_when_top_exceeded():
+    problem = ThresholdProblem([5.0, 1.0], top=[2.0, 2.0])
+    with pytest.raises(InfeasibleError):
+        solve_sequential(problem)
+    with pytest.raises(InfeasibleError):
+        solve_parallel(ThresholdProblem([5.0, 1.0], top=[2.0, 2.0]))
+
+
+def test_history_recording():
+    result = solve_parallel(ThresholdProblem([1.0, 2.0, 3.0]), record_history=True)
+    assert len(result.history) == result.rounds + 1
+    # states grow monotonically in the lattice
+    for a, b in zip(result.history, result.history[1:]):
+        assert (b >= a).all()
+
+
+class BrokenAdvance(ThresholdProblem):
+    def advance(self, G, j):
+        return float(G[j])  # not strictly increasing
+
+
+def test_non_increasing_advance_detected():
+    with pytest.raises(LLPError):
+        solve_sequential(BrokenAdvance([1.0, 1.0]))
+    with pytest.raises(LLPError):
+        solve_parallel(BrokenAdvance([1.0, 1.0]))
+
+
+class NeverFeasible(LLPProblem):
+    @property
+    def n(self):
+        return 1
+
+    def bottom(self):
+        return np.zeros(1)
+
+    def forbidden(self, G, j):
+        return True
+
+    def advance(self, G, j):
+        return float(G[j]) + 1.0
+
+
+def test_round_limit_guards_divergence():
+    with pytest.raises(LLPError):
+        solve_sequential(NeverFeasible(), max_advances=50)
+    with pytest.raises(LLPError):
+        solve_parallel(NeverFeasible(), max_rounds=50)
+
+
+def test_wrong_bottom_shape_rejected():
+    class BadShape(ThresholdProblem):
+        def bottom(self):
+            return np.zeros(self.n + 2)
+
+    with pytest.raises(LLPError):
+        solve_sequential(BadShape([1.0]))
+    with pytest.raises(LLPError):
+        solve_parallel(BadShape([1.0]))
+
+
+def test_check_lattice_linearity_accepts_valid():
+    problem = ThresholdProblem([2.0, 4.0])
+    samples = [np.array([0.0, 0.0]), np.array([1.0, 4.0]), np.array([4.0, 4.0])]
+    check_lattice_linearity(problem, samples)
+
+
+def test_check_lattice_linearity_flags_broken_advance():
+    problem = BrokenAdvance([2.0, 2.0])
+    with pytest.raises(LLPError):
+        check_lattice_linearity(problem, [np.array([0.0, 0.0])])
+
+
+def test_is_feasible_default():
+    problem = ThresholdProblem([1.0, 1.0])
+    assert not problem.is_feasible(np.array([0.0, 0.0]))
+    assert problem.is_feasible(np.array([1.0, 1.0]))

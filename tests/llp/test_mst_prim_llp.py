@@ -1,0 +1,121 @@
+"""Algorithm 4 verbatim (PrimLLP): the generic engine must find the MST."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.mst_prim import PrimLLP, mst_via_llp_engine
+from repro.mst.kruskal import kruskal
+from repro.mst.llp_prim import llp_prim
+from repro.mst.verify import verify_minimum
+
+from tests.conftest import FIG1_EDGES, FIG1_MST_WEIGHTS
+
+
+def test_fig1_lattice_dimensions(fig1_graph):
+    """Section V-A: rooted at a, the lattice is 3 x 4 x 3 x 2 = 72 states."""
+    problem = PrimLLP(fig1_graph, root=0)
+    bottom, top = problem.bottom(), problem.top()
+    sizes = []
+    for v in range(1, 5):
+        chain = problem._chains[v]
+        sizes.append(len(chain))
+        assert bottom[v] == chain[0]
+        assert top[v] == chain[-1]
+    assert sorted(sizes) == [2, 3, 3, 4]
+    assert int(np.prod(sizes)) == 72
+
+
+def test_fig1_bottom_is_min_edges(fig1_graph):
+    """Initial proposals: G[b]=3, G[c]=3, G[d]=2, G[e]=2 (by weight)."""
+    problem = PrimLLP(fig1_graph, root=0)
+    bottom = problem.bottom()
+    w_of = lambda v: fig1_graph.edge_weight(
+        int(fig1_graph.edge_by_rank[int(bottom[v])])
+    )
+    assert w_of(1) == 3.0
+    assert w_of(2) == 3.0
+    assert w_of(3) == 2.0
+    assert w_of(4) == 2.0
+
+
+def test_fig1_engine_finds_mst(fig1_graph):
+    result = mst_via_llp_engine(fig1_graph, root=0)
+    weights = {fig1_graph.edge_weight(int(e)) for e in result.edge_ids}
+    assert weights == FIG1_MST_WEIGHTS
+    verify_minimum(fig1_graph, result)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: grid_graph(4, 4, seed=1),
+        lambda: cycle_graph(9, seed=2),
+        lambda: star_graph(8, seed=3),
+        lambda: random_connected_graph(20, 15, seed=4),
+    ],
+    ids=["grid", "cycle", "star", "random"],
+)
+def test_engine_solution_matches_oracle(make):
+    g = make()
+    result = mst_via_llp_engine(g)
+    assert result.edge_set() == kruskal(g).edge_set()
+    verify_minimum(g, result)
+
+
+def test_sequential_and_parallel_engines_agree(fig1_graph):
+    a = solve_sequential(PrimLLP(fig1_graph, 0))
+    b = solve_parallel(PrimLLP(fig1_graph, 0))
+    assert np.allclose(a.state, b.state)
+
+
+def test_specification_matches_derived_algorithm():
+    g = random_connected_graph(18, 12, seed=7)
+    spec = mst_via_llp_engine(g, root=0)
+    derived = llp_prim(g, root=0)
+    assert spec.edge_set() == derived.edge_set()
+
+
+def test_each_vertex_advances_at_most_once(fig1_graph):
+    problem = PrimLLP(fig1_graph, 0)
+    result = solve_parallel(problem, record_history=True)
+    bottom = problem.bottom()
+    changed = (result.state != bottom).sum()
+    assert result.advances == changed  # one advance per moved vertex
+
+
+def test_monotone_history(fig1_graph):
+    result = solve_parallel(PrimLLP(fig1_graph, 0), record_history=True)
+    for a, b in zip(result.history, result.history[1:]):
+        assert (b >= a).all()
+
+
+def test_fixed_set_semantics(fig1_graph):
+    problem = PrimLLP(fig1_graph, 0)
+    fixed = problem.fixed_set(problem.bottom())
+    # bottom: d,e propose edge (d,e): a 2-cycle -> non-fixed;
+    # b,c propose (b,c): 2-cycle -> non-fixed; only the root is fixed.
+    assert fixed.tolist() == [True, False, False, False, False]
+
+
+def test_rejects_disconnected_and_bad_root():
+    g = from_edges([(0, 1, 1.0)], n_vertices=3)
+    with pytest.raises(GraphError):
+        mst_via_llp_engine(g)
+    with pytest.raises(GraphError):
+        PrimLLP(grid_graph(2, 2), root=9)
+
+
+def test_alternative_root(fig1_graph):
+    result = mst_via_llp_engine(fig1_graph, root=4)
+    weights = {fig1_graph.edge_weight(int(e)) for e in result.edge_ids}
+    assert weights == FIG1_MST_WEIGHTS

@@ -1,0 +1,92 @@
+"""Standalone pointer-jumping LLP (Lemma 4's inner instance)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LLPError
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.pointer_jumping import PointerJumpingLLP, rooted_stars_llp
+from repro.runtime.simulated import SimulatedBackend
+
+
+def _chain(n):
+    """0 <- 1 <- 2 <- ... (vertex i points to i-1; 0 is the root)."""
+    return np.array([max(0, i - 1) for i in range(n)], dtype=np.int64)
+
+
+def test_chain_collapses_to_star():
+    stars = rooted_stars_llp(_chain(10))
+    assert (stars == 0).all()
+
+
+def test_already_star_is_noop():
+    parent = np.array([0, 0, 0, 3, 3], dtype=np.int64)
+    result = solve_parallel(PointerJumpingLLP(parent))
+    assert result.rounds == 0
+    assert (rooted_stars_llp(parent) == parent).all()
+
+
+def test_forest_with_multiple_roots():
+    parent = np.array([0, 0, 1, 3, 3, 4], dtype=np.int64)
+    stars = rooted_stars_llp(parent)
+    assert stars.tolist() == [0, 0, 0, 3, 3, 3]
+
+
+def test_round_count_logarithmic():
+    problem = PointerJumpingLLP(_chain(64))
+    result = solve_parallel(problem)
+    assert problem.is_star()
+    assert result.rounds <= 7  # ceil(log2(63)) + 1
+
+
+def test_sequential_engine_also_converges():
+    problem = PointerJumpingLLP(_chain(12))
+    solve_sequential(problem)
+    assert problem.is_star()
+
+
+def test_depth_lattice_top_respected():
+    problem = PointerJumpingLLP(_chain(8))
+    result = solve_parallel(problem)
+    # total shortcuts per vertex never exceed depth - 1
+    assert (result.state <= problem.top()).all()
+
+
+def test_cycle_rejected():
+    with pytest.raises(LLPError):
+        PointerJumpingLLP(np.array([1, 0], dtype=np.int64))
+    with pytest.raises(LLPError):
+        PointerJumpingLLP(np.array([1, 2, 0], dtype=np.int64))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(LLPError):
+        PointerJumpingLLP(np.array([5], dtype=np.int64))
+
+
+def test_on_backend():
+    stars = rooted_stars_llp(_chain(33), backend=SimulatedBackend(4))
+    assert (stars == 0).all()
+
+
+def test_empty_forest():
+    stars = rooted_stars_llp(np.empty(0, dtype=np.int64))
+    assert stars.size == 0
+
+
+def test_random_forests_match_naive_root_walk():
+    rng = np.random.default_rng(3)
+    for _ in range(10):
+        n = int(rng.integers(1, 40))
+        parent = np.arange(n, dtype=np.int64)
+        order = rng.permutation(n)
+        for i, v in enumerate(order[1:], start=1):
+            parent[v] = order[rng.integers(0, i)]  # point at an earlier vertex
+        expected = parent.copy()
+        for v in range(n):
+            x = v
+            while expected[x] != x:
+                x = int(expected[x])
+            expected[v] = x
+        assert (rooted_stars_llp(parent) == expected).all()

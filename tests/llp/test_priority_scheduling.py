@@ -1,0 +1,139 @@
+"""Priority engine (Dijkstra-as-schedule) and the job-scheduling LLP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError, LLPError
+from repro.graphs.generators import random_connected_graph
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_priority import solve_priority
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.scheduling import JobSchedulingLLP, earliest_schedule_llp
+from repro.llp.problems.shortest_path import ShortestPathLLP
+
+
+# ----------------------------------------------------------- priority engine
+def test_priority_engine_matches_parallel_on_shortest_path():
+    g = random_connected_graph(50, 80, seed=1)
+    a = solve_priority(ShortestPathLLP(g, 0))
+    b = solve_parallel(ShortestPathLLP(g, 0))
+    assert np.allclose(a.state, b.state)
+
+
+def test_priority_schedule_advance_counts_bounded():
+    """Every non-source vertex advances at least once, and the smallest-
+    advance-first schedule stays within a small multiple of that floor
+    (the bottom-up lattice admits intermediate justified values, so
+    exactly n-1 advances is not attainable in general)."""
+    g = random_connected_graph(40, 70, seed=2)
+    result = solve_priority(ShortestPathLLP(g, 0))
+    floor = g.n_vertices - 1
+    assert floor <= result.advances <= 6 * floor
+
+
+def test_priority_never_more_advances_than_sequential():
+    for seed in range(4):
+        g = random_connected_graph(30, 60, seed=seed)
+        pri = solve_priority(ShortestPathLLP(g, 0))
+        seq = solve_sequential(ShortestPathLLP(g, 0))
+        assert pri.advances <= seq.advances
+
+
+def test_priority_engine_infeasible_and_divergence_guards():
+    class Diverge(JobSchedulingLLP):
+        def top(self):
+            return np.zeros(self.n)
+
+    problem = Diverge([1.0, 1.0], [(0, 1)])
+    with pytest.raises(InfeasibleError):
+        solve_priority(problem)
+
+
+# ------------------------------------------------------------ job scheduling
+def test_chain_schedule():
+    starts, makespan = earliest_schedule_llp(
+        [3.0, 2.0, 4.0], [(0, 1), (1, 2)]
+    )
+    assert starts.tolist() == [0.0, 3.0, 5.0]
+    assert makespan == 9.0
+
+
+def test_diamond_takes_longest_branch():
+    #   0 -> 1 -> 3,  0 -> 2 -> 3, durations favour the 2-branch
+    starts, makespan = earliest_schedule_llp(
+        [1.0, 2.0, 5.0, 1.0], [(0, 1), (0, 2), (1, 3), (2, 3)]
+    )
+    assert starts[3] == 6.0  # via job 2
+    assert makespan == 7.0
+
+
+def test_release_times_respected():
+    starts, _ = earliest_schedule_llp([1.0, 1.0], [(0, 1)], release=[0.0, 10.0])
+    assert starts.tolist() == [0.0, 10.0]
+
+
+def test_independent_jobs_start_immediately():
+    starts, makespan = earliest_schedule_llp([4.0, 2.0, 7.0], [])
+    assert starts.tolist() == [0.0, 0.0, 0.0]
+    assert makespan == 7.0
+
+
+def test_cycle_rejected():
+    with pytest.raises(LLPError):
+        JobSchedulingLLP([1.0, 1.0], [(0, 1), (1, 0)])
+    with pytest.raises(LLPError):
+        JobSchedulingLLP([1.0], [(0, 0)])
+
+
+def test_validation():
+    with pytest.raises(LLPError):
+        JobSchedulingLLP([-1.0], [])
+    with pytest.raises(LLPError):
+        JobSchedulingLLP([1.0], [(0, 5)])
+    with pytest.raises(LLPError):
+        JobSchedulingLLP([1.0, 1.0], [], release=[0.0])
+
+
+def test_all_three_engines_agree():
+    problem_args = ([2.0, 3.0, 1.0, 4.0], [(0, 2), (1, 2), (2, 3)])
+    a = solve_sequential(JobSchedulingLLP(*problem_args)).state
+    b = solve_parallel(JobSchedulingLLP(*problem_args)).state
+    c = solve_priority(JobSchedulingLLP(*problem_args)).state
+    assert np.allclose(a, b)
+    assert np.allclose(a, c)
+
+
+def _dp_oracle(durations, preds_of):
+    """Topological DP for earliest start times."""
+    n = len(durations)
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def start(j):
+        ps = preds_of[j]
+        return max((start(i) + durations[i] for i in ps), default=0.0)
+
+    return [start(j) for j in range(n)]
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_matches_dp_on_random_dags(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 15))
+    durations = rng.integers(1, 9, size=n).astype(float)
+    # random DAG: edges only from lower to higher index
+    precs = []
+    for b in range(1, n):
+        for a in range(b):
+            if rng.random() < 0.3:
+                precs.append((a, b))
+    starts, makespan = earliest_schedule_llp(durations, precs)
+    preds_of = tuple(
+        tuple(a for a, b in precs if b == j) for j in range(n)
+    )
+    oracle = _dp_oracle(tuple(durations), preds_of)
+    assert np.allclose(starts, oracle)
+    assert makespan == pytest.approx(max(o + d for o, d in zip(oracle, durations)))

@@ -1,0 +1,237 @@
+"""LLP instantiations: shortest paths, stable marriage, market clearing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, LLPError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import grid_graph, random_connected_graph
+from repro.llp.engine_parallel import solve_parallel
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.bipartite import hall_violator, max_bipartite_matching
+from repro.llp.problems.market_clearing import MarketClearingLLP, market_clearing_llp
+from repro.llp.problems.shortest_path import ShortestPathLLP, shortest_paths_llp
+from repro.llp.problems.stable_marriage import StableMarriageLLP, stable_marriage_llp
+
+
+# ------------------------------------------------------------ shortest path
+def _dijkstra_oracle(g, source):
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n_vertices))
+    for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w):
+        G.add_edge(int(u), int(v), weight=float(w))
+    return nx.single_source_dijkstra_path_length(G, source)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_shortest_path_matches_dijkstra(seed):
+    g = random_connected_graph(40, 60, seed=seed)
+    d = shortest_paths_llp(g, 0)
+    oracle = _dijkstra_oracle(g, 0)
+    for v, dist in oracle.items():
+        assert d[v] == pytest.approx(dist)
+
+
+def test_shortest_path_engines_agree():
+    g = grid_graph(5, 5, seed=3)
+    a = solve_sequential(ShortestPathLLP(g, 0)).state
+    b = solve_parallel(ShortestPathLLP(g, 0)).state
+    assert np.allclose(a, b)
+
+
+def test_shortest_path_source_distance_zero():
+    g = grid_graph(3, 3, seed=1)
+    d = shortest_paths_llp(g, 4)
+    assert d[4] == 0.0
+    assert (d[np.arange(9) != 4] > 0).all()
+
+
+def test_shortest_path_rejects_disconnected():
+    g = from_edges([(0, 1, 1.0)], n_vertices=3)
+    with pytest.raises(GraphError):
+        ShortestPathLLP(g, 0)
+
+
+def test_shortest_path_rejects_bad_source_and_negative_weights():
+    g = grid_graph(2, 2, seed=0)
+    with pytest.raises(GraphError):
+        ShortestPathLLP(g, 99)
+    neg = from_edges([(0, 1, -1.0)])
+    with pytest.raises(GraphError):
+        ShortestPathLLP(neg, 0)
+
+
+def test_shortest_path_single_vertex():
+    g = from_edges([], n_vertices=1)
+    assert shortest_paths_llp(g, 0).tolist() == [0.0]
+
+
+# --------------------------------------------------------- stable marriage
+def _is_stable(men, women, wife):
+    n = len(wife)
+    rank_m = np.empty((n, n), int)
+    rank_w = np.empty((n, n), int)
+    for i in range(n):
+        rank_m[i, men[i]] = np.arange(n)
+        rank_w[i, women[i]] = np.arange(n)
+    husband = np.empty(n, int)
+    husband[wife] = np.arange(n)
+    for m in range(n):
+        for w in range(n):
+            if w == wife[m]:
+                continue
+            if rank_m[m, w] < rank_m[m, wife[m]] and rank_w[w, m] < rank_w[w, husband[w]]:
+                return False
+    return True
+
+
+def _gale_shapley_oracle(men, women):
+    """Textbook man-proposing Gale-Shapley (man-optimal matching)."""
+    n = len(men)
+    rank_w = np.empty((n, n), int)
+    for i in range(n):
+        rank_w[i, women[i]] = np.arange(n)
+    next_choice = [0] * n
+    engaged_to: dict[int, int] = {}
+    free = list(range(n))
+    while free:
+        m = free.pop()
+        w = men[m][next_choice[m]]
+        next_choice[m] += 1
+        if w not in engaged_to:
+            engaged_to[w] = m
+        elif rank_w[w, m] < rank_w[w, engaged_to[w]]:
+            free.append(engaged_to[w])
+            engaged_to[w] = m
+        else:
+            free.append(m)
+    wife = np.empty(n, int)
+    for w, m in engaged_to.items():
+        wife[m] = w
+    return wife
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_stable_marriage_matches_gale_shapley(seed):
+    rng = np.random.default_rng(seed)
+    n = 7
+    men = np.array([rng.permutation(n) for _ in range(n)])
+    women = np.array([rng.permutation(n) for _ in range(n)])
+    wife = stable_marriage_llp(men, women)
+    assert _is_stable(men, women, wife)
+    assert (wife == _gale_shapley_oracle(men, women)).all()  # man-optimal
+
+
+def test_stable_marriage_engines_agree():
+    rng = np.random.default_rng(9)
+    n = 6
+    men = np.array([rng.permutation(n) for _ in range(n)])
+    women = np.array([rng.permutation(n) for _ in range(n)])
+    p1 = StableMarriageLLP(men, women)
+    a = solve_sequential(p1)
+    b = solve_parallel(StableMarriageLLP(men, women))
+    assert (p1.matching(a.state) == p1.matching(b.state)).all()
+
+
+def test_stable_marriage_identity_prefs():
+    n = 5
+    men = np.array([np.arange(n)] * n)
+    women = np.array([np.arange(n)] * n)
+    wife = stable_marriage_llp(men, women)
+    # all men prefer woman 0; woman's list prefers man 0... matching is
+    # the serial dictatorship by id.
+    assert wife.tolist() == list(range(n))
+
+
+def test_stable_marriage_rejects_malformed_prefs():
+    with pytest.raises(LLPError):
+        StableMarriageLLP([[0, 1], [1, 0]], [[0, 0], [1, 0]])
+    with pytest.raises(LLPError):
+        StableMarriageLLP([[0, 1]], [[0, 1], [1, 0]])
+
+
+# --------------------------------------------------------- market clearing
+def test_market_clearing_competitive_item():
+    # Both buyers want item 0 (values 5 vs 5); price rises to make the
+    # other item competitive.
+    v = np.array([[5, 0], [5, 0]])
+    prices, match = market_clearing_llp(v)
+    assert prices.tolist() == [5, 0]
+    assert sorted(match.tolist()) == [0, 1]
+
+
+def test_market_clearing_no_contention_zero_prices():
+    v = np.array([[9, 0, 0], [0, 9, 0], [0, 0, 9]])
+    prices, match = market_clearing_llp(v)
+    assert prices.tolist() == [0, 0, 0]
+    assert match.tolist() == [0, 1, 2]
+
+
+def test_market_clearing_engines_agree():
+    rng = np.random.default_rng(5)
+    v = rng.integers(0, 8, size=(4, 4))
+    a = solve_sequential(MarketClearingLLP(v)).state
+    b = solve_parallel(MarketClearingLLP(v)).state
+    assert np.allclose(a, b)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_market_clearing_produces_clearing_prices(seed):
+    rng = np.random.default_rng(seed)
+    n = rng.integers(2, 5)
+    v = rng.integers(0, 7, size=(n, n))
+    problem = MarketClearingLLP(v)
+    result = solve_parallel(problem)
+    # at the final prices the demand graph has no over-demanded set
+    assert problem.forbidden_indices(result.state) == []
+    match = problem.clearing_matching(result.state)
+    # every matched buyer receives an item in their demand set
+    demands = problem.demand_sets(result.state)
+    for b, item in enumerate(match):
+        if item >= 0:
+            assert item in demands[b]
+
+
+def test_market_clearing_validation():
+    with pytest.raises(LLPError):
+        MarketClearingLLP(np.array([[1.5, 2.0], [1.0, 0.0]]))
+    with pytest.raises(LLPError):
+        MarketClearingLLP(np.array([[1, 2, 3], [4, 5, 6]]))
+    with pytest.raises(LLPError):
+        MarketClearingLLP(np.array([[-1, 2], [3, 4]]))
+
+
+# --------------------------------------------------------------- bipartite
+def test_max_matching_perfect():
+    adj = [[0, 1], [1, 2], [2, 0]]
+    ml, mr = max_bipartite_matching(adj, 3)
+    assert (ml >= 0).all()
+    assert sorted(ml.tolist()) == [0, 1, 2]
+
+
+def test_max_matching_with_augmenting_path():
+    # greedy would match 0->a, leaving 1 stuck; augmenting fixes it
+    adj = [[0], [0, 1]]
+    ml, _ = max_bipartite_matching(adj, 2)
+    assert ml.tolist() == [0, 1]
+
+
+def test_hall_violator_empty_when_perfect():
+    assert hall_violator([[0], [1]], 2) == []
+
+
+def test_hall_violator_finds_overdemanded_set():
+    # three buyers all demand only item 0
+    adj = [[0], [0], [0]]
+    assert hall_violator(adj, 2) == [0]
+
+
+def test_hall_violator_alternating_paths():
+    # buyers: {0}, {0,1}, {1} -> items {0,1} demanded by 3 buyers
+    adj = [[0], [0, 1], [1]]
+    assert hall_violator(adj, 3) == [0, 1]

@@ -1,0 +1,92 @@
+"""GHS distributed MST: correctness and message complexity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import (
+    complete_graph,
+    gnm_random_graph,
+    path_graph,
+    road_network,
+)
+from repro.mst.ghs import ghs
+from repro.mst.verify import verify_minimum
+
+from tests.conftest import FIG1_MST_WEIGHTS, mst_edge_oracle
+
+
+def test_fig1(fig1_graph):
+    result = ghs(fig1_graph)
+    weights = {fig1_graph.edge_weight(int(e)) for e in result.edge_ids}
+    assert weights == FIG1_MST_WEIGHTS
+
+
+def test_matches_oracle_on_all_morphologies(any_graph):
+    result = ghs(any_graph)
+    assert result.edge_set() == mst_edge_oracle(any_graph)
+    verify_minimum(any_graph, result)
+
+
+def test_empty_and_trivial():
+    assert ghs(from_edges([], n_vertices=0)).n_edges == 0
+    r = ghs(from_edges([], n_vertices=3))
+    assert r.n_edges == 0 and r.n_components == 3
+    assert ghs(from_edges([(0, 1, 2.0)])).n_edges == 1
+
+
+def test_disconnected_components_each_quiesce():
+    g = from_edges([(0, 1, 1.0), (2, 3, 2.0), (3, 4, 0.5)], n_vertices=6)
+    r = ghs(g)
+    assert r.n_edges == 3
+    assert r.n_components == 3
+
+
+def test_message_complexity_bound():
+    """GHS sends O(m + n log n) messages: check with a generous constant."""
+    g = road_network(12, 12, seed=3)
+    r = ghs(g)
+    n, m = g.n_vertices, g.n_edges
+    bound = 10 * (2 * m + 5 * n * max(1, int(np.log2(n))))
+    assert r.stats["messages"] < bound
+
+
+def test_level_bound_logarithmic():
+    """Fragment levels never exceed log2(n) (each level doubles size)."""
+    for seed in range(3):
+        g = gnm_random_graph(64, 200, seed=seed)
+        r = ghs(g)
+        assert r.stats["max_level"] <= int(np.log2(64))
+
+
+def test_deterministic():
+    g = road_network(8, 9, seed=5)
+    a, b = ghs(g), ghs(g)
+    assert a.edge_set() == b.edge_set()
+    assert a.stats == b.stats
+
+
+def test_dense_graph():
+    g = complete_graph(16, seed=6)
+    assert ghs(g).edge_set() == mst_edge_oracle(g)
+
+
+def test_long_path_levels():
+    g = path_graph(65, seed=7)
+    r = ghs(g)
+    assert r.n_edges == 64
+    assert r.stats["max_level"] >= 2
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_random_graphs(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 30))
+    m = int(rng.integers(0, min(n * (n - 1) // 2, 60)))
+    g = gnm_random_graph(n, m, seed=seed)
+    result = ghs(g)
+    assert result.edge_set() == mst_edge_oracle(g)
+    verify_minimum(g, result)

@@ -1,0 +1,58 @@
+"""Adaptive algorithm selection (the Section VIII guidance as an API)."""
+
+import pytest
+
+from repro.graphs.generators import rmat_graph, road_network
+from repro.mst.hybrid import auto_mst, select_algorithm
+from repro.mst.verify import verify_minimum
+from repro.runtime.simulated import SimulatedBackend
+
+from tests.conftest import mst_edge_oracle
+
+
+def test_single_worker_picks_sequential_llp_prim():
+    g = road_network(6, 6, seed=1)
+    assert select_algorithm(g, 1) == "llp-prim"
+    result = auto_mst(g, workers=1)
+    assert result.stats["selected_algorithm"] == "llp-prim"
+    verify_minimum(g, result)
+
+
+def test_low_core_counts_pick_llp_prim_parallel():
+    g = road_network(6, 6, seed=1)
+    assert select_algorithm(g, 2) == "llp-prim-parallel"
+    assert select_algorithm(g, 4) == "llp-prim-parallel"
+
+
+def test_high_core_counts_pick_llp_boruvka():
+    g = road_network(6, 6, seed=1)
+    assert select_algorithm(g, 8) == "llp-boruvka"
+    assert select_algorithm(g, 32) == "llp-boruvka"
+
+
+def test_dense_graphs_shift_crossover_up():
+    g = rmat_graph(8, 16, seed=2)  # avg degree >> 16
+    assert select_algorithm(g, 8) == "llp-prim-parallel"
+    assert select_algorithm(g, 16) == "llp-boruvka"
+
+
+def test_custom_crossover():
+    g = road_network(6, 6, seed=1)
+    assert select_algorithm(g, 8, crossover=16) == "llp-prim-parallel"
+    assert select_algorithm(g, 2, crossover=1) == "llp-boruvka"
+
+
+@pytest.mark.parametrize("workers", [1, 2, 8, 32])
+def test_auto_mst_correct_at_every_setting(workers):
+    g = road_network(8, 9, seed=3)
+    result = auto_mst(g, workers=workers)
+    assert result.edge_set() == mst_edge_oracle(g)
+    assert result.stats["selected_for_workers"] == workers
+
+
+def test_auto_mst_with_explicit_backend():
+    g = rmat_graph(7, 6, seed=4)
+    backend = SimulatedBackend(16)
+    result = auto_mst(g, workers=16, backend=backend)
+    assert result.edge_set() == mst_edge_oracle(g)
+    assert backend.trace.total_work > 0

@@ -1,0 +1,79 @@
+"""Karger-Klein-Tarjan randomized MSF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph, rmat_graph, road_network
+from repro.mst.kkt import kkt
+from repro.mst.kruskal import kruskal
+from repro.mst.verify import verify_minimum
+
+from tests.conftest import mst_edge_oracle
+
+
+def test_matches_oracle_on_all_morphologies(any_graph):
+    result = kkt(any_graph)
+    assert result.edge_set() == mst_edge_oracle(any_graph)
+    verify_minimum(any_graph, result)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomization_never_changes_output(seed):
+    g = road_network(10, 11, seed=1)
+    oracle = mst_edge_oracle(g)
+    assert kkt(g, seed=seed).edge_set() == oracle
+
+
+def test_deterministic_under_same_seed():
+    g = gnm_random_graph(60, 240, seed=2)
+    a, b = kkt(g, seed=5), kkt(g, seed=5)
+    assert a.edge_set() == b.edge_set()
+    assert a.stats == b.stats
+
+
+def test_recursion_actually_happens():
+    g = gnm_random_graph(300, 2500, seed=3)
+    result = kkt(g)
+    assert result.stats["boruvka_steps"] >= 2
+    assert result.stats["sampled_edges"] > 0
+    assert result.edge_set() == mst_edge_oracle(g)
+
+
+def test_fheavy_edges_are_discarded_on_dense_graphs():
+    g = gnm_random_graph(120, 3000, seed=4)
+    result = kkt(g, seed=1)
+    assert result.stats["fheavy_discarded"] > 0
+    assert result.edge_set() == mst_edge_oracle(g)
+
+
+def test_empty_and_trivial():
+    assert kkt(from_edges([], n_vertices=0)).n_edges == 0
+    assert kkt(from_edges([], n_vertices=4)).n_edges == 0
+    r = kkt(from_edges([(0, 1, 2.0)]))
+    assert r.n_edges == 1
+
+
+def test_disconnected_forest():
+    g = from_edges([(0, 1, 1.0), (2, 3, 2.0), (3, 4, 0.5)], n_vertices=6)
+    r = kkt(g)
+    assert r.n_edges == 3
+    assert r.n_components == 3
+
+
+def test_scalefree_graph():
+    g = rmat_graph(9, 8, seed=5)
+    assert kkt(g, seed=2).edge_set() == mst_edge_oracle(g)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_random_graphs_random_seeds(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 40))
+    m = int(rng.integers(0, min(n * (n - 1) // 2, 80)))
+    g = gnm_random_graph(n, m, seed=seed)
+    result = kkt(g, seed=seed)
+    assert result.edge_set() == mst_edge_oracle(g)

@@ -1,0 +1,86 @@
+"""Targeted LLP-Boruvka unit behaviour: symmetry breaking and 2-cycles.
+
+Regression suite for the mutual-minimum-pair handling — the one place
+Algorithm 6's pseudo-forest can cycle.  A vertex whose pointer chain leads
+*into* an unresolved 2-cycle must also terminate (the original
+implementation livelocked there).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.mst.llp_boruvka import llp_boruvka
+from repro.mst.verify import verify_minimum
+from repro.runtime.sequential import SequentialBackend
+from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.threads import ThreadBackend
+
+
+def test_single_mutual_pair():
+    # one edge: both endpoints pick it; smaller id must root
+    g = from_edges([(0, 1, 1.0)])
+    r = llp_boruvka(g)
+    assert r.n_edges == 1
+
+
+def test_chain_into_mutual_pair():
+    """2 -> 1 <-> 0: vertex 2's chain enters the cycle from outside."""
+    g = from_edges([(0, 1, 1.0), (1, 2, 5.0)])
+    r = llp_boruvka(g)
+    assert r.n_edges == 2
+    verify_minimum(g, r)
+
+
+def test_long_chain_into_mutual_pair():
+    # path with strictly increasing weights: every vertex's mwe points
+    # toward vertex 0, producing one long tree onto the (0, 1) pair
+    n = 12
+    g = from_edges([(i, i + 1, float(i + 1)) for i in range(n - 1)])
+    for backend in (SequentialBackend(), SimulatedBackend(4)):
+        r = llp_boruvka(g, backend)
+        assert r.n_edges == n - 1
+    verify_minimum(g, r)
+
+
+def test_many_disjoint_mutual_pairs():
+    # perfect matching: every component is exactly a mutual pair
+    g = from_edges([(2 * i, 2 * i + 1, float(i + 1)) for i in range(6)])
+    r = llp_boruvka(g, SimulatedBackend(3))
+    assert r.n_edges == 6
+    assert r.stats["levels"] == 1
+    assert r.n_components == 6
+
+
+def test_star_contracts_in_one_level():
+    g = from_edges([(0, i, float(i)) for i in range(1, 9)])
+    r = llp_boruvka(g)
+    assert r.stats["levels"] == 1
+    assert r.n_edges == 8
+
+
+def test_two_cycle_resolution_under_threads():
+    """Hammer the race-prone path with real threads, many times."""
+    g = from_edges(
+        [(0, 1, 1.0), (1, 2, 5.0), (2, 3, 6.0), (3, 4, 2.0), (0, 4, 9.0)]
+    )
+    for _ in range(5):
+        with ThreadBackend(4) as tb:
+            r = llp_boruvka(g, tb)
+        verify_minimum(g, r)
+
+
+def test_jump_round_stat_counts_longest_chain():
+    n = 17  # strictly increasing path: a single deep tree at level 1
+    g = from_edges([(i, i + 1, float(i + 1)) for i in range(n - 1)])
+    r = llp_boruvka(g)
+    assert r.stats["jump_rounds"] >= 1
+
+
+def test_mutual_pair_weights_equalish_but_distinct_ranks():
+    """Equal raw weights: ranks still break the tie deterministically."""
+    g = from_edges([(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)])
+    a = llp_boruvka(g)
+    b = llp_boruvka(g, SimulatedBackend(2))
+    assert a.edge_set() == b.edge_set()
+    assert a.n_edges == 3

@@ -1,0 +1,184 @@
+"""MSTResult assembly and the verifier (must reject corrupted forests)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph, road_network
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.mst.kruskal import kruskal
+from repro.mst.verify import (
+    verify_cut_property_sample,
+    verify_minimum,
+    verify_spanning_forest,
+)
+
+
+@pytest.fixture
+def graph():
+    return gnm_random_graph(30, 80, seed=5)
+
+
+@pytest.fixture
+def good(graph):
+    return kruskal(graph)
+
+
+def test_result_from_edge_ids_computes_aggregates(graph, good):
+    rebuilt = result_from_edge_ids(graph, good.edge_ids)
+    assert rebuilt.total_weight == pytest.approx(good.total_weight)
+    assert rebuilt.n_components == good.n_components
+    assert rebuilt.weight_of(graph) == pytest.approx(good.total_weight)
+
+
+def test_result_rejects_bad_edge_ids(graph):
+    with pytest.raises(AlgorithmError):
+        result_from_edge_ids(graph, np.array([0, 0]))
+    with pytest.raises(AlgorithmError):
+        result_from_edge_ids(graph, np.array([graph.n_edges]))
+    with pytest.raises(AlgorithmError):
+        result_from_edge_ids(graph, np.array([-1]))
+
+
+def test_verify_accepts_correct_forest(graph, good):
+    verify_spanning_forest(graph, good)
+    verify_minimum(graph, good)
+    verify_cut_property_sample(graph, good, n_samples=8)
+
+
+def test_verify_rejects_cycle(graph, good):
+    # add a non-tree edge: creates a cycle
+    extra = next(e for e in range(graph.n_edges) if e not in good.edge_set())
+    bad_ids = np.append(good.edge_ids, extra)
+    bad = MSTResult(
+        edge_ids=np.sort(bad_ids),
+        total_weight=float(graph.edge_w[bad_ids].sum()),
+        n_components=good.n_components,
+    )
+    with pytest.raises(AlgorithmError):
+        verify_spanning_forest(graph, bad)
+
+
+def test_verify_rejects_non_spanning(graph, good):
+    bad = result_from_edge_ids(graph, good.edge_ids[:-1])
+    with pytest.raises(AlgorithmError):
+        verify_spanning_forest(graph, bad)
+
+
+def test_verify_rejects_wrong_weight(graph, good):
+    bad = MSTResult(
+        edge_ids=good.edge_ids,
+        total_weight=good.total_weight + 1.0,
+        n_components=good.n_components,
+    )
+    with pytest.raises(AlgorithmError):
+        verify_spanning_forest(graph, bad)
+
+
+def test_verify_rejects_wrong_component_count(graph, good):
+    bad = MSTResult(
+        edge_ids=good.edge_ids,
+        total_weight=good.total_weight,
+        n_components=good.n_components + 1,
+    )
+    with pytest.raises(AlgorithmError):
+        verify_spanning_forest(graph, bad)
+
+
+def test_verify_minimum_rejects_spanning_but_not_minimal():
+    g = road_network(7, 7, seed=6)
+    mst = kruskal(g)
+    # swap one tree edge for a non-tree edge that keeps it spanning
+    tree = set(mst.edge_set())
+    for e in range(g.n_edges):
+        if e in tree:
+            continue
+        u, v = g.edge_endpoints(e)
+        # find the tree edge on the cycle: try removing each tree edge
+        for t in list(tree):
+            candidate = (tree - {t}) | {e}
+            try:
+                alt = result_from_edge_ids(g, np.array(sorted(candidate)))
+                verify_spanning_forest(g, alt)
+            except AlgorithmError:
+                continue
+            # alt spans but differs from the MST; must be rejected
+            with pytest.raises(AlgorithmError):
+                verify_minimum(g, alt)
+            return
+    pytest.skip("no spanning swap found")
+
+
+def test_cut_property_sample_rejects_heavier_swap():
+    g = road_network(6, 6, seed=7)
+    mst = kruskal(g)
+    tree = set(mst.edge_set())
+    # construct a spanning tree that is NOT minimal (as above), then the
+    # sampled cut check must fail with full sampling
+    for e in range(g.n_edges):
+        if e in tree:
+            continue
+        for t in list(tree):
+            candidate = (tree - {t}) | {e}
+            try:
+                alt = result_from_edge_ids(g, np.array(sorted(candidate)))
+                verify_spanning_forest(g, alt)
+            except AlgorithmError:
+                continue
+            with pytest.raises(AlgorithmError):
+                verify_cut_property_sample(g, alt, n_samples=alt.n_edges)
+            return
+    pytest.skip("no spanning swap found")
+
+
+def test_verify_empty_result():
+    g = from_edges([], n_vertices=3)
+    r = result_from_edge_ids(g, np.array([], dtype=np.int64))
+    verify_spanning_forest(g, r)
+    verify_minimum(g, r)
+    verify_cut_property_sample(g, r)
+
+
+def test_edge_set_and_n_edges(good):
+    assert len(good.edge_set()) == good.n_edges
+
+
+def test_cycle_property_verifier_accepts_all_algorithms(graph):
+    from repro.mst.registry import available_algorithms, get_algorithm
+    from repro.mst.verify import verify_minimum_cycle_property
+    from repro.runtime.simulated import SimulatedBackend
+
+    for name in available_algorithms():
+        result = get_algorithm(name)(graph, backend=SimulatedBackend(2))
+        verify_minimum_cycle_property(graph, result)
+
+
+def test_cycle_property_verifier_rejects_non_minimal():
+    from repro.graphs.generators import road_network
+    from repro.mst.verify import verify_minimum_cycle_property
+
+    g = road_network(7, 7, seed=6)
+    mst = kruskal(g)
+    tree = set(mst.edge_set())
+    for e in range(g.n_edges):
+        if e in tree:
+            continue
+        for t in list(tree):
+            candidate = (tree - {t}) | {e}
+            try:
+                alt = result_from_edge_ids(g, np.array(sorted(candidate)))
+                verify_spanning_forest(g, alt)
+            except AlgorithmError:
+                continue
+            with pytest.raises(AlgorithmError):
+                verify_minimum_cycle_property(g, alt)
+            return
+    pytest.skip("no spanning swap found")
+
+
+def test_cycle_property_verifier_forest_input():
+    from repro.mst.verify import verify_minimum_cycle_property
+
+    g = from_edges([(0, 1, 1.0), (1, 2, 5.0), (0, 2, 3.0), (3, 4, 2.0)], n_vertices=6)
+    verify_minimum_cycle_property(g, kruskal(g))

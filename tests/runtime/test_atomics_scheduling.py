@@ -1,0 +1,125 @@
+"""Atomic array primitives (incl. threaded hammering) and work chunking."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.atomics import AtomicInt64Array
+from repro.runtime.scheduling import balanced_chunks, chunk_indices, chunk_range
+
+
+@pytest.mark.parametrize("thread_safe", [True, False])
+class TestAtomicArray:
+    def test_load_store(self, thread_safe):
+        a = AtomicInt64Array(4, fill=7, thread_safe=thread_safe)
+        assert len(a) == 4
+        assert a.load(2) == 7
+        a.store(2, -3)
+        assert a.load(2) == -3
+
+    def test_fetch_min(self, thread_safe):
+        a = AtomicInt64Array(2, fill=10, thread_safe=thread_safe)
+        assert a.fetch_min(0, 5) == 10
+        assert a.fetch_min(0, 8) == 5  # no change, returns old
+        assert a.load(0) == 5
+
+    def test_fetch_add(self, thread_safe):
+        a = AtomicInt64Array(1, thread_safe=thread_safe)
+        assert a.fetch_add(0, 3) == 0
+        assert a.fetch_add(0, -1) == 3
+        assert a.load(0) == 2
+
+    def test_compare_and_swap(self, thread_safe):
+        a = AtomicInt64Array(1, fill=5, thread_safe=thread_safe)
+        assert a.compare_and_swap(0, 5, 9)
+        assert not a.compare_and_swap(0, 5, 11)
+        assert a.load(0) == 9
+
+
+def test_threaded_fetch_min_converges_to_global_min():
+    a = AtomicInt64Array(8, fill=1 << 40)
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1_000_000, size=(4, 500, 8))
+
+    def work(vs):
+        for row in vs:
+            for i in range(8):
+                a.fetch_min(i, int(row[i]))
+
+    threads = [threading.Thread(target=work, args=(values[t],)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    expected = values.reshape(-1, 8).min(axis=0)
+    assert [a.load(i) for i in range(8)] == expected.tolist()
+
+
+def test_threaded_cas_exactly_one_winner():
+    a = AtomicInt64Array(64, fill=0)
+    wins = [0] * 8
+
+    def work(tid):
+        for i in range(64):
+            if a.compare_and_swap(i, 0, tid + 1):
+                wins[tid] += 1
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sum(wins) == 64  # every slot claimed exactly once
+
+
+def test_threaded_fetch_add_counts_all():
+    a = AtomicInt64Array(1)
+
+    def work():
+        for _ in range(2000):
+            a.fetch_add(0, 1)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert a.load(0) == 8000
+
+
+# ------------------------------------------------------------- chunking
+def test_chunk_range_covers_exactly():
+    chunks = chunk_range(10, 3)
+    covered = [i for lo, hi in chunks for i in range(lo, hi)]
+    assert covered == list(range(10))
+    assert len(chunks) == 3
+
+
+def test_chunk_range_more_chunks_than_items():
+    chunks = chunk_range(3, 8)
+    assert len(chunks) == 3
+    assert chunk_range(0, 4) == []
+
+
+def test_chunk_indices_partition():
+    idx = np.arange(20) * 2
+    parts = chunk_indices(idx, 4)
+    assert np.concatenate(parts).tolist() == idx.tolist()
+
+
+def test_balanced_chunks_equalise_cost():
+    costs = np.array([10, 10, 10, 10, 1, 1, 1, 1, 1, 1], dtype=float)
+    parts = balanced_chunks(costs, 2)
+    totals = [costs[p].sum() for p in parts]
+    assert len(parts) >= 2
+    assert max(totals) <= costs.sum() * 0.75  # roughly balanced
+
+
+def test_balanced_chunks_zero_costs():
+    parts = balanced_chunks(np.zeros(6), 3)
+    assert np.concatenate(parts).tolist() == list(range(6))
+
+
+def test_balanced_chunks_empty():
+    assert balanced_chunks(np.array([]), 4) == []

@@ -1,0 +1,199 @@
+"""Backend contract: rounds, worklists, charging, and traces."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.runtime.backend import TaskContext
+from repro.runtime.cost_model import CostModel
+from repro.runtime.sequential import SequentialBackend
+from repro.runtime.simulated import SimulatedBackend
+from repro.runtime.threads import ThreadBackend
+
+
+def backends():
+    return [
+        ("sequential", SequentialBackend()),
+        ("simulated", SimulatedBackend(4)),
+        ("threads", ThreadBackend(3)),
+    ]
+
+
+@pytest.fixture(params=["sequential", "simulated", "threads"])
+def backend(request):
+    b = dict(backends())[request.param]
+    yield b
+    if hasattr(b, "shutdown"):
+        b.shutdown()
+
+
+def test_run_round_returns_results_in_order(backend):
+    results = backend.run_round(list(range(10)), lambda ctx, x: x * x)
+    assert results == [x * x for x in range(10)]
+
+
+def test_run_round_records_work_and_span(backend):
+    def task(ctx, x):
+        ctx.charge(x + 1)
+        return x
+
+    backend.run_round([0, 1, 2, 3], task)
+    rec = backend.trace.rounds[-1]
+    assert rec.n_tasks == 4
+    assert rec.work == 1 + 2 + 3 + 4
+    assert rec.span == 4
+    assert rec.barrier
+
+
+def test_empty_round_not_recorded(backend):
+    assert backend.run_round([], lambda ctx, x: x) == []
+    assert backend.trace.n_rounds == 0
+
+
+def test_charge_serial_accumulates(backend):
+    backend.charge_serial(5)
+    backend.charge_serial(7)
+    assert backend.trace.serial_units == 12
+
+
+def test_charge_pipelined_accumulates(backend):
+    backend.charge_pipelined(4)
+    assert backend.trace.pipelined_units == 4
+
+
+def test_charge_parallel_records_balanced_round(backend):
+    backend.charge_parallel(100)
+    rec = backend.trace.rounds[-1]
+    assert rec.work == 100
+    assert rec.span == -(-100 // rec.n_tasks)
+    backend.charge_parallel(0)  # no-op
+    assert backend.trace.n_rounds == 1
+
+
+def test_worklist_spawning_chain(backend):
+    """Tasks spawn a chain 0 -> 1 -> 2 -> 3; span equals total chain cost."""
+
+    def task(ctx, x):
+        ctx.charge(2)
+        children = [x + 1] if x < 3 else []
+        return children, x
+
+    payloads = backend.run_worklist([0], task)
+    assert sorted(payloads) == [0, 1, 2, 3]
+    rec = backend.trace.rounds[-1]
+    assert not rec.barrier
+    assert rec.n_tasks == 4
+    assert rec.work == 8
+    assert rec.span == 8  # pure chain: no parallelism
+
+
+def test_worklist_fanout_span(backend):
+    """A root spawning 8 leaves: span is root + one leaf."""
+
+    def task(ctx, x):
+        ctx.charge(1)
+        return (list(range(1, 9)) if x == 0 else []), x
+
+    backend.run_worklist([0], task)
+    rec = backend.trace.rounds[-1]
+    assert rec.work == 9
+    assert rec.span == 2
+
+
+def test_worklist_empty_seed(backend):
+    assert backend.run_worklist([], lambda ctx, x: ([], x)) == []
+
+
+def test_worklist_exception_propagates(backend):
+    def task(ctx, x):
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        backend.run_worklist([1], task)
+
+
+def test_round_exception_propagates(backend):
+    def task(ctx, x):
+        if x == 2:
+            raise RuntimeError("task failed")
+        return x
+
+    with pytest.raises(RuntimeError):
+        backend.run_round([0, 1, 2, 3], task)
+
+
+def test_reset_trace(backend):
+    backend.charge_serial(3)
+    old = backend.reset_trace()
+    assert old.serial_units == 3
+    assert backend.trace.serial_units == 0
+
+
+def test_n_workers_and_concurrent_flags():
+    assert SequentialBackend().n_workers == 1
+    assert SimulatedBackend(8).n_workers == 8
+    assert not SequentialBackend().concurrent
+    assert not SimulatedBackend(2).concurrent
+    with ThreadBackend(2) as tb:
+        assert tb.n_workers == 2
+        assert tb.concurrent
+
+
+def test_simulated_worker_bounds():
+    with pytest.raises(BackendError):
+        SimulatedBackend(0)
+    with pytest.raises(BackendError):
+        SimulatedBackend(100000)
+
+
+def test_thread_backend_rejects_zero_workers():
+    with pytest.raises(BackendError):
+        ThreadBackend(0)
+
+
+def test_thread_backend_shutdown_idempotent_and_blocks_use():
+    tb = ThreadBackend(2)
+    tb.shutdown()
+    tb.shutdown()
+    with pytest.raises(BackendError):
+        tb.run_round([1], lambda ctx, x: x)
+    with pytest.raises(BackendError):
+        tb.run_worklist([1], lambda ctx, x: ([], x))
+
+
+def test_simulated_modelled_time_monotone_in_workers():
+    """More workers never hurt a single fat round."""
+    model = CostModel()
+    times = []
+    for p in (1, 2, 4, 8):
+        b = SimulatedBackend(p, model)
+
+        def task(ctx, x):
+            ctx.charge(100)
+            return x
+
+        b.run_round(list(range(64)), task)
+        times.append(b.modelled_time())
+    assert times == sorted(times, reverse=True)
+
+
+def test_simulated_modelled_speedup():
+    b = SimulatedBackend(8)
+    b.run_round(list(range(32)), lambda ctx, x: ctx.charge(50))
+    assert b.modelled_speedup() > 2.0
+
+
+def test_map_round_materialises_iterables(backend):
+    results = backend.map_round((x for x in range(5)), lambda ctx, x: x + 1)
+    assert results == [1, 2, 3, 4, 5]
+
+
+def test_worklist_payloads_include_all_tasks(backend):
+    """Payload list covers seeds and every spawned child exactly once."""
+
+    def task(ctx, x):
+        ctx.charge(1)
+        return ([x * 2] if x in (1, 2) else []), x
+
+    payloads = backend.run_worklist([1, 2], task)
+    # seeds 1, 2 -> children 2, 4; the spawned 2 spawns another 4
+    assert sorted(payloads) == [1, 2, 2, 4, 4]

@@ -1,0 +1,109 @@
+"""The message-passing network simulator."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.runtime.messaging import Message, Network
+
+
+def test_basic_delivery_order():
+    net = Network(3)
+    log = []
+    net.send(0, 1, "a")
+    net.send(0, 2, "b")
+
+    def handler(n, msg):
+        log.append((msg.src, msg.dst, msg.kind))
+
+    stats = net.run(handler)
+    assert log == [(0, 1, "a"), (0, 2, "b")]
+    assert stats.messages_sent == 2
+    assert stats.messages_delivered == 2
+    assert stats.by_kind == {"a": 1, "b": 1}
+
+
+def test_fifo_per_channel():
+    net = Network(2)
+    log = []
+    for i in range(10):
+        net.send(0, 1, "m", i)
+
+    net.run(lambda n, msg: log.append(msg.payload[0]))
+    assert log == list(range(10))
+
+
+def test_handlers_can_send_more_messages():
+    net = Network(4)
+    hops = []
+
+    def handler(n, msg):
+        hops.append(msg.dst)
+        if msg.dst < 3:
+            n.send(msg.dst, msg.dst + 1, "hop")
+
+    net.send(0, 1, "hop")
+    stats = net.run(handler)
+    assert hops == [1, 2, 3]
+    assert stats.final_time == 3  # unit latency chain
+
+
+def test_latency_shifts_time():
+    net = Network(2, latency=5)
+    seen = []
+    net.send(0, 1, "x")
+    net.run(lambda n, m: seen.append(n.time))
+    assert seen == [5]
+
+
+def test_defer_redelivers_later():
+    net = Network(2)
+    attempts = []
+
+    def handler(n, msg):
+        attempts.append(n.time)
+        if len(attempts) < 3:
+            n.defer(msg)
+
+    net.send(0, 1, "retry")
+    stats = net.run(handler)
+    assert len(attempts) == 3
+    assert stats.deferrals == 2
+    assert attempts == sorted(attempts)
+
+
+def test_delivery_limit_detects_livelock():
+    net = Network(2)
+
+    def handler(n, msg):
+        n.defer(msg)  # never make progress
+
+    net.send(0, 1, "spin")
+    with pytest.raises(BackendError):
+        net.run(handler, max_deliveries=50)
+
+
+def test_validation():
+    with pytest.raises(BackendError):
+        Network(-1)
+    with pytest.raises(BackendError):
+        Network(2, latency=0)
+    net = Network(2)
+    with pytest.raises(BackendError):
+        net.send(0, 5, "x")
+
+
+def test_pending_counter():
+    net = Network(2)
+    assert net.pending() == 0
+    net.send(0, 1, "x")
+    assert net.pending() == 1
+    net.run(lambda n, m: None)
+    assert net.pending() == 0
+
+
+def test_message_payload_tuple():
+    net = Network(2)
+    got = []
+    net.send(0, 1, "data", 42, "tag")
+    net.run(lambda n, m: got.append(m.payload))
+    assert got == [(42, "tag")]

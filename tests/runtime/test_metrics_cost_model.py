@@ -1,0 +1,201 @@
+"""ExecutionTrace accounting and the cost model's pricing rules."""
+
+import math
+
+import pytest
+
+from repro.runtime.cost_model import CostModel, calibrate_unit_time
+from repro.runtime.metrics import ExecutionTrace, RoundRecord
+
+
+def test_round_record_span_bounded_by_work():
+    RoundRecord(2, 10, 10)
+    with pytest.raises(ValueError):
+        RoundRecord(2, 5, 6)
+
+
+def test_trace_aggregates():
+    t = ExecutionTrace()
+    t.add_round(4, 40, 15)
+    t.add_round(2, 10, 6)
+    t.charge_serial(5)
+    t.charge_pipelined(3)
+    assert t.n_rounds == 2
+    assert t.parallel_work == 50
+    assert t.total_work == 58
+    assert t.critical_path == 5 + max(3, 21)
+    s = t.summary()
+    assert s["rounds"] == 2
+    assert s["avg_tasks_per_round"] == 3.0
+
+
+def test_trace_merge():
+    a, b = ExecutionTrace(), ExecutionTrace()
+    a.add_round(1, 5, 5)
+    a.bump("x")
+    b.add_round(2, 8, 4)
+    b.charge_serial(2)
+    b.charge_pipelined(9)
+    b.bump("x", 2)
+    a.merge(b)
+    assert a.n_rounds == 2
+    assert a.serial_units == 2
+    assert a.pipelined_units == 9
+    assert a.counters["x"] == 3
+
+
+def test_modelled_time_p1_equals_total_work_plus_overheads():
+    model = CostModel(unit_time=1e-6, sync_base=0.0, sync_per_doubling=0.0,
+                      async_base=0.0, async_per_doubling=0.0, task_overhead_units=0)
+    t = ExecutionTrace()
+    t.add_round(2, 100, 60)
+    t.charge_serial(10)
+    assert model.modelled_time(t, 1) == pytest.approx(110e-6)
+
+
+def test_modelled_time_decreases_with_workers_for_wide_round():
+    model = CostModel()
+    t = ExecutionTrace()
+    t.add_round(64, 6400, 100)
+    times = [model.modelled_time(t, p) for p in (1, 2, 4, 8, 16)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_sync_cost_grows_logarithmically():
+    model = CostModel()
+    assert model.sync_cost(1) == model.sync_base
+    assert model.sync_cost(4) == pytest.approx(model.sync_base + 2 * model.sync_per_doubling)
+    assert model.async_cost(1) == model.async_base
+    assert model.async_cost(8) == pytest.approx(
+        model.async_base + 3 * model.async_per_doubling
+    )
+
+
+def test_async_rounds_priced_cheaper_than_barriers():
+    model = CostModel()
+    barrier, async_ = ExecutionTrace(), ExecutionTrace()
+    barrier.add_round(4, 40, 10, barrier=True)
+    async_.add_round(4, 40, 10, barrier=False)
+    assert model.modelled_time(async_, 16) < model.modelled_time(barrier, 16)
+
+
+def test_pipelined_overlaps_rounds_beyond_one_worker():
+    model = CostModel(unit_time=1e-6, sync_base=0.0, sync_per_doubling=0.0,
+                      async_base=0.0, async_per_doubling=0.0, task_overhead_units=0)
+    t = ExecutionTrace()
+    t.charge_pipelined(1000)
+    t.add_round(10, 100, 10)
+    # p=1: stream + rounds serialise
+    assert model.modelled_time(t, 1) == pytest.approx(1100e-6)
+    # p=2: one worker streams, one runs the rounds; stream dominates
+    assert model.modelled_time(t, 2) == pytest.approx(1000e-6)
+
+
+def test_worker_bounds_rejected():
+    model = CostModel()
+    t = ExecutionTrace()
+    with pytest.raises(ValueError):
+        model.modelled_time(t, 0)
+    with pytest.raises(ValueError):
+        model.modelled_time(t, model.max_workers + 1)
+    with pytest.raises(ValueError):
+        model.sync_cost(0)
+    with pytest.raises(ValueError):
+        model.async_cost(-1)
+
+
+def test_speedup_uses_t1():
+    model = CostModel()
+    t = ExecutionTrace()
+    t.add_round(32, 3200, 100)
+    assert model.speedup(t, 8) == pytest.approx(
+        model.modelled_time(t, 1) / model.modelled_time(t, 8)
+    )
+
+
+def test_with_unit_time():
+    model = CostModel().with_unit_time(5e-9)
+    assert model.unit_time == 5e-9
+
+
+def test_calibrate_unit_time():
+    def run():
+        t = ExecutionTrace()
+        t.charge_serial(10_000)
+        # burn a bit of real time so the calibration has signal
+        x = 0
+        for i in range(20_000):
+            x += i
+        return t
+
+    model = calibrate_unit_time(run, repeats=2)
+    assert model.unit_time > 0
+
+
+def test_calibrate_rejects_empty_trace():
+    with pytest.raises(ValueError):
+        calibrate_unit_time(lambda: ExecutionTrace(), repeats=1)
+
+
+def test_negative_counters_rejected():
+    t = ExecutionTrace()
+    t.charge_serial(-1)  # allowed arithmetic, but results stay consistent
+    assert t.serial_units == -1
+
+
+# ---------------------------------------------------- model-level properties
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def random_traces(draw):
+    t = ExecutionTrace()
+    for _ in range(draw(st.integers(0, 6))):
+        n_tasks = draw(st.integers(1, 50))
+        span = draw(st.integers(1, 200))
+        work = span + draw(st.integers(0, 5000))
+        t.add_round(n_tasks, work, span, barrier=draw(st.booleans()))
+    t.charge_serial(draw(st.integers(0, 1000)))
+    return t
+
+
+@given(trace=random_traces(), p=st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_speedup_never_exceeds_worker_count(trace, p):
+    """Without a pipelined stream, T(1) <= p * T(p) (no superlinearity)."""
+    model = CostModel()
+    assert model.modelled_time(trace, 1) <= p * model.modelled_time(trace, p) + 1e-15
+
+
+@given(trace=random_traces())
+@settings(max_examples=60, deadline=None)
+def test_infinite_worker_floor(trace):
+    """T(p) never drops below the serial units plus barrier costs."""
+    model = CostModel()
+    floor = trace.serial_units * model.unit_time
+    for p in (2, 8, 64):
+        assert model.modelled_time(trace, p) >= floor
+
+
+def test_trace_accounting_schedule_robust():
+    """Thread-backend traces price within a small factor of simulated ones.
+
+    The charged units are schedule-independent; only async-region spans may
+    differ across interleavings, so modelled times from a real concurrent
+    run must stay close to the deterministic reference.
+    """
+    from repro.graphs.generators import road_network
+    from repro.mst.llp_boruvka import llp_boruvka
+    from repro.runtime.simulated import SimulatedBackend
+    from repro.runtime.threads import ThreadBackend
+
+    g = road_network(8, 8, seed=9)
+    sim = SimulatedBackend(4)
+    llp_boruvka(g, sim)
+    model = sim.cost_model
+    reference = model.modelled_time(sim.trace, 4)
+    with ThreadBackend(4) as tb:
+        llp_boruvka(g, tb)
+        threaded = model.modelled_time(tb.trace, 4)
+    assert threaded == pytest.approx(reference, rel=0.25)

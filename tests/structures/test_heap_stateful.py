@@ -1,0 +1,96 @@
+"""Stateful (rule-based) hypothesis testing of the addressable heaps.
+
+Hypothesis drives arbitrary interleavings of push / decrease / pop /
+discard against a dict model, asserting full behavioural equivalence —
+stronger coverage than fixed operation sequences.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.structures.dary_heap import IndexedDaryHeap
+from repro.structures.indexed_heap import IndexedBinaryHeap
+from repro.structures.pairing_heap import PairingHeap
+
+_CAPACITY = 24
+
+
+class HeapMachine(RuleBasedStateMachine):
+    heap_factory = staticmethod(lambda: IndexedBinaryHeap(_CAPACITY))
+
+    def __init__(self):
+        super().__init__()
+        self.heap = self.heap_factory()
+        self.model: dict[int, int] = {}
+        self.key_counter = 0
+
+    def _fresh_key(self, base: int) -> int:
+        # Unique keys keep pop order fully deterministic.
+        self.key_counter += 1
+        return base * 1000 + self.key_counter
+
+    @rule(item=st.integers(0, _CAPACITY - 1), base=st.integers(0, 50))
+    def push_or_adjust(self, item, base):
+        key = self._fresh_key(base)
+        if item in self.model:
+            if key < self.model[item]:
+                self.heap.decrease_key(item, key)
+                self.model[item] = key
+        else:
+            self.heap.push(item, key)
+            self.model[item] = key
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def pop_min(self):
+        expect = min((k, i) for i, k in self.model.items())
+        item, key = self.heap.pop()
+        assert (key, item) == expect
+        del self.model[item]
+
+    @precondition(lambda self: self.model)
+    @rule(pick=st.integers(0, 10_000))
+    def insert_or_adjust_existing(self, pick):
+        item = sorted(self.model)[pick % len(self.model)]
+        key = self._fresh_key(0)
+        self.heap.insert_or_adjust(item, key)
+        if key < self.model[item]:
+            self.model[item] = key
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.heap) == len(self.model)
+        if self.model:
+            mk, mi = min((k, i) for i, k in self.model.items())
+            assert self.heap.peek() == (mi, mk)
+
+    @invariant()
+    def membership_matches(self):
+        for item in range(_CAPACITY):
+            assert (item in self.heap) == (item in self.model)
+
+    def teardown(self):
+        if hasattr(self.heap, "check_invariants"):
+            self.heap.check_invariants()
+
+
+class BinaryHeapMachine(HeapMachine):
+    heap_factory = staticmethod(lambda: IndexedBinaryHeap(_CAPACITY))
+
+
+class DaryHeapMachine(HeapMachine):
+    heap_factory = staticmethod(lambda: IndexedDaryHeap(_CAPACITY, d=4))
+
+
+class PairingHeapMachine(HeapMachine):
+    heap_factory = staticmethod(lambda: PairingHeap(_CAPACITY))
+
+
+TestBinaryHeapMachine = BinaryHeapMachine.TestCase
+TestDaryHeapMachine = DaryHeapMachine.TestCase
+TestPairingHeapMachine = PairingHeapMachine.TestCase
+
+for case in (TestBinaryHeapMachine, TestDaryHeapMachine, TestPairingHeapMachine):
+    case.settings = settings(max_examples=25, stateful_step_count=40, deadline=None)

@@ -1,0 +1,190 @@
+"""Addressable heaps: binary, d-ary, pairing — shared behaviour and
+implementation-specific corners, plus a hypothesis model check."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.structures.dary_heap import IndexedDaryHeap
+from repro.structures.indexed_heap import IndexedBinaryHeap
+from repro.structures.pairing_heap import PairingHeap
+
+HEAPS = [
+    ("binary", lambda n: IndexedBinaryHeap(n)),
+    ("4ary", lambda n: IndexedDaryHeap(n, d=4)),
+    ("8ary", lambda n: IndexedDaryHeap(n, d=8)),
+    ("pairing", lambda n: PairingHeap(n)),
+]
+
+
+@pytest.mark.parametrize("name,make", HEAPS, ids=[h[0] for h in HEAPS])
+class TestHeapContract:
+    def test_push_pop_sorted(self, name, make):
+        h = make(10)
+        for item, key in [(3, 30), (1, 10), (4, 40), (0, 5), (2, 20)]:
+            h.push(item, key)
+        out = [h.pop() for _ in range(5)]
+        assert out == [(0, 5), (1, 10), (2, 20), (3, 30), (4, 40)]
+
+    def test_len_bool_contains(self, name, make):
+        h = make(5)
+        assert not h and len(h) == 0
+        h.push(2, 7)
+        assert h and len(h) == 1 and 2 in h and 3 not in h
+        h.pop()
+        assert 2 not in h
+
+    def test_peek_does_not_remove(self, name, make):
+        h = make(5)
+        h.push(1, 10)
+        h.push(2, 5)
+        assert h.peek() == (2, 5)
+        assert len(h) == 2
+
+    def test_peek_pop_empty_raise(self, name, make):
+        h = make(3)
+        with pytest.raises(IndexError):
+            h.peek()
+        with pytest.raises(IndexError):
+            h.pop()
+
+    def test_duplicate_push_rejected(self, name, make):
+        h = make(3)
+        h.push(1, 5)
+        with pytest.raises(AlgorithmError):
+            h.push(1, 7)
+
+    def test_decrease_key(self, name, make):
+        h = make(4)
+        h.push(0, 50)
+        h.push(1, 40)
+        h.decrease_key(0, 10)
+        assert h.pop() == (0, 10)
+
+    def test_decrease_key_raise_rejected(self, name, make):
+        h = make(3)
+        h.push(0, 10)
+        with pytest.raises(AlgorithmError):
+            h.decrease_key(0, 20)
+
+    def test_decrease_key_absent_raises(self, name, make):
+        h = make(3)
+        with pytest.raises(KeyError):
+            h.decrease_key(2, 1)
+
+    def test_key_of(self, name, make):
+        h = make(3)
+        h.push(1, 33)
+        assert h.key_of(1) == 33
+        with pytest.raises(KeyError):
+            h.key_of(0)
+
+    def test_insert_or_adjust_semantics(self, name, make):
+        h = make(4)
+        h.insert_or_adjust(2, 20)  # insert
+        h.insert_or_adjust(2, 30)  # larger: ignored
+        assert h.key_of(2) == 20
+        h.insert_or_adjust(2, 10)  # smaller: decrease
+        assert h.key_of(2) == 10
+
+    def test_counters(self, name, make):
+        h = make(4)
+        h.push(0, 3)
+        h.insert_or_adjust(0, 1)
+        h.pop()
+        assert h.n_pushes == 1
+        assert h.n_pops == 1
+        assert h.n_adjusts == 1
+
+    def test_interleaved_sequence_matches_reference(self, name, make):
+        h = make(64)
+        ref: dict[int, int] = {}
+        seq = [("push", i, (i * 37) % 101) for i in range(40)]
+        seq += [("adjust", i, (i * 17) % 50) for i in range(0, 40, 3)]
+        for op, item, key in seq:
+            if op == "push":
+                h.push(item, key)
+                ref[item] = key
+            elif key < ref[item]:
+                h.decrease_key(item, key)
+                ref[item] = key
+        out = []
+        while h:
+            out.append(h.pop())
+        # keys come out sorted, and every pair matches the model
+        assert [k for _, k in out] == sorted(ref.values())
+        assert all(ref[item] == key for item, key in out)
+        assert len(out) == len(ref)
+
+
+@pytest.mark.parametrize("name,make", HEAPS, ids=[h[0] for h in HEAPS])
+@given(ops=st.lists(st.tuples(st.integers(0, 31), st.integers(0, 1000)), max_size=120))
+@settings(max_examples=40, deadline=None)
+def test_heap_model_random_ops(name, make, ops):
+    """Random push/decrease/pop sequences against a dict model."""
+    h = make(32)
+    model: dict[int, int] = {}
+    for item, key in ops:
+        key = key * 32 + item  # unique keys: pop order is fully determined
+        if item not in model:
+            h.push(item, key)
+            model[item] = key
+        elif key < model[item]:
+            h.decrease_key(item, key)
+            model[item] = key
+        else:
+            # occasionally pop the minimum instead
+            mk, mi = min((v, k) for k, v in model.items())
+            assert h.pop() == (mi, mk)
+            del model[mi]
+    drained = []
+    while h:
+        drained.append(h.pop())
+    expected = sorted(((v, k) for k, v in model.items()))
+    assert [(k, i) for i, k in drained] == expected
+    if hasattr(h, "check_invariants"):
+        h.check_invariants()
+
+
+def test_binary_discard():
+    h = IndexedBinaryHeap(8)
+    for i, k in [(0, 10), (1, 5), (2, 20), (3, 1)]:
+        h.push(i, k)
+    assert h.discard(1)
+    assert not h.discard(1)
+    assert 1 not in h
+    h.check_invariants()
+    assert [h.pop()[0] for _ in range(3)] == [3, 0, 2]
+
+
+def test_dary_requires_arity_two():
+    with pytest.raises(ValueError):
+        IndexedDaryHeap(4, d=1)
+
+
+def test_pairing_heap_merge_pairs_deep():
+    # Many children under one root stresses the two-pass merge.
+    h = PairingHeap()
+    h.push(0, 0)
+    for i in range(1, 200):
+        h.push(i, 1000 - i)
+    assert h.pop() == (0, 0)
+    h.check_invariants()
+    assert h.pop() == (199, 801)
+
+
+def test_heaps_agree_with_heapq_bulk():
+    import random
+
+    rng = random.Random(7)
+    keys = rng.sample(range(10000), 500)
+    ref = sorted(keys)
+    for _, make in HEAPS:
+        h = make(500)
+        for i, k in enumerate(keys):
+            h.push(i, k)
+        out = [h.pop()[1] for _ in range(500)]
+        assert out == ref

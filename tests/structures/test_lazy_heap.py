@@ -1,0 +1,42 @@
+"""Lazy-deletion heap (the Section IV analysis variant)."""
+
+from repro.structures.lazy_heap import LazyHeap
+
+
+def test_duplicates_allowed_and_min_order():
+    h = LazyHeap()
+    h.push(1, 30)
+    h.push(1, 10)  # duplicate with lower key
+    h.push(2, 20)
+    assert h.pop() == (1, 10)
+    assert h.pop() == (2, 20)
+    assert h.pop() == (1, 30)
+
+
+def test_insert_or_adjust_is_push():
+    h = LazyHeap()
+    h.insert_or_adjust(0, 5)
+    h.insert_or_adjust(0, 3)
+    assert len(h) == 2
+
+
+def test_pop_fresh_skips_stale():
+    h = LazyHeap()
+    fixed = {1}
+    h.push(1, 1)
+    h.push(2, 2)
+    h.push(1, 3)
+    assert h.pop_fresh(lambda v: v in fixed) == (2, 2)
+    assert h.n_stale_pops == 1
+    fixed.add(2)
+    assert h.pop_fresh(lambda v: v in fixed) is None
+    assert h.n_stale_pops == 2
+
+
+def test_counters_and_bool():
+    h = LazyHeap()
+    assert not h
+    h.push(0, 1)
+    assert h and len(h) == 1
+    h.pop()
+    assert h.n_pushes == 1 and h.n_pops == 1

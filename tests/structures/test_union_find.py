@@ -1,0 +1,120 @@
+"""Union-find (sequential and concurrent) against a partition model."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.concurrent_union_find import ConcurrentUnionFind
+from repro.structures.union_find import UnionFind
+
+
+class PartitionModel:
+    """Naive quadratic partition refinement as the oracle."""
+
+    def __init__(self, n):
+        self.sets = [{i} for i in range(n)]
+
+    def union(self, a, b):
+        sa = next(s for s in self.sets if a in s)
+        sb = next(s for s in self.sets if b in s)
+        if sa is sb:
+            return False
+        self.sets.remove(sb)
+        sa |= sb
+        return True
+
+    def connected(self, a, b):
+        return any(a in s and b in s for s in self.sets)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [UnionFind, lambda n: ConcurrentUnionFind(n), lambda n: ConcurrentUnionFind(n, thread_safe=False)],
+    ids=["sequential", "concurrent", "concurrent-unlocked"],
+)
+class TestUnionFindContract:
+    def test_initially_disjoint(self, make):
+        uf = make(5)
+        assert uf.n_sets == 5
+        assert not uf.connected(0, 4)
+        assert uf.find(3) == 3
+
+    def test_union_and_connected(self, make):
+        uf = make(6)
+        assert uf.union(0, 1)
+        assert uf.union(1, 2)
+        assert not uf.union(0, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+        assert uf.n_sets == 4
+
+    def test_min_labels(self, make):
+        uf = make(6)
+        uf.union(4, 2)
+        uf.union(2, 5)
+        uf.union(0, 1)
+        labels = uf.min_labels()
+        assert labels[4] == labels[2] == labels[5] == 2
+        assert labels[0] == labels[1] == 0
+        assert labels[3] == 3
+
+    @given(pairs=st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_partition_model(self, make, pairs):
+        uf = make(15)
+        model = PartitionModel(15)
+        for a, b in pairs:
+            assert uf.union(a, b) == model.union(a, b)
+        for a in range(15):
+            for b in range(15):
+                assert uf.connected(a, b) == model.connected(a, b)
+
+
+def test_sequential_roots_and_sizes():
+    uf = UnionFind(7)
+    uf.union(0, 3)
+    uf.union(3, 5)
+    roots = uf.roots()
+    assert roots[0] == roots[3] == roots[5]
+    sizes = uf.set_sizes()
+    assert sorted(sizes.values()) == [1, 1, 1, 1, 3]
+    assert len(uf) == 7
+
+
+def test_concurrent_parallel_unions_linearize():
+    """Hammer unions from several threads; the final partition must equal
+    the sequential result of the same union set."""
+    n = 400
+    rng = np.random.default_rng(3)
+    pairs = [(int(a), int(b)) for a, b in rng.integers(0, n, size=(1500, 2))]
+
+    cuf = ConcurrentUnionFind(n)
+    chunks = [pairs[i::4] for i in range(4)]
+
+    def work(chunk):
+        for a, b in chunk:
+            cuf.union(a, b)
+
+    threads = [threading.Thread(target=work, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    ref = UnionFind(n)
+    for a, b in pairs:
+        ref.union(a, b)
+    assert (cuf.min_labels() == ref.min_labels()).all()
+    assert cuf.n_sets == ref.n_sets
+
+
+def test_concurrent_min_root_invariant():
+    uf = ConcurrentUnionFind(10)
+    uf.union(9, 4)
+    uf.union(4, 7)
+    # smaller-root linking: the root is the least member
+    assert uf.find(9) == 4
+    assert uf.find(7) == 4

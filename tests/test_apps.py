@@ -1,0 +1,215 @@
+"""Applications layer: clustering, TSP, Steiner trees."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.clustering import single_linkage_clusters
+from repro.apps.steiner import steiner_tree_approx
+from repro.apps.tsp import tour_weight, tsp_two_approx
+from repro.errors import GraphError
+from repro.graphs.builder import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators import grid_graph, road_network
+from repro.mst.kruskal import kruskal
+
+
+def _metric_complete(points):
+    """Complete graph over 2-D points with Euclidean weights."""
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    iu, iv = np.triu_indices(n, k=1)
+    w = np.hypot(pts[iu, 0] - pts[iv, 0], pts[iu, 1] - pts[iv, 1])
+    return CSRGraph.from_edgelist(
+        EdgeList.from_arrays(n, iu.astype(np.int64), iv.astype(np.int64), w)
+    )
+
+
+# -------------------------------------------------------------- clustering
+def test_two_obvious_clusters():
+    pts = [(0, 0), (0, 1), (1, 0), (10, 10), (10, 11), (11, 10)]
+    g = _metric_complete(pts)
+    labels = single_linkage_clusters(g, 2)
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4] == labels[5]
+    assert labels[0] != labels[3]
+
+
+def test_k_equals_n_all_singletons():
+    g = grid_graph(3, 3, seed=1)
+    labels = single_linkage_clusters(g, 9)
+    assert sorted(labels.tolist()) == list(range(9))
+
+
+def test_k_equals_components():
+    g = from_edges([(0, 1, 1.0), (2, 3, 2.0)], n_vertices=4)
+    labels = single_linkage_clusters(g, 2)
+    assert labels.tolist() == [0, 0, 2, 2]
+    with pytest.raises(GraphError):
+        single_linkage_clusters(g, 1)  # cannot merge components
+
+
+def test_precomputed_forest_accepted():
+    g = road_network(5, 5, seed=3)
+    labels_a = single_linkage_clusters(g, 4)
+    labels_b = single_linkage_clusters(g, 4, forest=kruskal(g))
+    assert (labels_a == labels_b).all()
+
+
+def test_matches_scipy_single_linkage():
+    from scipy.cluster.hierarchy import fcluster, linkage
+    from scipy.spatial.distance import pdist
+
+    rng = np.random.default_rng(5)
+    pts = rng.random((20, 2))
+    g = _metric_complete(pts)
+    for k in (2, 3, 5):
+        ours = single_linkage_clusters(g, k)
+        ref = fcluster(linkage(pdist(pts), method="single"), k, criterion="maxclust")
+        # compare partitions (label values differ)
+        our_parts = {tuple(np.flatnonzero(ours == c)) for c in np.unique(ours)}
+        ref_parts = {tuple(np.flatnonzero(ref == c)) for c in np.unique(ref)}
+        assert our_parts == ref_parts
+
+
+def test_cluster_bounds():
+    g = grid_graph(2, 2, seed=1)
+    with pytest.raises(GraphError):
+        single_linkage_clusters(g, 0)
+    with pytest.raises(GraphError):
+        single_linkage_clusters(g, 9)
+    assert single_linkage_clusters(from_edges([], n_vertices=0), 0).size == 0
+
+
+# --------------------------------------------------------------------- TSP
+def test_tour_visits_all_and_respects_bound():
+    rng = np.random.default_rng(7)
+    pts = rng.random((12, 2))
+    g = _metric_complete(pts)
+    tour = tsp_two_approx(g)
+    assert sorted(tour) == list(range(12))
+    w = tour_weight(g, tour)
+    mst_w = kruskal(g).total_weight
+    assert w <= 2.0 * mst_w + 1e-9  # the textbook guarantee
+    assert w >= mst_w  # a tour can never beat the MST
+
+
+def test_tour_matches_bruteforce_factor_on_tiny_instance():
+    pts = [(0, 0), (0, 1), (1, 1), (1, 0), (0.5, 0.5)]
+    g = _metric_complete(pts)
+    tour = tsp_two_approx(g)
+    w = tour_weight(g, tour)
+    best = min(
+        tour_weight(g, [0, *perm])
+        for perm in itertools.permutations(range(1, 5))
+    )
+    assert w <= 2.0 * best + 1e-9
+
+
+def test_tsp_requires_complete_graph():
+    with pytest.raises(GraphError):
+        tsp_two_approx(grid_graph(3, 3, seed=1))
+
+
+def test_tsp_trivial_sizes():
+    assert tsp_two_approx(from_edges([], n_vertices=0)) == []
+    assert tsp_two_approx(from_edges([], n_vertices=1)) == [0]
+    g = _metric_complete([(0, 0), (1, 0)])
+    assert sorted(tsp_two_approx(g)) == [0, 1]
+
+
+def test_tour_weight_validation():
+    g = _metric_complete([(0, 0), (1, 0), (0, 1)])
+    with pytest.raises(GraphError):
+        tour_weight(g, [0, 1])
+    with pytest.raises(GraphError):
+        tour_weight(g, [0, 1, 1])
+
+
+def test_tsp_custom_start():
+    g = _metric_complete([(0, 0), (1, 0), (0, 1), (1, 1)])
+    tour = tsp_two_approx(g, start=2)
+    assert tour[0] == 2
+    with pytest.raises(GraphError):
+        tsp_two_approx(g, start=9)
+
+
+# ------------------------------------------------------------------ Steiner
+def test_steiner_two_terminals_is_shortest_path():
+    # path 0-1-2 cheap, direct 0-2 expensive
+    g = from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+    edges, weight = steiner_tree_approx(g, [0, 2])
+    assert weight == pytest.approx(2.0)
+    assert len(edges) == 2
+
+
+def test_steiner_single_terminal():
+    g = grid_graph(3, 3, seed=2)
+    edges, weight = steiner_tree_approx(g, [4])
+    assert edges == [] and weight == 0.0
+
+
+def test_steiner_all_terminals_equals_mst():
+    g = road_network(4, 5, seed=4)
+    edges, weight = steiner_tree_approx(g, list(range(g.n_vertices)))
+    assert weight == pytest.approx(kruskal(g).total_weight)
+
+
+def test_steiner_connects_terminals_and_prunes_leaves():
+    g = grid_graph(4, 4, seed=5)
+    terms = [0, 3, 12]
+    edges, weight = steiner_tree_approx(g, terms)
+    # terminals connected within the chosen edges
+    from repro.structures.union_find import UnionFind
+
+    uf = UnionFind(g.n_vertices)
+    for e in edges:
+        uf.union(int(g.edge_u[e]), int(g.edge_v[e]))
+    assert uf.connected(0, 3) and uf.connected(0, 12)
+    # every leaf of the tree is a terminal
+    from collections import Counter
+
+    deg = Counter()
+    for e in edges:
+        u, v = g.edge_endpoints(e)
+        deg[u] += 1
+        deg[v] += 1
+    for v, d in deg.items():
+        if d == 1:
+            assert v in terms
+
+
+def test_steiner_bound_vs_bruteforce_on_tiny_instance():
+    g = grid_graph(3, 3, seed=6)
+    terms = [0, 2, 8]
+    edges, weight = steiner_tree_approx(g, terms)
+    best = _brute_force_steiner(g, terms)
+    t = len(terms)
+    assert weight <= 2.0 * (1 - 1 / t) * best + 1e-9
+
+
+def test_steiner_validation():
+    g = grid_graph(2, 2, seed=1)
+    with pytest.raises(GraphError):
+        steiner_tree_approx(g, [])
+    with pytest.raises(GraphError):
+        steiner_tree_approx(g, [99])
+
+
+def _brute_force_steiner(g, terms):
+    """Optimal Steiner weight by trying every edge subset (tiny graphs)."""
+    from repro.structures.union_find import UnionFind
+
+    best = np.inf
+    m = g.n_edges
+    for mask in range(1 << m):
+        ids = [e for e in range(m) if mask & (1 << e)]
+        uf = UnionFind(g.n_vertices)
+        for e in ids:
+            uf.union(int(g.edge_u[e]), int(g.edge_v[e]))
+        if all(uf.connected(terms[0], t) for t in terms[1:]):
+            w = sum(float(g.edge_w[e]) for e in ids)
+            best = min(best, w)
+    return best

@@ -1,0 +1,91 @@
+"""CLI surface: argument handling and end-to-end subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "llp-prim" in out
+    assert "usa-road" in out
+
+
+def test_mst_on_dataset(capsys):
+    assert main(["mst", "--algo", "llp-prim", "--dataset", "usa-road",
+                 "--scale", "8", "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "verified" in out
+    assert "weight:" in out
+
+
+def test_mst_parallel_algo_reports_modelled_time(capsys):
+    assert main(["mst", "--algo", "llp-boruvka", "--dataset", "graph500",
+                 "--scale", "7", "--workers", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "modelled:" in out and "p=4" in out
+
+
+def test_mst_from_file(tmp_path, capsys):
+    from repro.graphs.generators import grid_graph
+    from repro.graphs.io import write_dimacs
+
+    path = tmp_path / "g.gr"
+    write_dimacs(grid_graph(4, 4, seed=2), path)
+    assert main(["mst", "--input", str(path), "--algo", "kruskal", "--verify"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_mst_unsupported_format(tmp_path):
+    bad = tmp_path / "g.xyz"
+    bad.write_text("")
+    with pytest.raises(SystemExit):
+        main(["mst", "--input", str(bad)])
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_table1_with_json(tmp_path, capsys):
+    assert main(["run", "table1", "--scale", "8", "--rmat-scale", "7",
+                 "--json-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    data = json.loads((tmp_path / "table1.json").read_text())
+    assert data["name"] == "table1-datasets"
+
+
+def test_run_fig3_custom_threads(capsys):
+    assert main(["run", "fig3", "--scale", "8", "--threads", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "p=4" in out
+
+
+def test_parser_threads_validation():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig3", "--threads", "1,x"])
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+
+
+def test_profile_subcommand(capsys):
+    assert main(["profile", "--algo", "llp-prim", "--scale", "8", "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "hotspots" in out or "cum_ms" in out
+    assert "llp_prim" in out
+
+
+def test_profile_parallel_algo(capsys):
+    assert main(["profile", "--algo", "llp-boruvka", "--scale", "8",
+                 "--workers", "4"]) == 0
+    assert "llp-boruvka" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("road_network_planning.py", []),
+    ("social_network_msf.py", []),
+    ("llp_framework_tour.py", []),
+    ("scaling_study.py", ["10", "1,4"]),
+    ("distributed_mst.py", []),
+    ("dynamic_network.py", []),
+    ("mst_applications.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their findings"
+
+
+def test_example_list_is_complete():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == {c[0] for c in CASES}, "update CASES when adding examples"

@@ -1,0 +1,58 @@
+"""Public API surface and the README quickstart."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_readme_quickstart():
+    from repro.graphs.generators import road_network
+    from repro.mst import llp_prim, verify_minimum
+
+    g = road_network(16, 16, seed=7)
+    result = llp_prim(g)
+    verify_minimum(g, result)
+    assert result.n_edges == g.n_vertices - 1
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    for name in (
+        "GraphError",
+        "ValidationError",
+        "DisconnectedGraphError",
+        "WeightError",
+        "AlgorithmError",
+        "LLPError",
+        "InfeasibleError",
+        "BackendError",
+        "GraphIOError",
+        "BenchmarkError",
+    ):
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.ValidationError, errors.GraphError)
+    assert issubclass(errors.InfeasibleError, errors.LLPError)
+
+
+def test_top_level_workflow_with_backends():
+    from repro import SimulatedBackend, llp_boruvka, parallel_boruvka
+    from repro.graphs.generators import rmat_graph
+
+    g = rmat_graph(7, 4, seed=2)
+    b = SimulatedBackend(4)
+    a = llp_boruvka(g, b)
+    c = parallel_boruvka(g, SimulatedBackend(4))
+    assert a.edge_set() == c.edge_set()
+    assert b.modelled_time() > 0

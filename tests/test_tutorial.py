@@ -1,0 +1,31 @@
+"""Execute every python code block of docs/tutorial.md.
+
+The tutorial's snippets all carry their own assertions; running them in
+one shared namespace (they build on each other) keeps the document from
+rotting as the API evolves.
+"""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+def _code_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_blocks_execute():
+    blocks = _code_blocks(TUTORIAL.read_text(encoding="utf-8"))
+    assert len(blocks) >= 6, "tutorial lost its code blocks"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{i}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(f"tutorial block {i} failed: {exc}\n{block}") from exc
+
+
+def test_tutorial_snippets_contain_assertions():
+    blocks = _code_blocks(TUTORIAL.read_text(encoding="utf-8"))
+    assert sum("assert" in b for b in blocks) >= 5
