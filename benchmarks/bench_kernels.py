@@ -1,0 +1,126 @@
+"""Benchmarks of the vectorized array kernels vs their loop references.
+
+Two layers:
+
+* kernel micro-benchmarks — each :mod:`repro.kernels` primitive against a
+  straightforward Python-loop formulation of the same reduction;
+* end-to-end mode benchmarks — every algorithm with a vectorized fast
+  path, ``mode="loop"`` vs ``mode="vectorized"`` on the same graph.
+
+``tools/bench_kernels_report.py`` runs the end-to-end comparison at the
+ISSUE target size (100k-edge random graph) and writes ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import gnm_random_graph
+from repro.kernels import (
+    contract_edges,
+    minimum_edge_per_vertex,
+    pointer_jump,
+    segmented_min,
+)
+from repro.mst.registry import PARALLEL_ALGORITHMS, get_algorithm, list_algorithm_info
+from repro.runtime.simulated import SimulatedBackend
+
+MODE_ALGOS = [i.name for i in list_algorithm_info() if i.has_vectorized]
+
+
+@pytest.fixture(scope="module")
+def kernel_graph():
+    return gnm_random_graph(20_000, 60_000, seed=9)
+
+
+# ----------------------------------------------------------------------
+# Kernel micro-benchmarks
+# ----------------------------------------------------------------------
+def test_kernel_segmented_min(benchmark, kernel_graph):
+    benchmark.group = "kernel-segmented-min"
+    g = kernel_graph
+    out = benchmark(lambda: segmented_min(g.half_ranks, g.indptr, empty=g.n_edges))
+    assert np.array_equal(out, g.min_rank_per_vertex)
+
+
+def test_kernel_segmented_min_loop_reference(benchmark, kernel_graph):
+    benchmark.group = "kernel-segmented-min"
+    g = kernel_graph
+    indptr = g.indptr.tolist()
+    ranks = g.half_ranks.tolist()
+
+    def loop():
+        out = [g.n_edges] * g.n_vertices
+        for v in range(g.n_vertices):
+            s, e = indptr[v], indptr[v + 1]
+            if s != e:
+                out[v] = min(ranks[s:e])
+        return out
+
+    out = benchmark(loop)
+    assert np.array_equal(np.array(out), g.min_rank_per_vertex)
+
+
+def test_kernel_minimum_edge_per_vertex(benchmark, kernel_graph):
+    benchmark.group = "kernel-mwe"
+    g = kernel_graph
+    eids = np.arange(g.n_edges, dtype=np.int64)
+    _, eid, _ = benchmark(
+        lambda: minimum_edge_per_vertex(g.n_vertices, g.edge_u, g.edge_v, g.ranks, eids)
+    )
+    assert np.array_equal(eid, g.min_edge_per_vertex)
+
+
+def test_kernel_pointer_jump(benchmark, kernel_graph):
+    benchmark.group = "kernel-pointer-jump"
+    g = kernel_graph
+    # Build a forest from the per-vertex MWE hooks with mutual pairs broken.
+    to = g.min_edge_per_vertex
+    G = np.arange(g.n_vertices, dtype=np.int64)
+    has = to >= 0
+    other = np.where(
+        g.edge_u[to[has]] == np.flatnonzero(has),
+        g.edge_v[to[has]],
+        g.edge_u[to[has]],
+    )
+    G[has] = other
+    mutual = G[G] == np.arange(g.n_vertices)
+    G[mutual & (np.arange(g.n_vertices) < G)] = np.flatnonzero(
+        mutual & (np.arange(g.n_vertices) < G)
+    )
+    roots, sweeps, _ = benchmark(lambda: pointer_jump(G))
+    assert sweeps >= 1
+    assert np.array_equal(roots[roots], roots)
+
+
+def test_kernel_contract_edges(benchmark, kernel_graph):
+    benchmark.group = "kernel-contract"
+    g = kernel_graph
+    # Halve the vertex count with an arbitrary pairing label.
+    labels = (np.arange(g.n_vertices, dtype=np.int64) // 2) * 2
+    eids = np.arange(g.n_edges, dtype=np.int64)
+    u, v, k, e, n_new = benchmark(
+        lambda: contract_edges(g.edge_u, g.edge_v, g.ranks, eids, labels)
+    )
+    assert n_new <= (g.n_vertices + 1) // 2
+    assert u.size == v.size == k.size == e.size
+
+
+# ----------------------------------------------------------------------
+# End-to-end loop vs vectorized
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+@pytest.mark.parametrize("algo_name", MODE_ALGOS)
+def test_mode_end_to_end(benchmark, kernel_graph, algo_name, mode):
+    benchmark.group = f"mode-{algo_name}"
+    algo = get_algorithm(algo_name, mode=mode)
+
+    def run():
+        backend = (
+            SimulatedBackend(4) if algo_name in PARALLEL_ALGORITHMS else None
+        )
+        return algo(kernel_graph, backend=backend)
+
+    result = benchmark(run)
+    assert result.n_edges == kernel_graph.n_vertices - result.n_components

@@ -470,7 +470,9 @@ def run_operation_census(
         ]
         for name, result in runs:
             for key, value in sorted(result.stats.items()):
-                if key.startswith("backend_"):
+                # Census counts operations; skip backend echoes and
+                # non-numeric stats (e.g. the kernel ``mode`` tag).
+                if key.startswith("backend_") or isinstance(value, str):
                     continue
                 rows.append([name, key, int(value)])
             res.notes[f"{ds_name}/{name}/weight"] = round(result.total_weight, 4)

@@ -60,7 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="render tables as GitHub markdown")
 
     mstp = sub.add_parser("mst", help="compute an MSF")
-    mstp.add_argument("--algo", default="llp-prim", help="algorithm name (see 'info')")
+    mstp.add_argument("--algo", default="llp-prim",
+                      help="algorithm name; 'info' lists names and which "
+                           "have a vectorized kernel mode")
     src = mstp.add_mutually_exclusive_group()
     src.add_argument("--dataset", default="usa-road", help="registered dataset name")
     src.add_argument("--input", type=Path, default=None,
@@ -69,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     mstp.add_argument("--seed", type=int, default=0)
     mstp.add_argument("--workers", type=int, default=1,
                       help="simulated workers for parallel algorithms")
+    mstp.add_argument("--mode", choices=("loop", "vectorized"), default=None,
+                      help="kernel mode: 'loop' (reference) or 'vectorized' "
+                           "(array-kernel fast path, where available)")
     mstp.add_argument("--verify", action="store_true",
                       help="verify the output against the Kruskal oracle")
 
@@ -78,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     profp.add_argument("--scale", type=int, default=None)
     profp.add_argument("--seed", type=int, default=0)
     profp.add_argument("--workers", type=int, default=1)
+    profp.add_argument("--mode", choices=("loop", "vectorized"), default=None,
+                       help="kernel mode to profile")
     profp.add_argument("--top", type=int, default=15, help="hotspots to show")
 
     cmpp = sub.add_parser("compare", help="diff two saved experiment JSON dumps")
@@ -177,6 +184,7 @@ def _experiment_kwargs(name: str, args: argparse.Namespace) -> dict:
 
 def _cmd_mst(args: argparse.Namespace) -> int:
     from repro.bench.datasets import build_dataset
+    from repro.errors import BenchmarkError
     from repro.mst.registry import PARALLEL_ALGORITHMS, get_algorithm
     from repro.runtime.simulated import SimulatedBackend
 
@@ -186,7 +194,11 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     else:
         g = build_dataset(args.dataset, args.scale, args.seed)
         source = f"{args.dataset} (scale={args.scale or 'default'}, seed={args.seed})"
-    algo = get_algorithm(args.algo)
+    try:
+        algo = get_algorithm(args.algo, mode=args.mode)
+    except BenchmarkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     backend = SimulatedBackend(args.workers) if args.algo in PARALLEL_ALGORITHMS else None
 
     t0 = time.perf_counter()
@@ -194,7 +206,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - t0
 
     print(f"graph:     {source}  (n={g.n_vertices}, m={g.n_edges})")
-    print(f"algorithm: {args.algo}")
+    print(f"algorithm: {args.algo} [{args.mode or 'default'} mode]")
     print(f"forest:    {result.n_edges} edges, {result.n_components} component(s)")
     print(f"weight:    {result.total_weight:.6f}")
     print(f"wall time: {elapsed * 1e3:.2f} ms")
@@ -230,13 +242,18 @@ def _load_graph(path: Path):
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.bench.datasets import build_dataset
     from repro.bench.profiling import profile_callable
+    from repro.errors import BenchmarkError
     from repro.mst.registry import PARALLEL_ALGORITHMS, get_algorithm
     from repro.runtime.simulated import SimulatedBackend
 
     g = build_dataset(args.dataset, args.scale, args.seed)
     g.py_adjacency
     g.min_rank_per_vertex
-    algo = get_algorithm(args.algo)
+    try:
+        algo = get_algorithm(args.algo, mode=args.mode)
+    except BenchmarkError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     backend = (
         SimulatedBackend(args.workers) if args.algo in PARALLEL_ALGORITHMS else None
     )
@@ -261,12 +278,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_info() -> int:
     from repro.bench.datasets import DATASETS
-    from repro.mst.registry import available_algorithms
+    from repro.mst.registry import list_algorithm_info
 
     print(f"repro {__version__}")
     print("\nalgorithms:")
-    for name in available_algorithms():
-        print(f"  {name}")
+    for info in list_algorithm_info():
+        modes = f" [modes: {', '.join(info.modes)}]" if info.has_vectorized else ""
+        print(f"  {info.name}{modes}")
     print("\ndatasets:")
     for name, ds in sorted(DATASETS.items()):
         print(f"  {name}: {ds.paper_name} [{ds.kind}], default scale {ds.default_scale}")

@@ -76,8 +76,16 @@ class CSRGraph:
         self.edge_v = edge_v
         self.edge_w = edge_w
         # Unique total order over undirected edges (weight, then edge id).
-        self.ranks = weight_order_ranks(edge_w)
-        self.half_ranks = self.ranks[edge_ids] if edge_ids.size else np.empty(0, np.int64)
+        # The zero-edge graph takes one explicit branch so that both rank
+        # arrays are always int64 and always defined — every construction
+        # path (edgelist, io loaders, subgraph extraction) funnels through
+        # here, so this is the single guard the MST algorithms rely on.
+        if self.n_edges:
+            self.ranks = weight_order_ranks(edge_w)
+            self.half_ranks = self.ranks[edge_ids]
+        else:
+            self.ranks = np.empty(0, dtype=np.int64)
+            self.half_ranks = np.empty(0, dtype=np.int64)
         for arr in (indptr, indices, weights, edge_ids, edge_u, edge_v, edge_w):
             arr.setflags(write=False)
         self.ranks.setflags(write=False)
@@ -149,10 +157,9 @@ class CSRGraph:
         minimum edge selection) rely on; the paper notes it "can be computed
         when the graph is input".
         """
-        out = np.full(self.n_vertices, self.n_edges, dtype=np.int64)
-        if self.half_ranks.size:
-            src = self.half_edge_sources
-            np.minimum.at(out, src, self.half_ranks)
+        from repro.kernels import segmented_min
+
+        out = segmented_min(self.half_ranks, self.indptr, empty=self.n_edges)
         out.setflags(write=False)
         return out
 

@@ -1,0 +1,87 @@
+"""Fused relabel + filter edge contraction.
+
+One level of Boruvka-family contraction, as whole-array passes: gather
+each endpoint through the component labelling, drop edges that became
+internal, renumber the surviving labels densely, and (optionally) keep
+only the lightest parallel super-edge per component pair — the semisort
+dedup of Algorithm 6's ``compact`` variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["contract_edges"]
+
+
+def contract_edges(
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    keys: np.ndarray,
+    edge_ids: np.ndarray,
+    labels: np.ndarray,
+    *,
+    compact: bool = True,
+    backend=None,
+    n_chunks: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Contract an edge list along a component labelling.
+
+    ``labels[v]`` is the component root of vertex ``v`` (a fixed point of
+    the labelling, e.g. the output of
+    :func:`~repro.kernels.jump.pointer_jump`).  Returns the surviving
+    ``(u, v, key, eid, n_new)`` with endpoints renumbered to the dense
+    range ``[0, n_new)``; ``keys``/``edge_ids`` ride along unchanged.
+    With ``compact=True`` only the lightest edge per unordered component
+    pair survives; ``keys`` must then be pairwise distinct (the library's
+    unique weight ranks), which lets the dedup run as a scatter-min plus
+    an exact key->position inverse instead of a three-key sort.
+
+    Charged as one relabel pass over the input edges plus one pack /
+    semisort pass over the survivors, mirroring the loop formulation.
+    """
+    m = edge_u.size
+    relabel_work = 2 * m
+    u = labels[edge_u]
+    v = labels[edge_v]
+    external = u != v
+    u, v = u[external], v[external]
+    keys, edge_ids = keys[external], edge_ids[external]
+    contract_work = m
+    if u.size == 0:
+        if backend is not None:
+            backend.charge_parallel(relabel_work, n_chunks)
+            backend.charge_parallel(contract_work, n_chunks)
+        return u, v, keys, edge_ids, 0
+
+    # Dense renumber of the surviving component roots: mark + prefix sum
+    # (the standard parallel pack) instead of a sort-based np.unique.
+    alive = np.zeros(int(labels.size), dtype=bool)
+    alive[u] = True
+    alive[v] = True
+    remap = np.cumsum(alive, dtype=np.int64) - 1
+    n_new = int(remap[-1]) + 1
+    u, v = remap[u], remap[v]
+    contract_work += int(u.size)
+
+    if compact:
+        # Lightest edge per unordered (lo, hi) super-pair: scatter-min the
+        # unique keys into one slot per pair word, then invert the winning
+        # keys back to edge positions.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        pair = lo * np.int64(n_new) + hi
+        uniq_pair, inv = np.unique(pair, return_inverse=True)
+        best = np.full(uniq_pair.size, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(best, inv, keys)
+        key_pos = np.empty(int(keys.max()) + 1, dtype=np.int64)
+        key_pos[keys] = np.arange(keys.size, dtype=np.int64)
+        sel = key_pos[best]
+        u, v = lo[sel], hi[sel]
+        keys, edge_ids = keys[sel], edge_ids[sel]
+        contract_work += int(pair.size)
+
+    if backend is not None:
+        backend.charge_parallel(relabel_work, n_chunks)
+        backend.charge_parallel(contract_work, n_chunks)
+    return u, v, keys, edge_ids, n_new

@@ -1,0 +1,54 @@
+"""Vectorized dense-array relaxation for the Prim family.
+
+Loop-mode Prim walks a vertex's adjacency in Python, testing and updating
+``d[k]`` one neighbor at a time.  The vectorized formulation keeps the
+tentative costs in a dense NumPy array and relaxes a popped vertex's whole
+CSR neighbor slice with one masked gather/scatter — neighbors are unique
+within a slice (the graph is deduplicated), so the scatter has no write
+conflicts and is exactly equivalent to the sequential scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relax_neighbors"]
+
+
+def relax_neighbors(
+    j: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    keys: np.ndarray,
+    edge_ids: np.ndarray,
+    d: np.ndarray,
+    fixed: np.ndarray,
+    parent: np.ndarray,
+    parent_edge: np.ndarray,
+    *,
+    backend=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Relax every unfixed neighbor of ``j`` whose edge improves ``d``.
+
+    Updates ``d``/``parent``/``parent_edge`` in place and returns the
+    ``(vertices, keys)`` that improved, for the caller to feed its heap.
+    ``fixed`` is a boolean mask; ``d`` holds tentative ranks (``int64``).
+    Charged as ``deg(j)`` units of serial work — the same per-edge charge
+    as the loop-mode scan.
+    """
+    s, e = int(indptr[j]), int(indptr[j + 1])
+    if s == e:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    nbrs = indices[s:e]
+    ks = keys[s:e]
+    improve = ~fixed[nbrs] & (ks < d[nbrs])
+    if backend is not None:
+        backend.charge_serial(e - s)
+    if not improve.any():
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    nb = nbrs[improve]
+    k = ks[improve]
+    d[nb] = k
+    parent[nb] = j
+    parent_edge[nb] = edge_ids[s:e][improve]
+    return nb, k

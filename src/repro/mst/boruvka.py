@@ -10,9 +10,10 @@ what the parallel variants exploit.
 
 The default implementation performs the sweep and BFS as explicit Python
 loops, the same iteration idiom as the Prim-family baselines, so Fig 2's
-relative constants compare algorithmic work.  ``vectorized=True`` switches
-to a NumPy bulk sweep (identical output, much faster in this runtime) for
-users who just want the forest.
+relative constants compare algorithmic work.  ``mode="vectorized"`` (or
+the legacy ``vectorized=True`` flag) switches to a NumPy bulk sweep built
+on the :mod:`repro.kernels` scatter-min primitive (identical output, much
+faster in this runtime) for users who just want the forest.
 
 The loop exits when an iteration adds no edge, which happens exactly when
 every remaining component is isolated — so disconnected graphs yield the
@@ -23,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import AlgorithmError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 
@@ -31,8 +33,21 @@ __all__ = ["boruvka"]
 _INF = 1 << 60
 
 
-def boruvka(g: CSRGraph, *, vectorized: bool = False) -> MSTResult:
-    """Boruvka's algorithm; returns the MSF of ``g``."""
+def boruvka(
+    g: CSRGraph, *, vectorized: bool = False, mode: str | None = None
+) -> MSTResult:
+    """Boruvka's algorithm; returns the MSF of ``g``.
+
+    ``mode`` ("loop" / "vectorized") is the uniform kernel-mode switch
+    shared with the other algorithms; the older ``vectorized`` boolean is
+    kept as an alias and must agree with ``mode`` when both are given.
+    """
+    if mode is not None:
+        if mode not in ("loop", "vectorized"):
+            raise AlgorithmError(
+                f"unknown boruvka mode {mode!r}; use 'loop' or 'vectorized'"
+            )
+        vectorized = mode == "vectorized"
     n, m = g.n_vertices, g.n_edges
     chosen: list[int] = []
     rounds = 0
@@ -40,8 +55,9 @@ def boruvka(g: CSRGraph, *, vectorized: bool = False) -> MSTResult:
     bfs_visits = 0
 
     if vectorized:
+        from repro.kernels import minimum_edge_per_vertex
+
         eu_np, ev_np, ranks_np = g.edge_u, g.edge_v, g.ranks
-        edge_by_rank = g.edge_by_rank
     eu = g.edge_u.tolist()
     ev = g.edge_v.tolist()
     ranks = g.ranks.tolist()
@@ -75,16 +91,16 @@ def boruvka(g: CSRGraph, *, vectorized: bool = False) -> MSTResult:
         if vectorized:
             cid_np = np.asarray(cid, dtype=np.int64)
             cu, cv = cid_np[eu_np], cid_np[ev_np]
-            cross = cu != cv
+            cross = np.flatnonzero(cu != cv)
             edges_swept += m
-            if not cross.any():
+            if cross.size == 0:
                 break
-            best_np = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
-            cr = ranks_np[cross]
-            np.minimum.at(best_np, cu[cross], cr)
-            np.minimum.at(best_np, cv[cross], cr)
-            picked = best_np[best_np < np.iinfo(np.int64).max]
-            new_edges = np.unique(edge_by_rank[picked]).tolist()
+            # Per-component minimum outgoing edge as one scatter-min pass;
+            # mutual picks surface twice, deduplicated by np.unique.
+            _to, cand_eid, _key = minimum_edge_per_vertex(
+                n, cu[cross], cv[cross], ranks_np[cross], cross
+            )
+            new_edges = np.unique(cand_eid[cand_eid >= 0]).tolist()
         else:
             best = [_INF] * n
             edges_swept += m

@@ -23,16 +23,26 @@ atomic read-modify-writes, and fewer barriers: per-vertex minima come from
 a grouped scan of the level's edge array, and relabelling is a plain
 gather through ``G``.  That work/synchronization difference is the
 measured source of the LLP-Boruvka advantage in Figs 3-4.
+
+``mode="loop"`` (default) runs the phases as per-vertex Python tasks — the
+semantics reference whose iteration idiom matches the paper's work
+counting.  ``mode="vectorized"`` runs the same phases through the
+whole-array kernels of :mod:`repro.kernels` (segmented argmin, synchronous
+pointer jumping, fused contraction); outputs are identical and the
+work/span trace is charged equivalently, but wall-clock time drops by
+1-2 orders of magnitude on this runtime.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import AlgorithmError
 from repro.graphs.csr import CSRGraph
+from repro.kernels import contract_edges, minimum_edge_per_vertex, pointer_jump
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.runtime.backend import Backend, TaskContext
-from repro.runtime.scheduling import chunk_indices, chunk_range
+from repro.runtime.scheduling import chunk_range
 from repro.runtime.sequential import SequentialBackend
 
 __all__ = ["llp_boruvka"]
@@ -45,14 +55,29 @@ def llp_boruvka(
     backend: Backend | None = None,
     *,
     compact: bool = True,
+    mode: str = "loop",
 ) -> MSTResult:
     """LLP-Boruvka MSF on the given backend (default sequential).
 
     ``compact=False`` keeps parallel super-edges through contractions
     (Algorithm 6 verbatim) instead of deduplicating to the lightest one
     per super-pair; results are identical, work differs (ablation A2).
+
+    ``mode="vectorized"`` selects the array-kernel fast path (identical
+    edge set, same charged work/span structure, much faster wall-clock).
     """
     backend = backend or SequentialBackend()
+    if mode == "loop":
+        return _llp_boruvka_loop(g, backend, compact)
+    if mode == "vectorized":
+        return _llp_boruvka_vectorized(g, backend, compact)
+    raise AlgorithmError(f"unknown llp_boruvka mode {mode!r}; use 'loop' or 'vectorized'")
+
+
+# ----------------------------------------------------------------------
+# Loop mode: per-vertex Python tasks (the semantics reference).
+# ----------------------------------------------------------------------
+def _llp_boruvka_loop(g: CSRGraph, backend: Backend, compact: bool) -> MSTResult:
     n = g.n_vertices
     # Level state: contracted-edge arrays carrying original edge ids.
     cu, cv = g.edge_u.copy(), g.edge_v.copy()
@@ -123,32 +148,45 @@ def llp_boruvka(
         # "v < w" symmetry break).  The same task also emits v's picked
         # edge unless it is the mutual pick's larger endpoint, which
         # deduplicates the forest additions without a separate pass.
+        #
+        # The per-vertex state is hoisted into plain Python lists once per
+        # level: scalar list indexing is several times cheaper than NumPy
+        # scalar indexing plus per-read int() coercion, and every task
+        # shares the same list object, so the asynchronous interleaving
+        # semantics are unchanged.  G is copied back to the NumPy array
+        # after the region drains, before the relabel gather needs it.
+        mwe_to_l = mwe_to.tolist()
+        mwe_eid_l = mwe_eid.tolist()
+        G_l = G.tolist()
+
         def jump_task(ctx: TaskContext, j: int) -> tuple[tuple, tuple[int, int]]:
             j = int(j)
             hops = 0
-            w = int(mwe_to[j])
-            mutual = mwe_to[w] == j and mwe_eid[w] == mwe_eid[j]
-            emit = int(mwe_eid[j]) if (not mutual or j < w) else -1
+            w = mwe_to_l[j]
+            eid_j = mwe_eid_l[j]
+            mutual = mwe_to_l[w] == j and mwe_eid_l[w] == eid_j
+            emit = eid_j if (not mutual or j < w) else -1
             while True:
                 ctx.charge(1)
-                t = int(G[j])
-                tt = int(G[t])
-                if t != tt and int(G[tt]) == t:
+                t = G_l[j]
+                tt = G_l[t]
+                if t != tt and G_l[tt] == t:
                     # (t, tt) is an unresolved mutual pair: root the smaller
                     # id.  Checking the *target* pair (not just j's own
                     # membership) matters — a vertex whose chain leads into
                     # the 2-cycle would otherwise bounce between its two
                     # members forever.
                     r = t if t < tt else tt
-                    G[r] = r
+                    G_l[r] = r
                     continue
                 if t == tt:
                     break
-                G[j] = tt
+                G_l[j] = tt
                 hops += 1
             return (), (hops, emit)
 
         payloads = backend.run_worklist(verts_with_edge, jump_task)
+        G[:] = G_l
         jump_total += max((h for h, _ in payloads), default=0)
         chosen.extend(e for _, e in payloads if e >= 0)
 
@@ -199,5 +237,66 @@ def llp_boruvka(
         "levels": levels,
         "jump_rounds": jump_total,
         "backend_workers": backend.n_workers,
+        "mode": "loop",
     }
     return result_from_edge_ids(g, np.asarray(chosen, dtype=np.int64), stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Vectorized mode: the same three phases as whole-array kernels.
+# ----------------------------------------------------------------------
+def _llp_boruvka_vectorized(g: CSRGraph, backend: Backend, compact: bool) -> MSTResult:
+    n = g.n_vertices
+    cu, cv = g.edge_u, g.edge_v
+    cranks = g.ranks
+    ceids = np.arange(g.n_edges, dtype=np.int64)
+    n_cur = n
+    chosen: list[np.ndarray] = []
+    levels = 0
+    jump_total = 0
+    n_chunks = max(4 * backend.n_workers, 4)
+
+    while cu.size:
+        levels += 1
+
+        # ---- Phase 1: mwe selection + root election (segmented argmin).
+        mwe_to, mwe_eid, _ = minimum_edge_per_vertex(
+            n_cur, cu, cv, cranks, ceids, backend=backend, n_chunks=n_chunks
+        )
+        picked = np.flatnonzero(mwe_to >= 0)
+        if picked.size == 0:
+            break
+        G = np.arange(n_cur, dtype=np.int64)
+        G[picked] = mwe_to[picked]
+        # A pick is mutual iff both endpoints picked the same edge id (only
+        # an edge's endpoints can pick it).  Root the smaller endpoint —
+        # Algorithm 6's "v < w" symmetry break — and emit every picked edge
+        # once (the larger endpoint of a mutual pair stays silent).
+        target = mwe_to[picked]
+        mutual = mwe_eid[target] == mwe_eid[picked]
+        roots = picked[mutual & (picked < target)]
+        G[roots] = roots
+        emit = ~(mutual & (picked > target))
+        chosen.append(mwe_eid[picked[emit]])
+        backend.charge_parallel(picked.size, n_chunks)  # election + emit pass
+
+        # ---- Phase 2: synchronous pointer jumping to the star roots.
+        G, sweeps, _changes = pointer_jump(G, backend=backend, n_chunks=n_chunks)
+        jump_total += sweeps
+
+        # ---- Phase 3: fused relabel + filter + renumber (+ dedup).
+        cu, cv, cranks, ceids, n_cur = contract_edges(
+            cu, cv, cranks, ceids, G,
+            compact=compact, backend=backend, n_chunks=n_chunks,
+        )
+
+    edge_ids = (
+        np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+    )
+    stats = {
+        "levels": levels,
+        "jump_rounds": jump_total,
+        "backend_workers": backend.n_workers,
+        "mode": "vectorized",
+    }
+    return result_from_edge_ids(g, edge_ids, stats=stats)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import DisconnectedGraphError
+from repro.errors import AlgorithmError, DisconnectedGraphError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.structures.indexed_heap import IndexedBinaryHeap
@@ -45,13 +45,25 @@ def llp_prim(
     *,
     msf: bool = True,
     early_fixing: bool = True,
+    mode: str = "loop",
 ) -> MSTResult:
     """LLP-Prim from ``root``; see the module docstring.
 
     ``early_fixing=False`` disables the MWE rule (every fix goes through
     the heap), which reduces the algorithm to Prim with deferred
     insertions — the ablation of DESIGN.md experiment A1.
+
+    ``mode="vectorized"`` scans each bag vertex's whole neighbor slice
+    with masked NumPy operations — the MWE test, the early fixes, and the
+    deferred relaxations all become array expressions; the bag/heap
+    control flow (and the output) are unchanged.
     """
+    if mode == "vectorized":
+        return _llp_prim_vectorized(g, root, msf=msf, early_fixing=early_fixing)
+    if mode != "loop":
+        raise AlgorithmError(
+            f"unknown llp_prim mode {mode!r}; use 'loop' or 'vectorized'"
+        )
     n = g.n_vertices
     heap = IndexedBinaryHeap(n)
     adj_n, adj_r, adj_e = g.py_adjacency
@@ -157,5 +169,135 @@ def llp_prim(
         g,
         np.asarray(chosen, dtype=np.int64),
         parent=np.asarray(parent, dtype=np.int64),
+        stats=stats,
+    )
+
+
+def _llp_prim_vectorized(
+    g: CSRGraph,
+    root: int,
+    *,
+    msf: bool,
+    early_fixing: bool,
+) -> MSTResult:
+    """Array-kernel LLP-Prim: whole-slice scans, identical bag/heap order.
+
+    Each neighbor in a scanned slice is distinct, so the masked scatter
+    updates commute with the loop-mode left-to-right scan — the bag fills
+    in the same order and every statistic matches the loop run exactly.
+    """
+    n = g.n_vertices
+    heap = IndexedBinaryHeap(n)
+    indptr, indices = g.indptr, g.indices
+    half_ranks, edge_ids = g.half_ranks, g.edge_ids
+    min_rank = g.min_rank_per_vertex
+    d = np.full(n, _INF, dtype=np.int64)
+    fixed = np.zeros(n, dtype=bool)
+    staged = np.zeros(n, dtype=bool)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    chosen: list[int] = []
+
+    R: list[int] = []  # the bag (LIFO here; any order is correct)
+    Q: list[int] = []
+    edges_scanned = 0
+    mwe_fixes = 0
+    heap_fixes = 0
+    bag_pops = 0
+    n_fixed = 0
+
+    roots = [root] if n else []
+    next_probe = 0
+    while roots:
+        r = roots.pop()
+        if fixed[r]:
+            continue
+        d[r] = -1
+        fixed[r] = True
+        n_fixed += 1
+        R.append(r)
+        while True:
+            while R:
+                bag_pops += 1
+                j = R.pop()
+                s, e = int(indptr[j]), int(indptr[j + 1])
+                edges_scanned += e - s
+                if s == e:
+                    continue
+                nbrs = indices[s:e]
+                live = ~fixed[nbrs]
+                nbrs = nbrs[live]
+                if nbrs.size == 0:
+                    continue
+                rks = half_ranks[s:e][live]
+                eids = edge_ids[s:e][live]
+                if early_fixing:
+                    # processEdge1: the edge is an MWE of either endpoint.
+                    mwe = (rks == min_rank[j]) | (rks == min_rank[nbrs])
+                else:
+                    mwe = np.zeros(nbrs.size, dtype=bool)
+                if mwe.any():
+                    fix_v = nbrs[mwe]
+                    fix_e = eids[mwe]
+                    d[fix_v] = rks[mwe]
+                    fixed[fix_v] = True
+                    parent[fix_v] = j
+                    parent_edge[fix_v] = fix_e
+                    chosen.extend(fix_e.tolist())
+                    mwe_fixes += fix_v.size
+                    n_fixed += fix_v.size
+                    R.extend(fix_v.tolist())
+                relax = ~mwe & (rks < d[nbrs])
+                if relax.any():
+                    rel_v = nbrs[relax]
+                    d[rel_v] = rks[relax]
+                    parent[rel_v] = j
+                    parent_edge[rel_v] = eids[relax]
+                    fresh = rel_v[~staged[rel_v]]
+                    staged[fresh] = True
+                    Q.extend(fresh.tolist())
+            # Flush staged relaxations for vertices that stayed unfixed.
+            for k in Q:
+                staged[k] = False
+                if not fixed[k]:
+                    heap.insert_or_adjust(k, int(d[k]))
+            Q.clear()
+            j = -1
+            while heap:
+                cand, _key = heap.pop()
+                if not fixed[cand]:
+                    j = cand
+                    break
+            if j < 0:
+                break
+            fixed[j] = True
+            n_fixed += 1
+            chosen.append(int(parent_edge[j]))
+            heap_fixes += 1
+            R.append(j)
+        if n_fixed < n:
+            if not msf:
+                raise DisconnectedGraphError(
+                    "graph is disconnected; rerun with msf=True for a forest"
+                )
+            while next_probe < n and fixed[next_probe]:
+                next_probe += 1
+            if next_probe < n:
+                roots.append(next_probe)
+
+    stats = {
+        "heap_pushes": heap.n_pushes,
+        "heap_pops": heap.n_pops,
+        "heap_adjusts": heap.n_adjusts,
+        "edges_scanned": edges_scanned,
+        "mwe_fixes": mwe_fixes,
+        "heap_fixes": heap_fixes,
+        "bag_pops": bag_pops,
+        "mode": "vectorized",
+    }
+    return result_from_edge_ids(
+        g,
+        np.asarray(chosen, dtype=np.int64),
+        parent=parent,
         stats=stats,
     )

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import AlgorithmError
 from repro.graphs.csr import CSRGraph
+from repro.kernels import minimum_edge_per_vertex, pointer_jump
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.runtime.atomics import AtomicInt64Array
 from repro.runtime.backend import Backend, TaskContext
@@ -37,9 +39,25 @@ _INF = np.iinfo(np.int64).max
 _ATOMIC_COST = 3  # charged units per RMW (CAS/fetch_min) vs 1 per plain op
 
 
-def parallel_boruvka(g: CSRGraph, backend: Backend | None = None) -> MSTResult:
-    """Parallel Boruvka MSF on the given backend (default sequential)."""
+def parallel_boruvka(
+    g: CSRGraph, backend: Backend | None = None, *, mode: str = "loop"
+) -> MSTResult:
+    """Parallel Boruvka MSF on the given backend (default sequential).
+
+    ``mode="vectorized"`` replaces the per-edge union-find tasks with
+    whole-array kernels: component roots live in a flat parent array that
+    is fully compressed by batched pointer jumping after every hook round
+    (the scatter-based formulation of the sparse-kernel literature).  The
+    edge set is identical; the union-find/atomics work structure that the
+    loop mode charges is approximated by the same scatter/jump passes.
+    """
     backend = backend or SequentialBackend()
+    if mode == "vectorized":
+        return _parallel_boruvka_vectorized(g, backend)
+    if mode != "loop":
+        raise AlgorithmError(
+            f"unknown parallel_boruvka mode {mode!r}; use 'loop' or 'vectorized'"
+        )
     n, m = g.n_vertices, g.n_edges
     thread_safe = getattr(backend, "concurrent", False)
     uf = ConcurrentUnionFind(n, thread_safe=thread_safe)
@@ -115,8 +133,57 @@ def parallel_boruvka(g: CSRGraph, backend: Backend | None = None) -> MSTResult:
     stats = {
         "rounds": rounds,
         "backend_workers": backend.n_workers,
+        "mode": "loop",
     }
     return result_from_edge_ids(g, np.asarray(chosen, dtype=np.int64), stats=stats)
+
+
+def _parallel_boruvka_vectorized(g: CSRGraph, backend: Backend) -> MSTResult:
+    """Scatter-kernel Boruvka over a flat, fully-compressed parent array."""
+    n, m = g.n_vertices, g.n_edges
+    eu, ev, ranks = g.edge_u, g.edge_v, g.ranks
+    parent = np.arange(n, dtype=np.int64)
+    live = np.arange(m, dtype=np.int64)
+    chosen: list[np.ndarray] = []
+    rounds = 0
+    n_chunks = max(4 * backend.n_workers, 4)
+
+    while live.size:
+        rounds += 1
+        # ---- Phase 1+3 fused: roots are one gather away (parent is flat),
+        # so the candidate scan and the dead-edge filter are a single pass.
+        ru = parent[eu[live]]
+        rv = parent[ev[live]]
+        alive = ru != rv
+        backend.charge_parallel(2 * live.size, n_chunks)
+        live, ru, rv = live[alive], ru[alive], rv[alive]
+        if live.size == 0:
+            break
+        # Per-component minimum candidate edge (the fetch_min scatter).
+        cand_to, cand_eid, _ = minimum_edge_per_vertex(
+            n, ru, rv, ranks[live], live, backend=backend, n_chunks=n_chunks
+        )
+        comps = np.flatnonzero(cand_to >= 0)
+        # ---- Phase 2: hook each component along its candidate; mutual
+        # pairs (both roots picked the same edge) keep the smaller root.
+        target = cand_to[comps]
+        mutual = cand_eid[target] == cand_eid[comps]
+        parent[comps] = target
+        keep_root = comps[mutual & (comps < target)]
+        parent[keep_root] = keep_root
+        emit = ~(mutual & (comps > target))
+        chosen.append(cand_eid[comps[emit]])
+        backend.charge_parallel(comps.size * _ATOMIC_COST, n_chunks)  # hooks
+        # Re-flatten the parent forest for the next round's O(1) finds.
+        parent, _sweeps, _ = pointer_jump(parent, backend=backend, n_chunks=n_chunks)
+
+    edge_ids = np.concatenate(chosen) if chosen else np.empty(0, dtype=np.int64)
+    stats = {
+        "rounds": rounds,
+        "backend_workers": backend.n_workers,
+        "mode": "vectorized",
+    }
+    return result_from_edge_ids(g, edge_ids, stats=stats)
 
 
 def _charged_find(uf: ConcurrentUnionFind, x: int, ctx: TaskContext) -> int:

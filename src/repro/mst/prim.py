@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import DisconnectedGraphError
+from repro.errors import AlgorithmError, DisconnectedGraphError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.structures.indexed_heap import IndexedBinaryHeap
@@ -38,6 +38,7 @@ def prim(
     *,
     msf: bool = True,
     heap_factory: Callable[[int], object] | None = None,
+    mode: str = "loop",
 ) -> MSTResult:
     """Prim's algorithm from ``root``.
 
@@ -46,7 +47,16 @@ def prim(
     disconnected graph; with ``msf=False`` a disconnected input raises
     :class:`~repro.errors.DisconnectedGraphError` (the paper's LLP-Prim
     setting assumes a connected graph).
+
+    ``mode="vectorized"`` keeps the tentative costs in dense NumPy arrays
+    and relaxes each popped vertex's whole neighbor slice with one masked
+    gather/scatter (:func:`repro.kernels.relax_neighbors`); the heap still
+    orders the pops, so the fix order — and the output — are identical.
     """
+    if mode == "vectorized":
+        return _prim_vectorized(g, root, msf=msf, heap_factory=heap_factory)
+    if mode != "loop":
+        raise AlgorithmError(f"unknown prim mode {mode!r}; use 'loop' or 'vectorized'")
     n = g.n_vertices
     make_heap = heap_factory or IndexedBinaryHeap
     heap = make_heap(n)
@@ -112,5 +122,77 @@ def prim(
         g,
         np.asarray(chosen, dtype=np.int64),
         parent=np.asarray(parent, dtype=np.int64),
+        stats=stats,
+    )
+
+
+def _prim_vectorized(
+    g: CSRGraph,
+    root: int,
+    *,
+    msf: bool,
+    heap_factory: Callable[[int], object] | None,
+) -> MSTResult:
+    """Dense-array Prim: heap-ordered pops, whole-slice relaxations."""
+    from repro.kernels import relax_neighbors
+
+    n = g.n_vertices
+    make_heap = heap_factory or IndexedBinaryHeap
+    heap = make_heap(n)
+    indptr, indices = g.indptr, g.indices
+    half_ranks, edge_ids = g.half_ranks, g.edge_ids
+    d = np.full(n, _INF, dtype=np.int64)
+    fixed = np.zeros(n, dtype=bool)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    chosen: list[int] = []
+    edges_scanned = 0
+    n_fixed = 0
+
+    roots = [root] if n else []
+    next_probe = 0
+
+    while roots:
+        r = roots.pop()
+        if fixed[r]:
+            continue
+        d[r] = -1  # root cost below every real rank
+        heap.push(r, -1)
+        while heap:
+            j, _key = heap.pop()
+            if fixed[j]:
+                continue  # stale entry (only with lazy heaps)
+            fixed[j] = True
+            n_fixed += 1
+            pe = int(parent_edge[j])
+            if pe >= 0:
+                chosen.append(pe)
+            edges_scanned += int(indptr[j + 1] - indptr[j])
+            improved, keys = relax_neighbors(
+                j, indptr, indices, half_ranks, edge_ids, d, fixed, parent, parent_edge
+            )
+            for k, rk in zip(improved.tolist(), keys.tolist()):
+                heap.insert_or_adjust(k, rk)
+        if n_fixed < n:
+            if not msf:
+                raise DisconnectedGraphError(
+                    "graph is disconnected; rerun with msf=True for a forest"
+                )
+            while next_probe < n and fixed[next_probe]:
+                next_probe += 1
+            if next_probe < n:
+                roots.append(next_probe)
+
+    stats = {
+        "heap_pushes": heap.n_pushes,
+        "heap_pops": heap.n_pops,
+        "heap_adjusts": getattr(heap, "n_adjusts", 0),
+        "edges_scanned": edges_scanned,
+        "mode": "vectorized",
+    }
+    return result_from_edge_ids(
+        g,
+        np.asarray(chosen, dtype=np.int64),
+        parent=parent,
         stats=stats,
     )

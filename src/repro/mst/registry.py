@@ -3,20 +3,62 @@
 Sequential algorithms take ``(graph)``; parallel ones also accept a
 ``backend`` keyword.  :func:`get_algorithm` returns a uniform
 ``fn(graph, backend=None) -> MSTResult`` adapter for either kind.
+
+Algorithms that grew a vectorized array-kernel fast path (see
+:mod:`repro.kernels`) accept a ``mode`` keyword; the registry records
+which ones in :class:`AlgorithmInfo` metadata so the CLI, benchmarks, and
+docs can discover the fast paths by name instead of hard-coding them.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.errors import BenchmarkError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult
 
-__all__ = ["get_algorithm", "available_algorithms", "PARALLEL_ALGORITHMS"]
+__all__ = [
+    "AlgorithmInfo",
+    "get_algorithm",
+    "available_algorithms",
+    "algorithm_info",
+    "list_algorithm_info",
+    "PARALLEL_ALGORITHMS",
+]
 
 _SEQUENTIAL: Dict[str, Callable[[CSRGraph], MSTResult]] = {}
 _PARALLEL: Dict[str, Callable[..., MSTResult]] = {}
+
+# Kernel modes per algorithm; everything absent from this table is
+# loop-only.  Kept next to the registration tables so adding a vectorized
+# path is a one-line registry change.
+_MODES: Dict[str, tuple[str, ...]] = {
+    "prim": ("loop", "vectorized"),
+    "llp-prim": ("loop", "vectorized"),
+    "boruvka": ("loop", "vectorized"),
+    "llp-boruvka": ("loop", "vectorized"),
+    "parallel-boruvka": ("loop", "vectorized"),
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry metadata for one algorithm name.
+
+    ``modes`` always contains ``"loop"``; it also contains
+    ``"vectorized"`` when the algorithm has an array-kernel fast path.
+    """
+
+    name: str
+    parallel: bool
+    modes: tuple[str, ...]
+
+    @property
+    def has_vectorized(self) -> bool:
+        """Whether a ``mode="vectorized"`` fast path exists."""
+        return "vectorized" in self.modes
 
 
 def _register() -> None:
@@ -70,26 +112,57 @@ def available_algorithms() -> list[str]:
     return sorted(_SEQUENTIAL) + sorted(_PARALLEL)
 
 
-def get_algorithm(name: str) -> Callable[..., MSTResult]:
-    """Uniform ``fn(graph, backend=None)`` adapter for a registered name."""
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Metadata (parallelism, kernel modes) for a registered name."""
     if not _SEQUENTIAL:
         _register()
+    if name not in _SEQUENTIAL and name not in _PARALLEL:
+        raise BenchmarkError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        )
+    return AlgorithmInfo(
+        name=name,
+        parallel=name in _PARALLEL,
+        modes=_MODES.get(name, ("loop",)),
+    )
+
+
+def list_algorithm_info() -> list[AlgorithmInfo]:
+    """Metadata for every registered algorithm, in listing order."""
+    return [algorithm_info(name) for name in available_algorithms()]
+
+
+def get_algorithm(name: str, mode: str | None = None) -> Callable[..., MSTResult]:
+    """Uniform ``fn(graph, backend=None)`` adapter for a registered name.
+
+    ``mode`` selects the kernel mode ("loop" / "vectorized") for
+    algorithms that support it; requesting a mode the algorithm does not
+    implement raises :class:`~repro.errors.BenchmarkError`.  ``None``
+    leaves the algorithm's own default (loop) in effect.
+    """
+    if not _SEQUENTIAL:
+        _register()
+    info = algorithm_info(name)
+    if mode is not None and mode not in info.modes:
+        raise BenchmarkError(
+            f"algorithm {name!r} has no {mode!r} mode; supported: "
+            f"{', '.join(info.modes)}"
+        )
+    # Loop-only algorithms accept mode="loop" (their only mode) but take
+    # no ``mode`` kwarg — only forward it to algorithms that dispatch on it.
+    mode_kw = {"mode": mode} if mode is not None and name in _MODES else {}
     if name in _SEQUENTIAL:
         seq = _SEQUENTIAL[name]
 
         def run_sequential(g: CSRGraph, backend=None, **kw) -> MSTResult:
-            return seq(g, **kw)
+            return seq(g, **mode_kw, **kw)
 
         run_sequential.__name__ = f"run_{name}"
         return run_sequential
-    if name in _PARALLEL:
-        par = _PARALLEL[name]
+    par = _PARALLEL[name]
 
-        def run_parallel(g: CSRGraph, backend=None, **kw) -> MSTResult:
-            return par(g, backend=backend, **kw)
+    def run_parallel(g: CSRGraph, backend=None, **kw) -> MSTResult:
+        return par(g, backend=backend, **mode_kw, **kw)
 
-        run_parallel.__name__ = f"run_{name}"
-        return run_parallel
-    raise BenchmarkError(
-        f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-    )
+    run_parallel.__name__ = f"run_{name}"
+    return run_parallel

@@ -1,0 +1,48 @@
+"""Smoke tests for the kernel benchmark tooling.
+
+Runs ``tools/bench_kernels_report.py`` on a tiny graph and checks it
+writes valid, complete JSON; pins the shape of the committed
+``BENCH_kernels.json`` so the checked-in numbers can't silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent.parent
+
+
+def test_bench_kernels_report_tiny_graph(tmp_path):
+    target = tmp_path / "BENCH_kernels.json"
+    proc = subprocess.run(
+        [
+            sys.executable, str(REPO / "tools" / "bench_kernels_report.py"),
+            str(target), "--n", "60", "--m", "150", "--seed", "3",
+            "--repeats", "1",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(target.read_text())
+    assert report["graph"]["n_edges"] == 150
+    algos = report["algorithms"]
+    assert "llp-boruvka" in algos and "parallel-boruvka" in algos
+    for entry in algos.values():
+        assert entry["identical_edge_set"] is True
+        assert entry["loop"]["seconds"] > 0
+        assert entry["vectorized"]["seconds"] > 0
+        assert entry["speedup"] > 0
+
+
+def test_committed_bench_kernels_json():
+    committed = REPO / "BENCH_kernels.json"
+    report = json.loads(committed.read_text())
+    assert report["graph"]["n_edges"] == 100_000
+    entry = report["algorithms"]["llp-boruvka"]
+    assert entry["identical_edge_set"] is True
+    assert entry["speedup"] >= 10.0

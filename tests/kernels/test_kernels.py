@@ -1,0 +1,268 @@
+"""Unit tests for the vectorized array kernels (repro.kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError
+from repro.kernels import (
+    contract_edges,
+    minimum_edge_per_vertex,
+    pointer_jump,
+    relax_neighbors,
+    segmented_argmin,
+    segmented_min,
+)
+from repro.runtime.sequential import SequentialBackend
+
+INT64_MAX = np.iinfo(np.int64).max
+
+
+# ----------------------------------------------------------------------
+# segmented_min
+# ----------------------------------------------------------------------
+def test_segmented_min_basic_and_empty_segments():
+    values = np.array([5, 3, 9, 1, 7], dtype=np.int64)
+    indptr = np.array([0, 2, 2, 4, 5], dtype=np.int64)  # segment 1 empty
+    out = segmented_min(values, indptr, empty=-99)
+    assert out.tolist() == [3, -99, 1, 7]
+
+
+def test_segmented_min_zero_values_and_zero_segments():
+    assert segmented_min(np.empty(0, np.int64), np.zeros(4, np.int64)).tolist() == [
+        INT64_MAX
+    ] * 3
+    assert segmented_min(np.empty(0, np.int64), np.zeros(1, np.int64)).size == 0
+
+
+def test_segmented_min_matches_python_reference():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        counts = rng.integers(0, 5, size=30)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        values = rng.integers(0, 1000, size=int(indptr[-1])).astype(np.int64)
+        out = segmented_min(values, indptr)
+        for i in range(30):
+            seg = values[indptr[i] : indptr[i + 1]]
+            assert out[i] == (seg.min() if seg.size else INT64_MAX)
+
+
+def test_segmented_min_charges_backend():
+    backend = SequentialBackend()
+    values = np.arange(10, dtype=np.int64)
+    indptr = np.array([0, 5, 10], dtype=np.int64)
+    segmented_min(values, indptr, backend=backend)
+    assert backend.trace.total_work == 10
+
+
+# ----------------------------------------------------------------------
+# segmented_argmin
+# ----------------------------------------------------------------------
+def test_segmented_argmin_unsorted_segments_and_stable_ties():
+    seg = np.array([2, 0, 2, 0, 1], dtype=np.int64)
+    keys = np.array([4, 7, 1, 7, 5], dtype=np.int64)
+    out = segmented_argmin(seg, keys, 4)
+    assert out[0] == 1  # tie between positions 1 and 3 -> earliest
+    assert out[1] == 4
+    assert out[2] == 2
+    assert out[3] == -1  # empty segment
+
+
+def test_segmented_argmin_empty():
+    assert segmented_argmin(np.empty(0, np.int64), np.empty(0, np.int64), 3).tolist() == [
+        -1,
+        -1,
+        -1,
+    ]
+
+
+def test_segmented_argmin_matches_python_reference():
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        n_seg = 12
+        m = int(rng.integers(0, 60))
+        seg = rng.integers(0, n_seg, size=m).astype(np.int64)
+        keys = rng.integers(0, 8, size=m).astype(np.int64)  # many ties
+        out = segmented_argmin(seg, keys, n_seg)
+        for s in range(n_seg):
+            members = np.flatnonzero(seg == s)
+            if members.size == 0:
+                assert out[s] == -1
+            else:
+                best = members[np.argmin(keys[members])]  # argmin is stable
+                assert out[s] == best
+
+
+# ----------------------------------------------------------------------
+# minimum_edge_per_vertex
+# ----------------------------------------------------------------------
+def test_minimum_edge_per_vertex_small():
+    # Triangle 0-1-2 plus isolated vertex 3; unique keys.
+    u = np.array([0, 1, 0], dtype=np.int64)
+    v = np.array([1, 2, 2], dtype=np.int64)
+    keys = np.array([5, 1, 3], dtype=np.int64)
+    eids = np.array([10, 11, 12], dtype=np.int64)
+    to, eid, best = minimum_edge_per_vertex(4, u, v, keys, eids)
+    assert to.tolist() == [2, 2, 1, -1]
+    assert eid.tolist() == [12, 11, 11, -1]
+    assert best.tolist() == [3, 1, 1, INT64_MAX]
+
+
+def test_minimum_edge_per_vertex_empty():
+    to, eid, best = minimum_edge_per_vertex(
+        3, np.empty(0, np.int64), np.empty(0, np.int64),
+        np.empty(0, np.int64), np.empty(0, np.int64),
+    )
+    assert to.tolist() == [-1, -1, -1]
+    assert eid.tolist() == [-1, -1, -1]
+    assert (best == INT64_MAX).all()
+
+
+def test_minimum_edge_per_vertex_matches_graph_oracle(any_graph):
+    g = any_graph
+    eids = np.arange(g.n_edges, dtype=np.int64)
+    to, eid, best = minimum_edge_per_vertex(
+        g.n_vertices, g.edge_u, g.edge_v, g.ranks, eids
+    )
+    assert np.array_equal(eid, g.min_edge_per_vertex)
+    has = eid >= 0
+    assert np.array_equal(best[has], g.min_rank_per_vertex[has])
+
+
+# ----------------------------------------------------------------------
+# pointer_jump
+# ----------------------------------------------------------------------
+def test_pointer_jump_chain_converges_to_root():
+    # 0 <- 1 <- 2 <- ... <- 9
+    G = np.arange(-1, 9, dtype=np.int64)
+    G[0] = 0
+    roots, sweeps, changes = pointer_jump(G)
+    assert (roots == 0).all()
+    assert sweeps == len(changes)
+    assert sweeps <= int(np.log2(10)) + 2
+    assert changes == sorted(changes, reverse=True) or len(changes) <= 1
+
+
+def test_pointer_jump_identity_and_empty():
+    G = np.arange(5, dtype=np.int64)
+    roots, sweeps, changes = pointer_jump(G)
+    assert np.array_equal(roots, G)
+    assert sweeps == 0 and changes == []
+    roots, sweeps, _ = pointer_jump(np.empty(0, np.int64))
+    assert roots.size == 0 and sweeps == 0
+
+
+def test_pointer_jump_does_not_mutate_input():
+    G = np.array([1, 2, 2], dtype=np.int64)
+    G_before = G.copy()
+    pointer_jump(G)
+    assert np.array_equal(G, G_before)
+
+
+def test_pointer_jump_detects_long_cycle():
+    G = np.array([1, 2, 0, 2], dtype=np.int64)  # 3-cycle never converges
+    with pytest.raises(AlgorithmError):
+        pointer_jump(G)
+
+
+def test_pointer_jump_collapses_two_cycle_to_two_roots():
+    # Squaring resolves an unbroken mutual pair into two self-roots —
+    # convergent but semantically a split component.  This is why the
+    # Boruvka callers break mutual pairs *before* jumping.
+    roots, _, _ = pointer_jump(np.array([1, 0], dtype=np.int64))
+    assert roots.tolist() == [0, 1]
+
+
+def test_pointer_jump_charges_per_sweep():
+    G = np.array([0, 0, 1, 2], dtype=np.int64)
+    backend = SequentialBackend()
+    _, sweeps, _ = pointer_jump(G, backend=backend)
+    # One charged round per sweep plus the final fixed-point check sweep.
+    assert len(backend.trace.rounds) == sweeps + 1
+    assert backend.trace.total_work == (sweeps + 1) * G.size
+
+
+# ----------------------------------------------------------------------
+# contract_edges
+# ----------------------------------------------------------------------
+def test_contract_edges_drops_internal_and_renumbers():
+    # Components {0,1} -> root 0 and {2,3} -> root 2.
+    labels = np.array([0, 0, 2, 2], dtype=np.int64)
+    u = np.array([0, 1, 0, 2], dtype=np.int64)
+    v = np.array([1, 2, 3, 3], dtype=np.int64)
+    keys = np.array([3, 1, 2, 0], dtype=np.int64)
+    eids = np.array([100, 101, 102, 103], dtype=np.int64)
+    u2, v2, k2, e2, n_new = contract_edges(u, v, keys, eids, labels, compact=True)
+    assert n_new == 2
+    # Edges 0 (internal) and 3 (internal) die; 1 and 2 become the
+    # super-pair (0, 1) and only the lighter (key 1, eid 101) survives.
+    assert u2.tolist() == [0] and v2.tolist() == [1]
+    assert k2.tolist() == [1] and e2.tolist() == [101]
+
+
+def test_contract_edges_keeps_parallel_edges_without_compact():
+    labels = np.array([0, 0, 2, 2], dtype=np.int64)
+    u = np.array([1, 0], dtype=np.int64)
+    v = np.array([2, 3], dtype=np.int64)
+    keys = np.array([1, 2], dtype=np.int64)
+    eids = np.array([7, 8], dtype=np.int64)
+    u2, v2, k2, e2, n_new = contract_edges(u, v, keys, eids, labels, compact=False)
+    assert n_new == 2
+    assert u2.size == 2  # both parallel super-edges survive
+    assert sorted(e2.tolist()) == [7, 8]
+
+
+def test_contract_edges_all_internal():
+    labels = np.zeros(3, dtype=np.int64)
+    u = np.array([0, 1], dtype=np.int64)
+    v = np.array([1, 2], dtype=np.int64)
+    keys = np.array([0, 1], dtype=np.int64)
+    eids = np.array([0, 1], dtype=np.int64)
+    u2, v2, k2, e2, n_new = contract_edges(u, v, keys, eids, labels)
+    assert n_new == 0
+    assert u2.size == v2.size == k2.size == e2.size == 0
+
+
+def test_contract_edges_empty_input():
+    empty = np.empty(0, np.int64)
+    u2, v2, k2, e2, n_new = contract_edges(
+        empty, empty, empty, empty, np.arange(4, dtype=np.int64)
+    )
+    assert n_new == 0 and u2.size == 0
+
+
+# ----------------------------------------------------------------------
+# relax_neighbors
+# ----------------------------------------------------------------------
+def test_relax_neighbors_updates_only_improving_unfixed(fig1_graph):
+    g = fig1_graph
+    n = g.n_vertices
+    d = np.full(n, 1 << 60, dtype=np.int64)
+    fixed = np.zeros(n, dtype=bool)
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    fixed[0] = True
+    improved, keys = relax_neighbors(
+        0, g.indptr, g.indices, g.half_ranks, g.edge_ids,
+        d, fixed, parent, parent_edge,
+    )
+    nbrs = set(g.neighbors(0).tolist())
+    assert set(improved.tolist()) == nbrs
+    assert (parent[improved] == 0).all()
+    # Second relaxation from the same vertex improves nothing.
+    improved2, _ = relax_neighbors(
+        0, g.indptr, g.indices, g.half_ranks, g.edge_ids,
+        d, fixed, parent, parent_edge,
+    )
+    assert improved2.size == 0
+
+
+def test_relax_neighbors_isolated_vertex():
+    indptr = np.array([0, 0], dtype=np.int64)
+    out, keys = relax_neighbors(
+        0, indptr, np.empty(0, np.int64), np.empty(0, np.int64),
+        np.empty(0, np.int64), np.empty(1, np.int64),
+        np.zeros(1, bool), np.empty(1, np.int64), np.empty(1, np.int64),
+    )
+    assert out.size == 0 and keys.size == 0

@@ -1,0 +1,70 @@
+"""Degenerate-graph regression tests: empty, single-vertex, isolated.
+
+Every registered algorithm — in every kernel mode it supports — must
+handle the zero-edge corner cases without special-casing by callers:
+
+* the empty graph (0 vertices, 0 edges),
+* a single vertex with no edges,
+* isolated vertices alongside a real component (MSF with singletons).
+
+The zero-edge guard lives in one place (``CSRGraph.__init__`` defines
+``ranks``/``half_ranks`` as empty int64 arrays); these tests pin every
+algorithm to it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.mst.registry import (
+    PARALLEL_ALGORITHMS,
+    algorithm_info,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.runtime.simulated import SimulatedBackend
+
+
+def _all_algo_modes():
+    for name in available_algorithms():
+        for mode in algorithm_info(name).modes:
+            yield name, mode
+
+
+CASES = list(_all_algo_modes())
+
+
+def _run(name, mode, g):
+    algo = get_algorithm(name, mode=mode)
+    backend = SimulatedBackend(2) if name in PARALLEL_ALGORITHMS else None
+    return algo(g, backend=backend)
+
+
+@pytest.mark.parametrize("name,mode", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_empty_graph(name, mode):
+    g = from_edges([], n_vertices=0)
+    assert g.ranks.size == 0 and g.half_ranks.size == 0
+    result = _run(name, mode, g)
+    assert result.n_edges == 0
+    assert result.total_weight == 0.0
+
+
+@pytest.mark.parametrize("name,mode", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_single_vertex(name, mode):
+    g = from_edges([], n_vertices=1)
+    result = _run(name, mode, g)
+    assert result.n_edges == 0
+    assert result.n_components == 1
+
+
+@pytest.mark.parametrize("name,mode", CASES, ids=[f"{n}-{m}" for n, m in CASES])
+def test_isolated_vertices_beside_component(name, mode):
+    # Vertices 3 and 4 are isolated; MSF = the triangle's two lightest edges.
+    from repro.mst.kruskal import kruskal
+
+    g = from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)], n_vertices=5)
+    result = _run(name, mode, g)
+    assert result.edge_set() == kruskal(g).edge_set()
+    assert result.n_components == 3
+    assert result.total_weight == pytest.approx(3.0)
