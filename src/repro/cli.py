@@ -8,6 +8,12 @@ Subcommands
 ``mst``
     Compute the MSF of a generated or loaded graph with a chosen
     algorithm and print summary statistics.
+``query``
+    Answer MSF queries (connectivity, components, bottleneck paths,
+    cycle replacement) from a saved artifact or an artifact store.
+``serve``
+    Run the batched asyncio query service over a JSON-lines request
+    stream (stdin or a file).
 ``info``
     Show registered algorithms, datasets, and version information.
 
@@ -19,6 +25,9 @@ Examples
     python -m repro run all --json-dir results/
     python -m repro mst --algo llp-prim --dataset usa-road --scale 12
     python -m repro mst --algo llp-boruvka --input graph.gr --workers 8
+    python -m repro mst --algo kruskal --dataset usa-road --save msf.json
+    python -m repro query --artifact msf.json --type bottleneck --pairs 0:5,2:7
+    python -m repro serve --dataset usa-road --scale 10 --queries reqs.jsonl
 """
 
 from __future__ import annotations
@@ -76,6 +85,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "(array-kernel fast path, where available)")
     mstp.add_argument("--verify", action="store_true",
                       help="verify the output against the Kruskal oracle")
+    mstp.add_argument("--save", type=Path, default=None, metavar="PATH",
+                      help="dump the computed MSF edge list as a JSON artifact "
+                           "(consumable by 'repro query --artifact')")
+
+    queryp = sub.add_parser("query", help="answer MSF queries from an artifact")
+    qsrc = queryp.add_mutually_exclusive_group()
+    qsrc.add_argument("--artifact", type=Path, default=None,
+                      help="saved artifact file (.json from 'mst --save', or .npz)")
+    qsrc.add_argument("--dataset", default=None, help="registered dataset name")
+    qsrc.add_argument("--input", type=Path, default=None,
+                      help="graph file (.gr/.mtx/.tsv/.npz)")
+    queryp.add_argument("--store", type=Path, default=None,
+                        help="artifact-store directory (compute-once cache)")
+    queryp.add_argument("--algo", default="kruskal", help="algorithm for cache misses")
+    queryp.add_argument("--mode", choices=("loop", "vectorized"), default=None)
+    queryp.add_argument("--scale", type=int, default=None)
+    queryp.add_argument("--seed", type=int, default=0)
+    queryp.add_argument("--type", dest="qtype", default="connected",
+                        help="connected|component|component_size|bottleneck|"
+                             "replacement|weight")
+    queryp.add_argument("--pairs", type=_pair_list, default=None,
+                        help="comma-separated u:v pairs, e.g. 0:5,2:7")
+    queryp.add_argument("--vertices", type=_int_list, default=None,
+                        help="comma-separated vertex ids (component queries)")
+    queryp.add_argument("--edges", type=_edge_list, default=None,
+                        help="comma-separated u:v:w triples (replacement queries)")
+
+    servep = sub.add_parser("serve", help="run the batched async query service")
+    ssrc = servep.add_mutually_exclusive_group()
+    ssrc.add_argument("--dataset", default="usa-road", help="registered dataset name")
+    ssrc.add_argument("--input", type=Path, default=None,
+                      help="graph file (.gr/.mtx/.tsv/.npz)")
+    servep.add_argument("--scale", type=int, default=None)
+    servep.add_argument("--seed", type=int, default=0)
+    servep.add_argument("--algo", default="kruskal")
+    servep.add_argument("--mode", choices=("loop", "vectorized"), default=None)
+    servep.add_argument("--store", type=Path, default=None,
+                        help="artifact-store directory (warm starts skip the solve)")
+    servep.add_argument("--queries", type=Path, default=None,
+                        help="JSON-lines request file (default: stdin); each line "
+                             'like {"op": "connected", "u": 0, "v": 5}')
+    servep.add_argument("--max-batch", type=int, default=256,
+                        help="coalesce at most this many requests per batch")
+    servep.add_argument("--max-delay-ms", type=float, default=2.0,
+                        help="wait at most this long for a batch to fill")
+    servep.add_argument("--metrics", action="store_true",
+                        help="print the service metrics report to stderr at exit")
 
     profp = sub.add_parser("profile", help="profile one algorithm run (cProfile hotspots)")
     profp.add_argument("--algo", default="llp-prim")
@@ -104,6 +160,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "mst":
         return _cmd_mst(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "compare":
@@ -220,6 +280,13 @@ def _cmd_mst(args: argparse.Namespace) -> int:
 
         verify_minimum(g, result)
         print("verified:  edge set equals the unique MSF (Kruskal oracle)")
+    if args.save is not None:
+        from repro.service.artifacts import artifact_from_result, save_json_artifact
+
+        artifact = artifact_from_result(g, result, args.algo, args.mode,
+                                        build_index=False)
+        save_json_artifact(artifact, args.save)
+        print(f"saved:     MSF artifact written to {args.save}")
     return 0
 
 
@@ -237,6 +304,147 @@ def _load_graph(path: Path):
     if suffix == ".npz":
         return load_npz(path)
     raise SystemExit(f"unsupported graph format {suffix!r} (use .gr/.mtx/.tsv/.npz)")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import MSTService
+
+    try:
+        svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
+        if args.artifact is not None:
+            artifact = svc.load_artifact(args.artifact)
+            source = str(args.artifact)
+        else:
+            if args.input is not None:
+                g = _load_graph(args.input)
+                source = str(args.input)
+            elif args.dataset is not None:
+                from repro.bench.datasets import build_dataset
+
+                g = build_dataset(args.dataset, args.scale, args.seed)
+                source = f"{args.dataset} (scale={args.scale or 'default'})"
+            else:
+                print("query needs --artifact, --dataset, or --input", file=sys.stderr)
+                return 2
+            artifact = svc.load_graph(g)
+        print(f"artifact:  {source}  [{artifact.algorithm}] "
+              f"(n={artifact.n_vertices}, forest={artifact.n_forest_edges} edges, "
+              f"{artifact.n_components} components)")
+        return _answer_queries(svc, args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _answer_queries(svc, args: argparse.Namespace) -> int:
+    kind = args.qtype
+    if kind == "weight":
+        print(f"weight -> {svc.total_weight():.6f}")
+        return 0
+    if kind in ("component", "component_size"):
+        if not args.vertices:
+            print("--type component/component_size needs --vertices", file=sys.stderr)
+            return 2
+        fn = svc.component_id if kind == "component" else svc.component_size
+        for v, out in zip(args.vertices, fn(args.vertices)):
+            print(f"{kind} {v} -> {out}")
+        return 0
+    if kind == "replacement":
+        if not args.edges:
+            print("--type replacement needs --edges u:v:w,...", file=sys.stderr)
+            return 2
+        us, vs, ws = zip(*args.edges)
+        for (u, v, w), out in zip(args.edges, svc.would_change_msf(us, vs, ws)):
+            print(f"replacement {u}:{v}:{w:g} -> {bool(out)}")
+        return 0
+    if kind in ("connected", "bottleneck"):
+        if not args.pairs:
+            print(f"--type {kind} needs --pairs u:v,...", file=sys.stderr)
+            return 2
+        us, vs = zip(*args.pairs)
+        outs = svc.connected(us, vs) if kind == "connected" else svc.bottleneck(us, vs)
+        for (u, v), out in zip(args.pairs, outs):
+            text = str(bool(out)) if kind == "connected" else f"{float(out):g}"
+            print(f"{kind} {u}:{v} -> {text}")
+        return 0
+    print(f"unknown query type {kind!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.errors import ReproError, ServiceError
+    from repro.service import MSTService
+    from repro.service.server import AsyncMSTService
+
+    if args.input is not None:
+        g = _load_graph(args.input)
+    else:
+        from repro.bench.datasets import build_dataset
+
+        g = build_dataset(args.dataset, args.scale, args.seed)
+    svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
+    t0 = time.perf_counter()
+    artifact = svc.load_graph(g)
+    load_s = time.perf_counter() - t0
+    warm = svc.metrics.artifact_hits > 0
+    print(f"serving {artifact.fingerprint[:12]}... "
+          f"(n={artifact.n_vertices}, forest={artifact.n_forest_edges} edges) "
+          f"[{'warm' if warm else 'cold'} load {load_s * 1e3:.1f} ms]",
+          file=sys.stderr)
+
+    lines = (args.queries.read_text() if args.queries is not None
+             else sys.stdin.read()).splitlines()
+    requests = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            req = _json.loads(line)
+            requests.append((lineno, req["op"], req.get("u"), req.get("v"),
+                             req.get("w")))
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"bad request line {lineno}: {exc}", file=sys.stderr)
+            return 2
+
+    async def _run() -> list:
+        async with AsyncMSTService(
+            svc, max_batch=args.max_batch, max_delay_s=args.max_delay_ms / 1e3
+        ) as server:
+            async def one(op, u, v, w):
+                try:
+                    return await server.query(op, u, v, w)
+                except (ReproError, ServiceError) as exc:
+                    return {"error": str(exc)}
+            return await asyncio.gather(
+                *(one(op, u, v, w) for _, op, u, v, w in requests)
+            )
+
+    try:
+        answers = asyncio.run(_run())
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for (_, op, u, v, w), answer in zip(requests, answers):
+        record = {"op": op}
+        if u is not None:
+            record["u"] = u
+        if v is not None:
+            record["v"] = v
+        if w is not None:
+            record["w"] = w
+        if isinstance(answer, dict) and "error" in answer:
+            record["error"] = answer["error"]
+        else:
+            record["result"] = answer
+        print(_json.dumps(record))
+    if args.metrics:
+        print(svc.metrics.render(), file=sys.stderr)
+    return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -299,6 +507,32 @@ def _int_list(text: str) -> list[int]:
         return [int(t) for t in text.split(",") if t]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}") from exc
+
+
+def _pair_list(text: str) -> list[tuple[int, int]]:
+    try:
+        pairs = []
+        for chunk in text.split(","):
+            if not chunk:
+                continue
+            u, v = chunk.split(":")
+            pairs.append((int(u), int(v)))
+        return pairs
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a u:v pair list: {text!r}") from exc
+
+
+def _edge_list(text: str) -> list[tuple[int, int, float]]:
+    try:
+        edges = []
+        for chunk in text.split(","):
+            if not chunk:
+                continue
+            u, v, w = chunk.split(":")
+            edges.append((int(u), int(v), float(w)))
+        return edges
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not a u:v:w triple list: {text!r}") from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

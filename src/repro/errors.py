@@ -57,3 +57,13 @@ class GraphIOError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark harness configuration is invalid."""
+
+
+class ServiceError(ReproError):
+    """The MST query service was misused or hit a corrupted artifact.
+
+    Raised, for example, when a persisted MSF artifact fails integrity
+    checks (truncated file, version mismatch, fingerprint disagreement),
+    when a query names an unknown edge or operation, or when the service
+    is asked to answer queries before a graph was loaded.
+    """

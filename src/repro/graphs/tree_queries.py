@@ -89,7 +89,8 @@ class ForestPathMax:
 
         self.depth = depth
         self.comp = comp
-        levels = max(1, int(np.ceil(np.log2(max(int(depth.max()), 1) + 1))) + 1)
+        max_depth = int(depth.max()) if n else 0
+        levels = max(1, int(np.ceil(np.log2(max(max_depth, 1) + 1))) + 1)
         up = np.full((levels, n), -1, dtype=np.int64)
         mx = np.full((levels, n), -1, dtype=np.int64)
         # up[k][v] = 2^k-th ancestor of v (-1 when fewer ancestors exist);
@@ -109,6 +110,59 @@ class ForestPathMax:
         self._levels = levels
 
     # ------------------------------------------------------------------
+    # Index persistence (the MSF artifact store snapshots the lifted
+    # tables so a warm service start skips the BFS + doubling build).
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        n: int,
+        depth: np.ndarray,
+        comp: np.ndarray,
+        up: np.ndarray,
+        mx: np.ndarray,
+    ) -> "ForestPathMax":
+        """Rebuild an oracle from :meth:`index_arrays` output.
+
+        Skips the traversal and doubling-table construction entirely; the
+        arrays must come from a previously built oracle over the same
+        forest.  Shape mismatches raise :class:`~repro.errors.GraphError`.
+        """
+        depth = np.asarray(depth, dtype=np.int64)
+        comp = np.asarray(comp, dtype=np.int64)
+        up = np.asarray(up, dtype=np.int64)
+        mx = np.asarray(mx, dtype=np.int64)
+        n = int(n)
+        if depth.shape != (n,) or comp.shape != (n,):
+            raise GraphError("depth/comp arrays do not match vertex count")
+        if up.ndim != 2 or up.shape != mx.shape or up.shape[1] != n:
+            raise GraphError("lifting tables malformed")
+        if up.shape[0] < 1:
+            raise GraphError("lifting tables need at least one level")
+        self = cls.__new__(cls)
+        self.n = n
+        self.depth = depth
+        self.comp = comp
+        self._up = up
+        self._mx = mx
+        self._levels = int(up.shape[0])
+        return self
+
+    def index_arrays(self) -> dict[str, np.ndarray]:
+        """The prebuilt index as plain arrays (see :meth:`from_index`)."""
+        return {
+            "depth": self.depth,
+            "comp": self.comp,
+            "up": self._up,
+            "mx": self._mx,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of binary-lifting levels (the per-query work factor)."""
+        return self._levels
+
     def connected(self, u: int, v: int) -> bool:
         """True when ``u`` and ``v`` share a tree."""
         return self.comp[u] == self.comp[v]
@@ -149,11 +203,76 @@ class ForestPathMax:
         best = max(best, int(mx[0, u]), int(mx[0, v]))
         return best
 
-    def path_max_many(self, qu: np.ndarray, qv: np.ndarray) -> np.ndarray:
-        """Vector form of :meth:`path_max`."""
-        qu = np.asarray(qu, dtype=np.int64)
-        qv = np.asarray(qv, dtype=np.int64)
-        out = np.empty(qu.size, dtype=np.int64)
-        for i in range(qu.size):
-            out[i] = self.path_max(int(qu[i]), int(qv[i]))
+    def query_many(self, qu: np.ndarray, qv: np.ndarray) -> np.ndarray:
+        """Batched :meth:`path_max` over whole query arrays.
+
+        The documented vectorized entry point: all queries advance through
+        the binary-lifting levels together as whole-array NumPy operations,
+        so a batch of ``q`` queries costs O(q log n) array work with no
+        Python-level per-query loop.  Returns an ``int64`` array aligned
+        with the inputs: the maximum edge rank on each tree path,
+        :data:`DISCONNECTED` for endpoints in different components, and
+        ``-1`` for ``u == v``.
+        """
+        qu = np.asarray(qu, dtype=np.int64).ravel()
+        qv = np.asarray(qv, dtype=np.int64).ravel()
+        if qu.shape != qv.shape:
+            raise GraphError("query arrays must have identical shape")
+        if qu.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if ((qu < 0) | (qu >= self.n) | (qv < 0) | (qv >= self.n)).any():
+            raise GraphError("query vertex out of range")
+        out = np.full(qu.size, -1, dtype=np.int64)
+        disc = self.comp[qu] != self.comp[qv]
+        out[disc] = DISCONNECTED
+        active = np.flatnonzero(~disc & (qu != qv))
+        if active.size == 0:
+            return out
+        up, mx, depth = self._up, self._mx, self.depth
+        u = qu[active].copy()
+        v = qv[active].copy()
+        # Orient the deeper endpoint into u.
+        swap = depth[u] < depth[v]
+        u[swap], v[swap] = v[swap], u[swap]
+        best = np.full(active.size, -1, dtype=np.int64)
+        # Lift u by the depth difference, one bit per level.
+        diff = depth[u] - depth[v]
+        for k in range(self._levels):
+            hasbit = np.flatnonzero((diff >> k) & 1)
+            if hasbit.size:
+                lifted = u[hasbit]
+                best[hasbit] = np.maximum(best[hasbit], mx[k, lifted])
+                u[hasbit] = up[k, lifted]
+        # Lift both endpoints to just below the LCA.
+        neq = u != v
+        for k in range(self._levels - 1, -1, -1):
+            uk = up[k, u]
+            vk = up[k, v]
+            move = np.flatnonzero(neq & (uk != vk) & (uk >= 0) & (vk >= 0))
+            if move.size:
+                best[move] = np.maximum(
+                    best[move], np.maximum(mx[k, u[move]], mx[k, v[move]])
+                )
+                u[move] = uk[move]
+                v[move] = vk[move]
+        last = np.flatnonzero(neq)
+        if last.size:
+            best[last] = np.maximum(
+                best[last], np.maximum(mx[0, u[last]], mx[0, v[last]])
+            )
+        out[active] = best
         return out
+
+    def path_max_many(self, qu: np.ndarray, qv: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`path_max` (alias of :meth:`query_many`)."""
+        return self.query_many(qu, qv)
+
+    def connected_many(self, qu: np.ndarray, qv: np.ndarray) -> np.ndarray:
+        """Batched :meth:`connected`: boolean array aligned with the inputs."""
+        qu = np.asarray(qu, dtype=np.int64).ravel()
+        qv = np.asarray(qv, dtype=np.int64).ravel()
+        if qu.shape != qv.shape:
+            raise GraphError("query arrays must have identical shape")
+        if qu.size and ((qu < 0) | (qu >= self.n) | (qv < 0) | (qv >= self.n)).any():
+            raise GraphError("query vertex out of range")
+        return self.comp[qu] == self.comp[qv]

@@ -100,6 +100,38 @@ class DynamicMSF:
         self._check_vertex(v)
         return self._tree_path(u, v) is not None if u != v else True
 
+    def forest_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Forest edges as ``(u, v, w, edge_id)`` arrays in weight order.
+
+        Sorted by the ``(weight, insertion id)`` total order the forest is
+        maintained under, so position doubles as the forest-local rank —
+        the layout the MSF query service's artifacts use directly.
+        """
+        ids = sorted(self._tree, key=self._key)
+        u = np.array([self._edges[e][0] for e in ids], dtype=np.int64)
+        v = np.array([self._edges[e][1] for e in ids], dtype=np.int64)
+        w = np.array([self._edges[e][2] for e in ids], dtype=np.float64)
+        return u, v, w, np.array(ids, dtype=np.int64)
+
+    def find_edge(self, u: int, v: int, w: float | None = None) -> int | None:
+        """Id of a live edge with endpoints ``{u, v}`` (and weight ``w``).
+
+        Among multiple matches the smallest ``(weight, id)`` key wins;
+        ``None`` when no live edge matches.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        ends = {u, v}
+        best = None
+        for eid, (a, b, ew) in self._edges.items():
+            if {a, b} != ends:
+                continue
+            if w is not None and ew != w:
+                continue
+            if best is None or self._key(eid) < self._key(best):
+                best = eid
+        return best
+
     def __iter__(self) -> Iterator[Tuple[int, Tuple[int, int, float]]]:
         return iter(sorted(self._edges.items()))
 

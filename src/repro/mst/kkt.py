@@ -91,16 +91,16 @@ def _kkt_rec(n, cu, cv, cranks, ceids, rng, stats, depth):
     in_f = np.fromiter((int(e) in f_set for e in ceids), dtype=bool, count=cu.size)
     oracle = ForestPathMax(n, cu[in_f], cv[in_f], cranks[in_f])
 
-    # ---- Step 3: keep F edges + F-light non-sample edges.
+    # ---- Step 3: keep F edges + F-light non-sample edges.  One batched
+    # oracle call filters every candidate at once (no per-query loop).
     keep = in_f.copy()
     cand = np.flatnonzero(~in_f)
-    for i in cand:
-        pm = oracle.path_max(int(cu[i]), int(cv[i]))
+    if cand.size:
+        pm = oracle.query_many(cu[cand], cv[cand])
         # F-light: endpoints disconnected in F, or some F-path edge heavier.
-        if pm == DISCONNECTED or pm > cranks[i]:
-            keep[i] = True
-        else:
-            stats["fheavy_discarded"] += 1
+        light = (pm == DISCONNECTED) | (pm > cranks[cand])
+        keep[cand[light]] = True
+        stats["fheavy_discarded"] += int(cand.size - int(light.sum()))
 
     # ---- Step 4: recurse on the filtered graph.
     chosen.extend(

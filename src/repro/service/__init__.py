@@ -1,0 +1,52 @@
+"""MST query service: compute once, serve many.
+
+The serving layer the ROADMAP's production north star asks for — the
+expensive LLP-Prim/LLP-Boruvka solve becomes a cached, content-addressed
+artifact behind a batched query front-end:
+
+* :mod:`repro.service.artifacts` — content-addressed MSF artifact store
+  (SHA-256 of graph bytes + solver; ``.npz`` persistence with a prebuilt
+  query index; portable JSON dumps).
+* :mod:`repro.service.engine` — vectorized batch answers: connectivity,
+  component id/size, forest weight, minimax-bottleneck paths, and
+  cycle-replacement ("would this edge change the MSF?").
+* :mod:`repro.service.core` — :class:`MSTService`, the scriptable API,
+  with incremental mutations through the dynamic-MSF maintainer.
+* :mod:`repro.service.server` — :class:`AsyncMSTService`, the asyncio
+  front-end with request coalescing, an LRU result cache, and bounded-
+  queue backpressure.
+* :mod:`repro.service.metrics` — operational metrics (latency
+  percentiles, batch histogram, hit rates).
+
+CLI: ``python -m repro serve`` / ``python -m repro query``; see
+``docs/service.md``.
+"""
+
+from repro.service.artifacts import (
+    ArtifactStore,
+    MSFArtifact,
+    build_artifact,
+    graph_fingerprint,
+    load_json_artifact,
+    load_npz_artifact,
+    save_json_artifact,
+)
+from repro.service.core import MSTService
+from repro.service.engine import QUERY_KINDS, QueryEngine
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import AsyncMSTService
+
+__all__ = [
+    "MSTService",
+    "AsyncMSTService",
+    "ArtifactStore",
+    "MSFArtifact",
+    "QueryEngine",
+    "QUERY_KINDS",
+    "ServiceMetrics",
+    "graph_fingerprint",
+    "build_artifact",
+    "save_json_artifact",
+    "load_json_artifact",
+    "load_npz_artifact",
+]

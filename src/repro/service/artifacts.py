@@ -1,0 +1,398 @@
+"""Content-addressed store of precomputed MSF artifacts.
+
+The expensive part of serving MST queries is computing the forest; the
+serving layer therefore treats a solved MSF as a *content-addressed
+artifact*: the SHA-256 fingerprint of the exact graph bytes (vertex count,
+endpoint arrays, weight arrays) plus the algorithm/mode that solved it
+addresses one immutable result.  Any change to the graph, the weights, or
+the solver yields a new fingerprint — invalidation is structural, never a
+guess.
+
+An artifact bundles the forest edges *and* the prebuilt
+:class:`~repro.graphs.tree_queries.ForestPathMax` binary-lifting index, so
+a warm start deserialises straight into a query-ready engine without
+recomputing the MSF or re-running the O(n log n) index build.
+
+Two serialisations:
+
+* ``.npz`` (the store's native format) — full fidelity including the
+  prebuilt index, with a format version for forward invalidation;
+* ``.json`` (the portable offline format written by ``repro mst --save``)
+  — forest edges only; the index is rebuilt on load.
+
+Corrupted or version-incompatible files surface as
+:class:`~repro.errors.ServiceError`; :meth:`ArtifactStore.get_or_compute`
+degrades gracefully by treating them as cache misses and overwriting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.tree_queries import ForestPathMax
+from repro.mst.base import MSTResult
+
+__all__ = [
+    "MSFArtifact",
+    "ArtifactStore",
+    "graph_fingerprint",
+    "artifact_from_result",
+    "build_artifact",
+    "save_json_artifact",
+    "load_json_artifact",
+    "load_npz_artifact",
+]
+
+_FORMAT_VERSION = 1
+_JSON_FORMAT = "repro-msf"
+_FINGERPRINT_SALT = b"repro-msf-artifact-v1"
+
+
+def graph_fingerprint(g: CSRGraph, algorithm: str, mode: str | None = None) -> str:
+    """SHA-256 content address of ``(graph bytes, algorithm, mode)``.
+
+    Hashes the canonical edge arrays byte-exactly, so any change to the
+    vertex count, topology, or weights — and any change of solver — maps
+    to a different address.  Deterministic across processes and platforms
+    (fixed dtypes, little-endian byte order).
+    """
+    h = hashlib.sha256()
+    h.update(_FINGERPRINT_SALT)
+    h.update(str(int(g.n_vertices)).encode())
+    h.update(np.ascontiguousarray(g.edge_u, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(g.edge_v, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
+    h.update(algorithm.encode())
+    h.update((mode or "default").encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class MSFArtifact:
+    """One immutable solved-MSF artifact.
+
+    Forest edges are stored sorted by the graph's weight order, so the
+    *position* of an edge doubles as its local rank: the path-max oracle
+    returns rank ``r`` and ``msf_w[r]`` / ``(msf_u[r], msf_v[r])`` recover
+    the bottleneck weight and edge without any global lookup table.
+    """
+
+    fingerprint: str
+    algorithm: str
+    mode: Optional[str]
+    n_vertices: int
+    msf_u: np.ndarray
+    msf_v: np.ndarray
+    msf_w: np.ndarray
+    msf_edge_ids: np.ndarray
+    total_weight: float
+    n_components: int
+    index: Optional[dict] = field(default=None, repr=False)
+
+    @property
+    def n_forest_edges(self) -> int:
+        """Number of edges in the stored forest."""
+        return int(self.msf_u.size)
+
+    def oracle(self) -> ForestPathMax:
+        """A query-ready path-max oracle over the forest's local ranks.
+
+        Deserialises the prebuilt index when present (warm path); falls
+        back to a fresh build from the forest edges otherwise.
+        """
+        if self.index is not None:
+            return ForestPathMax.from_index(self.n_vertices, **self.index)
+        ranks = np.arange(self.msf_u.size, dtype=np.int64)
+        return ForestPathMax(self.n_vertices, self.msf_u, self.msf_v, ranks)
+
+
+def artifact_from_result(
+    g: CSRGraph,
+    result: MSTResult,
+    algorithm: str,
+    mode: str | None = None,
+    *,
+    build_index: bool = True,
+) -> MSFArtifact:
+    """Package an already-computed :class:`MSTResult` as an artifact.
+
+    Used both by the store (after running the registry algorithm) and by
+    the CLI's ``mst --save`` (which has the result in hand and should not
+    pay for a second solve).
+    """
+    eids = np.asarray(result.edge_ids, dtype=np.int64)
+    order = np.argsort(g.ranks[eids], kind="stable") if eids.size else eids
+    eids = eids[order]
+    fu = g.edge_u[eids].astype(np.int64, copy=True)
+    fv = g.edge_v[eids].astype(np.int64, copy=True)
+    fw = g.edge_w[eids].astype(np.float64, copy=True)
+    index = None
+    if build_index:
+        local = np.arange(eids.size, dtype=np.int64)
+        index = ForestPathMax(g.n_vertices, fu, fv, local).index_arrays()
+    return MSFArtifact(
+        fingerprint=graph_fingerprint(g, algorithm, mode),
+        algorithm=algorithm,
+        mode=mode,
+        n_vertices=g.n_vertices,
+        msf_u=fu,
+        msf_v=fv,
+        msf_w=fw,
+        msf_edge_ids=eids,
+        total_weight=float(result.total_weight),
+        n_components=int(result.n_components),
+        index=index,
+    )
+
+
+def build_artifact(
+    g: CSRGraph,
+    algorithm: str = "kruskal",
+    mode: str | None = None,
+    *,
+    backend=None,
+) -> MSFArtifact:
+    """Solve ``g`` with a registry algorithm and package the artifact."""
+    from repro.mst.registry import get_algorithm
+
+    result = get_algorithm(algorithm, mode=mode)(g, backend=backend)
+    return artifact_from_result(g, result, algorithm, mode)
+
+
+# ----------------------------------------------------------------------
+# Portable JSON artifacts (``repro mst --save`` / ``repro query --artifact``)
+# ----------------------------------------------------------------------
+def save_json_artifact(artifact: MSFArtifact, path: str | Path) -> None:
+    """Write the portable JSON form (forest edges; index rebuilt on load)."""
+    payload = {
+        "format": _JSON_FORMAT,
+        "version": _FORMAT_VERSION,
+        "fingerprint": artifact.fingerprint,
+        "algorithm": artifact.algorithm,
+        "mode": artifact.mode,
+        "n_vertices": artifact.n_vertices,
+        "n_components": artifact.n_components,
+        "total_weight": artifact.total_weight,
+        "edges": [
+            [int(u), int(v), float(w)]
+            for u, v, w in zip(artifact.msf_u, artifact.msf_v, artifact.msf_w)
+        ],
+        "edge_ids": [int(e) for e in artifact.msf_edge_ids],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_json_artifact(path: str | Path) -> MSFArtifact:
+    """Load a ``repro mst --save`` JSON dump as a query-ready artifact."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"cannot read JSON artifact {path}: {exc}") from exc
+    try:
+        if payload["format"] != _JSON_FORMAT:
+            raise ServiceError(f"not an MSF artifact: {path}")
+        if int(payload["version"]) != _FORMAT_VERSION:
+            raise ServiceError(
+                f"unsupported artifact version {payload['version']} in {path}"
+            )
+        edges = payload["edges"]
+        fu = np.array([e[0] for e in edges], dtype=np.int64)
+        fv = np.array([e[1] for e in edges], dtype=np.int64)
+        fw = np.array([e[2] for e in edges], dtype=np.float64)
+        artifact = MSFArtifact(
+            fingerprint=str(payload["fingerprint"]),
+            algorithm=str(payload["algorithm"]),
+            mode=payload.get("mode"),
+            n_vertices=int(payload["n_vertices"]),
+            msf_u=fu,
+            msf_v=fv,
+            msf_w=fw,
+            msf_edge_ids=np.array(payload["edge_ids"], dtype=np.int64),
+            total_weight=float(payload["total_weight"]),
+            n_components=int(payload["n_components"]),
+        )
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise ServiceError(f"corrupted JSON artifact {path}: {exc}") from exc
+    _validate(artifact, path)
+    return artifact
+
+
+def _validate(artifact: MSFArtifact, path) -> None:
+    """Structural sanity of a deserialised artifact (clean errors)."""
+    n, k = artifact.n_vertices, artifact.n_forest_edges
+    if n < 0 or (n == 0 and k > 0) or (n > 0 and k > n - 1):
+        raise ServiceError(f"corrupted artifact {path}: edge count exceeds forest bound")
+    if not (artifact.msf_u.shape == artifact.msf_v.shape == artifact.msf_w.shape):
+        raise ServiceError(f"corrupted artifact {path}: edge arrays disagree")
+    if k and (
+        int(min(artifact.msf_u.min(), artifact.msf_v.min())) < 0
+        or int(max(artifact.msf_u.max(), artifact.msf_v.max())) >= n
+    ):
+        raise ServiceError(f"corrupted artifact {path}: vertex id out of range")
+    if artifact.n_components != n - k:
+        raise ServiceError(f"corrupted artifact {path}: component count inconsistent")
+
+
+# ----------------------------------------------------------------------
+# The on-disk store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Directory-backed content-addressed cache of MSF artifacts.
+
+    Files live at ``<root>/<fingerprint>.npz``; the fingerprint in the
+    file is cross-checked against the file name on load, so a renamed or
+    swapped artifact cannot serve the wrong graph.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_replaced = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """On-disk location of one artifact."""
+        return self.root / f"{fingerprint}.npz"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        g: CSRGraph,
+        algorithm: str = "kruskal",
+        mode: str | None = None,
+        *,
+        backend=None,
+    ) -> tuple[MSFArtifact, bool]:
+        """Serve ``g``'s artifact, computing and persisting it on miss.
+
+        Returns ``(artifact, cache_hit)``.  A corrupted or
+        version-incompatible cached file counts as a miss: it is
+        recomputed and overwritten (graceful degradation), never raised
+        out of this method.
+        """
+        fingerprint = graph_fingerprint(g, algorithm, mode)
+        path = self.path_for(fingerprint)
+        if path.exists():
+            try:
+                artifact = self.load(path, expect_fingerprint=fingerprint)
+                self.hits += 1
+                return artifact, True
+            except ServiceError:
+                self.corrupt_replaced += 1
+        self.misses += 1
+        artifact = build_artifact(g, algorithm, mode, backend=backend)
+        self.save(artifact)
+        return artifact, False
+
+    def put(self, artifact: MSFArtifact) -> Path:
+        """Persist an externally built artifact (e.g. after a mutation)."""
+        return self.save(artifact)
+
+    def save(self, artifact: MSFArtifact) -> Path:
+        """Atomically write one artifact; returns its path."""
+        path = self.path_for(artifact.fingerprint)
+        tmp = path.with_suffix(".tmp.npz")
+        index = artifact.index or {}
+        payload = {
+            "format_version": np.int64(_FORMAT_VERSION),
+            "fingerprint": np.str_(artifact.fingerprint),
+            "algorithm": np.str_(artifact.algorithm),
+            "mode": np.str_(artifact.mode or ""),
+            "n_vertices": np.int64(artifact.n_vertices),
+            "n_components": np.int64(artifact.n_components),
+            "total_weight": np.float64(artifact.total_weight),
+            "msf_u": artifact.msf_u,
+            "msf_v": artifact.msf_v,
+            "msf_w": artifact.msf_w,
+            "msf_edge_ids": artifact.msf_edge_ids,
+            "has_index": np.bool_(artifact.index is not None),
+        }
+        for key, arr in index.items():
+            payload[f"index_{key}"] = arr
+        np.savez_compressed(tmp, **payload)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, path: str | Path, expect_fingerprint: str | None = None) -> MSFArtifact:
+        """Deserialise one ``.npz`` artifact (see :func:`load_npz_artifact`)."""
+        return load_npz_artifact(path, expect_fingerprint)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one cached artifact; True when a file was removed."""
+        path = self.path_for(fingerprint)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def stats(self) -> dict:
+        """Hit/miss/corruption counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_replaced": self.corrupt_replaced,
+        }
+
+
+def load_npz_artifact(
+    path: str | Path, expect_fingerprint: str | None = None
+) -> MSFArtifact:
+    """Deserialise one ``.npz`` artifact.
+
+    Raises :class:`~repro.errors.ServiceError` — never a raw traceback —
+    on truncated files, missing fields, version mismatches, or
+    fingerprint disagreement.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ServiceError(f"unsupported artifact version {version} in {path}")
+            fingerprint = str(data["fingerprint"].item())
+            if expect_fingerprint is not None and fingerprint != expect_fingerprint:
+                raise ServiceError(
+                    f"artifact fingerprint mismatch in {path}: file claims "
+                    f"{fingerprint[:12]}..., expected {expect_fingerprint[:12]}..."
+                )
+            mode = str(data["mode"].item()) or None
+            index = None
+            if bool(data["has_index"]):
+                index = {
+                    key: np.array(data[f"index_{key}"])
+                    for key in ("depth", "comp", "up", "mx")
+                }
+            artifact = MSFArtifact(
+                fingerprint=fingerprint,
+                algorithm=str(data["algorithm"].item()),
+                mode=mode,
+                n_vertices=int(data["n_vertices"]),
+                msf_u=np.array(data["msf_u"], dtype=np.int64),
+                msf_v=np.array(data["msf_v"], dtype=np.int64),
+                msf_w=np.array(data["msf_w"], dtype=np.float64),
+                msf_edge_ids=np.array(data["msf_edge_ids"], dtype=np.int64),
+                total_weight=float(data["total_weight"]),
+                n_components=int(data["n_components"]),
+                index=index,
+            )
+    except ServiceError:
+        raise
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        raise ServiceError(f"corrupted artifact file {path}: {exc}") from exc
+    _validate(artifact, path)
+    return artifact

@@ -1,0 +1,257 @@
+"""`MSTService` — the scriptable compute-once/serve-many front door.
+
+Ties the serving layers together: the content-addressed
+:class:`~repro.service.artifacts.ArtifactStore` (MSF computed at most once
+per graph content), the vectorized
+:class:`~repro.service.engine.QueryEngine` (batched answers), the
+:class:`~repro.service.metrics.ServiceMetrics` recorder, and incremental
+mutation via :class:`~repro.mst.dynamic.DynamicMSF` — an edge insert or
+delete repairs the maintained forest and rebuilds only the O(n log n)
+query index, never re-solving the MSF from scratch.
+
+Typical use::
+
+    from repro.service import MSTService
+
+    svc = MSTService("artifact-cache/", algorithm="llp-boruvka", mode="vectorized")
+    svc.load_graph(g)                    # cold: solve + persist; warm: mmap
+    svc.connected([0, 4, 9], [7, 2, 1])  # batched, vectorized
+    svc.bottleneck(0, 12)                # scalars work too
+    svc.insert_edge(3, 8, 0.25)          # incremental forest repair
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.tree_queries import ForestPathMax
+from repro.mst.dynamic import DynamicMSF
+from repro.service.artifacts import (
+    ArtifactStore,
+    MSFArtifact,
+    build_artifact,
+    graph_fingerprint,
+    load_json_artifact,
+    load_npz_artifact,
+)
+from repro.service.engine import QueryEngine
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["MSTService"]
+
+
+class MSTService:
+    """Query service over precomputed minimum spanning forests."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | str | Path | None = None,
+        *,
+        algorithm: str = "kruskal",
+        mode: str | None = None,
+        backend=None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = ArtifactStore(store)
+        self.store = store
+        self.algorithm = algorithm
+        self.mode = mode
+        self.backend = backend
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._engine: Optional[QueryEngine] = None
+        self._graph: Optional[CSRGraph] = None
+        self._dyn: Optional[DynamicMSF] = None
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_graph(self, g: CSRGraph) -> MSFArtifact:
+        """Serve ``g``: reuse its cached artifact or solve once and persist.
+
+        Without a store the solve always happens in process (the graceful
+        no-persistence degradation); with one, a warm hit deserialises the
+        forest and its prebuilt index without touching the MST registry.
+        """
+        if self.store is not None:
+            artifact, hit = self.store.get_or_compute(
+                g, self.algorithm, self.mode, backend=self.backend
+            )
+        else:
+            artifact = build_artifact(g, self.algorithm, self.mode, backend=self.backend)
+            hit = False
+        self.metrics.record_artifact(hit)
+        self._graph = g
+        self._dyn = None
+        self._engine = QueryEngine(artifact, backend=self.backend)
+        return artifact
+
+    def load_artifact(self, path: str | Path) -> MSFArtifact:
+        """Serve a saved artifact file (offline mode; no graph needed).
+
+        Accepts both the store's ``.npz`` format and the portable JSON
+        written by ``repro mst --save``.  Mutations are unavailable in
+        offline mode (the non-tree edges are not part of an artifact).
+        """
+        path = Path(path)
+        if path.suffix.lower() == ".json":
+            artifact = load_json_artifact(path)
+        else:
+            artifact = load_npz_artifact(path)
+        self.metrics.record_artifact(True)
+        self._graph = None
+        self._dyn = None
+        self._engine = QueryEngine(artifact, backend=self.backend)
+        return artifact
+
+    def ensure_ready(self) -> QueryEngine:
+        """The live engine, synchronously (re)building it when required.
+
+        This is the degradation path the async front-end leans on: a
+        query arriving after an artifact invalidation triggers an inline
+        recompute instead of an error.
+        """
+        if self._engine is None:
+            if self._graph is None:
+                raise ServiceError("no graph or artifact loaded; call load_graph first")
+            self.load_graph(self._graph)
+        return self._engine
+
+    @property
+    def artifact(self) -> MSFArtifact:
+        """The currently served artifact."""
+        return self.ensure_ready().artifact
+
+    def invalidate(self) -> None:
+        """Drop the live engine (next query rebuilds via :meth:`ensure_ready`)."""
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Queries — scalars or array-likes in, matching shape out
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _descalar(value, scalar: bool):
+        return value[0].item() if scalar and np.ndim(value) else value
+
+    def _timed(self, kind: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        self.metrics.record_query(kind, time.perf_counter() - t0)
+        return out
+
+    def connected(self, us, vs):
+        """Same-tree test; scalar in scalar out, batch in batch out."""
+        scalar = np.ndim(us) == 0
+        out = self._timed("connected", lambda: self.ensure_ready().connected_many(us, vs))
+        return bool(out[0]) if scalar else out
+
+    def component_id(self, vs):
+        """Component label (least vertex id in the tree)."""
+        scalar = np.ndim(vs) == 0
+        out = self._timed("component", lambda: self.ensure_ready().component_id_many(vs))
+        return self._descalar(out, scalar)
+
+    def component_size(self, vs):
+        """Number of vertices in each queried vertex's tree."""
+        scalar = np.ndim(vs) == 0
+        out = self._timed(
+            "component_size", lambda: self.ensure_ready().component_size_many(vs)
+        )
+        return self._descalar(out, scalar)
+
+    def bottleneck(self, us, vs):
+        """Minimax path weight (``inf`` across components, ``0.0`` for u==v)."""
+        scalar = np.ndim(us) == 0
+        out = self._timed("bottleneck", lambda: self.ensure_ready().bottleneck_many(us, vs))
+        return self._descalar(out, scalar)
+
+    def would_change_msf(self, us, vs, ws):
+        """Cycle-replacement test: would inserting ``(u, v, w)`` change the MSF?"""
+        scalar = np.ndim(us) == 0
+        out = self._timed(
+            "replacement", lambda: self.ensure_ready().replacement_many(us, vs, ws)
+        )
+        return bool(out[0]) if scalar else out
+
+    def total_weight(self) -> float:
+        """Total weight of the served forest."""
+        return self._timed("weight", lambda: self.ensure_ready().total_weight())
+
+    # ------------------------------------------------------------------
+    # Mutation — incremental artifact/index refresh via DynamicMSF
+    # ------------------------------------------------------------------
+    def _require_dynamic(self) -> DynamicMSF:
+        if self._graph is None:
+            raise ServiceError(
+                "mutations need the full edge set; load a graph (not an offline artifact)"
+            )
+        if self._dyn is None:
+            self._dyn = DynamicMSF.from_graph(self._graph)
+        return self._dyn
+
+    def insert_edge(self, u: int, v: int, w: float) -> int:
+        """Insert an edge; the forest and index update incrementally.
+
+        Returns the edge's id in the dynamic edge store.  The maintained
+        forest is repaired in O(n) (cycle property swap) and only the
+        query index is rebuilt — the MSF is never re-solved.
+        """
+        dyn = self._require_dynamic()
+        eid = dyn.insert_edge(int(u), int(v), float(w))
+        self._refresh_from_dynamic()
+        return eid
+
+    def delete_edge(self, u: int, v: int, w: float | None = None) -> None:
+        """Delete a live edge by endpoints (and optional exact weight).
+
+        Raises :class:`~repro.errors.ServiceError` when no live edge
+        matches.  Tree-edge deletions promote the lightest replacement
+        across the cut (cut property), again without re-solving.
+        """
+        dyn = self._require_dynamic()
+        eid = dyn.find_edge(int(u), int(v), w)
+        if eid is None:
+            raise ServiceError(f"no live edge between {u} and {v}" +
+                               (f" with weight {w}" if w is not None else ""))
+        dyn.delete_edge(eid)
+        self._refresh_from_dynamic()
+
+    def _refresh_from_dynamic(self) -> None:
+        """Rebuild engine + artifact from the maintained forest (no solve)."""
+        t0 = time.perf_counter()
+        dyn = self._dyn
+        fu, fv, fw, feids = dyn.forest_arrays()
+        local = np.arange(fu.size, dtype=np.int64)
+        index = ForestPathMax(dyn.n_vertices, fu, fv, local).index_arrays()
+        snapshot = dyn.snapshot()
+        self._graph = snapshot
+        artifact = MSFArtifact(
+            fingerprint=graph_fingerprint(snapshot, self.algorithm, self.mode),
+            algorithm=self.algorithm,
+            mode=self.mode,
+            n_vertices=dyn.n_vertices,
+            msf_u=fu,
+            msf_v=fv,
+            msf_w=fw,
+            msf_edge_ids=feids,
+            total_weight=float(fw.sum()) if fw.size else 0.0,
+            n_components=dyn.n_components,
+            index=index,
+        )
+        if self.store is not None:
+            self.store.put(artifact)
+        self._engine = QueryEngine(artifact, backend=self.backend)
+        self.metrics.record_query("mutation", time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def save_artifact_json(self, path: str | Path) -> None:
+        """Write the served artifact in the portable JSON form."""
+        from repro.service.artifacts import save_json_artifact
+
+        save_json_artifact(self.artifact, path)

@@ -1,0 +1,137 @@
+"""Service-side observability: latency percentiles, batch sizes, hit rates.
+
+The :mod:`repro.runtime.metrics` trace model accounts *algorithmic* work
+(abstract units per round) so the modelled-speedup figures stay honest.  A
+serving layer needs a second, operational view: how long queries take end
+to end, how well the coalescer is batching, and how often the caches save
+work.  :class:`ServiceMetrics` collects exactly that — cheap enough to be
+always on, with bounded memory (per-kind latency reservoirs).
+
+Latency percentiles are computed over a sliding reservoir of the most
+recent samples; batch sizes aggregate into power-of-two buckets, the
+conventional shape for coalescing histograms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+_DEFAULT_RESERVOIR = 8192
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class ServiceMetrics:
+    """Counters and reservoirs for one service instance."""
+
+    def __init__(self, reservoir: int = _DEFAULT_RESERVOIR) -> None:
+        if reservoir <= 0:
+            raise ValueError("reservoir must be positive")
+        self._reservoir = int(reservoir)
+        self._latency: Dict[str, Deque[float]] = defaultdict(
+            lambda: deque(maxlen=self._reservoir)
+        )
+        self._query_counts: Dict[str, int] = defaultdict(int)
+        self._batch_buckets: Dict[int, int] = defaultdict(int)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_query(self, kind: str, latency_s: float) -> None:
+        """Record one answered query of ``kind`` with its end-to-end latency."""
+        self._latency[kind].append(float(latency_s))
+        self._query_counts[kind] += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one coalesced batch execution of ``size`` queries."""
+        if size <= 0:
+            return
+        self._batch_buckets[1 << int(size - 1).bit_length()] += 1
+
+    def record_cache(self, hit: bool) -> None:
+        """Record a hot-result cache lookup."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def record_artifact(self, hit: bool) -> None:
+        """Record an artifact-store lookup (hit = served from disk cache)."""
+        if hit:
+            self.artifact_hits += 1
+        else:
+            self.artifact_misses += 1
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def latency_percentiles(self, kind: str) -> Dict[str, float]:
+        """p50/p90/p99 latency (seconds) for one query kind."""
+        samples = self._latency.get(kind)
+        if not samples:
+            return {}
+        arr = np.fromiter(samples, dtype=np.float64, count=len(samples))
+        values = np.percentile(arr, _PERCENTILES)
+        return {f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)}
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """Coalesced batch sizes bucketed to the next power of two."""
+        return dict(sorted(self._batch_buckets.items()))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hot-result cache hit fraction (0.0 when never consulted)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        """All metrics as one plain dict (JSON-serialisable)."""
+        return {
+            "queries": {
+                kind: {
+                    "count": self._query_counts[kind],
+                    **self.latency_percentiles(kind),
+                }
+                for kind in sorted(self._query_counts)
+            },
+            "batch_histogram": {str(k): v for k, v in self.batch_histogram().items()},
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "artifacts": {
+                "hits": self.artifact_hits,
+                "misses": self.artifact_misses,
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable metrics report."""
+        lines = ["service metrics"]
+        for kind in sorted(self._query_counts):
+            pct = self.latency_percentiles(kind)
+            pct_txt = "  ".join(f"{k}={v * 1e6:.0f}us" for k, v in pct.items())
+            lines.append(
+                f"  {kind:<14} n={self._query_counts[kind]:<8} {pct_txt}"
+            )
+        hist = self.batch_histogram()
+        if hist:
+            buckets = "  ".join(f"<={k}:{v}" for k, v in hist.items())
+            lines.append(f"  batches        {buckets}")
+        lines.append(
+            f"  result cache   hits={self.cache_hits} misses={self.cache_misses} "
+            f"rate={self.cache_hit_rate:.1%}"
+        )
+        lines.append(
+            f"  artifact store hits={self.artifact_hits} misses={self.artifact_misses}"
+        )
+        return "\n".join(lines)

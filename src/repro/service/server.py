@@ -1,0 +1,191 @@
+"""Asyncio front-end: request coalescing, result cache, backpressure.
+
+The batched engine answers thousands of pairs per NumPy call, but traffic
+arrives one query at a time.  :class:`AsyncMSTService` closes that gap the
+way high-QPS serving tiers do:
+
+* **coalescing** — incoming requests land on a queue; a single worker
+  drains up to ``max_batch`` of them (waiting at most ``max_delay_s`` for
+  stragglers) and executes one vectorized batch per query kind;
+* **hot-result LRU cache** — repeat queries short-circuit before they
+  ever reach the queue;
+* **bounded queue with backpressure** — producers ``await`` when the
+  queue is full instead of growing memory without bound;
+* **graceful degradation** — if the underlying artifact was invalidated,
+  the batch worker synchronously recomputes via
+  :meth:`~repro.service.core.MSTService.ensure_ready` rather than failing
+  the requests.
+
+Per-request end-to-end latency (``serve:<kind>``), batch sizes, and cache
+hit rates land in the service's :class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service.core import MSTService
+from repro.service.engine import QUERY_KINDS
+
+__all__ = ["AsyncMSTService"]
+
+_STOP = object()
+
+
+class AsyncMSTService:
+    """Coalescing async wrapper around one :class:`MSTService`."""
+
+    def __init__(
+        self,
+        service: MSTService,
+        *,
+        max_batch: int = 256,
+        max_delay_s: float = 0.002,
+        max_pending: int = 1024,
+        cache_size: int = 4096,
+    ) -> None:
+        if max_batch <= 0 or max_pending <= 0:
+            raise ServiceError("max_batch and max_pending must be positive")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=int(max_pending))
+        self._cache: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._cache_size = int(cache_size)
+        self._worker: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the batch worker (idempotent)."""
+        if self._worker is None or self._worker.done():
+            self._worker = asyncio.create_task(self._drain_forever())
+
+    async def stop(self) -> None:
+        """Flush pending requests and stop the worker."""
+        if self._worker is None:
+            return
+        await self._queue.put(_STOP)
+        await self._worker
+        self._worker = None
+
+    async def __aenter__(self) -> "AsyncMSTService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def metrics(self):
+        """The shared service metrics recorder."""
+        return self.service.metrics
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (cache hits never queue)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # Query entry point
+    # ------------------------------------------------------------------
+    async def query(self, kind: str, u: int | None = None, v: int | None = None,
+                    w: float | None = None):
+        """Answer one query, transparently batched with concurrent callers.
+
+        ``kind`` is one of ``connected``, ``component``, ``component_size``,
+        ``bottleneck``, ``replacement``, ``weight``.  Awaiting may block on
+        queue backpressure when the service is saturated.
+        """
+        if kind not in QUERY_KINDS:
+            raise ServiceError(
+                f"unknown query kind {kind!r}; supported: {', '.join(QUERY_KINDS)}"
+            )
+        if self._worker is None or self._worker.done():
+            raise ServiceError("service not started; use 'async with' or await start()")
+        key = (kind, u, v, w)
+        cached = self._cache.get(key, _STOP)
+        if cached is not _STOP:
+            self._cache.move_to_end(key)
+            self.metrics.record_cache(True)
+            self.metrics.record_query(f"serve:{kind}", 0.0)
+            return cached
+        self.metrics.record_cache(False)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((key, future, time.perf_counter()))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Batch worker
+    # ------------------------------------------------------------------
+    async def _drain_forever(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.max_delay_s
+            stop_after = False
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    timeout = deadline - time.perf_counter()
+                    if timeout <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(self._queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+            self._execute(batch)
+            if stop_after:
+                return
+
+    def _execute(self, batch: List[Tuple]) -> None:
+        """Run one coalesced batch: group by kind, one vectorized call each."""
+        self.metrics.record_batch(len(batch))
+        try:
+            engine = self.service.ensure_ready()
+        except ServiceError as exc:
+            for _, future, _ in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        groups: Dict[str, List[Tuple]] = {}
+        for item in batch:
+            groups.setdefault(item[0][0], []).append(item)
+        for kind, items in groups.items():
+            us = [it[0][1] if it[0][1] is not None else 0 for it in items]
+            vs = [it[0][2] if it[0][2] is not None else 0 for it in items]
+            ws = [it[0][3] if it[0][3] is not None else 0.0 for it in items]
+            try:
+                results = engine.execute(kind, us, vs, ws)
+            except Exception as exc:  # surface per-request, never kill the worker
+                for _, future, _ in items:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            now = time.perf_counter()
+            for (key, future, t0), value in zip(items, np.asarray(results)):
+                out = value.item() if isinstance(value, np.generic) else value
+                self._remember(key, out)
+                self.metrics.record_query(f"serve:{key[0]}", now - t0)
+                if not future.done():
+                    future.set_result(out)
+
+    def _remember(self, key: Tuple, value) -> None:
+        self._cache[key] = value
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)

@@ -112,6 +112,70 @@ def test_path_max_many():
     assert out.tolist() == [9, 2, -1]
 
 
+def test_query_many_mixed_batch():
+    o = ForestPathMax(6, [0, 1, 2, 4], [1, 2, 3, 5], [5, 2, 9, 1])
+    out = o.query_many([0, 3, 0, 4, 5], [3, 0, 4, 5, 5])
+    assert out.tolist() == [9, 9, DISCONNECTED, 1, -1]
+    assert o.connected_many([0, 0, 4], [3, 4, 5]).tolist() == [True, False, True]
+
+
+def test_query_many_empty_batch():
+    o = ForestPathMax(3, [0], [1], [4])
+    assert o.query_many([], []).size == 0
+    assert o.connected_many([], []).size == 0
+
+
+def test_query_many_rejects_bad_input():
+    o = ForestPathMax(3, [0], [1], [4])
+    with pytest.raises(GraphError):
+        o.query_many([0, 1], [2])
+    with pytest.raises(GraphError):
+        o.query_many([0], [7])
+    with pytest.raises(GraphError):
+        o.connected_many([-1], [0])
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_query_many_matches_scalar_on_random_forests(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 60))
+    fu, fv, frank = [], [], []
+    rank = 0
+    for v in range(1, n):
+        if rng.random() < 0.75:
+            fu.append(int(rng.integers(0, v)))
+            fv.append(v)
+            frank.append(rank)
+            rank += 1
+    o = ForestPathMax(n, fu, fv, frank)
+    qu = rng.integers(0, n, size=80)
+    qv = rng.integers(0, n, size=80)
+    batched = o.query_many(qu, qv)
+    for i in range(qu.size):
+        assert batched[i] == o.path_max(int(qu[i]), int(qv[i]))
+
+
+def test_from_index_round_trip():
+    o = ForestPathMax(5, [0, 1, 3], [1, 2, 4], [3, 1, 8])
+    idx = o.index_arrays()
+    o2 = ForestPathMax.from_index(5, **idx)
+    qu = [0, 2, 3, 0]
+    qv = [2, 0, 4, 3]
+    assert o2.query_many(qu, qv).tolist() == o.query_many(qu, qv).tolist()
+
+
+def test_from_index_rejects_malformed():
+    o = ForestPathMax(4, [0, 1], [1, 2], [1, 2])
+    idx = o.index_arrays()
+    with pytest.raises(GraphError):
+        ForestPathMax.from_index(3, **idx)
+    with pytest.raises(GraphError):
+        ForestPathMax.from_index(
+            4, idx["depth"], idx["comp"], idx["up"][:, :2], idx["mx"]
+        )
+
+
 def test_deep_chain_lifting():
     n = 300
     o = ForestPathMax(n, list(range(n - 1)), list(range(1, n)), list(range(n - 1)))

@@ -1,0 +1,1 @@
+"""MST query service tests."""

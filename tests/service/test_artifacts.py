@@ -1,0 +1,214 @@
+"""Artifact store: hash stability, disk round-trips, invalidation, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph
+from repro.mst.kruskal import kruskal
+from repro.service.artifacts import (
+    ArtifactStore,
+    artifact_from_result,
+    build_artifact,
+    graph_fingerprint,
+    load_json_artifact,
+    load_npz_artifact,
+    save_json_artifact,
+)
+
+EDGES = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (3, 4, 0.5)]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_stable_across_rebuilds():
+    a = graph_fingerprint(from_edges(EDGES), "kruskal")
+    b = graph_fingerprint(from_edges(list(EDGES)), "kruskal")
+    assert a == b and len(a) == 64
+
+
+def test_fingerprint_changes_with_graph_weights_and_algorithm():
+    g = from_edges(EDGES)
+    base = graph_fingerprint(g, "kruskal")
+    heavier = from_edges([(0, 1, 1.5)] + EDGES[1:])
+    extra = from_edges(EDGES + [(2, 3, 4.0)])
+    assert graph_fingerprint(heavier, "kruskal") != base
+    assert graph_fingerprint(extra, "kruskal") != base
+    assert graph_fingerprint(g, "boruvka") != base
+    assert graph_fingerprint(g, "kruskal", "vectorized") != base
+
+
+def test_fingerprint_stable_across_store_instances(tmp_path):
+    g = gnm_random_graph(60, 120, seed=4)
+    s1 = ArtifactStore(tmp_path)
+    art1, hit1 = s1.get_or_compute(g)
+    s2 = ArtifactStore(tmp_path)
+    art2, hit2 = s2.get_or_compute(g)
+    assert (not hit1) and hit2
+    assert art1.fingerprint == art2.fingerprint
+    assert np.array_equal(art1.msf_edge_ids, art2.msf_edge_ids)
+
+
+# ----------------------------------------------------------------------
+# Persistence round-trips
+# ----------------------------------------------------------------------
+def test_npz_round_trip_preserves_everything(tmp_path):
+    g = gnm_random_graph(80, 200, seed=7)
+    store = ArtifactStore(tmp_path / "store")
+    art, _ = store.get_or_compute(g, "kruskal")
+    loaded = store.load(store.path_for(art.fingerprint), art.fingerprint)
+    assert loaded.fingerprint == art.fingerprint
+    assert loaded.algorithm == "kruskal"
+    assert loaded.n_vertices == art.n_vertices
+    assert loaded.n_components == art.n_components
+    assert loaded.total_weight == pytest.approx(art.total_weight)
+    assert np.array_equal(loaded.msf_u, art.msf_u)
+    assert np.array_equal(loaded.msf_w, art.msf_w)
+    assert loaded.index is not None  # prebuilt index survives the trip
+    for key in ("depth", "comp", "up", "mx"):
+        assert np.array_equal(loaded.index[key], art.index[key])
+
+
+def test_cache_hit_after_reload_from_disk(tmp_path, monkeypatch):
+    g = gnm_random_graph(50, 100, seed=1)
+    store = ArtifactStore(tmp_path)
+    store.get_or_compute(g)
+    # A fresh store over the same directory must serve from disk without
+    # ever invoking an MST algorithm.
+    import repro.service.artifacts as artifacts_mod
+
+    def boom(*a, **kw):  # pragma: no cover - would mean a cache miss
+        raise AssertionError("cache miss: recomputed on a warm store")
+
+    monkeypatch.setattr(artifacts_mod, "build_artifact", boom)
+    warm = ArtifactStore(tmp_path)
+    art, hit = warm.get_or_compute(g)
+    assert hit and warm.hits == 1 and warm.misses == 0
+    assert art.total_weight == pytest.approx(kruskal(g).total_weight)
+
+
+def test_invalidation_on_any_input_change(tmp_path):
+    store = ArtifactStore(tmp_path)
+    g = from_edges(EDGES)
+    store.get_or_compute(g, "kruskal")
+    # different weights / topology / algorithm each miss the cache
+    for other, algo in [
+        (from_edges([(0, 1, 1.25)] + EDGES[1:]), "kruskal"),
+        (from_edges(EDGES + [(2, 4, 9.0)]), "kruskal"),
+        (g, "boruvka"),
+    ]:
+        _, hit = store.get_or_compute(other, algo)
+        assert not hit
+
+
+def test_explicit_invalidate_drops_file(tmp_path):
+    store = ArtifactStore(tmp_path)
+    g = from_edges(EDGES)
+    art, _ = store.get_or_compute(g)
+    assert art.fingerprint in store
+    assert store.invalidate(art.fingerprint)
+    assert art.fingerprint not in store
+    assert not store.invalidate(art.fingerprint)
+    _, hit = store.get_or_compute(g)
+    assert not hit
+
+
+# ----------------------------------------------------------------------
+# Corruption and version handling
+# ----------------------------------------------------------------------
+def test_corrupted_npz_raises_clean_service_error(tmp_path):
+    store = ArtifactStore(tmp_path)
+    art, _ = store.get_or_compute(from_edges(EDGES))
+    path = store.path_for(art.fingerprint)
+    path.write_bytes(b"this is not an npz file at all")
+    with pytest.raises(ServiceError, match="corrupted artifact"):
+        store.load(path)
+
+
+def test_truncated_npz_raises_clean_service_error(tmp_path):
+    store = ArtifactStore(tmp_path)
+    art, _ = store.get_or_compute(gnm_random_graph(40, 80, seed=2))
+    path = store.path_for(art.fingerprint)
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    with pytest.raises(ServiceError):
+        store.load(path)
+
+
+def test_fingerprint_mismatch_rejected(tmp_path):
+    store = ArtifactStore(tmp_path)
+    art, _ = store.get_or_compute(from_edges(EDGES))
+    with pytest.raises(ServiceError, match="fingerprint mismatch"):
+        store.load(store.path_for(art.fingerprint), expect_fingerprint="0" * 64)
+
+
+def test_corrupted_cache_degrades_to_recompute(tmp_path):
+    store = ArtifactStore(tmp_path)
+    g = from_edges(EDGES)
+    art, _ = store.get_or_compute(g)
+    store.path_for(art.fingerprint).write_bytes(b"garbage")
+    again, hit = store.get_or_compute(g)  # silently replaced, never raises
+    assert not hit
+    assert store.corrupt_replaced == 1
+    assert again.total_weight == pytest.approx(art.total_weight)
+    # the overwritten file is healthy again
+    _, hit = store.get_or_compute(g)
+    assert hit
+
+
+def test_version_mismatch_is_service_error(tmp_path, monkeypatch):
+    import repro.service.artifacts as artifacts_mod
+
+    store = ArtifactStore(tmp_path)
+    art, _ = store.get_or_compute(from_edges(EDGES))
+    monkeypatch.setattr(artifacts_mod, "_FORMAT_VERSION", 999)
+    with pytest.raises(ServiceError, match="version"):
+        store.load(store.path_for(art.fingerprint))
+
+
+# ----------------------------------------------------------------------
+# Portable JSON artifacts
+# ----------------------------------------------------------------------
+def test_json_round_trip(tmp_path):
+    g = gnm_random_graph(40, 90, seed=3)
+    art = build_artifact(g, "kruskal")
+    path = tmp_path / "msf.json"
+    save_json_artifact(art, path)
+    loaded = load_json_artifact(path)
+    assert loaded.fingerprint == art.fingerprint
+    assert loaded.n_components == art.n_components
+    assert np.array_equal(loaded.msf_u, art.msf_u)
+    assert loaded.total_weight == pytest.approx(art.total_weight)
+    # JSON drops the index; the oracle is rebuilt on demand
+    assert loaded.index is None
+    assert loaded.oracle().path_max(0, 0) == -1
+
+
+def test_json_corruption_raises_service_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ServiceError):
+        load_json_artifact(path)
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ServiceError):
+        load_json_artifact(path)
+    path.write_text('{"format": "repro-msf", "version": 99}')
+    with pytest.raises(ServiceError, match="version"):
+        load_json_artifact(path)
+
+
+def test_artifact_local_rank_layout():
+    g = from_edges(EDGES)
+    art = artifact_from_result(g, kruskal(g), "kruskal")
+    # stored forest edges are sorted by weight, so position == local rank
+    assert list(art.msf_w) == sorted(art.msf_w)
+    assert art.n_forest_edges == 3
+    assert art.n_components == 2
+
+
+def test_npz_offline_load_without_store(tmp_path):
+    store = ArtifactStore(tmp_path)
+    art, _ = store.get_or_compute(from_edges(EDGES))
+    loaded = load_npz_artifact(store.path_for(art.fingerprint))
+    assert loaded.fingerprint == art.fingerprint

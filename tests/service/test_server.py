@@ -1,0 +1,148 @@
+"""Asyncio front-end: coalescing, LRU cache, backpressure, degradation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.generators import gnm_random_graph
+from repro.mst.kruskal import kruskal
+from repro.service.artifacts import ArtifactStore
+from repro.service.core import MSTService
+from repro.service.server import AsyncMSTService
+
+
+def _run(coro):
+    """Drive one coroutine to completion on a fresh event loop."""
+    return asyncio.run(coro)
+
+
+def _service(tmp_path, n=80, m=180, seed=3):
+    svc = MSTService(ArtifactStore(tmp_path))
+    g = gnm_random_graph(n, m, seed=seed)
+    svc.load_graph(g)
+    return svc, g
+
+
+def test_concurrent_queries_coalesce_into_batches(tmp_path):
+    svc, g = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, max_batch=64, max_delay_s=0.01) as srv:
+            pairs = [(i % 80, (i * 7) % 80) for i in range(100)]
+            return await asyncio.gather(
+                *(srv.query("bottleneck", u, v) for u, v in pairs)
+            ), pairs
+
+    results, pairs = _run(main())
+    engine = svc.ensure_ready()
+    expect = engine.bottleneck_many([u for u, _ in pairs], [v for _, v in pairs])
+    assert np.allclose(results, expect)
+    hist = svc.metrics.summary()["batch_histogram"]
+    assert max(int(k) for k in hist) > 1  # at least one multi-request batch
+
+
+def test_repeat_query_hits_lru_cache(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            a = await srv.query("connected", 0, 1)
+            b = await srv.query("connected", 0, 1)
+            return a, b
+
+    a, b = _run(main())
+    assert a == b
+    s = svc.metrics.summary()["cache"]
+    assert s["hits"] == 1 and s["misses"] == 1  # second call never queued
+
+
+def test_lru_cache_evicts_oldest(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, cache_size=2) as srv:
+            await srv.query("component", 0)
+            await srv.query("component", 1)
+            await srv.query("component", 2)  # evicts the (component, 0) entry
+            await srv.query("component", 0)
+            return svc.metrics.summary()["cache"]
+
+    s = _run(main())
+    assert s["hits"] == 0 and s["misses"] == 4
+
+
+def test_backpressure_bounds_queue(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        srv = AsyncMSTService(svc, max_pending=4, max_delay_s=0.001)
+        # Not started: puts would block forever, so query() refuses instead.
+        with pytest.raises(ServiceError, match="not started"):
+            await srv.query("connected", 0, 1)
+        async with srv:
+            assert srv.pending <= 4
+            out = await asyncio.gather(
+                *(srv.query("component", i % 80) for i in range(200))
+            )
+            assert len(out) == 200
+        return True
+
+    assert _run(main())
+
+
+def test_unknown_kind_and_per_request_errors(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            with pytest.raises(ServiceError, match="unknown query kind"):
+                await srv.query("nonsense", 0, 1)
+            # out-of-range vertex fails its own request but not the worker
+            with pytest.raises(Exception):
+                await srv.query("connected", 0, 10**9)
+            return await srv.query("connected", 0, 0)
+
+    assert _run(main()) is True
+
+
+def test_graceful_degradation_recomputes_after_invalidate(tmp_path):
+    svc, g = _service(tmp_path)
+    expect = kruskal(g).total_weight
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            svc.invalidate()  # drops the engine; worker must rebuild inline
+            return await srv.query("weight")
+
+    assert _run(main()) == pytest.approx(expect)
+
+
+def test_stop_flushes_pending_requests(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        srv = AsyncMSTService(svc, max_delay_s=0.05)
+        await srv.start()
+        futs = [asyncio.ensure_future(srv.query("component", i)) for i in range(10)]
+        await asyncio.sleep(0)  # let the puts land
+        await srv.stop()
+        return await asyncio.gather(*futs)
+
+    out = _run(main())
+    assert len(out) == 10 and all(isinstance(x, int) for x in out)
+
+
+def test_serve_latency_metrics_recorded(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            for _ in range(5):
+                await srv.query("bottleneck", 1, 2)
+
+    _run(main())
+    pct = svc.metrics.latency_percentiles("serve:bottleneck")
+    assert pct and pct["p99"] >= pct["p50"] >= 0.0
+    assert svc.metrics.summary()["queries"]["serve:bottleneck"]["count"] == 5

@@ -89,3 +89,83 @@ def test_profile_parallel_algo(capsys):
     assert main(["profile", "--algo", "llp-boruvka", "--scale", "8",
                  "--workers", "4"]) == 0
     assert "llp-boruvka" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Service subcommands: mst --save, query, serve
+# ----------------------------------------------------------------------
+def test_mst_save_then_query_artifact(tmp_path, capsys):
+    art = tmp_path / "msf.json"
+    assert main(["mst", "--dataset", "usa-road", "--scale", "7",
+                 "--save", str(art)]) == 0
+    assert "saved:" in capsys.readouterr().out
+    assert art.exists()
+    assert main(["query", "--artifact", str(art),
+                 "--type", "connected", "--pairs", "0:1,0:5"]) == 0
+    out = capsys.readouterr().out
+    assert "artifact:" in out
+    assert out.count("connected") == 2
+
+
+def test_query_on_dataset_all_kinds(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    for args in (
+        ["--type", "bottleneck", "--pairs", "0:7,3:3"],
+        ["--type", "component", "--vertices", "0,1,2"],
+        ["--type", "component_size", "--vertices", "0"],
+        ["--type", "replacement", "--edges", "0:7:0.001"],
+        ["--type", "weight"],
+    ):
+        assert main(["query", "--dataset", "usa-road", "--scale", "7",
+                     "--store", store] + args) == 0
+        assert "->" in capsys.readouterr().out
+    # everything after the first call hit the artifact cache on disk
+    from pathlib import Path
+
+    assert len(list(Path(store).glob("*.npz"))) == 1
+
+
+def test_query_missing_args_fail_cleanly(capsys):
+    assert main(["query", "--dataset", "usa-road", "--scale", "7",
+                 "--type", "bottleneck"]) == 2
+    assert "needs --pairs" in capsys.readouterr().err
+    assert main(["query", "--artifact", "/nonexistent/x.json",
+                 "--type", "weight"]) == 2
+    assert "cannot read" in capsys.readouterr().err.lower()
+
+
+def test_serve_round_trip(tmp_path, capsys):
+    queries = tmp_path / "q.jsonl"
+    queries.write_text(
+        '{"op": "connected", "u": 0, "v": 1}\n'
+        '{"op": "weight"}\n'
+        '{"op": "bottleneck", "u": 0, "v": 1}\n'
+    )
+    assert main(["serve", "--dataset", "usa-road", "--scale", "7",
+                 "--store", str(tmp_path / "store"),
+                 "--queries", str(queries), "--metrics"]) == 0
+    captured = capsys.readouterr()
+    lines = [json.loads(x) for x in captured.out.strip().splitlines()]
+    assert len(lines) == 3
+    assert lines[0]["op"] == "connected"
+    assert isinstance(lines[1]["result"], float)
+    assert "serving" in captured.err and "cold" in captured.err
+    assert "batch" in captured.err  # --metrics report
+
+    # second run over the same store is a warm load
+    assert main(["serve", "--dataset", "usa-road", "--scale", "7",
+                 "--store", str(tmp_path / "store"),
+                 "--queries", str(queries)]) == 0
+    assert "warm" in capsys.readouterr().err
+
+
+def test_serve_reports_bad_query_line_without_dying(tmp_path, capsys):
+    queries = tmp_path / "q.jsonl"
+    queries.write_text('{"op": "nonsense"}\n{"op": "weight"}\n')
+    # per-request errors are reported inline; the server keeps serving
+    assert main(["serve", "--dataset", "usa-road", "--scale", "7",
+                 "--store", str(tmp_path / "store"),
+                 "--queries", str(queries)]) == 0
+    lines = [json.loads(x) for x in capsys.readouterr().out.strip().splitlines()]
+    assert "unknown query kind" in lines[0]["error"]
+    assert isinstance(lines[1]["result"], float)
