@@ -1,0 +1,76 @@
+"""Differential-oracle, shrinking, fault-injection, and schedule checking.
+
+The checking harness is the repository's executable correctness
+argument.  :mod:`repro.checking.families` generates adversarial graphs,
+:mod:`repro.checking.oracle` differentially tests every registered
+algorithm x mode x backend cell against the Kruskal oracle,
+:mod:`repro.checking.shrink` delta-debugs any mismatch down to a
+hand-checkable counterexample and emits a ready-to-paste pytest repro,
+:mod:`repro.checking.faults` injects deterministic faults into the
+serving layer, and :mod:`repro.checking.schedules` attacks the "any
+order" convergence claims with adversarial schedules.  ``repro check``
+drives all of it from the command line.
+"""
+
+from repro.checking.families import FAMILIES, GraphCase, generate_case, iter_cases
+from repro.checking.faults import (
+    FAULT_KINDS,
+    FaultReport,
+    check_artifact_degradation,
+    check_mid_batch_cancellation,
+    check_serve_malformed,
+    corrupt_artifact,
+    run_fault_suite,
+)
+from repro.checking.oracle import (
+    BROKEN_ALGORITHM_NAME,
+    CheckReport,
+    Mismatch,
+    broken_max_forest,
+    check_one,
+    classify_result,
+    run_matrix,
+)
+from repro.checking.schedules import (
+    AdversarialScheduleBackend,
+    ScheduleReport,
+    ShuffledFrontierProblem,
+    hunt_llp_schedules,
+    hunt_mst_schedules,
+)
+from repro.checking.shrink import (
+    ShrinkResult,
+    shrink_graph,
+    shrink_mismatch,
+    to_pytest_repro,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GraphCase",
+    "generate_case",
+    "iter_cases",
+    "FAULT_KINDS",
+    "FaultReport",
+    "check_artifact_degradation",
+    "check_mid_batch_cancellation",
+    "check_serve_malformed",
+    "corrupt_artifact",
+    "run_fault_suite",
+    "BROKEN_ALGORITHM_NAME",
+    "CheckReport",
+    "Mismatch",
+    "broken_max_forest",
+    "check_one",
+    "classify_result",
+    "run_matrix",
+    "AdversarialScheduleBackend",
+    "ScheduleReport",
+    "ShuffledFrontierProblem",
+    "hunt_llp_schedules",
+    "hunt_mst_schedules",
+    "ShrinkResult",
+    "shrink_graph",
+    "shrink_mismatch",
+    "to_pytest_repro",
+]

@@ -1,0 +1,284 @@
+"""Adversarial graph families for the differential harness.
+
+Each family is a deterministic, seeded generator of small graphs chosen to
+stress exactly the places where independent MST implementations silently
+diverge:
+
+* **tie-breaking** — duplicate, all-equal, and few-distinct weights;
+* **degenerate structure** — empty graphs, ``n = 0`` / ``n = 1``, isolated
+  vertices, self loops, parallel edges (kept *and* collapsed), and
+  disconnected graphs;
+* **numeric extremes** — zero and negative weights, int64 weights beyond
+  2**53 (where float64 collides distinct values), denormal and huge
+  floats, and mixed-magnitude weights that make float accumulation
+  order-dependent.
+
+Families yield :class:`~repro.graphs.edgelist.EdgeList` values (the raw
+interchange format) so the harness can also exercise the canonicalisation
+path; :func:`iter_cases` wraps them into CSR graphs ready for the
+differential oracle.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["GraphCase", "FAMILIES", "family_names", "generate_case", "iter_cases"]
+
+
+@dataclass(frozen=True)
+class GraphCase:
+    """One generated adversarial graph, traceable back to its generator."""
+
+    family: str
+    seed: int
+    size: int
+    graph: CSRGraph
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable case id."""
+        return f"{self.family}[seed={self.seed},size={self.size}]"
+
+
+# ----------------------------------------------------------------------
+# Topology helpers
+# ----------------------------------------------------------------------
+def _random_topology(
+    rng: np.random.Generator, n: int, m: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``m`` random (possibly parallel, never self-loop) edges over ``n`` vertices."""
+    if n < 2 or m <= 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n - 1, size=m, dtype=np.int64)
+    v[v >= u] += 1  # uniform over pairs with u != v
+    return u, v
+
+
+def _connected_topology(
+    rng: np.random.Generator, n: int, extra: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random spanning tree plus ``extra`` random edges (connected)."""
+    if n <= 1:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    order = rng.permutation(n).astype(np.int64)
+    tu = np.array(
+        [order[int(rng.integers(0, i))] for i in range(1, n)], dtype=np.int64
+    )
+    tv = order[1:]
+    eu, ev = _random_topology(rng, n, extra)
+    return np.concatenate([tu, eu]), np.concatenate([tv, ev])
+
+
+def _el(n: int, u, v, w, *, dedup: bool = True) -> EdgeList:
+    return EdgeList.from_arrays(
+        n,
+        np.asarray(u, dtype=np.int64),
+        np.asarray(v, dtype=np.int64),
+        np.asarray(w),
+        dedup=dedup,
+    )
+
+
+# ----------------------------------------------------------------------
+# Families: fn(rng, size) -> EdgeList
+# ----------------------------------------------------------------------
+def _empty(rng: np.random.Generator, size: int) -> EdgeList:
+    return EdgeList.empty(0)
+
+
+def _single_vertex(rng: np.random.Generator, size: int) -> EdgeList:
+    return EdgeList.empty(1)
+
+
+def _isolated(rng: np.random.Generator, size: int) -> EdgeList:
+    return EdgeList.empty(max(size, 2))
+
+
+def _single_edge(rng: np.random.Generator, size: int) -> EdgeList:
+    return _el(2, [0], [1], [float(rng.normal())])
+
+
+def _self_loops(rng: np.random.Generator, size: int) -> EdgeList:
+    """Self loops interleaved with real edges (loops must vanish cleanly)."""
+    n = max(size, 3)
+    u, v = _connected_topology(rng, n, n // 2)
+    loops = rng.integers(0, n, size=n, dtype=np.int64)
+    w = rng.normal(size=u.size + n)
+    return _el(n, np.concatenate([u, loops]), np.concatenate([v, loops]), w)
+
+
+def _parallel_edges(rng: np.random.Generator, size: int) -> EdgeList:
+    """Parallel edges *kept* (dedup=False), with both equal and unequal weights."""
+    n = max(size, 3)
+    u, v = _connected_topology(rng, n, n // 2)
+    dup = rng.integers(0, u.size, size=u.size, dtype=np.int64)
+    uu = np.concatenate([u, u[dup]])
+    vv = np.concatenate([v, v[dup]])
+    w = np.concatenate([rng.normal(size=u.size), rng.integers(0, 3, size=u.size)])
+    return _el(n, uu, vv, w.astype(np.float64), dedup=False)
+
+
+def _all_equal_weights(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 4)
+    u, v = _connected_topology(rng, n, n)
+    return _el(n, u, v, np.ones(u.size))
+
+
+def _few_distinct_weights(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 4)
+    u, v = _connected_topology(rng, n, 2 * n)
+    w = rng.choice([0.0, 1.0, 2.0], size=u.size)
+    return _el(n, u, v, w)
+
+
+def _zero_weights(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 3)
+    u, v = _connected_topology(rng, n, n // 2)
+    return _el(n, u, v, np.zeros(u.size))
+
+
+def _negative_weights(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 4)
+    u, v = _connected_topology(rng, n, n)
+    w = rng.normal(size=u.size) - 0.5
+    return _el(n, u, v, w)
+
+
+def _int64_huge(rng: np.random.Generator, size: int) -> EdgeList:
+    """int64 weights beyond 2**53: distinct as ints, colliding as floats."""
+    n = max(size, 4)
+    u, v = _connected_topology(rng, n, n)
+    base = np.int64(1) << np.int64(53)
+    w = base + rng.integers(0, 7, size=u.size, dtype=np.int64)
+    return _el(n, u, v, w)
+
+
+def _denormal_floats(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 3)
+    u, v = _connected_topology(rng, n, n // 2)
+    tiny = np.float64(5e-324)
+    w = tiny * rng.integers(1, 9, size=u.size).astype(np.float64)
+    return _el(n, u, v, w)
+
+
+def _huge_floats(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 3)
+    u, v = _connected_topology(rng, n, n // 2)
+    w = rng.choice([1e308, -1e308, 1e300, 2e300], size=u.size)
+    return _el(n, u, v, w)
+
+
+def _mixed_magnitude(rng: np.random.Generator, size: int) -> EdgeList:
+    """Weights whose float sums depend on accumulation order."""
+    n = max(size, 4)
+    u, v = _connected_topology(rng, n, n)
+    w = rng.choice([1e16, -1e16, 1.0, -1.0, 1e-8], size=u.size)
+    return _el(n, u, v, w)
+
+
+def _disconnected(rng: np.random.Generator, size: int) -> EdgeList:
+    """Several random components plus isolated vertices."""
+    comp = max(size // 3, 2)
+    us, vs, ws = [], [], []
+    offset = 0
+    for _ in range(3):
+        u, v = _connected_topology(rng, comp, comp // 2)
+        us.append(u + offset)
+        vs.append(v + offset)
+        ws.append(rng.choice([0.5, 1.5, 1.5, 2.5], size=u.size))
+        offset += comp
+    offset += 2  # trailing isolated vertices
+    return _el(offset, np.concatenate(us), np.concatenate(vs), np.concatenate(ws))
+
+
+def _random_duplicates(rng: np.random.Generator, size: int) -> EdgeList:
+    n = max(size, 5)
+    u, v = _random_topology(rng, n, 3 * n)
+    w = rng.integers(0, 4, size=u.size).astype(np.float64)
+    return _el(n, u, v, w)
+
+
+def _complete_small(rng: np.random.Generator, size: int) -> EdgeList:
+    n = min(max(size // 2, 3), 8)
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    u = np.array([p[0] for p in pairs], dtype=np.int64)
+    v = np.array([p[1] for p in pairs], dtype=np.int64)
+    w = rng.choice([1.0, 1.0, 2.0], size=u.size)
+    return _el(n, u, v, w)
+
+
+FAMILIES: Dict[str, Callable[[np.random.Generator, int], EdgeList]] = {
+    "empty": _empty,
+    "single-vertex": _single_vertex,
+    "isolated": _isolated,
+    "single-edge": _single_edge,
+    "self-loops": _self_loops,
+    "parallel-edges": _parallel_edges,
+    "all-equal-weights": _all_equal_weights,
+    "few-distinct-weights": _few_distinct_weights,
+    "zero-weights": _zero_weights,
+    "negative-weights": _negative_weights,
+    "int64-huge": _int64_huge,
+    "denormal-floats": _denormal_floats,
+    "huge-floats": _huge_floats,
+    "mixed-magnitude": _mixed_magnitude,
+    "disconnected": _disconnected,
+    "random-duplicates": _random_duplicates,
+    "complete-small": _complete_small,
+}
+
+
+def family_names() -> list[str]:
+    """Names of every registered adversarial family."""
+    return list(FAMILIES)
+
+
+def generate_case(family: str, seed: int, size: int = 12) -> GraphCase:
+    """Build one deterministic case of the named family."""
+    if family not in FAMILIES:
+        raise GraphError(
+            f"unknown graph family {family!r}; available: {', '.join(FAMILIES)}"
+        )
+    # crc32, not hash(): str hashing is salted per process, which would
+    # make "replay the nightly seed locally" impossible.
+    rng = np.random.default_rng((zlib.crc32(family.encode()), seed))
+    el = FAMILIES[family](rng, size)
+    return GraphCase(family, seed, size, CSRGraph.from_edgelist(el))
+
+
+def iter_cases(
+    seed: int = 0,
+    count: int = 200,
+    *,
+    families: list[str] | None = None,
+    max_size: int = 20,
+) -> Iterator[GraphCase]:
+    """Yield ``count`` deterministic cases cycling through the families.
+
+    Sizes sweep upward so every family is exercised at several scales; the
+    stream for a given ``(seed, families, max_size)`` is reproducible,
+    which is what lets a nightly failure be replayed locally from its seed.
+    """
+    names = families if families is not None else family_names()
+    for name in names:
+        if name not in FAMILIES:
+            raise GraphError(
+                f"unknown graph family {name!r}; available: {', '.join(FAMILIES)}"
+            )
+    sizes = list(range(4, max(max_size, 5)))
+    for i in range(count):
+        family = names[i % len(names)]
+        size = sizes[(i // len(names)) % len(sizes)]
+        yield generate_case(family, seed + i, size)

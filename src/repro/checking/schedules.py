@@ -1,0 +1,251 @@
+"""Adversarial scheduling: hunting order-dependence in "any order" claims.
+
+The paper's Lemma 4 is a strong promise: advancing *any* non-empty subset
+of forbidden indices, in *any* order, converges to the same least feasible
+vector.  The library's parallel algorithms inherit an equivalent promise
+from the backend protocol — results must not depend on the order tasks
+execute inside a round or the order a worklist drains.  Those claims only
+hold if no implementation accidentally smuggles order-dependence through
+shared state, so this module attacks them with seeded adversarial
+schedules:
+
+* :class:`AdversarialScheduleBackend` — a protocol-conforming backend
+  that executes each round's tasks in a seeded random permutation (still
+  returning results in item order, as the protocol requires) and drains
+  worklists by popping random elements instead of FIFO;
+* :class:`ShuffledFrontierProblem` — wraps an
+  :class:`~repro.llp.core.LLPProblem` so each engine round sees a random
+  non-empty subset of the true forbidden frontier, in random order —
+  exactly the executions Lemma 4 quantifies over;
+* :func:`hunt_llp_schedules` / :func:`hunt_mst_schedules` — run many
+  seeded schedules and compare every outcome against the deterministic
+  reference (the full-frontier sequential run, and the Kruskal oracle).
+
+A reported failure includes the schedule seed, so any order-dependence
+found nightly replays locally with one function call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.checking.families import generate_case
+from repro.checking.oracle import classify_result
+from repro.graphs.csr import CSRGraph
+from repro.llp.core import LLPProblem
+from repro.runtime.backend import Backend, TaskContext
+
+__all__ = [
+    "AdversarialScheduleBackend",
+    "ShuffledFrontierProblem",
+    "ScheduleReport",
+    "hunt_llp_schedules",
+    "hunt_mst_schedules",
+]
+
+
+class AdversarialScheduleBackend(Backend):
+    """Backend that reorders execution while honouring the protocol.
+
+    ``run_round`` executes tasks in a seeded random permutation and
+    returns results in item order (the contract callers rely on);
+    ``run_worklist`` pops a random live item each step instead of FIFO,
+    modelling a maximally unfair work-stealing scheduler.  Any algorithm
+    whose output changes under this backend has hidden order-dependence.
+    """
+
+    def __init__(self, seed: int = 0, n_workers: int = 4) -> None:
+        super().__init__()
+        self.rng = np.random.default_rng(seed)
+        self._n_workers = int(n_workers)
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    def run_round(
+        self, items: Sequence[Any], task: Callable[[TaskContext, Any], Any]
+    ) -> List[Any]:
+        items = list(items)
+        results: List[Any] = [None] * len(items)
+        costs = [0] * len(items)
+        for pos in self.rng.permutation(len(items)):
+            pos = int(pos)
+            ctx = TaskContext(worker_id=pos % self._n_workers)
+            results[pos] = task(ctx, items[pos])
+            costs[pos] = ctx.units
+        self._record(costs)
+        return results
+
+    def run_worklist(
+        self,
+        seeds: Sequence[Any],
+        task: Callable[[TaskContext, Any], tuple[Iterable[Any], Any]],
+    ) -> List[Any]:
+        live: List[tuple[Any, int]] = [(s, 0) for s in seeds]
+        payloads: List[Any] = []
+        total = span = count = 0
+        while live:
+            item, start = live.pop(int(self.rng.integers(0, len(live))))
+            ctx = TaskContext(worker_id=count % self._n_workers)
+            children, payload = task(ctx, item)
+            payloads.append(payload)
+            count += 1
+            total += ctx.units
+            finish = start + ctx.units
+            span = max(span, finish)
+            for child in children:
+                live.append((child, finish))
+        if count:
+            self.trace.add_round(count, total, min(span, total), barrier=False)
+        return payloads
+
+
+class ShuffledFrontierProblem(LLPProblem):
+    """Lemma 4's quantifier made executable.
+
+    Delegates everything to the wrapped problem but serves
+    ``forbidden_indices`` as a seeded random non-empty subset of the true
+    frontier, in random order.  Every such stream is one of the "advance
+    any forbidden indices, in any order" executions the lemma promises
+    converge to the same least feasible vector — so the engine's final
+    state must be schedule-independent, round counts notwithstanding.
+    """
+
+    def __init__(
+        self, inner: LLPProblem, seed: int = 0, *, subset: bool = True
+    ) -> None:
+        self.inner = inner
+        self.rng = np.random.default_rng(seed)
+        self.subset = subset
+
+    @property
+    def n(self) -> int:
+        return self.inner.n
+
+    def bottom(self) -> np.ndarray:
+        return self.inner.bottom()
+
+    def top(self) -> np.ndarray | None:
+        return self.inner.top()
+
+    def forbidden(self, G: np.ndarray, j: int) -> bool:
+        return self.inner.forbidden(G, j)
+
+    def advance(self, G: np.ndarray, j: int) -> float:
+        return self.inner.advance(G, j)
+
+    def is_feasible(self, G: np.ndarray) -> bool:
+        return self.inner.is_feasible(G)
+
+    def on_advanced(self, G: np.ndarray, j: int, old: float, new: float) -> None:
+        self.inner.on_advanced(G, j, old, new)
+
+    def forbidden_indices(self, G: np.ndarray) -> List[int]:
+        frontier = list(self.inner.forbidden_indices(G))
+        if not frontier:
+            return frontier
+        order = self.rng.permutation(len(frontier))
+        # Non-empty so the engine always makes progress; Lemma 4 needs
+        # nothing more.
+        k = len(frontier)
+        if self.subset and k > 1:
+            k = 1 + int(self.rng.integers(0, k))
+        return [frontier[int(i)] for i in order[:k]]
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of an adversarial-schedule hunt."""
+
+    runs: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every schedule converged to the reference outcome."""
+        return not self.failures
+
+
+def hunt_llp_schedules(
+    g: CSRGraph | None = None,
+    *,
+    seed: int = 0,
+    n_schedules: int = 25,
+    root: int = 0,
+) -> ScheduleReport:
+    """Attack Lemma 4 on the direct Algorithm-4 LLP formulation.
+
+    Runs the parallel engine over ``n_schedules`` seeded adversarial
+    (subset, order, backend-permutation) schedules of
+    :class:`~repro.llp.problems.mst_prim.PrimLLP` and requires every final
+    state vector to equal the deterministic full-frontier run's.
+    """
+    from repro.llp.engine_parallel import solve_parallel
+    from repro.llp.problems.mst_prim import PrimLLP
+
+    if g is None:
+        g = generate_case("few-distinct-weights", seed, 9).graph
+    report = ScheduleReport()
+    reference = solve_parallel(PrimLLP(g, root)).state
+    for s in range(n_schedules):
+        report.runs += 1
+        wrapped = ShuffledFrontierProblem(PrimLLP(g, root), seed=seed * 1000 + s)
+        backend = AdversarialScheduleBackend(seed * 1000 + s)
+        try:
+            got = solve_parallel(wrapped, backend).state
+        except Exception as exc:
+            report.failures.append(f"schedule seed {seed * 1000 + s}: {exc!r}")
+            continue
+        if not np.array_equal(got, reference):
+            diff = np.flatnonzero(got != reference)[:5].tolist()
+            report.failures.append(
+                f"schedule seed {seed * 1000 + s}: state diverged at indices {diff}"
+            )
+    return report
+
+
+def hunt_mst_schedules(
+    g: CSRGraph | None = None,
+    *,
+    seed: int = 0,
+    n_schedules: int = 10,
+    algorithms: Sequence[str] | None = None,
+) -> ScheduleReport:
+    """Run every parallel MST algorithm under adversarial schedules.
+
+    Each (algorithm, mode, schedule-seed) run must produce the exact
+    oracle forest — the library's determinism guarantee says the output
+    does not depend on the schedule at all.
+    """
+    from repro.mst.registry import PARALLEL_ALGORITHMS, algorithm_info, get_algorithm
+
+    if g is None:
+        g = generate_case("few-distinct-weights", seed, 10).graph
+    names = list(algorithms) if algorithms is not None else list(PARALLEL_ALGORITHMS)
+    report = ScheduleReport()
+    for name in names:
+        info = algorithm_info(name)
+        for mode in info.modes:
+            fn = get_algorithm(name, mode)
+            for s in range(n_schedules):
+                report.runs += 1
+                sched_seed = seed * 1000 + s
+                backend = AdversarialScheduleBackend(sched_seed)
+                try:
+                    result = fn(g, backend=backend)
+                except Exception as exc:
+                    report.failures.append(
+                        f"{name}/{mode} schedule seed {sched_seed}: {exc!r}"
+                    )
+                    continue
+                verdict = classify_result(g, result)
+                if verdict is not None:
+                    kind, detail = verdict
+                    report.failures.append(
+                        f"{name}/{mode} schedule seed {sched_seed}: {kind}: {detail}"
+                    )
+    return report

@@ -1,0 +1,235 @@
+"""Delta-debugging minimizer for differential counterexamples.
+
+A nightly mismatch on a 20-vertex random graph is evidence; a 4-vertex
+triangle-plus-pendant is a bug report.  :func:`shrink_mismatch` reduces a
+failing graph while preserving the *mismatch kind* (an ``exception`` must
+stay an exception, a ``tie-divergence`` must stay a tie-divergence —
+shrinking one failure into a different one hides the original bug):
+
+1. **ddmin over edges** — Zeller's classic delta debugging: try dropping
+   chunks of edges (and their complements) at progressively finer
+   granularity until no single edge can be removed.
+2. **vertex elimination** — drop vertices that became isolated and
+   compact the id space.
+3. **weight simplification** — replace weights by their dense rank
+   (``0, 1, 2, ...`` preserving order *and* equalities), accepted only if
+   the failure survives; most reports end with single-digit weights.
+
+The result carries a ready-to-paste pytest reproduction
+(:func:`to_pytest_repro`) so a nightly counterexample becomes a committed
+regression test with zero transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.checking.oracle import Mismatch, check_one
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+
+__all__ = ["ShrinkResult", "shrink_graph", "shrink_mismatch", "to_pytest_repro"]
+
+
+@dataclass(frozen=True, eq=False)
+class ShrinkResult:
+    """A minimized counterexample and where it came from."""
+
+    mismatch: Mismatch  # re-checked on the minimized graph
+    original_vertices: int
+    original_edges: int
+    predicate_calls: int
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The minimized failing graph."""
+        return self.mismatch.graph
+
+
+def _rebuild(n: int, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> CSRGraph:
+    # dedup=False: the failure may depend on parallel edges, so the
+    # shrinker must not collapse them behind the predicate's back.
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w, dedup=False))
+
+
+def _compact(g: CSRGraph, keep: np.ndarray) -> CSRGraph:
+    """Subgraph on the kept edges with isolated vertices removed."""
+    u, v, w = g.edge_u[keep], g.edge_v[keep], g.edge_w[keep]
+    used = np.zeros(g.n_vertices, dtype=bool)
+    used[u] = True
+    used[v] = True
+    remap = np.cumsum(used) - 1
+    return _rebuild(int(used.sum()), remap[u], remap[v], w)
+
+
+def shrink_graph(
+    g: CSRGraph,
+    predicate: Callable[[CSRGraph], bool],
+    *,
+    max_calls: int = 2000,
+) -> tuple[CSRGraph, int]:
+    """Minimize ``g`` subject to ``predicate`` staying true.
+
+    Returns ``(minimized graph, predicate calls)``.  ``predicate`` must be
+    true of ``g`` itself (the caller guarantees the original failure).
+    The budget bounds pathological cases; at the default the shrinker
+    finishes instantly on the <= 20-vertex family graphs.
+    """
+    calls = 0
+
+    def holds(candidate: CSRGraph) -> bool:
+        nonlocal calls
+        calls += 1
+        try:
+            return predicate(candidate)
+        except Exception:
+            # A predicate blow-up on a candidate means "does not reproduce".
+            return False
+
+    # --- Phase 1: ddmin over the edge set -----------------------------
+    # ``shrunk`` only ever takes predicate-validated values, so the
+    # invariant "the returned graph fails" holds even when no reduction
+    # is accepted (the failure may depend on isolated vertices or on
+    # every single edge).
+    shrunk = g
+    m = g.n_edges
+    keep = np.ones(m, dtype=bool)
+    granularity = 2
+    while keep.sum() >= 2 and calls < max_calls:
+        alive = np.flatnonzero(keep)
+        chunks = np.array_split(alive, min(granularity, alive.size))
+        reduced = False
+        for chunk in chunks:
+            if chunk.size == 0 or calls >= max_calls:
+                continue
+            # Try the complement: drop this chunk, keep the rest.
+            trial = keep.copy()
+            trial[chunk] = False
+            candidate = _compact(g, trial)
+            if holds(candidate):
+                keep = trial
+                shrunk = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= alive.size:
+                break
+            granularity = min(granularity * 2, alive.size)
+
+    # Isolated-vertex removal when no edge drop was accepted (accepted
+    # candidates already went through _compact).
+    if shrunk is g and g.n_edges and calls < max_calls:
+        candidate = _compact(g, keep)
+        if candidate.n_vertices < g.n_vertices and holds(candidate):
+            shrunk = candidate
+
+    # --- Phase 2: weight simplification (dense ranks) -----------------
+    if shrunk.n_edges and calls < max_calls:
+        w = shrunk.edge_w
+        uniq, dense = np.unique(w, return_inverse=True)
+        if uniq.size < w.size or not np.array_equal(
+            uniq, np.arange(uniq.size, dtype=w.dtype)
+        ):
+            candidate = _rebuild(
+                shrunk.n_vertices, shrunk.edge_u, shrunk.edge_v,
+                dense.astype(np.float64),
+            )
+            if holds(candidate):
+                shrunk = candidate
+    return shrunk, calls
+
+
+def shrink_mismatch(
+    mismatch: Mismatch,
+    *,
+    extra_algorithms: Dict[str, Callable] | None = None,
+    max_calls: int = 2000,
+) -> ShrinkResult:
+    """Minimize a :class:`~repro.checking.oracle.Mismatch`'s graph.
+
+    The preserved predicate is "the same (algorithm, mode, backend) cell
+    still fails with the same kind".  The returned result's ``mismatch``
+    is re-derived on the minimized graph, so its ``detail`` describes the
+    small graph, not the original.
+    """
+    cell = (mismatch.algorithm, mismatch.mode, mismatch.backend)
+
+    def predicate(candidate: CSRGraph) -> bool:
+        found = check_one(
+            candidate, *cell,
+            case_name=mismatch.case_name, extra_algorithms=extra_algorithms,
+        )
+        return found is not None and found.kind == mismatch.kind
+
+    shrunk, calls = shrink_graph(mismatch.graph, predicate, max_calls=max_calls)
+    final = check_one(
+        shrunk, *cell,
+        case_name=f"{mismatch.case_name}:shrunk", extra_algorithms=extra_algorithms,
+    )
+    if final is None or final.kind != mismatch.kind:  # pragma: no cover - defensive
+        # ddmin only ever accepts failing candidates, so the original
+        # graph (which the caller observed failing) is the worst case.
+        final = mismatch
+        shrunk = mismatch.graph
+    return ShrinkResult(
+        mismatch=final,
+        original_vertices=mismatch.graph.n_vertices,
+        original_edges=mismatch.graph.n_edges,
+        predicate_calls=calls,
+    )
+
+
+def _weight_literal(x) -> str:
+    f = float(x)
+    if f.is_integer() and abs(f) < 2**53:
+        return f"{int(f)}.0"
+    return repr(f)
+
+
+def to_pytest_repro(result: ShrinkResult, test_name: str | None = None) -> str:
+    """Render a minimized counterexample as a ready-to-paste pytest test.
+
+    The emitted test rebuilds the exact graph, reruns the failing matrix
+    cell through :func:`~repro.checking.oracle.check_one`, and asserts no
+    mismatch — i.e. it fails until the underlying bug is fixed and then
+    pins the fix forever.
+    """
+    mm = result.mismatch
+    g = mm.graph
+    if test_name is None:
+        algo = mm.algorithm.replace("-", "_")
+        kind = mm.kind.replace("-", "_")
+        test_name = f"test_shrunk_{algo}_{kind}"
+    edges = ",\n        ".join(
+        f"({int(u)}, {int(v)}, {_weight_literal(w)})"
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w)
+    )
+    edges_block = f"[\n        {edges},\n    ]" if g.n_edges else "[]"
+    mode = repr(mm.mode)
+    return f'''def {test_name}():
+    """Shrunken counterexample: {mm.kind} in {mm.label}.
+
+    Originally found on {mm.case_name}
+    ({result.original_vertices} vertices / {result.original_edges} edges,
+    minimized to {g.n_vertices} / {g.n_edges}).
+    """
+    import numpy as np
+
+    from repro.checking.oracle import check_one
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.edgelist import EdgeList
+
+    edges = {edges_block}
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    g = CSRGraph.from_edgelist(
+        EdgeList.from_arrays({g.n_vertices}, u, v, w, dedup=False)
+    )
+    mismatch = check_one(g, {mm.algorithm!r}, {mode}, {mm.backend!r})
+    assert mismatch is None, str(mismatch)
+'''

@@ -14,6 +14,9 @@ Subcommands
 ``serve``
     Run the batched asyncio query service over a JSON-lines request
     stream (stdin or a file).
+``check``
+    Run the differential-oracle / fault-injection / adversarial-schedule
+    harness; failing graphs are shrunk to hand-checkable pytest repros.
 ``info``
     Show registered algorithms, datasets, and version information.
 
@@ -28,6 +31,8 @@ Examples
     python -m repro mst --algo kruskal --dataset usa-road --save msf.json
     python -m repro query --artifact msf.json --type bottleneck --pairs 0:5,2:7
     python -m repro serve --dataset usa-road --scale 10 --queries reqs.jsonl
+    python -m repro check --seed 17 --graphs 200 --out-dir counterexamples/
+    python -m repro check --self-test
 """
 
 from __future__ import annotations
@@ -149,6 +154,38 @@ def build_parser() -> argparse.ArgumentParser:
     cmpp.add_argument("--threshold", type=float, default=5.0,
                       help="report series points moving more than this percent")
 
+    checkp = sub.add_parser(
+        "check", help="run the differential-oracle and fault-injection harness"
+    )
+    checkp.add_argument("--seed", type=int, default=0,
+                        help="master seed; a nightly run's seed replays locally")
+    checkp.add_argument("--graphs", type=int, default=200,
+                        help="generated graph cases for the differential matrix")
+    checkp.add_argument("--max-size", type=int, default=20,
+                        help="largest generated vertex count")
+    checkp.add_argument("--algos", type=_str_list, default=None,
+                        help="comma-separated algorithm names (default: all)")
+    checkp.add_argument("--families", type=_str_list, default=None,
+                        help="comma-separated graph families (default: all)")
+    checkp.add_argument("--backends", type=_str_list, default=None,
+                        help="comma-separated backend labels (default: all)")
+    checkp.add_argument("--no-shrink", action="store_true",
+                        help="report mismatches without delta-debugging them")
+    checkp.add_argument("--skip-faults", action="store_true",
+                        help="skip the service-layer fault-injection suite")
+    checkp.add_argument("--skip-schedules", action="store_true",
+                        help="skip the adversarial-schedule hunts")
+    checkp.add_argument("--schedules", type=int, default=15,
+                        help="adversarial schedules per hunt")
+    checkp.add_argument("--out-dir", type=Path, default=None,
+                        help="write shrunken counterexample repros and the JSON "
+                             "summary here (created on demand)")
+    checkp.add_argument("--json", action="store_true",
+                        help="print the machine-readable summary to stdout")
+    checkp.add_argument("--self-test", action="store_true",
+                        help="plant a deliberately broken algorithm and prove "
+                             "the harness detects and shrinks it")
+
     sub.add_parser("info", help="list algorithms and datasets")
     return parser
 
@@ -164,6 +201,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "compare":
@@ -398,18 +437,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     lines = (args.queries.read_text() if args.queries is not None
              else sys.stdin.read()).splitlines()
-    requests = []
+    # A malformed or oversized request line yields a structured error
+    # *record* in the response stream; it must never abort the run and
+    # drop the well-formed requests coalesced around it.
+    parsed: list[tuple[int, tuple | None, str | None]] = []
     for lineno, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
             continue
-        try:
-            req = _json.loads(line)
-            requests.append((lineno, req["op"], req.get("u"), req.get("v"),
-                             req.get("w")))
-        except (ValueError, KeyError, TypeError) as exc:
-            print(f"bad request line {lineno}: {exc}", file=sys.stderr)
-            return 2
+        request, error = _parse_serve_request(line, _json)
+        parsed.append((lineno, request, error))
+
+    requests = [(lineno, *request) for lineno, request, _ in parsed
+                if request is not None]
 
     async def _run() -> list:
         async with AsyncMSTService(
@@ -420,6 +460,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     return await server.query(op, u, v, w)
                 except (ReproError, ServiceError) as exc:
                     return {"error": str(exc)}
+                except Exception as exc:  # malformed args the engine rejected
+                    return {"error": f"{type(exc).__name__}: {exc}"}
             return await asyncio.gather(
                 *(one(op, u, v, w) for _, op, u, v, w in requests)
             )
@@ -429,7 +471,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    for (_, op, u, v, w), answer in zip(requests, answers):
+    by_line = {lineno: answer for (lineno, *_), answer in zip(requests, answers)}
+    n_bad = 0
+    for lineno, request, error in parsed:
+        if request is None:
+            n_bad += 1
+            print(_json.dumps({"line": lineno, "error": error}))
+            continue
+        op, u, v, w = request
         record = {"op": op}
         if u is not None:
             record["u"] = u
@@ -437,14 +486,202 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             record["v"] = v
         if w is not None:
             record["w"] = w
+        answer = by_line[lineno]
         if isinstance(answer, dict) and "error" in answer:
             record["error"] = answer["error"]
         else:
             record["result"] = answer
         print(_json.dumps(record))
+    if n_bad:
+        print(f"{n_bad} malformed request line(s) answered with structured errors",
+              file=sys.stderr)
     if args.metrics:
         print(svc.metrics.render(), file=sys.stderr)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json as _json
+    import tempfile
+
+    from repro.errors import ReproError
+
+    progress = lambda msg: print(f"[check] {msg}", file=sys.stderr)  # noqa: E731
+    if args.self_test:
+        return _check_self_test(args, progress)
+
+    from repro.checking import (
+        hunt_llp_schedules,
+        hunt_mst_schedules,
+        run_fault_suite,
+        run_matrix,
+        shrink_mismatch,
+        to_pytest_repro,
+    )
+
+    summary: dict = {"seed": args.seed, "graphs": args.graphs}
+    t0 = time.perf_counter()
+    try:
+        report = run_matrix(
+            seed=args.seed, count=args.graphs, families=args.families,
+            max_size=args.max_size, algorithms=args.algos,
+            backends=args.backends, progress=progress,
+        )
+    except (ReproError, KeyError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    summary["matrix"] = {
+        "cases": report.cases_run,
+        "checks": report.checks_run,
+        "mismatches": [str(m) for m in report.mismatches],
+    }
+    progress(
+        f"matrix: {report.cases_run} cases, {report.checks_run} checks, "
+        f"{len(report.mismatches)} mismatches "
+        f"[{time.perf_counter() - t0:.1f}s]"
+    )
+
+    counterexamples: list[str] = []
+    if report.mismatches and not args.no_shrink:
+        for i, mismatch in enumerate(report.mismatches):
+            shrunk = shrink_mismatch(mismatch)
+            repro = to_pytest_repro(shrunk, test_name=f"test_counterexample_{i}")
+            counterexamples.append(repro)
+            progress(
+                f"shrunk {mismatch.label} from "
+                f"{shrunk.original_vertices} vertices to "
+                f"{shrunk.graph.n_vertices} "
+                f"({shrunk.predicate_calls} predicate calls)"
+            )
+    summary["counterexamples"] = counterexamples
+
+    if not args.skip_faults:
+        if args.out_dir is not None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            faults = run_fault_suite(args.out_dir / "faults", seed=args.seed)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+                faults = run_fault_suite(tmp, seed=args.seed)
+        summary["faults"] = {
+            "checks": faults.checks_run, "failures": faults.failures,
+        }
+        progress(f"faults: {faults.checks_run} checks, "
+                 f"{len(faults.failures)} failures")
+
+    if not args.skip_schedules:
+        from repro.mst.registry import PARALLEL_ALGORITHMS
+
+        llp = hunt_llp_schedules(seed=args.seed, n_schedules=args.schedules)
+        par = (
+            [a for a in args.algos if a in PARALLEL_ALGORITHMS]
+            if args.algos else None
+        )
+        mst = hunt_mst_schedules(
+            seed=args.seed, n_schedules=max(args.schedules // 3, 2),
+            algorithms=par,
+        )
+        summary["schedules"] = {
+            "runs": llp.runs + mst.runs,
+            "failures": llp.failures + mst.failures,
+        }
+        progress(f"schedules: {llp.runs + mst.runs} runs, "
+                 f"{len(llp.failures) + len(mst.failures)} failures")
+
+    failed = bool(report.mismatches)
+    failed |= bool(summary.get("faults", {}).get("failures"))
+    failed |= bool(summary.get("schedules", {}).get("failures"))
+    summary["ok"] = not failed
+
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        (args.out_dir / "check-summary.json").write_text(
+            _json.dumps(summary, indent=2) + "\n"
+        )
+        for i, repro in enumerate(counterexamples):
+            (args.out_dir / f"counterexample_{i}.py").write_text(repro)
+        progress(f"summary and {len(counterexamples)} counterexample repro(s) "
+                 f"written to {args.out_dir}")
+    if args.json:
+        print(_json.dumps(summary, indent=2))
+    else:
+        for mismatch in report.mismatches:
+            print(str(mismatch))
+        for repro in counterexamples:
+            print("\n" + repro)
+        for line in summary.get("faults", {}).get("failures", []):
+            print(f"fault: {line}")
+        for line in summary.get("schedules", {}).get("failures", []):
+            print(f"schedule: {line}")
+        print("check: " + ("FAILED" if failed else "OK"))
+    return 1 if failed else 0
+
+
+def _check_self_test(args: argparse.Namespace, progress) -> int:
+    """Plant a broken algorithm; the harness must find and shrink it."""
+    from repro.checking import (
+        BROKEN_ALGORITHM_NAME,
+        broken_max_forest,
+        run_matrix,
+        shrink_mismatch,
+        to_pytest_repro,
+    )
+
+    extra = {BROKEN_ALGORITHM_NAME: broken_max_forest}
+    report = run_matrix(
+        seed=args.seed, count=min(args.graphs, 40),
+        algorithms=[BROKEN_ALGORITHM_NAME], extra_algorithms=extra,
+        max_mismatches=1,
+    )
+    if report.ok:
+        print("self-test FAILED: planted broken algorithm went undetected",
+              file=sys.stderr)
+        return 1
+    mismatch = report.mismatches[0]
+    progress(f"planted bug detected: {mismatch}")
+    shrunk = shrink_mismatch(mismatch, extra_algorithms=extra)
+    progress(
+        f"shrunk from {shrunk.original_vertices} vertices / "
+        f"{shrunk.original_edges} edges to {shrunk.graph.n_vertices} / "
+        f"{shrunk.graph.n_edges} in {shrunk.predicate_calls} predicate calls"
+    )
+    if shrunk.graph.n_vertices > 8:
+        print(f"self-test FAILED: counterexample stuck at "
+              f"{shrunk.graph.n_vertices} vertices (> 8)", file=sys.stderr)
+        return 1
+    print(to_pytest_repro(shrunk, test_name="test_self_test_counterexample"))
+    print("self-test OK: planted bug detected and shrunk to "
+          f"{shrunk.graph.n_vertices} vertices")
+    return 0
+
+
+_MAX_REQUEST_BYTES = 64 * 1024
+
+
+def _parse_serve_request(line: str, _json) -> tuple[tuple | None, str | None]:
+    """Parse one JSON-lines request; returns ``(request, error)``.
+
+    Exactly one of the pair is non-``None``.  Oversized lines, non-object
+    payloads, missing/ill-typed fields all map to an error string instead
+    of an exception so the serve loop can answer them in-stream.
+    """
+    if len(line.encode("utf-8", errors="replace")) > _MAX_REQUEST_BYTES:
+        return None, f"request exceeds {_MAX_REQUEST_BYTES} bytes"
+    try:
+        req = _json.loads(line)
+    except ValueError as exc:
+        return None, f"invalid JSON: {exc}"
+    if not isinstance(req, dict):
+        return None, "request must be a JSON object"
+    op = req.get("op")
+    if not isinstance(op, str):
+        return None, "missing or non-string 'op'"
+    u, v, w = req.get("u"), req.get("v"), req.get("w")
+    for name, val in (("u", u), ("v", v)):
+        if val is not None and (isinstance(val, bool) or not isinstance(val, int)):
+            return None, f"'{name}' must be an integer"
+    if w is not None and (isinstance(w, bool) or not isinstance(w, (int, float))):
+        return None, "'w' must be a number"
+    return (op, u, v, w), None
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -500,6 +737,10 @@ def _cmd_info() -> int:
 
     print("\nexperiments: " + " ".join(ALL_EXPERIMENTS))
     return 0
+
+
+def _str_list(text: str) -> list[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
 
 
 def _int_list(text: str) -> list[int]:

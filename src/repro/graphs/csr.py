@@ -107,7 +107,7 @@ class CSRGraph:
             if m
             else np.empty(0, np.int64)
         )
-        w = np.concatenate([edges.w, edges.w]) if m else np.empty(0, np.float64)
+        w = np.concatenate([edges.w, edges.w]) if m else np.empty(0, edges.w.dtype)
 
         # Counting sort by source vertex, neighbors sorted within a vertex.
         order = np.lexsort((dst, src)) if m else np.empty(0, np.int64)

@@ -5,6 +5,12 @@ orientation ``u < v`` as three parallel NumPy arrays (structure-of-arrays,
 per the HPC idiom: contiguous typed columns rather than an array of edge
 objects).  It is the interchange format between generators, file readers,
 and the CSR builder.
+
+Weights are ``float64`` unless the input array has an integer dtype, in
+which case they are kept as ``int64``: converting large integers (beyond
+2**53) to float silently merges distinct weights, which would corrupt both
+the weight total order and the content-addressed artifact fingerprints
+downstream.
 """
 
 from __future__ import annotations
@@ -20,6 +26,18 @@ __all__ = ["EdgeList"]
 
 _VERTEX_DTYPE = np.int64
 _WEIGHT_DTYPE = np.float64
+
+
+def _as_weight_array(w) -> np.ndarray:
+    """Coerce weights to the canonical dtype, preserving integer fidelity.
+
+    Integer inputs stay ``int64`` (exact beyond 2**53); everything else
+    becomes ``float64``.
+    """
+    w = np.asarray(w)
+    if w.dtype.kind in "iu":
+        return w.astype(np.int64).ravel()
+    return w.astype(_WEIGHT_DTYPE).ravel()
 
 
 @dataclass(frozen=True)
@@ -64,7 +82,7 @@ class EdgeList:
         """
         u = np.asarray(u, dtype=_VERTEX_DTYPE).ravel()
         v = np.asarray(v, dtype=_VERTEX_DTYPE).ravel()
-        w = np.asarray(w, dtype=_WEIGHT_DTYPE).ravel()
+        w = _as_weight_array(w)
         if not (u.shape == v.shape == w.shape):
             raise GraphError(
                 f"endpoint/weight arrays must match: {u.shape}, {v.shape}, {w.shape}"
@@ -158,7 +176,7 @@ class EdgeList:
     # ------------------------------------------------------------------
     def with_weights(self, w: np.ndarray) -> "EdgeList":
         """Return a copy with replaced weights (same topology)."""
-        w = np.asarray(w, dtype=_WEIGHT_DTYPE)
+        w = _as_weight_array(w)
         if w.shape != self.w.shape:
             raise GraphError(
                 f"weight array shape {w.shape} does not match edge count {self.w.shape}"

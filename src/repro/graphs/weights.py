@@ -29,10 +29,16 @@ def weight_order_ranks(w: np.ndarray) -> np.ndarray:
     ``ranks[e]`` is the position of edge ``e`` in the sorted order; ties in
     weight are broken by the (canonical) edge index, which encodes the
     endpoint identities per the paper's uniqueness rule.
+
+    Integer weight arrays are ranked in their native dtype: casting int64
+    to float64 first would merge values that differ beyond 2**53 and the
+    stable tie-break would then order them by index instead of by value.
     """
-    w = np.asarray(w, dtype=np.float64)
-    if w.size and not np.isfinite(w).all():
-        raise WeightError("weights must be finite to be ranked")
+    w = np.asarray(w)
+    if w.dtype.kind not in "iu":
+        w = w.astype(np.float64)
+        if w.size and not np.isfinite(w).all():
+            raise WeightError("weights must be finite to be ranked")
     order = np.argsort(w, kind="stable")  # stable sort == tie-break by index
     ranks = np.empty(w.size, dtype=np.int64)
     ranks[order] = np.arange(w.size, dtype=np.int64)

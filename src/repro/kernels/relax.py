@@ -3,16 +3,45 @@
 Loop-mode Prim walks a vertex's adjacency in Python, testing and updating
 ``d[k]`` one neighbor at a time.  The vectorized formulation keeps the
 tentative costs in a dense NumPy array and relaxes a popped vertex's whole
-CSR neighbor slice with one masked gather/scatter — neighbors are unique
-within a slice (the graph is deduplicated), so the scatter has no write
-conflicts and is exactly equivalent to the sequential scan.
+CSR neighbor slice with one masked gather/scatter.
+
+Graphs built with parallel edges kept (``dedup=False``) repeat a neighbor
+inside a slice; a plain scatter would then let the *last* parallel edge
+win regardless of rank, silently diverging from the loop-mode scan whose
+strict ``<`` keeps the minimum.  Duplicated neighbors are therefore
+collapsed to their minimum-rank entry first — the slice is sorted by
+neighbor, so the duplicate check is a single adjacent comparison and the
+deduplicated common case pays nothing extra.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["relax_neighbors"]
+__all__ = ["dedupe_parallel_neighbors", "relax_neighbors"]
+
+
+def dedupe_parallel_neighbors(
+    nbrs: np.ndarray, keys: np.ndarray, eids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse duplicated neighbors to their minimum-key entry.
+
+    ``nbrs`` must be sorted (CSR slices are), so parallel edges sit in
+    adjacent entries and the check is one vectorised comparison.  On the
+    deduplicated common case the inputs are returned unchanged.  Keeping
+    only the minimum-key parallel edge is exactly what the loop-mode scans
+    compute: a higher-key parallel edge can never survive the strict ``<``
+    relaxation test against its lower-key twin.
+    """
+    if nbrs.size <= 1 or not bool((nbrs[1:] == nbrs[:-1]).any()):
+        return nbrs, keys, eids
+    order = np.lexsort((keys, nbrs))
+    nn = nbrs[order]
+    lead = np.empty(order.size, dtype=bool)
+    lead[0] = True
+    np.not_equal(nn[1:], nn[:-1], out=lead[1:])
+    sel = order[lead]
+    return nbrs[sel], keys[sel], eids[sel]
 
 
 def relax_neighbors(
@@ -39,8 +68,9 @@ def relax_neighbors(
     s, e = int(indptr[j]), int(indptr[j + 1])
     if s == e:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    nbrs = indices[s:e]
-    ks = keys[s:e]
+    nbrs, ks, eids = dedupe_parallel_neighbors(
+        indices[s:e], keys[s:e], edge_ids[s:e]
+    )
     improve = ~fixed[nbrs] & (ks < d[nbrs])
     if backend is not None:
         backend.charge_serial(e - s)
@@ -50,5 +80,5 @@ def relax_neighbors(
     k = ks[improve]
     d[nb] = k
     parent[nb] = j
-    parent_edge[nb] = edge_ids[s:e][improve]
+    parent_edge[nb] = eids[improve]
     return nb, k

@@ -106,17 +106,25 @@ def minimum_edge_per_vertex(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-vertex minimum-key incident edge of an undirected edge list.
 
-    ``keys`` must be pairwise distinct (the library's unique weight
-    *ranks* — the paper's distinct-weights assumption realised at graph
-    construction).  Returns ``(to, eid, key)`` arrays of length
-    ``n_vertices``: the opposite endpoint, edge id, and key of each
-    vertex's minimum edge, or ``(-1, -1, INT64_MAX)`` for isolated
-    vertices.  This is the ``mwe(v)`` oracle of Algorithms 3/6.
+    Returns ``(to, eid, key)`` arrays of length ``n_vertices``: the
+    opposite endpoint, edge id, and key of each vertex's minimum edge, or
+    ``(-1, -1, INT64_MAX)`` for isolated vertices.  This is the ``mwe(v)``
+    oracle of Algorithms 3/6.
+
+    Ties between equal keys break lexicographically toward the earliest
+    input position — the same symmetry-breaking rule the loop-mode sweeps
+    apply with their strict ``<`` comparisons.  The library's callers pass
+    unique weight *ranks* (the paper's distinct-weights assumption
+    realised at graph construction) so ties never arise internally, but
+    the kernel must not silently diverge from the loop path when handed
+    duplicate keys: the previous dense key->position inversion assumed
+    pairwise-distinct keys and returned an arbitrary (last-writer)
+    edge for duplicated ones.
 
     Implementation: scatter-min each edge's key into both endpoint slots
-    (``np.minimum.at``), then map each winning key back to its edge via a
-    dense key->position table — O(n + m + max_key), no sorting.  Charged
-    as the same two balanced passes (grouping + grouped scan) the loop
+    (``np.minimum.at``), then scatter-min the input positions of the edges
+    achieving each slot's minimum — O(n + m), no sorting.  Charged as the
+    same two balanced passes (grouping + grouped scan) the loop
     formulation performs.
     """
     to = np.full(n_vertices, -1, dtype=np.int64)
@@ -128,10 +136,14 @@ def minimum_edge_per_vertex(
     np.minimum.at(best, edge_u, keys)
     np.minimum.at(best, edge_v, keys)
     verts = np.flatnonzero(best < INT64_MAX)
-    # Unique keys invert exactly: key -> position in this level's arrays.
-    key_pos = np.empty(int(keys.max()) + 1, dtype=np.int64)
-    key_pos[keys] = np.arange(m, dtype=np.int64)
-    win = key_pos[best[verts]]
+    # Earliest input position among the edges achieving each endpoint's
+    # minimum key — deterministic under duplicate keys.
+    pos = np.full(n_vertices, INT64_MAX, dtype=np.int64)
+    ach_u = np.flatnonzero(keys == best[edge_u])
+    np.minimum.at(pos, edge_u[ach_u], ach_u)
+    ach_v = np.flatnonzero(keys == best[edge_v])
+    np.minimum.at(pos, edge_v[ach_v], ach_v)
+    win = pos[verts]
     wu, wv = edge_u[win], edge_v[win]
     to[verts] = np.where(wu == verts, wv, wu)
     eid[verts] = edge_ids[win]

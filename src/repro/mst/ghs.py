@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import AlgorithmError
 from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.runtime.messaging import Message, Network
 
@@ -239,11 +240,51 @@ class _GHS:
             node.se[b] = _BRANCH
 
 
+def _collapse_parallel(g: CSRGraph) -> tuple[CSRGraph, np.ndarray] | None:
+    """Simple-graph view of ``g``: parallel edges collapsed to min rank.
+
+    GHS addresses an edge on the wire by its ``(src, dst)`` endpoint pair
+    — the protocol's model is one communication link per neighbor — so
+    parallel edges are indistinguishable to it and replies get attributed
+    to the wrong local edge, livelocking the network.  A heavier parallel
+    edge closes a 2-cycle with the lighter one and therefore can never be
+    in the MSF, so collapsing each pair to its minimum-rank edge leaves
+    the forest unchanged.  Returns ``(simple graph, kept original edge
+    ids)``, or ``None`` when ``g`` is already simple.
+    """
+    u, v = g.edge_u, g.edge_v
+    order = np.lexsort((g.ranks, v, u))
+    us, vs = u[order], v[order]
+    lead = np.empty(order.size, dtype=bool)
+    lead[0] = True
+    np.not_equal(us[1:], us[:-1], out=lead[1:])
+    lead[1:] |= vs[1:] != vs[:-1]
+    if lead.all():
+        return None
+    keep = np.sort(order[lead])
+    sub = CSRGraph.from_edgelist(
+        EdgeList.from_arrays(
+            g.n_vertices, u[keep], v[keep], g.edge_w[keep], dedup=False
+        )
+    )
+    return sub, keep
+
+
 def ghs(g: CSRGraph) -> MSTResult:
     """Distributed MSF of ``g`` via the GHS protocol.
 
     Every vertex is a protocol node; the returned forest is the set of
     BRANCH edges when the network quiesces.  Isolated vertices simply
-    never participate.
+    never participate.  Parallel edges are collapsed to their minimum-rank
+    representative before the protocol runs (see
+    :func:`_collapse_parallel`); reported edge ids always refer to ``g``.
     """
+    if g.n_edges:
+        collapsed = _collapse_parallel(g)
+        if collapsed is not None:
+            sub, keep = collapsed
+            inner = _GHS(sub).run()
+            return result_from_edge_ids(
+                g, keep[inner.edge_ids], stats=inner.stats
+            )
     return _GHS(g).run()

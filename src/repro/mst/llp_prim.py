@@ -182,10 +182,15 @@ def _llp_prim_vectorized(
 ) -> MSTResult:
     """Array-kernel LLP-Prim: whole-slice scans, identical bag/heap order.
 
-    Each neighbor in a scanned slice is distinct, so the masked scatter
-    updates commute with the loop-mode left-to-right scan — the bag fills
-    in the same order and every statistic matches the loop run exactly.
+    Neighbors duplicated by parallel edges are collapsed to their
+    minimum-rank entry before the masked scatters (see
+    :func:`repro.kernels.relax.dedupe_parallel_neighbors`); after that
+    each neighbor in a slice is distinct, so the scatter updates commute
+    with the loop-mode left-to-right scan — the bag fills in the same
+    order and the chosen forest matches the loop run exactly.
     """
+    from repro.kernels.relax import dedupe_parallel_neighbors
+
     n = g.n_vertices
     heap = IndexedBinaryHeap(n)
     indptr, indices = g.indptr, g.indices
@@ -231,6 +236,7 @@ def _llp_prim_vectorized(
                     continue
                 rks = half_ranks[s:e][live]
                 eids = edge_ids[s:e][live]
+                nbrs, rks, eids = dedupe_parallel_neighbors(nbrs, rks, eids)
                 if early_fixing:
                     # processEdge1: the edge is an MWE of either endpoint.
                     mwe = (rks == min_rank[j]) | (rks == min_rank[nbrs])

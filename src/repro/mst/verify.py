@@ -15,6 +15,8 @@ Three independent checks with increasing strength:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import AlgorithmError
@@ -27,7 +29,54 @@ __all__ = [
     "verify_minimum",
     "verify_minimum_cycle_property",
     "verify_cut_property_sample",
+    "stable_weight_sum",
+    "weight_sums_consistent",
 ]
+
+
+def stable_weight_sum(w: np.ndarray) -> float:
+    """Order-independent float sum of a weight array (``math.fsum``).
+
+    ``fsum`` tracks partial sums exactly, so the result does not depend on
+    accumulation order — the reference every implementation's running
+    total is compared against.
+    """
+    if w.size == 0:
+        return 0.0
+    try:
+        return math.fsum(np.asarray(w, dtype=np.float64).tolist())
+    except OverflowError:
+        # Partial sums beyond float range (weights near 1e308): fall back
+        # to the naive accumulation, which saturates at +-inf.
+        with np.errstate(over="ignore"):
+            return float(np.asarray(w, dtype=np.float64).sum())
+
+
+def weight_sums_consistent(total: float, w: np.ndarray) -> bool:
+    """Whether ``total`` is a plausible accumulation of the weights ``w``.
+
+    Any left-to-right, pairwise, or vectorised accumulation of ``n``
+    doubles differs from the exact sum by at most ``n * eps`` relative to
+    the sum of absolute values, so the tolerance scales with
+    ``sum(|w|)`` — a fixed ``rtol``/``atol`` pair (the old
+    ``np.isclose(..., 1e-12)``) spuriously rejects correct forests whose
+    loop- and vectorized-mode totals were accumulated in different orders
+    over large or mixed-magnitude weights.
+    """
+    if w.size == 0:
+        return float(total) == 0.0
+    w64 = np.asarray(w, dtype=np.float64)
+    try:
+        exact = math.fsum(w64.tolist())
+        scale = math.fsum(np.abs(w64).tolist())
+    except OverflowError:
+        # sum(|w|) overflows, so the scale-aware tolerance is infinite and
+        # every accumulation is vacuously consistent — there is nothing a
+        # finite-precision total can be checked against.
+        return True
+    eps = np.finfo(np.float64).eps
+    tol = 8.0 * eps * (w64.size + 1) * max(scale, 1.0)
+    return abs(float(total) - exact) <= tol
 
 
 def verify_spanning_forest(g: CSRGraph, result: MSTResult) -> None:
@@ -57,8 +106,7 @@ def verify_spanning_forest(g: CSRGraph, result: MSTResult) -> None:
         )
     if result.n_components != forest_uf.n_sets:
         raise AlgorithmError("result.n_components inconsistent with edge set")
-    expected_weight = float(g.edge_w[ids].sum()) if ids.size else 0.0
-    if not np.isclose(result.total_weight, expected_weight, rtol=1e-12, atol=1e-12):
+    if not weight_sums_consistent(result.total_weight, g.edge_w[ids]):
         raise AlgorithmError("total_weight inconsistent with edge set")
 
 

@@ -30,7 +30,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
 import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -65,13 +67,23 @@ def graph_fingerprint(g: CSRGraph, algorithm: str, mode: str | None = None) -> s
     vertex count, topology, or weights — and any change of solver — maps
     to a different address.  Deterministic across processes and platforms
     (fixed dtypes, little-endian byte order).
+
+    Integer weights are hashed in their native int64 representation
+    (plus a dtype tag): funnelling them through float64 would collide
+    distinct weights beyond 2**53, silently serving one graph's forest
+    for another.  Float graphs hash exactly as before, so existing
+    stores stay warm.
     """
     h = hashlib.sha256()
     h.update(_FINGERPRINT_SALT)
     h.update(str(int(g.n_vertices)).encode())
     h.update(np.ascontiguousarray(g.edge_u, dtype="<i8").tobytes())
     h.update(np.ascontiguousarray(g.edge_v, dtype="<i8").tobytes())
-    h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
+    if g.edge_w.dtype.kind in "iu":
+        h.update(b"w:i8")
+        h.update(np.ascontiguousarray(g.edge_w, dtype="<i8").tobytes())
+    else:
+        h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
     h.update(algorithm.encode())
     h.update((mode or "default").encode())
     return h.hexdigest()
@@ -95,7 +107,7 @@ class MSFArtifact:
     msf_v: np.ndarray
     msf_w: np.ndarray
     msf_edge_ids: np.ndarray
-    total_weight: float
+    total_weight: float | int
     n_components: int
     index: Optional[dict] = field(default=None, repr=False)
 
@@ -135,7 +147,11 @@ def artifact_from_result(
     eids = eids[order]
     fu = g.edge_u[eids].astype(np.int64, copy=True)
     fv = g.edge_v[eids].astype(np.int64, copy=True)
-    fw = g.edge_w[eids].astype(np.float64, copy=True)
+    # Weights keep the graph's dtype: int64 weights round-tripped through
+    # float64 lose exactness beyond 2**53.
+    fw = np.ascontiguousarray(g.edge_w[eids]).copy()
+    int_w = fw.dtype.kind in "iu"
+    total = int(fw.sum()) if int_w else float(result.total_weight)
     index = None
     if build_index:
         local = np.arange(eids.size, dtype=np.int64)
@@ -149,7 +165,7 @@ def artifact_from_result(
         msf_v=fv,
         msf_w=fw,
         msf_edge_ids=eids,
-        total_weight=float(result.total_weight),
+        total_weight=total,
         n_components=int(result.n_components),
         index=index,
     )
@@ -173,7 +189,15 @@ def build_artifact(
 # Portable JSON artifacts (``repro mst --save`` / ``repro query --artifact``)
 # ----------------------------------------------------------------------
 def save_json_artifact(artifact: MSFArtifact, path: str | Path) -> None:
-    """Write the portable JSON form (forest edges; index rebuilt on load)."""
+    """Write the portable JSON form (forest edges; index rebuilt on load).
+
+    Integer weights are emitted as JSON integers (arbitrary precision, so
+    int64 values beyond 2**53 survive the round-trip byte-exactly) and
+    tagged with ``weight_dtype`` so the loader can restore the array
+    dtype; float artifacts keep the pre-existing layout.
+    """
+    int_w = artifact.msf_w.dtype.kind in "iu"
+    scal = int if int_w else float
     payload = {
         "format": _JSON_FORMAT,
         "version": _FORMAT_VERSION,
@@ -182,9 +206,10 @@ def save_json_artifact(artifact: MSFArtifact, path: str | Path) -> None:
         "mode": artifact.mode,
         "n_vertices": artifact.n_vertices,
         "n_components": artifact.n_components,
-        "total_weight": artifact.total_weight,
+        "weight_dtype": "int64" if int_w else "float64",
+        "total_weight": scal(artifact.total_weight),
         "edges": [
-            [int(u), int(v), float(w)]
+            [int(u), int(v), scal(w)]
             for u, v, w in zip(artifact.msf_u, artifact.msf_v, artifact.msf_w)
         ],
         "edge_ids": [int(e) for e in artifact.msf_edge_ids],
@@ -205,10 +230,15 @@ def load_json_artifact(path: str | Path) -> MSFArtifact:
             raise ServiceError(
                 f"unsupported artifact version {payload['version']} in {path}"
             )
+        wd = str(payload.get("weight_dtype", "float64"))
+        if wd not in ("int64", "float64"):
+            raise ServiceError(f"unknown weight_dtype {wd!r} in {path}")
+        w_dtype = np.int64 if wd == "int64" else np.float64
+        w_scal = int if wd == "int64" else float
         edges = payload["edges"]
         fu = np.array([e[0] for e in edges], dtype=np.int64)
         fv = np.array([e[1] for e in edges], dtype=np.int64)
-        fw = np.array([e[2] for e in edges], dtype=np.float64)
+        fw = np.array([e[2] for e in edges], dtype=w_dtype)
         artifact = MSFArtifact(
             fingerprint=str(payload["fingerprint"]),
             algorithm=str(payload["algorithm"]),
@@ -218,7 +248,7 @@ def load_json_artifact(path: str | Path) -> MSFArtifact:
             msf_v=fv,
             msf_w=fw,
             msf_edge_ids=np.array(payload["edge_ids"], dtype=np.int64),
-            total_weight=float(payload["total_weight"]),
+            total_weight=w_scal(payload["total_weight"]),
             n_components=int(payload["n_components"]),
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
@@ -314,7 +344,8 @@ class ArtifactStore:
             "mode": np.str_(artifact.mode or ""),
             "n_vertices": np.int64(artifact.n_vertices),
             "n_components": np.int64(artifact.n_components),
-            "total_weight": np.float64(artifact.total_weight),
+            # int totals persist as int64 (exact); floats as float64.
+            "total_weight": np.asarray(artifact.total_weight),
             "msf_u": artifact.msf_u,
             "msf_v": artifact.msf_v,
             "msf_w": artifact.msf_w,
@@ -384,15 +415,26 @@ def load_npz_artifact(
                 n_vertices=int(data["n_vertices"]),
                 msf_u=np.array(data["msf_u"], dtype=np.int64),
                 msf_v=np.array(data["msf_v"], dtype=np.int64),
-                msf_w=np.array(data["msf_w"], dtype=np.float64),
+                # Native dtype: int64 weights must not round through float64.
+                msf_w=np.array(data["msf_w"]),
                 msf_edge_ids=np.array(data["msf_edge_ids"], dtype=np.int64),
-                total_weight=float(data["total_weight"]),
+                total_weight=np.asarray(data["total_weight"]).item(),
                 n_components=int(data["n_components"]),
                 index=index,
             )
     except ServiceError:
         raise
-    except (OSError, KeyError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        zipfile.BadZipFile,
+        EOFError,
+        # Bit flips / garbage inside a zip member surface from the
+        # decompressor and the header parser, not from zipfile.
+        zlib.error,
+        struct.error,
+    ) as exc:
         raise ServiceError(f"corrupted artifact file {path}: {exc}") from exc
     _validate(artifact, path)
     return artifact

@@ -148,7 +148,14 @@ class AsyncMSTService:
                     stop_after = True
                     break
                 batch.append(item)
-            self._execute(batch)
+            try:
+                self._execute(batch)
+            except Exception as exc:  # pragma: no cover - defensive backstop
+                # The worker must survive anything a batch throws at it:
+                # fail the batch's futures, keep draining for later peers.
+                for _, future, _ in batch:
+                    if not future.done():
+                        future.set_exception(exc)
             if stop_after:
                 return
 
@@ -157,7 +164,7 @@ class AsyncMSTService:
         self.metrics.record_batch(len(batch))
         try:
             engine = self.service.ensure_ready()
-        except ServiceError as exc:
+        except Exception as exc:  # any rebuild failure fails requests, not the worker
             for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
@@ -171,10 +178,12 @@ class AsyncMSTService:
             ws = [it[0][3] if it[0][3] is not None else 0.0 for it in items]
             try:
                 results = engine.execute(kind, us, vs, ws)
-            except Exception as exc:  # surface per-request, never kill the worker
-                for _, future, _ in items:
-                    if not future.done():
-                        future.set_exception(exc)
+            except Exception:
+                # One malformed request (bad vertex id, wrong arg type) must
+                # not fail the well-formed peers it was coalesced with:
+                # fall back to per-request execution so only the offending
+                # requests observe the error.
+                self._execute_singly(engine, kind, items)
                 continue
             now = time.perf_counter()
             for (key, future, t0), value in zip(items, np.asarray(results)):
@@ -183,6 +192,29 @@ class AsyncMSTService:
                 self.metrics.record_query(f"serve:{key[0]}", now - t0)
                 if not future.done():
                     future.set_result(out)
+
+    def _execute_singly(self, engine, kind: str, items: List[Tuple]) -> None:
+        """Degraded path: run each request of a failed kind-group alone."""
+        for key, future, t0 in items:
+            _, u, v, w = key
+            try:
+                value = np.asarray(
+                    engine.execute(
+                        kind,
+                        [u if u is not None else 0],
+                        [v if v is not None else 0],
+                        [w if w is not None else 0.0],
+                    )
+                )[0]
+            except Exception as exc:  # surface per-request, never kill the worker
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            out = value.item() if isinstance(value, np.generic) else value
+            self._remember(key, out)
+            self.metrics.record_query(f"serve:{key[0]}", time.perf_counter() - t0)
+            if not future.done():
+                future.set_result(out)
 
     def _remember(self, key: Tuple, value) -> None:
         self._cache[key] = value

@@ -1,0 +1,66 @@
+"""Adversarial graph families: determinism, coverage, and shape."""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import FAMILIES, generate_case, iter_cases
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_every_family_generates(family):
+    case = generate_case(family, seed=3, size=9)
+    g = case.graph
+    assert g.n_vertices >= 0
+    assert case.family == family
+    assert family in case.name
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_generation_is_deterministic(family):
+    a = generate_case(family, seed=7, size=11).graph
+    b = generate_case(family, seed=7, size=11).graph
+    assert a.n_vertices == b.n_vertices
+    assert np.array_equal(a.edge_u, b.edge_u)
+    assert np.array_equal(a.edge_v, b.edge_v)
+    assert np.array_equal(a.edge_w, b.edge_w)
+
+
+def test_different_seeds_differ():
+    a = generate_case("random-duplicates", seed=0, size=12).graph
+    b = generate_case("random-duplicates", seed=1, size=12).graph
+    same = (
+        a.n_edges == b.n_edges
+        and np.array_equal(a.edge_u, b.edge_u)
+        and np.array_equal(a.edge_v, b.edge_v)
+        and np.array_equal(a.edge_w, b.edge_w)
+    )
+    assert not same
+
+
+def test_parallel_edges_family_has_parallel_edges():
+    g = generate_case("parallel-edges", seed=0, size=10).graph
+    pairs = set(zip(g.edge_u.tolist(), g.edge_v.tolist()))
+    assert len(pairs) < g.n_edges
+
+
+def test_self_loop_family_keeps_vertices():
+    g = generate_case("self-loops", seed=0, size=8).graph
+    assert g.n_vertices > 0
+
+
+def test_iter_cases_count_and_family_mix():
+    cases = list(iter_cases(seed=5, count=60, max_size=14))
+    assert len(cases) == 60
+    assert {c.family for c in cases} == set(FAMILIES)
+
+
+def test_iter_cases_family_filter():
+    cases = list(iter_cases(seed=0, count=10, families=["zero-weights"]))
+    assert len(cases) == 10
+    assert all(c.family == "zero-weights" for c in cases)
+
+
+def test_int64_huge_weights_stay_integral():
+    g = generate_case("int64-huge", seed=0, size=10).graph
+    assert g.edge_w.dtype.kind in "iu"
+    assert int(np.abs(g.edge_w).max()) > 2**53

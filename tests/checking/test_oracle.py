@@ -1,0 +1,112 @@
+"""Differential oracle: classification, matrix cells, and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import generate_case, iter_cases
+from repro.checking.oracle import (
+    BACKENDS,
+    BROKEN_ALGORITHM_NAME,
+    broken_max_forest,
+    check_one,
+    classify_result,
+    iter_checks,
+    run_matrix,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.mst.kruskal import kruskal
+from repro.mst.registry import algorithm_info, available_algorithms
+
+
+def _graph(edges, n):
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w, dedup=False))
+
+
+def test_oracle_agrees_with_itself():
+    g = generate_case("few-distinct-weights", 0, 10).graph
+    assert classify_result(g, kruskal(g)) is None
+
+
+def test_broken_stub_is_flagged_not_minimum():
+    g = _graph([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0)], 3)
+    verdict = classify_result(g, broken_max_forest(g))
+    assert verdict is not None
+    assert verdict[0] == "not-minimum"
+
+
+def test_check_one_catches_exceptions():
+    def exploding(g, backend=None):
+        raise RuntimeError("boom")
+
+    g = _graph([(0, 1, 1.0)], 2)
+    mismatch = check_one(
+        g, "exploding", None, "sequential",
+        extra_algorithms={"exploding": exploding},
+    )
+    assert mismatch is not None
+    assert mismatch.kind == "exception"
+    assert "boom" in mismatch.detail
+
+
+def test_tie_divergence_classification():
+    # Two equal-weight spanning trees of a 2-path: swapping the chosen
+    # edge keeps the multiset but changes the edge ids.
+    g = _graph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)], 3)
+    oracle = kruskal(g)
+    other_ids = sorted(set(range(g.n_edges)) - set(oracle.edge_ids.tolist()))
+    from repro.mst.base import result_from_edge_ids
+
+    swapped = result_from_edge_ids(
+        g, np.array([oracle.edge_ids[0], other_ids[0]], dtype=np.int64)
+    )
+    verdict = classify_result(g, swapped, oracle)
+    assert verdict is not None
+    assert verdict[0] == "tie-divergence"
+
+
+def test_iter_checks_backend_policy():
+    cells = iter_checks()
+    for name in available_algorithms():
+        info = algorithm_info(name)
+        labels = {b for a, m, b in cells if a == name}
+        if info.parallel:
+            assert labels == set(BACKENDS)
+        else:
+            assert labels == {next(iter(BACKENDS))}
+
+
+def test_run_matrix_small_sweep_is_clean():
+    report = run_matrix(seed=1, count=12, max_size=12)
+    assert report.cases_run == 12
+    assert report.ok, [str(m) for m in report.mismatches]
+
+
+def test_run_matrix_detects_planted_bug_and_stops_early():
+    report = run_matrix(
+        seed=0, count=40,
+        algorithms=[BROKEN_ALGORITHM_NAME],
+        extra_algorithms={BROKEN_ALGORITHM_NAME: broken_max_forest},
+        max_mismatches=3,
+    )
+    assert not report.ok
+    assert len(report.mismatches) == 3
+    assert all(m.algorithm == BROKEN_ALGORITHM_NAME for m in report.mismatches)
+
+
+def test_unknown_backend_label_raises():
+    with pytest.raises(KeyError):
+        iter_checks(backends=["no-such-backend"])
+
+
+@pytest.mark.slow
+def test_full_matrix_200_graphs():
+    """The acceptance sweep: every cell on >= 200 adversarial graphs."""
+    cases = list(iter_cases(seed=0, count=200, max_size=20))
+    assert len(cases) == 200
+    report = run_matrix(cases)
+    assert report.cases_run == 200
+    assert report.ok, [str(m) for m in report.mismatches]

@@ -1,0 +1,119 @@
+"""Adversarial schedules: backend contract, Lemma-4 subsets, hunts."""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import generate_case
+from repro.checking.schedules import (
+    AdversarialScheduleBackend,
+    ShuffledFrontierProblem,
+    hunt_llp_schedules,
+    hunt_mst_schedules,
+)
+
+
+def test_run_round_returns_results_in_item_order():
+    backend = AdversarialScheduleBackend(seed=1)
+    executed = []
+
+    def task(ctx, item):
+        executed.append(item)
+        return item * 10
+
+    items = list(range(16))
+    results = backend.run_round(items, task)
+    assert results == [i * 10 for i in items]  # item order, always
+    assert sorted(executed) == items
+    assert executed != items  # ...but executed in a permuted order
+
+
+def test_run_worklist_drains_everything():
+    backend = AdversarialScheduleBackend(seed=2)
+
+    def task(ctx, item):
+        children = [item * 2, item * 2 + 1] if item < 8 else []
+        return children, item
+
+    payloads = backend.run_worklist([1], task)
+    # Binary expansion from 1: every node in [1, 16) appears exactly once.
+    assert sorted(payloads) == list(range(1, 16))
+
+
+def test_shuffled_frontier_is_nonempty_subset():
+    from repro.llp.problems.mst_prim import PrimLLP
+
+    g = generate_case("few-distinct-weights", 0, 9).graph
+    inner = PrimLLP(g, 0)
+    wrapped = ShuffledFrontierProblem(inner, seed=4)
+    G = inner.bottom()
+    full = set(inner.forbidden_indices(G))
+    if not full:
+        pytest.skip("bottom state already feasible")
+    for _ in range(10):
+        subset = wrapped.forbidden_indices(G)
+        assert subset
+        assert set(subset) <= full
+
+
+def test_hunt_llp_schedules_converges():
+    report = hunt_llp_schedules(seed=1, n_schedules=10)
+    assert report.runs == 10
+    assert report.ok, report.failures
+
+
+def test_hunt_mst_schedules_matches_oracle():
+    report = hunt_mst_schedules(seed=1, n_schedules=3)
+    assert report.runs > 0
+    assert report.ok, report.failures
+
+
+def test_hunts_are_deterministic():
+    a = hunt_llp_schedules(seed=9, n_schedules=5)
+    b = hunt_llp_schedules(seed=9, n_schedules=5)
+    assert (a.runs, a.failures) == (b.runs, b.failures)
+
+
+def test_order_dependent_problem_is_caught():
+    """A deliberately order-sensitive LLP problem must trip the hunt."""
+    from repro.llp.engine_parallel import solve_parallel
+
+    class OrderSensitive:
+        # Advances each index by 1 until the *sum of visit order* leaks
+        # into the state: index j stops at a value that depends on when
+        # it was first advanced.
+        n = 4
+
+        def __init__(self):
+            self.clock = 0
+
+        def bottom(self):
+            return np.zeros(4)
+
+        def top(self):
+            return np.full(4, 100.0)
+
+        def forbidden(self, G, j):
+            return G[j] == 0.0
+
+        def forbidden_indices(self, G):
+            return [j for j in range(4) if self.forbidden(G, j)]
+
+        def advance(self, G, j):
+            self.clock += 1
+            return float(self.clock)  # order leaks into the state
+
+        def is_feasible(self, G):
+            return not any(self.forbidden(G, j) for j in range(4))
+
+        def on_advanced(self, G, j, old, new):
+            pass
+
+    reference = solve_parallel(OrderSensitive()).state
+    diverged = False
+    for s in range(8):
+        wrapped = ShuffledFrontierProblem(OrderSensitive(), seed=s)
+        got = solve_parallel(wrapped, AdversarialScheduleBackend(s)).state
+        if not np.array_equal(got, reference):
+            diverged = True
+            break
+    assert diverged, "adversarial schedules failed to expose order-dependence"

@@ -1,0 +1,111 @@
+"""Delta-debugging shrinker: minimization, invariants, and repro output."""
+
+import numpy as np
+
+from repro.checking.families import generate_case
+from repro.checking.oracle import (
+    BROKEN_ALGORITHM_NAME,
+    broken_max_forest,
+    run_matrix,
+)
+from repro.checking.shrink import (
+    shrink_graph,
+    shrink_mismatch,
+    to_pytest_repro,
+)
+
+EXTRA = {BROKEN_ALGORITHM_NAME: broken_max_forest}
+
+
+def _planted_mismatch(seed=0):
+    report = run_matrix(
+        seed=seed, count=40,
+        algorithms=[BROKEN_ALGORITHM_NAME], extra_algorithms=EXTRA,
+        max_mismatches=1,
+    )
+    assert not report.ok
+    return report.mismatches[0]
+
+
+def test_planted_bug_shrinks_to_at_most_8_vertices():
+    shrunk = shrink_mismatch(_planted_mismatch(), extra_algorithms=EXTRA)
+    assert shrunk.graph.n_vertices <= 8
+    assert shrunk.graph.n_edges <= shrunk.original_edges
+    # The minimized graph still reproduces the same failure kind.
+    assert shrunk.mismatch.kind == "not-minimum"
+
+
+def test_shrink_only_adopts_validated_candidates():
+    g = generate_case("few-distinct-weights", 2, 12).graph
+
+    calls = []
+
+    def predicate(h):
+        calls.append(h.n_edges)
+        return h.n_edges >= 3  # any graph with >= 3 edges "fails"
+
+    shrunk, n_calls = shrink_graph(g, predicate)
+    assert n_calls == len(calls)
+    assert predicate(shrunk)
+    assert shrunk.n_edges <= g.n_edges
+
+
+def test_shrink_handles_predicate_exceptions_as_false():
+    g = generate_case("few-distinct-weights", 1, 10).graph
+
+    def predicate(h):
+        if h.n_edges < g.n_edges:
+            raise ValueError("candidate rejected the hard way")
+        return True
+
+    shrunk, _ = shrink_graph(g, predicate)
+    # Nothing could be removed: every candidate raised.
+    assert shrunk.n_edges == g.n_edges
+
+
+def test_shrink_respects_call_budget():
+    g = generate_case("random-duplicates", 3, 16).graph
+
+    def predicate(h):
+        return h.n_edges >= 1
+
+    _, n_calls = shrink_graph(g, predicate, max_calls=25)
+    assert n_calls <= 25
+
+
+def test_pytest_repro_is_valid_python():
+    shrunk = shrink_mismatch(_planted_mismatch(), extra_algorithms=EXTRA)
+    source = to_pytest_repro(shrunk, test_name="test_generated")
+    compile(source, "<repro>", "exec")  # syntactically valid
+    assert "def test_generated()" in source
+    assert "check_one" in source
+    assert "assert mismatch is None" in source
+    # Every surviving edge appears in the emitted edge list.
+    assert source.count("(") >= shrunk.graph.n_edges
+
+
+def test_repro_graph_round_trips():
+    shrunk = shrink_mismatch(_planted_mismatch(), extra_algorithms=EXTRA)
+    g = shrunk.graph
+    # The shrunken graph keeps failing when rebuilt from raw arrays, which
+    # is exactly what the emitted repro does.
+    from repro.checking.oracle import check_one
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.edgelist import EdgeList
+
+    rebuilt = CSRGraph.from_edgelist(
+        EdgeList.from_arrays(
+            g.n_vertices,
+            np.asarray(g.edge_u), np.asarray(g.edge_v), np.asarray(g.edge_w),
+            dedup=False,
+        )
+    )
+    mismatch = check_one(
+        rebuilt,
+        shrunk.mismatch.algorithm,
+        shrunk.mismatch.mode,
+        shrunk.mismatch.backend,
+        extra_algorithms=EXTRA,
+    )
+    assert mismatch is not None
+    assert mismatch.kind == shrunk.mismatch.kind
