@@ -19,6 +19,7 @@ from repro.checking.faults import (
     check_artifact_degradation,
     check_mid_batch_cancellation,
     check_serve_malformed,
+    check_worker_crash,
     corrupt_artifact,
     run_fault_suite,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "check_artifact_degradation",
     "check_mid_batch_cancellation",
     "check_serve_malformed",
+    "check_worker_crash",
     "corrupt_artifact",
     "run_fault_suite",
     "BROKEN_ALGORITHM_NAME",

@@ -48,6 +48,7 @@ __all__ = [
     "check_mid_batch_cancellation",
     "malformed_request_lines",
     "check_serve_malformed",
+    "check_worker_crash",
     "run_fault_suite",
 ]
 
@@ -321,6 +322,80 @@ def check_serve_malformed(work_dir: str | Path, *, seed: int = 0) -> FaultReport
     return report
 
 
+# ----------------------------------------------------------------------
+# Shard-worker death mid-solve
+# ----------------------------------------------------------------------
+def check_worker_crash(*, seed: int = 0) -> FaultReport:
+    """Killing a shard worker mid-solve must never corrupt the answer.
+
+    The sharded coordinator's resilience contract, checked fault by
+    fault against the Kruskal oracle:
+
+    * a worker that dies once (``os._exit`` mid-solve) is respawned and
+      the retry produces the exact oracle forest;
+    * a worker that dies on *every* attempt exhausts its retries and the
+      shard is solved in-process — same forest, ``fallback_shards`` 1;
+    * a hung worker is reaped at its timeout and treated like a crash;
+    * no shared-memory segment survives any of it (the leak check is the
+      reason the arena is owner-unlinked rather than worker-tracked).
+    """
+    from repro.graphs.generators import gnm_random_graph
+    from repro.mst.kruskal import kruskal
+    from repro.shard import ShardFault, leaked_segments, sharded_mst
+
+    report = FaultReport()
+    g = gnm_random_graph(200, 800, seed=seed)
+    oracle = kruskal(g)
+    before = set(leaked_segments())
+
+    scenarios = [
+        (
+            "crash once, retry succeeds",
+            dict(fault=ShardFault(shard=1, kind="exit", attempts=1)),
+            {"retries": 1, "fallback_shards": 0},
+        ),
+        (
+            "crash always, fallback solves in-process",
+            dict(max_retries=1, fault=ShardFault(shard=2, kind="exit", attempts=10)),
+            {"retries": 1, "fallback_shards": 1},
+        ),
+        (
+            "hang reaped at timeout, retry succeeds",
+            dict(timeout_s=1.5, fault=ShardFault(shard=0, kind="hang", attempts=1)),
+            {"retries": 1, "fallback_shards": 0},
+        ),
+    ]
+    for name, kwargs, expect in scenarios:
+        try:
+            result = sharded_mst(
+                g, n_shards=4, executor="process", seed=seed, **kwargs
+            )
+        except Exception as exc:
+            report.record(f"worker-crash: {name}", False, repr(exc))
+            continue
+        report.record(
+            f"worker-crash: {name} — forest matches oracle",
+            np.array_equal(
+                np.asarray(result.edge_ids), np.asarray(oracle.edge_ids)
+            ),
+            "sharded forest diverged from Kruskal oracle",
+        )
+        for key, want in expect.items():
+            got = int(result.stats.get(key, -1))
+            report.record(
+                f"worker-crash: {name} — {key}",
+                got == want,
+                f"{key}={got}, expected {want}",
+            )
+    leaked = sorted(set(leaked_segments()) - before)
+    report.record(
+        "worker-crash: no leaked shared-memory segments",
+        not leaked,
+        f"segments left behind: {leaked}",
+    )
+    return report
+
+
 def run_fault_suite(work_dir: str | Path, *, seed: int = 0) -> FaultReport:
     """All fault-injection checks against one scratch directory."""
     work_dir = Path(work_dir)
@@ -328,4 +403,5 @@ def run_fault_suite(work_dir: str | Path, *, seed: int = 0) -> FaultReport:
     report.merge(check_artifact_degradation(work_dir / "artifacts", seed=seed))
     report.merge(check_mid_batch_cancellation(seed=seed))
     report.merge(check_serve_malformed(work_dir / "serve", seed=seed))
+    report.merge(check_worker_crash(seed=seed))
     return report

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
     mstp.add_argument("--mode", choices=("loop", "vectorized"), default=None,
                       help="kernel mode: 'loop' (reference) or 'vectorized' "
                            "(array-kernel fast path, where available)")
+    mstp.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="solve via the sharded multiprocess coordinator with "
+                           "N shards (--algo becomes the per-shard local solver)")
+    mstp.add_argument("--partition", choices=("hash", "range", "block"),
+                      default="hash",
+                      help="edge partition strategy for --shards")
     mstp.add_argument("--verify", action="store_true",
                       help="verify the output against the Kruskal oracle")
     mstp.add_argument("--save", type=Path, default=None, metavar="PATH",
@@ -105,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact-store directory (compute-once cache)")
     queryp.add_argument("--algo", default="kruskal", help="algorithm for cache misses")
     queryp.add_argument("--mode", choices=("loop", "vectorized"), default=None)
+    queryp.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="build cache misses through the sharded coordinator "
+                             "with N shards")
+    queryp.add_argument("--partition", choices=("hash", "range", "block"),
+                        default="hash",
+                        help="edge partition strategy for --shards")
     queryp.add_argument("--scale", type=int, default=None)
     queryp.add_argument("--seed", type=int, default=0)
     queryp.add_argument("--type", dest="qtype", default="connected",
@@ -300,12 +312,29 @@ def _cmd_mst(args: argparse.Namespace) -> int:
         return 2
     backend = SimulatedBackend(args.workers) if args.algo in PARALLEL_ALGORITHMS else None
 
-    t0 = time.perf_counter()
-    result = algo(g, backend=backend)
-    elapsed = time.perf_counter() - t0
+    if args.shards > 0:
+        from repro.shard import sharded_mst
+
+        t0 = time.perf_counter()
+        try:
+            result = sharded_mst(
+                g, n_shards=args.shards, partition=args.partition,
+                algorithm=args.algo, mode=args.mode,
+            )
+        except BenchmarkError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        result = algo(g, backend=backend)
+        elapsed = time.perf_counter() - t0
 
     print(f"graph:     {source}  (n={g.n_vertices}, m={g.n_edges})")
-    print(f"algorithm: {args.algo} [{args.mode or 'default'} mode]")
+    solver_note = (
+        f" via sharded x{args.shards} ({args.partition})" if args.shards > 0 else ""
+    )
+    print(f"algorithm: {args.algo} [{args.mode or 'default'} mode]{solver_note}")
     print(f"forest:    {result.n_edges} edges, {result.n_components} component(s)")
     print(f"weight:    {result.total_weight:.6f}")
     print(f"wall time: {elapsed * 1e3:.2f} ms")
@@ -322,8 +351,10 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     if args.save is not None:
         from repro.service.artifacts import artifact_from_result, save_json_artifact
 
-        artifact = artifact_from_result(g, result, args.algo, args.mode,
-                                        build_index=False)
+        artifact = artifact_from_result(
+            g, result, args.algo, args.mode, build_index=False,
+            solver="sharded" if args.shards > 0 else None, shards=args.shards,
+        )
         save_json_artifact(artifact, args.save)
         print(f"saved:     MSF artifact written to {args.save}")
     return 0
@@ -350,7 +381,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.service import MSTService
 
     try:
-        svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
+        svc = MSTService(args.store, algorithm=args.algo, mode=args.mode,
+                         shards=args.shards, partition=args.partition)
         if args.artifact is not None:
             artifact = svc.load_artifact(args.artifact)
             source = str(args.artifact)
@@ -367,7 +399,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print("query needs --artifact, --dataset, or --input", file=sys.stderr)
                 return 2
             artifact = svc.load_graph(g)
-        print(f"artifact:  {source}  [{artifact.algorithm}] "
+        solved_by = artifact.algorithm
+        if artifact.solver:
+            solved_by += f" via {artifact.solver} x{artifact.shards}"
+        print(f"artifact:  {source}  [{solved_by}] "
               f"(n={artifact.n_vertices}, forest={artifact.n_forest_edges} edges, "
               f"{artifact.n_components} components)")
         return _answer_queries(svc, args)

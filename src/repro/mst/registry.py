@@ -74,6 +74,7 @@ def _register() -> None:
     from repro.mst.parallel_filter_kruskal import parallel_filter_kruskal
     from repro.mst.prim import prim
     from repro.mst.prim_lazy import prim_lazy
+    from repro.shard.coordinator import sharded_mst
 
     _SEQUENTIAL.update(
         {
@@ -85,6 +86,10 @@ def _register() -> None:
             "kkt": kkt,
             "filter-kruskal": filter_kruskal,
             "ghs": ghs,
+            # Partition → per-process local solves → merge tree; registered
+            # sequential because the coordinator itself runs in-process (the
+            # parallelism lives in its worker processes, not a Backend).
+            "sharded": sharded_mst,
         }
     )
     _PARALLEL.update(

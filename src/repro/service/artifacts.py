@@ -60,8 +60,15 @@ _JSON_FORMAT = "repro-msf"
 _FINGERPRINT_SALT = b"repro-msf-artifact-v1"
 
 
-def graph_fingerprint(g: CSRGraph, algorithm: str, mode: str | None = None) -> str:
-    """SHA-256 content address of ``(graph bytes, algorithm, mode)``.
+def graph_fingerprint(
+    g: CSRGraph,
+    algorithm: str,
+    mode: str | None = None,
+    *,
+    solver: str | None = None,
+    shards: int = 0,
+) -> str:
+    """SHA-256 content address of ``(graph bytes, algorithm, mode, solver)``.
 
     Hashes the canonical edge arrays byte-exactly, so any change to the
     vertex count, topology, or weights — and any change of solver — maps
@@ -73,6 +80,11 @@ def graph_fingerprint(g: CSRGraph, algorithm: str, mode: str | None = None) -> s
     distinct weights beyond 2**53, silently serving one graph's forest
     for another.  Float graphs hash exactly as before, so existing
     stores stay warm.
+
+    ``solver``/``shards`` record *execution* provenance (e.g. the sharded
+    multiprocess coordinator wrapping ``algorithm`` as its local solver);
+    they enter the hash only when a solver is named, so every pre-existing
+    fingerprint — and therefore every warm store — is unchanged.
     """
     h = hashlib.sha256()
     h.update(_FINGERPRINT_SALT)
@@ -86,6 +98,8 @@ def graph_fingerprint(g: CSRGraph, algorithm: str, mode: str | None = None) -> s
         h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
     h.update(algorithm.encode())
     h.update((mode or "default").encode())
+    if solver is not None:
+        h.update(f"solver:{solver}:{int(shards)}".encode())
     return h.hexdigest()
 
 
@@ -110,6 +124,12 @@ class MSFArtifact:
     total_weight: float | int
     n_components: int
     index: Optional[dict] = field(default=None, repr=False)
+    # Execution provenance: which engine ran ``algorithm`` and at what
+    # shard count (``solver="sharded"``, ``shards=4``).  ``None``/``0``
+    # means the plain in-process path, matching every artifact written
+    # before these fields existed.
+    solver: Optional[str] = None
+    shards: int = 0
 
     @property
     def n_forest_edges(self) -> int:
@@ -135,12 +155,15 @@ def artifact_from_result(
     mode: str | None = None,
     *,
     build_index: bool = True,
+    solver: str | None = None,
+    shards: int = 0,
 ) -> MSFArtifact:
     """Package an already-computed :class:`MSTResult` as an artifact.
 
     Used both by the store (after running the registry algorithm) and by
     the CLI's ``mst --save`` (which has the result in hand and should not
-    pay for a second solve).
+    pay for a second solve).  ``solver``/``shards`` stamp execution
+    provenance into the artifact and its fingerprint.
     """
     eids = np.asarray(result.edge_ids, dtype=np.int64)
     order = np.argsort(g.ranks[eids], kind="stable") if eids.size else eids
@@ -157,7 +180,7 @@ def artifact_from_result(
         local = np.arange(eids.size, dtype=np.int64)
         index = ForestPathMax(g.n_vertices, fu, fv, local).index_arrays()
     return MSFArtifact(
-        fingerprint=graph_fingerprint(g, algorithm, mode),
+        fingerprint=graph_fingerprint(g, algorithm, mode, solver=solver, shards=shards),
         algorithm=algorithm,
         mode=mode,
         n_vertices=g.n_vertices,
@@ -168,6 +191,8 @@ def artifact_from_result(
         total_weight=total,
         n_components=int(result.n_components),
         index=index,
+        solver=solver,
+        shards=shards,
     )
 
 
@@ -177,8 +202,25 @@ def build_artifact(
     mode: str | None = None,
     *,
     backend=None,
+    shards: int = 0,
+    partition: str = "hash",
 ) -> MSFArtifact:
-    """Solve ``g`` with a registry algorithm and package the artifact."""
+    """Solve ``g`` with a registry algorithm and package the artifact.
+
+    ``shards > 0`` routes the solve through the sharded multiprocess
+    coordinator with ``algorithm``/``mode`` as the per-shard local solver;
+    the artifact records ``solver="sharded"`` provenance and fingerprints
+    separately from the plain in-process build.
+    """
+    if shards > 0:
+        from repro.shard.coordinator import sharded_mst
+
+        result = sharded_mst(
+            g, n_shards=shards, partition=partition, algorithm=algorithm, mode=mode
+        )
+        return artifact_from_result(
+            g, result, algorithm, mode, solver="sharded", shards=shards
+        )
     from repro.mst.registry import get_algorithm
 
     result = get_algorithm(algorithm, mode=mode)(g, backend=backend)
@@ -206,6 +248,8 @@ def save_json_artifact(artifact: MSFArtifact, path: str | Path) -> None:
         "mode": artifact.mode,
         "n_vertices": artifact.n_vertices,
         "n_components": artifact.n_components,
+        "solver": artifact.solver,
+        "shards": artifact.shards,
         "weight_dtype": "int64" if int_w else "float64",
         "total_weight": scal(artifact.total_weight),
         "edges": [
@@ -250,6 +294,9 @@ def load_json_artifact(path: str | Path) -> MSFArtifact:
             msf_edge_ids=np.array(payload["edge_ids"], dtype=np.int64),
             total_weight=w_scal(payload["total_weight"]),
             n_components=int(payload["n_components"]),
+            # Absent in pre-provenance dumps: default to the plain path.
+            solver=payload.get("solver"),
+            shards=int(payload.get("shards") or 0),
         )
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise ServiceError(f"corrupted JSON artifact {path}: {exc}") from exc
@@ -306,15 +353,22 @@ class ArtifactStore:
         mode: str | None = None,
         *,
         backend=None,
+        shards: int = 0,
+        partition: str = "hash",
     ) -> tuple[MSFArtifact, bool]:
         """Serve ``g``'s artifact, computing and persisting it on miss.
 
         Returns ``(artifact, cache_hit)``.  A corrupted or
         version-incompatible cached file counts as a miss: it is
         recomputed and overwritten (graceful degradation), never raised
-        out of this method.
+        out of this method.  ``shards > 0`` builds cold artifacts through
+        the sharded coordinator (and addresses them separately — sharded
+        and plain builds of the same graph are distinct artifacts).
         """
-        fingerprint = graph_fingerprint(g, algorithm, mode)
+        solver = "sharded" if shards > 0 else None
+        fingerprint = graph_fingerprint(
+            g, algorithm, mode, solver=solver, shards=shards
+        )
         path = self.path_for(fingerprint)
         if path.exists():
             try:
@@ -324,7 +378,9 @@ class ArtifactStore:
             except ServiceError:
                 self.corrupt_replaced += 1
         self.misses += 1
-        artifact = build_artifact(g, algorithm, mode, backend=backend)
+        artifact = build_artifact(
+            g, algorithm, mode, backend=backend, shards=shards, partition=partition
+        )
         self.save(artifact)
         return artifact, False
 
@@ -344,6 +400,8 @@ class ArtifactStore:
             "mode": np.str_(artifact.mode or ""),
             "n_vertices": np.int64(artifact.n_vertices),
             "n_components": np.int64(artifact.n_components),
+            "solver": np.str_(artifact.solver or ""),
+            "shards": np.int64(artifact.shards),
             # int totals persist as int64 (exact); floats as float64.
             "total_weight": np.asarray(artifact.total_weight),
             "msf_u": artifact.msf_u,
@@ -421,6 +479,11 @@ def load_npz_artifact(
                 total_weight=np.asarray(data["total_weight"]).item(),
                 n_components=int(data["n_components"]),
                 index=index,
+                # Keys absent from pre-provenance files: plain path.
+                solver=(str(data["solver"].item()) or None)
+                if "solver" in data.files
+                else None,
+                shards=int(data["shards"]) if "shards" in data.files else 0,
             )
     except ServiceError:
         raise

@@ -57,6 +57,8 @@ class MSTService:
         mode: str | None = None,
         backend=None,
         metrics: ServiceMetrics | None = None,
+        shards: int = 0,
+        partition: str = "hash",
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ArtifactStore(store)
@@ -64,6 +66,10 @@ class MSTService:
         self.algorithm = algorithm
         self.mode = mode
         self.backend = backend
+        # shards > 0 opts cold builds into the sharded multiprocess
+        # coordinator (repro.shard); warm loads and queries are unaffected.
+        self.shards = int(shards)
+        self.partition = partition
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._engine: Optional[QueryEngine] = None
         self._graph: Optional[CSRGraph] = None
@@ -81,10 +87,14 @@ class MSTService:
         """
         if self.store is not None:
             artifact, hit = self.store.get_or_compute(
-                g, self.algorithm, self.mode, backend=self.backend
+                g, self.algorithm, self.mode, backend=self.backend,
+                shards=self.shards, partition=self.partition,
             )
         else:
-            artifact = build_artifact(g, self.algorithm, self.mode, backend=self.backend)
+            artifact = build_artifact(
+                g, self.algorithm, self.mode, backend=self.backend,
+                shards=self.shards, partition=self.partition,
+            )
             hit = False
         self.metrics.record_artifact(hit)
         self._graph = g
@@ -231,10 +241,16 @@ class MSTService:
         index = ForestPathMax(dyn.n_vertices, fu, fv, local).index_arrays()
         snapshot = dyn.snapshot()
         self._graph = snapshot
+        solver = "sharded" if self.shards > 0 else None
         artifact = MSFArtifact(
-            fingerprint=graph_fingerprint(snapshot, self.algorithm, self.mode),
+            fingerprint=graph_fingerprint(
+                snapshot, self.algorithm, self.mode,
+                solver=solver, shards=self.shards,
+            ),
             algorithm=self.algorithm,
             mode=self.mode,
+            solver=solver,
+            shards=self.shards,
             n_vertices=dyn.n_vertices,
             msf_u=fu,
             msf_v=fv,

@@ -69,7 +69,13 @@ class AsyncMSTService:
             self._worker = asyncio.create_task(self._drain_forever())
 
     async def stop(self) -> None:
-        """Flush pending requests and stop the worker."""
+        """Flush pending requests and stop the worker.
+
+        Every request enqueued before this call returns is answered —
+        including ones that raced onto the queue behind the stop sentinel;
+        the worker drains the whole queue before exiting, so a graceful
+        shutdown never abandons an awaiting caller.
+        """
         if self._worker is None:
             return
         await self._queue.put(_STOP)
@@ -129,6 +135,7 @@ class AsyncMSTService:
         while True:
             first = await self._queue.get()
             if first is _STOP:
+                self._flush_remaining()
                 return
             batch = [first]
             deadline = time.perf_counter() + self.max_delay_s
@@ -157,7 +164,34 @@ class AsyncMSTService:
                     if not future.done():
                         future.set_exception(exc)
             if stop_after:
+                self._flush_remaining()
                 return
+
+    def _flush_remaining(self) -> None:
+        """Answer every request still queued at shutdown.
+
+        The stop sentinel does not freeze the queue: a request can be
+        enqueued concurrently with :meth:`stop` and land behind the
+        sentinel.  Dropping those would leave their futures pending
+        forever, so the worker's last act is to execute them in
+        ``max_batch`` chunks.
+        """
+        leftovers: List[Tuple] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:  # tolerate duplicate sentinels
+                leftovers.append(item)
+        for i in range(0, len(leftovers), self.max_batch):
+            chunk = leftovers[i : i + self.max_batch]
+            try:
+                self._execute(chunk)
+            except Exception as exc:  # pragma: no cover - defensive backstop
+                for _, future, _ in chunk:
+                    if not future.done():
+                        future.set_exception(exc)
 
     def _execute(self, batch: List[Tuple]) -> None:
         """Run one coalesced batch: group by kind, one vectorized call each."""

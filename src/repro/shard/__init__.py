@@ -1,0 +1,49 @@
+"""Sharded multiprocess MST: partition → local-solve → merge.
+
+The subsystem splits the edge set into disjoint shards
+(:mod:`repro.shard.partition`), solves each shard with any registered
+algorithm — in separate OS processes attached zero-copy to a shared-memory
+arena (:mod:`repro.shard.memory`, :mod:`repro.shard.worker`) — and folds
+the per-shard forests up a binary merge tree (:mod:`repro.shard.merge`)
+into the exact rank-canonical global MSF.  :mod:`repro.shard.coordinator`
+owns the lifecycle: timeouts, retry-with-respawn on worker death, and
+graceful fallback to in-process solving.
+
+Front door: :func:`~repro.shard.coordinator.sharded_mst`, also registered
+as algorithm ``"sharded"`` in :mod:`repro.mst.registry` and reachable via
+``repro mst --shards N --partition {hash,range,block}``.
+"""
+
+from repro.shard.coordinator import DEFAULT_MIN_PROCESS_EDGES, EXECUTORS, sharded_mst
+from repro.shard.memory import ArenaSpec, SharedEdgeArena, attach_readonly, leaked_segments
+from repro.shard.merge import merge_pair, merge_tree, msf_of_edge_ids
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    ShardPlan,
+    partition_edges,
+    shard_assignment,
+    shard_edge_ids,
+)
+from repro.shard.worker import ShardFault, ShardTask, solve_shard_local, worker_main
+
+__all__ = [
+    "sharded_mst",
+    "EXECUTORS",
+    "DEFAULT_MIN_PROCESS_EDGES",
+    "PARTITION_STRATEGIES",
+    "ShardPlan",
+    "partition_edges",
+    "shard_assignment",
+    "shard_edge_ids",
+    "ArenaSpec",
+    "SharedEdgeArena",
+    "attach_readonly",
+    "leaked_segments",
+    "merge_pair",
+    "merge_tree",
+    "msf_of_edge_ids",
+    "ShardFault",
+    "ShardTask",
+    "solve_shard_local",
+    "worker_main",
+]

@@ -1,0 +1,249 @@
+"""Coordinator: partition → per-process local solves → merge tree.
+
+:func:`sharded_mst` is the subsystem's front door and the first solver in
+the repository that escapes the GIL: each shard is solved in a separate
+OS process over the shared-memory arena (:mod:`repro.shard.memory`), and
+the per-shard forests fold up the binary merge tree
+(:mod:`repro.shard.merge`) into the exact rank-canonical global MSF.
+
+The coordinator owns every failure mode so callers never see a hung or
+half-done solve:
+
+* **timeouts** — each worker gets ``timeout_s`` per attempt; an overdue
+  worker is terminated and treated like a crash;
+* **retry with respawn** — a worker that dies (nonzero exit, lost pipe,
+  in-worker exception) is respawned up to ``max_retries`` times;
+* **in-process fallback** — a shard that keeps failing is solved in this
+  process with the same code path (:func:`~repro.shard.worker.solve_shard_local`),
+  so the result is identical, just slower;
+* **graceful degradation** — when process machinery itself is unavailable
+  (no shared memory, fork refused), the whole solve falls back to the
+  serial executor;
+* **guaranteed cleanup** — the arena is unlinked and stray workers are
+  killed in a ``finally``, so no shared-memory segment or zombie process
+  survives the call, crash or no crash.
+
+Executors: ``"process"`` forces worker processes, ``"serial"`` forces the
+in-process path, and ``"auto"`` (default) uses processes only when the
+graph is big enough (``>= min_process_edges`` edges) for the fork + IPC
+cost to be worth escaping the GIL.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import BenchmarkError, ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.shard.memory import SharedEdgeArena
+from repro.shard.merge import merge_tree
+from repro.shard.partition import PARTITION_STRATEGIES, partition_edges
+from repro.shard.worker import ShardFault, ShardTask, solve_shard_local, worker_main
+
+__all__ = ["sharded_mst", "EXECUTORS", "DEFAULT_MIN_PROCESS_EDGES"]
+
+EXECUTORS = ("auto", "process", "serial")
+
+# Below this edge count the fork + pipe round-trip dominates any
+# parallelism win, so "auto" keeps tiny graphs (tests, the differential
+# matrix) entirely in process.
+DEFAULT_MIN_PROCESS_EDGES = 10_000
+
+
+def sharded_mst(
+    g: CSRGraph,
+    *,
+    n_shards: int = 4,
+    partition: str = "hash",
+    algorithm: str = "kruskal",
+    mode: str | None = None,
+    seed: int = 0,
+    executor: str = "auto",
+    timeout_s: float = 120.0,
+    max_retries: int = 2,
+    min_process_edges: int = DEFAULT_MIN_PROCESS_EDGES,
+    fault: ShardFault | None = None,
+) -> MSTResult:
+    """Partition, solve shards (in processes where worthwhile), and merge.
+
+    ``algorithm``/``mode`` name the registered local solver run on each
+    shard.  The output is the exact rank-canonical MSF — identical edge
+    ids to the Kruskal oracle — for every partition strategy, shard
+    count, and executor; those knobs only change *where* the work runs.
+    ``fault`` deterministically injects worker crashes/hangs and exists
+    for the checking harness.
+    """
+    if algorithm == "sharded":
+        raise BenchmarkError("sharded cannot recurse into itself as a local solver")
+    if executor not in EXECUTORS:
+        raise BenchmarkError(
+            f"unknown executor {executor!r}; available: {', '.join(EXECUTORS)}"
+        )
+    if partition not in PARTITION_STRATEGIES:
+        raise BenchmarkError(
+            f"unknown partition strategy {partition!r}; "
+            f"available: {', '.join(PARTITION_STRATEGIES)}"
+        )
+    if n_shards < 1:
+        raise BenchmarkError(f"n_shards must be >= 1, got {n_shards}")
+
+    t0 = time.perf_counter()
+    plan = partition_edges(g, n_shards, partition, seed)
+    use_processes = executor == "process" or (
+        executor == "auto" and n_shards > 1 and g.n_edges >= min_process_edges
+    )
+
+    stats: Dict[str, float] = {
+        "shards": n_shards,
+        "partition": partition,  # type: ignore[dict-item]
+        "balance_ratio": round(plan.balance_ratio, 4),
+        "replication_factor": round(plan.replication_factor, 4),
+        "retries": 0,
+        "fallback_shards": 0,
+    }
+
+    if use_processes:
+        try:
+            forests = _solve_in_processes(
+                g, plan, algorithm, mode, seed,
+                timeout_s=timeout_s, max_retries=max_retries,
+                fault=fault, stats=stats,
+            )
+            stats["executor"] = "process"  # type: ignore[assignment]
+        except ServiceError:
+            # Shared memory / fork unavailable: degrade to the in-process
+            # executor rather than failing the solve.
+            forests = None
+            stats["executor"] = "serial-degraded"  # type: ignore[assignment]
+    else:
+        forests = None
+        stats["executor"] = "serial"  # type: ignore[assignment]
+    if forests is None:
+        forests = [
+            solve_shard_local(
+                g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+                plan.edge_ids(s), algorithm, mode,
+            )
+            for s in range(n_shards)
+        ]
+
+    stats["candidate_edges"] = int(sum(f.size for f in forests))
+    t_merge = time.perf_counter()
+    msf = merge_tree(g, forests)
+    stats["merge_seconds"] = round(time.perf_counter() - t_merge, 6)
+    stats["total_seconds"] = round(time.perf_counter() - t0, 6)
+    return result_from_edge_ids(g, msf, stats=stats)
+
+
+def _solve_in_processes(
+    g: CSRGraph,
+    plan,
+    algorithm: str,
+    mode: str | None,
+    seed: int,
+    *,
+    timeout_s: float,
+    max_retries: int,
+    fault: ShardFault | None,
+    stats: Dict[str, float],
+) -> List[np.ndarray]:
+    """Run every shard in its own OS process; retry, time out, fall back.
+
+    Raises :class:`~repro.errors.ServiceError` only when the process
+    machinery itself is unusable (caller degrades to serial); individual
+    worker failures are retried and, past ``max_retries``, solved in
+    process so the solve always completes.
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as conn_wait
+
+    try:
+        ctx = mp.get_context()
+        arena = SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w)
+    except (ServiceError, OSError, ValueError) as exc:
+        raise ServiceError(f"process executor unavailable: {exc}") from exc
+
+    forests: Dict[int, np.ndarray] = {}
+    fallback: List[int] = []
+    live: Dict[int, tuple] = {}  # shard -> (process, recv_conn, deadline, attempt)
+
+    def _spawn(shard: int, attempt: int) -> None:
+        task = ShardTask(
+            arena=arena.spec, shard=shard, n_shards=plan.n_shards,
+            strategy=plan.strategy, seed=seed,
+            algorithm=algorithm, mode=mode, attempt=attempt, fault=fault,
+        )
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=worker_main, args=(send_conn, task), daemon=True,
+            name=f"repro-shard-{shard}-a{attempt}",
+        )
+        proc.start()
+        # Parent must drop its copy of the send end, or a dead worker's
+        # pipe would never raise EOF and the solve would hang forever.
+        send_conn.close()
+        live[shard] = (proc, recv_conn, time.perf_counter() + timeout_s, attempt)
+
+    def _failed(shard: int, attempt: int) -> None:
+        stats["retries"] += 1
+        if attempt + 1 <= max_retries:
+            _spawn(shard, attempt + 1)
+        else:
+            stats["retries"] -= 1  # the terminal failure is a fallback, not a retry
+            stats["fallback_shards"] += 1
+            fallback.append(shard)
+
+    try:
+        try:
+            for shard in range(plan.n_shards):
+                _spawn(shard, 0)
+        except OSError as exc:  # fork refused (rlimit, sandbox)
+            raise ServiceError(f"cannot spawn shard workers: {exc}") from exc
+
+        while live:
+            ready = conn_wait([c for _, c, _, _ in live.values()], timeout=0.05)
+            now = time.perf_counter()
+            for conn in ready:
+                shard = next(s for s, v in live.items() if v[1] is conn)
+                proc, _, _, attempt = live.pop(shard)
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):  # died without an answer
+                    payload = ("error", f"worker exited with {proc.exitcode}")
+                finally:
+                    conn.close()
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.join()
+                if payload[0] == "ok":
+                    forests[shard] = np.asarray(payload[1], dtype=np.int64)
+                else:
+                    _failed(shard, attempt)
+            # Reap overdue workers (hangs count as crashes).
+            for shard in [s for s, v in live.items() if v[2] < now]:
+                proc, conn, _, attempt = live.pop(shard)
+                proc.terminate()
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.kill()
+                    proc.join()
+                conn.close()
+                _failed(shard, attempt)
+    finally:
+        for proc, conn, _, _ in live.values():  # pragma: no cover - defensive
+            proc.kill()
+            proc.join()
+            conn.close()
+        arena.close()
+
+    for shard in fallback:
+        forests[shard] = solve_shard_local(
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+            plan.edge_ids(shard), algorithm, mode,
+        )
+    return [forests[s] for s in range(plan.n_shards)]

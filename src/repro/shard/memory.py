@@ -1,0 +1,212 @@
+"""Zero-copy shared-memory publication of the edge arrays.
+
+The coordinator publishes the canonical edge arrays (``edge_u``,
+``edge_v``, ``edge_w``) **once** into a single
+:class:`multiprocessing.shared_memory.SharedMemory` block; every worker
+process attaches by name and maps NumPy views straight over the buffer —
+no pickling, no per-worker copy of the graph.  Layout is three contiguous
+segments ``[u | v | w]`` described by a tiny picklable
+:class:`ArenaSpec` that rides along in each worker's argument tuple.
+
+Lifecycle rules (the part that goes wrong in practice):
+
+* the **creator** owns the segment: :class:`SharedEdgeArena` is a context
+  manager whose ``close()`` both closes the mapping and unlinks the
+  segment, and a ``weakref.finalize`` backstop unlinks even when the
+  owner is dropped without ``close()`` — segments must never outlive the
+  solve;
+* **workers** attach read-only copies-by-reference and must *never*
+  unlink; on Python < 3.13 attaching also registers the segment with the
+  ``resource_tracker``, which would unlink it behind the owner's back
+  when the worker exits, so :func:`attach_readonly` immediately
+  unregisters the attachment (``track=False`` on newer Pythons);
+* a crashed worker (``SIGKILL``, ``os._exit``) therefore cannot leak the
+  segment — ownership never left the coordinator.
+
+:func:`leaked_segments` supports the fault battery: it lists live
+``repro-shard-*`` segments so tests can assert cleanup actually happened.
+"""
+
+from __future__ import annotations
+
+import secrets
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+__all__ = ["ArenaSpec", "SharedEdgeArena", "attach_readonly", "leaked_segments"]
+
+_NAME_PREFIX = "repro-shard-"
+
+
+@dataclass(frozen=True)
+class ArenaSpec:
+    """Picklable description of one published edge arena.
+
+    Everything a worker needs to map the three arrays: the segment name,
+    the graph dimensions, and the weight dtype (``int64`` weights must not
+    round-trip through ``float64``).
+    """
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    w_dtype: str  # "int64" | "float64"
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size of the segment in bytes."""
+        return self.n_edges * 8 * 3
+
+
+def _views(buf, spec: ArenaSpec) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The three array views over a raw shared buffer."""
+    m = spec.n_edges
+    u = np.ndarray(m, dtype=np.int64, buffer=buf, offset=0)
+    v = np.ndarray(m, dtype=np.int64, buffer=buf, offset=m * 8)
+    w = np.ndarray(m, dtype=np.dtype(spec.w_dtype), buffer=buf, offset=m * 16)
+    return u, v, w
+
+
+class SharedEdgeArena:
+    """Owner-side handle of the published edge arrays (context manager).
+
+    Create with :meth:`publish`; pass :attr:`spec` to workers; guarantee
+    cleanup with ``with`` or an explicit :meth:`close` (idempotent).
+    """
+
+    def __init__(self, shm, spec: ArenaSpec) -> None:
+        self._shm = shm
+        self.spec = spec
+        # Unlink even if the owner forgets close(): a leaked segment would
+        # survive the process and eat /dev/shm until reboot.
+        self._finalizer = weakref.finalize(self, _unlink_quietly, shm)
+
+    @classmethod
+    def publish(cls, n_vertices: int, edge_u, edge_v, edge_w) -> "SharedEdgeArena":
+        """Copy the edge arrays into a fresh named shared-memory segment.
+
+        The single copy here is the *only* copy the whole solve makes;
+        every worker maps views over this segment.  Raises
+        :class:`~repro.errors.ServiceError` when shared memory is
+        unavailable on the platform (callers degrade to in-process mode).
+        """
+        try:
+            from multiprocessing import shared_memory
+        except ImportError as exc:  # pragma: no cover - platform-specific
+            raise ServiceError(f"shared memory unavailable: {exc}") from exc
+        edge_u = np.ascontiguousarray(edge_u, dtype=np.int64)
+        edge_v = np.ascontiguousarray(edge_v, dtype=np.int64)
+        w_dtype = "int64" if np.asarray(edge_w).dtype.kind in "iu" else "float64"
+        edge_w = np.ascontiguousarray(edge_w, dtype=np.dtype(w_dtype))
+        m = int(edge_u.size)
+        spec = ArenaSpec(
+            name=f"{_NAME_PREFIX}{secrets.token_hex(8)}",
+            n_vertices=int(n_vertices),
+            n_edges=m,
+            w_dtype=w_dtype,
+        )
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(spec.nbytes, 1), name=spec.name
+            )
+        except OSError as exc:
+            raise ServiceError(f"cannot create shared memory segment: {exc}") from exc
+        try:
+            u, v, w = _views(shm.buf, spec)
+            u[:] = edge_u
+            v[:] = edge_v
+            w[:] = edge_w
+        except BaseException:
+            _unlink_quietly(shm)
+            raise
+        return cls(shm, spec)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Owner-side views ``(edge_u, edge_v, edge_w)`` over the segment."""
+        if self._shm is None:
+            raise ServiceError("arena already closed")
+        return _views(self._shm.buf, self.spec)
+
+    def close(self) -> None:
+        """Close the mapping and unlink the segment (idempotent)."""
+        if self._shm is not None:
+            self._finalizer.detach()
+            _unlink_quietly(self._shm)
+            self._shm = None
+
+    def __enter__(self) -> "SharedEdgeArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _unlink_quietly(shm) -> None:
+    """Close + unlink, swallowing already-gone errors (cleanup path)."""
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass
+
+
+def attach_readonly(spec: ArenaSpec):
+    """Worker-side attach: ``(edge_u, edge_v, edge_w, shm_handle)``.
+
+    The views are marked read-only (workers must never scribble on the
+    shared graph) and the attachment is de-registered from the resource
+    tracker so a worker exit — clean or crashed — cannot unlink the
+    owner's segment.  The caller must keep ``shm_handle`` alive as long
+    as the views are in use and ``close()`` (not unlink) it afterwards.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=spec.name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        try:
+            from multiprocessing import resource_tracker
+
+            # Fork children inherit (share) the owner's tracker: attaching
+            # re-adds a name already in its cache, so unregistering here
+            # would pre-empt the owner's unlink and make the tracker whine.
+            # Spawn children boot their *own* tracker, which would unlink
+            # the owner's segment when this worker exits — those must
+            # unregister the attachment.
+            inherited = (
+                getattr(resource_tracker._resource_tracker, "_fd", None) is not None
+            )
+        except Exception:  # pragma: no cover - tracker internals moved
+            resource_tracker = None  # type: ignore[assignment]
+            inherited = True
+        shm = shared_memory.SharedMemory(name=spec.name)
+        if resource_tracker is not None and not inherited:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+    u, v, w = _views(shm.buf, spec)
+    for arr in (u, v, w):
+        arr.setflags(write=False)
+    return u, v, w, shm
+
+
+def leaked_segments(prefix: str = _NAME_PREFIX) -> list[str]:
+    """Names of live shard segments (empty on platforms without /dev/shm).
+
+    The fault battery snapshots this before and after a crashy solve to
+    prove the unlink guarantee holds even when workers die mid-solve.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.glob(f"{prefix}*"))

@@ -1,0 +1,196 @@
+"""Per-shard solver: runs in a worker OS process over the shared arena.
+
+A worker receives a small picklable :class:`ShardTask` (arena spec, shard
+index, strategy, algorithm name) — never edge data.  It attaches the
+shared arrays zero-copy, recomputes *its own* shard membership with the
+same deterministic assignment function the coordinator used, builds the
+shard subgraph in the **global vertex space**, solves it with any
+registered algorithm × mode, and sends back only the global edge ids of
+its local forest (at most ``n - 1`` int64 values).
+
+Correctness note on local tie-breaking: the shard edge ids are taken in
+ascending global order, so the shard subgraph's ``(weight, local index)``
+ranks order edges exactly as the restriction of the global ``(weight,
+edge id)`` order.  Each local forest is therefore the rank-canonical MSF
+of its shard, which is what makes the merge tree reproduce the global
+rank-canonical MSF edge for edge (see :mod:`repro.shard.merge`).
+
+The same solve path is callable in process (:func:`solve_shard_local`) —
+that is the coordinator's serial executor and its fallback when a worker
+keeps dying.  Fault injection for the checking harness is explicit: a
+:class:`ShardTask` may carry a fault that makes the worker ``os._exit``
+or hang mid-solve on selected attempts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.shard.memory import ArenaSpec, attach_readonly
+from repro.shard.partition import shard_edge_ids
+
+__all__ = ["ShardFault", "ShardTask", "solve_shard_local", "worker_main"]
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """Deterministic worker fault for the checking harness.
+
+    ``kind`` is ``"exit"`` (die with a nonzero status mid-solve) or
+    ``"hang"`` (sleep past any reasonable timeout); the fault fires on
+    ``shard`` for every attempt strictly below ``attempts`` — so
+    ``attempts=1`` kills the first try and lets the retry succeed.
+    """
+
+    shard: int
+    kind: str = "exit"
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs, small enough to pickle cheaply."""
+
+    arena: ArenaSpec
+    shard: int
+    n_shards: int
+    strategy: str
+    seed: int
+    algorithm: str
+    mode: Optional[str]
+    attempt: int = 0
+    fault: Optional[ShardFault] = None
+
+
+def _shard_subgraph(
+    n_vertices: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    ids: np.ndarray,
+) -> CSRGraph:
+    """The shard's CSR subgraph in the global vertex space.
+
+    ``dedup=False`` keeps parallel edges (each shard must solve exactly
+    the edges it owns) and preserves the ascending-global-id order that
+    aligns local weight ranks with the global total order.
+    """
+    edges = EdgeList.from_arrays(
+        n_vertices, edge_u[ids], edge_v[ids], edge_w[ids], dedup=False
+    )
+    return CSRGraph.from_edgelist(edges)
+
+
+def _kruskal_over_ids(
+    n_vertices: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    ids: np.ndarray,
+) -> np.ndarray:
+    """Kruskal restricted to ``ids`` without building a shard subgraph.
+
+    A stable sort of the shard's weights reproduces the restriction of
+    the global ``(weight, edge_id)`` rank order (``ids`` is ascending),
+    so this scans edges in exactly the order the full-graph oracle would
+    — but skips the CSR construction a registry solver needs, which is
+    most of a shard solve's cost.  Early-stops once the forest spans.
+    """
+    from repro.structures.union_find import UnionFind
+
+    order = np.argsort(edge_w[ids], kind="stable")
+    uf = UnionFind(int(n_vertices))
+    chosen = []
+    unions = 0
+    target = int(n_vertices) - 1
+    eu, ev = edge_u, edge_v
+    for e in ids[order].tolist():
+        if uf.union(int(eu[e]), int(ev[e])):
+            chosen.append(e)
+            unions += 1
+            if unions == target:
+                break
+    return np.asarray(sorted(chosen), dtype=np.int64)
+
+
+def solve_shard_local(
+    n_vertices: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_w: np.ndarray,
+    ids: np.ndarray,
+    algorithm: str = "kruskal",
+    mode: str | None = None,
+) -> np.ndarray:
+    """Solve one shard in the current process; global MSF-candidate ids.
+
+    Shared by worker processes (over arena views) and the serial executor
+    (over the graph's own arrays) so both paths are byte-identical.  The
+    default ``kruskal`` local solver takes the subgraph-free fast path;
+    any other registered algorithm runs over the shard's own CSR graph.
+    """
+    if ids.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if algorithm == "kruskal" and mode in (None, "loop"):
+        return _kruskal_over_ids(n_vertices, edge_u, edge_v, edge_w, ids)
+    from repro.mst.registry import get_algorithm
+
+    local = _shard_subgraph(n_vertices, edge_u, edge_v, edge_w, ids)
+    result = get_algorithm(algorithm, mode=mode)(local)
+    return ids[np.asarray(result.edge_ids, dtype=np.int64)]
+
+
+def _maybe_fault(task: ShardTask) -> None:
+    """Fire the injected fault when this attempt is in its blast radius."""
+    fault = task.fault
+    if fault is None or fault.shard != task.shard or task.attempt >= fault.attempts:
+        return
+    if fault.kind == "hang":
+        time.sleep(3600.0)
+    # "exit": simulate a hard crash — no cleanup handlers, no exception.
+    os._exit(87)
+
+
+def worker_main(conn, task: ShardTask) -> None:
+    """Worker process entry point: attach, solve own shard, reply, exit.
+
+    Sends ``("ok", edge_ids, seconds)`` or ``("error", repr)`` over
+    ``conn``.  The arena is attached read-only and only *closed* on the
+    way out — unlinking is the coordinator's job alone.
+    """
+    shm = None
+    try:
+        t0 = time.perf_counter()
+        edge_u, edge_v, edge_w, shm = attach_readonly(task.arena)
+        ids = shard_edge_ids(
+            task.arena.n_vertices, edge_u, edge_v,
+            task.n_shards, task.shard, task.strategy, task.seed,
+        )
+        _maybe_fault(task)
+        forest = solve_shard_local(
+            task.arena.n_vertices, edge_u, edge_v, edge_w, ids,
+            task.algorithm, task.mode,
+        )
+        conn.send(("ok", np.ascontiguousarray(forest), time.perf_counter() - t0))
+    except Exception as exc:  # surface as data; the coordinator decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass

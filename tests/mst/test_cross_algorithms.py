@@ -1,9 +1,10 @@
 """Cross-algorithm agreement: every algorithm must return the unique MSF.
 
 This is the central correctness property of the reproduction: with
-distinct weight ranks the MSF is unique, so twelve independent
-implementations (four of them parallel, one distributed) must produce the identical edge
-set, which in turn must match networkx.
+distinct weight ranks the MSF is unique, so thirteen independent
+implementations (four of them parallel, one distributed, one sharded
+multiprocess) must produce the identical edge set, which in turn must
+match networkx.
 """
 
 import numpy as np
@@ -81,8 +82,8 @@ def test_registry_lists_and_rejects():
     from repro.errors import BenchmarkError
 
     names = available_algorithms()
-    assert "prim" in names and "llp-boruvka" in names
-    assert len(names) == 12
+    assert "prim" in names and "llp-boruvka" in names and "sharded" in names
+    assert len(names) == 13
     with pytest.raises(BenchmarkError):
         get_algorithm("nope")
 

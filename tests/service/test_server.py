@@ -146,3 +146,33 @@ def test_serve_latency_metrics_recorded(tmp_path):
     pct = svc.metrics.latency_percentiles("serve:bottleneck")
     assert pct and pct["p99"] >= pct["p50"] >= 0.0
     assert svc.metrics.summary()["queries"]["serve:bottleneck"]["count"] == 5
+
+
+def test_stop_drains_requests_enqueued_behind_sentinel(tmp_path):
+    """Shutdown regression: a request can race onto the queue *behind* the
+    stop sentinel; stop() must answer it, not abandon its future."""
+    from repro.service.server import _STOP
+
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        srv = AsyncMSTService(svc, max_batch=4, max_delay_s=0.001)
+        await srv.start()
+        loop = asyncio.get_running_loop()
+        futures = []
+        # Stage the exact shutdown race without yielding to the worker:
+        # requests, then the sentinel, then more requests behind it.
+        for i in range(3):
+            fut = loop.create_future()
+            futures.append(fut)
+            srv._queue.put_nowait((("component", i, None, None), fut, 0.0))
+        srv._queue.put_nowait(_STOP)
+        for i in range(3, 9):
+            fut = loop.create_future()
+            futures.append(fut)
+            srv._queue.put_nowait((("component", i, None, None), fut, 0.0))
+        await asyncio.wait_for(srv._worker, timeout=10)
+        return await asyncio.wait_for(asyncio.gather(*futures), timeout=10)
+
+    out = _run(main())
+    assert len(out) == 9 and all(isinstance(x, int) for x in out)

@@ -1,0 +1,1 @@
+"""Tests for the sharded multiprocess MST subsystem (repro.shard)."""

@@ -1,0 +1,110 @@
+"""Coordinator contract: process workers, retries, timeouts, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import generate_case
+from repro.errors import BenchmarkError
+from repro.graphs.generators import gnm_random_graph
+from repro.mst.kruskal import kruskal
+from repro.shard import ShardFault, leaked_segments, sharded_mst
+
+
+def _graph():
+    return gnm_random_graph(150, 600, seed=3)
+
+
+def test_process_executor_matches_oracle():
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(g, n_shards=4, executor="process")
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["executor"] == "process"
+    assert result.stats["retries"] == 0
+    assert leaked_segments() == []
+
+
+def test_worker_crash_is_retried_transparently():
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=4, executor="process",
+        fault=ShardFault(shard=1, kind="exit", attempts=1),
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["retries"] == 1
+    assert result.stats["fallback_shards"] == 0
+    assert leaked_segments() == []
+
+
+def test_persistent_crash_falls_back_in_process():
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=4, executor="process", max_retries=1,
+        fault=ShardFault(shard=2, kind="exit", attempts=10),
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["fallback_shards"] == 1
+    assert leaked_segments() == []
+
+
+def test_hung_worker_reaped_at_timeout():
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=2, executor="process", timeout_s=1.5,
+        fault=ShardFault(shard=0, kind="hang", attempts=1),
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["retries"] >= 1
+    assert leaked_segments() == []
+
+
+def test_auto_executor_stays_serial_on_small_graphs():
+    g = generate_case("few-distinct-weights", seed=0, size=12).graph
+    result = sharded_mst(g, n_shards=4)
+    assert result.stats["executor"] == "serial"
+
+
+def test_auto_executor_promotes_large_graphs():
+    g = _graph()
+    result = sharded_mst(g, n_shards=2, min_process_edges=100)
+    assert result.stats["executor"] == "process"
+    assert np.array_equal(result.edge_ids, kruskal(g).edge_ids)
+
+
+def test_stats_record_partition_knobs():
+    g = _graph()
+    result = sharded_mst(g, n_shards=3, partition="block", seed=5)
+    assert result.stats["shards"] == 3
+    assert result.stats["partition"] == "block"
+    assert result.stats["balance_ratio"] >= 1.0
+
+
+def test_rejects_bad_knobs():
+    g = generate_case("complete-small", seed=0, size=6).graph
+    with pytest.raises(BenchmarkError):
+        sharded_mst(g, executor="gpu")
+    with pytest.raises(BenchmarkError):
+        sharded_mst(g, partition="zigzag")
+    with pytest.raises(BenchmarkError):
+        sharded_mst(g, n_shards=0)
+    with pytest.raises(BenchmarkError):
+        sharded_mst(g, algorithm="sharded")
+
+
+def test_registry_entry_runs_serially_on_small_graphs(fig1_graph):
+    from repro.mst.registry import get_algorithm
+    from repro.mst.verify import verify_minimum
+
+    result = get_algorithm("sharded")(fig1_graph)
+    verify_minimum(fig1_graph, result)
+    assert result.stats["executor"] == "serial"
+
+
+def test_deterministic_across_runs():
+    g = _graph()
+    a = sharded_mst(g, n_shards=4, partition="hash", seed=9)
+    b = sharded_mst(g, n_shards=4, partition="hash", seed=9)
+    assert np.array_equal(a.edge_ids, b.edge_ids)

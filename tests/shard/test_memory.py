@@ -1,0 +1,73 @@
+"""Shared-memory arena lifecycle: publish, attach, and guaranteed unlink."""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import generate_case
+from repro.errors import ServiceError
+from repro.shard import SharedEdgeArena, attach_readonly, leaked_segments
+
+
+def _graph():
+    return generate_case("few-distinct-weights", seed=0, size=12).graph
+
+
+def test_publish_attach_roundtrip():
+    g = _graph()
+    with SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w) as arena:
+        u, v, w = arena.arrays()
+        assert np.array_equal(u, g.edge_u)
+        assert np.array_equal(v, g.edge_v)
+        assert np.array_equal(w, g.edge_w)
+        au, av, aw, shm = attach_readonly(arena.spec)
+        try:
+            assert np.array_equal(au, g.edge_u)
+            assert np.array_equal(aw, g.edge_w)
+            assert not au.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                au[0] = 99
+        finally:
+            shm.close()
+    assert arena.spec.name not in leaked_segments()
+
+
+def test_int64_weights_survive_the_arena():
+    g = _graph()
+    big = (np.arange(g.n_edges, dtype=np.int64) + 2**60)
+    with SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, big) as arena:
+        assert arena.spec.w_dtype == "int64"
+        _, _, w, shm = attach_readonly(arena.spec)
+        try:
+            assert w.dtype == np.int64
+            assert np.array_equal(w, big)
+        finally:
+            shm.close()
+
+
+def test_close_is_idempotent_and_invalidates():
+    g = _graph()
+    arena = SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w)
+    name = arena.spec.name
+    arena.close()
+    arena.close()
+    assert name not in leaked_segments()
+    with pytest.raises(ServiceError):
+        arena.arrays()
+    with pytest.raises(Exception):
+        attach_readonly(arena.spec)
+
+
+def test_empty_graph_arena():
+    g = generate_case("empty", seed=0, size=4).graph
+    with SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w) as arena:
+        u, v, w = arena.arrays()
+        assert u.size == v.size == w.size == 0
+
+
+def test_finalizer_backstop_unlinks_dropped_arena():
+    g = _graph()
+    arena = SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w)
+    name = arena.spec.name
+    assert name in leaked_segments()
+    del arena  # no close(): the weakref.finalize backstop must unlink
+    assert name not in leaked_segments()

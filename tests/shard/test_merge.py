@@ -1,0 +1,79 @@
+"""Merge-tree correctness: sharded forests must reproduce the oracle MSF.
+
+The load-bearing property (ISSUE acceptance): for every checking family,
+every partition strategy, and several shard counts, the merged forest is
+*edge-for-edge* identical to the Kruskal oracle — weight equality alone
+would hide tie-break divergence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import FAMILIES, generate_case
+from repro.mst.kruskal import kruskal
+from repro.shard import (
+    PARTITION_STRATEGIES,
+    merge_pair,
+    merge_tree,
+    msf_of_edge_ids,
+    partition_edges,
+    sharded_mst,
+    solve_shard_local,
+)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_sharded_equals_kruskal_oracle_on_every_family(family, strategy):
+    for seed in (0, 7):
+        g = generate_case(family, seed=seed, size=15).graph
+        oracle = kruskal(g)
+        for k in (1, 2, 4):
+            result = sharded_mst(g, n_shards=k, partition=strategy, seed=seed)
+            assert np.array_equal(result.edge_ids, oracle.edge_ids), (
+                f"{family}/{strategy}/k={k} diverged from oracle"
+            )
+            assert result.total_weight == oracle.total_weight
+            assert result.n_components == oracle.n_components
+
+
+@pytest.mark.parametrize("algorithm", ["kruskal", "boruvka", "prim"])
+def test_local_solver_choice_does_not_change_forest(algorithm):
+    g = generate_case("few-distinct-weights", seed=4, size=20).graph
+    oracle = kruskal(g)
+    result = sharded_mst(g, n_shards=3, algorithm=algorithm)
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+
+
+def test_msf_of_edge_ids_is_rank_canonical():
+    g = generate_case("all-equal-weights", seed=1, size=12).graph
+    full = msf_of_edge_ids(g, np.arange(g.n_edges))
+    assert np.array_equal(full, np.sort(np.asarray(kruskal(g).edge_ids)))
+
+
+def test_merge_pair_drops_cycle_maxima():
+    g = generate_case("complete-small", seed=0, size=8).graph
+    plan = partition_edges(g, 2, "hash")
+    forests = [
+        solve_shard_local(g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+                          plan.edge_ids(s))
+        for s in range(2)
+    ]
+    merged = merge_pair(g, forests[0], forests[1])
+    assert merged.size <= g.n_vertices - 1
+    assert np.array_equal(merged, np.sort(np.asarray(kruskal(g).edge_ids)))
+
+
+def test_merge_tree_handles_odd_and_empty_inputs():
+    g = generate_case("complete-small", seed=2, size=9).graph
+    oracle = np.sort(np.asarray(kruskal(g).edge_ids))
+    plan = partition_edges(g, 5, "hash")
+    forests = [
+        solve_shard_local(g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+                          plan.edge_ids(s))
+        for s in range(5)
+    ]
+    assert np.array_equal(merge_tree(g, forests), oracle)
+    assert merge_tree(g, []).size == 0
+    # One raw (unreduced) forest still gets an MSF pass.
+    assert np.array_equal(merge_tree(g, [np.arange(g.n_edges)]), oracle)

@@ -1,0 +1,116 @@
+"""Partition invariants: exactly-one-shard coverage and determinism.
+
+Property-style over every checking family and every strategy: the one
+invariant everything downstream relies on is that each edge lands in
+exactly one shard, and that the assignment is a pure function of
+``(strategy, n_shards, seed)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checking.families import FAMILIES, generate_case
+from repro.errors import GraphError
+from repro.shard import (
+    PARTITION_STRATEGIES,
+    partition_edges,
+    shard_assignment,
+    shard_edge_ids,
+)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+def test_every_edge_in_exactly_one_shard(family, strategy, n_shards):
+    g = generate_case(family, seed=11, size=14).graph
+    plan = partition_edges(g, n_shards, strategy, seed=5)
+    assert plan.assign.shape == (g.n_edges,)
+    assert plan.assign.min(initial=0) >= 0
+    assert plan.assign.max(initial=0) < n_shards
+    # Disjoint cover: the per-shard id sets tile [0, m) exactly once.
+    all_ids = np.concatenate([plan.edge_ids(s) for s in range(n_shards)])
+    assert np.array_equal(np.sort(all_ids), np.arange(g.n_edges))
+    assert int(plan.shard_sizes.sum()) == g.n_edges
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_assignment_deterministic_for_fixed_seed(strategy):
+    g = generate_case("random-duplicates", seed=2, size=18).graph
+    a = shard_assignment(g.n_vertices, g.edge_u, g.edge_v, 4, strategy, seed=9)
+    b = shard_assignment(g.n_vertices, g.edge_u, g.edge_v, 4, strategy, seed=9)
+    assert np.array_equal(a, b)
+
+
+def test_hash_seed_changes_assignment():
+    g = generate_case("complete-small", seed=0, size=12).graph
+    a = shard_assignment(g.n_vertices, g.edge_u, g.edge_v, 4, "hash", seed=0)
+    b = shard_assignment(g.n_vertices, g.edge_u, g.edge_v, 4, "hash", seed=1)
+    assert not np.array_equal(a, b)
+
+
+def test_shard_edge_ids_ascending():
+    g = generate_case("complete-small", seed=1, size=10).graph
+    for strategy in PARTITION_STRATEGIES:
+        for s in range(3):
+            ids = shard_edge_ids(g.n_vertices, g.edge_u, g.edge_v, 3, s, strategy)
+            assert np.all(np.diff(ids) > 0) or ids.size <= 1
+
+
+def test_range_strategy_is_contiguous_and_balanced():
+    g = generate_case("complete-small", seed=0, size=12).graph
+    plan = partition_edges(g, 5, "range")
+    sizes = plan.shard_sizes
+    assert int(sizes.max() - sizes.min()) <= 1
+    for s in range(5):
+        ids = plan.edge_ids(s)
+        if ids.size:
+            assert np.array_equal(ids, np.arange(ids[0], ids[-1] + 1))
+    assert plan.balance_ratio <= 1.5
+
+
+def test_block_strategy_owner_is_smaller_endpoint_block():
+    g = generate_case("complete-small", seed=0, size=12).graph
+    plan = partition_edges(g, 3, "block")
+    block = -(-g.n_vertices // 3)
+    owners = np.minimum(g.edge_u, g.edge_v) // block
+    assert np.array_equal(plan.assign, np.minimum(owners, 2))
+
+
+def test_plan_stats_shape():
+    g = generate_case("few-distinct-weights", seed=3, size=16).graph
+    plan = partition_edges(g, 4, "hash", seed=1)
+    stats = plan.stats()
+    assert stats["n_shards"] == 4
+    assert stats["n_edges"] == g.n_edges
+    assert sum(stats["shard_sizes"]) == g.n_edges
+    assert stats["balance_ratio"] >= 1.0 or g.n_edges == 0
+    assert stats["replication_factor"] >= 1.0
+
+
+def test_single_shard_plan_is_identity():
+    g = generate_case("complete-small", seed=0, size=9).graph
+    plan = partition_edges(g, 1, "hash")
+    assert np.array_equal(plan.edge_ids(0), np.arange(g.n_edges))
+    assert plan.balance_ratio == 1.0
+    assert plan.replication_factor == 1.0
+
+
+def test_rejects_bad_arguments():
+    g = generate_case("complete-small", seed=0, size=6).graph
+    with pytest.raises(GraphError):
+        partition_edges(g, 0, "hash")
+    with pytest.raises(GraphError):
+        partition_edges(g, 2, "zigzag")
+    plan = partition_edges(g, 2, "hash")
+    with pytest.raises(GraphError):
+        plan.edge_ids(2)
+
+
+def test_empty_graph_partitions():
+    g = generate_case("empty", seed=0, size=5).graph
+    for strategy in PARTITION_STRATEGIES:
+        plan = partition_edges(g, 3, strategy)
+        assert plan.n_edges == 0
+        assert plan.balance_ratio == 1.0
+        assert all(plan.edge_ids(s).size == 0 for s in range(3))
