@@ -39,6 +39,7 @@ from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.mst.registry import algorithm_info, available_algorithms, get_algorithm
 from repro.mst.verify import verify_spanning_forest
+from repro.obs.trace import span as _obs_span
 from repro.runtime.sequential import SequentialBackend
 from repro.runtime.simulated import SimulatedBackend
 from repro.structures.union_find import UnionFind
@@ -163,18 +164,25 @@ def check_one(
     else:
         fn = get_algorithm(algorithm, mode)
     backend = BACKENDS[backend_label]()
-    try:
-        result = fn(g, backend=backend)
-    except Exception as exc:
-        return Mismatch(
-            case_name, algorithm, mode, backend_label,
-            "exception", f"{type(exc).__name__}: {exc}", g,
-        )
-    verdict = classify_result(g, result, oracle)
-    if verdict is None:
-        return None
-    kind, detail = verdict
-    return Mismatch(case_name, algorithm, mode, backend_label, kind, detail, g)
+    with _obs_span(
+        "check:cell", "checking", case=case_name, algorithm=algorithm,
+        mode=mode or "default", backend=backend_label,
+    ) as sp:
+        try:
+            result = fn(g, backend=backend)
+        except Exception as exc:
+            sp.set_attr("verdict", "exception")
+            return Mismatch(
+                case_name, algorithm, mode, backend_label,
+                "exception", f"{type(exc).__name__}: {exc}", g,
+            )
+        verdict = classify_result(g, result, oracle)
+        if verdict is None:
+            sp.set_attr("verdict", "ok")
+            return None
+        kind, detail = verdict
+        sp.set_attr("verdict", kind)
+        return Mismatch(case_name, algorithm, mode, backend_label, kind, detail, g)
 
 
 def iter_checks(

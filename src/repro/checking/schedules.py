@@ -66,7 +66,7 @@ class AdversarialScheduleBackend(Backend):
     def n_workers(self) -> int:
         return self._n_workers
 
-    def run_round(
+    def _run_round(
         self, items: Sequence[Any], task: Callable[[TaskContext, Any], Any]
     ) -> List[Any]:
         items = list(items)
@@ -80,7 +80,7 @@ class AdversarialScheduleBackend(Backend):
         self._record(costs)
         return results
 
-    def run_worklist(
+    def _run_worklist(
         self,
         seeds: Sequence[Any],
         task: Callable[[TaskContext, Any], tuple[Iterable[Any], Any]],

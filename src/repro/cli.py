@@ -17,8 +17,15 @@ Subcommands
 ``check``
     Run the differential-oracle / fault-injection / adversarial-schedule
     harness; failing graphs are shrunk to hand-checkable pytest repros.
+``trace``
+    Re-run ``mst``/``query``/``serve``/``check`` with observability
+    tracing enabled and write a Perfetto-loadable Chrome trace.
 ``info``
     Show registered algorithms, datasets, and version information.
+
+``mst``, ``query``, ``serve``, and ``check`` also accept ``--trace`` /
+``--trace-out`` / ``--trace-profile`` directly (the ``trace`` subcommand
+is sugar over them).
 
 Examples
 --------
@@ -33,6 +40,8 @@ Examples
     python -m repro serve --dataset usa-road --scale 10 --queries reqs.jsonl
     python -m repro check --seed 17 --graphs 200 --out-dir counterexamples/
     python -m repro check --self-test
+    python -m repro trace --out t.json query --shards 2 --executor process \\
+        --dataset usa-road --scale 8 --type connected --pairs 0:5
 """
 
 from __future__ import annotations
@@ -94,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     mstp.add_argument("--partition", choices=("hash", "range", "block"),
                       default="hash",
                       help="edge partition strategy for --shards")
+    mstp.add_argument("--executor", choices=("auto", "process", "serial"),
+                      default="auto",
+                      help="--shards execution mode: 'process' forces worker "
+                           "processes, 'serial' keeps everything in process, "
+                           "'auto' decides by graph size")
     mstp.add_argument("--verify", action="store_true",
                       help="verify the output against the Kruskal oracle")
     mstp.add_argument("--save", type=Path, default=None, metavar="PATH",
@@ -117,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     queryp.add_argument("--partition", choices=("hash", "range", "block"),
                         default="hash",
                         help="edge partition strategy for --shards")
+    queryp.add_argument("--executor", choices=("auto", "process", "serial"),
+                        default="auto",
+                        help="--shards execution mode (see 'mst --executor')")
     queryp.add_argument("--scale", type=int, default=None)
     queryp.add_argument("--seed", type=int, default=0)
     queryp.add_argument("--type", dest="qtype", default="connected",
@@ -198,23 +215,89 @@ def build_parser() -> argparse.ArgumentParser:
                         help="plant a deliberately broken algorithm and prove "
                              "the harness detects and shrinks it")
 
+    tracep = sub.add_parser(
+        "trace", help="re-run mst/query/serve/check with tracing enabled"
+    )
+    tracep.add_argument("--out", dest="trace_out", type=Path,
+                        default=Path("trace.json"), metavar="PATH",
+                        help="Chrome trace-event JSON output (default trace.json)")
+    tracep.add_argument("--profile", dest="trace_profile", action="store_true",
+                        help="attach cProfile hotspots to solver spans")
+    tracep.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                        help="also write the flat metrics snapshot JSON here")
+    tracep.add_argument("cmd", choices=("mst", "query", "serve", "check"),
+                        help="subcommand to run under tracing")
+    tracep.add_argument("rest", nargs=argparse.REMAINDER,
+                        help="arguments forwarded to the subcommand")
+
+    for p in (mstp, queryp, servep, checkp):
+        _add_obs_flags(p)
+
     sub.add_parser("info", help="list algorithms and datasets")
     return parser
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to one subcommand parser."""
+    grp = p.add_argument_group("observability")
+    grp.add_argument("--trace", action="store_true",
+                     help="record an observability trace of this run "
+                          "(written to --trace-out, default trace.json)")
+    grp.add_argument("--trace-out", type=Path, default=None, metavar="PATH",
+                     help="Chrome trace-event JSON output path (implies --trace)")
+    grp.add_argument("--trace-profile", action="store_true",
+                     help="attach cProfile hotspots to solver spans "
+                          "(implies --trace)")
+    grp.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
+                     help="also write the flat metrics snapshot JSON here")
+
+
+def _obs_session(args: argparse.Namespace):
+    """Build the run's trace session from the shared observability flags.
+
+    Returns an active :class:`~repro.obs.TraceSession` when any tracing
+    flag was given, else the free :class:`~repro.obs.NullSession` — so
+    untraced runs never import or pay for the tracer machinery beyond
+    one attribute check.
+    """
+    from repro.obs import NullSession, TraceSession
+
+    enabled = (
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None) is not None
+        or getattr(args, "trace_profile", False)
+    )
+    if not enabled:
+        return NullSession()
+    out = args.trace_out if args.trace_out is not None else Path("trace.json")
+    return TraceSession(
+        out, profile=args.trace_profile,
+        metrics_path=getattr(args, "metrics_out", None),
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    traced = {
+        "mst": _cmd_mst,
+        "query": _cmd_query,
+        "serve": _cmd_serve,
+        "check": _cmd_check,
+    }
+    if args.command in traced:
+        session = _obs_session(args)
+        args.obs = session
+        with session:
+            rc = traced[args.command](args)
+        if session.active:
+            print(f"[trace written: {session.out_path} "
+                  f"({session.n_spans} spans)]", file=sys.stderr)
+        return rc
     if args.command == "run":
         return _cmd_run(args)
-    if args.command == "mst":
-        return _cmd_mst(args)
-    if args.command == "query":
-        return _cmd_query(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "check":
-        return _cmd_check(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "compare":
@@ -222,6 +305,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info()
     raise AssertionError("unreachable")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Sugar: forward to the chosen subcommand with tracing flags set."""
+    forwarded = [args.cmd, "--trace", "--trace-out", str(args.trace_out)]
+    if args.trace_profile:
+        forwarded.append("--trace-profile")
+    if args.metrics_out is not None:
+        forwarded += ["--metrics-out", str(args.metrics_out)]
+    rest = list(args.rest)
+    if rest and rest[0] == "--":  # argparse REMAINDER keeps the separator
+        rest = rest[1:]
+    return main(forwarded + rest)
 
 
 # ----------------------------------------------------------------------
@@ -319,7 +415,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
         try:
             result = sharded_mst(
                 g, n_shards=args.shards, partition=args.partition,
-                algorithm=args.algo, mode=args.mode,
+                algorithm=args.algo, mode=args.mode, executor=args.executor,
             )
         except BenchmarkError as exc:
             print(str(exc), file=sys.stderr)
@@ -329,6 +425,15 @@ def _cmd_mst(args: argparse.Namespace) -> int:
         t0 = time.perf_counter()
         result = algo(g, backend=backend)
         elapsed = time.perf_counter() - t0
+
+    obs = getattr(args, "obs", None)
+    if obs is not None and obs.active:
+        from repro.obs import counters_provider, execution_trace_provider
+
+        if backend is not None:
+            obs.register("runtime.trace", execution_trace_provider(backend.trace))
+        if result.stats:
+            obs.register("mst.stats", counters_provider(result.stats))
 
     print(f"graph:     {source}  (n={g.n_vertices}, m={g.n_edges})")
     solver_note = (
@@ -382,7 +487,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     try:
         svc = MSTService(args.store, algorithm=args.algo, mode=args.mode,
-                         shards=args.shards, partition=args.partition)
+                         shards=args.shards, partition=args.partition,
+                         executor=args.executor)
+        obs = getattr(args, "obs", None)
+        if obs is not None and obs.active:
+            from repro.obs import service_metrics_provider
+
+            obs.register("service.metrics", service_metrics_provider(svc.metrics))
         if args.artifact is not None:
             artifact = svc.load_artifact(args.artifact)
             source = str(args.artifact)
@@ -461,6 +572,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         g = build_dataset(args.dataset, args.scale, args.seed)
     svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
+    obs = getattr(args, "obs", None)
+    if obs is not None and obs.active:
+        from repro.obs import service_metrics_provider
+
+        obs.register("service.metrics", service_metrics_provider(svc.metrics))
     t0 = time.perf_counter()
     artifact = svc.load_graph(g)
     load_s = time.perf_counter() - t0
@@ -570,6 +686,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "checks": report.checks_run,
         "mismatches": [str(m) for m in report.mismatches],
     }
+    obs = getattr(args, "obs", None)
+    if obs is not None and obs.active:
+        obs.register("check.matrix", lambda: {
+            "cases": report.cases_run,
+            "checks": report.checks_run,
+            "mismatches": len(report.mismatches),
+        })
     progress(
         f"matrix: {report.cases_run} cases, {report.checks_run} checks, "
         f"{len(report.mismatches)} mismatches "

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import AlgorithmError
 from repro.graphs.csr import CSRGraph
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["MSTResult", "result_from_edge_ids"]
 
@@ -65,22 +66,27 @@ def result_from_edge_ids(
     The component count follows from the forest identity
     ``n_components = n_vertices - n_tree_edges`` (valid because a spanning
     forest is acyclic; the verifier checks acyclicity independently).
+
+    Runs inside an ``mst:assemble`` span, so traced timelines separate
+    the solver's round loop from result validation/assembly.
     """
-    edge_ids = np.sort(np.asarray(edge_ids, dtype=np.int64))
-    if edge_ids.size:
-        if edge_ids[0] < 0 or edge_ids[-1] >= g.n_edges:
-            raise AlgorithmError("edge id out of range in MST result")
-        if (np.diff(edge_ids) == 0).any():
-            raise AlgorithmError("duplicate edge ids in MST result")
-    # Weights near the float ceiling saturate the total to +-inf; the
-    # verifier's scale-aware consistency check accepts that, so the
-    # overflow warning is noise.
-    with np.errstate(over="ignore"):
-        total = float(g.edge_w[edge_ids].sum()) if edge_ids.size else 0.0
-    return MSTResult(
-        edge_ids=edge_ids,
-        total_weight=total,
-        n_components=g.n_vertices - int(edge_ids.size),
-        parent=parent,
-        stats=dict(stats or {}),
-    )
+    with _obs_span("mst:assemble", "mst") as sp:
+        edge_ids = np.sort(np.asarray(edge_ids, dtype=np.int64))
+        if edge_ids.size:
+            if edge_ids[0] < 0 or edge_ids[-1] >= g.n_edges:
+                raise AlgorithmError("edge id out of range in MST result")
+            if (np.diff(edge_ids) == 0).any():
+                raise AlgorithmError("duplicate edge ids in MST result")
+        # Weights near the float ceiling saturate the total to +-inf; the
+        # verifier's scale-aware consistency check accepts that, so the
+        # overflow warning is noise.
+        with np.errstate(over="ignore"):
+            total = float(g.edge_w[edge_ids].sum()) if edge_ids.size else 0.0
+        sp.set_attr("forest_edges", int(edge_ids.size))
+        return MSTResult(
+            edge_ids=edge_ids,
+            total_weight=total,
+            n_components=g.n_vertices - int(edge_ids.size),
+            parent=parent,
+            stats=dict(stats or {}),
+        )

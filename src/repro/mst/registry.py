@@ -18,6 +18,7 @@ from typing import Callable, Dict
 from repro.errors import BenchmarkError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult
+from repro.obs.trace import span as _obs_span
 
 __all__ = [
     "AlgorithmInfo",
@@ -156,18 +157,35 @@ def get_algorithm(name: str, mode: str | None = None) -> Callable[..., MSTResult
     # Loop-only algorithms accept mode="loop" (their only mode) but take
     # no ``mode`` kwarg — only forward it to algorithms that dispatch on it.
     mode_kw = {"mode": mode} if mode is not None and name in _MODES else {}
+    # Every registry-dispatched solve runs inside one "solve" span (the
+    # anchor the service, shard, and checking layers nest under); the
+    # span is also the opt-in cProfile attachment point.
     if name in _SEQUENTIAL:
         seq = _SEQUENTIAL[name]
 
         def run_sequential(g: CSRGraph, backend=None, **kw) -> MSTResult:
-            return seq(g, **mode_kw, **kw)
+            with _obs_span(
+                f"solve:{name}", "mst", profile=True, algorithm=name,
+                mode=mode or "default", n_vertices=g.n_vertices,
+                n_edges=g.n_edges,
+            ) as sp:
+                result = seq(g, **mode_kw, **kw)
+                sp.set_attr("forest_edges", result.n_edges)
+            return result
 
         run_sequential.__name__ = f"run_{name}"
         return run_sequential
     par = _PARALLEL[name]
 
     def run_parallel(g: CSRGraph, backend=None, **kw) -> MSTResult:
-        return par(g, backend=backend, **mode_kw, **kw)
+        with _obs_span(
+            f"solve:{name}", "mst", profile=True, algorithm=name,
+            mode=mode or "default", n_vertices=g.n_vertices,
+            n_edges=g.n_edges,
+        ) as sp:
+            result = par(g, backend=backend, **mode_kw, **kw)
+            sp.set_attr("forest_edges", result.n_edges)
+        return result
 
     run_parallel.__name__ = f"run_{name}"
     return run_parallel

@@ -1,0 +1,151 @@
+"""Unified observability: cross-layer spans, one metrics registry, export.
+
+The library's layers each kept their own telemetry — work/span
+:class:`~repro.runtime.metrics.ExecutionTrace` in the runtime,
+:class:`~repro.service.metrics.ServiceMetrics` in the serving tier,
+ad-hoc counters in the shard coordinator.  This package threads one
+observability context through all of them:
+
+* :mod:`repro.obs.trace` — nested spans on the shared monotonic clock,
+  a context-var current tracer (free when disabled), cross-process span
+  adoption, and an opt-in cProfile hook per span;
+* :mod:`repro.obs.registry` — a named-metric snapshot API unifying the
+  three telemetry schemes behind one dict-of-dicts document;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``) plus a flat metrics dump, with the
+  schema validator the golden tests run.
+
+:class:`TraceSession` is the turn-key glue the CLI uses::
+
+    from repro.obs import TraceSession
+
+    with TraceSession("t.json") as session:
+        session.register("service.metrics", svc.metrics.summary)
+        ...  # anything instrumented with repro.obs.span records here
+    # exit wrote t.json: spans + metrics snapshot, Perfetto-ready
+
+See ``docs/observability.md`` for the span model and how it relates to
+the modelled work/span cost accounting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    counters_provider,
+    execution_trace_provider,
+    service_metrics_provider,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "span",
+    "MetricsRegistry",
+    "execution_trace_provider",
+    "service_metrics_provider",
+    "counters_provider",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "validate_chrome_trace",
+    "TraceSession",
+    "NullSession",
+]
+
+
+class TraceSession:
+    """One traced run: tracer + metrics registry + export on exit.
+
+    Entering installs a fresh :class:`~repro.obs.trace.Tracer` as the
+    current tracer; exiting snapshots the registry and writes the Chrome
+    trace (spans + metrics) to ``out_path``.  The write happens even
+    when the body raised — a failing run's trace is the one most worth
+    keeping — but an exporter failure never masks the body's exception.
+    """
+
+    active = True
+
+    def __init__(self, out_path: str | Path, *, profile: bool = False,
+                 metrics_path: str | Path | None = None) -> None:
+        self.out_path = Path(out_path)
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.tracer = Tracer(profile=profile)
+        self.registry = MetricsRegistry()
+        self._ctx = None
+
+    def register(self, name: str, provider: Callable[[], Mapping[str, Any]],
+                 *, replace: bool = False) -> None:
+        """Register a named metric provider for the final snapshot."""
+        self.registry.register(name, provider, replace=replace)
+
+    def __enter__(self) -> "TraceSession":
+        self._ctx = use_tracer(self.tracer)
+        self._ctx.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._ctx.__exit__(exc_type, exc, tb)
+        try:
+            self.write()
+        except Exception:
+            if exc is None:
+                raise
+            # body's exception wins; the lost trace is collateral
+        return False
+
+    def write(self) -> Path:
+        """Export the trace (and optional separate metrics dump) now."""
+        snapshot = self.registry.snapshot()
+        path = write_chrome_trace(self.out_path, self.tracer, snapshot)
+        if self.metrics_path is not None:
+            write_metrics_json(self.metrics_path, snapshot)
+        return path
+
+    @property
+    def n_spans(self) -> int:
+        """Finished spans recorded so far."""
+        return len(self.tracer.spans)
+
+
+class NullSession:
+    """Disabled stand-in for :class:`TraceSession` (same surface, no-ops)."""
+
+    active = False
+    tracer = NULL_TRACER
+    out_path: Optional[Path] = None
+    n_spans = 0
+
+    def register(self, name: str, provider, *, replace: bool = False) -> None:
+        """Discard the provider (no snapshot is ever taken)."""
+
+    def write(self) -> None:
+        """No-op: a disabled session exports nothing."""
+
+    def __enter__(self) -> "NullSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False

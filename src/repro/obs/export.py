@@ -1,0 +1,191 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) + metrics dump.
+
+The span timeline serialises to the `Chrome trace-event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+— the JSON that ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.  Each finished span becomes one complete (``"ph": "X"``) event
+with microsecond timestamps relative to the earliest span, so a trace
+that crossed shard worker processes renders as one aligned multi-process
+timeline (one track group per pid, named via ``"M"`` metadata events).
+
+:func:`validate_chrome_trace` is the schema check the golden-file test
+runs against every export: it enforces the invariants Perfetto relies on
+(required keys, numeric non-negative timestamps, known phase types,
+metadata shape), so a regression that would render as an empty or broken
+timeline fails in CI instead of in someone's browser.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "validate_chrome_trace",
+]
+
+# Track-group names per role; the coordinator process renders first.
+_COORDINATOR_LABEL = "coordinator"
+_WORKER_LABEL = "shard-worker"
+
+
+def _span_sources(spans) -> List[Span]:
+    if isinstance(spans, Tracer):
+        return spans.sorted_spans()
+    return sorted(spans, key=lambda s: (s.start_ns, s.pid, s.span_id))
+
+
+def chrome_trace(
+    spans: Iterable[Span] | Tracer,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for a span timeline.
+
+    ``spans`` is a :class:`~repro.obs.trace.Tracer` or an iterable of
+    finished spans (open spans are skipped — they have no duration yet).
+    ``metrics`` (typically a
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`) lands under
+    ``otherData`` where Perfetto surfaces it as trace metadata.
+    """
+    ordered = [sp for sp in _span_sources(spans) if sp.closed]
+    origin = ordered[0].start_ns if ordered else 0
+    main_pid = ordered[0].pid if ordered else 0
+
+    events: List[Dict[str, Any]] = []
+    seen_pids: Dict[int, None] = {}
+    for sp in ordered:
+        if sp.pid not in seen_pids:
+            seen_pids[sp.pid] = None
+            label = _COORDINATOR_LABEL if sp.pid == main_pid else _WORKER_LABEL
+            events.append({
+                "ph": "M", "name": "process_name", "pid": sp.pid, "tid": 0,
+                "args": {"name": f"{label} (pid {sp.pid})"},
+            })
+        args: Dict[str, Any] = dict(sp.attrs)
+        if sp.error is not None:
+            args["error"] = sp.error
+        events.append({
+            "ph": "X",
+            "name": sp.name,
+            "cat": sp.category,
+            "ts": (sp.start_ns - origin) / 1e3,   # microseconds
+            "dur": sp.duration_ns / 1e3,
+            "pid": sp.pid,
+            "tid": sp.tid,
+            "args": args,
+        })
+
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        doc["otherData"] = {"metrics": metrics}
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span] | Tracer,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write the Chrome trace-event JSON for ``spans`` to ``path``."""
+    path = Path(path)
+    doc = chrome_trace(spans, metrics)
+    errors = validate_chrome_trace(doc)
+    if errors:  # pragma: no cover - exporter/validator must agree
+        raise ValueError(f"refusing to write invalid trace: {errors[0]}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True,
+                               default=_json_default) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def write_metrics_json(path: str | Path, snapshot: Dict[str, Any]) -> Path:
+    """Write a registry snapshot as the flat metrics JSON dump."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True,
+                               default=_json_default) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def _json_default(obj):
+    """Serialise NumPy scalars/arrays that ride along in attrs."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# Schema validation (the golden-file test's contract)
+# ----------------------------------------------------------------------
+_KNOWN_PHASES = {"X", "M", "B", "E", "I", "C"}
+_REQUIRED_X_KEYS = ("name", "cat", "ts", "dur", "pid", "tid")
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    An empty list means the document satisfies every invariant Perfetto
+    and ``chrome://tracing`` need to render it: a ``traceEvents`` array
+    of objects, each with a known ``ph``, complete events carrying
+    numeric non-negative ``ts``/``dur`` and integer ``pid``/``tid``,
+    metadata events carrying a string arg name, and JSON-serialisable
+    ``args`` throughout.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"trace document must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph == "X":
+            for key in _REQUIRED_X_KEYS:
+                if key not in ev:
+                    problems.append(f"{where}: complete event missing {key!r}")
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+            if not isinstance(ev.get("name"), str) or not ev.get("name"):
+                problems.append(f"{where}: name must be a non-empty string")
+        if ph == "M":
+            args = ev.get("args")
+            if not (isinstance(args, dict) and isinstance(args.get("name"), str)):
+                problems.append(f"{where}: metadata event needs args.name string")
+        for key in ("pid", "tid"):
+            if key in ev and (isinstance(ev[key], bool)
+                              or not isinstance(ev[key], int)):
+                problems.append(f"{where}: {key} must be an integer")
+        if "args" in ev:
+            try:
+                json.dumps(ev["args"], default=_json_default)
+            except (TypeError, ValueError) as exc:
+                problems.append(f"{where}: args not JSON-serialisable: {exc}")
+    return problems

@@ -1,0 +1,128 @@
+"""One named-metric snapshot API over the repo's three telemetry schemes.
+
+Before this module, each layer reported numbers its own way: algorithm
+executions accumulate a work/span :class:`~repro.runtime.metrics.ExecutionTrace`,
+the serving tier keeps :class:`~repro.service.metrics.ServiceMetrics`
+reservoirs, and the shard coordinator returns ad-hoc counters in
+``MSTResult.stats``.  A :class:`MetricsRegistry` unifies them: each
+source registers a named zero-argument *provider* returning a JSON-able
+dict, and :meth:`MetricsRegistry.snapshot` evaluates every provider into
+one nested document — the flat metrics dump the exporter writes next to
+the span timeline.
+
+Providers are evaluated lazily at snapshot time, so registering a live
+object (a backend's trace, a service's metrics recorder) always reports
+its *final* state, and one failing provider degrades to an ``"error"``
+entry instead of losing the rest of the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+__all__ = [
+    "MetricsRegistry",
+    "execution_trace_provider",
+    "service_metrics_provider",
+    "counters_provider",
+]
+
+Provider = Callable[[], Mapping[str, Any]]
+
+
+class MetricsRegistry:
+    """Named metric sources, snapshotted together.
+
+    Names are dotted paths by convention (``"mst.backend"``,
+    ``"service.metrics"``, ``"shard.stats"``); registration order is
+    preserved in the snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, Provider] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, provider: Provider, *,
+                 replace: bool = False) -> None:
+        """Register ``provider`` under ``name``.
+
+        Re-registering an existing name raises unless ``replace=True`` —
+        a silent overwrite would hide one subsystem's numbers behind
+        another's.
+        """
+        if not callable(provider):
+            raise TypeError(f"provider for {name!r} must be callable")
+        if name in self._providers and not replace:
+            raise ValueError(f"metric source {name!r} already registered")
+        self._providers[name] = provider
+
+    def unregister(self, name: str) -> None:
+        """Remove a source; unknown names are ignored."""
+        self._providers.pop(name, None)
+
+    def names(self) -> List[str]:
+        """Registered source names, in registration order."""
+        return list(self._providers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._providers
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Evaluate every provider into one nested, JSON-able dict.
+
+        A provider that raises contributes ``{"error": "..."}`` for its
+        name; the others still report.  Observability must never take
+        the observed system down with it.
+        """
+        out: Dict[str, Any] = {}
+        for name, provider in self._providers.items():
+            try:
+                out[name] = dict(provider())
+            except Exception as exc:
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+
+# ----------------------------------------------------------------------
+# Adapters for the three pre-existing telemetry schemes.  They take the
+# live object and return a provider, so the snapshot reflects the state
+# at dump time, not at registration time.
+# ----------------------------------------------------------------------
+def execution_trace_provider(trace) -> Provider:
+    """Provider over an :class:`~repro.runtime.metrics.ExecutionTrace`.
+
+    Reports the work/span summary plus any named diagnostic counters the
+    algorithm bumped.
+    """
+
+    def provide() -> Dict[str, Any]:
+        out = dict(trace.summary())
+        if trace.counters:
+            out["counters"] = dict(trace.counters)
+        return out
+
+    return provide
+
+
+def service_metrics_provider(metrics) -> Provider:
+    """Provider over a :class:`~repro.service.metrics.ServiceMetrics`."""
+
+    def provide() -> Dict[str, Any]:
+        return dict(metrics.summary())
+
+    return provide
+
+
+def counters_provider(counters: Mapping[str, Any]) -> Provider:
+    """Provider over a live mapping of counters (e.g. shard solve stats).
+
+    The mapping is read at snapshot time, so passing a dict that keeps
+    being updated (like ``MSTResult.stats`` under assembly) reports the
+    final values.
+    """
+
+    def provide() -> Dict[str, Any]:
+        return {str(k): v for k, v in counters.items()}
+
+    return provide

@@ -1,0 +1,402 @@
+"""Span-based tracer: nested timed regions across every layer of the stack.
+
+One request to this library crosses several subsystems — the asyncio
+coalescing front-end, the query engine, the MST registry, a parallel
+backend's round loop, possibly shard worker *processes* — and each grew
+its own telemetry.  This module is the common substrate: a
+:class:`Span` is a named, categorised interval on the shared monotonic
+clock (``time.perf_counter_ns``), spans nest through a context-manager
+API, and a :class:`Tracer` collects every finished span of one run.
+
+Design constraints, in order:
+
+1. **Free when off.**  Instrumented code calls the module-level
+   :func:`span` helper unconditionally; when no tracer is installed it
+   resolves to a shared no-op context manager (no allocation, no clock
+   read), so the disabled overhead is one ``ContextVar.get`` plus a
+   method call per instrumented region — regions are round- and
+   request-grained, never per-edge.
+2. **Exception-safe.**  A span closed by an exception still records its
+   end time and tags itself with the exception type; the exception
+   propagates untouched.
+3. **Cross-process mergeable.**  Spans serialise to plain dicts
+   (:meth:`Span.to_dict`) small enough to ride the shard result pipe;
+   :meth:`Tracer.adopt` folds a child process's spans into the parent
+   timeline.  ``perf_counter_ns`` is CLOCK_MONOTONIC-based on Linux and
+   therefore comparable across the processes of one machine, which is
+   exactly the sharded solver's deployment shape.
+
+The tracer is installed with :func:`use_tracer` (a context manager over
+a :class:`contextvars.ContextVar`, so asyncio tasks inherit it) and read
+with :func:`current_tracer`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "use_tracer",
+    "span",
+]
+
+_PROFILE_TOP = 10
+
+
+class Span:
+    """One named interval: monotonic start/end, category, attributes.
+
+    ``parent_id`` links to the enclosing span (``None`` at top level) and
+    ``pid``/``tid`` identify the process and thread that ran it, which is
+    what lets the Chrome exporter lay merged multi-process timelines out
+    on separate tracks.  ``attrs`` holds structured, JSON-able metadata
+    (batch sizes, algorithm names, work/span charges, ...).
+    """
+
+    __slots__ = (
+        "name", "category", "start_ns", "end_ns",
+        "span_id", "parent_id", "pid", "tid", "attrs", "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start_ns: int,
+        *,
+        span_id: int = 0,
+        parent_id: Optional[int] = None,
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start_ns = int(start_ns)
+        self.end_ns: Optional[int] = None
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = os.getpid() if pid is None else int(pid)
+        self.tid = threading.get_ident() if tid is None else int(tid)
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_ns(self) -> int:
+        """Nanoseconds from start to end (0 while still open)."""
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    @property
+    def closed(self) -> bool:
+        """Whether the span has recorded its end time."""
+        return self.end_ns is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one structured attribute to the span."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form: picklable, JSON-able, pipe-sized."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attrs,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span serialised by :meth:`to_dict` (any process)."""
+        sp = cls(
+            data["name"], data["category"], data["start_ns"],
+            span_id=data.get("span_id", 0), parent_id=data.get("parent_id"),
+            pid=data.get("pid", 0), tid=data.get("tid", 0),
+            attrs=data.get("attrs"),
+        )
+        sp.end_ns = data.get("end_ns")
+        sp.error = data.get("error")
+        return sp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration_ns / 1e6:.3f}ms" if self.closed else "open"
+        return f"Span({self.name!r}, cat={self.category!r}, {state})"
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span", "_profiler")
+
+    def __init__(self, tracer: "Tracer", span: Span, profile: bool) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._profiler = None
+        if profile and tracer.profile:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+
+    def __enter__(self) -> Span:
+        if self._profiler is not None:
+            self._profiler.enable()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._profiler is not None:
+            self._profiler.disable()
+            self._span.attrs["profile_top"] = _profile_summary(self._profiler)
+        self._tracer._close(self._span, exc)
+        return False  # never swallow
+
+
+def _profile_summary(profiler) -> List[str]:
+    """Top cumulative-time hotspots of one profiled span, as strings."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, callers) in stats.stats.items():
+        if "cProfile" in filename:
+            continue
+        short = filename.rsplit("/", 1)[-1]
+        rows.append((ct, f"{short}:{lineno}({funcname}) cum={ct * 1e3:.2f}ms calls={nc}"))
+    rows.sort(key=lambda r: -r[0])
+    return [text for _, text in rows[:_PROFILE_TOP]]
+
+
+class Tracer:
+    """Collects the spans of one traced run.
+
+    The active-span stack lives in a :class:`contextvars.ContextVar`, so
+    nesting is correct under asyncio task switching (each task sees its
+    own ancestry) as well as plain synchronous code.  Finished spans
+    accumulate in :attr:`spans`; adopted child-process spans are merged
+    in with their original pids preserved.
+    """
+
+    enabled = True
+
+    def __init__(self, *, profile: bool = False) -> None:
+        self.profile = bool(profile)
+        self.spans: List[Span] = []
+        self._next_id = 1
+        self._id_lock = threading.Lock()
+        self._stack: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+            f"repro_obs_stack_{id(self)}", default=()
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "app",
+             profile: bool = False, **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span(...) as sp:``."""
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack = self._stack.get()
+        parent_id = stack[-1].span_id if stack else None
+        sp = Span(
+            name, category, time.perf_counter_ns(),
+            span_id=span_id, parent_id=parent_id, attrs=attrs or None,
+        )
+        self._stack.set(stack + (sp,))
+        return _SpanContext(self, sp, profile)
+
+    def _close(self, sp: Span, exc: BaseException | None) -> None:
+        sp.end_ns = time.perf_counter_ns()
+        if exc is not None:
+            sp.error = f"{type(exc).__name__}: {exc}"
+        stack = self._stack.get()
+        # Pop this span; tolerate out-of-order closes (an exception can
+        # unwind several frames before inner __exit__ handlers ran).
+        if stack and stack[-1] is sp:
+            self._stack.set(stack[:-1])
+        else:
+            self._stack.set(tuple(s for s in stack if s is not sp))
+        self.spans.append(sp)
+
+    def adopt(self, payload: List[Dict[str, Any]]) -> int:
+        """Merge spans serialised in another process into this timeline.
+
+        Child span ids are re-namespaced so they cannot collide with the
+        parent's (or another child's); parent links *within* one payload
+        are preserved.  Returns the number of spans adopted.
+        """
+        if not payload:
+            return 0
+        with self._id_lock:
+            base = self._next_id
+            self._next_id += len(payload) + 1
+        remap = {}
+        adopted = []
+        for offset, data in enumerate(payload):
+            sp = Span.from_dict(data)
+            remap[sp.span_id] = base + offset
+            adopted.append(sp)
+        for sp in adopted:
+            sp.span_id = remap[sp.span_id]
+            if sp.parent_id is not None:
+                sp.parent_id = remap.get(sp.parent_id)
+        self.spans.extend(adopted)
+        return len(adopted)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span in this context (``None`` outside any)."""
+        stack = self._stack.get()
+        return stack[-1] if stack else None
+
+    def sorted_spans(self) -> List[Span]:
+        """All finished spans as one timeline, ordered by start time.
+
+        Cross-process merge ordering: ties on ``start_ns`` (possible when
+        workers start simultaneously) break by ``(pid, span_id)`` so the
+        order is deterministic for golden tests.
+        """
+        return sorted(self.spans, key=lambda s: (s.start_ns, s.pid, s.span_id))
+
+    def pids(self) -> List[int]:
+        """Distinct process ids observed, coordinator first."""
+        seen: Dict[int, None] = {}
+        for sp in self.spans:
+            seen.setdefault(sp.pid, None)
+        return list(seen)
+
+    def to_payload(self) -> List[Dict[str, Any]]:
+        """Every finished span as dicts (the shape :meth:`adopt` takes)."""
+        return [sp.to_dict() for sp in self.spans]
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a shared no-op.
+
+    This is the default installed tracer, so instrumentation costs one
+    attribute lookup and one call returning a singleton when tracing is
+    off — the property that keeps the tier-1 suite within its overhead
+    budget.
+    """
+
+    enabled = False
+    profile = False
+    spans: List[Span] = []  # intentionally shared and always empty
+
+    def span(self, name: str, category: str = "app",
+             profile: bool = False, **attrs: Any) -> "_NullSpanContext":
+        """Return the shared inert span context (records nothing)."""
+        return _NULL_SPAN_CONTEXT
+
+    def adopt(self, payload) -> int:
+        """Discard a foreign span payload; always adopts zero spans."""
+        return 0
+
+    def sorted_spans(self) -> List[Span]:
+        """The empty span list (nothing is ever recorded)."""
+        return []
+
+    def pids(self) -> List[int]:
+        """The empty pid list (nothing is ever recorded)."""
+        return []
+
+    def to_payload(self) -> List[Dict[str, Any]]:
+        """The empty serialized-span payload."""
+        return []
+
+    @property
+    def current_span(self) -> None:
+        return None
+
+
+class _NullSpan:
+    """Inert span handed out by the disabled tracer."""
+
+    __slots__ = ()
+    name = category = ""
+    attrs: Dict[str, Any] = {}
+    error = None
+    closed = False
+    duration_ns = 0
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+NULL_TRACER = NullTracer()
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_tracer", default=NULL_TRACER
+)
+
+
+def current_tracer():
+    """The tracer installed for this context (a no-op one by default)."""
+    return _CURRENT.get()
+
+
+class _UseTracer:
+    """Context manager installing ``tracer`` for the enclosed region."""
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer) -> None:
+        self._tracer = tracer
+        self._token = None
+
+    def __enter__(self):
+        self._token = _CURRENT.set(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _CURRENT.reset(self._token)
+        return False
+
+
+def use_tracer(tracer) -> _UseTracer:
+    """Install ``tracer`` as the current tracer for a ``with`` block."""
+    return _UseTracer(tracer)
+
+
+def span(name: str, category: str = "app",
+         profile: bool = False, **attrs: Any):
+    """Open a span on the *current* tracer (no-op when tracing is off).
+
+    This is the call sites' entry point::
+
+        from repro.obs import span
+
+        with span("solve", "mst", algorithm=name) as sp:
+            ...
+            sp.set_attr("n_edges", result.n_edges)
+    """
+    return _CURRENT.get().span(name, category, profile=profile, **attrs)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterable, List, Sequence
 
+from repro.obs.trace import current_tracer
 from repro.runtime.metrics import ExecutionTrace
 
 __all__ = ["TaskContext", "Backend"]
@@ -61,7 +62,6 @@ class Backend(ABC):
         """
         return False
 
-    @abstractmethod
     def run_round(
         self,
         items: Sequence[Any],
@@ -69,9 +69,30 @@ class Backend(ABC):
     ) -> List[Any]:
         """Run ``task(ctx, item)`` for every item as one parallel round.
 
-        Returns the task results in item order.  Implementations must record
-        the round in :attr:`trace`.
+        Returns the task results in item order.  The round is recorded in
+        :attr:`trace` (by the subclass :meth:`_run_round` hook) and, when
+        an observability tracer is installed, wrapped in a ``round`` span
+        carrying the round's task count and charged work/span.
         """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._run_round(items, task)
+        before = len(self.trace.rounds)
+        with tracer.span("round", "runtime", n_tasks=len(items)) as sp:
+            results = self._run_round(items, task)
+            if len(self.trace.rounds) > before:
+                last = self.trace.rounds[-1]
+                sp.set_attr("work", last.work)
+                sp.set_attr("span", last.span)
+        return results
+
+    @abstractmethod
+    def _run_round(
+        self,
+        items: Sequence[Any],
+        task: Callable[[TaskContext, Any], Any],
+    ) -> List[Any]:
+        """Execute one round and record it in :attr:`trace` (subclass hook)."""
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -113,9 +134,30 @@ class Backend(ABC):
         task finishes), modelling Galois-style worklist execution with no
         barriers between waves.
 
-        The default implementation processes items in FIFO order on one
-        worker; thread backends override it with a truly concurrent pool.
+        The default implementation (:meth:`_run_worklist`) processes items
+        in FIFO order on one worker; thread backends override that hook
+        with a truly concurrent pool.  Like :meth:`run_round`, the region
+        is wrapped in a ``worklist`` span when tracing is installed.
         """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._run_worklist(seeds, task)
+        before = len(self.trace.rounds)
+        with tracer.span("worklist", "runtime", n_seeds=len(seeds)) as sp:
+            results = self._run_worklist(seeds, task)
+            if len(self.trace.rounds) > before:
+                last = self.trace.rounds[-1]
+                sp.set_attr("n_tasks", last.n_tasks)
+                sp.set_attr("work", last.work)
+                sp.set_attr("span", last.span)
+        return results
+
+    def _run_worklist(
+        self,
+        seeds: Sequence[Any],
+        task: Callable[[TaskContext, Any], tuple[Iterable[Any], Any]],
+    ) -> List[Any]:
+        """FIFO single-worker worklist drain (subclass hook)."""
         from collections import deque
 
         payloads: List[Any] = []

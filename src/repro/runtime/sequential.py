@@ -24,7 +24,7 @@ class SequentialBackend(Backend):
     def n_workers(self) -> int:
         return 1
 
-    def run_round(
+    def _run_round(
         self,
         items: Sequence[Any],
         task: Callable[[TaskContext, Any], Any],

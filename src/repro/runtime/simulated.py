@@ -40,7 +40,7 @@ class SimulatedBackend(Backend):
     def n_workers(self) -> int:
         return self._n_workers
 
-    def run_round(
+    def _run_round(
         self,
         items: Sequence[Any],
         task: Callable[[TaskContext, Any], Any],

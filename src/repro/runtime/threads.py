@@ -67,7 +67,7 @@ class ThreadBackend(Backend):
                 ctx = TaskContext(worker_id=worker_id)
                 fn(ctx, entry)
 
-    def run_round(
+    def _run_round(
         self,
         items: Sequence[Any],
         task: Callable[[TaskContext, Any], Any],
@@ -89,7 +89,7 @@ class ThreadBackend(Backend):
         self._record(costs)
         return results
 
-    def run_worklist(self, seeds, task):
+    def _run_worklist(self, seeds, task):
         """Concurrent worklist drain with termination detection.
 
         Items carry their spawn-chain start time (in charged units); the

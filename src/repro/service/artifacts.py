@@ -204,19 +204,22 @@ def build_artifact(
     backend=None,
     shards: int = 0,
     partition: str = "hash",
+    executor: str = "auto",
 ) -> MSFArtifact:
     """Solve ``g`` with a registry algorithm and package the artifact.
 
     ``shards > 0`` routes the solve through the sharded multiprocess
     coordinator with ``algorithm``/``mode`` as the per-shard local solver;
     the artifact records ``solver="sharded"`` provenance and fingerprints
-    separately from the plain in-process build.
+    separately from the plain in-process build.  ``executor`` is the
+    coordinator's execution mode and only matters for sharded builds.
     """
     if shards > 0:
         from repro.shard.coordinator import sharded_mst
 
         result = sharded_mst(
-            g, n_shards=shards, partition=partition, algorithm=algorithm, mode=mode
+            g, n_shards=shards, partition=partition, algorithm=algorithm,
+            mode=mode, executor=executor,
         )
         return artifact_from_result(
             g, result, algorithm, mode, solver="sharded", shards=shards
@@ -355,6 +358,7 @@ class ArtifactStore:
         backend=None,
         shards: int = 0,
         partition: str = "hash",
+        executor: str = "auto",
     ) -> tuple[MSFArtifact, bool]:
         """Serve ``g``'s artifact, computing and persisting it on miss.
 
@@ -379,7 +383,8 @@ class ArtifactStore:
                 self.corrupt_replaced += 1
         self.misses += 1
         artifact = build_artifact(
-            g, algorithm, mode, backend=backend, shards=shards, partition=partition
+            g, algorithm, mode, backend=backend, shards=shards,
+            partition=partition, executor=executor,
         )
         self.save(artifact)
         return artifact, False

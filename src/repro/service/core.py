@@ -32,6 +32,7 @@ from repro.errors import ServiceError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.tree_queries import ForestPathMax
 from repro.mst.dynamic import DynamicMSF
+from repro.obs.trace import span as _obs_span
 from repro.service.artifacts import (
     ArtifactStore,
     MSFArtifact,
@@ -59,6 +60,7 @@ class MSTService:
         metrics: ServiceMetrics | None = None,
         shards: int = 0,
         partition: str = "hash",
+        executor: str = "auto",
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ArtifactStore(store)
@@ -68,8 +70,11 @@ class MSTService:
         self.backend = backend
         # shards > 0 opts cold builds into the sharded multiprocess
         # coordinator (repro.shard); warm loads and queries are unaffected.
+        # executor picks the coordinator's execution mode ("auto" lets it
+        # decide; "process"/"serial" force worker processes on or off).
         self.shards = int(shards)
         self.partition = partition
+        self.executor = executor
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._engine: Optional[QueryEngine] = None
         self._graph: Optional[CSRGraph] = None
@@ -85,22 +90,29 @@ class MSTService:
         no-persistence degradation); with one, a warm hit deserialises the
         forest and its prebuilt index without touching the MST registry.
         """
-        if self.store is not None:
-            artifact, hit = self.store.get_or_compute(
-                g, self.algorithm, self.mode, backend=self.backend,
-                shards=self.shards, partition=self.partition,
-            )
-        else:
-            artifact = build_artifact(
-                g, self.algorithm, self.mode, backend=self.backend,
-                shards=self.shards, partition=self.partition,
-            )
-            hit = False
-        self.metrics.record_artifact(hit)
-        self._graph = g
-        self._dyn = None
-        self._engine = QueryEngine(artifact, backend=self.backend)
-        return artifact
+        with _obs_span(
+            "service:load_graph", "service", algorithm=self.algorithm,
+            n_vertices=g.n_vertices, n_edges=g.n_edges,
+        ) as sp:
+            if self.store is not None:
+                artifact, hit = self.store.get_or_compute(
+                    g, self.algorithm, self.mode, backend=self.backend,
+                    shards=self.shards, partition=self.partition,
+                    executor=self.executor,
+                )
+            else:
+                artifact = build_artifact(
+                    g, self.algorithm, self.mode, backend=self.backend,
+                    shards=self.shards, partition=self.partition,
+                    executor=self.executor,
+                )
+                hit = False
+            sp.set_attr("artifact_hit", hit)
+            self.metrics.record_artifact(hit)
+            self._graph = g
+            self._dyn = None
+            self._engine = QueryEngine(artifact, backend=self.backend)
+            return artifact
 
     def load_artifact(self, path: str | Path) -> MSFArtifact:
         """Serve a saved artifact file (offline mode; no graph needed).
@@ -151,7 +163,8 @@ class MSTService:
 
     def _timed(self, kind: str, fn):
         t0 = time.perf_counter()
-        out = fn()
+        with _obs_span(f"query:{kind}", "service"):
+            out = fn()
         self.metrics.record_query(kind, time.perf_counter() - t0)
         return out
 
@@ -235,6 +248,12 @@ class MSTService:
     def _refresh_from_dynamic(self) -> None:
         """Rebuild engine + artifact from the maintained forest (no solve)."""
         t0 = time.perf_counter()
+        with _obs_span("service:mutation", "service"):
+            self._refresh_from_dynamic_inner()
+        self.metrics.record_query("mutation", time.perf_counter() - t0)
+
+    def _refresh_from_dynamic_inner(self) -> None:
+        """Rebuild the artifact, index, and engine from :attr:`_dyn`."""
         dyn = self._dyn
         fu, fv, fw, feids = dyn.forest_arrays()
         local = np.arange(fu.size, dtype=np.int64)
@@ -263,7 +282,6 @@ class MSTService:
         if self.store is not None:
             self.store.put(artifact)
         self._engine = QueryEngine(artifact, backend=self.backend)
-        self.metrics.record_query("mutation", time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     def save_artifact_json(self, path: str | Path) -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GraphError, ServiceError
+from repro.obs.trace import span as _obs_span
 from repro.service.artifacts import MSFArtifact
 
 __all__ = ["QueryEngine", "QUERY_KINDS"]
@@ -146,6 +147,11 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def execute(self, kind: str, us=None, vs=None, ws=None):
         """Dispatch one batched query by kind name (server plumbing)."""
+        n = np.asarray(us).size if us is not None else 1
+        with _obs_span(f"engine:{kind}", "service", kind=kind, batch=int(n)):
+            return self._execute(kind, us, vs, ws)
+
+    def _execute(self, kind: str, us=None, vs=None, ws=None):
         if kind == "connected":
             return self.connected_many(us, vs)
         if kind == "component":

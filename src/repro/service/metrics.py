@@ -36,6 +36,10 @@ class ServiceMetrics:
             lambda: deque(maxlen=self._reservoir)
         )
         self._query_counts: Dict[str, int] = defaultdict(int)
+        # kind -> (count at computation time, percentile dict); lets
+        # summary()/render() serve repeated reads without re-sorting the
+        # whole reservoir when no new sample arrived in between.
+        self._pct_cache: Dict[str, tuple[int, Dict[str, float]]] = {}
         self._batch_buckets: Dict[int, int] = defaultdict(int)
         self.cache_hits = 0
         self.cache_misses = 0
@@ -74,13 +78,26 @@ class ServiceMetrics:
     # Aggregates
     # ------------------------------------------------------------------
     def latency_percentiles(self, kind: str) -> Dict[str, float]:
-        """p50/p90/p99 latency (seconds) for one query kind."""
+        """p50/p90/p99 latency (seconds) for one query kind.
+
+        Unknown kinds and empty reservoirs return ``{}`` (never raising
+        numpy's empty-percentile error).  Results are cached against the
+        kind's monotone query count, so back-to-back ``summary()`` /
+        ``render()`` calls reuse one percentile computation per kind
+        instead of copying and sorting the reservoir each time.
+        """
         samples = self._latency.get(kind)
-        if not samples:
+        if samples is None or len(samples) == 0:
             return {}
+        count = self._query_counts[kind]
+        cached = self._pct_cache.get(kind)
+        if cached is not None and cached[0] == count:
+            return dict(cached[1])
         arr = np.fromiter(samples, dtype=np.float64, count=len(samples))
         values = np.percentile(arr, _PERCENTILES)
-        return {f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)}
+        out = {f"p{int(p)}": float(v) for p, v in zip(_PERCENTILES, values)}
+        self._pct_cache[kind] = (count, out)
+        return dict(out)
 
     def batch_histogram(self) -> Dict[int, int]:
         """Coalesced batch sizes bucketed to the next power of two."""

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ServiceError
+from repro.obs.trace import span as _obs_span
 from repro.service.core import MSTService
 from repro.service.engine import QUERY_KINDS
 
@@ -195,6 +196,10 @@ class AsyncMSTService:
 
     def _execute(self, batch: List[Tuple]) -> None:
         """Run one coalesced batch: group by kind, one vectorized call each."""
+        with _obs_span("serve:batch", "service", size=len(batch)) as sp:
+            self._execute_inner(batch, sp)
+
+    def _execute_inner(self, batch: List[Tuple], sp) -> None:
         self.metrics.record_batch(len(batch))
         try:
             engine = self.service.ensure_ready()
@@ -206,6 +211,7 @@ class AsyncMSTService:
         groups: Dict[str, List[Tuple]] = {}
         for item in batch:
             groups.setdefault(item[0][0], []).append(item)
+        sp.set_attr("kinds", sorted(groups))
         for kind, items in groups.items():
             us = [it[0][1] if it[0][1] is not None else 0 for it in items]
             vs = [it[0][2] if it[0][2] is not None else 0 for it in items]

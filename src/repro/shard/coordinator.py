@@ -39,6 +39,7 @@ import numpy as np
 from repro.errors import BenchmarkError, ServiceError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
+from repro.obs.trace import current_tracer
 from repro.shard.memory import SharedEdgeArena
 from repro.shard.merge import merge_tree
 from repro.shard.partition import PARTITION_STRATEGIES, partition_edges
@@ -91,52 +92,64 @@ def sharded_mst(
     if n_shards < 1:
         raise BenchmarkError(f"n_shards must be >= 1, got {n_shards}")
 
+    tracer = current_tracer()
     t0 = time.perf_counter()
-    plan = partition_edges(g, n_shards, partition, seed)
-    use_processes = executor == "process" or (
-        executor == "auto" and n_shards > 1 and g.n_edges >= min_process_edges
-    )
+    with tracer.span(
+        "sharded", "shard", n_shards=n_shards, partition=partition,
+        executor=executor, algorithm=algorithm,
+        n_vertices=g.n_vertices, n_edges=g.n_edges,
+    ) as top:
+        with tracer.span("shard:partition", "shard"):
+            plan = partition_edges(g, n_shards, partition, seed)
+        use_processes = executor == "process" or (
+            executor == "auto" and n_shards > 1 and g.n_edges >= min_process_edges
+        )
 
-    stats: Dict[str, float] = {
-        "shards": n_shards,
-        "partition": partition,  # type: ignore[dict-item]
-        "balance_ratio": round(plan.balance_ratio, 4),
-        "replication_factor": round(plan.replication_factor, 4),
-        "retries": 0,
-        "fallback_shards": 0,
-    }
+        stats: Dict[str, float] = {
+            "shards": n_shards,
+            "partition": partition,  # type: ignore[dict-item]
+            "balance_ratio": round(plan.balance_ratio, 4),
+            "replication_factor": round(plan.replication_factor, 4),
+            "retries": 0,
+            "fallback_shards": 0,
+        }
 
-    if use_processes:
-        try:
-            forests = _solve_in_processes(
-                g, plan, algorithm, mode, seed,
-                timeout_s=timeout_s, max_retries=max_retries,
-                fault=fault, stats=stats,
-            )
-            stats["executor"] = "process"  # type: ignore[assignment]
-        except ServiceError:
-            # Shared memory / fork unavailable: degrade to the in-process
-            # executor rather than failing the solve.
+        if use_processes:
+            try:
+                with tracer.span("shard:solve-processes", "shard"):
+                    forests = _solve_in_processes(
+                        g, plan, algorithm, mode, seed,
+                        timeout_s=timeout_s, max_retries=max_retries,
+                        fault=fault, stats=stats,
+                    )
+                stats["executor"] = "process"  # type: ignore[assignment]
+            except ServiceError:
+                # Shared memory / fork unavailable: degrade to the in-process
+                # executor rather than failing the solve.
+                forests = None
+                stats["executor"] = "serial-degraded"  # type: ignore[assignment]
+        else:
             forests = None
-            stats["executor"] = "serial-degraded"  # type: ignore[assignment]
-    else:
-        forests = None
-        stats["executor"] = "serial"  # type: ignore[assignment]
-    if forests is None:
-        forests = [
-            solve_shard_local(
-                g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
-                plan.edge_ids(s), algorithm, mode,
-            )
-            for s in range(n_shards)
-        ]
+            stats["executor"] = "serial"  # type: ignore[assignment]
+        if forests is None:
+            with tracer.span("shard:solve-serial", "shard"):
+                forests = [
+                    solve_shard_local(
+                        g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+                        plan.edge_ids(s), algorithm, mode,
+                    )
+                    for s in range(n_shards)
+                ]
 
-    stats["candidate_edges"] = int(sum(f.size for f in forests))
-    t_merge = time.perf_counter()
-    msf = merge_tree(g, forests)
-    stats["merge_seconds"] = round(time.perf_counter() - t_merge, 6)
-    stats["total_seconds"] = round(time.perf_counter() - t0, 6)
-    return result_from_edge_ids(g, msf, stats=stats)
+        stats["candidate_edges"] = int(sum(f.size for f in forests))
+        t_merge = time.perf_counter()
+        with tracer.span("shard:merge", "shard",
+                         candidate_edges=stats["candidate_edges"]):
+            msf = merge_tree(g, forests)
+        stats["merge_seconds"] = round(time.perf_counter() - t_merge, 6)
+        stats["total_seconds"] = round(time.perf_counter() - t0, 6)
+        top.set_attr("effective_executor", stats["executor"])
+        return result_from_edge_ids(g, msf, stats=stats)
 
 
 def _solve_in_processes(
@@ -161,6 +174,7 @@ def _solve_in_processes(
     import multiprocessing as mp
     from multiprocessing.connection import wait as conn_wait
 
+    tracer = current_tracer()
     try:
         ctx = mp.get_context()
         arena = SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w)
@@ -176,6 +190,7 @@ def _solve_in_processes(
             arena=arena.spec, shard=shard, n_shards=plan.n_shards,
             strategy=plan.strategy, seed=seed,
             algorithm=algorithm, mode=mode, attempt=attempt, fault=fault,
+            traced=tracer.enabled,
         )
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
@@ -222,6 +237,11 @@ def _solve_in_processes(
                     proc.join()
                 if payload[0] == "ok":
                     forests[shard] = np.asarray(payload[1], dtype=np.int64)
+                    # Workers running under tracing append their span
+                    # payload as a fourth element; merge it into this
+                    # process's timeline.  Older 3-tuples stay valid.
+                    if len(payload) > 3:
+                        tracer.adopt(payload[3])
                 else:
                     _failed(shard, attempt)
             # Reap overdue workers (hangs count as crashes).

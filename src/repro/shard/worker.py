@@ -56,7 +56,13 @@ class ShardFault:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """Everything one worker needs, small enough to pickle cheaply."""
+    """Everything one worker needs, small enough to pickle cheaply.
+
+    ``traced`` asks the worker to record observability spans and ship
+    them back with its forest (a fourth tuple element); the coordinator
+    adopts them into the caller's tracer so one timeline covers every
+    process.
+    """
 
     arena: ArenaSpec
     shard: int
@@ -67,6 +73,7 @@ class ShardTask:
     mode: Optional[str]
     attempt: int = 0
     fault: Optional[ShardFault] = None
+    traced: bool = False
 
 
 def _shard_subgraph(
@@ -161,24 +168,38 @@ def _maybe_fault(task: ShardTask) -> None:
 def worker_main(conn, task: ShardTask) -> None:
     """Worker process entry point: attach, solve own shard, reply, exit.
 
-    Sends ``("ok", edge_ids, seconds)`` or ``("error", repr)`` over
-    ``conn``.  The arena is attached read-only and only *closed* on the
-    way out — unlinking is the coordinator's job alone.
+    Sends ``("ok", edge_ids, seconds)`` — with a fourth span-payload
+    element when ``task.traced`` — or ``("error", repr)`` over ``conn``.
+    The arena is attached read-only and only *closed* on the way out —
+    unlinking is the coordinator's job alone.
     """
+    from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
+
+    tracer = Tracer() if task.traced else NULL_TRACER
     shm = None
     try:
         t0 = time.perf_counter()
-        edge_u, edge_v, edge_w, shm = attach_readonly(task.arena)
-        ids = shard_edge_ids(
-            task.arena.n_vertices, edge_u, edge_v,
-            task.n_shards, task.shard, task.strategy, task.seed,
-        )
-        _maybe_fault(task)
-        forest = solve_shard_local(
-            task.arena.n_vertices, edge_u, edge_v, edge_w, ids,
-            task.algorithm, task.mode,
-        )
-        conn.send(("ok", np.ascontiguousarray(forest), time.perf_counter() - t0))
+        with use_tracer(tracer), tracer.span(
+            f"shard:worker:{task.shard}", "shard",
+            shard=task.shard, attempt=task.attempt, algorithm=task.algorithm,
+        ):
+            with tracer.span("shard:attach", "shard"):
+                edge_u, edge_v, edge_w, shm = attach_readonly(task.arena)
+                ids = shard_edge_ids(
+                    task.arena.n_vertices, edge_u, edge_v,
+                    task.n_shards, task.shard, task.strategy, task.seed,
+                )
+            _maybe_fault(task)
+            with tracer.span("shard:solve", "shard", n_edges=int(ids.size)) as sp:
+                forest = solve_shard_local(
+                    task.arena.n_vertices, edge_u, edge_v, edge_w, ids,
+                    task.algorithm, task.mode,
+                )
+                sp.set_attr("forest_edges", int(forest.size))
+        reply = ("ok", np.ascontiguousarray(forest), time.perf_counter() - t0)
+        if task.traced:
+            reply = reply + (tracer.to_payload(),)
+        conn.send(reply)
     except Exception as exc:  # surface as data; the coordinator decides
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))

@@ -1,0 +1,97 @@
+"""Cross-process tracing: shard workers ship spans back to one timeline."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs.generators import gnm_random_graph
+from repro.mst.kruskal import kruskal
+from repro.obs.export import chrome_trace, validate_chrome_trace
+from repro.obs.trace import Tracer, use_tracer
+from repro.shard.coordinator import sharded_mst
+
+
+@pytest.fixture(scope="module")
+def traced_process_solve():
+    """One traced 2-shard solve forced onto worker processes."""
+    g = gnm_random_graph(120, 400, seed=3)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = sharded_mst(g, n_shards=2, executor="process", seed=0)
+    return g, tracer, result
+
+
+class TestShardSpanMerge:
+    def test_result_still_exact_under_tracing(self, traced_process_solve):
+        g, _, result = traced_process_solve
+        assert result.edge_set() == kruskal(g).edge_set()
+
+    def test_at_least_two_worker_pids_plus_coordinator(self, traced_process_solve):
+        _, tracer, _ = traced_process_solve
+        pids = tracer.pids()
+        assert len(pids) >= 3, pids
+        assert pids[0] == os.getpid(), "coordinator pid must come first"
+
+    def test_worker_spans_nest_under_their_worker_root(self, traced_process_solve):
+        _, tracer, _ = traced_process_solve
+        foreign = [sp for sp in tracer.spans if sp.pid != os.getpid()]
+        assert foreign, "expected adopted worker spans"
+        by_id = {sp.span_id: sp for sp in tracer.spans}
+        for sp in foreign:
+            if sp.parent_id is None:
+                assert sp.name.startswith("shard:worker:")
+            else:
+                parent = by_id[sp.parent_id]
+                assert parent.pid == sp.pid, "worker links must stay intra-process"
+
+    def test_merge_ordering_is_chronological_and_deterministic(
+        self, traced_process_solve
+    ):
+        _, tracer, _ = traced_process_solve
+        ordered = tracer.sorted_spans()
+        starts = [sp.start_ns for sp in ordered]
+        assert starts == sorted(starts)
+        # Workers started after the coordinator's umbrella span opened.
+        umbrella = next(sp for sp in ordered if sp.name == "sharded")
+        for sp in ordered:
+            if sp.pid != os.getpid():
+                assert sp.start_ns >= umbrella.start_ns
+
+    def test_adopted_ids_unique_across_processes(self, traced_process_solve):
+        _, tracer, _ = traced_process_solve
+        ids = [sp.span_id for sp in tracer.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_merged_timeline_exports_valid_chrome_trace(self, traced_process_solve):
+        _, tracer, _ = traced_process_solve
+        doc = chrome_trace(tracer)
+        assert validate_chrome_trace(doc) == []
+        worker_meta = [e for e in doc["traceEvents"]
+                       if e["ph"] == "M" and "shard-worker" in e["args"]["name"]]
+        assert len(worker_meta) >= 2
+
+    def test_expected_phase_spans_present(self, traced_process_solve):
+        _, tracer, _ = traced_process_solve
+        names = {sp.name for sp in tracer.spans}
+        for expected in ("sharded", "shard:partition", "shard:merge",
+                         "shard:solve", "mst:assemble"):
+            assert expected in names, f"missing {expected} in {sorted(names)}"
+
+
+class TestUntracedWorkers:
+    def test_untraced_solve_ships_no_span_payload(self):
+        g = gnm_random_graph(80, 240, seed=5)
+        # No tracer installed: workers must not pay for span recording,
+        # and the solve must still be exact.
+        result = sharded_mst(g, n_shards=2, executor="process", seed=0)
+        assert result.edge_set() == kruskal(g).edge_set()
+
+    def test_serial_executor_keeps_everything_in_one_pid(self):
+        g = gnm_random_graph(80, 240, seed=6)
+        tracer = Tracer()
+        with use_tracer(tracer):
+            sharded_mst(g, n_shards=2, executor="serial", seed=0)
+        assert tracer.pids() == [os.getpid()]
+        assert any(sp.name == "shard:solve-serial" for sp in tracer.spans)

@@ -1,0 +1,162 @@
+"""Chrome trace-event export: golden document, schema validation."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.trace import Span, Tracer
+
+GOLDEN = Path(__file__).parent / "golden" / "chrome_trace.json"
+
+
+def _fixed_timeline() -> list[Span]:
+    """A deterministic two-process span tree (hand-assigned clocks/ids).
+
+    Layout: coordinator pid 100 runs ``solve`` with a nested ``round``;
+    worker pid 200 runs ``shard:worker`` overlapping it.  Every field is
+    pinned so the exported document is byte-stable for the golden test.
+    """
+
+    def mk(name, cat, start, end, *, sid, parent=None, pid, tid, attrs=None,
+           error=None):
+        sp = Span(name, cat, start, span_id=sid, parent_id=parent,
+                  pid=pid, tid=tid, attrs=attrs)
+        sp.end_ns = end
+        sp.error = error
+        return sp
+
+    return [
+        mk("solve", "mst", 1_000_000, 9_000_000, sid=1, pid=100, tid=1,
+           attrs={"algorithm": "kruskal", "n_edges": 10}),
+        mk("round", "runtime", 2_000_000, 4_000_000, sid=2, parent=1,
+           pid=100, tid=1, attrs={"n_tasks": 4}),
+        mk("shard:worker", "shard", 2_500_000, 8_000_000, sid=3,
+           pid=200, tid=7, attrs={"shard": 0}),
+        mk("broken", "mst", 8_500_000, 8_600_000, sid=4, parent=1,
+           pid=100, tid=1, error="ValueError: boom"),
+    ]
+
+
+class TestChromeTrace:
+    def test_golden_document(self):
+        """The exporter's output must match the checked-in golden file.
+
+        Regenerate deliberately with::
+
+            PYTHONPATH=src python -c "
+            from tests.obs.test_export import regenerate_golden
+            regenerate_golden()"
+        """
+        doc = chrome_trace(_fixed_timeline())
+        got = json.dumps(doc, indent=1, sort_keys=True)
+        assert GOLDEN.exists(), "golden file missing; regenerate it"
+        assert got.strip() == GOLDEN.read_text().strip(), (
+            "Chrome trace output drifted from the golden document; if the "
+            "change is intentional, regenerate tests/obs/golden/chrome_trace.json"
+        )
+
+    def test_golden_document_passes_schema(self):
+        assert validate_chrome_trace(json.loads(GOLDEN.read_text())) == []
+
+    def test_timestamps_relative_to_earliest_span_in_us(self):
+        doc = chrome_trace(_fixed_timeline())
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["solve"]["ts"] == 0.0
+        assert xs["solve"]["dur"] == pytest.approx(8000.0)   # 8 ms in us
+        assert xs["round"]["ts"] == pytest.approx(1000.0)
+        assert xs["shard:worker"]["ts"] == pytest.approx(1500.0)
+
+    def test_process_metadata_labels_coordinator_and_workers(self):
+        doc = chrome_trace(_fixed_timeline())
+        meta = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                if e["ph"] == "M"}
+        assert meta[100].startswith("coordinator")
+        assert meta[200].startswith("shard-worker")
+
+    def test_error_lands_in_args(self):
+        doc = chrome_trace(_fixed_timeline())
+        broken = next(e for e in doc["traceEvents"]
+                      if e["ph"] == "X" and e["name"] == "broken")
+        assert broken["args"]["error"] == "ValueError: boom"
+
+    def test_open_spans_are_skipped(self):
+        open_span = Span("open", "t", 1000, span_id=1, pid=1, tid=1)
+        doc = chrome_trace([open_span])
+        assert doc["traceEvents"] == []
+
+    def test_tracer_input_equivalent_to_span_list(self):
+        tracer = Tracer()
+        tracer.spans.extend(_fixed_timeline())
+        assert chrome_trace(tracer) == chrome_trace(_fixed_timeline())
+
+    def test_metrics_land_under_other_data(self):
+        doc = chrome_trace(_fixed_timeline(), {"svc": {"count": 1}})
+        assert doc["otherData"]["metrics"] == {"svc": {"count": 1}}
+
+
+class TestValidator:
+    def test_rejects_non_object_document(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"displayTimeUnit": "ms"}) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x"}]}
+        assert any("unknown phase" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_negative_and_boolean_timestamps(self):
+        base = {"ph": "X", "name": "n", "cat": "c", "pid": 1, "tid": 1}
+        neg = {"traceEvents": [dict(base, ts=-1.0, dur=1.0)]}
+        boolean = {"traceEvents": [dict(base, ts=True, dur=1.0)]}
+        assert any("ts" in p for p in validate_chrome_trace(neg))
+        assert any("ts" in p for p in validate_chrome_trace(boolean))
+
+    def test_rejects_non_integer_pid(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "n", "cat": "c", "ts": 0, "dur": 0,
+             "pid": "one", "tid": 1},
+        ]}
+        assert any("pid" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_metadata_without_name(self):
+        doc = {"traceEvents": [{"ph": "M", "pid": 1, "tid": 0, "args": {}}]}
+        assert any("metadata" in p for p in validate_chrome_trace(doc))
+
+    def test_accepts_numpy_args_via_default_encoder(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "name": "n", "cat": "c", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "tid": 1, "args": {"count": np.int64(3)}},
+        ]}
+        assert validate_chrome_trace(doc) == []
+
+
+class TestWriters:
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", _fixed_timeline(),
+                                  {"m": {"v": np.float64(1.5)}})
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["metrics"]["m"]["v"] == 1.5
+
+    def test_write_metrics_json(self, tmp_path):
+        path = write_metrics_json(tmp_path / "m.json",
+                                  {"a": {"n": np.int64(2)}})
+        assert json.loads(path.read_text()) == {"a": {"n": 2}}
+
+
+def regenerate_golden() -> None:
+    """Rewrite the golden file from the current exporter (call by hand)."""
+    doc = chrome_trace(_fixed_timeline())
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,83 @@
+"""MetricsRegistry: naming rules, error isolation, the three adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    counters_provider,
+    execution_trace_provider,
+    service_metrics_provider,
+)
+from repro.runtime.metrics import ExecutionTrace
+from repro.service.metrics import ServiceMetrics
+
+
+class TestRegistry:
+    def test_snapshot_preserves_registration_order(self):
+        reg = MetricsRegistry()
+        reg.register("b.second", lambda: {"x": 2})
+        reg.register("a.first", lambda: {"x": 1})
+        snap = reg.snapshot()
+        assert list(snap) == ["b.second", "a.first"]
+        assert snap == {"b.second": {"x": 2}, "a.first": {"x": 1}}
+
+    def test_duplicate_name_raises_unless_replace(self):
+        reg = MetricsRegistry()
+        reg.register("m", lambda: {})
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("m", lambda: {})
+        reg.register("m", lambda: {"v": 1}, replace=True)
+        assert reg.snapshot() == {"m": {"v": 1}}
+
+    def test_non_callable_provider_rejected(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().register("m", {"not": "callable"})
+
+    def test_failing_provider_degrades_to_error_entry(self):
+        reg = MetricsRegistry()
+        reg.register("bad", lambda: (_ for _ in ()).throw(RuntimeError("down")))
+        reg.register("good", lambda: {"ok": True})
+        snap = reg.snapshot()
+        assert snap["bad"] == {"error": "RuntimeError: down"}
+        assert snap["good"] == {"ok": True}
+
+    def test_unregister_and_contains(self):
+        reg = MetricsRegistry()
+        reg.register("m", lambda: {})
+        assert "m" in reg
+        reg.unregister("m")
+        assert "m" not in reg
+        reg.unregister("m")  # unknown names are ignored
+        assert reg.names() == []
+
+    def test_providers_evaluated_at_snapshot_time(self):
+        state = {"n": 0}
+        reg = MetricsRegistry()
+        reg.register("live", counters_provider(state))
+        state["n"] = 42
+        assert reg.snapshot() == {"live": {"n": 42}}
+
+
+class TestAdapters:
+    def test_execution_trace_provider(self):
+        trace = ExecutionTrace()
+        trace.add_round(4, 40, 10)
+        trace.bump("edges_scanned", 7)
+        out = execution_trace_provider(trace)()
+        assert out["rounds"] == 1
+        assert out["parallel_work"] == 40
+        assert out["counters"] == {"edges_scanned": 7}
+
+    def test_service_metrics_provider(self):
+        metrics = ServiceMetrics()
+        metrics.record_query("connected", 0.001)
+        metrics.record_cache(True)
+        out = service_metrics_provider(metrics)()
+        assert out["queries"]["connected"]["count"] == 1
+        assert out["cache"]["hits"] == 1
+
+    def test_counters_provider_stringifies_keys(self):
+        out = counters_provider({1: "a", "b": 2})()
+        assert out == {"1": "a", "b": 2}

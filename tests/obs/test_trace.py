@@ -1,0 +1,194 @@
+"""Span tracer semantics: nesting, exception safety, adoption, null mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    span,
+    use_tracer,
+)
+
+
+class TestNesting:
+    def test_parent_links_follow_lexical_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("mid", "t") as mid:
+                with tracer.span("inner", "t") as inner:
+                    pass
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.span_id
+        assert inner.parent_id == mid.span_id
+        # All closed, with monotone non-negative durations.
+        assert all(sp.closed and sp.duration_ns >= 0 for sp in tracer.spans)
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer", "t") as outer:
+            with tracer.span("a", "t") as a:
+                pass
+            with tracer.span("b", "t") as b:
+                pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span is None
+        with tracer.span("outer", "t") as outer:
+            assert tracer.current_span is outer
+            with tracer.span("inner", "t") as inner:
+                assert tracer.current_span is inner
+            assert tracer.current_span is outer
+        assert tracer.current_span is None
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer()
+        with tracer.span("s", "t", algorithm="prim", n=3) as sp:
+            sp.set_attr("late", True)
+        assert sp.attrs == {"algorithm": "prim", "n": 3, "late": True}
+
+    def test_spans_ordered_by_start_time(self):
+        tracer = Tracer()
+        with tracer.span("first", "t"):
+            pass
+        with tracer.span("second", "t"):
+            pass
+        names = [sp.name for sp in tracer.sorted_spans()]
+        assert names == ["first", "second"]
+
+
+class TestExceptionSafety:
+    def test_exception_closes_and_tags_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing", "t"):
+                raise ValueError("boom")
+        (sp,) = tracer.spans
+        assert sp.closed
+        assert sp.error == "ValueError: boom"
+
+    def test_exception_propagates_through_nested_spans(self):
+        tracer = Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("outer", "t"):
+                with tracer.span("inner", "t"):
+                    raise KeyError("k")
+        by_name = {sp.name: sp for sp in tracer.spans}
+        assert by_name["inner"].error is not None
+        assert by_name["outer"].error is not None
+        # The stack fully unwound: new spans start at top level again.
+        with tracer.span("after", "t") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_success_leaves_error_none(self):
+        tracer = Tracer()
+        with tracer.span("fine", "t"):
+            pass
+        assert tracer.spans[0].error is None
+
+
+class TestAdoption:
+    def _worker_payload(self, pid: int):
+        """Simulate a worker process's serialized span tree."""
+        worker = Tracer()
+        with worker.span("shard:worker", "shard", shard=0):
+            with worker.span("shard:solve", "shard"):
+                pass
+        payload = worker.to_payload()
+        for data in payload:  # pretend it came from another process
+            data["pid"] = pid
+        return payload
+
+    def test_adopt_preserves_intra_payload_parent_links(self):
+        parent = Tracer()
+        with parent.span("local", "t"):
+            pass
+        n = parent.adopt(self._worker_payload(pid=99999))
+        assert n == 2
+        adopted = [sp for sp in parent.spans if sp.pid == 99999]
+        by_name = {sp.name: sp for sp in adopted}
+        assert by_name["shard:solve"].parent_id == by_name["shard:worker"].span_id
+
+    def test_adopt_renames_ids_away_from_local_ones(self):
+        parent = Tracer()
+        with parent.span("local", "t"):
+            pass
+        parent.adopt(self._worker_payload(pid=77777))
+        ids = [sp.span_id for sp in parent.spans]
+        assert len(ids) == len(set(ids)), "adopted ids must not collide"
+
+    def test_adopt_two_workers_keeps_both_distinct(self):
+        parent = Tracer()
+        parent.adopt(self._worker_payload(pid=11111))
+        parent.adopt(self._worker_payload(pid=22222))
+        ids = [sp.span_id for sp in parent.spans]
+        assert len(ids) == len(set(ids))
+        assert parent.pids() == [11111, 22222]
+
+    def test_adopt_empty_payload(self):
+        assert Tracer().adopt([]) == 0
+
+    def test_sorted_spans_breaks_start_ties_deterministically(self):
+        tracer = Tracer()
+        mk = lambda pid, sid: Span("s", "t", 1000, span_id=sid, pid=pid)  # noqa: E731
+        for sp in (mk(30, 2), mk(10, 9), mk(10, 1), mk(20, 5)):
+            sp.end_ns = 2000
+            tracer.spans.append(sp)
+        ordered = [(sp.pid, sp.span_id) for sp in tracer.sorted_spans()]
+        assert ordered == [(10, 1), (10, 9), (20, 5), (30, 2)]
+
+    def test_roundtrip_to_dict_from_dict(self):
+        sp = Span("n", "c", 123, span_id=7, parent_id=3, pid=1, tid=2,
+                  attrs={"k": "v"})
+        sp.end_ns = 456
+        sp.error = "E: x"
+        clone = Span.from_dict(sp.to_dict())
+        assert clone.to_dict() == sp.to_dict()
+
+
+class TestNullMode:
+    def test_default_tracer_is_null_and_free(self):
+        assert current_tracer() is NULL_TRACER
+        # The module-level helper is a no-op that returns a shared CM.
+        with span("anything", "t", ignored=1) as sp:
+            sp.set_attr("also", "ignored")
+        assert NULL_TRACER.spans == []
+        assert not NULL_TRACER.enabled
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            with span("recorded", "t"):
+                pass
+        assert current_tracer() is NULL_TRACER
+        assert [sp.name for sp in tracer.spans] == ["recorded"]
+
+    def test_null_span_context_swallows_nothing(self):
+        with pytest.raises(RuntimeError):
+            with span("x", "t"):
+                raise RuntimeError("must propagate")
+
+
+class TestProfiling:
+    def test_profile_attaches_hotspots_when_enabled(self):
+        tracer = Tracer(profile=True)
+        with tracer.span("hot", "t", profile=True):
+            sum(i * i for i in range(1000))
+        (sp,) = tracer.spans
+        assert isinstance(sp.attrs.get("profile_top"), list)
+        assert sp.attrs["profile_top"], "expected at least one hotspot row"
+
+    def test_profile_is_off_unless_both_flags_set(self):
+        tracer = Tracer(profile=False)
+        with tracer.span("cold", "t", profile=True):
+            pass
+        assert "profile_top" not in tracer.spans[0].attrs

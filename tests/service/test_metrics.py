@@ -1,0 +1,103 @@
+"""ServiceMetrics: percentile caching, empty-reservoir guards, aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics
+
+
+class TestPercentiles:
+    def test_basic_percentiles(self):
+        m = ServiceMetrics()
+        for i in range(1, 101):
+            m.record_query("connected", i / 1000.0)
+        pct = m.latency_percentiles("connected")
+        assert set(pct) == {"p50", "p90", "p99"}
+        assert pct["p50"] == pytest.approx(0.0505, abs=1e-4)
+        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+
+    def test_unknown_kind_returns_empty(self):
+        assert ServiceMetrics().latency_percentiles("never-recorded") == {}
+
+    def test_empty_reservoir_returns_empty_not_raises(self):
+        """Regression: an empty deque must not reach np.percentile.
+
+        ``_latency`` is a defaultdict, so merely *touching* a kind can
+        materialise an empty reservoir; percentiles over it must degrade
+        to ``{}`` instead of raising numpy's empty-percentile error.
+        """
+        m = ServiceMetrics()
+        m._latency["touched"]  # noqa: B018 - deliberately materialise empty deque
+        assert m.latency_percentiles("touched") == {}
+        assert "touched" not in m.summary()["queries"]  # count never recorded
+
+    def test_repeated_reads_reuse_cached_percentiles(self):
+        """Regression: summary()/render() must not re-sort the reservoir
+        per kind per call when no new sample arrived in between."""
+        m = ServiceMetrics()
+        for i in range(50):
+            m.record_query("bottleneck", i / 100.0)
+        first = m.latency_percentiles("bottleneck")
+        cached_entry = m._pct_cache["bottleneck"]
+        second = m.latency_percentiles("bottleneck")
+        assert second == first
+        assert m._pct_cache["bottleneck"] is cached_entry, (
+            "no new sample -> the cached computation must be reused"
+        )
+
+    def test_cache_invalidated_by_new_sample(self):
+        m = ServiceMetrics()
+        m.record_query("weight", 0.010)
+        assert m.latency_percentiles("weight")["p50"] == pytest.approx(0.010)
+        m.record_query("weight", 0.030)
+        assert m.latency_percentiles("weight")["p50"] == pytest.approx(0.020)
+
+    def test_cached_result_is_a_copy(self):
+        m = ServiceMetrics()
+        m.record_query("connected", 0.001)
+        out = m.latency_percentiles("connected")
+        out["p50"] = -1.0
+        assert m.latency_percentiles("connected")["p50"] >= 0.0
+
+    def test_reservoir_bounds_memory(self):
+        m = ServiceMetrics(reservoir=4)
+        for i in range(100):
+            m.record_query("connected", float(i))
+        assert len(m._latency["connected"]) == 4
+        # Percentiles reflect only the sliding window (96..99).
+        assert m.latency_percentiles("connected")["p50"] == pytest.approx(97.5)
+
+    def test_invalid_reservoir_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics(reservoir=0)
+
+
+class TestAggregates:
+    def test_summary_includes_counts_and_percentiles(self):
+        m = ServiceMetrics()
+        m.record_query("connected", 0.002)
+        m.record_batch(3)
+        m.record_cache(True)
+        m.record_cache(False)
+        m.record_artifact(False)
+        s = m.summary()
+        assert s["queries"]["connected"]["count"] == 1
+        assert s["queries"]["connected"]["p50"] == pytest.approx(0.002)
+        assert s["batch_histogram"] == {"4": 1}
+        assert s["cache"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
+        assert s["artifacts"] == {"hits": 0, "misses": 1}
+
+    def test_summary_stable_across_repeated_calls(self):
+        m = ServiceMetrics()
+        for kind in ("a", "b", "c"):
+            for i in range(10):
+                m.record_query(kind, i / 1000.0)
+        assert m.summary() == m.summary()
+
+    def test_render_mentions_every_kind(self):
+        m = ServiceMetrics()
+        m.record_query("connected", 0.001)
+        m.record_query("bottleneck", 0.002)
+        text = m.render()
+        assert "connected" in text and "bottleneck" in text

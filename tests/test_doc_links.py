@@ -1,0 +1,67 @@
+"""The docs link checker: the repo's own docs pass, broken links fail."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).parent.parent
+TOOL = REPO / "tools" / "check_doc_links.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(TOOL), *map(str, args)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_repo_docs_have_no_broken_links():
+    proc = _run()  # defaults: docs/ + README.md
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_index_is_reachable_from_readme():
+    assert "docs/index.md" in (REPO / "README.md").read_text()
+    index = REPO / "docs" / "index.md"
+    linked = set()
+    import re
+
+    for m in re.finditer(r"\]\(([^)#\s]+)", index.read_text()):
+        if not m.group(1).startswith(("http://", "https://")):
+            linked.add((index.parent / m.group(1)).resolve().name)
+    for doc in (REPO / "docs").glob("*.md"):
+        if doc.name == "index.md":
+            continue
+        assert doc.name in linked, f"docs/index.md does not mention {doc.name}"
+
+
+def test_broken_file_link_detected(tmp_path):
+    (tmp_path / "a.md").write_text("see [gone](missing.md)\n")
+    proc = _run(tmp_path)
+    assert proc.returncode == 1
+    assert "broken link" in proc.stderr and "missing.md" in proc.stderr
+
+
+def test_broken_anchor_detected(tmp_path):
+    (tmp_path / "a.md").write_text("# Real Heading\n\n[ok](#real-heading)\n")
+    (tmp_path / "b.md").write_text("[bad](a.md#no-such-section)\n")
+    proc = _run(tmp_path)
+    assert proc.returncode == 1
+    assert "missing anchor" in proc.stderr
+    assert "a.md#real-heading" not in proc.stderr
+
+
+def test_external_and_code_block_links_ignored(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "[out](https://example.com/x.md)\n"
+        "```python\n# [fake](nowhere.md) inside a fence\n```\n"
+        "and `[inline](also-nowhere.md)` code\n"
+    )
+    proc = _run(tmp_path)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_non_markdown_argument_is_usage_error(tmp_path):
+    (tmp_path / "notes.txt").write_text("hi")
+    assert _run(tmp_path / "notes.txt").returncode == 2

@@ -1,0 +1,103 @@
+"""Check that every relative markdown link in the docs resolves.
+
+Run:  python tools/check_doc_links.py [files-or-dirs ...]
+
+With no arguments, checks ``docs/`` plus ``README.md`` at the repository
+root — the set the CI docs job guards.  External links (http/https/
+mailto) are not fetched; this tool only keeps the *internal* link graph
+honest: a renamed or deleted doc fails the build instead of leaving a
+dead cross-reference.  Intra-file anchors (``#section``) are validated
+against the target file's headings using GitHub's slug rules.
+
+Exit codes: 0 all links resolve, 1 broken links (listed on stderr),
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) inline links; images share the syntax via a leading "!".
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _strip_code(text: str) -> str:
+    """Drop fenced and inline code: link syntax inside it is not a link."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (close enough for ASCII docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    return {
+        _slugify(m.group(1))
+        for m in re.finditer(r"^#{1,6}\s+(.+)$", text, flags=re.MULTILINE)
+    }
+
+
+def check_file(path: Path) -> list:
+    """Return a list of broken-link descriptions for one markdown file."""
+    problems = []
+    text = _strip_code(path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        target, _, anchor = target.partition("#")
+        dest = path if not target else (path.parent / target).resolve()
+        if not dest.exists():
+            problems.append(f"{path}: broken link -> {match.group(1)}")
+            continue
+        if anchor and dest.suffix == ".md" and _slugify(anchor) not in _anchors(dest):
+            problems.append(f"{path}: missing anchor -> {match.group(1)}")
+    return problems
+
+
+def check_paths(paths) -> list:
+    """Check every markdown file under the given files/directories."""
+    files = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.suffix == ".md":
+            files.append(p)
+        else:
+            raise ValueError(f"not a markdown file or directory: {p}")
+    problems = []
+    for f in files:
+        problems.extend(check_file(f))
+    return problems
+
+
+def main(argv) -> int:
+    targets = argv or [REPO / "docs", REPO / "README.md"]
+    try:
+        problems = check_paths(targets)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all internal doc links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
