@@ -94,9 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
     mstp.add_argument("--seed", type=int, default=0)
     mstp.add_argument("--workers", type=int, default=1,
                       help="simulated workers for parallel algorithms")
-    mstp.add_argument("--mode", choices=("loop", "vectorized"), default=None,
-                      help="kernel mode: 'loop' (reference) or 'vectorized' "
-                           "(array-kernel fast path, where available)")
+    mstp.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                      default="auto",
+                      help="kernel mode: 'loop' (reference), 'vectorized' "
+                           "(array-kernel fast path, where available), or "
+                           "'auto' (default: pick per graph via the "
+                           "calibrated cost model)")
     mstp.add_argument("--shards", type=int, default=0, metavar="N",
                       help="solve via the sharded multiprocess coordinator with "
                            "N shards (--algo becomes the per-shard local solver)")
@@ -124,7 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
     queryp.add_argument("--store", type=Path, default=None,
                         help="artifact-store directory (compute-once cache)")
     queryp.add_argument("--algo", default="kruskal", help="algorithm for cache misses")
-    queryp.add_argument("--mode", choices=("loop", "vectorized"), default=None)
+    queryp.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                        default="auto")
     queryp.add_argument("--shards", type=int, default=0, metavar="N",
                         help="build cache misses through the sharded coordinator "
                              "with N shards")
@@ -154,7 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
     servep.add_argument("--scale", type=int, default=None)
     servep.add_argument("--seed", type=int, default=0)
     servep.add_argument("--algo", default="kruskal")
-    servep.add_argument("--mode", choices=("loop", "vectorized"), default=None)
+    servep.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                        default="auto")
     servep.add_argument("--store", type=Path, default=None,
                         help="artifact-store directory (warm starts skip the solve)")
     servep.add_argument("--queries", type=Path, default=None,
@@ -173,8 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     profp.add_argument("--scale", type=int, default=None)
     profp.add_argument("--seed", type=int, default=0)
     profp.add_argument("--workers", type=int, default=1)
-    profp.add_argument("--mode", choices=("loop", "vectorized"), default=None,
-                       help="kernel mode to profile")
+    profp.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                       default=None, help="kernel mode to profile")
     profp.add_argument("--top", type=int, default=15, help="hotspots to show")
 
     cmpp = sub.add_parser("compare", help="diff two saved experiment JSON dumps")

@@ -23,6 +23,13 @@ Primitives
     lightest-per-pair dedup) edge contraction.
 :func:`~repro.kernels.relax.relax_neighbors`
     Vectorized dense-array Prim relaxation of one vertex's neighbor slice.
+:func:`~repro.kernels.frontier.frontier_edges`
+    One-shot gather of the CSR half-edge slices of a whole vertex batch.
+:func:`~repro.kernels.frontier.frontier_relax`
+    Frontier-sparse scatter-min relaxation: one NumPy round relaxes the
+    entire batch of newly fixed vertices' adjacency (the Baer et al.
+    sparse-kernel shape; replaces per-vertex ``relax_neighbors`` rounds
+    in the Prim-family fast paths).
 
 Cost accounting
 ---------------
@@ -34,6 +41,7 @@ mode executed.  See ``docs/kernels.md`` for the exact charging rules.
 """
 
 from repro.kernels.contract import contract_edges
+from repro.kernels.frontier import frontier_edges, frontier_relax
 from repro.kernels.jump import pointer_jump
 from repro.kernels.relax import relax_neighbors
 from repro.kernels.segments import (
@@ -49,4 +57,6 @@ __all__ = [
     "pointer_jump",
     "contract_edges",
     "relax_neighbors",
+    "frontier_edges",
+    "frontier_relax",
 ]

@@ -1,0 +1,229 @@
+"""Adaptive kernel-mode selection: the ``mode="auto"`` cost model.
+
+Every algorithm with a vectorized fast path trades per-edge Python work
+for whole-array NumPy dispatch, and the exchange rate depends on graph
+shape.  The Boruvka family vectorizes its *rounds* — a handful of
+whole-edge-list scatters regardless of density — so its vectorized mode
+wins from a few hundred edges up (measured 1.3–80x here).  Dense-array
+Prim instead trades O(deg) Python per pop for an O(n) NumPy ``argmin``
+per pop, which only pays above an average-degree crossover.  And
+LLP-Prim's frontier cascade never recoups its dispatch cost on any
+measured shape of this machine's single core — the registry marks that
+mode regression-prone (:attr:`~repro.mst.registry.AlgorithmInfo
+.regression_prone`) and :func:`choose_mode` refuses it outright.
+
+The cost model is deliberately tiny: per algorithm, a
+:class:`Crossover` of ``(min_edges, min_avg_degree)`` thresholds that a
+graph must clear for the vectorized mode to be selected.  The defaults
+are measured on the reference machine; :func:`calibrate` re-measures
+them on *this* machine — timing loop vs vectorized on synthetic graphs
+across a degree/size grid — and persists the result to a per-machine
+JSON file (``$REPRO_AUTOTUNE_PATH``, default
+``~/.cache/repro/autotune.json``) that :func:`choose_mode` picks up on
+the next process start.
+
+``mode="auto"`` is accepted by :func:`repro.mst.registry.get_algorithm`
+for **every** algorithm: loop-only algorithms simply resolve to their
+only mode, so callers (CLI, service, shard workers) can default to
+``auto`` without special-casing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "Crossover",
+    "DEFAULT_CROSSOVERS",
+    "autotune_path",
+    "load_crossovers",
+    "invalidate_cache",
+    "choose_mode",
+    "calibrate",
+]
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Thresholds above which an algorithm's vectorized mode is selected.
+
+    A graph must clear **both**: at least ``min_edges`` edges (below
+    that, array setup dominates any kernel win) and average degree
+    (``2m/n``) at least ``min_avg_degree`` (the density crossover of
+    dense-array Prim; ``0.0`` for algorithms whose vectorized rounds win
+    at any density).
+    """
+
+    min_edges: int
+    min_avg_degree: float
+
+
+# Measured on the reference machine (single core, NumPy BLAS defaults);
+# calibrate() overrides these with this machine's own measurements.
+DEFAULT_CROSSOVERS: Dict[str, Crossover] = {
+    # argmin-Prim: O(n) scan per pop needs dense graphs to amortize
+    # (measured 1.17x at avg degree 100, 0.84x at 40 → crossover ~64).
+    "prim": Crossover(min_edges=2048, min_avg_degree=64.0),
+    # Round-vectorized Boruvka variants win from a few hundred edges at
+    # any density (measured 1.3x–80x across the shape grid).
+    "boruvka": Crossover(min_edges=256, min_avg_degree=0.0),
+    "llp-boruvka": Crossover(min_edges=256, min_avg_degree=0.0),
+    "parallel-boruvka": Crossover(min_edges=256, min_avg_degree=0.0),
+    # llp-prim is absent on purpose: its vectorized mode is marked
+    # regression-prone in the registry and never auto-selected.
+}
+
+_cached: Optional[Dict[str, Crossover]] = None
+_cached_path: Optional[str] = None
+
+
+def autotune_path() -> Path:
+    """The per-machine calibration file (env-overridable for tests)."""
+    env = os.environ.get("REPRO_AUTOTUNE_PATH")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "autotune.json"
+
+
+def invalidate_cache() -> None:
+    """Drop the in-process crossover cache (tests, post-calibration)."""
+    global _cached, _cached_path
+    _cached = None
+    _cached_path = None
+
+
+def load_crossovers(path: Path | None = None) -> Dict[str, Crossover]:
+    """Defaults overlaid with this machine's calibration file, memoized.
+
+    Unknown algorithms and malformed entries in the file are ignored —
+    a stale or hand-edited calibration can narrow behaviour but never
+    break a solve.
+    """
+    global _cached, _cached_path
+    p = path or autotune_path()
+    key = str(p)
+    if _cached is not None and _cached_path == key:
+        return _cached
+    table = dict(DEFAULT_CROSSOVERS)
+    try:
+        payload = json.loads(p.read_text())
+    except (OSError, ValueError):
+        payload = {}
+    for name, rec in payload.items() if isinstance(payload, dict) else ():
+        if name.startswith("_") or name not in table:
+            continue
+        try:
+            table[name] = Crossover(
+                min_edges=int(rec["min_edges"]),
+                min_avg_degree=float(rec["min_avg_degree"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    _cached, _cached_path = table, key
+    return table
+
+
+def choose_mode(name: str, n_vertices: int, n_edges: int) -> str:
+    """The kernel mode ``mode="auto"`` resolves to for this graph shape.
+
+    Returns ``"loop"`` unless the algorithm has a vectorized mode that
+    is not registry-marked regression-prone **and** the graph clears the
+    algorithm's :class:`Crossover` thresholds.
+    """
+    from repro.mst.registry import algorithm_info
+
+    info = algorithm_info(name)
+    if "vectorized" not in info.modes or "vectorized" in info.regression_prone:
+        return "loop"
+    cross = load_crossovers().get(name)
+    if cross is None:
+        return "loop"
+    if n_edges < cross.min_edges:
+        return "loop"
+    avg_degree = (2.0 * n_edges / n_vertices) if n_vertices else 0.0
+    return "vectorized" if avg_degree >= cross.min_avg_degree else "loop"
+
+
+def _time_mode(name: str, mode: str, g, repeats: int) -> float:
+    import time
+
+    from repro.mst.registry import get_algorithm
+
+    fn = get_algorithm(name, mode=mode)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(g)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate(
+    algorithms: Iterable[str] | None = None,
+    *,
+    seed: int = 0,
+    repeats: int = 3,
+    path: Path | None = None,
+    persist: bool = True,
+) -> Dict[str, Crossover]:
+    """Measure this machine's crossovers and (optionally) persist them.
+
+    For each calibratable algorithm, times loop vs vectorized on
+    ``gnm`` graphs across a measurement grid and records the smallest
+    point where vectorized wins: a degree sweep for ``prim`` (its
+    crossover is a density), an edge-count sweep for the Boruvka family
+    (their crossover is a size).  An algorithm whose vectorized mode
+    never wins on the grid keeps an unreachable threshold, so ``auto``
+    will not regress it.
+    """
+    from repro.graphs.generators.random_graphs import gnm_random_graph
+
+    names = list(algorithms) if algorithms is not None else sorted(DEFAULT_CROSSOVERS)
+    table = dict(load_crossovers(path))
+    for name in names:
+        if name not in DEFAULT_CROSSOVERS:
+            continue
+        if name == "prim":
+            # Degree sweep at fixed edge budget: find the density where
+            # the O(n)-per-pop argmin starts beating the Python heap.
+            m = 60_000
+            crossover_deg = float("inf")
+            for deg in (16, 32, 64, 128, 256):
+                n = max(16, (2 * m) // deg)
+                g = gnm_random_graph(n, m, seed=seed)
+                if _time_mode(name, "vectorized", g, repeats) < _time_mode(
+                    name, "loop", g, repeats
+                ):
+                    crossover_deg = float(deg)
+                    break
+            table[name] = Crossover(min_edges=2048, min_avg_degree=crossover_deg)
+        else:
+            # Size sweep at a sparse degree: find where round
+            # vectorization overtakes the interpreter.
+            min_edges = 1 << 62  # unreachable unless a win is measured
+            for m in (512, 2048, 8192, 32768):
+                n = max(16, m // 3)
+                g = gnm_random_graph(n, m, seed=seed)
+                if _time_mode(name, "vectorized", g, repeats) < _time_mode(
+                    name, "loop", g, repeats
+                ):
+                    min_edges = m
+                    break
+            table[name] = Crossover(min_edges=min_edges, min_avg_degree=0.0)
+    if persist:
+        p = path or autotune_path()
+        p.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "min_edges": cross.min_edges,
+                "min_avg_degree": cross.min_avg_degree,
+            }
+            for name, cross in table.items()
+        }
+        p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    invalidate_cache()
+    return table

@@ -48,10 +48,12 @@ def prim(
     :class:`~repro.errors.DisconnectedGraphError` (the paper's LLP-Prim
     setting assumes a connected graph).
 
-    ``mode="vectorized"`` keeps the tentative costs in dense NumPy arrays
-    and relaxes each popped vertex's whole neighbor slice with one masked
-    gather/scatter (:func:`repro.kernels.relax_neighbors`); the heap still
-    orders the pops, so the fix order — and the output — are identical.
+    ``mode="vectorized"`` keeps the tentative costs in a dense NumPy array
+    that doubles as the priority queue: each pop is one masked ``argmin``
+    and each relaxation one whole-slice masked scatter
+    (:func:`repro.kernels.relax_neighbors`), with no Python heap traffic.
+    Pops happen in the same key order, so the output is identical;
+    ``heap_factory`` applies to loop mode only.
     """
     if mode == "vectorized":
         return _prim_vectorized(g, root, msf=msf, heap_factory=heap_factory)
@@ -133,12 +135,32 @@ def _prim_vectorized(
     msf: bool,
     heap_factory: Callable[[int], object] | None,
 ) -> MSTResult:
-    """Dense-array Prim: heap-ordered pops, whole-slice relaxations."""
+    """Dense-array Prim: the tentative-cost array *is* the priority queue.
+
+    Prim's pops are provably sequential — a second heap pop can never be
+    "safe" to batch with the first, because every key in the heap is at
+    least the just-popped key, which is at least the popped vertex's
+    minimum incident rank; no threshold rule built from ``mwe`` ranks can
+    admit a second vertex.  (LLP-Prim's early fixing is the paper's
+    answer to exactly this.)  So instead of batching pops, this path
+    removes the per-edge Python heap traffic entirely: ``d`` is a dense
+    ``int64`` array, each pop is one masked ``argmin`` (fixed vertices
+    are parked at ``+inf``), and each relaxation is one whole-slice
+    masked scatter (:func:`repro.kernels.relax_neighbors`) with no
+    per-improved-vertex work at all.
+
+    That trades O(deg) Python iteration per pop for O(n) NumPy scan per
+    pop — the classic dense-Prim exchange, profitable only above a
+    density crossover (the ``mode="auto"`` cost model routes below it to
+    loop mode).  ``heap_factory`` is ignored here: the heap-choice
+    ablation is a loop-mode experiment.
+
+    Unique ranks make every pop and every relaxation winner
+    deterministic, so the chosen forest is identical to loop mode's.
+    """
     from repro.kernels import relax_neighbors
 
     n = g.n_vertices
-    make_heap = heap_factory or IndexedBinaryHeap
-    heap = make_heap(n)
     indptr, indices = g.indptr, g.indices
     half_ranks, edge_ids = g.half_ranks, g.edge_ids
     d = np.full(n, _INF, dtype=np.int64)
@@ -147,6 +169,7 @@ def _prim_vectorized(
     parent_edge = np.full(n, -1, dtype=np.int64)
     chosen: list[int] = []
     edges_scanned = 0
+    pops = 0
     n_fixed = 0
 
     roots = [root] if n else []
@@ -157,22 +180,22 @@ def _prim_vectorized(
         if fixed[r]:
             continue
         d[r] = -1  # root cost below every real rank
-        heap.push(r, -1)
-        while heap:
-            j, _key = heap.pop()
-            if fixed[j]:
-                continue  # stale entry (only with lazy heaps)
+        while True:
+            j = int(np.argmin(d))
+            if d[j] >= _INF:
+                break  # component exhausted
+            pops += 1
             fixed[j] = True
+            d[j] = _INF  # leave the queue
             n_fixed += 1
             pe = int(parent_edge[j])
             if pe >= 0:
                 chosen.append(pe)
             edges_scanned += int(indptr[j + 1] - indptr[j])
-            improved, keys = relax_neighbors(
-                j, indptr, indices, half_ranks, edge_ids, d, fixed, parent, parent_edge
+            relax_neighbors(
+                j, indptr, indices, half_ranks, edge_ids,
+                d, fixed, parent, parent_edge,
             )
-            for k, rk in zip(improved.tolist(), keys.tolist()):
-                heap.insert_or_adjust(k, rk)
         if n_fixed < n:
             if not msf:
                 raise DisconnectedGraphError(
@@ -184,9 +207,9 @@ def _prim_vectorized(
                 roots.append(next_probe)
 
     stats = {
-        "heap_pushes": heap.n_pushes,
-        "heap_pops": heap.n_pops,
-        "heap_adjusts": getattr(heap, "n_adjusts", 0),
+        "heap_pushes": 0,
+        "heap_pops": pops,
+        "heap_adjusts": 0,
         "edges_scanned": edges_scanned,
         "mode": "vectorized",
     }

@@ -34,13 +34,24 @@ _PARALLEL: Dict[str, Callable[..., MSTResult]] = {}
 
 # Kernel modes per algorithm; everything absent from this table is
 # loop-only.  Kept next to the registration tables so adding a vectorized
-# path is a one-line registry change.
+# path is a one-line registry change.  "auto" resolves per graph via the
+# repro.mst.autotune cost model (and is accepted by get_algorithm for
+# loop-only algorithms too, where it trivially resolves to "loop").
 _MODES: Dict[str, tuple[str, ...]] = {
-    "prim": ("loop", "vectorized"),
-    "llp-prim": ("loop", "vectorized"),
-    "boruvka": ("loop", "vectorized"),
-    "llp-boruvka": ("loop", "vectorized"),
-    "parallel-boruvka": ("loop", "vectorized"),
+    "prim": ("loop", "vectorized", "auto"),
+    "llp-prim": ("loop", "vectorized", "auto"),
+    "boruvka": ("loop", "vectorized", "auto"),
+    "llp-boruvka": ("loop", "vectorized", "auto"),
+    "parallel-boruvka": ("loop", "vectorized", "auto"),
+}
+
+# Modes that measurably lose to loop mode on every graph shape tried on
+# the reference machine: mode="auto" must never pick them.  llp-prim's
+# frontier cascade pays a NumPy dispatch per (typically tiny) bag round
+# and never recoups it single-threaded — best observed 0.88x at average
+# degree 200.
+_REGRESSION_PRONE: Dict[str, tuple[str, ...]] = {
+    "llp-prim": ("vectorized",),
 }
 
 
@@ -49,12 +60,16 @@ class AlgorithmInfo:
     """Registry metadata for one algorithm name.
 
     ``modes`` always contains ``"loop"``; it also contains
-    ``"vectorized"`` when the algorithm has an array-kernel fast path.
+    ``"vectorized"`` (and ``"auto"``) when the algorithm has an
+    array-kernel fast path.  ``regression_prone`` lists modes the
+    ``auto`` cost model must never select (they lose to loop mode on
+    every measured shape).
     """
 
     name: str
     parallel: bool
     modes: tuple[str, ...]
+    regression_prone: tuple[str, ...] = ()
 
     @property
     def has_vectorized(self) -> bool:
@@ -130,6 +145,7 @@ def algorithm_info(name: str) -> AlgorithmInfo:
         name=name,
         parallel=name in _PARALLEL,
         modes=_MODES.get(name, ("loop",)),
+        regression_prone=_REGRESSION_PRONE.get(name, ()),
     )
 
 
@@ -138,25 +154,36 @@ def list_algorithm_info() -> list[AlgorithmInfo]:
     return [algorithm_info(name) for name in available_algorithms()]
 
 
+def _effective_mode(name: str, mode: str | None, g: CSRGraph) -> str | None:
+    """Resolve ``"auto"`` to a concrete kernel mode for this graph."""
+    if mode != "auto":
+        return mode
+    if name not in _MODES:
+        return None  # loop-only: the algorithm takes no mode kwarg
+    from repro.mst.autotune import choose_mode
+
+    return choose_mode(name, g.n_vertices, g.n_edges)
+
+
 def get_algorithm(name: str, mode: str | None = None) -> Callable[..., MSTResult]:
     """Uniform ``fn(graph, backend=None)`` adapter for a registered name.
 
     ``mode`` selects the kernel mode ("loop" / "vectorized") for
     algorithms that support it; requesting a mode the algorithm does not
     implement raises :class:`~repro.errors.BenchmarkError`.  ``None``
-    leaves the algorithm's own default (loop) in effect.
+    leaves the algorithm's own default (loop) in effect.  ``"auto"`` is
+    accepted for *every* algorithm and resolves per graph through the
+    :mod:`repro.mst.autotune` cost model at call time (trivially to loop
+    for loop-only algorithms).
     """
     if not _SEQUENTIAL:
         _register()
     info = algorithm_info(name)
-    if mode is not None and mode not in info.modes:
+    if mode is not None and mode != "auto" and mode not in info.modes:
         raise BenchmarkError(
             f"algorithm {name!r} has no {mode!r} mode; supported: "
             f"{', '.join(info.modes)}"
         )
-    # Loop-only algorithms accept mode="loop" (their only mode) but take
-    # no ``mode`` kwarg — only forward it to algorithms that dispatch on it.
-    mode_kw = {"mode": mode} if mode is not None and name in _MODES else {}
     # Every registry-dispatched solve runs inside one "solve" span (the
     # anchor the service, shard, and checking layers nest under); the
     # span is also the opt-in cProfile attachment point.
@@ -164,10 +191,12 @@ def get_algorithm(name: str, mode: str | None = None) -> Callable[..., MSTResult
         seq = _SEQUENTIAL[name]
 
         def run_sequential(g: CSRGraph, backend=None, **kw) -> MSTResult:
+            eff = _effective_mode(name, mode, g)
+            mode_kw = {"mode": eff} if eff is not None and name in _MODES else {}
             with _obs_span(
                 f"solve:{name}", "mst", profile=True, algorithm=name,
-                mode=mode or "default", n_vertices=g.n_vertices,
-                n_edges=g.n_edges,
+                mode=eff or "default", mode_requested=mode or "default",
+                n_vertices=g.n_vertices, n_edges=g.n_edges,
             ) as sp:
                 result = seq(g, **mode_kw, **kw)
                 sp.set_attr("forest_edges", result.n_edges)
@@ -178,10 +207,12 @@ def get_algorithm(name: str, mode: str | None = None) -> Callable[..., MSTResult
     par = _PARALLEL[name]
 
     def run_parallel(g: CSRGraph, backend=None, **kw) -> MSTResult:
+        eff = _effective_mode(name, mode, g)
+        mode_kw = {"mode": eff} if eff is not None and name in _MODES else {}
         with _obs_span(
             f"solve:{name}", "mst", profile=True, algorithm=name,
-            mode=mode or "default", n_vertices=g.n_vertices,
-            n_edges=g.n_edges,
+            mode=eff or "default", mode_requested=mode or "default",
+            n_vertices=g.n_vertices, n_edges=g.n_edges,
         ) as sp:
             result = par(g, backend=backend, **mode_kw, **kw)
             sp.set_attr("forest_edges", result.n_edges)

@@ -55,7 +55,7 @@ class MSTService:
         store: ArtifactStore | str | Path | None = None,
         *,
         algorithm: str = "kruskal",
-        mode: str | None = None,
+        mode: str | None = "auto",
         backend=None,
         metrics: ServiceMetrics | None = None,
         shards: int = 0,

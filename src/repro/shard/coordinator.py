@@ -31,6 +31,7 @@ cost to be worth escaping the GIL.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, List
 
@@ -40,12 +41,18 @@ from repro.errors import BenchmarkError, ServiceError
 from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.obs.trace import current_tracer
+from repro.shard.filter import boruvka_filter
 from repro.shard.memory import SharedEdgeArena
 from repro.shard.merge import merge_tree
 from repro.shard.partition import PARTITION_STRATEGIES, partition_edges
 from repro.shard.worker import ShardFault, ShardTask, solve_shard_local, worker_main
 
-__all__ = ["sharded_mst", "EXECUTORS", "DEFAULT_MIN_PROCESS_EDGES"]
+__all__ = [
+    "sharded_mst",
+    "EXECUTORS",
+    "DEFAULT_MIN_PROCESS_EDGES",
+    "DEFAULT_FILTER_ROUNDS",
+]
 
 EXECUTORS = ("auto", "process", "serial")
 
@@ -54,6 +61,11 @@ EXECUTORS = ("auto", "process", "serial")
 # matrix) entirely in process.
 DEFAULT_MIN_PROCESS_EDGES = 10_000
 
+# Default Boruvka-filter rounds before partitioned solving; each round at
+# least halves the component count, and two rounds typically contract a
+# random graph to a few percent of n (see repro.shard.filter).
+DEFAULT_FILTER_ROUNDS = 2
+
 
 def sharded_mst(
     g: CSRGraph,
@@ -61,12 +73,13 @@ def sharded_mst(
     n_shards: int = 4,
     partition: str = "hash",
     algorithm: str = "kruskal",
-    mode: str | None = None,
+    mode: str | None = "auto",
     seed: int = 0,
     executor: str = "auto",
     timeout_s: float = 120.0,
     max_retries: int = 2,
     min_process_edges: int = DEFAULT_MIN_PROCESS_EDGES,
+    filter_rounds: int = DEFAULT_FILTER_ROUNDS,
     fault: ShardFault | None = None,
 ) -> MSTResult:
     """Partition, solve shards (in processes where worthwhile), and merge.
@@ -74,9 +87,20 @@ def sharded_mst(
     ``algorithm``/``mode`` name the registered local solver run on each
     shard.  The output is the exact rank-canonical MSF — identical edge
     ids to the Kruskal oracle — for every partition strategy, shard
-    count, and executor; those knobs only change *where* the work runs.
-    ``fault`` deterministically injects worker crashes/hangs and exists
-    for the checking harness.
+    count, executor, and filter setting; those knobs only change *where*
+    and *how much* work runs.
+
+    ``filter_rounds`` Boruvka rounds run globally before partitioning
+    (``0`` disables): the certain MSF edges they pick bypass the shards
+    entirely and the contraction labels let every shard drop edges that
+    are self-loops of the contracted graph, collapsing the merge's
+    candidate volume from ~``m`` toward ~``n`` (see
+    :mod:`repro.shard.filter`).
+
+    A single shard *is* the whole graph, so ``n_shards=1`` dispatches the
+    local solver directly — no partition, no arena, no merge (``fault``
+    has no workers to hit and is ignored).  ``fault`` deterministically
+    injects worker crashes/hangs and exists for the checking harness.
     """
     if algorithm == "sharded":
         raise BenchmarkError("sharded cannot recurse into itself as a local solver")
@@ -94,15 +118,29 @@ def sharded_mst(
 
     tracer = current_tracer()
     t0 = time.perf_counter()
+    if n_shards == 1:
+        return _solve_direct(g, algorithm, mode, partition, tracer, t0)
     with tracer.span(
         "sharded", "shard", n_shards=n_shards, partition=partition,
         executor=executor, algorithm=algorithm,
         n_vertices=g.n_vertices, n_edges=g.n_edges,
     ) as top:
+        chosen_pre = np.empty(0, dtype=np.int64)
+        labels = None
+        if filter_rounds > 0:
+            with tracer.span("shard:filter", "shard", rounds=filter_rounds) as fsp:
+                chosen_pre, labels = boruvka_filter(g, filter_rounds)
+                fsp.set_attr("chosen", int(chosen_pre.size))
         with tracer.span("shard:partition", "shard"):
             plan = partition_edges(g, n_shards, partition, seed)
+        # "auto" only reaches for processes when the graph is big enough
+        # to amortize fork/pickle AND the host has CPUs to run them on —
+        # on a single-core machine workers just time-slice, so the
+        # process overhead is pure loss.
         use_processes = executor == "process" or (
-            executor == "auto" and n_shards > 1 and g.n_edges >= min_process_edges
+            executor == "auto"
+            and g.n_edges >= min_process_edges
+            and (os.cpu_count() or 1) > 1
         )
 
         stats: Dict[str, float] = {
@@ -112,13 +150,15 @@ def sharded_mst(
             "replication_factor": round(plan.replication_factor, 4),
             "retries": 0,
             "fallback_shards": 0,
+            "filter_rounds": int(filter_rounds),
+            "filter_chosen": int(chosen_pre.size),
         }
 
         if use_processes:
             try:
                 with tracer.span("shard:solve-processes", "shard"):
                     forests = _solve_in_processes(
-                        g, plan, algorithm, mode, seed,
+                        g, plan, algorithm, mode, seed, labels,
                         timeout_s=timeout_s, max_retries=max_retries,
                         fault=fault, stats=stats,
                     )
@@ -136,7 +176,7 @@ def sharded_mst(
                 forests = [
                     solve_shard_local(
                         g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
-                        plan.edge_ids(s), algorithm, mode,
+                        plan.edge_ids(s), algorithm, mode, labels,
                     )
                     for s in range(n_shards)
                 ]
@@ -145,11 +185,62 @@ def sharded_mst(
         t_merge = time.perf_counter()
         with tracer.span("shard:merge", "shard",
                          candidate_edges=stats["candidate_edges"]):
-            msf = merge_tree(g, forests)
+            merged = merge_tree(g, forests, labels)
+            # MSF(G) = filter-chosen ∪ MSF(G / labels); both halves are
+            # sorted and disjoint, so one concat + sort restores the
+            # rank-canonical ascending id order.
+            if chosen_pre.size:
+                msf = np.sort(np.concatenate([chosen_pre, merged]))
+            else:
+                msf = merged
         stats["merge_seconds"] = round(time.perf_counter() - t_merge, 6)
         stats["total_seconds"] = round(time.perf_counter() - t0, 6)
         top.set_attr("effective_executor", stats["executor"])
         return result_from_edge_ids(g, msf, stats=stats)
+
+
+def _solve_direct(
+    g: CSRGraph,
+    algorithm: str,
+    mode: str | None,
+    partition: str,
+    tracer,
+    t0: float,
+) -> MSTResult:
+    """The ``n_shards=1`` fast path: one shard is just the local solver.
+
+    Partitioning, the shared-memory arena, and the merge would each
+    traverse the full edge list to reassemble the graph the caller
+    already holds — measured at ~90 ms of pure overhead on the standard
+    100k-edge bench — so the single-shard solve goes straight to the
+    registry and re-labels the stats to the sharded shape.
+    """
+    from repro.mst.registry import get_algorithm
+
+    with tracer.span(
+        "sharded", "shard", n_shards=1, partition=partition,
+        executor="direct", algorithm=algorithm,
+        n_vertices=g.n_vertices, n_edges=g.n_edges,
+    ) as top:
+        with tracer.span("shard:solve-direct", "shard"):
+            inner = get_algorithm(algorithm, mode=mode)(g)
+        edge_ids = np.sort(np.asarray(inner.edge_ids, dtype=np.int64))
+        stats: Dict[str, float] = {
+            "shards": 1,
+            "partition": partition,  # type: ignore[dict-item]
+            "balance_ratio": 1.0,
+            "replication_factor": 1.0,
+            "retries": 0,
+            "fallback_shards": 0,
+            "filter_rounds": 0,
+            "filter_chosen": 0,
+            "executor": "direct",  # type: ignore[dict-item]
+            "candidate_edges": int(edge_ids.size),
+            "merge_seconds": 0.0,
+            "total_seconds": round(time.perf_counter() - t0, 6),
+        }
+        top.set_attr("effective_executor", "direct")
+        return result_from_edge_ids(g, edge_ids, stats=stats)
 
 
 def _solve_in_processes(
@@ -158,6 +249,7 @@ def _solve_in_processes(
     algorithm: str,
     mode: str | None,
     seed: int,
+    labels: np.ndarray | None,
     *,
     timeout_s: float,
     max_retries: int,
@@ -166,10 +258,12 @@ def _solve_in_processes(
 ) -> List[np.ndarray]:
     """Run every shard in its own OS process; retry, time out, fall back.
 
-    Raises :class:`~repro.errors.ServiceError` only when the process
-    machinery itself is unusable (caller degrades to serial); individual
-    worker failures are retried and, past ``max_retries``, solved in
-    process so the solve always completes.
+    ``labels`` (Boruvka-filter contraction roots) ride in the arena so
+    workers get them zero-copy alongside the edge arrays.  Raises
+    :class:`~repro.errors.ServiceError` only when the process machinery
+    itself is unusable (caller degrades to serial); individual worker
+    failures are retried and, past ``max_retries``, solved in process so
+    the solve always completes.
     """
     import multiprocessing as mp
     from multiprocessing.connection import wait as conn_wait
@@ -177,7 +271,9 @@ def _solve_in_processes(
     tracer = current_tracer()
     try:
         ctx = mp.get_context()
-        arena = SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w)
+        arena = SharedEdgeArena.publish(
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels
+        )
     except (ServiceError, OSError, ValueError) as exc:
         raise ServiceError(f"process executor unavailable: {exc}") from exc
 
@@ -264,6 +360,6 @@ def _solve_in_processes(
     for shard in fallback:
         forests[shard] = solve_shard_local(
             g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
-            plan.edge_ids(shard), algorithm, mode,
+            plan.edge_ids(shard), algorithm, mode, labels,
         )
     return [forests[s] for s in range(plan.n_shards)]

@@ -39,7 +39,13 @@ import numpy as np
 
 from repro.errors import ServiceError
 
-__all__ = ["ArenaSpec", "SharedEdgeArena", "attach_readonly", "leaked_segments"]
+__all__ = [
+    "ArenaSpec",
+    "SharedEdgeArena",
+    "attach_readonly",
+    "labels_view",
+    "leaked_segments",
+]
 
 _NAME_PREFIX = "repro-shard-"
 
@@ -57,20 +63,35 @@ class ArenaSpec:
     n_vertices: int
     n_edges: int
     w_dtype: str  # "int64" | "float64"
+    has_labels: bool = False  # Boruvka-filter contraction labels appended
 
     @property
     def nbytes(self) -> int:
         """Total payload size of the segment in bytes."""
-        return self.n_edges * 8 * 3
+        return self.n_edges * 8 * 3 + (self.n_vertices * 8 if self.has_labels else 0)
 
 
 def _views(buf, spec: ArenaSpec) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The three array views over a raw shared buffer."""
+    """The three edge-array views over a raw shared buffer."""
     m = spec.n_edges
     u = np.ndarray(m, dtype=np.int64, buffer=buf, offset=0)
     v = np.ndarray(m, dtype=np.int64, buffer=buf, offset=m * 8)
     w = np.ndarray(m, dtype=np.dtype(spec.w_dtype), buffer=buf, offset=m * 16)
     return u, v, w
+
+
+def labels_view(buf, spec: ArenaSpec) -> Optional[np.ndarray]:
+    """The contraction-labels view (``None`` when none were published).
+
+    Published by the coordinator after a
+    :func:`~repro.shard.filter.boruvka_filter` pre-pass; one ``int64``
+    component root per vertex, appended after the ``[u | v | w]`` blocks.
+    """
+    if not spec.has_labels:
+        return None
+    return np.ndarray(
+        spec.n_vertices, dtype=np.int64, buffer=buf, offset=spec.n_edges * 24
+    )
 
 
 class SharedEdgeArena:
@@ -88,11 +109,16 @@ class SharedEdgeArena:
         self._finalizer = weakref.finalize(self, _unlink_quietly, shm)
 
     @classmethod
-    def publish(cls, n_vertices: int, edge_u, edge_v, edge_w) -> "SharedEdgeArena":
+    def publish(
+        cls, n_vertices: int, edge_u, edge_v, edge_w, labels=None
+    ) -> "SharedEdgeArena":
         """Copy the edge arrays into a fresh named shared-memory segment.
 
         The single copy here is the *only* copy the whole solve makes;
-        every worker maps views over this segment.  Raises
+        every worker maps views over this segment.  ``labels`` (optional)
+        appends the Boruvka-filter contraction roots — one ``int64`` per
+        vertex — so workers can drop contracted self-loops without any
+        per-worker recomputation.  Raises
         :class:`~repro.errors.ServiceError` when shared memory is
         unavailable on the platform (callers degrade to in-process mode).
         """
@@ -110,6 +136,7 @@ class SharedEdgeArena:
             n_vertices=int(n_vertices),
             n_edges=m,
             w_dtype=w_dtype,
+            has_labels=labels is not None,
         )
         try:
             shm = shared_memory.SharedMemory(
@@ -122,6 +149,9 @@ class SharedEdgeArena:
             u[:] = edge_u
             v[:] = edge_v
             w[:] = edge_w
+            if labels is not None:
+                lv = labels_view(shm.buf, spec)
+                lv[:] = np.ascontiguousarray(labels, dtype=np.int64)
         except BaseException:
             _unlink_quietly(shm)
             raise

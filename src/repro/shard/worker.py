@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.graphs.csr import CSRGraph
 from repro.graphs.edgelist import EdgeList
-from repro.shard.memory import ArenaSpec, attach_readonly
+from repro.shard.memory import ArenaSpec, attach_readonly, labels_view
 from repro.shard.partition import shard_edge_ids
 
 __all__ = ["ShardFault", "ShardTask", "solve_shard_local", "worker_main"]
@@ -78,48 +78,50 @@ class ShardTask:
 
 def _shard_subgraph(
     n_vertices: int,
-    edge_u: np.ndarray,
-    edge_v: np.ndarray,
-    edge_w: np.ndarray,
-    ids: np.ndarray,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    w: np.ndarray,
 ) -> CSRGraph:
     """The shard's CSR subgraph in the global vertex space.
 
-    ``dedup=False`` keeps parallel edges (each shard must solve exactly
-    the edges it owns) and preserves the ascending-global-id order that
-    aligns local weight ranks with the global total order.
+    ``eu``/``ev``/``w`` are the shard's own edges, already sliced in
+    ascending-global-id order; ``dedup=False`` keeps parallel edges (each
+    shard must solve exactly the edges it owns) and the slicing order
+    aligns local weight ranks with the global total order.  The endpoints
+    may already be contracted (label-space) — contraction labels are
+    component roots in ``[0, n)``, so the global vertex space still fits.
     """
-    edges = EdgeList.from_arrays(
-        n_vertices, edge_u[ids], edge_v[ids], edge_w[ids], dedup=False
-    )
+    edges = EdgeList.from_arrays(n_vertices, eu, ev, w, dedup=False)
     return CSRGraph.from_edgelist(edges)
 
 
 def _kruskal_over_ids(
     n_vertices: int,
-    edge_u: np.ndarray,
-    edge_v: np.ndarray,
-    edge_w: np.ndarray,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    w: np.ndarray,
     ids: np.ndarray,
 ) -> np.ndarray:
-    """Kruskal restricted to ``ids`` without building a shard subgraph.
+    """Kruskal over the shard's edges without building a shard subgraph.
 
-    A stable sort of the shard's weights reproduces the restriction of
-    the global ``(weight, edge_id)`` rank order (``ids`` is ascending),
-    so this scans edges in exactly the order the full-graph oracle would
-    — but skips the CSR construction a registry solver needs, which is
-    most of a shard solve's cost.  Early-stops once the forest spans.
+    ``eu``/``ev``/``w`` are aligned positionally with ``ids``.  A stable
+    sort of the shard's weights reproduces the restriction of the global
+    ``(weight, edge_id)`` rank order (``ids`` is ascending), so this scans
+    edges in exactly the order the full-graph oracle would — but skips
+    the CSR construction a registry solver needs, which is most of a
+    shard solve's cost.  Early-stops once the forest spans.
     """
     from repro.structures.union_find import UnionFind
 
-    order = np.argsort(edge_w[ids], kind="stable")
+    order = np.argsort(w, kind="stable")
+    eu_l = eu[order].tolist()
+    ev_l = ev[order].tolist()
     uf = UnionFind(int(n_vertices))
     chosen = []
     unions = 0
     target = int(n_vertices) - 1
-    eu, ev = edge_u, edge_v
-    for e in ids[order].tolist():
-        if uf.union(int(eu[e]), int(ev[e])):
+    for i, e in enumerate(ids[order].tolist()):
+        if uf.union(eu_l[i], ev_l[i]):
             chosen.append(e)
             unions += 1
             if unions == target:
@@ -135,6 +137,7 @@ def solve_shard_local(
     ids: np.ndarray,
     algorithm: str = "kruskal",
     mode: str | None = None,
+    labels: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Solve one shard in the current process; global MSF-candidate ids.
 
@@ -142,14 +145,29 @@ def solve_shard_local(
     (over the graph's own arrays) so both paths are byte-identical.  The
     default ``kruskal`` local solver takes the subgraph-free fast path;
     any other registered algorithm runs over the shard's own CSR graph.
+
+    ``labels`` (from the coordinator's
+    :func:`~repro.shard.filter.boruvka_filter` pre-pass) contracts the
+    solve: edges whose endpoints share a label are self-loops of the
+    contracted graph — excluded from its MSF by the cycle property — and
+    are dropped before any work; the survivors are solved over their
+    label-space endpoints, so the local forest is bounded by the
+    contracted component count rather than the shard's edge count.
     """
     if ids.size == 0:
         return np.empty(0, dtype=np.int64)
-    if algorithm == "kruskal" and mode in (None, "loop"):
-        return _kruskal_over_ids(n_vertices, edge_u, edge_v, edge_w, ids)
+    eu, ev, w = edge_u[ids], edge_v[ids], edge_w[ids]
+    if labels is not None:
+        eu, ev = labels[eu], labels[ev]
+        keep = eu != ev
+        ids, eu, ev, w = ids[keep], eu[keep], ev[keep], w[keep]
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+    if algorithm == "kruskal" and mode in (None, "loop", "auto"):
+        return _kruskal_over_ids(n_vertices, eu, ev, w, ids)
     from repro.mst.registry import get_algorithm
 
-    local = _shard_subgraph(n_vertices, edge_u, edge_v, edge_w, ids)
+    local = _shard_subgraph(n_vertices, eu, ev, w)
     result = get_algorithm(algorithm, mode=mode)(local)
     return ids[np.asarray(result.edge_ids, dtype=np.int64)]
 
@@ -185,6 +203,12 @@ def worker_main(conn, task: ShardTask) -> None:
         ):
             with tracer.span("shard:attach", "shard"):
                 edge_u, edge_v, edge_w, shm = attach_readonly(task.arena)
+                labels = labels_view(shm.buf, task.arena)
+                if labels is not None:
+                    labels.setflags(write=False)
+                # Shard membership is over ALL edges (the deterministic
+                # assignment the coordinator used); filter-dead edges are
+                # dropped inside the solve, after the labels gather.
                 ids = shard_edge_ids(
                     task.arena.n_vertices, edge_u, edge_v,
                     task.n_shards, task.shard, task.strategy, task.seed,
@@ -193,7 +217,7 @@ def worker_main(conn, task: ShardTask) -> None:
             with tracer.span("shard:solve", "shard", n_edges=int(ids.size)) as sp:
                 forest = solve_shard_local(
                     task.arena.n_vertices, edge_u, edge_v, edge_w, ids,
-                    task.algorithm, task.mode,
+                    task.algorithm, task.mode, labels,
                 )
                 sp.set_attr("forest_edges", int(forest.size))
         reply = ("ok", np.ascontiguousarray(forest), time.perf_counter() - t0)

@@ -1,0 +1,105 @@
+"""Perf-gate decision logic, on crafted reports (no timing involved)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+import bench_gate
+
+COMMITTED_KERNELS = {
+    "graph": {"n_vertices": 100, "n_edges": 300, "seed": 0},
+    "algorithms": {
+        "boruvka": {
+            "loop": {"seconds": 0.10}, "vectorized": {"seconds": 0.05},
+            "speedup": 2.0, "identical_edge_set": True,
+            "auto": {"selected_mode": "vectorized", "seconds": 0.05},
+            "auto_speedup": 2.0,
+        },
+    },
+}
+
+COMMITTED_SHARD = {
+    "graph": {"n_vertices": 100, "n_edges": 300, "seed": 0},
+    "partition": "hash",
+    "identical_edge_sets": True,
+    "baselines": {"kruskal": {"seconds": 0.20}, "boruvka/vectorized": {"seconds": 0.16}},
+    # ratio = 0.17 / 0.36 ≈ 0.472 of the summed baselines
+    "sharded": {"2": {"seconds": 0.17}},
+}
+
+
+def _run(fresh_kernels, fresh_shard, tmp_path, threshold=0.25):
+    paths = {}
+    for name, doc in [("ck", COMMITTED_KERNELS), ("cs", COMMITTED_SHARD),
+                      ("fk", fresh_kernels), ("fs", fresh_shard)]:
+        p = tmp_path / f"{name}.json"
+        p.write_text(json.dumps(doc))
+        paths[name] = str(p)
+    return bench_gate.main([
+        "--threshold", str(threshold),
+        "--kernels", paths["ck"], "--shard", paths["cs"],
+        "--fresh-kernels", paths["fk"], "--fresh-shard", paths["fs"],
+    ])
+
+
+def test_gate_passes_on_identical_reports(tmp_path):
+    assert _run(COMMITTED_KERNELS, COMMITTED_SHARD, tmp_path) == 0
+
+
+def test_gate_tolerates_noise_within_threshold(tmp_path, capsys):
+    fresh_k = copy.deepcopy(COMMITTED_KERNELS)
+    fresh_k["algorithms"]["boruvka"]["speedup"] = 1.7  # 15% off 2.0
+    fresh_s = copy.deepcopy(COMMITTED_SHARD)
+    fresh_s["sharded"]["2"]["seconds"] = 0.19  # ratio 0.528, +12%
+    assert _run(fresh_k, fresh_s, tmp_path) == 0
+
+
+def test_gate_fails_on_kernel_speedup_regression(tmp_path, capsys):
+    fresh_k = copy.deepcopy(COMMITTED_KERNELS)
+    fresh_k["algorithms"]["boruvka"]["speedup"] = 1.2  # floor is 2.0/1.25 = 1.6
+    assert _run(fresh_k, COMMITTED_SHARD, tmp_path) == 1
+    assert "speedup regressed" in capsys.readouterr().err
+
+
+def test_gate_fails_hard_when_auto_picks_a_regression(tmp_path, capsys):
+    fresh_k = copy.deepcopy(COMMITTED_KERNELS)
+    fresh_k["algorithms"]["boruvka"]["auto_speedup"] = 0.9
+    assert _run(fresh_k, COMMITTED_SHARD, tmp_path) == 1
+    assert "cost model picked a regression" in capsys.readouterr().err
+
+
+def test_gate_fails_on_sharded_ratio_regression(tmp_path, capsys):
+    fresh_s = copy.deepcopy(COMMITTED_SHARD)
+    fresh_s["sharded"]["2"]["seconds"] = 0.25  # ratio 0.694, +47%
+    assert _run(COMMITTED_KERNELS, fresh_s, tmp_path) == 1
+    assert "sharded:x2 regressed" in capsys.readouterr().err
+
+
+def test_gate_normalizer_divides_machine_speed_out(tmp_path):
+    """A uniformly 2x-slower machine changes no ratio: the gate passes."""
+    fresh_k = copy.deepcopy(COMMITTED_KERNELS)
+    for mode in ("loop", "vectorized", "auto"):
+        fresh_k["algorithms"]["boruvka"][mode]["seconds"] *= 2
+    fresh_s = copy.deepcopy(COMMITTED_SHARD)
+    for entry in (*fresh_s["baselines"].values(), *fresh_s["sharded"].values()):
+        entry["seconds"] *= 2
+    assert _run(fresh_k, fresh_s, tmp_path) == 0
+
+
+def test_gate_fails_hard_on_msf_disagreement(tmp_path, capsys):
+    fresh_s = copy.deepcopy(COMMITTED_SHARD)
+    fresh_s["identical_edge_sets"] = False
+    assert _run(COMMITTED_KERNELS, fresh_s, tmp_path) == 1
+    assert "no longer agree on the MSF" in capsys.readouterr().err
+
+
+def test_gate_reports_missing_configs(tmp_path, capsys):
+    fresh_s = copy.deepcopy(COMMITTED_SHARD)
+    fresh_s["sharded"] = {}
+    assert _run(COMMITTED_KERNELS, fresh_s, tmp_path) == 1
+    assert "missing from fresh report" in capsys.readouterr().err

@@ -34,6 +34,24 @@ FIG1_EDGES = [
 FIG1_MST_WEIGHTS = {2.0, 3.0, 4.0, 7.0}
 
 
+@pytest.fixture(autouse=True)
+def _isolated_autotune(tmp_path, monkeypatch):
+    """Pin mode="auto" to the shipped crossover defaults.
+
+    A developer machine may have a persisted calibration file
+    (~/.cache/repro/autotune.json); pointing the env var at a
+    nonexistent path keeps every test's auto-mode dispatch
+    deterministic.  Tests that exercise persistence overwrite the
+    variable themselves.
+    """
+    from repro.mst import autotune
+
+    monkeypatch.setenv("REPRO_AUTOTUNE_PATH", str(tmp_path / "no-autotune.json"))
+    autotune.invalidate_cache()
+    yield
+    autotune.invalidate_cache()
+
+
 @pytest.fixture
 def fig1_graph() -> CSRGraph:
     """The worked example graph of the paper's Fig 1."""

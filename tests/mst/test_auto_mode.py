@@ -1,0 +1,144 @@
+"""mode="auto" cost-model dispatch: correctness, safety, persistence.
+
+Three properties pin the adaptive selector down:
+
+* **universality** — ``get_algorithm(name, mode="auto")`` works for
+  *every* registered algorithm (loop-only ones resolve to their only
+  mode) and returns the exact Kruskal-oracle MSF on every adversarial
+  graph family;
+* **safety** — :func:`repro.mst.autotune.choose_mode` never returns a
+  mode the registry marks regression-prone, on any graph shape;
+* **persistence** — a calibration file overrides the shipped crossovers
+  and malformed entries are ignored, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.checking.families import family_names, generate_case
+from repro.mst.autotune import (
+    DEFAULT_CROSSOVERS,
+    Crossover,
+    autotune_path,
+    choose_mode,
+    invalidate_cache,
+    load_crossovers,
+)
+from repro.mst.kruskal import kruskal
+from repro.mst.registry import (
+    PARALLEL_ALGORITHMS,
+    algorithm_info,
+    get_algorithm,
+    list_algorithm_info,
+)
+from repro.runtime.simulated import SimulatedBackend
+
+# A spread of (n_vertices, n_edges) shapes from degenerate to dense.
+SHAPES = [
+    (0, 0), (1, 0), (2, 1), (10, 9), (100, 99), (100, 5000),
+    (1_000, 2_000), (1_000, 100_000), (33_000, 100_000),
+    (1_000_000, 3_000_000), (10_000, 10_000_000),
+]
+
+
+def _run(name: str, mode: str | None, g):
+    algo = get_algorithm(name, mode=mode)
+    backend = SimulatedBackend(4) if name in PARALLEL_ALGORITHMS else None
+    return algo(g, backend=backend) if backend else algo(g)
+
+
+def test_auto_is_accepted_by_every_algorithm(fig1_graph):
+    oracle = kruskal(fig1_graph).edge_set()
+    for info in list_algorithm_info():
+        if info.name == "sharded":
+            continue  # exercised by tests/shard (needs shard kwargs)
+        assert _run(info.name, "auto", fig1_graph).edge_set() == oracle, info.name
+
+
+@pytest.mark.parametrize("family", family_names())
+def test_auto_matches_oracle_on_every_family(family):
+    """Auto-mode solves == Kruskal oracle across the adversarial families."""
+    for seed in (0, 1):
+        g = generate_case(family, seed=seed, size=12).graph
+        oracle = kruskal(g).edge_set()
+        for name in ("prim", "boruvka", "llp-prim", "llp-boruvka"):
+            res = _run(name, "auto", g)
+            assert res.edge_set() == oracle, (family, seed, name)
+
+
+def test_choose_mode_never_picks_regression_prone():
+    for info in list_algorithm_info():
+        for n, m in SHAPES:
+            mode = choose_mode(info.name, n, m)
+            assert mode in info.modes or mode == "loop"
+            assert mode not in info.regression_prone, (info.name, n, m)
+
+
+def test_llp_prim_auto_resolves_to_loop_even_when_dense():
+    """The frontier cascade is regression-prone: dense shapes stay loop."""
+    assert "vectorized" in algorithm_info("llp-prim").regression_prone
+    assert choose_mode("llp-prim", 1_000, 100_000) == "loop"
+
+
+def test_choose_mode_thresholds_for_prim():
+    cross = DEFAULT_CROSSOVERS["prim"]
+    # Too few edges -> loop, regardless of density.
+    assert choose_mode("prim", 4, cross.min_edges - 1) == "loop"
+    # Dense and big enough -> vectorized (avg degree 2m/n >= crossover).
+    n = 1_000
+    m = int(n * cross.min_avg_degree)  # avg degree 2x the crossover
+    assert choose_mode("prim", n, m) == "vectorized"
+    # Big but sparse -> loop.
+    assert choose_mode("prim", 100_000, 150_000) == "loop"
+
+
+def test_choose_mode_loop_only_algorithms():
+    assert choose_mode("kruskal", 1_000_000, 10_000_000) == "loop"
+    assert choose_mode("ghs", 1_000, 100_000) == "loop"
+
+
+def test_calibration_file_overrides_defaults(tmp_path, monkeypatch):
+    path = tmp_path / "autotune.json"
+    monkeypatch.setenv("REPRO_AUTOTUNE_PATH", str(path))
+    invalidate_cache()
+    assert autotune_path() == path
+    try:
+        # No file yet: shipped defaults.
+        assert load_crossovers() == DEFAULT_CROSSOVERS
+        # Persisted calibration wins after a cache drop.
+        path.write_text(json.dumps({
+            "boruvka": {"min_edges": 7, "min_avg_degree": 3.5},
+            "no-such-algorithm": {"min_edges": 1, "min_avg_degree": 0.0},
+            "prim": "garbage",
+            "_meta": {"machine": "test"},
+        }))
+        invalidate_cache()
+        table = load_crossovers()
+        assert table["boruvka"] == Crossover(min_edges=7, min_avg_degree=3.5)
+        # Malformed / unknown entries are ignored, defaults retained.
+        assert table["prim"] == DEFAULT_CROSSOVERS["prim"]
+        assert "no-such-algorithm" not in table
+        # choose_mode sees the override: 8 edges now clears boruvka's bar
+        # (avg degree 2*8/4 = 4.0 >= 3.5).
+        assert choose_mode("boruvka", 4, 8) == "vectorized"
+        assert choose_mode("boruvka", 100, 8) == "loop"  # degree below bar
+    finally:
+        invalidate_cache()
+
+
+def test_unreachable_threshold_never_selects_vectorized(tmp_path, monkeypatch):
+    """calibrate() writes 1<<62 when vectorized never wins; auto honors it."""
+    path = tmp_path / "autotune.json"
+    monkeypatch.setenv("REPRO_AUTOTUNE_PATH", str(path))
+    path.write_text(json.dumps(
+        {"boruvka": {"min_edges": 1 << 62, "min_avg_degree": 0.0}}
+    ))
+    invalidate_cache()
+    try:
+        for n, m in SHAPES:
+            assert choose_mode("boruvka", n, m) == "loop"
+    finally:
+        invalidate_cache()

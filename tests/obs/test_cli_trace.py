@@ -16,8 +16,10 @@ def _load(path):
 
 def test_mst_trace_out_writes_valid_trace(tmp_path, capsys):
     out = tmp_path / "t.json"
+    # Loop mode pinned: backend "round" spans are a loop-mode artifact
+    # (the default mode is "auto", which picks vectorized here).
     assert main(["mst", "--algo", "llp-boruvka", "--dataset", "graph500",
-                 "--scale", "7", "--workers", "4",
+                 "--scale", "7", "--workers", "4", "--mode", "loop",
                  "--trace-out", str(out), "--metrics-out",
                  str(tmp_path / "m.json")]) == 0
     doc = _load(out)

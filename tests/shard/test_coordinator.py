@@ -1,5 +1,7 @@
 """Coordinator contract: process workers, retries, timeouts, fallback."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -70,8 +72,15 @@ def test_auto_executor_stays_serial_on_small_graphs():
 def test_auto_executor_promotes_large_graphs():
     g = _graph()
     result = sharded_mst(g, n_shards=2, min_process_edges=100)
-    assert result.stats["executor"] == "process"
+    # "auto" only promotes when the host can actually run workers in
+    # parallel; on a single core it stays serial (processes are pure
+    # overhead there).  An explicit request is always honored.
+    expected = "process" if (os.cpu_count() or 1) > 1 else "serial"
+    assert result.stats["executor"] == expected
+    forced = sharded_mst(g, n_shards=2, executor="process", min_process_edges=100)
+    assert forced.stats["executor"] == "process"
     assert np.array_equal(result.edge_ids, kruskal(g).edge_ids)
+    assert np.array_equal(forced.edge_ids, kruskal(g).edge_ids)
 
 
 def test_stats_record_partition_knobs():
@@ -108,3 +117,41 @@ def test_deterministic_across_runs():
     a = sharded_mst(g, n_shards=4, partition="hash", seed=9)
     b = sharded_mst(g, n_shards=4, partition="hash", seed=9)
     assert np.array_equal(a.edge_ids, b.edge_ids)
+
+
+def test_single_shard_dispatches_directly():
+    """n_shards=1 is the whole graph: no partition, no arena, no merge."""
+    g = gnm_random_graph(200, 800, seed=4)
+    result = sharded_mst(g, n_shards=1, executor="process")
+    assert result.stats["executor"] == "direct"
+    assert result.stats["shards"] == 1
+    assert result.stats["filter_rounds"] == 0
+    assert result.stats["merge_seconds"] == 0.0
+    assert np.array_equal(result.edge_ids, kruskal(g).edge_ids)
+    assert leaked_segments() == []
+
+
+def test_filter_rounds_knob_changes_work_not_result():
+    g = gnm_random_graph(300, 1_500, seed=6)
+    oracle = kruskal(g).edge_ids
+    candidates = []
+    for rounds in (0, 1, 2, 4):
+        res = sharded_mst(g, n_shards=3, filter_rounds=rounds)
+        assert np.array_equal(res.edge_ids, oracle), rounds
+        assert res.stats["filter_rounds"] == rounds
+        assert res.stats["filter_chosen"] + res.stats["candidate_edges"] >= len(oracle)
+        candidates.append(res.stats["candidate_edges"])
+    # More contraction -> monotonically fewer merge candidates, and the
+    # filtered runs bank edges the unfiltered run must carry as candidates.
+    assert candidates == sorted(candidates, reverse=True)
+    assert candidates[-1] < candidates[0]
+
+
+def test_filtered_process_executor_matches_oracle():
+    """Labels ride the arena into worker processes and back intact."""
+    g = gnm_random_graph(400, 2_000, seed=7)
+    res = sharded_mst(g, n_shards=2, executor="process", filter_rounds=2)
+    assert res.stats["executor"] == "process"
+    assert res.stats["filter_chosen"] > 0
+    assert np.array_equal(res.edge_ids, kruskal(g).edge_ids)
+    assert leaked_segments() == []

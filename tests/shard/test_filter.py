@@ -1,0 +1,81 @@
+"""Global Boruvka-filter pre-pass: the contraction identity.
+
+The filter's contract is ``MSF(G) = chosen ∪ MSF(G / labels)`` — the
+edges it banks are certain MSF members (cut property under unique
+ranks), and solving the survivors in label space recovers exactly the
+rest.  These tests check that identity against the Kruskal oracle
+across graph morphologies, round counts, and the degenerate cases
+(empty, disconnected, already-contracted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.builder import from_edges
+from repro.graphs.generators import gnm_random_graph
+from repro.mst.kruskal import kruskal
+from repro.shard import boruvka_filter
+from repro.shard.merge import msf_of_edge_ids
+
+
+@pytest.mark.parametrize("rounds", [0, 1, 2, 3, 8])
+def test_filter_contraction_identity(any_graph, rounds):
+    g = any_graph
+    oracle = kruskal(g).edge_set()
+    chosen, labels = boruvka_filter(g, rounds)
+
+    # Banked edges are certain MSF members, sorted and duplicate-free.
+    assert set(chosen.tolist()) <= oracle
+    assert np.array_equal(chosen, np.unique(chosen))
+
+    # Labels are a flat forest: every vertex points at a root.
+    assert labels.shape == (g.n_vertices,)
+    assert np.array_equal(labels[labels], labels)
+
+    # Chosen edges connect exactly the vertices sharing a label: an edge
+    # survives iff its endpoints live in different contracted components.
+    rest = msf_of_edge_ids(g, np.arange(g.n_edges, dtype=np.int64), labels)
+    recovered = set(chosen.tolist()) | set(rest.tolist())
+    assert recovered == oracle, (rounds, g.n_vertices, g.n_edges)
+
+
+def test_zero_rounds_is_the_identity_filter(fig1_graph):
+    chosen, labels = boruvka_filter(fig1_graph, 0)
+    assert chosen.size == 0
+    assert np.array_equal(labels, np.arange(fig1_graph.n_vertices))
+
+
+def test_filter_halves_components_per_round():
+    g = gnm_random_graph(1_000, 5_000, seed=3)
+    n_oracle_edges = len(kruskal(g).edge_set())
+    prev_components = g.n_vertices
+    for rounds in (1, 2, 3):
+        chosen, labels = boruvka_filter(g, rounds)
+        components = int(np.unique(labels[labels == np.arange(g.n_vertices)]).size)
+        # Each Boruvka round at least halves the live component count.
+        assert components <= max(1, prev_components // 2)
+        prev_components = components
+        assert chosen.size <= n_oracle_edges
+
+
+def test_filter_converges_on_connected_graph():
+    """Enough rounds contract a connected graph to one component."""
+    g = gnm_random_graph(64, 400, seed=5)
+    chosen, labels = boruvka_filter(g, 32)
+    assert np.unique(labels).size == 1
+    assert set(chosen.tolist()) == kruskal(g).edge_set()
+
+
+def test_filter_disconnected_and_empty():
+    g = from_edges([(0, 1, 1.0), (2, 3, 2.0)], n_vertices=6)
+    chosen, labels = boruvka_filter(g, 4)
+    assert set(chosen.tolist()) == kruskal(g).edge_set() == {0, 1}
+    # Isolated vertices keep their own label; components stay apart.
+    assert np.unique(labels).size == 4
+
+    empty = from_edges([], n_vertices=3)
+    chosen, labels = boruvka_filter(empty, 2)
+    assert chosen.size == 0
+    assert np.array_equal(labels, np.arange(3))

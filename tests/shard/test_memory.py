@@ -5,7 +5,7 @@ import pytest
 
 from repro.checking.families import generate_case
 from repro.errors import ServiceError
-from repro.shard import SharedEdgeArena, attach_readonly, leaked_segments
+from repro.shard import SharedEdgeArena, attach_readonly, labels_view, leaked_segments
 
 
 def _graph():
@@ -62,6 +62,36 @@ def test_empty_graph_arena():
     with SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w) as arena:
         u, v, w = arena.arrays()
         assert u.size == v.size == w.size == 0
+
+
+def test_labels_block_roundtrip():
+    """Contraction labels ride the arena after the edge columns."""
+    g = _graph()
+    labels = np.arange(g.n_vertices, dtype=np.int64)[::-1].copy()
+    with SharedEdgeArena.publish(
+        g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels
+    ) as arena:
+        assert arena.spec.has_labels
+        u, v, w, shm = attach_readonly(arena.spec)  # 4-tuple arity unchanged
+        try:
+            assert np.array_equal(u, g.edge_u)
+            got = labels_view(shm.buf, arena.spec)
+            assert np.array_equal(got, labels)
+        finally:
+            del got
+            shm.close()
+    assert arena.spec.name not in leaked_segments()
+
+
+def test_labels_view_is_none_without_labels():
+    g = _graph()
+    with SharedEdgeArena.publish(g.n_vertices, g.edge_u, g.edge_v, g.edge_w) as arena:
+        assert not arena.spec.has_labels
+        _, _, _, shm = attach_readonly(arena.spec)
+        try:
+            assert labels_view(shm.buf, arena.spec) is None
+        finally:
+            shm.close()
 
 
 def test_finalizer_backstop_unlinks_dropped_arena():

@@ -1,0 +1,166 @@
+"""Perf-smoke gate: fail on >25% regression vs the committed BENCH reports.
+
+Run:  PYTHONPATH=src python tools/bench_gate.py [--threshold 0.25]
+      [--kernels BENCH_kernels.json] [--shard BENCH_shard.json]
+      [--fresh-kernels PATH] [--fresh-shard PATH] [--repeats R]
+
+Absolute seconds are not comparable across machines, so the gate never
+compares a fresh wall time against a committed one.  Every check is a
+*within-report ratio*, which divides the machine's speed out:
+
+* **kernels** — each algorithm's fresh ``speedup`` (loop seconds /
+  vectorized seconds) must stay within ``threshold`` of the committed
+  speedup, and the fresh ``auto_speedup`` must be >= 1.0 (the cost model
+  picking a regression is a hard failure at any threshold);
+* **shard** — each *sharded* configuration's fresh seconds are divided
+  by the sum of all single-process baseline seconds from the *same*
+  report and compared against the committed ratio.  (Summing the
+  baselines damps per-config timer noise: one baseline having a fast or
+  slow run moves a single-config normalizer by double-digit percentages,
+  the sum by far less.  The baselines themselves are not gated here —
+  they are individual kernels, and the kernels gate already covers each
+  one with the stabler loop/vectorized ratio.)
+
+``identical_edge_sets`` / ``identical_edge_set`` being false in a fresh
+report is a hard correctness failure regardless of threshold.
+
+Without ``--fresh-*`` paths the gate re-measures by running the two
+report scripts at the committed graph shape into a temp directory; the
+flags let tests (and pre-computed CI artifacts) skip the measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+sys.path.insert(0, str(_ROOT / "tools"))
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def gate_kernels(committed: dict, fresh: dict, threshold: float) -> list[str]:
+    """Failures of the kernels report against its committed reference."""
+    failures: list[str] = []
+    for name, ref in committed.get("algorithms", {}).items():
+        cur = fresh.get("algorithms", {}).get(name)
+        if cur is None:
+            failures.append(f"kernels: algorithm {name!r} missing from fresh report")
+            continue
+        if not cur.get("identical_edge_set", False):
+            failures.append(f"kernels: {name} modes no longer agree on the MSF")
+        floor = ref["speedup"] / (1.0 + threshold)
+        if cur["speedup"] < floor:
+            failures.append(
+                f"kernels: {name} vectorized speedup regressed "
+                f"{ref['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+        if "auto_speedup" in cur and cur["auto_speedup"] < 1.0:
+            failures.append(
+                f"kernels: {name} auto mode is slower than loop "
+                f"({cur['auto_speedup']:.2f}x) — the cost model picked a regression"
+            )
+    return failures
+
+
+def _shard_ratios(report: dict) -> dict[str, float]:
+    """Sharded-config seconds over the report's summed baseline seconds."""
+    norm = sum(entry["seconds"] for entry in report["baselines"].values())
+    return {
+        f"sharded:x{k}": entry["seconds"] / norm
+        for k, entry in report.get("sharded", {}).items()
+    }
+
+
+def gate_shard(committed: dict, fresh: dict, threshold: float) -> list[str]:
+    """Failures of the shard report against its committed reference."""
+    failures: list[str] = []
+    if not fresh.get("identical_edge_sets", False):
+        failures.append("shard: configurations no longer agree on the MSF")
+    ref_ratios = _shard_ratios(committed)
+    cur_ratios = _shard_ratios(fresh)
+    for label, ref in sorted(ref_ratios.items()):
+        cur = cur_ratios.get(label)
+        if cur is None:
+            failures.append(f"shard: config {label!r} missing from fresh report")
+            continue
+        ceiling = ref * (1.0 + threshold)
+        if cur > ceiling:
+            failures.append(
+                f"shard: {label} regressed {ref:.3f} -> {cur:.3f} "
+                f"of summed baselines (ceiling {ceiling:.3f})"
+            )
+    return failures
+
+
+def _measure_fresh(committed_kernels: dict, committed_shard: dict,
+                   tmp: Path, repeats: int) -> tuple[dict, dict]:
+    """Re-run both report scripts at the committed graph shapes."""
+    import bench_kernels_report
+    import bench_shard_report
+
+    kg = committed_kernels["graph"]
+    kpath = tmp / "kernels.json"
+    rc = bench_kernels_report.main([
+        str(kpath), "--n", str(kg["n_vertices"]), "--m", str(kg["n_edges"]),
+        "--seed", str(kg["seed"]), "--repeats", str(repeats),
+    ])
+    if rc != 0:
+        raise SystemExit(rc)
+    sg = committed_shard["graph"]
+    spath = tmp / "shard.json"
+    shards = ",".join(sorted(committed_shard["sharded"], key=int))
+    rc = bench_shard_report.main([
+        str(spath), "--n", str(sg["n_vertices"]), "--m", str(sg["n_edges"]),
+        "--seed", str(sg["seed"]), "--repeats", str(repeats),
+        "--shards", shards, "--partition", committed_shard["partition"],
+    ])
+    if rc != 0:
+        raise SystemExit(rc)
+    return json.loads(kpath.read_text()), json.loads(spath.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--kernels", type=Path, default=_ROOT / "BENCH_kernels.json")
+    parser.add_argument("--shard", type=Path, default=_ROOT / "BENCH_shard.json")
+    parser.add_argument("--fresh-kernels", type=Path, default=None,
+                        help="pre-computed fresh kernels report (skip measuring)")
+    parser.add_argument("--fresh-shard", type=Path, default=None,
+                        help="pre-computed fresh shard report (skip measuring)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats when re-measuring")
+    args = parser.parse_args(argv)
+
+    committed_kernels = json.loads(args.kernels.read_text())
+    committed_shard = json.loads(args.shard.read_text())
+    if args.fresh_kernels and args.fresh_shard:
+        fresh_kernels = json.loads(args.fresh_kernels.read_text())
+        fresh_shard = json.loads(args.fresh_shard.read_text())
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench-gate-") as tmp:
+            fresh_kernels, fresh_shard = _measure_fresh(
+                committed_kernels, committed_shard, Path(tmp), args.repeats
+            )
+
+    failures = gate_kernels(committed_kernels, fresh_kernels, args.threshold)
+    failures += gate_shard(committed_shard, fresh_shard, args.threshold)
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} regression(s)):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"perf gate OK (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,13 @@ the ISSUE target size), checks the two modes return the identical MSF
 best-of-R wall times and the speedup ratio.  The committed
 ``BENCH_kernels.json`` at the repo root is this script's output on the
 default arguments.
+
+Each algorithm also gets an ``auto`` entry: the mode the
+:mod:`repro.mst.autotune` cost model selects for this graph shape, with
+the selected mode's measured seconds (the dispatch itself is a
+microsecond-scale table lookup).  ``auto_speedup`` is loop seconds over
+auto seconds — below 1.0 means the cost model picked a regression, which
+the report flags via ``auto_never_slower``.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.graphs.generators import gnm_random_graph
+from repro.mst.autotune import choose_mode
 from repro.mst.registry import (
     PARALLEL_ALGORITHMS,
     get_algorithm,
@@ -84,10 +92,19 @@ def main(argv: list[str] | None = None) -> int:
         entry["identical_edge_set"] = same_edges
         entry["mst_weight"] = round(results["loop"].total_weight, 6)
         entry["mst_edges"] = results["loop"].n_edges
+        selected = choose_mode(info.name, args.n, args.m)
+        entry["auto"] = {
+            "selected_mode": selected,
+            "seconds": entry[selected]["seconds"],
+        }
+        entry["auto_speedup"] = round(
+            entry["loop"]["seconds"] / entry["auto"]["seconds"], 2
+        )
         algorithms[info.name] = entry
         print(f"{info.name:18s} loop {entry['loop']['seconds']*1e3:9.2f} ms   "
               f"vectorized {entry['vectorized']['seconds']*1e3:8.2f} ms   "
-              f"{entry['speedup']:6.1f}x")
+              f"{entry['speedup']:6.1f}x   auto->{selected} "
+              f"{entry['auto_speedup']:5.2f}x")
 
     report = {
         "benchmark": "vectorized kernel fast path, loop vs vectorized mode",
@@ -97,6 +114,9 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "repro_version": __version__,
+        "auto_never_slower": all(
+            e["auto_speedup"] >= 1.0 for e in algorithms.values()
+        ),
         "algorithms": algorithms,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -3,18 +3,27 @@
 Run:  PYTHONPATH=src python tools/bench_shard_report.py [output-path]
       [--n N] [--m M] [--seed S] [--repeats R] [--shards 1,2,4,8]
 
-Times :func:`repro.shard.sharded_mst` at each shard count (process
-executor for multi-shard, serial for one shard) against the
-single-process solvers on one G(n, m) random graph — default 33k
-vertices / 100k edges, the ISSUE target size — and checks every
-configuration returns the *identical* MSF edge-id set.  The committed
+Times :func:`repro.shard.sharded_mst` at each shard count with the
+``auto`` executor — the library's adaptive choice, which on a
+single-core host resolves to serial and on multi-core hosts to
+processes (each entry's ``executor`` field records the resolution) —
+against the single-process solvers on one G(n, m) random graph —
+default 33k vertices / 100k edges, the ISSUE target size — and checks
+every configuration returns the *identical* MSF edge-id set.  The committed
 ``BENCH_shard.json`` at the repo root is this script's output on the
 default arguments.
 
 The report keeps all baselines, including ones the sharded solver does
-not beat: on a single-CPU host the win is algorithmic (per-shard
-early-stopping filters the edge set before the merge), not parallel, so
-honesty about which single-process solvers remain faster matters.
+not beat: on a single-CPU host the win is algorithmic (the global
+Boruvka-filter pre-pass banks certain MSF edges and contracts the
+candidate set before any shard solves), not parallel, so honesty about
+which single-process solvers remain faster matters.
+
+Each shard count also gets one traced run: the observability spans
+(``shard:filter`` / ``shard:partition`` / ``shard:solve-*`` /
+``shard:merge``) are folded into a per-stage seconds breakdown, and
+``filter_ratio`` records ``candidate_edges / m`` — the fraction of the
+edge list that survives into the merge.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ import numpy as np
 from repro._version import __version__
 from repro.graphs.generators import gnm_random_graph
 from repro.mst.registry import get_algorithm
+from repro.obs.trace import Tracer, use_tracer
 from repro.shard import leaked_segments, sharded_mst
 
 # Single-process reference points; (name, mode) per the registry.
@@ -53,6 +63,32 @@ def _best_time(fn, repeats: int) -> tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - t0)
     return best, result
+
+
+# Top-level coordinator stages worth a line in the report (worker-side
+# sub-spans like shard:worker:N are deliberately excluded: the stage
+# totals already cover them and stay comparable across executors).
+_STAGE_SPANS = {
+    "shard:filter": "filter",
+    "shard:partition": "partition",
+    "shard:solve-processes": "solve",
+    "shard:solve-serial": "solve",
+    "shard:solve-direct": "solve",
+    "shard:merge": "merge",
+}
+
+
+def _traced_stages(fn) -> dict[str, float]:
+    """One traced run of ``fn``; coordinator stage name -> seconds."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        fn()
+    stages: dict[str, float] = {}
+    for sp in tracer.sorted_spans():
+        stage = _STAGE_SPANS.get(sp.name)
+        if stage is not None:
+            stages[stage] = round(stages.get(stage, 0.0) + sp.duration_ns / 1e9, 6)
+    return stages
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -93,20 +129,25 @@ def main(argv: list[str] | None = None) -> int:
     sharded = {}
     beats_vectorized = False
     for k in args.shards:
-        executor = "serial" if k == 1 else "process"
         secs, res = _best_time(
-            lambda: sharded_mst(g, n_shards=k, partition=args.partition,
-                                executor=executor),
+            lambda: sharded_mst(g, n_shards=k, partition=args.partition),
             args.repeats,
         )
         if frozenset(int(e) for e in res.edge_ids) != reference:
             print(f"FATAL: sharded x{k} diverged from the oracle", file=sys.stderr)
             return 1
+        candidate_edges = int(res.stats.get("candidate_edges", 0))
+        executor = str(res.stats.get("executor", "auto"))
         entry = {
             "seconds": round(secs, 6),
             "executor": executor,
-            "candidate_edges": int(res.stats.get("candidate_edges", 0)),
+            "candidate_edges": candidate_edges,
+            "filter_chosen": int(res.stats.get("filter_chosen", 0)),
+            "filter_ratio": round(candidate_edges / args.m, 6),
             "merge_seconds": float(res.stats.get("merge_seconds", 0.0)),
+            "stages": _traced_stages(
+                lambda: sharded_mst(g, n_shards=k, partition=args.partition)
+            ),
         }
         wins = sorted(
             label for label, b in baselines.items()
