@@ -1,0 +1,99 @@
+"""Benchmarks for the sustained-traffic load subsystem.
+
+Three layers:
+
+* scenario expansion — :func:`repro.load.scenarios.generate_events`
+  turning a declarative scenario into a concrete seeded event stream;
+* open-loop driving — a compressed scenario offered at the async
+  service through :func:`repro.load.generator.run_scenario`;
+* record/replay — hashing and round-tripping the JSONL event log.
+
+``tools/bench_soak_report.py`` runs the full faults-under-load soak and
+writes ``BENCH_soak.json``; these microbenchmarks keep the subsystem's
+own overheads (expansion, bookkeeping, hashing) visible separately from
+service latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import gnm_random_graph
+from repro.load import (
+    generate_events,
+    get_scenario,
+    read_events,
+    replay_requests,
+    request_stream_hash,
+    run_scenario,
+    write_events,
+)
+from repro.service.core import MSTService
+
+N, M, SEED = 2_000, 8_000, 11
+
+
+@pytest.fixture(scope="module")
+def load_service():
+    svc = MSTService(None, algorithm="kruskal")
+    svc.load_graph(gnm_random_graph(N, M, seed=SEED))
+    svc.ensure_ready()
+    return svc
+
+
+# ----------------------------------------------------------------------
+# Scenario expansion
+# ----------------------------------------------------------------------
+def test_generate_events_steady(benchmark):
+    benchmark.group = "load-generate"
+    scenario = get_scenario("steady", duration_s=10.0, rate_qps=2_000, seed=SEED)
+    events = benchmark(lambda: generate_events(scenario, N))
+    assert len(events) > 10_000
+
+
+def test_generate_events_burst_zipf(benchmark):
+    benchmark.group = "load-generate"
+    scenario = get_scenario("burst", duration_s=10.0, rate_qps=2_000, seed=SEED)
+    events = benchmark(lambda: generate_events(scenario, N))
+    assert len(events) > 5_000
+
+
+# ----------------------------------------------------------------------
+# Open-loop driving
+# ----------------------------------------------------------------------
+def test_open_loop_hot_key(benchmark, load_service):
+    benchmark.group = "load-drive"
+    scenario = get_scenario("hot-key", duration_s=1.0, rate_qps=1_000, seed=SEED)
+
+    def drive():
+        return run_scenario(load_service, scenario, record=False,
+                            time_scale=0.05)
+
+    result = benchmark(drive)
+    assert result.offered == result.completed + result.rejected \
+        + result.timeouts + result.errors
+
+
+# ----------------------------------------------------------------------
+# Record / replay
+# ----------------------------------------------------------------------
+def test_stream_hash(benchmark):
+    benchmark.group = "load-record"
+    scenario = get_scenario("steady", duration_s=10.0, rate_qps=2_000, seed=SEED)
+    events = generate_events(scenario, N)
+    digest = benchmark(lambda: request_stream_hash(events))
+    assert len(digest) == 64
+
+
+def test_record_roundtrip(benchmark, tmp_path):
+    benchmark.group = "load-record"
+    scenario = get_scenario("steady", duration_s=2.0, rate_qps=1_000, seed=SEED)
+    events = [e.to_dict() for e in generate_events(scenario, N)]
+    path = tmp_path / "events.jsonl"
+
+    def roundtrip():
+        write_events(events, path)
+        return replay_requests(read_events(path))
+
+    replayed = benchmark(roundtrip)
+    assert request_stream_hash(replayed) == request_stream_hash(events)

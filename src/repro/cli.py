@@ -13,7 +13,12 @@ Subcommands
     cycle replacement) from a saved artifact or an artifact store.
 ``serve``
     Run the batched asyncio query service over a JSON-lines request
-    stream (stdin or a file).
+    stream (stdin or a file).  SIGINT stops intake, drains in-flight
+    requests, and prints a final metrics summary line.
+``load``
+    Drive scenario traffic at the async service: ``run`` a seeded
+    open-loop scenario, ``record`` its JSONL event log, ``replay`` a
+    recorded log, or ``soak`` with fault families injected under load.
 ``check``
     Run the differential-oracle / fault-injection / adversarial-schedule
     harness; failing graphs are shrunk to hand-checkable pytest repros.
@@ -38,6 +43,10 @@ Examples
     python -m repro mst --algo kruskal --dataset usa-road --save msf.json
     python -m repro query --artifact msf.json --type bottleneck --pairs 0:5,2:7
     python -m repro serve --dataset usa-road --scale 10 --queries reqs.jsonl
+    python -m repro load run --scenario burst --duration 2 --rate 500
+    python -m repro load record --scenario hot-key --out events.jsonl
+    python -m repro load replay --events events.jsonl --dataset usa-road
+    python -m repro load soak --duration 10 --faults artifact-corruption,worker-crash
     python -m repro check --seed 17 --graphs 200 --out-dir counterexamples/
     python -m repro check --self-test
     python -m repro trace --out t.json query --shards 2 --executor process \\
@@ -172,6 +181,72 @@ def build_parser() -> argparse.ArgumentParser:
     servep.add_argument("--metrics", action="store_true",
                         help="print the service metrics report to stderr at exit")
 
+    loadp = sub.add_parser(
+        "load", help="drive scenario load at the async service"
+    )
+    lsub = loadp.add_subparsers(dest="load_command", required=True)
+    lrun = lsub.add_parser("run", help="expand a scenario and drive it open-loop")
+    lrecord = lsub.add_parser(
+        "record", help="run a scenario and write its JSONL event log"
+    )
+    lreplay = lsub.add_parser(
+        "replay", help="re-offer a recorded JSONL event log"
+    )
+    lsoak = lsub.add_parser(
+        "soak", help="sustained load with fault families injected under it"
+    )
+    for p in (lrun, lrecord):
+        p.add_argument("--scenario", default="steady",
+                       help="scenario preset name (see docs/load.md)")
+    for p in (lrun, lrecord, lreplay):
+        lsrc = p.add_mutually_exclusive_group()
+        lsrc.add_argument("--dataset", default="usa-road",
+                          help="registered dataset name")
+        lsrc.add_argument("--input", type=Path, default=None,
+                          help="graph file (.gr/.mtx/.tsv/.npz)")
+        p.add_argument("--scale", type=int, default=None)
+        p.add_argument("--algo", default="kruskal")
+        p.add_argument("--seed", type=int, default=0,
+                       help="scenario and dataset seed")
+        p.add_argument("--duration", type=float, default=None, metavar="S",
+                       help="override the scenario's duration")
+        p.add_argument("--rate", type=float, default=None, metavar="QPS",
+                       help="override the scenario's offered rate")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="override the per-request deadline")
+        p.add_argument("--time-scale", type=float, default=1.0,
+                       help="compress (<1) or stretch (>1) the schedule")
+        p.add_argument("--max-pending", type=int, default=1024,
+                       help="service queue bound (rejections past this)")
+        p.add_argument("--json", action="store_true",
+                       help="print the machine-readable result to stdout")
+    lrecord.add_argument("--out", type=Path, required=True, metavar="PATH",
+                         help="JSONL event log output path")
+    lreplay.add_argument("--events", type=Path, required=True, metavar="PATH",
+                         help="recorded JSONL event log to re-offer")
+    lsoak.add_argument("--scenario", default="soak",
+                       help="scenario preset name (default: soak)")
+    lsoak.add_argument("--duration", type=float, default=None, metavar="S")
+    lsoak.add_argument("--rate", type=float, default=None, metavar="QPS")
+    lsoak.add_argument("--seed", type=int, default=0)
+    lsoak.add_argument("--n", type=int, default=400, help="soak graph vertices")
+    lsoak.add_argument("--m", type=int, default=1600, help="soak graph edges")
+    lsoak.add_argument("--faults", type=_str_list,
+                       default=["artifact-corruption", "worker-crash"],
+                       help="comma-separated fault families ('' disables); "
+                            "artifact-corruption|worker-crash|worker-hang")
+    lsoak.add_argument("--store", type=Path, default=None,
+                       help="artifact-store directory (default: a temp dir)")
+    lsoak.add_argument("--time-scale", type=float, default=1.0)
+    lsoak.add_argument("--error-budget", type=float, default=0.1,
+                       help="max tolerated failure fraction of offered load")
+    lsoak.add_argument("--out", type=Path, default=None, metavar="PATH",
+                       help="write the SLO report JSON here")
+    lsoak.add_argument("--events-out", type=Path, default=None, metavar="PATH",
+                       help="also write the soak's JSONL event log here")
+    lsoak.add_argument("--json", action="store_true",
+                       help="print the SLO report to stdout")
+
     profp = sub.add_parser("profile", help="profile one algorithm run (cProfile hotspots)")
     profp.add_argument("--algo", default="llp-prim")
     profp.add_argument("--dataset", default="usa-road")
@@ -301,6 +376,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"[trace written: {session.out_path} "
                   f"({session.n_spans} spans)]", file=sys.stderr)
         return rc
+    if args.command == "load":
+        return _cmd_load(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "profile":
@@ -607,27 +684,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     requests = [(lineno, *request) for lineno, request, _ in parsed
                 if request is not None]
 
-    async def _run() -> list:
-        async with AsyncMSTService(
-            svc, max_batch=args.max_batch, max_delay_s=args.max_delay_ms / 1e3
-        ) as server:
-            async def one(op, u, v, w):
-                try:
-                    return await server.query(op, u, v, w)
-                except (ReproError, ServiceError) as exc:
-                    return {"error": str(exc)}
-                except Exception as exc:  # malformed args the engine rejected
-                    return {"error": f"{type(exc).__name__}: {exc}"}
-            return await asyncio.gather(
-                *(one(op, u, v, w) for _, op, u, v, w in requests)
-            )
+    # SIGINT contract: stop intake (no new requests issued), drain what is
+    # already in flight through the service's own stop() (run by the
+    # context-manager exit), answer un-issued lines with a structured
+    # "interrupted" record, and print the final metrics summary line.
+    async def _run() -> tuple[dict, bool]:
+        loop = asyncio.get_running_loop()
+        stop_intake = asyncio.Event()
+        uninstall = _install_sigint(loop, stop_intake.set)
+        answers: dict[int, object] = {}
+        interrupted = False
+        try:
+            async with AsyncMSTService(
+                svc, max_batch=args.max_batch, max_delay_s=args.max_delay_ms / 1e3
+            ) as server:
+                async def one(lineno, op, u, v, w):
+                    try:
+                        answers[lineno] = await server.query(op, u, v, w)
+                    except (ReproError, ServiceError) as exc:
+                        answers[lineno] = {"error": str(exc)}
+                    except Exception as exc:  # malformed args the engine rejected
+                        answers[lineno] = {"error": f"{type(exc).__name__}: {exc}"}
+
+                tasks = []
+                for lineno, op, u, v, w in requests:
+                    if stop_intake.is_set():
+                        interrupted = True
+                        break
+                    tasks.append(asyncio.create_task(one(lineno, op, u, v, w)))
+                    # Yield so the signal handler (and the batch worker)
+                    # gets a turn between submissions.
+                    await asyncio.sleep(0)
+                if tasks:
+                    await asyncio.gather(*tasks)
+                # Context-manager exit runs stop(): in-flight work drains.
+        finally:
+            uninstall()
+        return answers, interrupted
 
     try:
-        answers = asyncio.run(_run())
+        answers, interrupted = asyncio.run(_run())
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    by_line = {lineno: answer for (lineno, *_), answer in zip(requests, answers)}
     n_bad = 0
     for lineno, request, error in parsed:
         if request is None:
@@ -642,18 +741,165 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             record["v"] = v
         if w is not None:
             record["w"] = w
-        answer = by_line[lineno]
-        if isinstance(answer, dict) and "error" in answer:
-            record["error"] = answer["error"]
+        if lineno not in answers:
+            record["error"] = "interrupted before issue (SIGINT)"
         else:
-            record["result"] = answer
+            answer = answers[lineno]
+            if isinstance(answer, dict) and "error" in answer:
+                record["error"] = answer["error"]
+            else:
+                record["result"] = answer
         print(_json.dumps(record))
     if n_bad:
         print(f"{n_bad} malformed request line(s) answered with structured errors",
               file=sys.stderr)
+    if interrupted:
+        print("interrupted: intake stopped, in-flight requests drained",
+              file=sys.stderr)
+    print(svc.metrics.summary_line(), file=sys.stderr)
     if args.metrics:
         print(svc.metrics.render(), file=sys.stderr)
+    return 130 if interrupted else 0
+
+
+def _install_sigint(loop, handler) -> "callable":
+    """Install ``handler`` as the loop's SIGINT callback; returns an uninstaller.
+
+    Falls back to a no-op uninstaller on platforms/threads where asyncio
+    signal handlers are unavailable (Windows, non-main threads) — there
+    SIGINT keeps its default KeyboardInterrupt behaviour.  Tests
+    monkeypatch this to simulate an interrupt mid-stream.
+    """
+    import signal
+
+    try:
+        loop.add_signal_handler(signal.SIGINT, handler)
+    except (NotImplementedError, RuntimeError, ValueError):
+        return lambda: None
+
+    def uninstall() -> None:
+        try:
+            loop.remove_signal_handler(signal.SIGINT)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+
+    return uninstall
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    """Dispatch the ``load`` subcommands (run/record/replay/soak)."""
+    from repro.errors import ReproError
+
+    try:
+        if args.load_command == "soak":
+            return _cmd_load_soak(args)
+        return _cmd_load_drive(args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _cmd_load_drive(args: argparse.Namespace) -> int:
+    """``load run|record|replay``: offer one event stream open-loop."""
+    import json as _json
+
+    from repro.load import (
+        get_scenario,
+        read_events,
+        replay_requests,
+        request_stream_hash,
+        run_scenario,
+        write_events,
+    )
+    from repro.service import MSTService
+
+    if args.input is not None:
+        g = _load_graph(args.input)
+    else:
+        from repro.bench.datasets import build_dataset
+
+        g = build_dataset(args.dataset, args.scale, args.seed)
+    svc = MSTService(None, algorithm=args.algo)
+    svc.load_graph(g)
+
+    overrides: dict = {"seed": args.seed}
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    if args.rate is not None:
+        overrides["rate_qps"] = args.rate
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+
+    events = None
+    if args.load_command == "replay":
+        # The schedule and operands come from the log; the scenario object
+        # only carries the label, seed, and per-request deadline.
+        import dataclasses
+
+        events = replay_requests(read_events(args.events))
+        scenario = dataclasses.replace(
+            get_scenario("steady", **overrides), name="replay"
+        )
+    else:
+        scenario = get_scenario(args.scenario, **overrides)
+
+    result = run_scenario(
+        svc, scenario, events=events, time_scale=args.time_scale,
+        max_pending=args.max_pending,
+    )
+    stream_hash = request_stream_hash(result.events)
+
+    if args.load_command == "record":
+        write_events(result.events, args.out)
+        print(f"[event log written: {args.out} ({len(result.events)} events)]",
+              file=sys.stderr)
+    if args.json:
+        payload = result.to_dict()
+        payload["stream_hash"] = stream_hash
+        print(_json.dumps(payload, indent=2))
+    else:
+        d = result.to_dict()
+        print(f"scenario={d['scenario']} seed={d['seed']} "
+              f"offered={d['offered']} completed={d['completed']} "
+              f"rejected={d['rejected']} timeouts={d['timeouts']} "
+              f"errors={d['errors']} mutations={d['mutations']} "
+              f"wall={d['wall_s']:.3f}s offered_qps={d['offered_qps']}")
+        print(f"stream_hash={stream_hash}")
+        print(svc.metrics.summary_line(), file=sys.stderr)
     return 0
+
+
+def _cmd_load_soak(args: argparse.Namespace) -> int:
+    """``load soak``: faults-under-load run; exit 0 iff the report is ok."""
+    import json as _json
+
+    from repro.load import run_soak
+    from repro.load.report import write_report
+
+    report = run_soak(
+        scenario=args.scenario, duration_s=args.duration, rate_qps=args.rate,
+        faults=tuple(args.faults), seed=args.seed, n_vertices=args.n,
+        n_edges=args.m, store_dir=args.store, time_scale=args.time_scale,
+        error_budget=args.error_budget, events_out=args.events_out,
+    )
+    if args.out is not None:
+        write_report(report, args.out)
+        print(f"[soak report written: {args.out}]", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(report, indent=2))
+    else:
+        load = report["load"]
+        print(f"soak scenario={load['scenario']} offered={load['offered']} "
+              f"completed={load['completed']} rejected={load['rejected']} "
+              f"timeouts={load['timeouts']} errors={load['errors']} "
+              f"failure_rate={load['failure_rate']}")
+        for fault in report["faults"]:
+            verdict = "ok" if fault["ok"] else f"FAILED ({fault['detail']})"
+            print(f"fault {fault['family']}: injected={fault['injected']} {verdict}")
+        print(f"replay deterministic={report['replay']['deterministic']} "
+              f"leaked_segments={len(report['leaked_segments'])} "
+              f"ok={report['ok']}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:

@@ -67,3 +67,24 @@ class ServiceError(ReproError):
     when a query names an unknown edge or operation, or when the service
     is asked to answer queries before a graph was loaded.
     """
+
+
+class ServiceOverloadError(ServiceError):
+    """A non-blocking submit found the service's bounded queue full.
+
+    Raised only by the open-loop entry point
+    (:meth:`~repro.service.server.AsyncMSTService.query_nowait`); the
+    blocking :meth:`~repro.service.server.AsyncMSTService.query` path
+    awaits on backpressure instead.  Every raise is counted in
+    :attr:`~repro.service.metrics.ServiceMetrics.rejected`.
+    """
+
+
+class ServiceTimeoutError(ServiceError):
+    """A request's per-request deadline expired before it was answered.
+
+    The deadline is checked when the batch worker dequeues the request
+    and again when its batch completes; either expiry fails the awaiting
+    caller with this error and counts in
+    :attr:`~repro.service.metrics.ServiceMetrics.timeouts`.
+    """

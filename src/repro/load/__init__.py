@@ -1,0 +1,79 @@
+"""Sustained-traffic load subsystem: scenarios, open-loop driver, soak.
+
+The async serving tier (:mod:`repro.service.server`) has coalescing, an
+LRU cache, backpressure, and per-request deadlines — but none of it is
+exercised like production by unit tests that await one query at a time.
+This package models heavy traffic the way a serving team would:
+
+* :mod:`repro.load.scenarios` — declarative, fully seeded workload
+  scenarios: open-loop Poisson/burst/ramp arrival processes, mixed
+  query/mutation ratios, Zipf hot-key skew over vertex pairs;
+* :mod:`repro.load.generator` — an asyncio *open-loop* driver that never
+  closes the loop on service latency: requests are issued on the
+  scenario's schedule regardless of how slowly the service answers, so
+  offered load, rejections, and timeouts are measured honestly;
+* :mod:`repro.load.record` — a JSONL event log of every request and its
+  outcome, plus the determinism contract: the same seed and scenario
+  reproduce a byte-identical request stream (hashable, gateable);
+* :mod:`repro.load.soak` — a long-running harness that composes
+  scenarios with the :mod:`repro.checking.faults` fault families
+  (artifact corruption, shard-worker crash/hang) injected *under load*,
+  asserting the service degrades per contract and no shared-memory
+  segment leaks;
+* :mod:`repro.load.report` — the SLO report (per-kind p50/p95/p99,
+  throughput, coalescing and cache efficiency, error budget, fault
+  outcomes) written as ``BENCH_soak.json`` and enforced by
+  ``tools/bench_gate.py``.
+
+Typical use::
+
+    from repro.load import get_scenario, generate_events, run_scenario
+
+    scenario = get_scenario("burst", duration_s=2.0, rate_qps=500)
+    result = run_scenario(service, scenario)        # LoadResult
+    print(result.completed, result.rejected, result.timeouts)
+
+See ``docs/load.md`` for the scenario schema, the replay determinism
+contract, and the SLO definitions.
+"""
+
+from __future__ import annotations
+
+from repro.load.generator import LoadResult, run_events, run_scenario
+from repro.load.record import (
+    Recorder,
+    read_events,
+    replay_requests,
+    request_stream_hash,
+    write_events,
+)
+from repro.load.report import build_soak_report, slo_summary, write_report
+from repro.load.scenarios import (
+    SCENARIOS,
+    RequestEvent,
+    Scenario,
+    generate_events,
+    get_scenario,
+)
+from repro.load.soak import FaultOutcome, run_soak
+
+__all__ = [
+    "Scenario",
+    "RequestEvent",
+    "SCENARIOS",
+    "get_scenario",
+    "generate_events",
+    "LoadResult",
+    "run_scenario",
+    "run_events",
+    "Recorder",
+    "write_events",
+    "read_events",
+    "request_stream_hash",
+    "replay_requests",
+    "FaultOutcome",
+    "run_soak",
+    "slo_summary",
+    "build_soak_report",
+    "write_report",
+]

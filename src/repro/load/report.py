@@ -1,0 +1,142 @@
+"""SLO report for load and soak runs → ``BENCH_soak.json``.
+
+A soak run is only useful if its outcome is machine-checkable, so the
+report is structured for ``tools/bench_gate.py``:
+
+* ``slo`` — per query kind, served count and p50/p95/p99 latency in
+  microseconds (from the service's
+  :class:`~repro.service.metrics.ServiceMetrics` reservoirs);
+* ``throughput`` — offered vs completed QPS (the gap is shed load);
+* ``coalescing`` / ``cache`` / ``queue`` — batch-size histogram with an
+  approximate mean, hit rates, depth high-water mark, rejected and
+  timed-out counts;
+* ``error_budget`` — failure rate (rejected + timeouts + errors over
+  offered) against the configured budget;
+* ``faults`` — one verdict per injected family;
+* ``replay`` — the request-stream hash and whether two expansions of
+  the scenario agreed (the determinism contract);
+* ``leaked_segments`` — shared-memory segments still alive after the
+  run (must be empty);
+* ``ok`` — the conjunction the gate enforces as a hard failure.
+
+Ratios inside one report (p99/p50 per kind) are machine-independent, so
+the gate compares fresh ratios against the committed report's ratios
+rather than absolute latencies.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.load.generator import LoadResult
+from repro.load.scenarios import Scenario
+
+__all__ = ["slo_summary", "build_soak_report", "write_report"]
+
+
+def slo_summary(metrics) -> Dict[str, Dict]:
+    """Per-kind SLO block from a :class:`ServiceMetrics` instance.
+
+    Picks every ``serve:<kind>`` reservoir the batch worker recorded and
+    reports its count plus p50/p95/p99 in microseconds, with the
+    p99-over-p50 tail ratio the gate pins.
+    """
+    out: Dict[str, Dict] = {}
+    summary = metrics.summary()
+    for name, stats in sorted(summary.get("queries", {}).items()):
+        if not name.startswith("serve:"):
+            continue
+        kind = name[len("serve:"):]
+        pct = metrics.latency_percentiles(name)
+        p50 = pct.get("p50", 0.0)
+        p95 = pct.get("p95", 0.0)
+        p99 = pct.get("p99", 0.0)
+        out[kind] = {
+            "count": stats["count"],
+            "p50_us": round(p50 * 1e6, 1),
+            "p95_us": round(p95 * 1e6, 1),
+            "p99_us": round(p99 * 1e6, 1),
+            "tail_ratio": round(p99 / p50, 3) if p50 > 0 else 0.0,
+        }
+    return out
+
+
+def _coalescing_summary(summary: Dict) -> Dict:
+    """Batch histogram plus an approximate mean batch size."""
+    histogram = summary.get("batch_histogram", {})
+    total = sum(histogram.values())
+    weighted = sum(int(bucket) * count for bucket, count in histogram.items())
+    return {
+        "batch_histogram": {str(k): v for k, v in sorted(
+            histogram.items(), key=lambda kv: int(kv[0]))},
+        "batches": total,
+        # Bucket keys are pow-2 upper bounds, so this slightly overstates.
+        "mean_batch_approx": round(weighted / total, 2) if total else 0.0,
+    }
+
+
+def build_soak_report(
+    *,
+    scenario: Scenario,
+    load: LoadResult,
+    metrics,
+    fault_outcomes: Sequence = (),
+    leaked: Sequence[str] = (),
+    stream_hash: str = "",
+    deterministic: bool = True,
+    error_budget: float = 0.1,
+) -> Dict:
+    """Assemble the full JSON-able soak report.
+
+    ``ok`` is True only when every fault family degraded per contract,
+    no shared-memory segment leaked, the replay hash was reproducible,
+    and the failure rate stayed within ``error_budget``.
+    """
+    summary = metrics.summary()
+    within_budget = load.failure_rate <= error_budget
+    faults: List[Dict] = [o.to_dict() for o in fault_outcomes]
+    ok = (
+        deterministic
+        and not list(leaked)
+        and within_budget
+        and all(f["ok"] for f in faults)
+    )
+    return {
+        "benchmark": "sustained-traffic soak: scenario load with faults under load",
+        "scenario": scenario.to_dict(),
+        "load": load.to_dict(),
+        "slo": slo_summary(metrics),
+        "throughput": {
+            "offered_qps": round(load.offered_qps, 1),
+            "completed_qps": round(load.completed_qps, 1),
+        },
+        "coalescing": _coalescing_summary(summary),
+        "cache": summary.get("cache", {}),
+        "queue": summary.get("queue", {}),
+        "error_budget": {
+            "budget": error_budget,
+            "failure_rate": round(load.failure_rate, 6),
+            "within_budget": within_budget,
+        },
+        "faults": faults,
+        "replay": {"stream_hash": stream_hash, "deterministic": deterministic},
+        "leaked_segments": list(leaked),
+        "ok": ok,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+
+
+def write_report(report: Dict, path: str | Path) -> Path:
+    """Write a report dict as pretty JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path

@@ -1,0 +1,349 @@
+"""Declarative, seeded workload scenarios and their request streams.
+
+A :class:`Scenario` is a plain value object describing *what traffic
+looks like*: how requests arrive over time (open-loop Poisson, uniform
+pacing, periodic bursts, a linear ramp), which operations they perform
+(a weighted mix of the engine's query kinds plus forest mutations), and
+how the queried vertex pairs are skewed (a Zipf-distributed hot pool
+over a cold uniform background — the classic hot-key shape that makes
+result caches and coalescers earn their keep).
+
+:func:`generate_events` expands a scenario into its concrete
+:class:`RequestEvent` stream.  The expansion is a pure function of
+``(scenario, n_vertices)``: all randomness flows from one
+``numpy.random.default_rng(seed)``, so the same inputs reproduce a
+byte-identical stream — the determinism contract :mod:`repro.load.record`
+hashes and ``tools/bench_gate.py`` enforces.
+
+Named presets live in :data:`SCENARIOS`; :func:`get_scenario` fetches
+one with optional field overrides::
+
+    s = get_scenario("burst", duration_s=5.0, rate_qps=2000)
+    events = generate_events(s, n_vertices=10_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service.engine import QUERY_KINDS
+
+__all__ = [
+    "ARRIVALS",
+    "MUTATION_OPS",
+    "RequestEvent",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "generate_events",
+]
+
+ARRIVALS = ("poisson", "uniform", "burst", "ramp")
+MUTATION_OPS = ("insert", "delete")
+
+# Weight-bearing ops: the event must carry a sampled weight.
+_NEEDS_W = ("replacement", "insert")
+# Pair ops sample (u, v); single-vertex ops sample u only.
+_PAIR_OPS = ("connected", "bottleneck", "replacement", "insert")
+_SINGLE_OPS = ("component", "component_size")
+
+
+@dataclass(frozen=True)
+class RequestEvent:
+    """One scheduled request: *when* it is offered and *what* it asks.
+
+    ``t_offset_s`` is the offset from stream start at which the open-loop
+    driver issues it — independent of how long earlier requests take.
+    ``op`` is a query kind from
+    :data:`~repro.service.engine.QUERY_KINDS` or a mutation
+    (``insert``/``delete``).  A ``delete`` carries no operands: the
+    driver resolves it against its FIFO of previously inserted edges,
+    which is itself deterministic because the inserts are.
+    """
+
+    seq: int
+    t_offset_s: float
+    op: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    w: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        """The request's JSON-able form (the JSONL event-log prefix)."""
+        return {"seq": self.seq, "t": self.t_offset_s, "op": self.op,
+                "u": self.u, "v": self.v, "w": self.w}
+
+
+def _default_mix() -> Dict[str, float]:
+    return {"connected": 0.35, "bottleneck": 0.25, "component": 0.2,
+            "component_size": 0.1, "replacement": 0.05, "weight": 0.05}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative workload description; every field is seeded data.
+
+    Attributes
+    ----------
+    name, seed:
+        Identity.  The seed drives *all* randomness in the expansion.
+    duration_s, rate_qps:
+        Open-loop schedule length and mean offered rate.  ``max_requests``
+        additionally caps the stream (whichever limit hits first).
+    arrival:
+        ``poisson`` (exponential gaps), ``uniform`` (fixed pacing),
+        ``burst`` (a Poisson base rate with ``burst_factor``-times spikes
+        for ``burst_fraction`` of every ``burst_period_s``), or ``ramp``
+        (Poisson with the rate rising linearly to ``ramp_to_qps``).
+    mix:
+        Weights over query kinds and mutation ops; normalised at
+        expansion time.
+    zipf_s, hot_keys, cold_fraction:
+        Key skew: with probability ``1 - cold_fraction`` a request's
+        vertex pair is drawn from a pool of ``hot_keys`` seeded pairs
+        with Zipf(``zipf_s``) rank probabilities; otherwise it is drawn
+        uniformly from the whole vertex set.  ``zipf_s = 0`` disables the
+        hot pool entirely.
+    timeout_s:
+        Optional per-request deadline forwarded to
+        :meth:`~repro.service.server.AsyncMSTService.query_nowait`.
+    """
+
+    name: str = "custom"
+    seed: int = 0
+    duration_s: float = 1.0
+    rate_qps: float = 500.0
+    arrival: str = "poisson"
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.2
+    burst_period_s: float = 0.25
+    ramp_to_qps: Optional[float] = None
+    mix: Mapping[str, float] = field(default_factory=_default_mix)
+    zipf_s: float = 1.1
+    hot_keys: int = 64
+    cold_fraction: float = 0.3
+    timeout_s: Optional[float] = None
+    max_requests: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ServiceError` on an invalid field."""
+        if self.arrival not in ARRIVALS:
+            raise ServiceError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"available: {', '.join(ARRIVALS)}"
+            )
+        if self.duration_s <= 0 or self.rate_qps <= 0:
+            raise ServiceError("duration_s and rate_qps must be positive")
+        if not self.mix:
+            raise ServiceError("mix must not be empty")
+        allowed = set(QUERY_KINDS) | set(MUTATION_OPS)
+        unknown = sorted(set(self.mix) - allowed)
+        if unknown:
+            raise ServiceError(
+                f"unknown ops in mix: {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        if any(wt < 0 for wt in self.mix.values()) or sum(self.mix.values()) <= 0:
+            raise ServiceError("mix weights must be non-negative with a positive sum")
+        if self.arrival == "burst" and (
+            self.burst_factor < 1 or not 0 < self.burst_fraction < 1
+            or self.burst_period_s <= 0
+        ):
+            raise ServiceError(
+                "burst needs burst_factor >= 1, 0 < burst_fraction < 1, "
+                "and a positive burst_period_s"
+            )
+        if self.arrival == "ramp" and (self.ramp_to_qps is None or self.ramp_to_qps <= 0):
+            raise ServiceError("ramp needs a positive ramp_to_qps")
+        if not 0 <= self.cold_fraction <= 1:
+            raise ServiceError("cold_fraction must be in [0, 1]")
+        if self.zipf_s < 0 or self.hot_keys <= 0:
+            raise ServiceError("zipf_s must be >= 0 and hot_keys positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ServiceError("timeout_s must be positive when set")
+
+    def to_dict(self) -> Dict:
+        """JSON-able form (round-trips through :meth:`from_dict`)."""
+        out = asdict(self)
+        out["mix"] = dict(self.mix)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output (validated)."""
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - fields)
+        if unknown:
+            raise ServiceError(f"unknown scenario fields: {', '.join(unknown)}")
+        scenario = cls(**dict(data))
+        scenario.validate()
+        return scenario
+
+
+# ----------------------------------------------------------------------
+# Named presets.  Each is a complete, runnable scenario; get_scenario()
+# lets callers override duration/rate/seed without redefining the shape.
+# ----------------------------------------------------------------------
+SCENARIOS: Dict[str, Scenario] = {
+    "steady": Scenario(name="steady", arrival="poisson", zipf_s=0.0,
+                       cold_fraction=1.0),
+    "uniform": Scenario(name="uniform", arrival="uniform", zipf_s=0.0,
+                        cold_fraction=1.0),
+    "burst": Scenario(name="burst", arrival="burst", burst_factor=10.0,
+                      burst_fraction=0.15, burst_period_s=0.2),
+    "ramp": Scenario(name="ramp", arrival="ramp", ramp_to_qps=2000.0),
+    "hot-key": Scenario(name="hot-key", zipf_s=1.5, hot_keys=16,
+                        cold_fraction=0.05),
+    "mixed-mutation": Scenario(
+        name="mixed-mutation",
+        mix={"connected": 0.3, "bottleneck": 0.25, "component": 0.2,
+             "weight": 0.05, "insert": 0.1, "delete": 0.1},
+    ),
+    "soak": Scenario(
+        name="soak", arrival="burst", burst_factor=6.0, burst_fraction=0.25,
+        burst_period_s=0.5, zipf_s=1.2, hot_keys=32, cold_fraction=0.4,
+        timeout_s=2.0,
+        mix={"connected": 0.3, "bottleneck": 0.25, "component": 0.15,
+             "component_size": 0.1, "replacement": 0.05, "weight": 0.05,
+             "insert": 0.05, "delete": 0.05},
+    ),
+}
+
+
+def get_scenario(name: str, **overrides) -> Scenario:
+    """Fetch a named preset, optionally overriding fields.
+
+    ``get_scenario("burst", duration_s=5.0)`` returns the burst preset
+    reshaped to five seconds; the result is validated.
+    """
+    try:
+        base = SCENARIOS[name]
+    except KeyError:
+        raise ServiceError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    scenario = replace(base, **overrides) if overrides else base
+    scenario.validate()
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# Expansion: scenario -> concrete request stream
+# ----------------------------------------------------------------------
+def _rate_bounds(s: Scenario) -> Tuple[float, float]:
+    """(mean-equivalent base rate, peak rate) of the arrival process."""
+    if s.arrival == "burst":
+        # Average rate must equal rate_qps: the base rate is depressed so
+        # the burst_fraction spent at burst_factor*base averages out.
+        base = s.rate_qps / (1 + s.burst_fraction * (s.burst_factor - 1))
+        return base, base * s.burst_factor
+    if s.arrival == "ramp":
+        return s.rate_qps, max(s.rate_qps, float(s.ramp_to_qps))
+    return s.rate_qps, s.rate_qps
+
+
+def _instantaneous_rate(s: Scenario, t: np.ndarray) -> np.ndarray:
+    """Offered rate at each time ``t`` (vectorized)."""
+    if s.arrival == "burst":
+        base, peak = _rate_bounds(s)
+        phase = np.mod(t, s.burst_period_s) / s.burst_period_s
+        return np.where(phase < s.burst_fraction, peak, base)
+    if s.arrival == "ramp":
+        frac = np.clip(t / s.duration_s, 0.0, 1.0)
+        return s.rate_qps + (float(s.ramp_to_qps) - s.rate_qps) * frac
+    return np.full_like(t, s.rate_qps)
+
+
+def _arrival_times(s: Scenario, rng: np.random.Generator) -> np.ndarray:
+    """Offsets (seconds) of every request, per the arrival process.
+
+    Uniform pacing is the deterministic grid ``i / rate``.  The three
+    stochastic processes are one non-homogeneous Poisson machinery:
+    candidate arrivals at the peak rate, thinned to the instantaneous
+    rate (Lewis–Shedler) — for constant-rate Poisson the thinning accepts
+    everything, so the constant case costs nothing extra.
+    """
+    if s.arrival == "uniform":
+        n = int(np.floor(s.duration_s * s.rate_qps))
+        return np.arange(n, dtype=np.float64) / s.rate_qps
+    _base, peak = _rate_bounds(s)
+    # Oversample candidates so the stream almost surely covers duration_s;
+    # the tail beyond it is trimmed either way.
+    n_cand = max(int(peak * s.duration_s * 1.5) + 16, 16)
+    times: List[np.ndarray] = []
+    t_end = 0.0
+    while t_end < s.duration_s:
+        gaps = rng.exponential(1.0 / peak, size=n_cand)
+        t = t_end + np.cumsum(gaps)
+        accept = rng.random(n_cand) * peak < _instantaneous_rate(s, t)
+        times.append(t[accept])
+        t_end = float(t[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times < s.duration_s]
+
+
+def _zipf_probs(n: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf rank probabilities over ``n`` ranks."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probs = ranks ** (-exponent)
+    return probs / probs.sum()
+
+
+def generate_events(scenario: Scenario, n_vertices: int) -> List[RequestEvent]:
+    """Expand a scenario into its deterministic request stream.
+
+    Pure in ``(scenario, n_vertices)``: two calls with equal arguments
+    return equal streams, byte for byte once serialised — the property
+    the replay gate hashes.  Weights are rounded to 9 decimals so the
+    JSONL round trip is exact.
+    """
+    scenario.validate()
+    if n_vertices <= 0:
+        raise ServiceError("n_vertices must be positive")
+    rng = np.random.default_rng(scenario.seed)
+    times = _arrival_times(scenario, rng)
+    if scenario.max_requests is not None:
+        times = times[: scenario.max_requests]
+    n = times.size
+
+    ops = sorted(scenario.mix)
+    weights = np.array([scenario.mix[o] for o in ops], dtype=np.float64)
+    op_idx = rng.choice(len(ops), size=n, p=weights / weights.sum())
+
+    # Hot pool: a seeded set of vertex pairs with Zipf rank probabilities.
+    pool = max(1, min(scenario.hot_keys, n_vertices))
+    hot_u = rng.integers(0, n_vertices, size=pool)
+    hot_v = rng.integers(0, n_vertices, size=pool)
+    if scenario.zipf_s > 0 and scenario.cold_fraction < 1:
+        ranks = rng.choice(pool, size=n, p=_zipf_probs(pool, scenario.zipf_s))
+        cold = rng.random(n) < scenario.cold_fraction
+    else:
+        ranks = np.zeros(n, dtype=np.int64)
+        cold = np.ones(n, dtype=bool)
+    cold_u = rng.integers(0, n_vertices, size=n)
+    cold_v = rng.integers(0, n_vertices, size=n)
+    us = np.where(cold, cold_u, hot_u[ranks])
+    vs = np.where(cold, cold_v, hot_v[ranks])
+    ws = np.round(rng.uniform(0.0, 1.0, size=n), 9)
+
+    events: List[RequestEvent] = []
+    for i in range(n):
+        op = ops[int(op_idx[i])]
+        u = v = w = None
+        if op in _PAIR_OPS:
+            u, v = int(us[i]), int(vs[i])
+            if op == "insert" and u == v:
+                # Self-loops are not insertable edges; nudge deterministically.
+                v = (u + 1) % n_vertices
+        elif op in _SINGLE_OPS:
+            u = int(us[i])
+        if op in _NEEDS_W:
+            w = float(ws[i])
+        events.append(RequestEvent(
+            seq=i, t_offset_s=round(float(times[i]), 9), op=op, u=u, v=v, w=w,
+        ))
+    return events

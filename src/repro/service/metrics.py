@@ -22,7 +22,7 @@ import numpy as np
 __all__ = ["ServiceMetrics"]
 
 _DEFAULT_RESERVOIR = 8192
-_PERCENTILES = (50.0, 90.0, 99.0)
+_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
 
 
 class ServiceMetrics:
@@ -45,6 +45,13 @@ class ServiceMetrics:
         self.cache_misses = 0
         self.artifact_hits = 0
         self.artifact_misses = 0
+        # Saturation view: expirations, load-shedding, and the queue-depth
+        # gauge the drain loop samples once per coalesced batch.
+        self.timeouts = 0
+        self.rejected = 0
+        self.queue_depth = 0
+        self.queue_depth_max = 0
+        self.queue_samples = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -73,6 +80,22 @@ class ServiceMetrics:
             self.artifact_hits += 1
         else:
             self.artifact_misses += 1
+
+    def record_timeout(self) -> None:
+        """Record one request whose per-request deadline expired."""
+        self.timeouts += 1
+
+    def record_rejected(self) -> None:
+        """Record one request shed because the bounded queue was full."""
+        self.rejected += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the pending-queue depth (called by the drain loop)."""
+        depth = int(depth)
+        self.queue_depth = depth
+        if depth > self.queue_depth_max:
+            self.queue_depth_max = depth
+        self.queue_samples += 1
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -129,7 +152,23 @@ class ServiceMetrics:
                 "hits": self.artifact_hits,
                 "misses": self.artifact_misses,
             },
+            "queue": {
+                "depth": self.queue_depth,
+                "max_depth": self.queue_depth_max,
+                "samples": self.queue_samples,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+            },
         }
+
+    def summary_line(self) -> str:
+        """One-line operational summary (the serve shutdown footer)."""
+        served = sum(self._query_counts.values())
+        return (
+            f"served={served} rejected={self.rejected} timeouts={self.timeouts} "
+            f"cache_rate={self.cache_hit_rate:.1%} "
+            f"queue_max={self.queue_depth_max}"
+        )
 
     def render(self) -> str:
         """Human-readable metrics report."""
@@ -150,5 +189,9 @@ class ServiceMetrics:
         )
         lines.append(
             f"  artifact store hits={self.artifact_hits} misses={self.artifact_misses}"
+        )
+        lines.append(
+            f"  queue          depth={self.queue_depth} max={self.queue_depth_max} "
+            f"rejected={self.rejected} timeouts={self.timeouts}"
         )
         return "\n".join(lines)

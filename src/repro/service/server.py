@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadError, ServiceTimeoutError
 from repro.obs.trace import span as _obs_span
 from repro.service.core import MSTService
 from repro.service.engine import QUERY_KINDS
@@ -100,16 +100,24 @@ class AsyncMSTService:
         """Requests currently queued (cache hits never queue)."""
         return self._queue.qsize()
 
-    # ------------------------------------------------------------------
-    # Query entry point
-    # ------------------------------------------------------------------
-    async def query(self, kind: str, u: int | None = None, v: int | None = None,
-                    w: float | None = None):
-        """Answer one query, transparently batched with concurrent callers.
+    def clear_cache(self) -> None:
+        """Drop every hot result (call after an out-of-band mutation).
 
-        ``kind`` is one of ``connected``, ``component``, ``component_size``,
-        ``bottleneck``, ``replacement``, ``weight``.  Awaiting may block on
-        queue backpressure when the service is saturated.
+        Mutations issued directly against the wrapped
+        :class:`~repro.service.core.MSTService` (``insert_edge`` /
+        ``delete_edge``) change the forest underneath the LRU cache;
+        without this call the cache would keep serving pre-mutation
+        answers.
+        """
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Query entry points
+    # ------------------------------------------------------------------
+    def _prepare(self, kind: str, u, v, w, timeout_s):
+        """Shared admission logic; returns ``(key, deadline, cached)``.
+
+        ``cached`` is the sentinel when the request must queue.
         """
         if kind not in QUERY_KINDS:
             raise ServiceError(
@@ -117,28 +125,107 @@ class AsyncMSTService:
             )
         if self._worker is None or self._worker.done():
             raise ServiceError("service not started; use 'async with' or await start()")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ServiceError("timeout_s must be positive")
         key = (kind, u, v, w)
         cached = self._cache.get(key, _STOP)
         if cached is not _STOP:
             self._cache.move_to_end(key)
             self.metrics.record_cache(True)
             self.metrics.record_query(f"serve:{kind}", 0.0)
-            return cached
+            return key, None, cached
         self.metrics.record_cache(False)
+        deadline = (
+            time.perf_counter() + timeout_s if timeout_s is not None else None
+        )
+        return key, deadline, _STOP
+
+    async def query(self, kind: str, u: int | None = None, v: int | None = None,
+                    w: float | None = None, *, timeout_s: float | None = None):
+        """Answer one query, transparently batched with concurrent callers.
+
+        ``kind`` is one of ``connected``, ``component``, ``component_size``,
+        ``bottleneck``, ``replacement``, ``weight``.  Awaiting may block on
+        queue backpressure when the service is saturated.
+
+        ``timeout_s`` sets a per-request deadline: if it expires before
+        the batch worker dequeues the request — or before its batch
+        completes — the await fails with
+        :class:`~repro.errors.ServiceTimeoutError` and the expiry counts
+        in the metrics' ``timeouts``.  The deadline clock starts at
+        submission, so time spent blocked on backpressure counts against
+        it.
+        """
+        key, deadline, cached = self._prepare(kind, u, v, w, timeout_s)
+        if cached is not _STOP:
+            return cached
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((key, future, time.perf_counter()))
+        await self._queue.put((key, future, time.perf_counter(), deadline))
         return await future
+
+    def query_nowait(self, kind: str, u: int | None = None, v: int | None = None,
+                     w: float | None = None, *,
+                     timeout_s: float | None = None) -> asyncio.Future:
+        """Open-loop submit: never blocks, sheds load when saturated.
+
+        Returns a future resolving to the answer (already resolved on a
+        cache hit).  A full queue raises
+        :class:`~repro.errors.ServiceOverloadError` immediately — counted
+        in the metrics' ``rejected`` — instead of awaiting backpressure,
+        which is what an open-loop load generator needs: offered load
+        must never be throttled by service latency.
+        """
+        key, deadline, cached = self._prepare(kind, u, v, w, timeout_s)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if cached is not _STOP:
+            future.set_result(cached)
+            return future
+        try:
+            self._queue.put_nowait((key, future, time.perf_counter(), deadline))
+        except asyncio.QueueFull:
+            self.metrics.record_rejected()
+            raise ServiceOverloadError(
+                f"queue full ({self._queue.maxsize} pending); request rejected"
+            ) from None
+        return future
 
     # ------------------------------------------------------------------
     # Batch worker
     # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(item: Tuple) -> Tuple:
+        """Pad a legacy 3-tuple request to the deadline-carrying 4-tuple."""
+        return item if len(item) == 4 else (*item, None)
+
+    def _expire_overdue(self, batch: List[Tuple]) -> List[Tuple]:
+        """Fail requests whose deadline passed while queued; keep the rest.
+
+        This is the dequeue-side deadline check: a request that waited out
+        its budget on the queue is answered with
+        :class:`~repro.errors.ServiceTimeoutError` *before* any engine
+        work is spent on it.
+        """
+        now = time.perf_counter()
+        live: List[Tuple] = []
+        for item in batch:
+            key, future, _t0, deadline = item
+            if deadline is not None and now > deadline:
+                self.metrics.record_timeout()
+                if not future.done():
+                    future.set_exception(ServiceTimeoutError(
+                        f"{key[0]} request expired after queueing"
+                    ))
+            else:
+                live.append(item)
+        return live
+
     async def _drain_forever(self) -> None:
         while True:
             first = await self._queue.get()
             if first is _STOP:
                 self._flush_remaining()
                 return
-            batch = [first]
+            batch = [self._normalize(first)]
             deadline = time.perf_counter() + self.max_delay_s
             stop_after = False
             while len(batch) < self.max_batch:
@@ -155,13 +242,16 @@ class AsyncMSTService:
                 if item is _STOP:
                     stop_after = True
                     break
-                batch.append(item)
+                batch.append(self._normalize(item))
+            self.metrics.record_queue_depth(self._queue.qsize())
+            batch = self._expire_overdue(batch)
             try:
-                self._execute(batch)
+                if batch:
+                    self._execute(batch)
             except Exception as exc:  # pragma: no cover - defensive backstop
                 # The worker must survive anything a batch throws at it:
                 # fail the batch's futures, keep draining for later peers.
-                for _, future, _ in batch:
+                for _, future, _, _ in batch:
                     if not future.done():
                         future.set_exception(exc)
             if stop_after:
@@ -184,13 +274,15 @@ class AsyncMSTService:
             except asyncio.QueueEmpty:
                 break
             if item is not _STOP:  # tolerate duplicate sentinels
-                leftovers.append(item)
+                leftovers.append(self._normalize(item))
         for i in range(0, len(leftovers), self.max_batch):
-            chunk = leftovers[i : i + self.max_batch]
+            chunk = self._expire_overdue(leftovers[i : i + self.max_batch])
+            if not chunk:
+                continue
             try:
                 self._execute(chunk)
             except Exception as exc:  # pragma: no cover - defensive backstop
-                for _, future, _ in chunk:
+                for _, future, _, _ in chunk:
                     if not future.done():
                         future.set_exception(exc)
 
@@ -204,7 +296,7 @@ class AsyncMSTService:
         try:
             engine = self.service.ensure_ready()
         except Exception as exc:  # any rebuild failure fails requests, not the worker
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
@@ -226,16 +318,33 @@ class AsyncMSTService:
                 self._execute_singly(engine, kind, items)
                 continue
             now = time.perf_counter()
-            for (key, future, t0), value in zip(items, np.asarray(results)):
+            for (key, future, t0, deadline), value in zip(items, np.asarray(results)):
                 out = value.item() if isinstance(value, np.generic) else value
                 self._remember(key, out)
-                self.metrics.record_query(f"serve:{key[0]}", now - t0)
-                if not future.done():
-                    future.set_result(out)
+                self._complete(key, future, t0, deadline, out, now)
+
+    def _complete(self, key, future, t0, deadline, out, now) -> None:
+        """Resolve one request, honouring its deadline at completion time.
+
+        The answer was computed either way (and cached — a later repeat
+        of the same key is served instantly), but a caller whose budget
+        ran out mid-batch gets the timeout it asked for, not a late
+        result it may no longer be waiting on.
+        """
+        if deadline is not None and now > deadline:
+            self.metrics.record_timeout()
+            if not future.done():
+                future.set_exception(ServiceTimeoutError(
+                    f"{key[0]} request completed after its deadline"
+                ))
+            return
+        self.metrics.record_query(f"serve:{key[0]}", now - t0)
+        if not future.done():
+            future.set_result(out)
 
     def _execute_singly(self, engine, kind: str, items: List[Tuple]) -> None:
         """Degraded path: run each request of a failed kind-group alone."""
-        for key, future, t0 in items:
+        for key, future, t0, deadline in items:
             _, u, v, w = key
             try:
                 value = np.asarray(
@@ -252,9 +361,7 @@ class AsyncMSTService:
                 continue
             out = value.item() if isinstance(value, np.generic) else value
             self._remember(key, out)
-            self.metrics.record_query(f"serve:{key[0]}", time.perf_counter() - t0)
-            if not future.done():
-                future.set_result(out)
+            self._complete(key, future, t0, deadline, out, time.perf_counter())
 
     def _remember(self, key: Tuple, value) -> None:
         self._cache[key] = value

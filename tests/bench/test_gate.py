@@ -103,3 +103,119 @@ def test_gate_reports_missing_configs(tmp_path, capsys):
     fresh_s["sharded"] = {}
     assert _run(COMMITTED_KERNELS, fresh_s, tmp_path) == 1
     assert "missing from fresh report" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Soak gate: hard booleans + tail-ratio checks on crafted reports
+# ----------------------------------------------------------------------
+COMMITTED_SOAK = {
+    "scenario": {"name": "soak", "seed": 0, "duration_s": 6.0,
+                 "rate_qps": 300.0},
+    "load": {"offered": 1800, "completed": 1790, "rejected": 5,
+             "timeouts": 5, "errors": 0, "failure_rate": 0.0056},
+    "slo": {
+        "connected": {"count": 600, "p50_us": 300.0, "p95_us": 2000.0,
+                      "p99_us": 6000.0, "tail_ratio": 20.0},
+        "weight": {"count": 10, "p50_us": 200.0, "p95_us": 400.0,
+                   "p99_us": 800.0, "tail_ratio": 4.0},
+    },
+    "error_budget": {"budget": 0.1, "failure_rate": 0.0056,
+                     "within_budget": True},
+    "faults": [{"family": "artifact-corruption", "injected": 2, "ok": True,
+                "detail": ""}],
+    "replay": {"stream_hash": "a" * 64, "deterministic": True},
+    "leaked_segments": [],
+    "ok": True,
+}
+
+
+def _run_soak_gate(fresh, tmp_path, threshold=0.25):
+    cp = tmp_path / "committed_soak.json"
+    fp = tmp_path / "fresh_soak.json"
+    cp.write_text(json.dumps(COMMITTED_SOAK))
+    fp.write_text(json.dumps(fresh))
+    return bench_gate.main([
+        "--threshold", str(threshold),
+        "--soak", str(cp), "--fresh-soak", str(fp),
+    ])
+
+
+def test_soak_gate_passes_on_identical_reports(tmp_path):
+    assert _run_soak_gate(COMMITTED_SOAK, tmp_path) == 0
+
+
+def test_soak_gate_gates_only_the_provided_suite(tmp_path):
+    """--fresh-soak alone must not demand kernels/shard measurements."""
+    assert _run_soak_gate(copy.deepcopy(COMMITTED_SOAK), tmp_path) == 0
+
+
+def test_soak_gate_fails_hard_on_nondeterministic_replay(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["replay"]["deterministic"] = False
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "not replay-deterministic" in capsys.readouterr().err
+
+
+def test_soak_gate_fails_hard_on_leaked_segments(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["leaked_segments"] = ["psm_deadbeef"]
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "leaked" in capsys.readouterr().err
+
+
+def test_soak_gate_fails_hard_on_broken_fault_contract(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["faults"][0].update(ok=False, detail="forest diverged")
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "broke its contract" in capsys.readouterr().err
+
+
+def test_soak_gate_fails_hard_on_blown_error_budget(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["error_budget"] = {"budget": 0.1, "failure_rate": 0.4,
+                             "within_budget": False}
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "error budget" in capsys.readouterr().err
+
+
+def test_soak_gate_fails_on_tail_ratio_regression(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["slo"]["connected"]["tail_ratio"] = 60.0  # ceiling is 20 * 2.0
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "tail regressed" in capsys.readouterr().err
+
+
+def test_soak_gate_tail_threshold_floored_at_double(tmp_path):
+    """Run-to-run tail variance on one machine is ~1.7x, so the tail bar
+    never tightens past 2x even when --threshold is 0.25."""
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["slo"]["connected"]["tail_ratio"] = 35.0  # 20 * 1.25 < 35 < 20 * 2
+    assert _run_soak_gate(fresh, tmp_path, threshold=0.25) == 0
+
+
+def test_soak_gate_noise_floor_forgives_microsecond_tails(tmp_path):
+    """A committed 4x tail growing to 11x stays under the 10x-floor ceiling."""
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["slo"]["weight"]["count"] = 600
+    fresh["slo"]["weight"]["tail_ratio"] = 11.0
+    committed = copy.deepcopy(COMMITTED_SOAK)
+    committed["slo"]["weight"]["count"] = 600
+    cp = tmp_path / "c.json"
+    fp = tmp_path / "f.json"
+    cp.write_text(json.dumps(committed))
+    fp.write_text(json.dumps(fresh))
+    assert bench_gate.main(["--soak", str(cp), "--fresh-soak", str(fp)]) == 0
+
+
+def test_soak_gate_skips_thin_kinds(tmp_path):
+    """Kinds with too few samples have meaningless percentiles: not gated."""
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    fresh["slo"]["weight"]["tail_ratio"] = 500.0  # count=10 < MIN_SLO_COUNT
+    assert _run_soak_gate(fresh, tmp_path) == 0
+
+
+def test_soak_gate_reports_missing_kind(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SOAK)
+    del fresh["slo"]["connected"]
+    assert _run_soak_gate(fresh, tmp_path) == 1
+    assert "missing from fresh report" in capsys.readouterr().err

@@ -1,0 +1,1 @@
+"""Tests for the sustained-traffic load subsystem (:mod:`repro.load`)."""

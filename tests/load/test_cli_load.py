@@ -1,0 +1,63 @@
+"""The ``repro load`` subcommands, driven end to end through main()."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+COMMON = ["--dataset", "usa-road", "--scale", "6", "--time-scale", "0.1"]
+
+
+def _stdout_hash(capsys) -> str:
+    for line in capsys.readouterr().out.splitlines():
+        if line.startswith("stream_hash="):
+            return line.split("=", 1)[1]
+    raise AssertionError("no stream_hash line in output")
+
+
+def test_load_run_reports_accounting_and_hash(capsys):
+    rc = main(["load", "run", "--scenario", "burst", "--duration", "0.5",
+               "--rate", "200", *COMMON])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "offered=" in out and "stream_hash=" in out
+
+
+def test_load_record_then_replay_preserves_the_hash(tmp_path, capsys):
+    log = tmp_path / "events.jsonl"
+    assert main(["load", "record", "--scenario", "hot-key", "--duration",
+                 "0.5", "--rate", "200", "--out", str(log), *COMMON]) == 0
+    recorded = _stdout_hash(capsys)
+    assert log.exists()
+
+    assert main(["load", "replay", "--events", str(log), *COMMON]) == 0
+    assert _stdout_hash(capsys) == recorded
+
+
+def test_load_run_json_output_is_machine_readable(capsys):
+    rc = main(["load", "run", "--scenario", "steady", "--duration", "0.4",
+               "--rate", "150", "--json", *COMMON])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["offered"] == payload["completed"] + payload["rejected"] \
+        + payload["timeouts"] + payload["errors"]
+    assert len(payload["stream_hash"]) == 64
+
+
+def test_load_soak_cli_writes_the_report(tmp_path, capsys):
+    report_path = tmp_path / "soak.json"
+    rc = main(["load", "soak", "--duration", "0.6", "--rate", "120",
+               "--n", "80", "--m", "320", "--time-scale", "0.5",
+               "--faults", "", "--out", str(report_path)])
+    assert rc == 0
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    assert report["faults"] == []
+    assert "soak" in capsys.readouterr().out
+
+
+def test_load_rejects_unknown_scenario(capsys):
+    rc = main(["load", "run", "--scenario", "tsunami", *COMMON])
+    assert rc == 2
+    assert "unknown scenario" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Scenario expansion: determinism, validation, arrival/mix/skew shape."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.load.scenarios import (
+    ARRIVALS,
+    SCENARIOS,
+    RequestEvent,
+    Scenario,
+    generate_events,
+    get_scenario,
+)
+
+N_VERTICES = 500
+
+
+def test_every_preset_validates_and_expands():
+    for name in SCENARIOS:
+        scenario = get_scenario(name)
+        events = generate_events(scenario, N_VERTICES)
+        assert events, name
+        assert all(isinstance(e, RequestEvent) for e in events)
+
+
+def test_same_seed_same_stream():
+    scenario = get_scenario("burst", seed=42)
+    assert generate_events(scenario, N_VERTICES) == \
+        generate_events(scenario, N_VERTICES)
+
+
+def test_different_seed_different_stream():
+    a = generate_events(get_scenario("steady", seed=1), N_VERTICES)
+    b = generate_events(get_scenario("steady", seed=2), N_VERTICES)
+    assert a != b
+
+
+def test_events_sorted_within_duration_and_sequenced():
+    scenario = get_scenario("ramp", duration_s=2.0, seed=5)
+    events = generate_events(scenario, N_VERTICES)
+    offsets = [e.t_offset_s for e in events]
+    assert offsets == sorted(offsets)
+    assert 0.0 <= offsets[0] and offsets[-1] <= scenario.duration_s
+    assert [e.seq for e in events] == list(range(len(events)))
+
+
+def test_operands_in_vertex_range():
+    events = generate_events(get_scenario("hot-key", seed=3), N_VERTICES)
+    for e in events:
+        if e.u is not None:
+            assert 0 <= e.u < N_VERTICES
+        if e.v is not None:
+            assert 0 <= e.v < N_VERTICES
+
+
+def test_mix_ratios_roughly_respected():
+    scenario = get_scenario("steady", duration_s=20.0, rate_qps=500, seed=7)
+    events = generate_events(scenario, N_VERTICES)
+    counts = Counter(e.op for e in events)
+    total = len(events)
+    for op, weight in scenario.mix.items():
+        assert counts[op] / total == pytest.approx(weight, abs=0.05), op
+
+
+def test_zipf_hot_keys_dominate():
+    scenario = get_scenario("hot-key", duration_s=10.0, rate_qps=500, seed=9)
+    events = generate_events(scenario, N_VERTICES)
+    pairs = Counter(
+        (e.u, e.v) for e in events if e.u is not None and e.v is not None
+    )
+    top = sum(c for _, c in pairs.most_common(scenario.hot_keys))
+    # With Zipf skew the hot pool must absorb well over a uniform share.
+    assert top / sum(pairs.values()) > 0.5
+
+
+def test_insert_events_never_self_loop():
+    scenario = get_scenario("mixed-mutation", duration_s=10.0, rate_qps=400,
+                            seed=11)
+    events = generate_events(scenario, N_VERTICES)
+    inserts = [e for e in events if e.op == "insert"]
+    assert inserts
+    assert all(e.u != e.v for e in inserts)
+    assert all(e.w is not None and e.w > 0 for e in inserts)
+
+
+def test_max_requests_caps_the_stream():
+    scenario = get_scenario("steady", duration_s=60.0, rate_qps=1000, seed=1,
+                            max_requests=100)
+    assert len(generate_events(scenario, N_VERTICES)) == 100
+
+
+def test_unknown_scenario_name_rejected():
+    with pytest.raises(ServiceError, match="unknown scenario"):
+        get_scenario("nope")
+
+
+@pytest.mark.parametrize("overrides", [
+    {"duration_s": 0.0},
+    {"rate_qps": -1.0},
+    {"arrival": "fractal"},
+    {"mix": {"connected": 0.5, "nonsense": 0.5}},
+    {"mix": {}},
+    {"zipf_s": -1.0},
+    {"hot_keys": 0},
+    {"timeout_s": -2.0},
+])
+def test_invalid_fields_rejected(overrides):
+    with pytest.raises(ServiceError):
+        get_scenario("steady", **overrides)
+
+
+def test_arrival_presets_cover_all_processes():
+    covered = {SCENARIOS[name].arrival for name in SCENARIOS}
+    assert covered == set(ARRIVALS)
+
+
+def test_to_dict_from_dict_roundtrip():
+    scenario = get_scenario("soak", seed=13)
+    clone = Scenario.from_dict(scenario.to_dict())
+    assert clone == scenario

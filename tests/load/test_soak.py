@@ -1,0 +1,77 @@
+"""Soak harness: report structure, fault contracts, leak/replay checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.load.soak import FAULT_FAMILIES, run_soak
+
+REPORT_KEYS = {
+    "benchmark", "scenario", "load", "slo", "throughput", "coalescing",
+    "cache", "queue", "error_budget", "faults", "replay", "leaked_segments",
+    "ok",
+}
+
+
+def test_soak_without_faults_is_clean_and_complete(tmp_path):
+    report = run_soak(
+        scenario="soak", duration_s=0.6, rate_qps=120, seed=1,
+        n_vertices=80, n_edges=320, faults=(), time_scale=0.5,
+        store_dir=tmp_path, events_out=tmp_path / "events.jsonl",
+    )
+    assert REPORT_KEYS <= set(report)
+    assert report["ok"] is True
+    assert report["faults"] == []
+    assert report["replay"]["deterministic"] is True
+    assert len(report["replay"]["stream_hash"]) == 64
+    assert report["leaked_segments"] == []
+    assert (tmp_path / "events.jsonl").exists()
+    load = report["load"]
+    assert load["offered"] == load["completed"] + load["rejected"] \
+        + load["timeouts"] + load["errors"]
+
+
+def test_soak_artifact_corruption_recovers_under_load(tmp_path):
+    report = run_soak(
+        scenario="soak", duration_s=1.0, rate_qps=150, seed=2,
+        n_vertices=100, n_edges=400, faults=("artifact-corruption",),
+        time_scale=0.5, store_dir=tmp_path,
+    )
+    (outcome,) = report["faults"]
+    assert outcome["family"] == "artifact-corruption"
+    assert outcome["injected"] >= 1
+    assert outcome["ok"], outcome["detail"]
+    assert report["ok"] is True
+
+
+def test_soak_worker_crash_retries_to_the_oracle():
+    report = run_soak(
+        scenario="soak", duration_s=1.0, rate_qps=100, seed=3,
+        n_vertices=120, n_edges=480, faults=("worker-crash",),
+    )
+    (outcome,) = report["faults"]
+    assert outcome["family"] == "worker-crash"
+    assert outcome["injected"] == 1
+    assert outcome["ok"], outcome["detail"]
+    assert report["leaked_segments"] == []
+
+
+def test_soak_rejects_unknown_fault_family():
+    with pytest.raises(ServiceError, match="unknown fault families"):
+        run_soak(faults=("gamma-rays",), duration_s=0.5)
+    assert set(FAULT_FAMILIES) == {
+        "artifact-corruption", "worker-crash", "worker-hang",
+    }
+
+
+def test_soak_slo_covers_served_kinds(tmp_path):
+    report = run_soak(
+        scenario="soak", duration_s=0.8, rate_qps=200, seed=5,
+        n_vertices=80, n_edges=320, faults=(), time_scale=0.5,
+        store_dir=tmp_path,
+    )
+    assert report["slo"], "no per-kind SLO rows were produced"
+    for kind, slo in report["slo"].items():
+        assert slo["count"] > 0, kind
+        assert slo["p50_us"] <= slo["p95_us"] <= slo["p99_us"]

@@ -13,9 +13,9 @@ class TestPercentiles:
         for i in range(1, 101):
             m.record_query("connected", i / 1000.0)
         pct = m.latency_percentiles("connected")
-        assert set(pct) == {"p50", "p90", "p99"}
+        assert set(pct) == {"p50", "p90", "p95", "p99"}
         assert pct["p50"] == pytest.approx(0.0505, abs=1e-4)
-        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+        assert pct["p50"] <= pct["p90"] <= pct["p95"] <= pct["p99"]
 
     def test_unknown_kind_returns_empty(self):
         assert ServiceMetrics().latency_percentiles("never-recorded") == {}
@@ -101,3 +101,32 @@ class TestAggregates:
         m.record_query("bottleneck", 0.002)
         text = m.render()
         assert "connected" in text and "bottleneck" in text
+
+
+class TestSaturationCounters:
+    def test_queue_depth_gauge_tracks_last_and_max(self):
+        m = ServiceMetrics()
+        for depth in (3, 7, 2):
+            m.record_queue_depth(depth)
+        assert m.queue_depth == 2 and m.queue_depth_max == 7
+        assert m.queue_samples == 3
+        q = m.summary()["queue"]
+        assert q == {"depth": 2, "max_depth": 7, "samples": 3,
+                     "rejected": 0, "timeouts": 0}
+
+    def test_timeout_and_rejected_counters_surface_everywhere(self):
+        m = ServiceMetrics()
+        m.record_timeout()
+        m.record_rejected()
+        m.record_rejected()
+        q = m.summary()["queue"]
+        assert q["timeouts"] == 1 and q["rejected"] == 2
+        assert "rejected=2" in m.render() and "timeouts=1" in m.render()
+        line = m.summary_line()
+        assert "rejected=2" in line and "timeouts=1" in line
+
+    def test_summary_line_is_one_line(self):
+        m = ServiceMetrics()
+        m.record_query("serve:connected", 0.001)
+        line = m.summary_line()
+        assert "\n" not in line and "served=1" in line

@@ -5,7 +5,7 @@ import asyncio
 import numpy as np
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, ServiceOverloadError, ServiceTimeoutError
 from repro.graphs.generators import gnm_random_graph
 from repro.mst.kruskal import kruskal
 from repro.service.artifacts import ArtifactStore
@@ -176,3 +176,142 @@ def test_stop_drains_requests_enqueued_behind_sentinel(tmp_path):
 
     out = _run(main())
     assert len(out) == 9 and all(isinstance(x, int) for x in out)
+
+
+# ----------------------------------------------------------------------
+# Open-loop submission, deadlines, and saturation accounting
+# ----------------------------------------------------------------------
+def test_query_nowait_sheds_load_when_the_queue_is_full(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, max_pending=2, max_delay_s=0.05,
+                                   cache_size=1) as srv:
+            futures, rejected = [], 0
+            for i in range(50):  # no yields: the worker can't drain between puts
+                try:
+                    futures.append(srv.query_nowait("component", i % 80))
+                except ServiceOverloadError:
+                    rejected += 1
+            answered = await asyncio.gather(*futures)
+            return rejected, answered
+
+    rejected, answered = _run(main())
+    assert rejected > 0 and len(answered) == 50 - rejected
+    assert all(isinstance(x, int) for x in answered)
+    assert svc.metrics.rejected == rejected
+    assert svc.metrics.summary()["queue"]["rejected"] == rejected
+
+
+def test_query_nowait_serves_cache_hits_without_queueing(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, max_pending=1) as srv:
+            await srv.query("connected", 0, 1)  # populate the cache
+            fut = srv.query_nowait("connected", 0, 1)
+            assert fut.done()  # resolved inline, never enqueued
+            return await fut
+
+    assert _run(main()) in (True, False)
+    assert svc.metrics.cache_hits == 1
+
+
+def test_duplicate_hot_keys_coalesce_to_consistent_answers(tmp_path):
+    svc, g = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, max_batch=128, max_delay_s=0.01) as srv:
+            futs = [srv.query_nowait("bottleneck", 3, 9) for _ in range(60)]
+            return await asyncio.gather(*futs)
+
+    out = _run(main())
+    expect = svc.ensure_ready().bottleneck_many([3], [9])[0]
+    assert all(x == expect for x in out)
+    # Every answer beyond the per-batch executions came from the cache.
+    s = svc.metrics.summary()["cache"]
+    assert s["hits"] + svc.metrics.summary()["queries"].get(
+        "serve:bottleneck", {}
+    ).get("count", 0) == 60
+
+
+def test_expired_deadline_times_out_at_dequeue(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, cache_size=1) as srv:
+            futs = [srv.query_nowait("component", i, timeout_s=1e-9)
+                    for i in range(5)]
+            return await asyncio.gather(*futs, return_exceptions=True)
+
+    out = _run(main())
+    assert all(isinstance(x, ServiceTimeoutError) for x in out)
+    assert svc.metrics.timeouts == 5
+    assert svc.metrics.summary()["queue"]["timeouts"] == 5
+    assert "timeouts=5" in svc.metrics.render()
+
+
+def test_generous_deadline_answers_normally(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            return await srv.query("connected", 0, 1, timeout_s=30.0)
+
+    assert _run(main()) in (True, False)
+    assert svc.metrics.timeouts == 0
+
+
+def test_nonpositive_timeout_rejected(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc) as srv:
+            with pytest.raises(ServiceError, match="timeout_s"):
+                await srv.query("connected", 0, 1, timeout_s=0.0)
+            with pytest.raises(ServiceError, match="timeout_s"):
+                srv.query_nowait("connected", 0, 1, timeout_s=-1.0)
+        return True
+
+    assert _run(main())
+
+
+def test_flush_remaining_never_drops_or_double_completes(tmp_path):
+    """stop() must answer every queued future exactly once — expired ones
+    with ServiceTimeoutError, live ones with a result."""
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        srv = AsyncMSTService(svc, max_batch=4, max_delay_s=0.05)
+        await srv.start()
+        live = [srv.query_nowait("component", i) for i in range(6)]
+        dead = [srv.query_nowait("component", 40 + i, timeout_s=1e-9)
+                for i in range(6)]
+        # No yield between puts and stop: everything flushes at shutdown.
+        await srv.stop()
+        return (
+            await asyncio.gather(*live),
+            await asyncio.gather(*dead, return_exceptions=True),
+        )
+
+    answered, timed_out = _run(main())
+    assert len(answered) == 6 and all(isinstance(x, int) for x in answered)
+    assert all(isinstance(x, ServiceTimeoutError) for x in timed_out)
+    assert svc.metrics.timeouts == 6
+
+
+def test_queue_depth_gauge_tracks_the_drain_loop(tmp_path):
+    svc, _ = _service(tmp_path)
+
+    async def main():
+        async with AsyncMSTService(svc, max_batch=8, max_delay_s=0.001,
+                                   cache_size=1) as srv:
+            futs = [srv.query_nowait("component", i % 80) for i in range(64)]
+            await asyncio.gather(*futs)
+
+    _run(main())
+    assert svc.metrics.queue_samples > 0
+    assert svc.metrics.queue_depth_max >= 0
+    q = svc.metrics.summary()["queue"]
+    assert q["samples"] == svc.metrics.queue_samples
+    assert q["max_depth"] == svc.metrics.queue_depth_max

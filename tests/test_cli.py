@@ -169,3 +169,42 @@ def test_serve_reports_bad_query_line_without_dying(tmp_path, capsys):
     lines = [json.loads(x) for x in capsys.readouterr().out.strip().splitlines()]
     assert "unknown query kind" in lines[0]["error"]
     assert isinstance(lines[1]["result"], float)
+
+
+def test_serve_sigint_stops_intake_and_drains(tmp_path, capsys, monkeypatch):
+    """A SIGINT mid-stream: issued requests drain, the rest get structured
+    interruption records, and the final metrics summary line prints."""
+    import repro.cli as cli
+
+    queries = tmp_path / "q.jsonl"
+    queries.write_text("".join('{"op": "weight"}\n' for _ in range(40)))
+
+    def fake_install(loop, handler):
+        loop.call_soon(handler)  # "SIGINT" arrives at the first await point
+        return lambda: None
+
+    monkeypatch.setattr(cli, "_install_sigint", fake_install)
+    rc = main(["serve", "--dataset", "usa-road", "--scale", "7",
+               "--store", str(tmp_path / "store"),
+               "--queries", str(queries)])
+    assert rc == 130
+    captured = capsys.readouterr()
+    lines = [json.loads(x) for x in captured.out.strip().splitlines()]
+    assert len(lines) == 40  # every request line is answered one way or the other
+    issued = [x for x in lines if "result" in x]
+    skipped = [x for x in lines
+               if x.get("error") == "interrupted before issue (SIGINT)"]
+    assert issued and skipped
+    assert len(issued) + len(skipped) == 40
+    assert "interrupted: intake stopped" in captured.err
+    assert "served=" in captured.err  # the summary line
+
+
+def test_serve_prints_summary_line_on_clean_exit(tmp_path, capsys):
+    queries = tmp_path / "q.jsonl"
+    queries.write_text('{"op": "weight"}\n')
+    assert main(["serve", "--dataset", "usa-road", "--scale", "7",
+                 "--store", str(tmp_path / "store"),
+                 "--queries", str(queries)]) == 0
+    err = capsys.readouterr().err
+    assert "served=1" in err and "rejected=0" in err

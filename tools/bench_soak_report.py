@@ -1,0 +1,99 @@
+"""Run one faults-under-load soak and write ``BENCH_soak.json``.
+
+Run:  PYTHONPATH=src python tools/bench_soak_report.py [output-path]
+      [--duration S] [--rate QPS] [--scenario NAME] [--n N] [--m M]
+      [--seed S] [--faults F1,F2] [--error-budget B] [--events-out PATH]
+
+The soak composes the :mod:`repro.load` subsystem end to end: a seeded
+open-loop scenario (mixed queries + mutations, Zipf hot keys) drives the
+async service while fault families from :mod:`repro.checking.faults` are
+injected mid-run — artifact corruption + engine invalidation, and a
+sharded solve whose worker is crashed and retried.  The report asserts:
+
+* every fault family degraded per its documented contract (inline
+  rebuild matches a fresh Kruskal solve; the sharded forest equals the
+  oracle with retries > 0);
+* zero shared-memory segments leaked;
+* the request stream is replay-deterministic (two expansions of the
+  scenario hash identically);
+* the failure rate stayed within the error budget.
+
+The committed ``BENCH_soak.json`` at the repo root is this script's
+output on the default arguments.  ``tools/bench_gate.py`` enforces the
+hard booleans above on every fresh run and compares the per-kind
+p99/p50 tail ratios (machine-independent) against the committed ones.
+
+The exit code is 0 iff the report's ``ok`` field is true, so CI can use
+this script directly as a smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro._version import __version__
+from repro.load import run_soak
+from repro.load.report import write_report
+from repro.load.soak import FAULT_FAMILIES
+
+
+def _fault_list(text: str) -> list[str]:
+    """Comma-separated fault families; empty string disables injection."""
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("output", nargs="?", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_soak.json")
+    parser.add_argument("--duration", type=float, default=6.0,
+                        help="scenario duration in seconds")
+    parser.add_argument("--rate", type=float, default=300.0,
+                        help="offered load in requests per second")
+    parser.add_argument("--scenario", default="soak",
+                        help="scenario preset (see repro.load.scenarios)")
+    parser.add_argument("--n", type=int, default=400, help="graph vertices")
+    parser.add_argument("--m", type=int, default=1600, help="graph edges")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--faults", type=_fault_list,
+                        default=["artifact-corruption", "worker-crash"],
+                        help=f"comma-separated families from: "
+                             f"{', '.join(FAULT_FAMILIES)} ('' disables)")
+    parser.add_argument("--error-budget", type=float, default=0.1,
+                        help="max tolerated failure fraction of offered load")
+    parser.add_argument("--events-out", type=Path, default=None,
+                        help="also write the JSONL event log here")
+    args = parser.parse_args(argv)
+
+    report = run_soak(
+        scenario=args.scenario, duration_s=args.duration, rate_qps=args.rate,
+        faults=tuple(args.faults), seed=args.seed, n_vertices=args.n,
+        n_edges=args.m, error_budget=args.error_budget,
+        events_out=args.events_out,
+    )
+    report["repro_version"] = __version__
+    write_report(report, args.output)
+
+    load = report["load"]
+    print(f"offered {load['offered']} @ {load['offered_qps']} q/s   "
+          f"completed {load['completed']}   rejected {load['rejected']}   "
+          f"timeouts {load['timeouts']}   errors {load['errors']}")
+    for kind, slo in sorted(report["slo"].items()):
+        print(f"  {kind:<15} n={slo['count']:<6} p50={slo['p50_us']:>9.1f}us "
+              f"p95={slo['p95_us']:>9.1f}us p99={slo['p99_us']:>9.1f}us "
+              f"tail={slo['tail_ratio']:.1f}x")
+    for fault in report["faults"]:
+        verdict = "ok" if fault["ok"] else f"FAILED ({fault['detail']})"
+        print(f"fault {fault['family']}: injected={fault['injected']} {verdict}")
+    print(f"replay deterministic={report['replay']['deterministic']}   "
+          f"leaked={len(report['leaked_segments'])}   ok={report['ok']}")
+    print(f"\n[written: {args.output}]")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
