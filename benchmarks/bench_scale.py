@@ -1,0 +1,124 @@
+"""Benchmarks of the out-of-core pipeline's building blocks.
+
+Three groups:
+
+* ``scale-parse`` — the streaming DIMACS/TSV readers over a generated
+  road-style file, in-RAM vs spilling accumulators, and the effect of
+  chunk size;
+* ``scale-csr-build`` — the chunked counting-sort CSR build vs a
+  one-shot build on the same edge list, plus the memmap-backed variant;
+* ``scale-accumulator`` — raw :class:`~repro.graphs.spill.ArrayAccumulator`
+  append throughput in RAM and past the spill threshold.
+
+``tools/bench_scale_report.py`` measures the full pipeline (parse +
+build + solve) in a fresh child process with real peak-RSS accounting
+and writes ``BENCH_scale.json``; these microbenchmarks isolate where the
+time goes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import road_network
+from repro.graphs.io import read_dimacs, read_edge_tsv, write_dimacs, write_edge_tsv
+from repro.graphs.spill import ArrayAccumulator
+
+
+@pytest.fixture(scope="module")
+def gr_file(tmp_path_factory):
+    """A road-style DIMACS file, ~175k edges: big enough that the
+    vectorized chunk path dominates, small enough for CI."""
+    g = road_network(300, seed=3)
+    path = tmp_path_factory.mktemp("scale") / "road.gr"
+    write_dimacs(g, path)
+    return path, g
+
+
+@pytest.fixture(scope="module")
+def tsv_file(tmp_path_factory):
+    g = road_network(300, seed=3)
+    path = tmp_path_factory.mktemp("scale") / "road.tsv"
+    write_edge_tsv(g, path)
+    return path, g
+
+
+@pytest.fixture(scope="module")
+def edgelist(gr_file):
+    _, g = gr_file
+    return g.to_edgelist()
+
+
+# ----------------------------------------------------------------------
+# Streaming parse
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spill", [False, True], ids=["ram", "spill"])
+def test_parse_dimacs(benchmark, gr_file, tmp_path, spill):
+    benchmark.group = "scale-parse"
+    path, g = gr_file
+    out = benchmark(
+        lambda: read_dimacs(path, spill=spill, spill_dir=tmp_path if spill else None)
+    )
+    assert out.n_edges == g.n_edges
+
+
+@pytest.mark.parametrize("chunk_kib", [64, 4096], ids=["64KiB", "4MiB"])
+def test_parse_dimacs_chunk_size(benchmark, gr_file, chunk_kib):
+    benchmark.group = "scale-parse"
+    path, g = gr_file
+    out = benchmark(lambda: read_dimacs(path, chunk_bytes=chunk_kib << 10))
+    assert out.n_edges == g.n_edges
+
+
+def test_parse_tsv(benchmark, tsv_file):
+    benchmark.group = "scale-parse"
+    path, g = tsv_file
+    out = benchmark(lambda: read_edge_tsv(path))
+    assert out.n_edges == g.n_edges
+
+
+# ----------------------------------------------------------------------
+# Chunked CSR build
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_edges", [None, 1 << 15], ids=["one-shot", "chunked"])
+def test_csr_build(benchmark, edgelist, chunk_edges):
+    benchmark.group = "scale-csr-build"
+    kwargs = {} if chunk_edges is None else {"chunk_edges": chunk_edges}
+    g = benchmark(lambda: CSRGraph.from_edgelist(edgelist, **kwargs))
+    assert g.n_edges == edgelist.n_edges
+
+
+def test_csr_build_memmap(benchmark, edgelist, tmp_path):
+    benchmark.group = "scale-csr-build"
+    g = benchmark(
+        lambda: CSRGraph.from_edgelist(
+            edgelist, chunk_edges=1 << 15, memmap_dir=tmp_path
+        )
+    )
+    assert g.n_edges == edgelist.n_edges
+
+
+# ----------------------------------------------------------------------
+# Accumulator append throughput
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spill", [False, True], ids=["ram", "spill"])
+def test_accumulator_extend(benchmark, tmp_path, spill):
+    benchmark.group = "scale-accumulator"
+    block = np.arange(1 << 16, dtype=np.int64)
+
+    def fill():
+        if spill:
+            acc = ArrayAccumulator(
+                np.int64, spill=True, spill_dir=tmp_path,
+                spill_threshold_bytes=1 << 20,
+            )
+        else:
+            acc = ArrayAccumulator(np.int64)
+        for _ in range(64):  # 32 MiB total, crosses the 1 MiB threshold
+            acc.extend(block)
+        return acc.result()
+
+    out = benchmark(fill)
+    assert out.size == 64 * block.size

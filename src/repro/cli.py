@@ -120,6 +120,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="--shards execution mode: 'process' forces worker "
                            "processes, 'serial' keeps everything in process, "
                            "'auto' decides by graph size")
+    mstp.add_argument("--spill-dir", type=Path, default=None, metavar="DIR",
+                      help="spill parser buffers and CSR arrays to memmap "
+                           "files under DIR instead of RAM (paper-scale "
+                           "inputs); with --shards, also spools arenas there")
+    mstp.add_argument("--arena-backing", choices=("auto", "shm", "file"),
+                      default="auto",
+                      help="--shards arena placement: POSIX shared memory, "
+                           "a file-backed spool, or 'auto' (default: file "
+                           "when /dev/shm is too small for the edge arrays)")
+    mstp.add_argument("--max-concurrent", type=int, default=None, metavar="K",
+                      help="with --shards, keep at most K shard workers "
+                           "live at once (streams the rest; bounds peak "
+                           "resident memory)")
     mstp.add_argument("--verify", action="store_true",
                       help="verify the output against the Kruskal oracle")
     mstp.add_argument("--save", type=Path, default=None, metavar="PATH",
@@ -478,7 +491,7 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     from repro.runtime.simulated import SimulatedBackend
 
     if args.input is not None:
-        g = _load_graph(args.input)
+        g = _load_graph(args.input, spill_dir=args.spill_dir)
         source = str(args.input)
     else:
         g = build_dataset(args.dataset, args.scale, args.seed)
@@ -498,6 +511,9 @@ def _cmd_mst(args: argparse.Namespace) -> int:
             result = sharded_mst(
                 g, n_shards=args.shards, partition=args.partition,
                 algorithm=args.algo, mode=args.mode, executor=args.executor,
+                max_concurrent=args.max_concurrent,
+                arena_backing=args.arena_backing,
+                spool_dir=(str(args.spill_dir) if args.spill_dir else None),
             )
         except BenchmarkError as exc:
             print(str(exc), file=sys.stderr)
@@ -547,17 +563,22 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_graph(path: Path):
+def _load_graph(path: Path, spill_dir: Path | None = None):
     from repro.graphs.io import read_dimacs, read_edge_tsv, read_matrix_market
     from repro.graphs.io.binary import load_npz
 
     suffix = path.suffix.lower()
+    spill = {}
+    if spill_dir is not None:
+        spill_dir.mkdir(parents=True, exist_ok=True)
+        spill = {"spill": True, "spill_dir": str(spill_dir),
+                 "memmap_dir": str(spill_dir)}
     if suffix == ".gr":
-        return read_dimacs(path)
+        return read_dimacs(path, **spill)
     if suffix == ".mtx":
         return read_matrix_market(path)
     if suffix in (".tsv", ".txt"):
-        return read_edge_tsv(path)
+        return read_edge_tsv(path, **spill)
     if suffix == ".npz":
         return load_npz(path)
     raise SystemExit(f"unsupported graph format {suffix!r} (use .gr/.mtx/.tsv/.npz)")
@@ -1132,9 +1153,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_info() -> int:
     from repro.bench.datasets import DATASETS
+    from repro.kernels import jit_status
     from repro.mst.registry import list_algorithm_info
 
     print(f"repro {__version__}")
+    jit = jit_status()
+    print(f"jit:       numba {'available' if jit['numba_available'] else 'absent'}, "
+          f"{'enabled' if jit['enabled'] else 'disabled'}"
+          f" (REPRO_JIT={jit['env'] or 'auto'})")
     print("\nalgorithms:")
     for info in list_algorithm_info():
         modes = f" [modes: {', '.join(info.modes)}]" if info.has_vectorized else ""

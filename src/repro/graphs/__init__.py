@@ -10,7 +10,12 @@ All MST algorithms in :mod:`repro.mst` consume :class:`CSRGraph`.
 
 from repro.graphs.edgelist import EdgeList
 from repro.graphs.csr import CSRGraph
-from repro.graphs.builder import GraphBuilder, from_edges, complete_graph_edges
+from repro.graphs.builder import (
+    GraphBuilder,
+    from_edges,
+    complete_graph_edges,
+    pair_rank_weights,
+)
 from repro.graphs.weights import ensure_unique_weights, weight_order_ranks
 from repro.graphs.subgraph import Subgraph, induced_subgraph, edge_subgraph, largest_component
 
@@ -20,6 +25,7 @@ __all__ = [
     "GraphBuilder",
     "from_edges",
     "complete_graph_edges",
+    "pair_rank_weights",
     "ensure_unique_weights",
     "weight_order_ranks",
     "Subgraph",

@@ -17,7 +17,7 @@ from repro.errors import GraphError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.edgelist import EdgeList
 
-__all__ = ["GraphBuilder", "from_edges", "complete_graph_edges"]
+__all__ = ["GraphBuilder", "from_edges", "complete_graph_edges", "pair_rank_weights"]
 
 
 class GraphBuilder:
@@ -94,17 +94,34 @@ def from_edges(
     return b.to_csr()
 
 
+def pair_rank_weights(iu: np.ndarray, iv: np.ndarray, n: int) -> np.ndarray:
+    """Exact ``int64`` pair ranks ``u * n + v`` — unique per ``(u, v)``.
+
+    The obvious ``iu.astype(float64) * n + iv`` collides once ranks pass
+    2**53: float64 cannot represent every integer beyond that, so
+    distinct pairs silently merge and the unique-weight invariant the
+    MST algorithms rely on breaks.  Computing in ``int64`` is exact for
+    every materialisable graph (ranks fit ``int64`` whenever
+    ``n**2 < 2**63``); :class:`~repro.graphs.edgelist.EdgeList`
+    preserves integer weights as ``int64`` end to end.
+    """
+    iu = np.asarray(iu, dtype=np.int64)
+    iv = np.asarray(iv, dtype=np.int64)
+    return iu * np.int64(n) + iv
+
+
 def complete_graph_edges(n: int, weight_fn=None) -> EdgeList:
     """Edge list of the complete graph K_n.
 
-    ``weight_fn(u, v)`` supplies weights; defaults to ``u * n + v`` which is
-    unique per edge.
+    ``weight_fn(u, v)`` supplies weights; defaults to the exact int64
+    pair rank ``u * n + v``, which is unique per edge (see
+    :func:`pair_rank_weights`).
     """
     if n < 0:
         raise GraphError("n must be >= 0")
     iu, iv = np.triu_indices(n, k=1)
     if weight_fn is None:
-        w = iu.astype(np.float64) * n + iv
+        w = pair_rank_weights(iu, iv, n)
     else:
         w = np.asarray([weight_fn(int(a), int(b)) for a, b in zip(iu, iv)], np.float64)
     return EdgeList.from_arrays(n, iu.astype(np.int64), iv.astype(np.int64), w)

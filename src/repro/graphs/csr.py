@@ -26,15 +26,28 @@ while reported tree weights use the original ``weights``.
 from __future__ import annotations
 
 from functools import cached_property
-from typing import Iterator, Tuple
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import GraphError
 from repro.graphs.edgelist import EdgeList
+from repro.graphs.spill import anonymous_memmap
 from repro.graphs.weights import weight_order_ranks
 
 __all__ = ["CSRGraph"]
+
+# Above this edge count the one-shot build's ~11 half-edge-sized
+# temporaries (double-concat + lexsort + permutes) start to dominate
+# peak RSS, and from_edgelist switches to the chunked counting-sort
+# build automatically.  4M edges keeps every test-scale graph on the
+# exhaustively-tested direct path.
+_DIRECT_BUILD_MAX_EDGES = 1 << 22
+
+# Edges per chunk of the chunked build: 2M edges = 4M half-edges, about
+# 32 MB per int64 temporary.
+_DEFAULT_CHUNK_EDGES = 1 << 21
 
 
 class CSRGraph:
@@ -95,8 +108,35 @@ class CSRGraph:
     # Construction
     # ------------------------------------------------------------------
     @staticmethod
-    def from_edgelist(edges: EdgeList) -> "CSRGraph":
-        """Build the CSR view of an :class:`EdgeList`."""
+    def from_edgelist(
+        edges: EdgeList,
+        *,
+        chunk_edges: Optional[int] = None,
+        memmap_dir: Optional[Union[str, Path]] = None,
+    ) -> "CSRGraph":
+        """Build the CSR view of an :class:`EdgeList`.
+
+        Small graphs take the one-shot path (global lexsort over the
+        doubled half-edge arrays).  Past :data:`_DIRECT_BUILD_MAX_EDGES`
+        — or whenever ``chunk_edges`` / ``memmap_dir`` is given — the
+        build switches to a chunked counting sort whose transient
+        allocations are bounded by the chunk size instead of the graph,
+        optionally writing ``indices`` / ``weights`` / ``edge_ids`` into
+        anonymous disk-backed memmaps.  Both paths produce byte-identical
+        arrays (covered by tests over the adversarial checking families).
+        """
+        if (
+            chunk_edges is None
+            and memmap_dir is None
+            and edges.n_edges <= _DIRECT_BUILD_MAX_EDGES
+        ):
+            return CSRGraph._from_edgelist_direct(edges)
+        return CSRGraph._from_edgelist_chunked(
+            edges, chunk_edges or _DEFAULT_CHUNK_EDGES, memmap_dir
+        )
+
+    @staticmethod
+    def _from_edgelist_direct(edges: EdgeList) -> "CSRGraph":
         n = edges.n_vertices
         m = edges.n_edges
         # Two half-edges per undirected edge.
@@ -116,6 +156,91 @@ class CSRGraph:
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
         return CSRGraph(n, indptr, dst, w, eid, edges.u, edges.v, edges.w)
+
+    @staticmethod
+    def _from_edgelist_chunked(
+        edges: EdgeList,
+        chunk_edges: int,
+        memmap_dir: Optional[Union[str, Path]],
+    ) -> "CSRGraph":
+        """Bounded-peak-memory CSR build: two passes of counting sort.
+
+        Pass 1 accumulates degrees chunk by chunk.  Pass 2 places each
+        chunk's half-edges at per-vertex write cursors after a stable
+        in-chunk sort by source, so every vertex block fills in chunk
+        order.  A final chunked pass stably sorts each vertex block by
+        neighbor, which reproduces the one-shot ``lexsort((dst, src))``
+        order exactly: within one vertex block, equal-neighbor runs are
+        parallel edges whose half-edges all come from the *same* side of
+        the doubled array (canonical ``u < v`` makes cross-side ties
+        impossible), and both placement and the stable sorts keep those
+        runs in ascending-edge-id order — the one-shot order.
+        """
+        n = edges.n_vertices
+        m = edges.n_edges
+        h = 2 * m
+        step = max(int(chunk_edges), 1)
+
+        def alloc(size: int, dtype) -> np.ndarray:
+            if memmap_dir is not None and size:
+                return anonymous_memmap(size, dtype, memmap_dir)
+            return np.empty(size, dtype)
+
+        # Pass 1: degrees -> indptr.
+        counts = np.zeros(n, dtype=np.int64)
+        for s in range(0, m, step):
+            e = min(s + step, m)
+            counts += np.bincount(edges.u[s:e], minlength=n)
+            counts += np.bincount(edges.v[s:e], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        del counts
+
+        indices = alloc(h, np.int64)
+        weights = alloc(h, edges.w.dtype)
+        eids = alloc(h, np.int64)
+
+        # Pass 2: cursor placement, chunk by chunk.
+        cursor = indptr[:-1].copy()
+        for s in range(0, m, step):
+            e = min(s + step, m)
+            ce = np.arange(s, e, dtype=np.int64)
+            hs = np.concatenate([edges.u[s:e], edges.v[s:e]])
+            hd = np.concatenate([edges.v[s:e], edges.u[s:e]])
+            hw = np.concatenate([edges.w[s:e], edges.w[s:e]])
+            he = np.concatenate([ce, ce])
+            order = np.argsort(hs, kind="stable")
+            hs, hd, hw, he = hs[order], hd[order], hw[order], he[order]
+            run_start = np.flatnonzero(np.r_[True, hs[1:] != hs[:-1]])
+            run_len = np.diff(np.r_[run_start, hs.size])
+            offset = np.arange(hs.size, dtype=np.int64) - np.repeat(run_start, run_len)
+            pos = cursor[hs] + offset
+            indices[pos] = hd
+            weights[pos] = hw
+            eids[pos] = he
+            cursor[hs[run_start]] += run_len
+        del cursor
+
+        # Pass 3: stable neighbor sort per vertex block, over vertex
+        # ranges sized to ~one chunk of half-edges (a single vertex whose
+        # degree exceeds the chunk is taken whole — correctness first).
+        target = 2 * step
+        v0 = 0
+        while v0 < n:
+            v1 = int(np.searchsorted(indptr, indptr[v0] + target, side="right")) - 1
+            v1 = min(max(v1, v0 + 1), n)
+            s, e = int(indptr[v0]), int(indptr[v1])
+            if e > s:
+                seg = np.repeat(
+                    np.arange(v0, v1, dtype=np.int64), np.diff(indptr[v0 : v1 + 1])
+                )
+                d, w_, i_ = indices[s:e], weights[s:e], eids[s:e]
+                order = np.lexsort((d, seg))
+                indices[s:e] = d[order]
+                weights[s:e] = w_[order]
+                eids[s:e] = i_[order]
+            v0 = v1
+        return CSRGraph(n, indptr, indices, weights, eids, edges.u, edges.v, edges.w)
 
     # ------------------------------------------------------------------
     # Accessors

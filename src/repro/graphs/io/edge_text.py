@@ -2,65 +2,149 @@
 
 The least-common-denominator format: one edge per line, ``#`` comments,
 0-based vertex ids.  Vertex count is the max id + 1 unless given.
+
+Like the DIMACS reader, parsing is streamed: chunks free of comments and
+irregularities go through NumPy's tokenizer in one call; anything else
+falls back to a per-line parse with exact line numbers.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TextIO
+from typing import Optional, TextIO, Union
 
 import numpy as np
 
 from repro.errors import GraphIOError
 from repro.graphs.csr import CSRGraph
 from repro.graphs.edgelist import EdgeList
+from repro.graphs.io.streaming import (
+    DEFAULT_CHUNK_BYTES,
+    iter_line_chunks,
+    open_byte_reader,
+    parse_number_table,
+    regular_suffix_start,
+)
+from repro.graphs.spill import ArrayAccumulator
 
 __all__ = ["read_edge_tsv", "write_edge_tsv"]
 
 
-def read_edge_tsv(
-    source: str | Path | TextIO, *, n_vertices: int | None = None
-) -> CSRGraph:
-    """Parse a TSV edge list into a graph."""
-    close = False
-    if isinstance(source, (str, Path)):
-        fh: TextIO = open(source, "r", encoding="utf-8")
-        close = True
-    else:
-        fh = source
+def _try_table_chunk(chunk: bytes, us, vs, ws) -> Optional[int]:
+    """Vectorized parse of a comment-free chunk of uniform edge lines.
+
+    Returns the number of lines consumed, or ``None`` (nothing consumed)
+    when the chunk needs the per-line path — comments, ragged rows,
+    non-numeric tokens, fractional or negative ids.
+    """
+    if b"#" in chunk:
+        return None
     try:
-        us, vs, ws = [], [], []
-        for lineno, raw in enumerate(fh, 1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
+        table = parse_number_table(chunk.replace(b"\r", b""))
+    except ValueError:
+        return None
+    if table.size and table.shape[1] not in (2, 3):
+        return None
+    if table.size:
+        uf, vf = table[:, 0], table[:, 1]
+        u = uf.astype(np.int64)
+        v = vf.astype(np.int64)
+        if not (np.array_equal(u, uf) and np.array_equal(v, vf)):
+            return None
+        if (u < 0).any() or (v < 0).any():
+            return None
+        us.extend(u)
+        vs.extend(v)
+        if table.shape[1] == 3:
+            ws.extend(table[:, 2])
+        else:
+            ws.extend(np.ones(table.shape[0], dtype=np.float64))
+    n_breaks = chunk.count(b"\n")
+    return n_breaks if chunk.endswith(b"\n") else n_breaks + 1
+
+
+def read_edge_tsv(
+    source: str | Path | TextIO,
+    *,
+    n_vertices: int | None = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    spill: bool = False,
+    spill_dir: Optional[Union[str, Path]] = None,
+    memmap_dir: Optional[Union[str, Path]] = None,
+) -> CSRGraph:
+    """Parse a TSV edge list into a graph.
+
+    ``spill`` / ``spill_dir`` / ``memmap_dir`` bound resident memory for
+    inputs larger than RAM — see :func:`repro.graphs.io.read_dimacs`.
+    """
+    read, close = open_byte_reader(source)
+    try:
+        us = ArrayAccumulator(np.int64, spill=spill, spill_dir=spill_dir)
+        vs = ArrayAccumulator(np.int64, spill=spill, spill_dir=spill_dir)
+        ws = ArrayAccumulator(np.float64, spill=spill, spill_dir=spill_dir)
+        lineno = 0
+
+        def parse_slow(part: bytes) -> None:
+            nonlocal lineno
+            lines = part.split(b"\n")
+            if lines and lines[-1] == b"":
+                lines.pop()
+            for raw in lines:
+                lineno += 1
+                line = raw.strip()
+                if not line or line.startswith(b"#"):
+                    continue
+                parts = line.split(b"\t") if b"\t" in line else line.split()
+                if len(parts) not in (2, 3):
+                    raise GraphIOError(f"line {lineno}: expected 2 or 3 fields")
+                try:
+                    u, v = int(parts[0]), int(parts[1])
+                    w = float(parts[2]) if len(parts) == 3 else 1.0
+                except ValueError as exc:
+                    raise GraphIOError(
+                        f"line {lineno}: bad field in "
+                        f"{line.decode('utf-8', 'replace')!r}"
+                    ) from exc
+                if u < 0 or v < 0:
+                    raise GraphIOError(f"line {lineno}: negative vertex id")
+                us.extend((u,))
+                vs.extend((v,))
+                ws.extend((w,))
+
+        for chunk in iter_line_chunks(read, chunk_bytes):
+            consumed = _try_table_chunk(chunk, us, vs, ws)
+            if consumed is not None:
+                lineno += consumed
                 continue
-            parts = line.split("\t") if "\t" in line else line.split()
-            if len(parts) not in (2, 3):
-                raise GraphIOError(f"line {lineno}: expected 2 or 3 fields")
-            try:
-                u, v = int(parts[0]), int(parts[1])
-                w = float(parts[2]) if len(parts) == 3 else 1.0
-            except ValueError as exc:
-                raise GraphIOError(f"line {lineno}: bad field in {line!r}") from exc
-            if u < 0 or v < 0:
-                raise GraphIOError(f"line {lineno}: negative vertex id")
-            us.append(u)
-            vs.append(v)
-            ws.append(w)
-        top = (max(max(us), max(vs)) + 1) if us else 0
+            # Mixed chunk — typically a comment header: per-line parse
+            # the irregular prefix first (edge order must match a pure
+            # per-line parse), then retry the vectorized path on the
+            # trailing run of data lines (ids start with a digit).
+            cut = regular_suffix_start(chunk, b"0123456789")
+            if 0 < cut < len(chunk):
+                parse_slow(chunk[:cut])
+                consumed = _try_table_chunk(chunk[cut:], us, vs, ws)
+                if consumed is not None:
+                    lineno += consumed
+                else:
+                    parse_slow(chunk[cut:])
+            else:
+                parse_slow(chunk)
+        u_arr, v_arr, w_arr = us.result(), vs.result(), ws.result()
+        top = 0
+        if len(u_arr):
+            top = int(max(u_arr.max(), v_arr.max())) + 1
         n = n_vertices if n_vertices is not None else top
         if n < top:
             raise GraphIOError(f"n_vertices={n} smaller than max id {top - 1}")
-        edges = EdgeList.from_arrays(
-            n,
-            np.asarray(us, dtype=np.int64),
-            np.asarray(vs, dtype=np.int64),
-            np.asarray(ws, dtype=np.float64),
-        )
-        return CSRGraph.from_edgelist(edges)
+        edges = EdgeList.from_arrays(n, u_arr, v_arr, w_arr)
+        return CSRGraph.from_edgelist(edges, memmap_dir=memmap_dir)
     finally:
-        if close:
-            fh.close()
+        close()
+
+
+# Edges per formatting batch in the writer: ~1 MiB of text per flush.
+_WRITE_BATCH = 65_536
 
 
 def write_edge_tsv(g: CSRGraph, target: str | Path | TextIO) -> None:
@@ -73,8 +157,18 @@ def write_edge_tsv(g: CSRGraph, target: str | Path | TextIO) -> None:
         fh = target
     try:
         fh.write(f"# n_vertices={g.n_vertices} n_edges={g.n_edges}\n")
-        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w):
-            fh.write(f"{u}\t{v}\t{float(w)!r}\n")
+        for start in range(0, g.n_edges, _WRITE_BATCH):
+            stop = min(start + _WRITE_BATCH, g.n_edges)
+            fh.write(
+                "".join(
+                    f"{u}\t{v}\t{float(w)!r}\n"
+                    for u, v, w in zip(
+                        g.edge_u[start:stop],
+                        g.edge_v[start:stop],
+                        g.edge_w[start:stop],
+                    )
+                )
+            )
     finally:
         if close:
             fh.close()

@@ -42,6 +42,7 @@ mode executed.  See ``docs/kernels.md`` for the exact charging rules.
 
 from repro.kernels.contract import contract_edges
 from repro.kernels.frontier import frontier_edges, frontier_relax
+from repro.kernels.jit import HAS_NUMBA, jit_enabled, jit_status
 from repro.kernels.jump import pointer_jump
 from repro.kernels.relax import relax_neighbors
 from repro.kernels.segments import (
@@ -59,4 +60,7 @@ __all__ = [
     "relax_neighbors",
     "frontier_edges",
     "frontier_relax",
+    "HAS_NUMBA",
+    "jit_enabled",
+    "jit_status",
 ]

@@ -101,8 +101,12 @@ def load_crossovers(path: Path | None = None) -> Dict[str, Crossover]:
 
     Unknown algorithms and malformed entries in the file are ignored —
     a stale or hand-edited calibration can narrow behaviour but never
-    break a solve.
+    break a solve.  A calibration stamped with a different jit state
+    (``_jit``) is ignored wholesale: crossovers measured against numba
+    kernels say nothing about the NumPy ones and vice versa.
     """
+    from repro.kernels.jit import jit_enabled
+
     global _cached, _cached_path
     p = path or autotune_path()
     key = str(p)
@@ -112,6 +116,8 @@ def load_crossovers(path: Path | None = None) -> Dict[str, Crossover]:
     try:
         payload = json.loads(p.read_text())
     except (OSError, ValueError):
+        payload = {}
+    if isinstance(payload, dict) and bool(payload.get("_jit", False)) != jit_enabled():
         payload = {}
     for name, rec in payload.items() if isinstance(payload, dict) else ():
         if name.startswith("_") or name not in table:
@@ -215,6 +221,8 @@ def calibrate(
                     break
             table[name] = Crossover(min_edges=min_edges, min_avg_degree=0.0)
     if persist:
+        from repro.kernels.jit import jit_enabled
+
         p = path or autotune_path()
         p.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -224,6 +232,9 @@ def calibrate(
             }
             for name, cross in table.items()
         }
+        # Stamp the kernel backend the measurements were taken under;
+        # load_crossovers() discards the file when the stamp mismatches.
+        payload["_jit"] = jit_enabled()
         p.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     invalidate_cache()
     return table

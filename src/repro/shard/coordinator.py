@@ -42,7 +42,7 @@ from repro.graphs.csr import CSRGraph
 from repro.mst.base import MSTResult, result_from_edge_ids
 from repro.obs.trace import current_tracer
 from repro.shard.filter import boruvka_filter
-from repro.shard.memory import SharedEdgeArena
+from repro.shard.memory import ARENA_BACKINGS, SharedEdgeArena
 from repro.shard.merge import merge_tree
 from repro.shard.partition import PARTITION_STRATEGIES, partition_edges
 from repro.shard.worker import ShardFault, ShardTask, solve_shard_local, worker_main
@@ -81,6 +81,9 @@ def sharded_mst(
     min_process_edges: int = DEFAULT_MIN_PROCESS_EDGES,
     filter_rounds: int = DEFAULT_FILTER_ROUNDS,
     fault: ShardFault | None = None,
+    max_concurrent: int | None = None,
+    arena_backing: str = "auto",
+    spool_dir: str | None = None,
 ) -> MSTResult:
     """Partition, solve shards (in processes where worthwhile), and merge.
 
@@ -101,6 +104,14 @@ def sharded_mst(
     local solver directly — no partition, no arena, no merge (``fault``
     has no workers to hit and is ignored).  ``fault`` deterministically
     injects worker crashes/hangs and exists for the checking harness.
+
+    ``max_concurrent`` streams the process executor: at most that many
+    shard workers are alive at once, bounding resident memory to the
+    arena plus O(m / n_shards) per live worker instead of all shards'
+    working sets at once.  ``arena_backing`` picks where the shared edge
+    arena lives — ``"shm"`` (/dev/shm), ``"file"`` (a spool file under
+    ``spool_dir``, for arenas larger than shared memory), or ``"auto"``
+    (file only when /dev/shm cannot hold the arena comfortably).
     """
     if algorithm == "sharded":
         raise BenchmarkError("sharded cannot recurse into itself as a local solver")
@@ -115,6 +126,13 @@ def sharded_mst(
         )
     if n_shards < 1:
         raise BenchmarkError(f"n_shards must be >= 1, got {n_shards}")
+    if arena_backing not in ("auto",) + ARENA_BACKINGS:
+        raise BenchmarkError(
+            f"unknown arena backing {arena_backing!r}; available: "
+            + ", ".join(("auto",) + ARENA_BACKINGS)
+        )
+    if max_concurrent is not None and max_concurrent < 1:
+        raise BenchmarkError(f"max_concurrent must be >= 1, got {max_concurrent}")
 
     tracer = current_tracer()
     t0 = time.perf_counter()
@@ -161,6 +179,8 @@ def sharded_mst(
                         g, plan, algorithm, mode, seed, labels,
                         timeout_s=timeout_s, max_retries=max_retries,
                         fault=fault, stats=stats,
+                        max_concurrent=max_concurrent,
+                        arena_backing=arena_backing, spool_dir=spool_dir,
                     )
                 stats["executor"] = "process"  # type: ignore[assignment]
             except ServiceError:
@@ -243,6 +263,22 @@ def _solve_direct(
         return result_from_edge_ids(g, edge_ids, stats=stats)
 
 
+def _choose_backing(nbytes: int) -> str:
+    """Resolve ``arena_backing="auto"``: shm while it comfortably fits.
+
+    ``/dev/shm`` is RAM (typically capped at half of it); an arena taking
+    more than half the *free* space there would crowd out everything else
+    on the box, so past that the arena spools to an ordinary file and
+    lets the page cache decide what stays resident.
+    """
+    try:
+        st = os.statvfs("/dev/shm")
+        free = st.f_bavail * st.f_frsize
+    except OSError:  # pragma: no cover - no /dev/shm on this platform
+        return "file"
+    return "shm" if nbytes <= free // 2 else "file"
+
+
 def _solve_in_processes(
     g: CSRGraph,
     plan,
@@ -255,6 +291,9 @@ def _solve_in_processes(
     max_retries: int,
     fault: ShardFault | None,
     stats: Dict[str, float],
+    max_concurrent: int | None = None,
+    arena_backing: str = "auto",
+    spool_dir: str | None = None,
 ) -> List[np.ndarray]:
     """Run every shard in its own OS process; retry, time out, fall back.
 
@@ -264,18 +303,30 @@ def _solve_in_processes(
     itself is unusable (caller degrades to serial); individual worker
     failures are retried and, past ``max_retries``, solved in process so
     the solve always completes.
+
+    ``max_concurrent`` caps live workers: remaining shards wait in a
+    queue and are dispatched as slots free up, so peak resident memory
+    is the arena plus ``max_concurrent`` shard working sets — the
+    streamed-solve mode paper-scale graphs need.
     """
     import multiprocessing as mp
+    from collections import deque
     from multiprocessing.connection import wait as conn_wait
 
     tracer = current_tracer()
+    backing = arena_backing
+    if backing == "auto":
+        payload = g.n_edges * 24 + (g.n_vertices * 8 if labels is not None else 0)
+        backing = _choose_backing(payload)
     try:
         ctx = mp.get_context()
         arena = SharedEdgeArena.publish(
-            g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels,
+            backing=backing, spool_dir=spool_dir,
         )
     except (ServiceError, OSError, ValueError) as exc:
         raise ServiceError(f"process executor unavailable: {exc}") from exc
+    stats["arena_backing"] = backing  # type: ignore[assignment]
 
     forests: Dict[int, np.ndarray] = {}
     fallback: List[int] = []
@@ -308,13 +359,18 @@ def _solve_in_processes(
             stats["fallback_shards"] += 1
             fallback.append(shard)
 
-    try:
+    pending = deque(range(plan.n_shards))
+    limit = plan.n_shards if max_concurrent is None else max(1, int(max_concurrent))
+
+    def _top_up() -> None:
         try:
-            for shard in range(plan.n_shards):
-                _spawn(shard, 0)
+            while pending and len(live) < limit:
+                _spawn(pending.popleft(), 0)
         except OSError as exc:  # fork refused (rlimit, sandbox)
             raise ServiceError(f"cannot spawn shard workers: {exc}") from exc
 
+    try:
+        _top_up()
         while live:
             ready = conn_wait([c for _, c, _, _ in live.values()], timeout=0.05)
             now = time.perf_counter()
@@ -350,6 +406,8 @@ def _solve_in_processes(
                     proc.join()
                 conn.close()
                 _failed(shard, attempt)
+            # Dispatch queued shards into freed slots (streamed mode).
+            _top_up()
     finally:
         for proc, conn, _, _ in live.values():  # pragma: no cover - defensive
             proc.kill()

@@ -25,11 +25,21 @@ Lifecycle rules (the part that goes wrong in practice):
 
 :func:`leaked_segments` supports the fault battery: it lists live
 ``repro-shard-*`` segments so tests can assert cleanup actually happened.
+
+Two backings share that lifecycle.  ``"shm"`` (default) is POSIX shared
+memory — fastest, but bounded by ``/dev/shm`` (typically half of RAM).
+``"file"`` spools the arena to an ordinary file under ``spool_dir`` and
+maps it in creator and workers alike: the kernel pages edge data in and
+out on demand, so arenas far larger than RAM — the out-of-core path for
+paper-scale graphs — still publish, at disk-bandwidth cost.
 """
 
 from __future__ import annotations
 
+import mmap
+import os
 import secrets
+import tempfile
 import weakref
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,6 +50,7 @@ import numpy as np
 from repro.errors import ServiceError
 
 __all__ = [
+    "ARENA_BACKINGS",
     "ArenaSpec",
     "SharedEdgeArena",
     "attach_readonly",
@@ -64,11 +75,18 @@ class ArenaSpec:
     n_edges: int
     w_dtype: str  # "int64" | "float64"
     has_labels: bool = False  # Boruvka-filter contraction labels appended
+    backing: str = "shm"  # "shm" | "file"
+    spool_dir: str = ""  # directory of the .arena file when backing == "file"
 
     @property
     def nbytes(self) -> int:
         """Total payload size of the segment in bytes."""
         return self.n_edges * 8 * 3 + (self.n_vertices * 8 if self.has_labels else 0)
+
+    @property
+    def spool_path(self) -> Path:
+        """Filesystem path of a file-backed arena's spool file."""
+        return Path(self.spool_dir or tempfile.gettempdir()) / f"{self.name}.arena"
 
 
 def _views(buf, spec: ArenaSpec) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -94,6 +112,69 @@ def labels_view(buf, spec: ArenaSpec) -> Optional[np.ndarray]:
     )
 
 
+class _FileSegment:
+    """File-backed stand-in for ``SharedMemory``: same tiny surface.
+
+    Exposes ``.buf`` / ``.close()`` / ``.unlink()`` so
+    :class:`SharedEdgeArena`, :func:`attach_readonly`, and the workers
+    treat both backings identically.  The creator truncates the spool
+    file to size and maps it writable; workers re-open the same path.
+    ``unlink()`` removes the file — owner only, exactly like the shm
+    segment's unlink.
+    """
+
+    def __init__(self, path: Path, fh, mm: mmap.mmap) -> None:
+        self._path = path
+        self._fh = fh
+        self._mmap: Optional[mmap.mmap] = mm
+        self.buf: Optional[memoryview] = memoryview(mm)
+
+    @classmethod
+    def create(cls, path: Path, size: int) -> "_FileSegment":
+        fh = open(path, "w+b")
+        try:
+            fh.truncate(max(size, 1))
+            mm = mmap.mmap(fh.fileno(), max(size, 1))
+        except BaseException:
+            fh.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            raise
+        return cls(path, fh, mm)
+
+    @classmethod
+    def attach(cls, path: Path, size: int) -> "_FileSegment":
+        fh = open(path, "r+b")
+        try:
+            mm = mmap.mmap(fh.fileno(), max(size, 1))
+        except BaseException:
+            fh.close()
+            raise
+        return cls(path, fh, mm)
+
+    def close(self) -> None:
+        """Drop the mapping and file handle (idempotent; never unlinks)."""
+        if self.buf is not None:
+            self.buf.release()
+            self.buf = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+            self._fh.close()
+
+    def unlink(self) -> None:
+        """Remove the spool file (owner only)."""
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+
+
+ARENA_BACKINGS = ("shm", "file")
+
+
 class SharedEdgeArena:
     """Owner-side handle of the published edge arrays (context manager).
 
@@ -110,22 +191,40 @@ class SharedEdgeArena:
 
     @classmethod
     def publish(
-        cls, n_vertices: int, edge_u, edge_v, edge_w, labels=None
+        cls,
+        n_vertices: int,
+        edge_u,
+        edge_v,
+        edge_w,
+        labels=None,
+        *,
+        backing: str = "shm",
+        spool_dir: Optional[str] = None,
     ) -> "SharedEdgeArena":
-        """Copy the edge arrays into a fresh named shared-memory segment.
+        """Copy the edge arrays into a fresh named segment.
 
         The single copy here is the *only* copy the whole solve makes;
         every worker maps views over this segment.  ``labels`` (optional)
         appends the Boruvka-filter contraction roots — one ``int64`` per
         vertex — so workers can drop contracted self-loops without any
-        per-worker recomputation.  Raises
-        :class:`~repro.errors.ServiceError` when shared memory is
-        unavailable on the platform (callers degrade to in-process mode).
+        per-worker recomputation.  ``backing="file"`` spools the arena to
+        ``spool_dir`` (default: the system temp dir) instead of
+        ``/dev/shm``, for graphs whose arena would not fit shared memory.
+        Raises :class:`~repro.errors.ServiceError` when the segment
+        cannot be created (callers degrade to in-process mode).
+
+        The finalizer-owning handle is constructed *before* any payload
+        is copied in: the moment ``SharedMemory(create=True)`` (or the
+        spool-file create) succeeds, some owner — the handle's finalizer
+        or the explicit ``close()`` in the except path — is responsible
+        for the unlink, so no failure between creation and return can
+        leak the segment.
         """
-        try:
-            from multiprocessing import shared_memory
-        except ImportError as exc:  # pragma: no cover - platform-specific
-            raise ServiceError(f"shared memory unavailable: {exc}") from exc
+        if backing not in ARENA_BACKINGS:
+            raise ServiceError(
+                f"unknown arena backing {backing!r}; available: "
+                + ", ".join(ARENA_BACKINGS)
+            )
         edge_u = np.ascontiguousarray(edge_u, dtype=np.int64)
         edge_v = np.ascontiguousarray(edge_v, dtype=np.int64)
         w_dtype = "int64" if np.asarray(edge_w).dtype.kind in "iu" else "float64"
@@ -137,13 +236,28 @@ class SharedEdgeArena:
             n_edges=m,
             w_dtype=w_dtype,
             has_labels=labels is not None,
+            backing=backing,
+            spool_dir="" if spool_dir is None else str(spool_dir),
         )
-        try:
-            shm = shared_memory.SharedMemory(
-                create=True, size=max(spec.nbytes, 1), name=spec.name
-            )
-        except OSError as exc:
-            raise ServiceError(f"cannot create shared memory segment: {exc}") from exc
+        if backing == "file":
+            try:
+                shm = _FileSegment.create(spec.spool_path, spec.nbytes)
+            except OSError as exc:
+                raise ServiceError(f"cannot create arena spool file: {exc}") from exc
+        else:
+            try:
+                from multiprocessing import shared_memory
+            except ImportError as exc:  # pragma: no cover - platform-specific
+                raise ServiceError(f"shared memory unavailable: {exc}") from exc
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(spec.nbytes, 1), name=spec.name
+                )
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot create shared memory segment: {exc}"
+                ) from exc
+        arena = cls(shm, spec)
         try:
             u, v, w = _views(shm.buf, spec)
             u[:] = edge_u
@@ -153,9 +267,9 @@ class SharedEdgeArena:
                 lv = labels_view(shm.buf, spec)
                 lv[:] = np.ascontiguousarray(labels, dtype=np.int64)
         except BaseException:
-            _unlink_quietly(shm)
+            arena.close()
             raise
-        return cls(shm, spec)
+        return arena
 
     def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Owner-side views ``(edge_u, edge_v, edge_w)`` over the segment."""
@@ -197,7 +311,18 @@ def attach_readonly(spec: ArenaSpec):
     tracker so a worker exit — clean or crashed — cannot unlink the
     owner's segment.  The caller must keep ``shm_handle`` alive as long
     as the views are in use and ``close()`` (not unlink) it afterwards.
+
+    File-backed arenas re-open the owner's spool file by path — no
+    resource tracker involved, and a worker closing its mapping cannot
+    affect the file.
     """
+    if spec.backing == "file":
+        shm = _FileSegment.attach(spec.spool_path, spec.nbytes)
+        u, v, w = _views(shm.buf, spec)
+        for arr in (u, v, w):
+            arr.setflags(write=False)
+        return u, v, w, shm
+
     from multiprocessing import shared_memory
 
     try:
@@ -230,13 +355,21 @@ def attach_readonly(spec: ArenaSpec):
     return u, v, w, shm
 
 
-def leaked_segments(prefix: str = _NAME_PREFIX) -> list[str]:
-    """Names of live shard segments (empty on platforms without /dev/shm).
+def leaked_segments(
+    prefix: str = _NAME_PREFIX, spool_dir: Optional[str] = None
+) -> list[str]:
+    """Names of live shard segments (shm and file-backed spool files).
 
     The fault battery snapshots this before and after a crashy solve to
     prove the unlink guarantee holds even when workers die mid-solve.
+    ``spool_dir`` (default: the system temp dir) is scanned for
+    ``*.arena`` spool files of file-backed arenas.
     """
+    names: list[str] = []
     root = Path("/dev/shm")
-    if not root.is_dir():  # pragma: no cover - non-Linux
-        return []
-    return sorted(p.name for p in root.glob(f"{prefix}*"))
+    if root.is_dir():
+        names += (p.name for p in root.glob(f"{prefix}*"))
+    spool = Path(spool_dir or tempfile.gettempdir())
+    if spool.is_dir():
+        names += (p.name for p in spool.glob(f"{prefix}*.arena"))
+    return sorted(names)

@@ -112,6 +112,8 @@ def shard_edge_ids(
     shard: int,
     strategy: str = "hash",
     seed: int = 0,
+    *,
+    chunk_edges: int | None = None,
 ) -> np.ndarray:
     """Ascending global edge ids of one shard.
 
@@ -119,9 +121,40 @@ def shard_edge_ids(
     break ties by local edge index, and an ascending-id subset makes that
     tie-break agree with the global ``(weight, edge_id)`` order — which is
     what lets per-shard forests merge into the *exact* rank-canonical MSF.
+
+    ``chunk_edges`` bounds transient memory: membership is evaluated over
+    slices of that many edges instead of one full-size assignment array,
+    so a worker attached to a paper-scale arena stays O(m/shards + chunk)
+    resident instead of O(m).  ``range`` shards are contiguous id ranges
+    and are emitted in closed form without touching the arrays at all.
     """
-    assign = shard_assignment(n_vertices, edge_u, edge_v, n_shards, strategy, seed)
-    return np.flatnonzero(assign == shard).astype(np.int64)
+    if n_shards < 1:
+        raise GraphError(f"n_shards must be >= 1, got {n_shards}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise GraphError(
+            f"unknown partition strategy {strategy!r}; "
+            f"available: {', '.join(PARTITION_STRATEGIES)}"
+        )
+    m = int(edge_u.size)
+    if m == 0:
+        return np.empty(0, dtype=np.int64)
+    if strategy == "range":
+        # (i * k) // m == s  <=>  ceil(s*m/k) <= i < ceil((s+1)*m/k)
+        lo = (shard * m + n_shards - 1) // n_shards
+        hi = ((shard + 1) * m + n_shards - 1) // n_shards
+        return np.arange(lo, hi, dtype=np.int64)
+    if chunk_edges is None:
+        assign = shard_assignment(n_vertices, edge_u, edge_v, n_shards, strategy, seed)
+        return np.flatnonzero(assign == shard).astype(np.int64)
+    step = max(int(chunk_edges), 1)
+    parts = []
+    for s in range(0, m, step):
+        e = min(s + step, m)
+        assign = shard_assignment(
+            n_vertices, edge_u[s:e], edge_v[s:e], n_shards, strategy, seed
+        )
+        parts.append(np.flatnonzero(assign == shard).astype(np.int64) + s)
+    return np.concatenate(parts)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,14 @@ from repro.shard.partition import shard_edge_ids
 
 __all__ = ["ShardFault", "ShardTask", "solve_shard_local", "worker_main"]
 
+# Above this arena edge count a worker evaluates its shard membership in
+# chunks (one full-size assignment array per worker would multiply the
+# graph's footprint by the worker count); below it, one vectorized pass
+# is cheaper.  Chunks of 2M edges keep each worker's transient memory in
+# the tens of megabytes.
+_MEMBERSHIP_FULL_SCAN_MAX_EDGES = 1 << 22
+_MEMBERSHIP_CHUNK_EDGES = 1 << 21
+
 
 @dataclass(frozen=True)
 class ShardFault:
@@ -212,6 +220,11 @@ def worker_main(conn, task: ShardTask) -> None:
                 ids = shard_edge_ids(
                     task.arena.n_vertices, edge_u, edge_v,
                     task.n_shards, task.shard, task.strategy, task.seed,
+                    chunk_edges=(
+                        _MEMBERSHIP_CHUNK_EDGES
+                        if task.arena.n_edges > _MEMBERSHIP_FULL_SCAN_MAX_EDGES
+                        else None
+                    ),
                 )
             _maybe_fault(task)
             with tracer.span("shard:solve", "shard", n_edges=int(ids.size)) as sp:

@@ -219,3 +219,85 @@ def test_soak_gate_reports_missing_kind(tmp_path, capsys):
     del fresh["slo"]["connected"]
     assert _run_soak_gate(fresh, tmp_path) == 1
     assert "missing from fresh report" in capsys.readouterr().err
+
+# ----------------------------------------------------------------------
+# Scale gate: hard booleans + rss_per_edge on crafted reports
+# ----------------------------------------------------------------------
+COMMITTED_SCALE = {
+    "version": "0.0.0",
+    "params": {"scale": 16, "edgefactor": 8, "road_rows": 500, "seed": 7,
+               "chunk_bytes": 4 << 20, "algo": "boruvka", "shards": 0},
+    "configs": {
+        "rmat": {"n_vertices": 65536, "n_edges": 477765,
+                 "rss_per_edge": 120.0, "identical_forest": True,
+                 "oracle": "full", "leaked_spill_files": []},
+        "road": {"n_vertices": 250000, "n_edges": 456457,
+                 "rss_per_edge": 50.0, "identical_forest": True,
+                 "oracle": "full", "leaked_spill_files": []},
+    },
+}
+
+
+def _run_scale_gate(fresh, tmp_path, threshold=0.25):
+    cp = tmp_path / "committed_scale.json"
+    fp = tmp_path / "fresh_scale.json"
+    cp.write_text(json.dumps(COMMITTED_SCALE))
+    fp.write_text(json.dumps(fresh))
+    return bench_gate.main([
+        "--threshold", str(threshold),
+        "--scale", str(cp), "--fresh-scale", str(fp),
+    ])
+
+
+def test_scale_gate_passes_on_identical_reports(tmp_path):
+    assert _run_scale_gate(COMMITTED_SCALE, tmp_path) == 0
+
+
+def test_scale_gate_fails_hard_on_forest_divergence(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["configs"]["rmat"]["identical_forest"] = False
+    assert _run_scale_gate(fresh, tmp_path) == 1
+    assert "diverged from the Kruskal oracle" in capsys.readouterr().err
+
+
+def test_scale_gate_fails_hard_on_spill_leak(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["configs"]["road"]["leaked_spill_files"] = ["spill-abc.bin"]
+    assert _run_scale_gate(fresh, tmp_path) == 1
+    assert "leaked spill files" in capsys.readouterr().err
+
+
+def test_scale_gate_fails_on_rss_regression(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["configs"]["rmat"]["rss_per_edge"] = 200.0  # ceiling 120 * 1.25
+    assert _run_scale_gate(fresh, tmp_path) == 1
+    assert "rss_per_edge regressed" in capsys.readouterr().err
+
+
+def test_scale_gate_tolerates_rss_noise_within_threshold(tmp_path):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["configs"]["rmat"]["rss_per_edge"] = 140.0  # +17%
+    assert _run_scale_gate(fresh, tmp_path) == 0
+
+
+def test_scale_gate_skips_rss_check_at_different_shape(tmp_path):
+    """Nightly runs at paper scale: only the booleans are gated there."""
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["params"] = dict(fresh["params"], scale=20, edgefactor=16)
+    fresh["configs"]["rmat"]["rss_per_edge"] = 500.0
+    assert _run_scale_gate(fresh, tmp_path) == 0
+
+
+def test_scale_gate_still_hard_fails_at_different_shape(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    fresh["params"] = dict(fresh["params"], scale=20)
+    fresh["configs"]["road"]["identical_forest"] = False
+    assert _run_scale_gate(fresh, tmp_path) == 1
+    assert "diverged" in capsys.readouterr().err
+
+
+def test_scale_gate_reports_missing_config(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_SCALE)
+    del fresh["configs"]["road"]
+    assert _run_scale_gate(fresh, tmp_path) == 1
+    assert "missing from fresh report" in capsys.readouterr().err

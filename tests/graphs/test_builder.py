@@ -1,9 +1,15 @@
 """GraphBuilder incremental construction."""
 
+import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graphs.builder import GraphBuilder, complete_graph_edges, from_edges
+from repro.graphs.builder import (
+    GraphBuilder,
+    complete_graph_edges,
+    from_edges,
+    pair_rank_weights,
+)
 
 
 def test_add_edges_grows_vertex_set():
@@ -72,3 +78,32 @@ def test_complete_graph_custom_weights():
 def test_complete_graph_negative_n_rejected():
     with pytest.raises(GraphError):
         complete_graph_edges(-2)
+
+
+def test_complete_graph_default_weights_are_int64_pair_ranks():
+    e = complete_graph_edges(6)
+    assert e.w.dtype == np.int64
+    assert np.array_equal(e.w, e.u * 6 + e.v)
+
+
+def test_pair_rank_weights_exact_past_float53():
+    """Regression: float64 pair ranks collide once ``u * n + v > 2**53``.
+
+    The shrunken repro: two adjacent pair ranks straddling a float64
+    representation gap.  The old ``float64`` arithmetic mapped both to
+    the same value, silently breaking the unique-weight invariant; the
+    int64 path keeps them distinct.
+    """
+    n = 100_000_000  # n**2 ~ 1e16 > 2**53
+    iu = np.array([90_071_992, 90_071_992], dtype=np.int64)
+    # Ranks 2**53 and 2**53 + 1: the latter is the first integer float64
+    # cannot represent, so it rounds onto the former.
+    iv = np.array([54_740_992, 54_740_993], dtype=np.int64)
+    exact = pair_rank_weights(iu, iv, n)
+    assert exact[0] != exact[1]  # distinct pairs, distinct ranks
+    assert exact.dtype == np.int64
+    # Demonstrate the collision the fix removes: the same arithmetic in
+    # float64 cannot tell the two pairs apart.
+    collided = iu.astype(np.float64) * n + iv.astype(np.float64)
+    assert collided[0] == collided[1]
+    assert np.array_equal(exact, iu * np.int64(n) + iv)

@@ -1,0 +1,77 @@
+"""Spillable array growth: doubling appends and anonymous memmap migration."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.spill import (
+    ArrayAccumulator,
+    anonymous_memmap,
+    DEFAULT_SPILL_THRESHOLD_BYTES,
+)
+
+
+def test_anonymous_memmap_is_writable_and_leaves_no_file(tmp_path):
+    arr = anonymous_memmap(100, np.int64, spill_dir=tmp_path)
+    arr[:] = np.arange(100)
+    assert isinstance(arr, np.memmap)
+    assert arr[42] == 42
+    # The backing file is unlinked at creation: nothing remains on disk
+    # to clean up even while the mapping is alive.
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_anonymous_memmap_tuple_shape():
+    arr = anonymous_memmap((3, 4), np.float64)
+    arr[:] = 1.5
+    assert arr.shape == (3, 4)
+    assert arr.sum() == pytest.approx(18.0)
+
+
+def test_accumulator_matches_concatenate():
+    rng = np.random.default_rng(7)
+    acc = ArrayAccumulator(np.int64, initial_capacity=4)
+    batches = [rng.integers(0, 1000, size=k) for k in (0, 1, 3, 17, 100, 5)]
+    for b in batches:
+        acc.extend(b)
+    expected = np.concatenate(batches)
+    assert len(acc) == expected.size
+    assert np.array_equal(acc.result(), expected)
+    assert not acc.spilled
+
+
+def test_accumulator_spills_past_threshold(tmp_path):
+    acc = ArrayAccumulator(
+        np.int64, spill=True, spill_dir=tmp_path,
+        spill_threshold_bytes=1024, initial_capacity=4,
+    )
+    acc.extend(np.arange(10))
+    assert not acc.spilled
+    acc.extend(np.arange(10, 500))
+    assert acc.spilled  # 500 * 8 bytes > the 1 KiB threshold
+    assert isinstance(acc.result(), np.memmap)
+    assert np.array_equal(acc.result(), np.arange(500))
+    # Anonymous spill: the directory stays empty.
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_accumulator_stays_on_disk_once_spilled(tmp_path):
+    acc = ArrayAccumulator(
+        np.float64, spill_dir=tmp_path, spill_threshold_bytes=64,
+        initial_capacity=2,
+    )
+    acc.extend(np.linspace(0.0, 1.0, 50))
+    assert acc.spilled
+    acc.extend([2.0])
+    assert acc.spilled
+    assert acc.result()[-1] == 2.0
+
+
+def test_accumulator_without_spill_never_uses_memmap():
+    acc = ArrayAccumulator(np.int64, initial_capacity=1)
+    acc.extend(np.arange(10_000))
+    assert not acc.spilled
+    assert not isinstance(acc.result(), np.memmap)
+
+
+def test_default_threshold_is_large_enough_for_test_graphs():
+    assert DEFAULT_SPILL_THRESHOLD_BYTES >= 64 << 20

@@ -1,0 +1,106 @@
+"""The numba gate: env toggles, clean fallback, and kernel equivalence.
+
+numba is optional (and absent on the reference CI image); the contract
+tested unconditionally is that the gate answers honestly, the kernels
+keep working with the gate in every position, and the autotune cache is
+invalidated when the gate flips.  Bit-exactness of the jitted kernels
+themselves is asserted only where numba is installed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import HAS_NUMBA, jit_enabled, jit_status, pointer_jump
+from repro.kernels.jit import (
+    active_jit_minimum_edge,
+    active_jit_pointer_sweep,
+)
+from repro.kernels.segments import minimum_edge_per_vertex
+
+
+def test_gate_falsy_env_disables(monkeypatch):
+    for raw in ("0", "off", "false", "no", " OFF "):
+        monkeypatch.setenv("REPRO_JIT", raw)
+        assert not jit_enabled()
+        assert active_jit_minimum_edge() is None
+        assert active_jit_pointer_sweep() is None
+
+
+def test_gate_needs_numba(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "1")
+    assert jit_enabled() == HAS_NUMBA
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    assert jit_enabled() == HAS_NUMBA
+
+
+def test_status_reports_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "off")
+    status = jit_status()
+    assert status == {
+        "numba_available": HAS_NUMBA, "enabled": False, "env": "off",
+    }
+
+
+def test_kernels_work_with_gate_forced_open(monkeypatch):
+    """REPRO_JIT=1 without numba must fall back, not crash."""
+    monkeypatch.setenv("REPRO_JIT", "1")
+    edge_u = np.array([0, 1, 2, 0], dtype=np.int64)
+    edge_v = np.array([1, 2, 3, 3], dtype=np.int64)
+    keys = np.array([5, 1, 7, 2], dtype=np.int64)
+    eids = np.arange(4, dtype=np.int64)
+    to, eid, best = minimum_edge_per_vertex(4, edge_u, edge_v, keys, eids)
+    assert eid.tolist() == [3, 1, 1, 3]
+    G = np.array([1, 2, 2, 0], dtype=np.int64)
+    roots, sweeps, changes = pointer_jump(G)
+    assert roots.tolist() == [2, 2, 2, 2]
+
+
+def test_autotune_cache_invalidated_on_gate_flip(tmp_path, monkeypatch):
+    """A calibration measured under one kernel backend must not leak."""
+    from repro.mst.autotune import (
+        DEFAULT_CROSSOVERS,
+        invalidate_cache,
+        load_crossovers,
+    )
+
+    path = tmp_path / "autotune.json"
+    # A persisted calibration stamped as jit-measured ...
+    path.write_text(
+        '{"_jit": true, "prim": {"min_edges": 7, "min_avg_degree": 1.0}}'
+    )
+    monkeypatch.setenv("REPRO_JIT", "0")  # ... read under the numpy backend
+    invalidate_cache()
+    try:
+        table = load_crossovers(path)
+        assert table["prim"] == DEFAULT_CROSSOVERS["prim"]  # file discarded
+        # Matching stamp: the entry is honoured.
+        path.write_text(
+            '{"_jit": false, "prim": {"min_edges": 7, "min_avg_degree": 1.0}}'
+        )
+        invalidate_cache()
+        table = load_crossovers(path)
+        assert table["prim"].min_edges == 7
+    finally:
+        invalidate_cache()
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+def test_jit_kernels_bit_exact():  # pragma: no cover - needs numba
+    from repro.kernels.jit import jit_minimum_edge_per_vertex, jit_pointer_sweep
+
+    rng = np.random.default_rng(0)
+    m, n = 500, 60
+    edge_u = rng.integers(0, n, m).astype(np.int64)
+    edge_v = (edge_u + 1 + rng.integers(0, n - 1, m)).astype(np.int64) % n
+    keys = rng.integers(0, 40, m).astype(np.int64)  # duplicates on purpose
+    eids = np.arange(m, dtype=np.int64)
+    ref = minimum_edge_per_vertex(n, edge_u, edge_v, keys, eids)
+    got = jit_minimum_edge_per_vertex(n, edge_u, edge_v, keys, eids)
+    for a, b in zip(ref, got):
+        assert np.array_equal(a, b)
+    G = rng.integers(0, n, n).astype(np.int64)
+    G[rng.integers(0, n, 5)] = np.arange(n)[rng.integers(0, n, 5)]
+    G[0] = 0
+    GG, moved = jit_pointer_sweep(G)
+    assert np.array_equal(GG, G[G])
+    assert moved == int(np.count_nonzero(G[G] != G))

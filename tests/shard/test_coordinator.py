@@ -155,3 +155,53 @@ def test_filtered_process_executor_matches_oracle():
     assert res.stats["filter_chosen"] > 0
     assert np.array_equal(res.edge_ids, kruskal(g).edge_ids)
     assert leaked_segments() == []
+
+
+def test_streamed_dispatch_matches_unbounded():
+    """``max_concurrent`` bounds live workers without changing the result."""
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=4, executor="process", max_concurrent=1
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["shards"] == 4
+    assert leaked_segments() == []
+
+
+def test_streamed_dispatch_retries_still_work():
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=4, executor="process", max_concurrent=2,
+        fault=ShardFault(shard=3, kind="exit", attempts=1),
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["retries"] == 1
+    assert leaked_segments() == []
+
+
+def test_file_backed_arena_solve(tmp_path):
+    g = _graph()
+    oracle = kruskal(g)
+    result = sharded_mst(
+        g, n_shards=2, executor="process",
+        arena_backing="file", spool_dir=str(tmp_path),
+    )
+    assert np.array_equal(result.edge_ids, oracle.edge_ids)
+    assert result.stats["arena_backing"] == "file"
+    assert leaked_segments(spool_dir=str(tmp_path)) == []
+
+
+def test_auto_backing_records_choice():
+    g = _graph()
+    result = sharded_mst(g, n_shards=2, executor="process")
+    assert result.stats["arena_backing"] in ("shm", "file")
+
+
+def test_rejects_bad_streaming_knobs():
+    g = _graph()
+    with pytest.raises(BenchmarkError, match="arena backing"):
+        sharded_mst(g, n_shards=2, arena_backing="tape")
+    with pytest.raises(BenchmarkError, match="max_concurrent"):
+        sharded_mst(g, n_shards=2, max_concurrent=0)

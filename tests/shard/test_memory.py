@@ -101,3 +101,101 @@ def test_finalizer_backstop_unlinks_dropped_arena():
     assert name in leaked_segments()
     del arena  # no close(): the weakref.finalize backstop must unlink
     assert name not in leaked_segments()
+
+
+# ------------------------------------------------------ file backing
+def test_file_backed_publish_attach_roundtrip(tmp_path):
+    g = _graph()
+    with SharedEdgeArena.publish(
+        g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+        backing="file", spool_dir=str(tmp_path),
+    ) as arena:
+        assert arena.spec.backing == "file"
+        assert arena.spec.spool_path.exists()
+        u, v, w = arena.arrays()
+        assert np.array_equal(u, g.edge_u)
+        au, av, aw, shm = attach_readonly(arena.spec)
+        try:
+            assert np.array_equal(av, g.edge_v)
+            assert np.array_equal(aw, g.edge_w)
+            assert not au.flags.writeable
+        finally:
+            shm.close()
+    assert not arena.spec.spool_path.exists()
+    assert leaked_segments(spool_dir=str(tmp_path)) == []
+
+
+def test_file_backed_labels_roundtrip(tmp_path):
+    g = _graph()
+    labels = np.arange(g.n_vertices, dtype=np.int64)[::-1].copy()
+    with SharedEdgeArena.publish(
+        g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels,
+        backing="file", spool_dir=str(tmp_path),
+    ) as arena:
+        _, _, _, shm = attach_readonly(arena.spec)
+        try:
+            got = labels_view(shm.buf, arena.spec)
+            assert np.array_equal(got, labels)
+        finally:
+            del got
+            shm.close()
+    assert leaked_segments(spool_dir=str(tmp_path)) == []
+
+
+def test_file_backed_finalizer_backstop(tmp_path):
+    g = _graph()
+    arena = SharedEdgeArena.publish(
+        g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+        backing="file", spool_dir=str(tmp_path),
+    )
+    name = f"{arena.spec.name}.arena"
+    assert name in leaked_segments(spool_dir=str(tmp_path))
+    del arena  # no close(): the weakref.finalize backstop must unlink
+    assert name not in leaked_segments(spool_dir=str(tmp_path))
+
+
+def test_unknown_backing_rejected():
+    g = _graph()
+    with pytest.raises(ServiceError, match="unknown arena backing"):
+        SharedEdgeArena.publish(
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w, backing="tape"
+        )
+
+
+def test_file_backed_publish_unwritable_spool_dir(tmp_path):
+    g = _graph()
+    with pytest.raises(ServiceError, match="spool file"):
+        SharedEdgeArena.publish(
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+            backing="file", spool_dir=str(tmp_path / "does" / "not" / "exist"),
+        )
+
+
+# ------------------------------------------------------ publish leak window
+@pytest.mark.parametrize("backing", ["shm", "file"])
+def test_publish_failure_mid_copy_leaks_nothing(backing, tmp_path, monkeypatch):
+    """A crash between segment creation and return must still unlink.
+
+    Regression: ``publish`` used to register its cleanup finalizer only
+    after copying the payload in, so an allocation failure (or signal)
+    during the copy leaked the freshly created segment until reboot.
+    The views helper is the first thing that runs inside the copy
+    window, so forcing it to raise probes exactly that window.
+    """
+    import repro.shard.memory as memory
+
+    g = _graph()
+    spool = str(tmp_path)
+    before = leaked_segments(spool_dir=spool)
+
+    def boom(buf, spec):
+        raise MemoryError("simulated allocation failure mid-publish")
+
+    monkeypatch.setattr(memory, "_views", boom)
+    with pytest.raises(MemoryError):
+        SharedEdgeArena.publish(
+            g.n_vertices, g.edge_u, g.edge_v, g.edge_w,
+            backing=backing, spool_dir=(spool if backing == "file" else None),
+        )
+    monkeypatch.undo()
+    assert leaked_segments(spool_dir=spool) == before

@@ -208,3 +208,46 @@ def test_serve_prints_summary_line_on_clean_exit(tmp_path, capsys):
                  "--queries", str(queries)]) == 0
     err = capsys.readouterr().err
     assert "served=1" in err and "rejected=0" in err
+
+
+def test_mst_spill_dir_end_to_end(tmp_path, capsys):
+    from repro.graphs.generators import grid_graph
+    from repro.graphs.io import write_dimacs
+
+    path = tmp_path / "g.gr"
+    write_dimacs(grid_graph(5, 5, seed=3), path)
+    spill = tmp_path / "spill"
+    assert main(["mst", "--input", str(path), "--algo", "kruskal",
+                 "--spill-dir", str(spill), "--verify"]) == 0
+    assert "verified" in capsys.readouterr().out
+    # Anonymous memmaps are unlinked at creation: nothing may remain.
+    assert list(spill.iterdir()) == []
+
+
+def test_mst_sharded_streaming_knobs(tmp_path, capsys):
+    from repro.graphs.generators import gnm_random_graph
+    from repro.graphs.io import write_dimacs
+
+    path = tmp_path / "g.gr"
+    write_dimacs(gnm_random_graph(60, 220, seed=4), path)
+    spill = tmp_path / "spool"
+    assert main(["mst", "--input", str(path), "--shards", "2",
+                 "--executor", "serial", "--max-concurrent", "1",
+                 "--arena-backing", "file", "--spill-dir", str(spill),
+                 "--verify"]) == 0
+    assert "verified" in capsys.readouterr().out
+    assert not list(spill.glob("*.arena"))
+
+
+def test_mst_rejects_bad_arena_backing():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["mst", "--dataset", "usa-road",
+                           "--arena-backing", "floppy"])
+
+
+def test_info_reports_jit_gate(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "jit:" in out and "disabled" in out

@@ -2,8 +2,9 @@
 
 Run:  PYTHONPATH=src python tools/bench_gate.py [--threshold 0.25]
       [--kernels BENCH_kernels.json] [--shard BENCH_shard.json]
-      [--soak BENCH_soak.json] [--fresh-kernels PATH] [--fresh-shard PATH]
-      [--fresh-soak PATH] [--repeats R]
+      [--soak BENCH_soak.json] [--scale BENCH_scale.json]
+      [--fresh-kernels PATH] [--fresh-shard PATH] [--fresh-soak PATH]
+      [--fresh-scale PATH] [--repeats R]
 
 Absolute seconds are not comparable across machines, so the gate never
 compares a fresh wall time against a committed one.  Every check is a
@@ -31,6 +32,14 @@ compares a fresh wall time against a committed one.  Every check is a
   scale scheduler jitter dominates below that — and a tail threshold
   floored at 1.0, because even well-sampled tails move ~1.7x between
   back-to-back runs on an idle machine.
+
+* **scale** — the out-of-core pipeline report's hard booleans (the
+  child's forest identical to the Kruskal oracle, zero leaked spill
+  files) fail the gate at any threshold; ``rss_per_edge`` — peak
+  resident bytes over edge count, already a per-machine-size-free
+  figure — is gated against the committed value, but only when the
+  fresh report was measured at the committed graph shape (same
+  ``params``), since bytes-per-edge legitimately shifts with scale.
 
 ``identical_edge_sets`` / ``identical_edge_set`` being false in a fresh
 report is a hard correctness failure regardless of threshold.
@@ -172,6 +181,44 @@ def gate_soak(committed: dict, fresh: dict, threshold: float) -> list[str]:
     return failures
 
 
+def gate_scale(committed: dict, fresh: dict, threshold: float) -> list[str]:
+    """Failures of the scale report against its committed reference.
+
+    Forest identity and spill hygiene are hard failures.  The
+    ``rss_per_edge`` ratio check only applies when the fresh report was
+    measured at the committed parameters — nightly runs the script at
+    paper scale, where bytes-per-edge differs for honest reasons
+    (vertex-to-edge ratio, dedup rate), and gates only the booleans.
+    """
+    failures: list[str] = []
+    for name, cur in sorted(fresh.get("configs", {}).items()):
+        if not cur.get("identical_forest", False):
+            failures.append(
+                f"scale: {name} forest diverged from the Kruskal oracle "
+                f"({cur.get('oracle', '?')})"
+            )
+        if cur.get("leaked_spill_files"):
+            failures.append(
+                f"scale: {name} leaked spill files: "
+                f"{', '.join(cur['leaked_spill_files'][:4])}"
+            )
+    if fresh.get("params") != committed.get("params"):
+        return failures  # different shape: booleans only
+    for name, ref in sorted(committed.get("configs", {}).items()):
+        cur = fresh.get("configs", {}).get(name)
+        if cur is None:
+            failures.append(f"scale: config {name!r} missing from fresh report")
+            continue
+        ceiling = ref["rss_per_edge"] * (1.0 + threshold)
+        if cur["rss_per_edge"] > ceiling:
+            failures.append(
+                f"scale: {name} rss_per_edge regressed "
+                f"{ref['rss_per_edge']:.0f} -> {cur['rss_per_edge']:.0f} "
+                f"bytes (ceiling {ceiling:.0f})"
+            )
+    return failures
+
+
 def _measure_fresh(committed_kernels: dict, committed_shard: dict,
                    tmp: Path, repeats: int) -> tuple[dict, dict]:
     """Re-run both report scripts at the committed graph shapes."""
@@ -220,6 +267,27 @@ def _measure_fresh_soak(committed: dict, tmp: Path) -> dict:
     return json.loads(path.read_text())
 
 
+def _measure_fresh_scale(committed: dict, tmp: Path) -> dict:
+    """Re-run the scale report script at the committed parameters."""
+    import bench_scale_report
+
+    p = committed.get("params", {})
+    path = tmp / "scale.json"
+    rc = bench_scale_report.main([
+        str(path),
+        "--scale", str(p.get("scale", 16)),
+        "--edgefactor", str(p.get("edgefactor", 8)),
+        "--road-rows", str(p.get("road_rows", 500)),
+        "--seed", str(p.get("seed", 7)),
+        "--chunk-bytes", str(p.get("chunk_bytes", 4 << 20)),
+        "--algo", str(p.get("algo", "boruvka")),
+        "--shards", str(p.get("shards", 0)),
+    ])
+    if rc != 0:
+        raise SystemExit(rc)
+    return json.loads(path.read_text())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -227,18 +295,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kernels", type=Path, default=_ROOT / "BENCH_kernels.json")
     parser.add_argument("--shard", type=Path, default=_ROOT / "BENCH_shard.json")
     parser.add_argument("--soak", type=Path, default=_ROOT / "BENCH_soak.json")
+    parser.add_argument("--scale", type=Path, default=_ROOT / "BENCH_scale.json")
     parser.add_argument("--fresh-kernels", type=Path, default=None,
                         help="pre-computed fresh kernels report (skip measuring)")
     parser.add_argument("--fresh-shard", type=Path, default=None,
                         help="pre-computed fresh shard report (skip measuring)")
     parser.add_argument("--fresh-soak", type=Path, default=None,
                         help="pre-computed fresh soak report (skip measuring)")
+    parser.add_argument("--fresh-scale", type=Path, default=None,
+                        help="pre-computed fresh scale report (skip measuring)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats when re-measuring")
     args = parser.parse_args(argv)
 
-    any_fresh = bool(args.fresh_kernels or args.fresh_shard or args.fresh_soak)
-    fresh_kernels = fresh_shard = fresh_soak = None
+    any_fresh = bool(args.fresh_kernels or args.fresh_shard or args.fresh_soak
+                     or args.fresh_scale)
+    fresh_kernels = fresh_shard = fresh_soak = fresh_scale = None
     if any_fresh:
         # Gate exactly the suites whose fresh report was handed in.
         if args.fresh_kernels:
@@ -247,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
             fresh_shard = json.loads(args.fresh_shard.read_text())
         if args.fresh_soak:
             fresh_soak = json.loads(args.fresh_soak.read_text())
+        if args.fresh_scale:
+            fresh_scale = json.loads(args.fresh_scale.read_text())
     else:
         committed_kernels = json.loads(args.kernels.read_text())
         committed_shard = json.loads(args.shard.read_text())
@@ -256,6 +330,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             fresh_soak = _measure_fresh_soak(
                 json.loads(args.soak.read_text()), Path(tmp)
+            )
+            fresh_scale = _measure_fresh_scale(
+                json.loads(args.scale.read_text()), Path(tmp)
             )
 
     failures: list[str] = []
@@ -270,6 +347,10 @@ def main(argv: list[str] | None = None) -> int:
     if fresh_soak is not None:
         failures += gate_soak(
             json.loads(args.soak.read_text()), fresh_soak, args.threshold
+        )
+    if fresh_scale is not None:
+        failures += gate_scale(
+            json.loads(args.scale.read_text()), fresh_scale, args.threshold
         )
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} regression(s)):", file=sys.stderr)

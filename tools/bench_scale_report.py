@@ -1,0 +1,272 @@
+"""Measure the out-of-core pipeline at scale and write ``BENCH_scale.json``.
+
+Run:  PYTHONPATH=src python tools/bench_scale_report.py [output-path]
+      [--scale S] [--edgefactor F] [--road-rows R] [--seed N]
+      [--chunk-bytes B] [--algo NAME] [--shards K] [--max-concurrent C]
+
+Two configurations exercise the paper-scale path end to end:
+
+* ``rmat`` — a Graph500-style RMAT graph (``2^scale`` vertices,
+  ``edgefactor * 2^scale`` edge draws) written to a DIMACS ``.gr`` file;
+* ``road`` — a road-style grid network written the same way.
+
+Each is then **parsed, built, and solved in a fresh child process** with
+the streaming reader (``spill=True``) and the chunked CSR builder, so
+the child's ``ru_maxrss`` is the pipeline's true peak resident set,
+uncontaminated by generation.  The report records per-stage seconds and
+``rss_per_edge`` (peak minus post-import baseline, divided by the edge
+count) — the machine-comparable memory figure ``tools/bench_gate.py``
+tracks.
+
+Correctness is a hard exit-code check, not a statistic: the child's
+forest (as a digest of its sorted edge ids) must match the Kruskal
+oracle — run on the full graph up to ``--oracle-max-edges``, and on a
+seeded subsampled instance past it (solver vs Kruskal compared directly
+on the subsample).  The committed ``BENCH_scale.json`` at the repo root
+is this script's output on the default arguments; nightly CI re-runs it
+at paper scale (``--scale 20``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing as mp
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro._version import __version__
+
+# Full-graph oracle up to this edge count; subsampled instance past it
+# (Kruskal is a Python loop over edges — exact but not paper-scale).
+DEFAULT_ORACLE_MAX_EDGES = 2_000_000
+SUBSAMPLE_EDGES = 300_000
+
+
+def _forest_digest(edge_ids) -> str:
+    """Order-independent digest of a forest's edge-id set."""
+    ids = np.sort(np.asarray(edge_ids, dtype=np.int64))
+    return hashlib.sha256(ids.tobytes()).hexdigest()
+
+
+def _rss_bytes() -> int:
+    """This process's peak resident set in bytes (Linux: KiB units)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * (1024 if sys.platform != "darwin" else 1)
+
+
+def _pipeline_worker(conn, gr_path: str, spill_dir: str, chunk_bytes: int,
+                     algo: str, n_shards: int, max_concurrent) -> None:
+    """Child: stream-parse + chunked-build + solve; report RSS and timings."""
+    try:
+        baseline_rss = _rss_bytes()
+        from repro.graphs.io import read_dimacs
+
+        t0 = time.perf_counter()
+        g = read_dimacs(
+            gr_path, chunk_bytes=chunk_bytes,
+            spill=True, spill_dir=spill_dir, memmap_dir=spill_dir,
+        )
+        parse_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if n_shards > 0:
+            from repro.shard import sharded_mst
+
+            result = sharded_mst(
+                g, n_shards=n_shards, max_concurrent=max_concurrent,
+                arena_backing="auto", spool_dir=spill_dir,
+            )
+        else:
+            from repro.mst.registry import get_algorithm
+
+            result = get_algorithm(algo, mode="auto")(g)
+        solve_s = time.perf_counter() - t0
+
+        conn.send({
+            "ok": True,
+            "n_vertices": int(g.n_vertices),
+            "n_edges": int(g.n_edges),
+            "parse_seconds": round(parse_s, 6),
+            "solve_seconds": round(solve_s, 6),
+            "baseline_rss_bytes": int(baseline_rss),
+            "peak_rss_bytes": int(_rss_bytes()),
+            "forest_edges": int(result.n_edges),
+            "forest_components": int(result.n_components),
+            "forest_weight": float(result.total_weight),
+            "forest_digest": _forest_digest(result.edge_ids),
+        })
+    except BaseException as exc:  # report, don't hang the parent
+        conn.send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+        raise
+    finally:
+        conn.close()
+
+
+def _run_pipeline(gr_path: Path, spill_dir: Path, chunk_bytes: int,
+                  algo: str, n_shards: int, max_concurrent) -> dict:
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_pipeline_worker,
+        args=(child, str(gr_path), str(spill_dir), chunk_bytes,
+              algo, n_shards, max_concurrent),
+    )
+    proc.start()
+    child.close()
+    try:
+        stats = parent.recv()
+    except EOFError:
+        stats = {"ok": False, "error": "pipeline child died without a report"}
+    proc.join()
+    parent.close()
+    if not stats.get("ok"):
+        raise RuntimeError(f"scale pipeline failed: {stats.get('error')}")
+    return stats
+
+
+def _oracle_check(gr_path: Path, stats: dict, algo: str, chunk_bytes: int,
+                  oracle_max_edges: int, seed: int) -> dict:
+    """Kruskal identity: full graph when affordable, subsample otherwise."""
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.edgelist import EdgeList
+    from repro.graphs.io import read_dimacs
+    from repro.mst.kruskal import kruskal
+    from repro.mst.registry import get_algorithm
+
+    g = read_dimacs(gr_path, chunk_bytes=chunk_bytes, spill=True)
+    if g.n_edges <= oracle_max_edges:
+        identical = _forest_digest(kruskal(g).edge_ids) == stats["forest_digest"]
+        return {"oracle": "full", "identical_forest": bool(identical)}
+    # Subsampled instance: the solver under test vs Kruskal, compared
+    # directly on a seeded edge subset small enough for the oracle.
+    rng = np.random.default_rng(seed)
+    keep = rng.choice(g.n_edges, size=SUBSAMPLE_EDGES, replace=False)
+    keep.sort()
+    el = EdgeList.from_arrays(
+        g.n_vertices, g.edge_u[keep].copy(), g.edge_v[keep].copy(),
+        g.edge_w[keep].copy(), dedup=False,
+    )
+    sub = CSRGraph.from_edgelist(el, chunk_edges=1 << 21)
+    solver = get_algorithm(algo, mode="auto")
+    identical = np.array_equal(
+        np.sort(solver(sub).edge_ids), np.sort(kruskal(sub).edge_ids)
+    )
+    return {
+        "oracle": "subsample",
+        "subsample_edges": SUBSAMPLE_EDGES,
+        "identical_forest": bool(identical),
+    }
+
+
+def _write_graph(g, path: Path) -> None:
+    from repro.graphs.io import write_dimacs
+
+    write_dimacs(g, path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("output", nargs="?", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_scale.json")
+    parser.add_argument("--scale", type=int, default=16,
+                        help="RMAT log2 vertex count (nightly uses 20)")
+    parser.add_argument("--edgefactor", type=int, default=8)
+    parser.add_argument("--road-rows", type=int, default=500,
+                        help="road grid rows (n = rows^2 vertices)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--chunk-bytes", type=int, default=4 << 20)
+    parser.add_argument("--algo", default="boruvka",
+                        help="solver for the pipeline child (mode=auto)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="solve via the sharded coordinator instead")
+    parser.add_argument("--max-concurrent", type=int, default=None)
+    parser.add_argument("--oracle-max-edges", type=int,
+                        default=DEFAULT_ORACLE_MAX_EDGES)
+    args = parser.parse_args(argv)
+
+    from repro.graphs.generators import rmat_graph, road_network
+
+    configs = {}
+    with tempfile.TemporaryDirectory(prefix="bench-scale-") as tmp:
+        tmpdir = Path(tmp)
+        graphs = {
+            "rmat": rmat_graph(args.scale, args.edgefactor, seed=args.seed),
+            "road": road_network(args.road_rows, seed=args.seed),
+        }
+        for name, g in graphs.items():
+            gr_path = tmpdir / f"{name}.gr"
+            t0 = time.perf_counter()
+            _write_graph(g, gr_path)
+            write_s = time.perf_counter() - t0
+            file_bytes = gr_path.stat().st_size
+            del g
+            spill_dir = tmpdir / f"{name}-spill"
+            spill_dir.mkdir()
+            stats = _run_pipeline(
+                gr_path, spill_dir, args.chunk_bytes,
+                args.algo, args.shards, args.max_concurrent,
+            )
+            stats.update(_oracle_check(
+                gr_path, stats, args.algo, args.chunk_bytes,
+                args.oracle_max_edges, args.seed,
+            ))
+            leftovers = sorted(p.name for p in spill_dir.iterdir())
+            stats["leaked_spill_files"] = leftovers
+            stats["file_bytes"] = int(file_bytes)
+            stats["write_seconds"] = round(write_s, 6)
+            delta = stats["peak_rss_bytes"] - stats["baseline_rss_bytes"]
+            stats["rss_per_edge"] = round(max(delta, 0) / max(stats["n_edges"], 1), 2)
+            stats.pop("ok", None)
+            configs[name] = stats
+            print(f"{name}: n={stats['n_vertices']} m={stats['n_edges']} "
+                  f"parse {stats['parse_seconds']:.2f}s "
+                  f"solve {stats['solve_seconds']:.2f}s "
+                  f"peak rss {stats['peak_rss_bytes'] / 2**20:.0f} MiB "
+                  f"({stats['rss_per_edge']:.0f} B/edge, "
+                  f"oracle={stats['oracle']} "
+                  f"identical={stats['identical_forest']})")
+
+    report = {
+        "version": __version__,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "params": {
+            "scale": args.scale, "edgefactor": args.edgefactor,
+            "road_rows": args.road_rows, "seed": args.seed,
+            "chunk_bytes": args.chunk_bytes, "algo": args.algo,
+            "shards": args.shards,
+        },
+        "configs": configs,
+    }
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {args.output}")
+
+    failures = [
+        f"{name}: forest diverged from the Kruskal oracle ({c['oracle']})"
+        for name, c in configs.items() if not c["identical_forest"]
+    ] + [
+        f"{name}: spill files leaked: {', '.join(c['leaked_spill_files'])}"
+        for name, c in configs.items() if c["leaked_spill_files"]
+    ]
+    for f in failures:
+        print(f"FATAL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
