@@ -6,6 +6,8 @@ argument.  :mod:`repro.checking.families` generates adversarial graphs,
 algorithm x mode x backend cell against the Kruskal oracle,
 :mod:`repro.checking.shrink` delta-debugs any mismatch down to a
 hand-checkable counterexample and emits a ready-to-paste pytest repro,
+:mod:`repro.checking.problems` runs the same differential treatment over
+every registered problem (SSSP vs heap Dijkstra, CC vs union-find),
 :mod:`repro.checking.faults` injects deterministic faults into the
 serving layer, and :mod:`repro.checking.schedules` attacks the "any
 order" convergence claims with adversarial schedules.  ``repro check``
@@ -31,6 +33,16 @@ from repro.checking.oracle import (
     check_one,
     classify_result,
     run_matrix,
+)
+from repro.checking.problems import (
+    ProblemCheckReport,
+    ProblemMismatch,
+    ProblemShrinkResult,
+    check_problem_one,
+    run_problem_matrix,
+    shrink_problem_mismatch,
+    to_problem_pytest_repro,
+    validate_problem_result,
 )
 from repro.checking.schedules import (
     AdversarialScheduleBackend,
@@ -75,4 +87,12 @@ __all__ = [
     "shrink_graph",
     "shrink_mismatch",
     "to_pytest_repro",
+    "ProblemCheckReport",
+    "ProblemMismatch",
+    "ProblemShrinkResult",
+    "check_problem_one",
+    "run_problem_matrix",
+    "shrink_problem_mismatch",
+    "to_problem_pytest_repro",
+    "validate_problem_result",
 ]

@@ -1,0 +1,468 @@
+"""Differential harness for the registered problems (SSSP, CC, ...).
+
+The problem-registry sibling of :mod:`repro.checking.oracle`: every
+registered problem runs in every kernel mode over the same 17 adversarial
+graph families and is compared **byte-exactly** against its independent
+oracle (heap Dijkstra for SSSP, union-find for CC).  Classification, most
+severe first:
+
+``exception``
+    The solver raised on a graph it should handle.
+``missing-rejection``
+    The solver *accepted* input its contract rejects (SSSP on negative
+    weights or an empty vertex set must raise cleanly).
+``invalid-result``
+    The output fails structural validation independent of the oracle —
+    an SSSP parent that is not a tight edge, a parent forest with a
+    cycle, a CC label that is not a root, an edge joining two labels.
+``oracle-divergence``
+    Structurally valid but byte-different from the oracle on some output
+    array.  Because every mode is compared to the same oracle, this also
+    catches mode-vs-mode divergence.
+
+Family preparation: SSSP solves from source 0, so the empty family (no
+vertex 0) becomes a rejection check, and families with negative weights
+are checked twice — the raw graph must be *rejected* (``WeightError``),
+then the graph re-weighted by ``|w|`` must be *solved* correctly, keeping
+the numeric extremes (huge floats, int64 beyond 2**53, denormals) in the
+differential sweep.
+
+Counterexamples shrink through the generic ddmin machinery of
+:mod:`repro.checking.shrink` and render as ready-to-paste pytest tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.checking.families import GraphCase, iter_cases
+from repro.checking.shrink import shrink_graph
+from repro.errors import GraphError, WeightError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.kernels.jump import pointer_jump
+from repro.obs.trace import span as _obs_span
+from repro.solve.base import ProblemResult
+from repro.solve.registry import available_problems, get_oracle, get_problem
+
+__all__ = [
+    "ProblemMismatch",
+    "ProblemCheckReport",
+    "PROBLEM_CHECK_MODES",
+    "validate_problem_result",
+    "check_problem_one",
+    "run_problem_matrix",
+    "ProblemShrinkResult",
+    "shrink_problem_mismatch",
+    "to_problem_pytest_repro",
+]
+
+PROBLEM_CHECK_MODES: tuple[str, ...] = ("loop", "vectorized", "auto")
+
+
+@dataclass(frozen=True, eq=False)
+class ProblemMismatch:
+    """One divergence between a problem solver and its oracle."""
+
+    case_name: str
+    problem: str
+    mode: str
+    kind: str  # exception | missing-rejection | invalid-result | oracle-divergence
+    detail: str
+    graph: CSRGraph
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Compact ``problem/mode`` identifier."""
+        return f"{self.problem}/{self.mode}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.label} on {self.case_name}: {self.detail}"
+
+
+@dataclass
+class ProblemCheckReport:
+    """Aggregate outcome of one problem differential sweep."""
+
+    cases_run: int = 0
+    checks_run: int = 0
+    mismatches: List[ProblemMismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check agreed with its oracle."""
+        return not self.mismatches
+
+
+# ----------------------------------------------------------------------
+# Structural validation (oracle-independent)
+# ----------------------------------------------------------------------
+def _validate_sssp(g: CSRGraph, result) -> str | None:
+    n = g.n_vertices
+    dist, parent, pedge = result.dist, result.parent, result.parent_edge
+    src = int(result.source)
+    if dist.shape != (n,) or parent.shape != (n,) or pedge.shape != (n,):
+        return f"array shapes {dist.shape}/{parent.shape}/{pedge.shape} != ({n},)"
+    if dist.dtype != np.float64:
+        return f"dist dtype {dist.dtype} is not float64"
+    if dist[src] != 0.0:
+        return f"dist[source] = {dist[src]!r}, expected 0.0"
+    if parent[src] != -1 or pedge[src] != -1:
+        return "source has a parent"
+    finite = np.isfinite(dist)
+    far = ~finite
+    if far.any() and (parent[far] != -1).any():
+        return "unreachable vertex has a parent"
+    hasp = finite.copy()
+    hasp[src] = False
+    if hasp.any():
+        p, e = parent[hasp], pedge[hasp]
+        if p.min() < 0 or p.max() >= n:
+            return "parent id out of range"
+        if e.min() < 0 or e.max() >= g.n_edges:
+            return "parent edge id out of range"
+        v = np.flatnonzero(hasp)
+        eu, ev = g.edge_u[e], g.edge_v[e]
+        if not ((np.minimum(p, v) == np.minimum(eu, ev))
+                & (np.maximum(p, v) == np.maximum(eu, ev))).all():
+            return "parent edge does not join (parent, vertex)"
+        if not (dist[p] + g.edge_w[e] == dist[v]).all():
+            return "parent edge is not tight (dist[p] + w != dist[v])"
+    # Rooted-forest check: every reached vertex's parent chain must end at
+    # the source; pointer_jump raises on cycles.
+    chain = np.arange(n, dtype=np.int64)
+    chain[hasp] = parent[hasp]
+    try:
+        roots, _, _ = pointer_jump(chain)
+    except Exception as exc:
+        return f"parent pointers contain a cycle ({exc})"
+    if not (roots[finite] == src).all():
+        return "a reached vertex's parent chain does not end at the source"
+    return None
+
+
+def _validate_cc(g: CSRGraph, result) -> str | None:
+    n = g.n_vertices
+    labels = result.labels
+    if labels.shape != (n,):
+        return f"labels shape {labels.shape} != ({n},)"
+    if labels.dtype != np.int64:
+        return f"labels dtype {labels.dtype} is not int64"
+    if n == 0:
+        return None
+    if labels.min() < 0 or labels.max() >= n:
+        return "label out of vertex range"
+    idx = np.arange(n, dtype=np.int64)
+    if (labels > idx).any():
+        return "label exceeds its vertex id (not a component minimum)"
+    if not (labels[labels] == labels).all():
+        return "label is not its own label (dangling pointer)"
+    if g.n_edges and not (labels[g.edge_u] == labels[g.edge_v]).all():
+        return "an edge joins two different labels"
+    return None
+
+
+_VALIDATORS: Dict[str, Callable[[CSRGraph, ProblemResult], str | None]] = {
+    "sssp": _validate_sssp,
+    "cc": _validate_cc,
+}
+
+
+def validate_problem_result(g: CSRGraph, problem: str, result) -> str | None:
+    """Oracle-independent structural validation; None when sound."""
+    validator = _VALIDATORS.get(problem)
+    return validator(g, result) if validator is not None else None
+
+
+# ----------------------------------------------------------------------
+# Per-cell check
+# ----------------------------------------------------------------------
+def _default_params(problem: str) -> Dict[str, object]:
+    return {"source": 0} if problem == "sssp" else {}
+
+
+def check_problem_one(
+    g: CSRGraph,
+    problem: str,
+    mode: str,
+    *,
+    case_name: str = "<adhoc>",
+    oracle_result: ProblemResult | None = None,
+    params: Dict[str, object] | None = None,
+) -> ProblemMismatch | None:
+    """Run one (problem, mode) cell on one graph; None when it agrees."""
+    params = dict(params) if params is not None else _default_params(problem)
+    with _obs_span(
+        "check:problem", "checking", case=case_name, problem=problem, mode=mode,
+    ) as sp:
+        try:
+            result = get_problem(problem, mode)(g, **params)
+        except Exception as exc:
+            sp.set_attr("verdict", "exception")
+            return ProblemMismatch(
+                case_name, problem, mode, "exception",
+                f"{type(exc).__name__}: {exc}", g, params,
+            )
+        detail = validate_problem_result(g, problem, result)
+        if detail is not None:
+            sp.set_attr("verdict", "invalid-result")
+            return ProblemMismatch(
+                case_name, problem, mode, "invalid-result", detail, g, params
+            )
+        if oracle_result is None:
+            oracle_result = get_oracle(problem)(g, **params)
+        got, ref = result.arrays(), oracle_result.arrays()
+        for name in sorted(ref):
+            a, b = got.get(name), ref[name]
+            if a is None or a.dtype != b.dtype or not np.array_equal(a, b):
+                sp.set_attr("verdict", "oracle-divergence")
+                return ProblemMismatch(
+                    case_name, problem, mode, "oracle-divergence",
+                    f"array {name!r} differs from the oracle "
+                    f"(got {_preview(a)}, expected {_preview(b)})",
+                    g, params,
+                )
+        sp.set_attr("verdict", "ok")
+        return None
+
+
+def _preview(arr) -> str:
+    if arr is None:
+        return "<missing>"
+    body = np.array2string(arr[:8], threshold=8)
+    return f"{body}{'...' if arr.size > 8 else ''}"
+
+
+def _expect_rejection(
+    g: CSRGraph,
+    problem: str,
+    mode: str,
+    exc_type: type,
+    why: str,
+    case_name: str,
+    params: Dict[str, object],
+) -> ProblemMismatch | None:
+    """The solver must raise ``exc_type`` on this graph — cleanly, always."""
+    try:
+        get_problem(problem, mode)(g, **params)
+    except exc_type:
+        return None
+    except Exception as exc:
+        return ProblemMismatch(
+            case_name, problem, mode, "missing-rejection",
+            f"{why}: raised {type(exc).__name__} instead of {exc_type.__name__}",
+            g, params,
+        )
+    return ProblemMismatch(
+        case_name, problem, mode, "missing-rejection",
+        f"{why}: solver accepted the input instead of raising "
+        f"{exc_type.__name__}", g, params,
+    )
+
+
+def _nonnegative_graph(g: CSRGraph) -> CSRGraph:
+    """The ``|w|`` re-weighting that keeps a family in the SSSP sweep."""
+    w = np.abs(g.edge_w)
+    if w.dtype.kind in "iu":
+        # abs(int64.min) overflows back to itself; clamp to the maximum.
+        np.putmask(w, w < 0, np.iinfo(np.int64).max)
+    return CSRGraph.from_edgelist(
+        EdgeList.from_arrays(g.n_vertices, g.edge_u, g.edge_v, w, dedup=False)
+    )
+
+
+# ----------------------------------------------------------------------
+# The matrix sweep
+# ----------------------------------------------------------------------
+def run_problem_matrix(
+    cases: Iterable[GraphCase] | None = None,
+    *,
+    seed: int = 0,
+    count: int = 200,
+    families: Sequence[str] | None = None,
+    max_size: int = 20,
+    problems: Sequence[str] | None = None,
+    modes: Sequence[str] | None = None,
+    max_mismatches: int = 25,
+    progress: Callable[[str], None] | None = None,
+) -> ProblemCheckReport:
+    """Differential sweep: every problem × mode on every generated case.
+
+    ``cases`` defaults to the same deterministic
+    :func:`~repro.checking.families.iter_cases` stream the MST matrix
+    uses, so a seed replays identically across both harnesses.
+    """
+    if cases is None:
+        cases = iter_cases(
+            seed, count, families=list(families) if families else None,
+            max_size=max_size,
+        )
+    names = list(problems) if problems is not None else available_problems()
+    mode_list = tuple(modes) if modes is not None else PROBLEM_CHECK_MODES
+    report = ProblemCheckReport()
+
+    def record(mm: ProblemMismatch | None) -> bool:
+        """Count one check; True when the budget says stop."""
+        report.checks_run += 1
+        if mm is None:
+            return False
+        report.mismatches.append(mm)
+        if progress is not None:
+            progress(str(mm))
+        return len(report.mismatches) >= max_mismatches
+
+    for case in cases:
+        report.cases_run += 1
+        for problem in names:
+            g = case.graph
+            params = _default_params(problem)
+            if problem == "sssp":
+                if g.n_vertices == 0:
+                    # No vertex 0 to start from: the contract is a clean
+                    # GraphError in every mode, not a solve.
+                    for mode in mode_list:
+                        if record(_expect_rejection(
+                            g, problem, mode, GraphError, "empty graph",
+                            case.name, params,
+                        )):
+                            return report
+                    continue
+                if g.n_edges and bool((g.edge_w < 0).any()):
+                    for mode in mode_list:
+                        if record(_expect_rejection(
+                            g, problem, mode, WeightError, "negative weights",
+                            case.name, params,
+                        )):
+                            return report
+                    g = _nonnegative_graph(g)
+            oracle_result = None
+            try:
+                oracle_result = get_oracle(problem)(g, **params)
+            except Exception as exc:  # pragma: no cover - oracle must not raise
+                if record(ProblemMismatch(
+                    case.name, problem, "oracle", "exception",
+                    f"oracle raised {type(exc).__name__}: {exc}", g, params,
+                )):
+                    return report
+                continue
+            for mode in mode_list:
+                if record(check_problem_one(
+                    g, problem, mode, case_name=case.name,
+                    oracle_result=oracle_result, params=params,
+                )):
+                    return report
+        if progress is not None and report.cases_run % 50 == 0:
+            progress(
+                f"{report.cases_run} cases, {report.checks_run} problem checks, "
+                f"{len(report.mismatches)} mismatches"
+            )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class ProblemShrinkResult:
+    """A minimized problem counterexample and where it came from."""
+
+    mismatch: ProblemMismatch  # re-checked on the minimized graph
+    original_vertices: int
+    original_edges: int
+    predicate_calls: int
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The minimized failing graph."""
+        return self.mismatch.graph
+
+
+def shrink_problem_mismatch(
+    mismatch: ProblemMismatch, *, max_calls: int = 2000
+) -> ProblemShrinkResult:
+    """Minimize a :class:`ProblemMismatch`'s graph via the shared ddmin.
+
+    The preserved predicate is "the same (problem, mode) cell still fails
+    with the same kind".  ``missing-rejection`` mismatches are returned
+    unshrunk: the ddmin weight-simplification phase rewrites weights to
+    dense nonnegative ranks, which destroys the property being rejected.
+    """
+    if mismatch.kind == "missing-rejection":
+        return ProblemShrinkResult(
+            mismatch=mismatch,
+            original_vertices=mismatch.graph.n_vertices,
+            original_edges=mismatch.graph.n_edges,
+            predicate_calls=0,
+        )
+
+    def predicate(candidate: CSRGraph) -> bool:
+        found = check_problem_one(
+            candidate, mismatch.problem, mismatch.mode,
+            case_name=mismatch.case_name, params=mismatch.params,
+        )
+        return found is not None and found.kind == mismatch.kind
+
+    shrunk, calls = shrink_graph(mismatch.graph, predicate, max_calls=max_calls)
+    final = check_problem_one(
+        shrunk, mismatch.problem, mismatch.mode,
+        case_name=f"{mismatch.case_name}:shrunk", params=mismatch.params,
+    )
+    if final is None or final.kind != mismatch.kind:  # pragma: no cover - defensive
+        final = mismatch
+        shrunk = mismatch.graph
+    return ProblemShrinkResult(
+        mismatch=final,
+        original_vertices=mismatch.graph.n_vertices,
+        original_edges=mismatch.graph.n_edges,
+        predicate_calls=calls,
+    )
+
+
+def _weight_literal(x) -> str:
+    f = float(x)
+    if f.is_integer() and abs(f) < 2**53:
+        return f"{int(f)}.0"
+    return repr(f)
+
+
+def to_problem_pytest_repro(
+    result: ProblemShrinkResult, test_name: str | None = None
+) -> str:
+    """Render a minimized problem counterexample as a pytest test."""
+    mm = result.mismatch
+    g = mm.graph
+    if test_name is None:
+        kind = mm.kind.replace("-", "_")
+        test_name = f"test_shrunk_{mm.problem}_{mm.mode}_{kind}"
+    edges = ",\n        ".join(
+        f"({int(u)}, {int(v)}, {_weight_literal(w)})"
+        for u, v, w in zip(g.edge_u, g.edge_v, g.edge_w)
+    )
+    edges_block = f"[\n        {edges},\n    ]" if g.n_edges else "[]"
+    return f'''def {test_name}():
+    """Shrunken counterexample: {mm.kind} in {mm.label}.
+
+    Originally found on {mm.case_name}
+    ({result.original_vertices} vertices / {result.original_edges} edges,
+    minimized to {g.n_vertices} / {g.n_edges}).
+    """
+    import numpy as np
+
+    from repro.checking.problems import check_problem_one
+    from repro.graphs.csr import CSRGraph
+    from repro.graphs.edgelist import EdgeList
+
+    edges = {edges_block}
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    g = CSRGraph.from_edgelist(
+        EdgeList.from_arrays({g.n_vertices}, u, v, w, dedup=False)
+    )
+    mismatch = check_problem_one(g, {mm.problem!r}, {mm.mode!r}, params={mm.params!r})
+    assert mismatch is None, str(mismatch)
+'''

@@ -8,9 +8,16 @@ Subcommands
 ``mst``
     Compute the MSF of a generated or loaded graph with a chosen
     algorithm and print summary statistics.
+``solve``
+    Solve any registered problem (``sssp``, ``cc``) on a generated or
+    loaded graph, optionally through a content-addressed artifact store,
+    and verify against the problem's independent oracle.
 ``query``
     Answer MSF queries (connectivity, components, bottleneck paths,
     cycle replacement) from a saved artifact or an artifact store.
+    With ``--problem``, answer that problem's query kinds instead
+    (``dist``/``parent``/``reached`` for SSSP; ``label``/``same``/
+    ``component_size`` for CC).
 ``serve``
     Run the batched asyncio query service over a JSON-lines request
     stream (stdin or a file).  SIGINT stops intake, drains in-flight
@@ -23,12 +30,14 @@ Subcommands
     Run the differential-oracle / fault-injection / adversarial-schedule
     harness; failing graphs are shrunk to hand-checkable pytest repros.
 ``trace``
-    Re-run ``mst``/``query``/``serve``/``check`` with observability
-    tracing enabled and write a Perfetto-loadable Chrome trace.
+    Re-run ``mst``/``solve``/``query``/``serve``/``check`` with
+    observability tracing enabled and write a Perfetto-loadable Chrome
+    trace.
 ``info``
-    Show registered algorithms, datasets, and version information.
+    Show registered algorithms, problems, datasets, and version
+    information.
 
-``mst``, ``query``, ``serve``, and ``check`` also accept ``--trace`` /
+``mst``, ``solve``, ``query``, ``serve``, and ``check`` also accept ``--trace`` /
 ``--trace-out`` / ``--trace-profile`` directly (the ``trace`` subcommand
 is sugar over them).
 
@@ -41,7 +50,12 @@ Examples
     python -m repro mst --algo llp-prim --dataset usa-road --scale 12
     python -m repro mst --algo llp-boruvka --input graph.gr --workers 8
     python -m repro mst --algo kruskal --dataset usa-road --save msf.json
+    python -m repro solve sssp --dataset usa-road --scale 10 --verify
+    python -m repro solve cc --input graph.gr --store cache/ --save cc.npz
     python -m repro query --artifact msf.json --type bottleneck --pairs 0:5,2:7
+    python -m repro query --problem sssp --dataset usa-road --scale 8 \\
+        --type dist --vertices 3,5,8
+    python -m repro serve --problem cc --dataset usa-road --queries reqs.jsonl
     python -m repro serve --dataset usa-road --scale 10 --queries reqs.jsonl
     python -m repro load run --scenario burst --duration 2 --rate 500
     python -m repro load record --scenario hot-key --out events.jsonl
@@ -139,7 +153,41 @@ def build_parser() -> argparse.ArgumentParser:
                       help="dump the computed MSF edge list as a JSON artifact "
                            "(consumable by 'repro query --artifact')")
 
+    solvep = sub.add_parser(
+        "solve", help="solve a registered problem (sssp, cc, ...)"
+    )
+    solvep.add_argument("problem",
+                        help="registered problem name; 'info' lists them")
+    psrc = solvep.add_mutually_exclusive_group()
+    psrc.add_argument("--dataset", default="usa-road",
+                      help="registered dataset name")
+    psrc.add_argument("--input", type=Path, default=None,
+                      help="graph file (.gr DIMACS, .mtx MatrixMarket, .tsv, .npz)")
+    solvep.add_argument("--scale", type=int, default=None)
+    solvep.add_argument("--seed", type=int, default=0)
+    solvep.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                        default="auto",
+                        help="execution mode: 'loop' (pure-Python reference), "
+                             "'vectorized' (NumPy kernels), or 'auto' "
+                             "(default: vectorized past the size threshold)")
+    solvep.add_argument("--source", type=int, default=0,
+                        help="source vertex (problems with a 'source' "
+                             "parameter, e.g. sssp)")
+    solvep.add_argument("--store", type=Path, default=None,
+                        help="artifact-store directory (compute-once cache)")
+    solvep.add_argument("--verify", action="store_true",
+                        help="verify the result against the problem's oracle")
+    solvep.add_argument("--save", type=Path, default=None, metavar="PATH",
+                        help="write the solved artifact as .npz (consumable "
+                             "by 'repro query --problem ... --artifact')")
+
     queryp = sub.add_parser("query", help="answer MSF queries from an artifact")
+    queryp.add_argument("--problem", default=None,
+                        help="serve a registered problem's artifact instead "
+                             "of the MSF (sssp, cc); changes the admissible "
+                             "--type values")
+    queryp.add_argument("--source", type=int, default=0,
+                        help="with --problem sssp: the solve source vertex")
     qsrc = queryp.add_mutually_exclusive_group()
     qsrc.add_argument("--artifact", type=Path, default=None,
                       help="saved artifact file (.json from 'mst --save', or .npz)")
@@ -162,9 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--shards execution mode (see 'mst --executor')")
     queryp.add_argument("--scale", type=int, default=None)
     queryp.add_argument("--seed", type=int, default=0)
-    queryp.add_argument("--type", dest="qtype", default="connected",
+    queryp.add_argument("--type", dest="qtype", default=None,
                         help="connected|component|component_size|bottleneck|"
-                             "replacement|weight")
+                             "replacement|weight (default connected); with "
+                             "--problem: that problem's kinds, e.g. "
+                             "dist|parent|reached or label|same|component_size")
     queryp.add_argument("--pairs", type=_pair_list, default=None,
                         help="comma-separated u:v pairs, e.g. 0:5,2:7")
     queryp.add_argument("--vertices", type=_int_list, default=None,
@@ -173,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated u:v:w triples (replacement queries)")
 
     servep = sub.add_parser("serve", help="run the batched async query service")
+    servep.add_argument("--problem", default=None,
+                        help="serve a registered problem (sssp, cc) instead "
+                             "of the MSF; request 'op' values become that "
+                             "problem's query kinds")
+    servep.add_argument("--source", type=int, default=0,
+                        help="with --problem sssp: the solve source vertex")
     ssrc = servep.add_mutually_exclusive_group()
     ssrc.add_argument("--dataset", default="usa-road", help="registered dataset name")
     ssrc.add_argument("--input", type=Path, default=None,
@@ -293,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated backend labels (default: all)")
     checkp.add_argument("--no-shrink", action="store_true",
                         help="report mismatches without delta-debugging them")
+    checkp.add_argument("--skip-problems", action="store_true",
+                        help="skip the registered-problem differential matrix "
+                             "(sssp vs Dijkstra, cc vs union-find)")
+    checkp.add_argument("--problems", type=_str_list, default=None,
+                        help="comma-separated problem names for the problem "
+                             "matrix (default: all registered)")
     checkp.add_argument("--skip-faults", action="store_true",
                         help="skip the service-layer fault-injection suite")
     checkp.add_argument("--skip-schedules", action="store_true",
@@ -309,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "the harness detects and shrinks it")
 
     tracep = sub.add_parser(
-        "trace", help="re-run mst/query/serve/check with tracing enabled"
+        "trace", help="re-run mst/solve/query/serve/check with tracing enabled"
     )
     tracep.add_argument("--out", dest="trace_out", type=Path,
                         default=Path("trace.json"), metavar="PATH",
@@ -318,12 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="attach cProfile hotspots to solver spans")
     tracep.add_argument("--metrics-out", type=Path, default=None, metavar="PATH",
                         help="also write the flat metrics snapshot JSON here")
-    tracep.add_argument("cmd", choices=("mst", "query", "serve", "check"),
+    tracep.add_argument("cmd", choices=("mst", "solve", "query", "serve", "check"),
                         help="subcommand to run under tracing")
     tracep.add_argument("rest", nargs=argparse.REMAINDER,
                         help="arguments forwarded to the subcommand")
 
-    for p in (mstp, queryp, servep, checkp):
+    for p in (mstp, solvep, queryp, servep, checkp):
         _add_obs_flags(p)
 
     sub.add_parser("info", help="list algorithms and datasets")
@@ -376,6 +438,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_trace(args)
     traced = {
         "mst": _cmd_mst,
+        "solve": _cmd_solve,
         "query": _cmd_query,
         "serve": _cmd_serve,
         "check": _cmd_check,
@@ -584,10 +647,85 @@ def _load_graph(path: Path, spill_dir: Path | None = None):
     raise SystemExit(f"unsupported graph format {suffix!r} (use .gr/.mtx/.tsv/.npz)")
 
 
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.solve import (
+        ProblemArtifactStore,
+        get_oracle,
+        get_problem,
+        problem_artifact_from_result,
+        problem_info,
+        save_problem_artifact,
+    )
+
+    try:
+        info = problem_info(args.problem)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.input is not None:
+        g = _load_graph(args.input)
+        source = str(args.input)
+    else:
+        from repro.bench.datasets import build_dataset
+
+        g = build_dataset(args.dataset, args.scale, args.seed)
+        source = f"{args.dataset} (scale={args.scale or 'default'}, seed={args.seed})"
+    params = {"source": args.source} if "source" in info.params else {}
+
+    try:
+        t0 = time.perf_counter()
+        if args.store is not None:
+            store = ProblemArtifactStore(args.store)
+            artifact, hit = store.get_or_compute(
+                g, args.problem, args.mode, **params
+            )
+            elapsed = time.perf_counter() - t0
+            stats: dict = {}
+            cache_note = f"  [{'warm' if hit else 'cold'} store {args.store}]"
+        else:
+            result = get_problem(args.problem, args.mode)(g, **params)
+            elapsed = time.perf_counter() - t0
+            artifact = problem_artifact_from_result(
+                g, result, args.problem, args.mode, params
+            )
+            stats = dict(result.stats)
+            cache_note = ""
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    print(f"graph:     {source}  (n={g.n_vertices}, m={g.n_edges})")
+    print(f"problem:   {args.problem} [{args.mode} mode]{cache_note}")
+    scalars = ", ".join(f"{k}={v}" for k, v in sorted(artifact.scalars.items()))
+    print(f"result:    {scalars}")
+    print(f"wall time: {elapsed * 1e3:.2f} ms")
+    if stats:
+        print("stats:     " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    if args.verify:
+        import numpy as np
+
+        oracle = get_oracle(args.problem)(g, **params)
+        expect = oracle.arrays()
+        for name, arr in artifact.arrays.items():
+            ref = expect[name]
+            if arr.dtype != ref.dtype or not np.array_equal(arr, ref):
+                print(f"VERIFY FAILED: array {name!r} differs from the "
+                      f"{info.oracle} oracle", file=sys.stderr)
+                return 1
+        print(f"verified:  byte-identical to the {info.oracle} oracle")
+    if args.save is not None:
+        save_problem_artifact(artifact, args.save)
+        print(f"saved:     problem artifact written to {args.save}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.service import MSTService
 
+    if args.problem is not None:
+        return _cmd_query_problem(args)
     try:
         svc = MSTService(args.store, algorithm=args.algo, mode=args.mode,
                          shards=args.shards, partition=args.partition,
@@ -625,8 +763,85 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_query_problem(args: argparse.Namespace) -> int:
+    """``query --problem``: answer a registered problem's query kinds."""
+    from repro.errors import ReproError
+    from repro.solve import ProblemService, problem_info
+
+    try:
+        info = problem_info(args.problem)
+        params = {"source": args.source} if "source" in info.params else {}
+        svc = ProblemService(
+            args.store, problem=args.problem, mode=args.mode, **params
+        )
+        obs = getattr(args, "obs", None)
+        if obs is not None and obs.active:
+            from repro.obs import service_metrics_provider
+
+            obs.register("service.metrics", service_metrics_provider(svc.metrics))
+        if args.artifact is not None:
+            artifact = svc.load_artifact(args.artifact)
+            source = str(args.artifact)
+        else:
+            if args.input is not None:
+                g = _load_graph(args.input)
+                source = str(args.input)
+            elif args.dataset is not None:
+                from repro.bench.datasets import build_dataset
+
+                g = build_dataset(args.dataset, args.scale, args.seed)
+                source = f"{args.dataset} (scale={args.scale or 'default'})"
+            else:
+                print("query needs --artifact, --dataset, or --input", file=sys.stderr)
+                return 2
+            artifact = svc.load_graph(g)
+        scalars = ", ".join(
+            f"{k}={v}" for k, v in sorted(artifact.scalars.items())
+        )
+        print(f"artifact:  {source}  [{artifact.problem}] "
+              f"(n={artifact.n_vertices}, {scalars})")
+        return _answer_problem_queries(svc, args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _answer_problem_queries(svc, args: argparse.Namespace) -> int:
+    """Dispatch ``--type`` against a :class:`~repro.solve.ProblemService`."""
+    kinds = svc.query_kinds
+    kind = args.qtype or kinds[0]
+    if kind not in kinds:
+        print(f"unknown query type {kind!r} for problem {svc.problem!r}; "
+              f"supported: {', '.join(kinds)}", file=sys.stderr)
+        return 2
+    if kind == "same":
+        if not args.pairs:
+            print("--type same needs --pairs u:v,...", file=sys.stderr)
+            return 2
+        us, vs = zip(*args.pairs)
+        for (u, v), out in zip(args.pairs, svc.same_component(us, vs)):
+            print(f"same {u}:{v} -> {bool(out)}")
+        return 0
+    if not args.vertices:
+        print(f"--type {kind} needs --vertices v0,v1,...", file=sys.stderr)
+        return 2
+    fn = {
+        "dist": svc.dist, "parent": svc.parent, "reached": svc.reached,
+        "label": svc.label, "component_size": svc.component_size,
+    }[kind]
+    for v, out in zip(args.vertices, fn(args.vertices)):
+        if kind == "dist":
+            text = f"{float(out):g}"
+        elif kind == "reached":
+            text = str(bool(out))
+        else:
+            text = str(int(out))
+        print(f"{kind} {v} -> {text}")
+    return 0
+
+
 def _answer_queries(svc, args: argparse.Namespace) -> int:
-    kind = args.qtype
+    kind = args.qtype or "connected"
     if kind == "weight":
         print(f"weight -> {svc.total_weight():.6f}")
         return 0
@@ -674,7 +889,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.bench.datasets import build_dataset
 
         g = build_dataset(args.dataset, args.scale, args.seed)
-    svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
+    if args.problem is not None:
+        from repro.solve import ProblemService, problem_info
+
+        try:
+            info = problem_info(args.problem)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        params = {"source": args.source} if "source" in info.params else {}
+        svc = ProblemService(
+            args.store, problem=args.problem, mode=args.mode, **params
+        )
+    else:
+        svc = MSTService(args.store, algorithm=args.algo, mode=args.mode)
     obs = getattr(args, "obs", None)
     if obs is not None and obs.active:
         from repro.obs import service_metrics_provider
@@ -684,8 +912,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     artifact = svc.load_graph(g)
     load_s = time.perf_counter() - t0
     warm = svc.metrics.artifact_hits > 0
+    shape = (
+        f"forest={artifact.n_forest_edges} edges" if args.problem is None
+        else ", ".join(f"{k}={v}" for k, v in sorted(artifact.scalars.items()))
+    )
     print(f"serving {artifact.fingerprint[:12]}... "
-          f"(n={artifact.n_vertices}, forest={artifact.n_forest_edges} edges) "
+          f"(n={artifact.n_vertices}, {shape}) "
           f"[{'warm' if warm else 'cold'} load {load_s * 1e3:.1f} ms]",
           file=sys.stderr)
 
@@ -985,6 +1217,50 @@ def _cmd_check(args: argparse.Namespace) -> int:
             )
     summary["counterexamples"] = counterexamples
 
+    problem_mismatches: list = []
+    if not args.skip_problems:
+        from repro.checking import (
+            run_problem_matrix,
+            shrink_problem_mismatch,
+            to_problem_pytest_repro,
+        )
+
+        t1 = time.perf_counter()
+        try:
+            preport = run_problem_matrix(
+                seed=args.seed, count=args.graphs, families=args.families,
+                max_size=args.max_size, problems=args.problems,
+                progress=progress,
+            )
+        except (ReproError, KeyError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        problem_mismatches = preport.mismatches
+        summary["problems"] = {
+            "cases": preport.cases_run,
+            "checks": preport.checks_run,
+            "mismatches": [str(m) for m in preport.mismatches],
+        }
+        progress(
+            f"problems: {preport.cases_run} cases, {preport.checks_run} checks, "
+            f"{len(preport.mismatches)} mismatches "
+            f"[{time.perf_counter() - t1:.1f}s]"
+        )
+        if preport.mismatches and not args.no_shrink:
+            for i, mismatch in enumerate(preport.mismatches):
+                shrunk = shrink_problem_mismatch(mismatch)
+                repro = to_problem_pytest_repro(
+                    shrunk, test_name=f"test_problem_counterexample_{i}"
+                )
+                counterexamples.append(repro)
+                progress(
+                    f"shrunk {mismatch.label} from "
+                    f"{shrunk.original_vertices} vertices to "
+                    f"{shrunk.graph.n_vertices} "
+                    f"({shrunk.predicate_calls} predicate calls)"
+                )
+        summary["counterexamples"] = counterexamples
+
     if not args.skip_faults:
         if args.out_dir is not None:
             args.out_dir.mkdir(parents=True, exist_ok=True)
@@ -1018,6 +1294,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                  f"{len(llp.failures) + len(mst.failures)} failures")
 
     failed = bool(report.mismatches)
+    failed |= bool(problem_mismatches)
     failed |= bool(summary.get("faults", {}).get("failures"))
     failed |= bool(summary.get("schedules", {}).get("failures"))
     summary["ok"] = not failed
@@ -1035,6 +1312,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(_json.dumps(summary, indent=2))
     else:
         for mismatch in report.mismatches:
+            print(str(mismatch))
+        for mismatch in problem_mismatches:
             print(str(mismatch))
         for repro in counterexamples:
             print("\n" + repro)
@@ -1165,6 +1444,13 @@ def _cmd_info() -> int:
     for info in list_algorithm_info():
         modes = f" [modes: {', '.join(info.modes)}]" if info.has_vectorized else ""
         print(f"  {info.name}{modes}")
+    from repro.solve import list_problem_info
+
+    print("\nproblems:")
+    for pinfo in list_problem_info():
+        modes = f" [modes: {', '.join(pinfo.modes)}]" if pinfo.has_vectorized else ""
+        params = f" (params: {', '.join(pinfo.params)})" if pinfo.params else ""
+        print(f"  {pinfo.name}{modes}{params} — oracle: {pinfo.oracle}")
     print("\ndatasets:")
     for name, ds in sorted(DATASETS.items()):
         print(f"  {name}: {ds.paper_name} [{ds.kind}], default scale {ds.default_scale}")

@@ -30,6 +30,10 @@ Primitives
     entire batch of newly fixed vertices' adjacency (the Baer et al.
     sparse-kernel shape; replaces per-vertex ``relax_neighbors`` rounds
     in the Prim-family fast paths).
+:func:`~repro.kernels.frontier.frontier_relax_additive`
+    The additive (Bellman-Ford) sibling of ``frontier_relax``: one
+    scatter-min round of ``dist[src] + w`` path extensions, the engine of
+    the vectorized SSSP mode in :mod:`repro.solve.sssp`.
 
 Cost accounting
 ---------------
@@ -41,7 +45,11 @@ mode executed.  See ``docs/kernels.md`` for the exact charging rules.
 """
 
 from repro.kernels.contract import contract_edges
-from repro.kernels.frontier import frontier_edges, frontier_relax
+from repro.kernels.frontier import (
+    frontier_edges,
+    frontier_relax,
+    frontier_relax_additive,
+)
 from repro.kernels.jit import HAS_NUMBA, jit_enabled, jit_status
 from repro.kernels.jump import pointer_jump
 from repro.kernels.relax import relax_neighbors
@@ -60,6 +68,7 @@ __all__ = [
     "relax_neighbors",
     "frontier_edges",
     "frontier_relax",
+    "frontier_relax_additive",
     "HAS_NUMBA",
     "jit_enabled",
     "jit_status",

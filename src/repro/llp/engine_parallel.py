@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import InfeasibleError, LLPError
 from repro.llp.core import LLPProblem, LLPResult
+from repro.obs.trace import span as _obs_span
 from repro.runtime.backend import Backend, TaskContext
 from repro.runtime.sequential import SequentialBackend
 
@@ -38,37 +39,48 @@ def solve_parallel(
     history = [G.copy()] if record_history else []
     limit = max_rounds if max_rounds is not None else max(10_000, 4 * problem.n * problem.n)
 
-    while True:
-        frontier = list(problem.forbidden_indices(G))
-        if not frontier:
-            break
-        rounds += 1
-        if rounds > limit:
-            raise LLPError(
-                f"exceeded {limit} rounds; predicate is likely not lattice-linear"
-            )
-        # Snapshot semantics: all advances computed against the same G.
-        snapshot = G.copy()
-
-        def advance_task(ctx: TaskContext, j: int) -> tuple[int, float]:
-            ctx.charge(1)
-            return j, problem.advance(snapshot, int(j))
-
-        results = backend.run_round(frontier, advance_task)
-        for j, new in results:
-            old = G[j]
-            if not new > snapshot[j]:
+    with _obs_span(
+        "llp:parallel", "llp",
+        problem=type(problem).__name__, n=problem.n,
+    ) as sp:
+        while True:
+            frontier = list(problem.forbidden_indices(G))
+            if not frontier:
+                break
+            rounds += 1
+            if rounds > limit:
                 raise LLPError(
-                    f"advance did not strictly increase index {j}: {snapshot[j]} -> {new}"
+                    f"exceeded {limit} rounds; predicate is likely not lattice-linear"
                 )
-            if top is not None and new > top[j]:
-                raise InfeasibleError(
-                    f"index {j} must exceed top ({new} > {top[j]}); no feasible state"
-                )
-            if new > old:
-                G[j] = new
-                problem.on_advanced(G, j, old, new)
-                advances += 1
-        if record_history:
-            history.append(G.copy())
+            # Snapshot semantics: all advances computed against the same G.
+            snapshot = G.copy()
+
+            def advance_task(ctx: TaskContext, j: int) -> tuple[int, float]:
+                ctx.charge(1)
+                return j, problem.advance(snapshot, int(j))
+
+            # Rounds are few (the whole point of the parallel schedule), so
+            # a per-round span is cheap and shows the frontier shrinking.
+            with _obs_span(
+                "llp:round", "llp", round=rounds, frontier=len(frontier)
+            ):
+                results = backend.run_round(frontier, advance_task)
+            for j, new in results:
+                old = G[j]
+                if not new > snapshot[j]:
+                    raise LLPError(
+                        f"advance did not strictly increase index {j}: {snapshot[j]} -> {new}"
+                    )
+                if top is not None and new > top[j]:
+                    raise InfeasibleError(
+                        f"index {j} must exceed top ({new} > {top[j]}); no feasible state"
+                    )
+                if new > old:
+                    G[j] = new
+                    problem.on_advanced(G, j, old, new)
+                    advances += 1
+            if record_history:
+                history.append(G.copy())
+        sp.set_attr("rounds", rounds)
+        sp.set_attr("advances", advances)
     return LLPResult(state=G, rounds=rounds, advances=advances, history=history)

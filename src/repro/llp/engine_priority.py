@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import InfeasibleError, LLPError
 from repro.llp.core import LLPProblem, LLPResult
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["solve_priority"]
 
@@ -43,31 +44,38 @@ def solve_priority(
     advances = 0
     limit = max_advances if max_advances is not None else max(10_000, 4 * problem.n * problem.n)
 
-    while True:
-        frontier = list(problem.forbidden_indices(G))
-        if not frontier:
-            break
-        best_j = -1
-        best_val = np.inf
-        for j in frontier:
-            val = problem.advance(G, int(j))
-            if val < best_val or (val == best_val and j < best_j):
-                best_j, best_val = int(j), val
-        if not best_val > G[best_j]:
-            raise LLPError(
-                f"advance did not strictly increase index {best_j}: "
-                f"{G[best_j]} -> {best_val}"
-            )
-        if top is not None and best_val > top[best_j]:
-            raise InfeasibleError(
-                f"index {best_j} must exceed top ({best_val} > {top[best_j]})"
-            )
-        old = G[best_j]
-        G[best_j] = best_val
-        problem.on_advanced(G, best_j, old, best_val)
-        advances += 1
-        if advances > limit:
-            raise LLPError(
-                f"exceeded {limit} advances; predicate is likely not lattice-linear"
-            )
+    # One span per solve — each step already evaluates ``advance`` for the
+    # whole frontier, so per-step spans would swamp the measured work.
+    with _obs_span(
+        "llp:priority", "llp",
+        problem=type(problem).__name__, n=problem.n,
+    ) as sp:
+        while True:
+            frontier = list(problem.forbidden_indices(G))
+            if not frontier:
+                break
+            best_j = -1
+            best_val = np.inf
+            for j in frontier:
+                val = problem.advance(G, int(j))
+                if val < best_val or (val == best_val and j < best_j):
+                    best_j, best_val = int(j), val
+            if not best_val > G[best_j]:
+                raise LLPError(
+                    f"advance did not strictly increase index {best_j}: "
+                    f"{G[best_j]} -> {best_val}"
+                )
+            if top is not None and best_val > top[best_j]:
+                raise InfeasibleError(
+                    f"index {best_j} must exceed top ({best_val} > {top[best_j]})"
+                )
+            old = G[best_j]
+            G[best_j] = best_val
+            problem.on_advanced(G, best_j, old, best_val)
+            advances += 1
+            if advances > limit:
+                raise LLPError(
+                    f"exceeded {limit} advances; predicate is likely not lattice-linear"
+                )
+        sp.set_attr("advances", advances)
     return LLPResult(state=G, rounds=advances, advances=advances)

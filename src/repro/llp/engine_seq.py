@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import InfeasibleError, LLPError
 from repro.llp.core import LLPProblem, LLPResult
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["solve_sequential"]
 
@@ -39,32 +40,40 @@ def solve_sequential(
     history = [G.copy()] if record_history else []
     limit = max_advances if max_advances is not None else _default_limit(problem)
 
-    while True:
-        picked = None
-        for j in order(problem.forbidden_indices(G)) if order else problem.forbidden_indices(G):
-            picked = int(j)
-            break
-        if picked is None:
-            break
-        old = G[picked]
-        new = problem.advance(G, picked)
-        if not new > old:
-            raise LLPError(
-                f"advance did not strictly increase index {picked}: {old} -> {new}"
-            )
-        if top is not None and new > top[picked]:
-            raise InfeasibleError(
-                f"index {picked} must exceed top ({new} > {top[picked]}); no feasible state"
-            )
-        G[picked] = new
-        problem.on_advanced(G, picked, old, new)
-        advances += 1
-        if record_history:
-            history.append(G.copy())
-        if advances > limit:
-            raise LLPError(
-                f"exceeded {limit} advances; predicate is likely not lattice-linear"
-            )
+    # One span per solve, not per advance: the sequential engine takes
+    # O(n^2) steps on some problems and a per-step span would dominate
+    # the traced cost being measured.
+    with _obs_span(
+        "llp:sequential", "llp",
+        problem=type(problem).__name__, n=problem.n,
+    ) as sp:
+        while True:
+            picked = None
+            for j in order(problem.forbidden_indices(G)) if order else problem.forbidden_indices(G):
+                picked = int(j)
+                break
+            if picked is None:
+                break
+            old = G[picked]
+            new = problem.advance(G, picked)
+            if not new > old:
+                raise LLPError(
+                    f"advance did not strictly increase index {picked}: {old} -> {new}"
+                )
+            if top is not None and new > top[picked]:
+                raise InfeasibleError(
+                    f"index {picked} must exceed top ({new} > {top[picked]}); no feasible state"
+                )
+            G[picked] = new
+            problem.on_advanced(G, picked, old, new)
+            advances += 1
+            if record_history:
+                history.append(G.copy())
+            if advances > limit:
+                raise LLPError(
+                    f"exceeded {limit} advances; predicate is likely not lattice-linear"
+                )
+        sp.set_attr("advances", advances)
     return LLPResult(state=G, rounds=advances, advances=advances, history=history)
 
 

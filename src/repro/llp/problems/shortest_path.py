@@ -21,6 +21,8 @@ at construction.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.errors import GraphError
@@ -51,6 +53,10 @@ class ShortestPathLLP(LLPProblem):
             )
         self.g = g
         self.source = int(source)
+        # Single-entry offers cache (see _offers): a weakref to the state
+        # array it was computed from, plus the vectorised offers vector.
+        self._offers_ref: weakref.ref | None = None
+        self._offers_cached: np.ndarray | None = None
 
     @property
     def n(self) -> int:
@@ -59,31 +65,48 @@ class ShortestPathLLP(LLPProblem):
     def bottom(self) -> np.ndarray:
         return np.zeros(self.n, dtype=np.float64)
 
-    def _offer(self, G: np.ndarray, j: int) -> float:
-        nbrs = self.g.neighbors(j)
-        if nbrs.size == 0:
-            return np.inf
-        w = self.g.neighbor_weights(j)
-        return float(np.min(G[nbrs] + w))
+    def _offers(self, G: np.ndarray) -> np.ndarray:
+        """Every vertex's best in-neighbour offer, computed once per state.
+
+        The engines call ``forbidden``/``advance`` many times against the
+        *same* state array between mutations (a whole frontier per round),
+        and each offer used to re-slice the CSR adjacency per call.  One
+        scatter-min over all half-edges amortises that to a single
+        vectorised sweep per state.  Identity is tracked by weakref (no
+        stale hit on a recycled ``id``), and ``on_advanced`` drops the
+        cache the moment the engine mutates the state in place.
+        """
+        cached = self._offers_cached
+        if cached is not None and self._offers_ref is not None:
+            if self._offers_ref() is G:
+                return cached
+        g = self.g
+        offers = np.full(self.n, np.inf)
+        if g.n_edges:
+            src = g.half_edge_sources
+            np.minimum.at(offers, src, G[g.indices] + g.weights)
+        self._offers_ref = weakref.ref(G)
+        self._offers_cached = offers
+        return offers
 
     def forbidden(self, G: np.ndarray, j: int) -> bool:
         if j == self.source:
             return False
-        return G[j] < self._offer(G, j)
+        return bool(G[j] < self._offers(G)[j])
 
     def advance(self, G: np.ndarray, j: int) -> float:
-        return self._offer(G, j)
+        return float(self._offers(G)[j])
 
     def forbidden_indices(self, G: np.ndarray):
         # Vectorised sweep: compute every vertex's best offer at once.
-        g = self.g
-        if g.n_edges == 0:
-            return [j for j in range(self.n) if j != self.source and G[j] < np.inf]
-        offers = np.full(self.n, np.inf)
-        src = g.half_edge_sources
-        np.minimum.at(offers, src, G[g.indices] + g.weights)
+        offers = self._offers(G)
         forb = np.flatnonzero(G < offers)
         return [int(j) for j in forb if j != self.source]
+
+    def on_advanced(self, G: np.ndarray, j: int, old, new) -> None:
+        # The state mutated under the cache; recompute on next access.
+        self._offers_ref = None
+        self._offers_cached = None
 
 
 def shortest_paths_llp(g: CSRGraph, source: int, backend=None) -> np.ndarray:

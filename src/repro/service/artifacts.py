@@ -48,6 +48,7 @@ __all__ = [
     "MSFArtifact",
     "ArtifactStore",
     "graph_fingerprint",
+    "update_graph_hash",
     "artifact_from_result",
     "build_artifact",
     "save_json_artifact",
@@ -58,6 +59,26 @@ __all__ = [
 _FORMAT_VERSION = 1
 _JSON_FORMAT = "repro-msf"
 _FINGERPRINT_SALT = b"repro-msf-artifact-v1"
+
+
+def update_graph_hash(h, g: CSRGraph) -> None:
+    """Feed the canonical graph bytes into an in-progress hash object.
+
+    The single definition of "the graph bytes" shared by every
+    content-addressed fingerprint (MSF artifacts here, problem artifacts
+    in :mod:`repro.solve.artifacts`): vertex count, endpoint arrays as
+    little-endian int64, and weights in their native int64/float64
+    representation with a dtype tag — int64 weights must not round
+    through float64 (values beyond 2**53 would collide).
+    """
+    h.update(str(int(g.n_vertices)).encode())
+    h.update(np.ascontiguousarray(g.edge_u, dtype="<i8").tobytes())
+    h.update(np.ascontiguousarray(g.edge_v, dtype="<i8").tobytes())
+    if g.edge_w.dtype.kind in "iu":
+        h.update(b"w:i8")
+        h.update(np.ascontiguousarray(g.edge_w, dtype="<i8").tobytes())
+    else:
+        h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
 
 
 def graph_fingerprint(
@@ -88,14 +109,7 @@ def graph_fingerprint(
     """
     h = hashlib.sha256()
     h.update(_FINGERPRINT_SALT)
-    h.update(str(int(g.n_vertices)).encode())
-    h.update(np.ascontiguousarray(g.edge_u, dtype="<i8").tobytes())
-    h.update(np.ascontiguousarray(g.edge_v, dtype="<i8").tobytes())
-    if g.edge_w.dtype.kind in "iu":
-        h.update(b"w:i8")
-        h.update(np.ascontiguousarray(g.edge_w, dtype="<i8").tobytes())
-    else:
-        h.update(np.ascontiguousarray(g.edge_w, dtype="<f8").tobytes())
+    update_graph_hash(h, g)
     h.update(algorithm.encode())
     h.update((mode or "default").encode())
     if solver is not None:

@@ -54,6 +54,11 @@ class AsyncMSTService:
         if max_batch <= 0 or max_pending <= 0:
             raise ServiceError("max_batch and max_pending must be positive")
         self.service = service
+        # The admissible query kinds come from the wrapped service when it
+        # declares them (the problem services of repro.solve do), so this
+        # front-end serves any engine with an ``execute(kind, us, vs, ws)``
+        # batch entry point — MST keeps its historical global table.
+        self._kinds = tuple(getattr(service, "query_kinds", QUERY_KINDS))
         self.max_batch = int(max_batch)
         self.max_delay_s = float(max_delay_s)
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=int(max_pending))
@@ -119,9 +124,9 @@ class AsyncMSTService:
 
         ``cached`` is the sentinel when the request must queue.
         """
-        if kind not in QUERY_KINDS:
+        if kind not in self._kinds:
             raise ServiceError(
-                f"unknown query kind {kind!r}; supported: {', '.join(QUERY_KINDS)}"
+                f"unknown query kind {kind!r}; supported: {', '.join(self._kinds)}"
             )
         if self._worker is None or self._worker.done():
             raise ServiceError("service not started; use 'async with' or await start()")
@@ -144,9 +149,11 @@ class AsyncMSTService:
                     w: float | None = None, *, timeout_s: float | None = None):
         """Answer one query, transparently batched with concurrent callers.
 
-        ``kind`` is one of ``connected``, ``component``, ``component_size``,
-        ``bottleneck``, ``replacement``, ``weight``.  Awaiting may block on
-        queue backpressure when the service is saturated.
+        ``kind`` is one of the wrapped service's query kinds — for MST
+        ``connected``, ``component``, ``component_size``, ``bottleneck``,
+        ``replacement``, ``weight``; problem services declare their own
+        (see :mod:`repro.solve.service`).  Awaiting may block on queue
+        backpressure when the service is saturated.
 
         ``timeout_s`` sets a per-request deadline: if it expires before
         the batch worker dequeues the request — or before its batch

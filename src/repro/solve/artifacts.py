@@ -1,0 +1,283 @@
+"""Content-addressed store of solved problem artifacts.
+
+The problem-registry sibling of :mod:`repro.service.artifacts`: one
+solved instance of a registered problem (SSSP distances + canonical
+parents, CC labels, ...) is an immutable artifact addressed by the
+SHA-256 of the exact graph bytes plus the problem name, kernel mode, and
+solve parameters.  Any change to the topology, the weights, the problem,
+or a parameter (a different SSSP source, say) yields a new address —
+invalidation is structural, never a guess.
+
+The on-disk format mirrors the MSF store deliberately: one
+``<fingerprint>.npz`` per artifact under the store root, atomic
+tmp-then-replace writes, ``allow_pickle=False`` loads, a format version
+for forward invalidation, and graceful degradation — a corrupted or
+version-incompatible file is treated as a cache miss and overwritten,
+never raised out of :meth:`ProblemArtifactStore.get_or_compute`.  The
+array schema is validated against the problem's registry entry
+(:class:`~repro.solve.registry.ProblemInfo.arrays`) on load, so a file
+claiming to be an SSSP artifact cannot be served with CC's shape.
+
+Both stores share :func:`repro.service.artifacts.update_graph_hash` —
+the single definition of "the graph bytes" — under different salts, so
+MSF and problem artifacts can never collide in a shared directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.service.artifacts import update_graph_hash
+
+__all__ = [
+    "ProblemArtifact",
+    "ProblemArtifactStore",
+    "problem_fingerprint",
+    "problem_artifact_from_result",
+    "load_problem_artifact",
+    "save_problem_artifact",
+]
+
+_FORMAT_VERSION = 1
+_FINGERPRINT_SALT = b"repro-problem-artifact-v1"
+
+
+def problem_fingerprint(
+    g: CSRGraph, problem: str, mode: str | None = None, params: dict | None = None
+) -> str:
+    """SHA-256 content address of ``(graph bytes, problem, mode, params)``.
+
+    Parameters are hashed in sorted-key order with ``repr`` values, so
+    ``source=0`` and ``source=1`` solves of the same graph are distinct
+    artifacts.  The salt differs from the MSF store's, so the two
+    artifact kinds cannot collide even in a shared directory.
+    """
+    h = hashlib.sha256()
+    h.update(_FINGERPRINT_SALT)
+    update_graph_hash(h, g)
+    h.update(problem.encode())
+    h.update((mode or "default").encode())
+    for key in sorted(params or {}):
+        h.update(f"{key}={params[key]!r};".encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ProblemArtifact:
+    """One immutable solved-problem artifact.
+
+    ``arrays`` holds exactly the problem's registry schema
+    (``dist``/``parent``/``parent_edge`` for SSSP, ``labels`` for CC);
+    ``scalars`` the JSON-safe summary values (``source``,
+    ``n_components``, ...); ``params`` the solve parameters that entered
+    the fingerprint.
+    """
+
+    fingerprint: str
+    problem: str
+    mode: Optional[str]
+    n_vertices: int
+    arrays: Dict[str, np.ndarray] = field(repr=False)
+    scalars: Dict[str, object] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def problem_artifact_from_result(
+    g: CSRGraph, result, problem: str, mode: str | None = None, params: dict | None = None
+) -> ProblemArtifact:
+    """Package an already-computed :class:`ProblemResult` as an artifact."""
+    params = dict(params or {})
+    return ProblemArtifact(
+        fingerprint=problem_fingerprint(g, problem, mode, params),
+        problem=problem,
+        mode=mode,
+        n_vertices=g.n_vertices,
+        arrays={k: np.asarray(v) for k, v in result.arrays().items()},
+        scalars=dict(result.scalars()),
+        params=params,
+    )
+
+
+def _validate(artifact: ProblemArtifact, path) -> None:
+    """Structural sanity of a deserialised artifact (clean errors)."""
+    from repro.solve.registry import problem_info
+
+    try:
+        info = problem_info(artifact.problem)
+    except Exception as exc:
+        raise ServiceError(
+            f"corrupted artifact {path}: unknown problem {artifact.problem!r}"
+        ) from exc
+    if sorted(artifact.arrays) != sorted(info.arrays):
+        raise ServiceError(
+            f"corrupted artifact {path}: array schema {sorted(artifact.arrays)} "
+            f"does not match problem {artifact.problem!r} ({sorted(info.arrays)})"
+        )
+    for name, arr in artifact.arrays.items():
+        if arr.ndim != 1 or arr.size != artifact.n_vertices:
+            raise ServiceError(
+                f"corrupted artifact {path}: array {name!r} has shape "
+                f"{arr.shape}, expected ({artifact.n_vertices},)"
+            )
+
+
+class ProblemArtifactStore:
+    """Directory-backed content-addressed cache of problem artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_replaced = 0
+
+    def path_for(self, fingerprint: str) -> Path:
+        """On-disk location of one artifact."""
+        return self.root / f"{fingerprint}.npz"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def get_or_compute(
+        self,
+        g: CSRGraph,
+        problem: str,
+        mode: str | None = None,
+        *,
+        backend=None,
+        **params,
+    ) -> tuple[ProblemArtifact, bool]:
+        """Serve the artifact, solving and persisting on miss.
+
+        Returns ``(artifact, cache_hit)``.  Corrupted or incompatible
+        cached files count as misses — recomputed and overwritten, never
+        raised.
+        """
+        fingerprint = problem_fingerprint(g, problem, mode, params)
+        path = self.path_for(fingerprint)
+        if path.exists():
+            try:
+                artifact = self.load(path, expect_fingerprint=fingerprint)
+                self.hits += 1
+                return artifact, True
+            except ServiceError:
+                self.corrupt_replaced += 1
+        self.misses += 1
+        from repro.solve.registry import get_problem
+
+        result = get_problem(problem, mode)(g, backend=backend, **params)
+        artifact = problem_artifact_from_result(g, result, problem, mode, params)
+        self.save(artifact)
+        return artifact, False
+
+    def save(self, artifact: ProblemArtifact) -> Path:
+        """Atomically write one artifact; returns its path."""
+        return save_problem_artifact(artifact, self.path_for(artifact.fingerprint))
+
+    def load(
+        self, path: str | Path, expect_fingerprint: str | None = None
+    ) -> ProblemArtifact:
+        """Deserialise one ``.npz`` artifact (see :func:`load_problem_artifact`)."""
+        return load_problem_artifact(path, expect_fingerprint)
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one cached artifact; True when a file was removed."""
+        path = self.path_for(fingerprint)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def stats(self) -> dict:
+        """Hit/miss/corruption counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_replaced": self.corrupt_replaced,
+        }
+
+
+def save_problem_artifact(artifact: ProblemArtifact, path: str | Path) -> Path:
+    """Atomically write one artifact ``.npz`` to an arbitrary path."""
+    path = Path(path)
+    tmp = path.with_suffix(".tmp.npz")
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "fingerprint": np.str_(artifact.fingerprint),
+        "problem": np.str_(artifact.problem),
+        "mode": np.str_(artifact.mode or ""),
+        "n_vertices": np.int64(artifact.n_vertices),
+        "scalars_json": np.str_(json.dumps(artifact.scalars, sort_keys=True)),
+        "params_json": np.str_(json.dumps(artifact.params, sort_keys=True)),
+        "array_names": np.array(sorted(artifact.arrays), dtype=np.str_),
+    }
+    for name in sorted(artifact.arrays):
+        payload[f"arr_{name}"] = artifact.arrays[name]
+    np.savez_compressed(tmp, **payload)
+    os.replace(tmp, path)
+    return path
+
+
+def load_problem_artifact(
+    path: str | Path, expect_fingerprint: str | None = None
+) -> ProblemArtifact:
+    """Deserialise one ``.npz`` problem artifact.
+
+    Raises :class:`~repro.errors.ServiceError` — never a raw traceback —
+    on truncated files, missing fields, version or schema mismatches, or
+    fingerprint disagreement.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != _FORMAT_VERSION:
+                raise ServiceError(
+                    f"unsupported artifact version {version} in {path}"
+                )
+            fingerprint = str(data["fingerprint"].item())
+            if expect_fingerprint is not None and fingerprint != expect_fingerprint:
+                raise ServiceError(
+                    f"artifact fingerprint mismatch in {path}: file claims "
+                    f"{fingerprint[:12]}..., expected {expect_fingerprint[:12]}..."
+                )
+            names = [str(x) for x in np.array(data["array_names"])]
+            artifact = ProblemArtifact(
+                fingerprint=fingerprint,
+                problem=str(data["problem"].item()),
+                mode=str(data["mode"].item()) or None,
+                n_vertices=int(data["n_vertices"]),
+                arrays={name: np.array(data[f"arr_{name}"]) for name in names},
+                scalars=json.loads(str(data["scalars_json"].item())),
+                params=json.loads(str(data["params_json"].item())),
+            )
+    except ServiceError:
+        raise
+    except (
+        OSError,
+        KeyError,
+        ValueError,
+        zipfile.BadZipFile,
+        EOFError,
+        json.JSONDecodeError,
+        # Bit flips / garbage inside a zip member surface from the
+        # decompressor and the header parser, not from zipfile.
+        zlib.error,
+        struct.error,
+    ) as exc:
+        raise ServiceError(f"corrupted artifact file {path}: {exc}") from exc
+    _validate(artifact, path)
+    return artifact

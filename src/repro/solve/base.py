@@ -1,0 +1,52 @@
+"""Shared result shape for the multi-problem solver surface.
+
+Every problem registered in :mod:`repro.solve.registry` returns a
+:class:`ProblemResult` subclass.  The uniform contract is small on
+purpose — the serving, artifact, checking, and benchmark layers only need
+three things from a solve:
+
+* :meth:`ProblemResult.arrays` — the named per-solve output arrays (the
+  artifact schema recorded in
+  :class:`~repro.solve.registry.ProblemInfo.arrays`);
+* :meth:`ProblemResult.scalars` — small JSON-safe scalars (component
+  counts, the SSSP source, ...) persisted next to the arrays;
+* :attr:`ProblemResult.stats` — solver-internal counters (rounds,
+  relaxations) surfaced by the CLI and attached to obs spans.
+
+Byte-identical determinism is part of the contract: for a given graph and
+parameters, every mode of a problem must return identical arrays — the
+same rule the MST kernel modes follow, and what the differential harness
+in :mod:`repro.checking.problems` enforces across the adversarial
+families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["ProblemResult"]
+
+
+@dataclass
+class ProblemResult:
+    """Base class for one problem's solve output."""
+
+    problem: str
+    n_vertices: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The named output arrays (the problem's artifact schema)."""
+        raise NotImplementedError
+
+    def scalars(self) -> Dict[str, object]:
+        """JSON-safe scalar outputs persisted alongside the arrays."""
+        return {}
+
+    def summary(self) -> str:
+        """One human-readable line for the CLI."""
+        scal = ", ".join(f"{k}={v}" for k, v in sorted(self.scalars().items()))
+        return f"{self.problem}: n={self.n_vertices}" + (f", {scal}" if scal else "")

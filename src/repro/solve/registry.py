@@ -1,0 +1,192 @@
+"""Problem registry: the multi-problem generalisation of ``mst/registry``.
+
+``mst/registry.py`` maps algorithm names to MST solvers; this registry
+maps *problem* names to everything the production layers need to host a
+problem — solver entry point, kernel modes, differential oracle, and the
+artifact schema (array/scalar names) the content-addressed store
+persists.  The serving, checking, benchmark, and CLI layers discover
+problems here by name instead of hard-coding them, so adding a problem
+is one table row plus its solver module.
+
+MST itself keeps its dedicated surface (``repro mst`` / ``repro query``
+and the :mod:`repro.mst.registry` algorithm table — one problem, many
+algorithms); this registry hosts the single-solver problems that ride on
+the generic LLP runtime (one problem, one solver, many modes).
+
+Mode semantics match MST exactly: ``"loop"`` is the pure-Python
+algorithmic reference, ``"vectorized"`` the NumPy array-kernel fast
+path, ``"auto"`` resolves per graph — and every mode of a problem must
+return byte-identical arrays (enforced across the adversarial families
+by :mod:`repro.checking.problems`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import BenchmarkError
+from repro.graphs.csr import CSRGraph
+from repro.obs.trace import span as _obs_span
+from repro.solve.base import ProblemResult
+
+__all__ = [
+    "ProblemInfo",
+    "available_problems",
+    "problem_info",
+    "list_problem_info",
+    "get_problem",
+    "get_oracle",
+    "PROBLEM_MODES",
+]
+
+PROBLEM_MODES: Tuple[str, ...] = ("loop", "vectorized", "auto")
+
+
+@dataclass(frozen=True)
+class ProblemInfo:
+    """Registry metadata for one problem name.
+
+    ``arrays`` and ``scalars`` name the artifact schema — exactly the
+    keys of :meth:`~repro.solve.base.ProblemResult.arrays` /
+    :meth:`~repro.solve.base.ProblemResult.scalars` — which the ``.npz``
+    store validates on load.  ``params`` lists the solve parameters the
+    problem accepts (they enter the artifact fingerprint).
+    ``auto_min_edges`` is the coarse ``mode="auto"`` crossover: graphs
+    with at least this many edges take the vectorized path.  Because
+    modes are byte-identical, the crossover affects latency only, never
+    results.
+    """
+
+    name: str
+    description: str
+    oracle: str
+    arrays: Tuple[str, ...]
+    scalars: Tuple[str, ...]
+    params: Tuple[str, ...] = ()
+    modes: Tuple[str, ...] = PROBLEM_MODES
+    auto_min_edges: int = 4096
+
+    @property
+    def has_vectorized(self) -> bool:
+        return "vectorized" in self.modes
+
+
+_SolveFn = Callable[..., ProblemResult]
+
+_REGISTRY: Dict[str, Tuple[ProblemInfo, _SolveFn, _SolveFn]] = {}
+
+
+def _register() -> None:
+    from repro.solve.cc import cc_oracle, solve_cc
+    from repro.solve.sssp import solve_sssp, sssp_oracle
+
+    _REGISTRY.update(
+        {
+            "sssp": (
+                ProblemInfo(
+                    name="sssp",
+                    description=(
+                        "single-source shortest paths (Bellman-Ford LLP; "
+                        "nonnegative weights, canonical tight-edge parents)"
+                    ),
+                    oracle="dijkstra-heap",
+                    arrays=("dist", "parent", "parent_edge"),
+                    scalars=("source", "n_reached"),
+                    params=("source",),
+                ),
+                solve_sssp,
+                sssp_oracle,
+            ),
+            "cc": (
+                ProblemInfo(
+                    name="cc",
+                    description=(
+                        "connected components (min-label hooking + pointer "
+                        "jumping; labels = component-minimum vertex id)"
+                    ),
+                    oracle="union-find",
+                    arrays=("labels",),
+                    scalars=("n_components",),
+                    params=(),
+                ),
+                solve_cc,
+                cc_oracle,
+            ),
+        }
+    )
+
+
+def available_problems() -> list[str]:
+    """Names of every registered problem."""
+    if not _REGISTRY:
+        _register()
+    return sorted(_REGISTRY)
+
+
+def problem_info(name: str) -> ProblemInfo:
+    """Metadata (modes, oracle, artifact schema) for a registered problem."""
+    if not _REGISTRY:
+        _register()
+    if name not in _REGISTRY:
+        raise BenchmarkError(
+            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
+        )
+    return _REGISTRY[name][0]
+
+
+def list_problem_info() -> list[ProblemInfo]:
+    """Metadata for every registered problem, in listing order."""
+    return [problem_info(name) for name in available_problems()]
+
+
+def _effective_mode(info: ProblemInfo, mode: str | None, g: CSRGraph) -> str:
+    if mode is None:
+        return "loop"
+    if mode != "auto":
+        return mode
+    return "vectorized" if g.n_edges >= info.auto_min_edges else "loop"
+
+
+def get_problem(name: str, mode: str | None = None) -> _SolveFn:
+    """Uniform ``fn(graph, backend=None, **params)`` adapter for a problem.
+
+    Mirrors :func:`repro.mst.registry.get_algorithm`: the returned
+    callable resolves ``"auto"`` per graph at call time and runs the
+    solve inside one ``solve:<problem>`` span — the anchor the service,
+    checking, and trace layers nest under, and the opt-in cProfile
+    attachment point.
+    """
+    info = problem_info(name)
+    if mode is not None and mode not in info.modes:
+        raise BenchmarkError(
+            f"problem {name!r} has no {mode!r} mode; supported: "
+            f"{', '.join(info.modes)}"
+        )
+    solve = _REGISTRY[name][1]
+
+    def run_problem(g: CSRGraph, backend=None, **params) -> ProblemResult:
+        eff = _effective_mode(info, mode, g)
+        with _obs_span(
+            f"solve:{name}",
+            "solve",
+            profile=True,
+            problem=name,
+            mode=eff,
+            mode_requested=mode or "default",
+            n_vertices=g.n_vertices,
+            n_edges=g.n_edges,
+        ) as sp:
+            result = solve(g, mode=eff, backend=backend, **params)
+            for key, value in result.stats.items():
+                sp.set_attr(key, value)
+        return result
+
+    run_problem.__name__ = f"run_{name}"
+    return run_problem
+
+
+def get_oracle(name: str) -> _SolveFn:
+    """The problem's differential reference solver (independent code path)."""
+    problem_info(name)
+    return _REGISTRY[name][2]

@@ -1,0 +1,250 @@
+"""`ProblemService` — the compute-once/serve-many front door per problem.
+
+The :class:`~repro.service.core.MSTService` pattern generalised to any
+registered problem: a content-addressed
+:class:`~repro.solve.artifacts.ProblemArtifactStore` (each instance
+solved at most once per graph content + parameters), a vectorized batch
+:class:`ProblemQueryEngine` over the artifact's arrays, and the shared
+:class:`~repro.service.metrics.ServiceMetrics` recorder.
+
+Because the service exposes ``query_kinds`` and an engine with the batch
+``execute(kind, us, vs, ws)`` entry point, the asyncio coalescing tier
+(:class:`~repro.service.server.AsyncMSTService` — request batching, LRU
+cache, backpressure, deadlines) wraps it unchanged::
+
+    svc = ProblemService("cache/", problem="sssp", mode="auto", source=0)
+    svc.load_graph(g)
+    svc.dist([4, 9, 17])            # batched gather from the artifact
+    async with AsyncMSTService(svc) as srv:
+        await srv.query("dist", 4)
+
+Query kinds
+-----------
+``sssp``: ``dist`` (float distance, ``inf`` if unreachable), ``parent``
+(canonical tight-edge parent, ``-1`` for source/unreachable), ``reached``
+(bool).  ``cc``: ``label`` (component-minimum vertex id), ``same``
+(bool, one label test per ``(u, v)`` pair), ``component_size``.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.obs.trace import span as _obs_span
+from repro.service.metrics import ServiceMetrics
+from repro.solve.artifacts import (
+    ProblemArtifact,
+    ProblemArtifactStore,
+    load_problem_artifact,
+    problem_artifact_from_result,
+)
+from repro.solve.registry import get_problem, problem_info
+
+__all__ = ["ProblemQueryEngine", "ProblemService", "PROBLEM_QUERY_KINDS"]
+
+# Admissible batch-query kinds per problem; the async front-end reads
+# these through ProblemService.query_kinds.
+PROBLEM_QUERY_KINDS: Dict[str, Tuple[str, ...]] = {
+    "sssp": ("dist", "parent", "reached"),
+    "cc": ("label", "same", "component_size"),
+}
+
+
+class ProblemQueryEngine:
+    """Vectorized batch queries over one problem artifact's arrays."""
+
+    def __init__(self, artifact: ProblemArtifact, *, backend=None) -> None:
+        self.artifact = artifact
+        self.backend = backend
+        self.kinds = PROBLEM_QUERY_KINDS.get(artifact.problem, ())
+        if not self.kinds:
+            raise ServiceError(
+                f"problem {artifact.problem!r} has no query kinds registered"
+            )
+        n = artifact.n_vertices
+        if artifact.problem == "cc":
+            labels = artifact.arrays["labels"]
+            # Labels are component-minimum vertex ids, so one bincount
+            # indexed by label answers every component_size query.
+            self._sizes = (
+                np.bincount(labels, minlength=n) if n else np.zeros(0, np.int64)
+            )
+
+    def _vertices(self, vs) -> np.ndarray:
+        out = np.asarray(vs, dtype=np.int64)
+        n = self.artifact.n_vertices
+        if out.size and (out.min() < 0 or out.max() >= n):
+            raise ServiceError(f"vertex id out of range for {n} vertices")
+        return out
+
+    def execute(self, kind: str, us, vs, ws) -> np.ndarray:
+        """One vectorized batch: parallel ``us``/``vs``/``ws`` in, answers out."""
+        if kind not in self.kinds:
+            raise ServiceError(
+                f"unknown query kind {kind!r} for problem "
+                f"{self.artifact.problem!r}; supported: {', '.join(self.kinds)}"
+            )
+        arrays = self.artifact.arrays
+        u = self._vertices(us)
+        if kind == "dist":
+            return arrays["dist"][u]
+        if kind == "parent":
+            return arrays["parent"][u]
+        if kind == "reached":
+            return np.isfinite(arrays["dist"][u])
+        if kind == "label":
+            return arrays["labels"][u]
+        if kind == "same":
+            v = self._vertices(vs)
+            return arrays["labels"][u] == arrays["labels"][v]
+        # component_size
+        return self._sizes[arrays["labels"][u]]
+
+
+class ProblemService:
+    """Query service over precomputed artifacts of one registered problem."""
+
+    def __init__(
+        self,
+        store: ProblemArtifactStore | str | Path | None = None,
+        *,
+        problem: str = "sssp",
+        mode: str | None = "auto",
+        backend=None,
+        metrics: ServiceMetrics | None = None,
+        **params,
+    ) -> None:
+        info = problem_info(problem)  # validates the name eagerly
+        unknown = sorted(set(params) - set(info.params))
+        if unknown:
+            raise ServiceError(
+                f"problem {problem!r} takes no parameter(s) {', '.join(unknown)}"
+            )
+        if isinstance(store, (str, Path)):
+            store = ProblemArtifactStore(store)
+        self.store = store
+        self.problem = problem
+        self.mode = mode
+        self.backend = backend
+        self.params = dict(params)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._engine: Optional[ProblemQueryEngine] = None
+        self._graph: Optional[CSRGraph] = None
+
+    @property
+    def query_kinds(self) -> Tuple[str, ...]:
+        """Admissible kinds — the async front-end's admission table."""
+        return PROBLEM_QUERY_KINDS.get(self.problem, ())
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_graph(self, g: CSRGraph) -> ProblemArtifact:
+        """Serve ``g``: reuse its cached artifact or solve once and persist."""
+        with _obs_span(
+            "service:load_graph", "service", problem=self.problem,
+            n_vertices=g.n_vertices, n_edges=g.n_edges,
+        ) as sp:
+            if self.store is not None:
+                artifact, hit = self.store.get_or_compute(
+                    g, self.problem, self.mode, backend=self.backend,
+                    **self.params,
+                )
+            else:
+                result = get_problem(self.problem, self.mode)(
+                    g, backend=self.backend, **self.params
+                )
+                artifact = problem_artifact_from_result(
+                    g, result, self.problem, self.mode, self.params
+                )
+                hit = False
+            sp.set_attr("artifact_hit", hit)
+            self.metrics.record_artifact(hit)
+            self._graph = g
+            self._engine = ProblemQueryEngine(artifact, backend=self.backend)
+            return artifact
+
+    def load_artifact(self, path: str | Path) -> ProblemArtifact:
+        """Serve a saved ``.npz`` artifact file (offline mode; no graph)."""
+        artifact = load_problem_artifact(path)
+        if artifact.problem != self.problem:
+            raise ServiceError(
+                f"artifact solves {artifact.problem!r}, service hosts "
+                f"{self.problem!r}"
+            )
+        self.metrics.record_artifact(True)
+        self._graph = None
+        self._engine = ProblemQueryEngine(artifact, backend=self.backend)
+        return artifact
+
+    def ensure_ready(self) -> ProblemQueryEngine:
+        """The live engine, synchronously (re)building it when required."""
+        if self._engine is None:
+            if self._graph is None:
+                raise ServiceError(
+                    "no graph or artifact loaded; call load_graph first"
+                )
+            self.load_graph(self._graph)
+        return self._engine
+
+    @property
+    def artifact(self) -> ProblemArtifact:
+        """The currently served artifact."""
+        return self.ensure_ready().artifact
+
+    def invalidate(self) -> None:
+        """Drop the live engine (next query rebuilds via :meth:`ensure_ready`)."""
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # Queries — scalars or array-likes in, matching shape out
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _descalar(value, scalar: bool):
+        return value[0].item() if scalar and np.ndim(value) else value
+
+    def _timed(self, kind: str, fn):
+        t0 = time.perf_counter()
+        with _obs_span(f"query:{kind}", "service"):
+            out = fn()
+        self.metrics.record_query(kind, time.perf_counter() - t0)
+        return out
+
+    def _query(self, kind: str, us, vs=None):
+        scalar = np.ndim(us) == 0
+        us_b = [us] if scalar else us
+        vs_b = ([vs] if scalar else vs) if vs is not None else us_b
+        out = self._timed(
+            kind, lambda: self.ensure_ready().execute(kind, us_b, vs_b, None)
+        )
+        return self._descalar(out, scalar)
+
+    def dist(self, vs):
+        """Shortest-path distance from the solve source (``inf`` unreachable)."""
+        return self._query("dist", vs)
+
+    def parent(self, vs):
+        """Canonical shortest-path-tree parent (``-1`` for source/unreachable)."""
+        return self._query("parent", vs)
+
+    def reached(self, vs):
+        """Whether each vertex is reachable from the solve source."""
+        return self._query("reached", vs)
+
+    def label(self, vs):
+        """Component label (minimum vertex id in the component)."""
+        return self._query("label", vs)
+
+    def same_component(self, us, vs):
+        """Same-component test; scalar in scalar out, batch in batch out."""
+        return self._query("same", us, vs)
+
+    def component_size(self, vs):
+        """Number of vertices in each queried vertex's component."""
+        return self._query("component_size", vs)

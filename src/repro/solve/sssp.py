@@ -1,0 +1,314 @@
+"""Single-source shortest paths as a registered LLP problem.
+
+Bellman-Ford is the canonical LLP instance: the state vector is the
+tentative distance array, ``forbidden(j)`` holds when some in-edge offers
+``dist[u] + w < dist[j]``, and ``advance`` takes the minimum offer.  Both
+execution modes here iterate that operator to its least fixpoint:
+
+``mode="loop"``
+    The queue-based sequential reference (SPFA shape): a deque of
+    vertices whose distance changed, relaxing one adjacency slice per
+    pop in pure Python — the per-edge algorithmic baseline.
+``mode="vectorized"``
+    Frontier-synchronous rounds on
+    :func:`repro.kernels.frontier.frontier_relax_additive`: one
+    ``np.minimum.at`` scatter-min relaxes the whole frontier's adjacency
+    per NumPy dispatch.
+
+Byte-identical determinism across modes
+---------------------------------------
+Weights must be nonnegative (:class:`~repro.errors.WeightError`
+otherwise).  Distances are always computed in float64.  For nonnegative
+``w``, float addition is monotone (``fl(x + w) >= x`` and
+``x' >= x  =>  fl(x' + w) >= fl(x + w)``), so the minimum over all paths
+equals the minimum over *simple* paths of their left-to-right float sums
+— a finite set.  Any relaxation order that runs until no edge improves
+(the loop queue, the vectorized rounds, and the Dijkstra oracle alike)
+converges to exactly that minimum, hence ``dist`` is byte-identical
+across modes and oracle.  (Caveat inherited from the MST kernels: int64
+weights beyond 2**53 pass through float64 rounding; ranks-exact
+arithmetic is an MST-only feature.)
+
+Parent pointers are *not* taken from whichever relaxation happened to win
+a race — they are canonicalised by :func:`canonical_parents`, a
+deterministic BFS over tight edges (``dist[u] + w == dist[v]``) from the
+source, picking the unique minimum-rank tight in-edge per vertex.  Every
+vertex with finite distance has a tight in-edge (the relaxation that last
+set ``dist[v]`` used a value ``>=`` its source's final distance, and the
+fixpoint inequality closes the sandwich), so the BFS reaches all of them
+and the parent forest depends only on ``dist`` — not on the mode.
+
+Unreachable vertices report ``dist = inf`` and ``parent = -1``; the
+source reports ``dist = 0.0`` and ``parent = -1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AlgorithmError, GraphError, WeightError
+from repro.graphs.csr import CSRGraph
+from repro.kernels.frontier import frontier_edges, frontier_relax_additive
+from repro.obs.trace import span
+from repro.solve.base import ProblemResult
+
+__all__ = ["SSSPResult", "solve_sssp", "sssp_oracle", "canonical_parents"]
+
+
+@dataclass
+class SSSPResult(ProblemResult):
+    """Distances, canonical parent forest, and source of one SSSP solve."""
+
+    source: int = 0
+    dist: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.float64))
+    parent: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    parent_edge: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "dist": self.dist,
+            "parent": self.parent,
+            "parent_edge": self.parent_edge,
+        }
+
+    def scalars(self) -> Dict[str, object]:
+        return {"source": int(self.source), "n_reached": self.n_reached}
+
+    @property
+    def n_reached(self) -> int:
+        """Vertices with finite distance (the source included)."""
+        return int(np.isfinite(self.dist).sum())
+
+
+def _validate(g: CSRGraph, source: int) -> None:
+    if g.n_vertices == 0:
+        raise GraphError("sssp requires a graph with at least one vertex")
+    if not 0 <= source < g.n_vertices:
+        raise GraphError(
+            f"sssp source {source} out of range for {g.n_vertices} vertices"
+        )
+    if g.n_edges and bool((g.edge_w < 0).any()):
+        raise WeightError("sssp requires nonnegative edge weights")
+
+
+def _dist_loop(g: CSRGraph, source: int) -> tuple[np.ndarray, int]:
+    """Queue-based Bellman-Ford over Python lists; returns (dist, relaxations)."""
+    n = g.n_vertices
+    ind = g.indptr.tolist()
+    nbr = g.indices.tolist()
+    wts = g.weights.tolist()
+    inf = float("inf")
+    dist = [inf] * n
+    dist[source] = 0.0
+    in_queue = bytearray(n)
+    in_queue[source] = 1
+    q = deque([source])
+    relaxations = 0
+    while q:
+        u = q.popleft()
+        in_queue[u] = 0
+        du = dist[u]
+        for i in range(ind[u], ind[u + 1]):
+            v = nbr[i]
+            nd = du + wts[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                relaxations += 1
+                if not in_queue[v]:
+                    in_queue[v] = 1
+                    q.append(v)
+    return np.asarray(dist, dtype=np.float64), relaxations
+
+
+def _relax_all_edges(g: CSRGraph, dist: np.ndarray) -> tuple[np.ndarray, int]:
+    """One dense Bellman-Ford round over every half-edge at once.
+
+    The dense sibling of
+    :func:`~repro.kernels.frontier.frontier_relax_additive`: when the
+    frontier's adjacency approaches the whole edge set, gathering by
+    per-vertex CSR positions costs more than just streaming the full
+    ``indices``/``weights`` arrays contiguously.  Relaxing edges whose
+    source is *not* on the frontier is harmless — their candidates
+    cannot beat the fixpoint-bound ``dist`` they already produced.
+    """
+    with np.errstate(over="ignore"):
+        cand = dist[g.half_edge_sources] + g.weights
+    live = cand < dist[g.indices]
+    if not live.any():
+        return np.empty(0, dtype=np.int64), 0
+    tgt = g.indices[live]
+    np.minimum.at(dist, tgt, cand[live])
+    mask = np.zeros(g.n_vertices, dtype=bool)
+    mask[tgt] = True
+    return np.flatnonzero(mask), int(tgt.size)
+
+
+def _dist_vectorized(g: CSRGraph, source: int) -> tuple[np.ndarray, int, int]:
+    """Frontier-synchronous rounds; returns (dist, rounds, relaxations)."""
+    dist = np.full(g.n_vertices, np.inf, dtype=np.float64)
+    dist[source] = 0.0
+    frontier = np.asarray([source], dtype=np.int64)
+    rounds = 0
+    relaxations = 0
+    n_half = int(g.indptr[-1]) if g.n_vertices else 0
+    # Simple-path minimality bounds convergence at n rounds; the guard
+    # turns a (should-be-impossible) non-monotone float surprise into a
+    # diagnosable error instead of an infinite loop.
+    limit = g.n_vertices + 1
+    while frontier.size:
+        rounds += 1
+        if rounds > limit:
+            raise AlgorithmError(
+                "sssp vectorized relaxation exceeded the n-round bound"
+            )
+        # Dense/sparse switch: past ~1/3 of the half-edges, the CSR
+        # position gather costs more than streaming every edge.
+        degs = int(g.indptr[frontier + 1].sum() - g.indptr[frontier].sum())
+        dense = 3 * degs >= n_half
+        with span(
+            "sssp:round", "solve", round=rounds, frontier=int(frontier.size),
+            dense=dense,
+        ):
+            if dense:
+                frontier, live = _relax_all_edges(g, dist)
+            else:
+                frontier, live = frontier_relax_additive(
+                    frontier, g.indptr, g.indices, g.weights, dist
+                )
+        relaxations += live
+    return dist, rounds, relaxations
+
+
+def canonical_parents(
+    g: CSRGraph, dist: np.ndarray, source: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mode-independent parent forest: BFS over tight edges from the source.
+
+    An edge is *tight* when ``dist[src] + w == dist[tgt]`` (finite).  Each
+    newly reached vertex adopts the minimum-rank tight in-edge from the
+    reached set — ranks are globally unique, so there is exactly one
+    winner and the forest is a pure function of ``dist``.  Zero-weight
+    (or float-absorbed) tight cycles are harmless: BFS only assigns
+    parents to unreached vertices, so pointers always step strictly
+    closer to the source.
+    """
+    n = g.n_vertices
+    parent = np.full(n, -1, dtype=np.int64)
+    parent_edge = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return parent, parent_edge
+    reached = np.zeros(n, dtype=bool)
+    reached[source] = True
+    frontier = np.asarray([source], dtype=np.int64)
+    best = np.full(n, g.n_edges, dtype=np.int64)
+    rounds = 0
+    while frontier.size:
+        rounds += 1
+        if rounds > n:
+            raise AlgorithmError("sssp parent BFS exceeded the n-round bound")
+        pos, src = frontier_edges(g.indptr, frontier)
+        if pos.size == 0:
+            break
+        tgt = g.indices[pos]
+        # inf candidates (absorbing overflow) are filtered by isfinite.
+        with np.errstate(over="ignore"):
+            cand = dist[src] + g.weights[pos]
+        tight = ~reached[tgt] & np.isfinite(cand) & (cand == dist[tgt])
+        if not tight.any():
+            break
+        pos, src, tgt = pos[tight], src[tight], tgt[tight]
+        hr = g.half_ranks[pos]
+        np.minimum.at(best, tgt, hr)
+        win = hr == best[tgt]
+        tgt_w = tgt[win]
+        parent[tgt_w] = src[win]
+        parent_edge[tgt_w] = g.edge_ids[pos[win]]
+        reached[tgt_w] = True
+        # Ranks are unique, so exactly one in-edge wins per target and
+        # tgt_w is already duplicate-free; sort keeps the BFS gather
+        # order deterministic without np.unique's hashing.
+        frontier = np.sort(tgt_w)
+    return parent, parent_edge
+
+
+def solve_sssp(
+    g: CSRGraph, *, source: int = 0, mode: str = "loop", backend=None
+) -> SSSPResult:
+    """Solve SSSP from ``source``; ``mode`` is ``"loop"`` or ``"vectorized"``."""
+    _validate(g, source)
+    source = int(source)
+    if mode == "loop":
+        dist, relaxations = _dist_loop(g, source)
+        stats = {"relaxations": relaxations}
+    elif mode == "vectorized":
+        dist, rounds, relaxations = _dist_vectorized(g, source)
+        stats = {"rounds": rounds, "relaxations": relaxations}
+    else:
+        raise AlgorithmError(f"sssp has no mode {mode!r}")
+    parent, parent_edge = canonical_parents(g, dist, source)
+    dist.setflags(write=False)
+    parent.setflags(write=False)
+    parent_edge.setflags(write=False)
+    return SSSPResult(
+        problem="sssp",
+        n_vertices=g.n_vertices,
+        stats=stats,
+        source=source,
+        dist=dist,
+        parent=parent,
+        parent_edge=parent_edge,
+    )
+
+
+def sssp_oracle(g: CSRGraph, *, source: int = 0, **_ignored) -> SSSPResult:
+    """Independent reference: binary-heap Dijkstra in pure Python.
+
+    Exact under floats for nonnegative weights — extending a path never
+    decreases its float sum, so the greedy settles each vertex at the
+    true minimum over per-path left-to-right sums, the same value the
+    Bellman-Ford fixpoint reaches.  Parents go through the shared
+    :func:`canonical_parents` post-pass (they are a pure function of
+    ``dist``); the structural validator in
+    :mod:`repro.checking.problems` independently certifies the forest.
+    """
+    import heapq
+
+    _validate(g, source)
+    source = int(source)
+    n = g.n_vertices
+    ind = g.indptr.tolist()
+    nbr = g.indices.tolist()
+    wts = g.weights.tolist()
+    inf = float("inf")
+    dist = [inf] * n
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    pops = 0
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        pops += 1
+        for i in range(ind[u], ind[u + 1]):
+            v = nbr[i]
+            nd = d + wts[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    dist_arr = np.asarray(dist, dtype=np.float64)
+    parent, parent_edge = canonical_parents(g, dist_arr, source)
+    return SSSPResult(
+        problem="sssp",
+        n_vertices=n,
+        stats={"pops": pops},
+        source=source,
+        dist=dist_arr,
+        parent=parent,
+        parent_edge=parent_edge,
+    )

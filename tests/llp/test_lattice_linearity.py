@@ -1,0 +1,152 @@
+"""Definition-2 spot checks for every ``llp/problems`` formulation.
+
+Each LLP problem class is run to its fixpoint with the sequential engine
+recording every intermediate state, then :func:`check_lattice_linearity`
+replays the whole trajectory (bottom, every advance, the fixpoint):
+``forbidden_indices`` must agree with ``forbidden``, every advance must
+strictly increase its component, and no infeasible state may lack a
+forbidden index.  The seventh module, :mod:`repro.llp.problems.bipartite`,
+has no predicate of its own — it is the matching substrate the
+market-clearing lattice advances on — so its contract (maximum matching,
+minimal Hall violator) is checked directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_connected_graph
+from repro.llp.core import check_lattice_linearity
+from repro.llp.engine_seq import solve_sequential
+from repro.llp.problems.bipartite import hall_violator, max_bipartite_matching
+from repro.llp.problems.market_clearing import MarketClearingLLP
+from repro.llp.problems.mst_prim import PrimLLP
+from repro.llp.problems.pointer_jumping import PointerJumpingLLP
+from repro.llp.problems.scheduling import JobSchedulingLLP
+from repro.llp.problems.shortest_path import ShortestPathLLP
+from repro.llp.problems.stable_marriage import StableMarriageLLP
+
+
+def _trajectory(problem):
+    """Bottom-to-fixpoint states of one sequential solve."""
+    result = solve_sequential(problem, record_history=True)
+    states = [problem.bottom(), *result.history]
+    assert problem.is_feasible(states[-1])
+    return states
+
+
+def test_prim_llp_is_lattice_linear():
+    g = random_connected_graph(18, 30, seed=0)
+    problem = PrimLLP(g)
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_shortest_path_llp_is_lattice_linear():
+    g = random_connected_graph(16, 28, seed=1)
+    problem = ShortestPathLLP(g, source=0)
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_shortest_path_llp_nonzero_source():
+    g = random_connected_graph(12, 20, seed=2)
+    problem = ShortestPathLLP(g, source=5)
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_pointer_jumping_llp_is_lattice_linear():
+    # A three-level tree plus self-rooted vertices.
+    parent = np.array([0, 0, 0, 1, 1, 2, 4, 6, 8], dtype=np.int64)
+    problem = PointerJumpingLLP(parent)
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_scheduling_llp_is_lattice_linear():
+    problem = JobSchedulingLLP(
+        durations=[3.0, 2.0, 4.0, 1.0, 2.0],
+        precedences=[(0, 2), (1, 2), (2, 4), (3, 4)],
+        release=[0.0, 1.0, 0.0, 5.0, 0.0],
+    )
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_stable_marriage_llp_is_lattice_linear():
+    problem = StableMarriageLLP(
+        men_prefs=[[0, 1, 2], [1, 0, 2], [0, 2, 1]],
+        women_prefs=[[1, 0, 2], [0, 1, 2], [2, 1, 0]],
+    )
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_market_clearing_llp_is_lattice_linear():
+    problem = MarketClearingLLP(
+        np.array([[4, 1, 0], [3, 2, 1], [0, 3, 2]], dtype=np.int64)
+    )
+    check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_off_trajectory_states_are_covered():
+    # Definition 2 must hold off the solve path too: perturb trajectory
+    # states downward-compatible mixes (meet of two recorded states stays
+    # in the lattice for these max-based advances).
+    g = random_connected_graph(10, 16, seed=4)
+    problem = ShortestPathLLP(g, source=0)
+    states = _trajectory(problem)
+    mixes = [
+        np.minimum(states[i], states[j])
+        for i in range(0, len(states), 3)
+        for j in range(0, len(states), 5)
+    ]
+    check_lattice_linearity(problem, mixes)
+
+
+# ----------------------------------------------------------------------
+# bipartite.py — the matching substrate (no LLP predicate of its own)
+# ----------------------------------------------------------------------
+def test_max_bipartite_matching_is_maximum():
+    adj = [[0, 1], [0], [1, 2], [2]]
+    ml, mr = max_bipartite_matching(adj, 3)
+    matched = int((ml >= 0).sum())
+    assert matched == 3  # Koenig bound for this instance
+    for l, r in enumerate(ml):
+        if r >= 0:
+            assert mr[r] == l and r in adj[l]
+
+
+def test_hall_violator_empty_when_perfect():
+    assert hall_violator([[0], [1], [2]], 3) == []
+
+
+def test_hall_violator_is_overdemanded():
+    # Three buyers all demand only item 0: S = {0} has 3 > 1 demanders.
+    adj = [[0], [0], [0]]
+    s = hall_violator(adj, 2)
+    assert s == [0]
+    demanders = [l for l in range(len(adj)) if adj[l] and set(adj[l]) <= set(s)]
+    assert len(demanders) > len(s)
+
+
+def test_hall_violator_alternating_reachability():
+    # Buyers 0,1 fight over item 0; buyer 2 safely holds item 1.  The
+    # violator must include item 0 and exclude item 1.
+    adj = [[0], [0], [1]]
+    s = hall_violator(adj, 2)
+    assert s == [0]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_graph_llp_trajectories(seed):
+    # Random graphs widen the trajectory diversity beyond the fixtures.
+    g = random_connected_graph(14, 24, seed=seed)
+    for problem in (PrimLLP(g), ShortestPathLLP(g, source=0)):
+        check_lattice_linearity(problem, _trajectory(problem))
+
+
+def test_gnm_pointer_jumping_from_forest():
+    rng = np.random.default_rng(7)
+    n = 40
+    parent = np.arange(n, dtype=np.int64)
+    for v in range(1, n):
+        parent[v] = rng.integers(0, v)  # ancestors have smaller ids: acyclic
+    problem = PointerJumpingLLP(parent)
+    check_lattice_linearity(problem, _trajectory(problem))

@@ -1,0 +1,103 @@
+"""The problem registry: discovery, mode dispatch, and span anchoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.graphs.generators import gnm_random_graph, path_graph
+from repro.obs.trace import Tracer, use_tracer
+from repro.solve.registry import (
+    PROBLEM_MODES,
+    _effective_mode,
+    available_problems,
+    get_oracle,
+    get_problem,
+    list_problem_info,
+    problem_info,
+)
+
+
+def test_available_problems_sorted_and_nonempty():
+    names = available_problems()
+    assert names == sorted(names)
+    assert {"sssp", "cc"} <= set(names)
+
+
+def test_list_problem_info_matches_available():
+    assert [i.name for i in list_problem_info()] == available_problems()
+
+
+@pytest.mark.parametrize("name", ["sssp", "cc"])
+def test_problem_info_schema(name):
+    info = problem_info(name)
+    assert info.name == name
+    assert info.oracle
+    assert info.arrays
+    assert set(info.modes) == set(PROBLEM_MODES)
+    assert info.has_vectorized
+
+
+def test_unknown_problem_raises_with_listing():
+    with pytest.raises(BenchmarkError, match="available: cc, sssp"):
+        problem_info("bottleneck")
+    with pytest.raises(BenchmarkError):
+        get_problem("nope")
+
+
+def test_unknown_mode_raises():
+    with pytest.raises(BenchmarkError, match="no 'warp' mode"):
+        get_problem("sssp", "warp")
+
+
+def test_result_schema_matches_registry():
+    g = path_graph(6)
+    for info in list_problem_info():
+        params = {"source": 0} if "source" in info.params else {}
+        result = get_problem(info.name, "loop")(g, **params)
+        assert sorted(result.arrays()) == sorted(info.arrays)
+        assert sorted(result.scalars()) == sorted(info.scalars)
+
+
+def test_effective_mode_auto_threshold():
+    info = problem_info("cc")
+    small = path_graph(4)
+    big = gnm_random_graph(3000, info.auto_min_edges, seed=0)
+    assert _effective_mode(info, None, small) == "loop"
+    assert _effective_mode(info, "vectorized", small) == "vectorized"
+    assert _effective_mode(info, "auto", small) == "loop"
+    assert _effective_mode(info, "auto", big) == "vectorized"
+
+
+@pytest.mark.parametrize("name", ["sssp", "cc"])
+def test_all_modes_byte_identical(name):
+    g = gnm_random_graph(300, 900, seed=5)
+    results = {m: get_problem(name, m)(g).arrays() for m in PROBLEM_MODES}
+    ref = results["loop"]
+    for mode in ("vectorized", "auto"):
+        for key, arr in ref.items():
+            assert results[mode][key].dtype == arr.dtype
+            assert np.array_equal(results[mode][key], arr), (name, mode, key)
+
+
+@pytest.mark.parametrize("name", ["sssp", "cc"])
+def test_matches_oracle(name):
+    g = gnm_random_graph(200, 500, seed=2)
+    got = get_problem(name, "vectorized")(g).arrays()
+    ref = get_oracle(name)(g).arrays()
+    for key, arr in ref.items():
+        assert np.array_equal(got[key], arr)
+
+
+def test_solve_runs_under_named_span():
+    g = gnm_random_graph(50, 120, seed=1)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        get_problem("sssp", "vectorized")(g, source=3)
+    names = [s.name for s in tracer.spans]
+    assert "solve:sssp" in names
+    anchor = next(s for s in tracer.spans if s.name == "solve:sssp")
+    assert anchor.attrs["mode"] == "vectorized"
+    assert anchor.attrs["n_edges"] == g.n_edges
+    assert "rounds" in anchor.attrs  # solver stats attached at exit

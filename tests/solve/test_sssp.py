@@ -1,0 +1,156 @@
+"""SSSP: contracts, edge cases, and loop/vectorized/oracle agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, GraphError, WeightError
+from repro.graphs.csr import CSRGraph
+from repro.graphs.edgelist import EdgeList
+from repro.graphs.generators import (
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.solve.sssp import canonical_parents, solve_sssp, sssp_oracle
+
+
+def _graph(n, edges):
+    u = np.array([e[0] for e in edges], dtype=np.int64)
+    v = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.float64)
+    return CSRGraph.from_edgelist(EdgeList.from_arrays(n, u, v, w, dedup=False))
+
+
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+def test_path_distances(mode):
+    g = path_graph(5)
+    r = solve_sssp(g, mode=mode)
+    # Path weights are whatever the generator assigned; prefix sums match.
+    expect = np.zeros(5)
+    d = 0.0
+    for v in range(1, 5):
+        pos = np.flatnonzero((g.edge_u == v - 1) & (g.edge_v == v))
+        d += float(g.edge_w[pos[0]])
+        expect[v] = d
+    assert np.array_equal(r.dist, expect)
+    assert r.parent[0] == -1
+    assert np.array_equal(r.parent[1:], np.arange(4))
+    assert r.n_reached == 5
+
+
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+def test_unreachable_vertices(mode):
+    g = _graph(4, [(0, 1, 2.0)])  # vertices 2, 3 isolated
+    r = solve_sssp(g, mode=mode)
+    assert np.isinf(r.dist[2]) and np.isinf(r.dist[3])
+    assert r.parent[2] == -1 and r.parent_edge[3] == -1
+    assert r.n_reached == 2
+
+
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+def test_nonzero_source(mode):
+    g = star_graph(6)
+    r = solve_sssp(g, source=3, mode=mode)
+    assert r.source == 3
+    assert r.dist[3] == 0.0
+    assert r.parent[3] == -1
+    # Every leaf routes through the hub (vertex 0).
+    assert r.parent[0] == 3
+
+
+def test_rejects_empty_graph_and_bad_source():
+    g = path_graph(3)
+    with pytest.raises(GraphError):
+        solve_sssp(CSRGraph.from_edgelist(EdgeList.from_arrays(
+            0, np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.float64), dedup=False,
+        )))
+    with pytest.raises(GraphError):
+        solve_sssp(g, source=3)
+    with pytest.raises(GraphError):
+        solve_sssp(g, source=-1)
+
+
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+def test_rejects_negative_weights(mode):
+    g = _graph(3, [(0, 1, 1.0), (1, 2, -0.5)])
+    with pytest.raises(WeightError):
+        solve_sssp(g, mode=mode)
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(AlgorithmError):
+        solve_sssp(path_graph(3), mode="simd")
+
+
+@pytest.mark.parametrize("n,m,seed", [(60, 150, 0), (300, 1200, 1), (500, 600, 2)])
+def test_modes_and_oracle_byte_identical(n, m, seed):
+    g = gnm_random_graph(n, m, seed=seed)
+    loop = solve_sssp(g, mode="loop")
+    vec = solve_sssp(g, mode="vectorized")
+    ora = sssp_oracle(g)
+    for key in ("dist", "parent", "parent_edge"):
+        a = loop.arrays()[key]
+        assert np.array_equal(a, vec.arrays()[key]), key
+        assert np.array_equal(a, ora.arrays()[key]), key
+
+
+def test_zero_weight_edges_and_ties():
+    # Two equal-cost routes to vertex 3; the canonical parent must be the
+    # minimum-rank tight in-edge regardless of relaxation order.
+    g = _graph(4, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)])
+    loop = solve_sssp(g, mode="loop")
+    vec = solve_sssp(g, mode="vectorized")
+    assert np.array_equal(loop.parent, vec.parent)
+    assert loop.dist[3] == 2.0
+
+
+def test_huge_weights_absorb_to_inf_cleanly():
+    big = float(np.finfo(np.float64).max)
+    g = _graph(3, [(0, 1, big), (1, 2, big)])
+    for mode in ("loop", "vectorized"):
+        r = solve_sssp(g, mode=mode)
+        assert r.dist[1] == big
+        assert np.isinf(r.dist[2])  # overflow absorbs; vertex still "reached"
+        # Canonical parents only follow *finite* tight edges.
+        assert r.parent[2] == -1
+
+
+def test_canonical_parents_is_pure_function_of_dist():
+    g = gnm_random_graph(80, 200, seed=7)
+    dist = solve_sssp(g, mode="loop").dist
+    p1, e1 = canonical_parents(g, dist, 0)
+    p2, e2 = canonical_parents(g, dist.copy(), 0)
+    assert np.array_equal(p1, p2) and np.array_equal(e1, e2)
+
+
+def test_dense_round_switch_engages_on_expander():
+    # A near-complete graph forces the frontier past the 1/3 half-edge
+    # threshold, exercising _relax_all_edges; results must not change.
+    g = gnm_random_graph(40, 700, seed=3)
+    vec = solve_sssp(g, mode="vectorized")
+    ora = sssp_oracle(g)
+    assert np.array_equal(vec.dist, ora.dist)
+    assert np.array_equal(vec.parent, ora.parent)
+
+
+def test_single_vertex_graph():
+    g = CSRGraph.from_edgelist(EdgeList.from_arrays(
+        1, np.empty(0, np.int64), np.empty(0, np.int64),
+        np.empty(0, np.float64), dedup=False,
+    ))
+    for mode in ("loop", "vectorized"):
+        r = solve_sssp(g, mode=mode)
+        assert r.dist[0] == 0.0 and r.parent[0] == -1 and r.n_reached == 1
+
+
+@pytest.mark.parametrize("mode", ["loop", "vectorized"])
+def test_cycle_takes_cheaper_direction(mode):
+    g = cycle_graph(7)
+    r = solve_sssp(g, mode=mode)
+    o = sssp_oracle(g)
+    assert np.array_equal(r.dist, o.dist)
+    assert np.array_equal(r.parent, o.parent)

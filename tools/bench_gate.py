@@ -3,8 +3,9 @@
 Run:  PYTHONPATH=src python tools/bench_gate.py [--threshold 0.25]
       [--kernels BENCH_kernels.json] [--shard BENCH_shard.json]
       [--soak BENCH_soak.json] [--scale BENCH_scale.json]
+      [--problems BENCH_problems.json]
       [--fresh-kernels PATH] [--fresh-shard PATH] [--fresh-soak PATH]
-      [--fresh-scale PATH] [--repeats R]
+      [--fresh-scale PATH] [--fresh-problems PATH] [--repeats R]
 
 Absolute seconds are not comparable across machines, so the gate never
 compares a fresh wall time against a committed one.  Every check is a
@@ -40,6 +41,13 @@ compares a fresh wall time against a committed one.  Every check is a
   figure — is gated against the committed value, but only when the
   fresh report was measured at the committed graph shape (same
   ``params``), since bytes-per-edge legitimately shifts with scale.
+
+* **problems** — each registered problem's fresh mode ``speedup`` must
+  clear both the committed speedup within ``threshold`` *and* an
+  absolute floor of 5x (the paper-shape claim the report makes on its
+  100k-edge graph is that vectorization wins decisively, not narrowly);
+  ``identical_results`` / ``oracle_identical`` being false and
+  ``auto_speedup`` below 1.0 are hard failures at any threshold.
 
 ``identical_edge_sets`` / ``identical_edge_set`` being false in a fresh
 report is a hard correctness failure regardless of threshold.
@@ -219,6 +227,50 @@ def gate_scale(committed: dict, fresh: dict, threshold: float) -> list[str]:
     return failures
 
 
+# The problems report's contract on its committed 100k-edge graph:
+# vectorized mode must beat loop mode by at least this much, regardless
+# of how modest the committed reference happens to be.
+PROBLEMS_SPEEDUP_FLOOR = 5.0
+
+
+def gate_problems(committed: dict, fresh: dict, threshold: float) -> list[str]:
+    """Failures of the problems report against its committed reference.
+
+    Mode agreement and oracle identity are hard correctness failures;
+    ``auto_speedup`` below 1.0 means the registry's size threshold
+    dispatched to a regression — also hard.  The speedup floor is the
+    *stricter* of the committed-relative bar and the absolute 5x
+    contract, so a slow committed reference cannot quietly lower it.
+    """
+    failures: list[str] = []
+    for name, ref in sorted(committed.get("problems", {}).items()):
+        cur = fresh.get("problems", {}).get(name)
+        if cur is None:
+            failures.append(f"problems: problem {name!r} missing from fresh report")
+            continue
+        if not cur.get("identical_results", False):
+            failures.append(f"problems: {name} modes no longer agree")
+        if not cur.get("oracle_identical", False):
+            failures.append(
+                f"problems: {name} diverges from the "
+                f"{cur.get('oracle', '?')} oracle"
+            )
+        floor = max(ref["speedup"] / (1.0 + threshold), PROBLEMS_SPEEDUP_FLOOR)
+        if cur["speedup"] < floor:
+            failures.append(
+                f"problems: {name} vectorized speedup regressed "
+                f"{ref['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                f"(floor {floor:.2f}x)"
+            )
+        if cur.get("auto_speedup", 1.0) < 1.0:
+            failures.append(
+                f"problems: {name} auto mode is slower than loop "
+                f"({cur['auto_speedup']:.2f}x) — the size threshold picked "
+                f"a regression"
+            )
+    return failures
+
+
 def _measure_fresh(committed_kernels: dict, committed_shard: dict,
                    tmp: Path, repeats: int) -> tuple[dict, dict]:
     """Re-run both report scripts at the committed graph shapes."""
@@ -288,6 +340,21 @@ def _measure_fresh_scale(committed: dict, tmp: Path) -> dict:
     return json.loads(path.read_text())
 
 
+def _measure_fresh_problems(committed: dict, tmp: Path, repeats: int) -> dict:
+    """Re-run the problems report script at the committed graph shape."""
+    import bench_problems_report
+
+    pg = committed["graph"]
+    path = tmp / "problems.json"
+    rc = bench_problems_report.main([
+        str(path), "--n", str(pg["n_vertices"]), "--m", str(pg["n_edges"]),
+        "--seed", str(pg["seed"]), "--repeats", str(repeats),
+    ])
+    if rc != 0:
+        raise SystemExit(rc)
+    return json.loads(path.read_text())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -296,6 +363,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard", type=Path, default=_ROOT / "BENCH_shard.json")
     parser.add_argument("--soak", type=Path, default=_ROOT / "BENCH_soak.json")
     parser.add_argument("--scale", type=Path, default=_ROOT / "BENCH_scale.json")
+    parser.add_argument("--problems", type=Path,
+                        default=_ROOT / "BENCH_problems.json")
     parser.add_argument("--fresh-kernels", type=Path, default=None,
                         help="pre-computed fresh kernels report (skip measuring)")
     parser.add_argument("--fresh-shard", type=Path, default=None,
@@ -304,13 +373,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="pre-computed fresh soak report (skip measuring)")
     parser.add_argument("--fresh-scale", type=Path, default=None,
                         help="pre-computed fresh scale report (skip measuring)")
+    parser.add_argument("--fresh-problems", type=Path, default=None,
+                        help="pre-computed fresh problems report (skip measuring)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats when re-measuring")
     args = parser.parse_args(argv)
 
     any_fresh = bool(args.fresh_kernels or args.fresh_shard or args.fresh_soak
-                     or args.fresh_scale)
+                     or args.fresh_scale or args.fresh_problems)
     fresh_kernels = fresh_shard = fresh_soak = fresh_scale = None
+    fresh_problems = None
     if any_fresh:
         # Gate exactly the suites whose fresh report was handed in.
         if args.fresh_kernels:
@@ -321,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
             fresh_soak = json.loads(args.fresh_soak.read_text())
         if args.fresh_scale:
             fresh_scale = json.loads(args.fresh_scale.read_text())
+        if args.fresh_problems:
+            fresh_problems = json.loads(args.fresh_problems.read_text())
     else:
         committed_kernels = json.loads(args.kernels.read_text())
         committed_shard = json.loads(args.shard.read_text())
@@ -333,6 +407,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             fresh_scale = _measure_fresh_scale(
                 json.loads(args.scale.read_text()), Path(tmp)
+            )
+            fresh_problems = _measure_fresh_problems(
+                json.loads(args.problems.read_text()), Path(tmp), args.repeats
             )
 
     failures: list[str] = []
@@ -351,6 +428,11 @@ def main(argv: list[str] | None = None) -> int:
     if fresh_scale is not None:
         failures += gate_scale(
             json.loads(args.scale.read_text()), fresh_scale, args.threshold
+        )
+    if fresh_problems is not None:
+        failures += gate_problems(
+            json.loads(args.problems.read_text()), fresh_problems,
+            args.threshold
         )
     if failures:
         print(f"PERF GATE FAILED ({len(failures)} regression(s)):", file=sys.stderr)

@@ -1,0 +1,134 @@
+"""Measure per-problem mode speedups and write ``BENCH_problems.json``.
+
+Run:  PYTHONPATH=src python tools/bench_problems_report.py [output-path]
+      [--n N] [--m M] [--seed S] [--repeats R]
+
+Times every registered problem (SSSP, connected components, ...) in
+``loop`` and ``vectorized`` mode on one G(n, m) random graph (default
+33k vertices / 100k edges — the same shape as the kernels report),
+checks the two modes return byte-identical result arrays, checks the
+result against the problem's independent oracle (heap Dijkstra for SSSP,
+union-find for CC), and writes a JSON report with per-mode best-of-R
+wall times and the speedup ratio.  The committed ``BENCH_problems.json``
+at the repo root is this script's output on the default arguments.
+
+Each problem also gets an ``auto`` entry: the mode the registry's size
+threshold selects for this graph, with that mode's measured seconds.
+``auto_speedup`` below 1.0 means auto dispatched to a regression, which
+the gate (:mod:`tools.bench_gate`) treats as a hard failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro._version import __version__
+from repro.graphs.generators import gnm_random_graph
+from repro.solve.registry import (
+    _effective_mode,
+    get_oracle,
+    get_problem,
+    list_problem_info,
+)
+
+
+def _best_time(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _identical(a: dict, b: dict) -> bool:
+    """Byte-identical array dicts: same keys, dtypes, and values."""
+    if sorted(a) != sorted(b):
+        return False
+    return all(
+        a[k].dtype == b[k].dtype and np.array_equal(a[k], b[k]) for k in a
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("output", nargs="?", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "BENCH_problems.json")
+    parser.add_argument("--n", type=int, default=33_000, help="vertices")
+    parser.add_argument("--m", type=int, default=100_000, help="edges")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    args = parser.parse_args(argv)
+
+    g = gnm_random_graph(args.n, args.m, seed=args.seed)
+    g.indptr  # prewarm the CSR arrays both modes share
+
+    problems = {}
+    for info in list_problem_info():
+        entry: dict = {}
+        results = {}
+        for mode in ("loop", "vectorized"):
+            run = get_problem(info.name, mode)
+            secs, res = _best_time(lambda run=run: run(g), args.repeats)
+            entry[mode] = {"seconds": round(secs, 6)}
+            results[mode] = res.arrays()
+        identical = _identical(results["loop"], results["vectorized"])
+        if not identical:
+            print(f"FATAL: {info.name} modes disagree", file=sys.stderr)
+            return 1
+        oracle = get_oracle(info.name)(g)
+        oracle_identical = _identical(results["loop"], oracle.arrays())
+        if not oracle_identical:
+            print(f"FATAL: {info.name} diverges from the {info.oracle} oracle",
+                  file=sys.stderr)
+            return 1
+        entry["speedup"] = round(
+            entry["loop"]["seconds"] / entry["vectorized"]["seconds"], 2
+        )
+        entry["identical_results"] = identical
+        entry["oracle"] = info.oracle
+        entry["oracle_identical"] = oracle_identical
+        selected = _effective_mode(info, "auto", g)
+        entry["auto"] = {
+            "selected_mode": selected,
+            "seconds": entry[selected]["seconds"],
+        }
+        entry["auto_speedup"] = round(
+            entry["loop"]["seconds"] / entry["auto"]["seconds"], 2
+        )
+        problems[info.name] = entry
+        print(f"{info.name:8s} loop {entry['loop']['seconds']*1e3:9.2f} ms   "
+              f"vectorized {entry['vectorized']['seconds']*1e3:8.2f} ms   "
+              f"{entry['speedup']:6.1f}x   auto->{selected} "
+              f"{entry['auto_speedup']:5.2f}x   oracle={info.oracle} ok")
+
+    report = {
+        "benchmark": "registered problems, loop vs vectorized mode, oracle-checked",
+        "graph": {"generator": "gnm_random_graph", "n_vertices": args.n,
+                  "n_edges": args.m, "seed": args.seed},
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro_version": __version__,
+        "auto_never_slower": all(
+            e["auto_speedup"] >= 1.0 for e in problems.values()
+        ),
+        "problems": problems,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[written: {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
