@@ -249,6 +249,70 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wait at most this long for a batch to fill")
     servep.add_argument("--metrics", action="store_true",
                         help="print the service metrics report to stderr at exit")
+    servep.add_argument("--multi", action="store_true",
+                        help="multi-tenant mode: serve every graph registered "
+                             "under --root; request lines carry 'tenant' and "
+                             "'graph' fields and quota rejections come back as "
+                             "structured 429-style records")
+    servep.add_argument("--root", type=Path, default=None,
+                        help="platform root directory (holds platform.json and "
+                             "the shared artifact stores); required with --multi")
+
+    tenantp = sub.add_parser(
+        "tenant", help="manage the multi-tenant platform manifest"
+    )
+    tsub = tenantp.add_subparsers(dest="tenant_command", required=True)
+    tadd = tsub.add_parser("add", help="register a tenant with its quota")
+    trm = tsub.add_parser("rm", help="remove a tenant and its graphs")
+    tlist = tsub.add_parser("list", help="list tenants and their graphs")
+    tstats = tsub.add_parser("stats", help="print live platform statistics")
+    tgraph = tsub.add_parser("add-graph", help="register a graph for a tenant")
+    trmgraph = tsub.add_parser("rm-graph", help="remove one tenant graph")
+    for p in (tadd, trm, tlist, tstats, tgraph, trmgraph):
+        p.add_argument("--root", type=Path, required=True,
+                       help="platform root directory")
+    for p in (tadd, trm, tstats, tgraph, trmgraph):
+        p.add_argument("name", nargs="?" if p is tstats else None,
+                       help="tenant name")
+    tadd.add_argument("--max-graphs", type=int, default=8,
+                      help="hard cap on registered graphs (0 = unlimited)")
+    tadd.add_argument("--resident-budget", type=int, default=4,
+                      help="soft cap on resident query engines (LRU past it)")
+    tadd.add_argument("--max-queue-depth", type=int, default=256,
+                      help="max in-flight requests (0 = unlimited)")
+    tadd.add_argument("--rate-qps", type=float, default=0.0,
+                      help="token-bucket refill rate (0 disables rate limiting)")
+    tadd.add_argument("--burst", type=float, default=1.0,
+                      help="token-bucket capacity (max burst size)")
+    tgraph.add_argument("graph", help="graph name (unique within the tenant)")
+    tgsrc = tgraph.add_mutually_exclusive_group(required=True)
+    tgsrc.add_argument("--input", type=Path, default=None,
+                       help="graph file (.gr/.mtx/.tsv/.npz)")
+    tgsrc.add_argument("--gnm", default=None, metavar="N:M[:SEED]",
+                       help="random G(n,m) generator spec")
+    tgsrc.add_argument("--grid", default=None, metavar="R:C[:SEED]",
+                       help="grid generator spec")
+    tgsrc.add_argument("--dataset", default=None,
+                       help="registered bench dataset name")
+    tgraph.add_argument("--scale", type=int, default=None,
+                        help="with --dataset: dataset scale")
+    tgraph.add_argument("--seed", type=int, default=0,
+                        help="with --dataset: dataset seed")
+    tgraph.add_argument("--problem", default="mst",
+                        help="what to solve and serve (mst, sssp, cc)")
+    tgraph.add_argument("--source", type=int, default=0,
+                        help="with --problem sssp: the solve source vertex")
+    tgraph.add_argument("--algo", default="kruskal",
+                        help="MST algorithm for problem=mst")
+    tgraph.add_argument("--mode", choices=("loop", "vectorized", "auto"),
+                        default="auto")
+    tgraph.add_argument("--shards", type=int, default=0,
+                        help="solve cold builds through the sharded coordinator")
+    trmgraph.add_argument("graph", help="graph name to remove")
+    tlist.add_argument("--json", action="store_true",
+                       help="print the manifest-backed listing as JSON")
+    tstats.add_argument("--json", action="store_true",
+                        help="print the statistics as JSON")
 
     loadp = sub.add_parser(
         "load", help="drive scenario load at the async service"
@@ -452,6 +516,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"[trace written: {session.out_path} "
                   f"({session.n_spans} spans)]", file=sys.stderr)
         return rc
+    if args.command == "tenant":
+        return _cmd_tenant(args)
     if args.command == "load":
         return _cmd_load(args)
     if args.command == "run":
@@ -883,6 +949,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import MSTService
     from repro.service.server import AsyncMSTService
 
+    if args.multi:
+        return _cmd_serve_multi(args)
+
     if args.input is not None:
         g = _load_graph(args.input)
     else:
@@ -1037,6 +1106,305 @@ def _install_sigint(loop, handler) -> "callable":
             pass
 
     return uninstall
+
+
+def _parse_multi_request(line: str, _json) -> tuple[tuple | None, str | None]:
+    """Parse one multi-tenant JSON-lines request; ``(request, error)`` pair.
+
+    Like :func:`_parse_serve_request` plus required string ``tenant`` and
+    ``graph`` fields; the request tuple is
+    ``(tenant, graph, op, u, v, w)``.
+    """
+    if len(line.encode("utf-8", errors="replace")) > _MAX_REQUEST_BYTES:
+        return None, f"request exceeds {_MAX_REQUEST_BYTES} bytes"
+    try:
+        req = _json.loads(line)
+    except ValueError as exc:
+        return None, f"invalid JSON: {exc}"
+    if not isinstance(req, dict):
+        return None, "request must be a JSON object"
+    tenant, graph = req.get("tenant"), req.get("graph")
+    for name, val in (("tenant", tenant), ("graph", graph)):
+        if not isinstance(val, str) or not val:
+            return None, f"missing or non-string {name!r}"
+    op = req.get("op")
+    if not isinstance(op, str):
+        return None, "missing or non-string 'op'"
+    u, v, w = req.get("u"), req.get("v"), req.get("w")
+    for name, val in (("u", u), ("v", v)):
+        if val is not None and (isinstance(val, bool) or not isinstance(val, int)):
+            return None, f"'{name}' must be an integer"
+    if w is not None and (isinstance(w, bool) or not isinstance(w, (int, float))):
+        return None, "'w' must be a number"
+    return (tenant, graph, op, u, v, w), None
+
+
+def _cmd_serve_multi(args: argparse.Namespace) -> int:
+    """``serve --multi``: the multi-tenant JSONL request/response loop.
+
+    Same stream contract as single-graph serve — one response record per
+    request line, malformed lines answered in-stream, SIGINT stops
+    intake and drains — with two additions: requests address
+    ``tenant/graph`` names, and quota rejections come back as the
+    structured 429-style record from
+    :meth:`~repro.errors.QuotaExceededError.to_record` (``code``,
+    ``reason``, ``retry_after_s``) so callers can back off per tenant.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.errors import QuotaExceededError, ReproError, ServiceError
+    from repro.platform import MultiTenantServer, build_platform
+
+    if args.root is None:
+        print("serve --multi requires --root (the platform directory)",
+              file=sys.stderr)
+        return 2
+    try:
+        platform = build_platform(args.root)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    obs = getattr(args, "obs", None)
+    if obs is not None and obs.active:
+        for name, provider in platform.metrics_providers().items():
+            obs.register(name, provider)
+    n_graphs = sum(
+        len(platform.tenant(t).graphs) for t in platform.tenants()
+    )
+    print(f"serving {n_graphs} graph(s) across "
+          f"{len(platform.tenants())} tenant(s) from {args.root}",
+          file=sys.stderr)
+
+    lines = (args.queries.read_text() if args.queries is not None
+             else sys.stdin.read()).splitlines()
+    parsed: list[tuple[int, tuple | None, str | None]] = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if line:
+            parsed.append((lineno, *_parse_multi_request(line, _json)))
+    requests = [(lineno, *request) for lineno, request, _ in parsed
+                if request is not None]
+
+    async def _run() -> tuple[dict, bool]:
+        loop = asyncio.get_running_loop()
+        stop_intake = asyncio.Event()
+        uninstall = _install_sigint(loop, stop_intake.set)
+        answers: dict[int, object] = {}
+        interrupted = False
+        try:
+            async with MultiTenantServer(
+                platform, max_batch=args.max_batch,
+                max_delay_s=args.max_delay_ms / 1e3,
+            ) as server:
+                async def one(lineno, tenant, graph, op, u, v, w):
+                    try:
+                        answers[lineno] = await server.query(
+                            tenant, graph, op, u, v, w
+                        )
+                    except QuotaExceededError as exc:
+                        answers[lineno] = exc.to_record()
+                    except (ReproError, ServiceError) as exc:
+                        answers[lineno] = {"error": str(exc)}
+                    except Exception as exc:
+                        answers[lineno] = {"error": f"{type(exc).__name__}: {exc}"}
+
+                tasks = []
+                for lineno, tenant, graph, op, u, v, w in requests:
+                    if stop_intake.is_set():
+                        interrupted = True
+                        break
+                    tasks.append(asyncio.create_task(
+                        one(lineno, tenant, graph, op, u, v, w)
+                    ))
+                    await asyncio.sleep(0)
+                if tasks:
+                    await asyncio.gather(*tasks)
+        finally:
+            uninstall()
+        return answers, interrupted
+
+    try:
+        answers, interrupted = asyncio.run(_run())
+    except ReproError as exc:
+        platform.close()
+        print(str(exc), file=sys.stderr)
+        return 2
+    n_bad = 0
+    for lineno, request, error in parsed:
+        if request is None:
+            n_bad += 1
+            print(_json.dumps({"line": lineno, "error": error}))
+            continue
+        tenant, graph, op, u, v, w = request
+        record = {"tenant": tenant, "graph": graph, "op": op}
+        for key, val in (("u", u), ("v", v), ("w", w)):
+            if val is not None:
+                record[key] = val
+        if lineno not in answers:
+            record["error"] = "interrupted before issue (SIGINT)"
+        else:
+            answer = answers[lineno]
+            if isinstance(answer, dict) and "error" in answer:
+                record.update(answer)
+            else:
+                record["result"] = answer
+        print(_json.dumps(record))
+    if n_bad:
+        print(f"{n_bad} malformed request line(s) answered with structured errors",
+              file=sys.stderr)
+    if interrupted:
+        print("interrupted: intake stopped, in-flight requests drained",
+              file=sys.stderr)
+    for tname in platform.tenants():
+        state = platform.tenant(tname)
+        print(f"[{tname}] {state.metrics.summary_line()} "
+              f"quota_rejected={state.rejected_rate + state.rejected_queue}",
+              file=sys.stderr)
+    if args.metrics:
+        for tname in platform.tenants():
+            print(f"--- tenant {tname} ---", file=sys.stderr)
+            print(platform.tenant(tname).metrics.render(), file=sys.stderr)
+    platform.close()
+    return 130 if interrupted else 0
+
+
+def _cmd_tenant(args: argparse.Namespace) -> int:
+    """``tenant add|rm|list|stats|add-graph|rm-graph`` manifest management."""
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.platform.manifest import load_manifest, save_manifest
+
+    try:
+        manifest = load_manifest(args.root)
+        if args.tenant_command == "add":
+            if args.name in manifest["tenants"]:
+                print(f"tenant {args.name!r} already exists", file=sys.stderr)
+                return 2
+            from repro.platform.quota import TenantQuota
+
+            quota = TenantQuota(
+                max_graphs=args.max_graphs,
+                resident_budget=args.resident_budget,
+                max_queue_depth=args.max_queue_depth,
+                rate_qps=args.rate_qps,
+                burst=args.burst,
+            )
+            manifest["tenants"][args.name] = {
+                "quota": quota.to_dict(), "graphs": {},
+            }
+            save_manifest(args.root, manifest)
+            print(f"added tenant {args.name!r}")
+            return 0
+        if args.tenant_command == "rm":
+            if manifest["tenants"].pop(args.name, None) is None:
+                print(f"unknown tenant {args.name!r}", file=sys.stderr)
+                return 2
+            save_manifest(args.root, manifest)
+            print(f"removed tenant {args.name!r}")
+            return 0
+        if args.tenant_command == "list":
+            if args.json:
+                print(_json.dumps(manifest, indent=2, sort_keys=True))
+                return 0
+            if not manifest["tenants"]:
+                print("no tenants registered")
+            for name, rec in sorted(manifest["tenants"].items()):
+                quota = rec.get("quota") or {}
+                graphs = sorted(rec.get("graphs") or {})
+                print(f"{name}: {len(graphs)} graph(s)"
+                      + (f" [{', '.join(graphs)}]" if graphs else "")
+                      + f" quota(max_graphs={quota.get('max_graphs')}, "
+                        f"rate_qps={quota.get('rate_qps')})")
+            return 0
+        if args.tenant_command == "add-graph":
+            trec = manifest["tenants"].get(args.name)
+            if trec is None:
+                print(f"unknown tenant {args.name!r}", file=sys.stderr)
+                return 2
+            graphs = trec.setdefault("graphs", {})
+            if args.graph in graphs:
+                print(f"graph {args.name}/{args.graph} already exists",
+                      file=sys.stderr)
+                return 2
+            if args.input is not None:
+                source = {"path": str(args.input)}
+            elif args.gnm is not None:
+                n, m, *seed = (int(x) for x in args.gnm.split(":"))
+                source = {"kind": "gnm", "n": n, "m": m,
+                          "seed": seed[0] if seed else 0}
+            elif args.grid is not None:
+                r, c, *seed = (int(x) for x in args.grid.split(":"))
+                source = {"kind": "grid", "rows": r, "cols": c,
+                          "seed": seed[0] if seed else 0}
+            else:
+                source = {"kind": "dataset", "name": args.dataset,
+                          "scale": args.scale, "seed": args.seed}
+            from repro.platform.manifest import graph_from_spec
+            from repro.solve.registry import problem_info
+
+            g = graph_from_spec(source)  # validates the spec eagerly
+            params = {}
+            if args.problem != "mst":
+                info = problem_info(args.problem)  # validates the name
+                if "source" in info.params:
+                    params["source"] = args.source
+            graphs[args.graph] = {
+                "source": source, "problem": args.problem,
+                "algorithm": args.algo, "mode": args.mode,
+                "shards": args.shards, "params": params,
+            }
+            save_manifest(args.root, manifest)
+            print(f"added {args.name}/{args.graph} "
+                  f"(n={g.n_vertices}, m={g.n_edges}, problem={args.problem})")
+            return 0
+        if args.tenant_command == "rm-graph":
+            trec = manifest["tenants"].get(args.name)
+            if trec is None or args.graph not in (trec.get("graphs") or {}):
+                print(f"unknown graph {args.name}/{args.graph}", file=sys.stderr)
+                return 2
+            del trec["graphs"][args.graph]
+            save_manifest(args.root, manifest)
+            print(f"removed {args.name}/{args.graph}")
+            return 0
+        # stats: materialise the platform (warm from the shared store)
+        from repro.platform import build_platform
+
+        platform = build_platform(args.root)
+        try:
+            stats = platform.stats(args.name)
+        finally:
+            platform.close()
+        if args.json:
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            _print_tenant_stats(stats, args.name)
+        return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _print_tenant_stats(stats: dict, name: str | None) -> None:
+    """Human rendering of ``GraphPlatform.stats()`` output."""
+    tenants = {name: stats} if name is not None else stats.get("tenants", {})
+    for tname, rec in sorted(tenants.items()):
+        rej = rec.get("rejected", {})
+        print(f"tenant {tname}: admitted={rec.get('admitted', 0)} "
+              f"rejected(rate={rej.get('rate', 0)}, queue={rej.get('queue', 0)}) "
+              f"evictions={rec.get('evictions', 0)}")
+        for gname, grec in sorted((rec.get("graphs") or {}).items()):
+            print(f"  {gname}: problem={grec['problem']} "
+                  f"n={grec['n_vertices']} m={grec['n_edges']} "
+                  f"resident={grec['resident']} dirty={grec['dirty']} "
+                  f"rebuilds={grec['rebuilds']}")
+    pool = stats.get("pool")
+    if pool:
+        print(f"pool: live={pool.get('live_workers', 0)} "
+              f"submitted={pool.get('submitted', 0)} "
+              f"completed={pool.get('completed', 0)} "
+              f"rejected={pool.get('rejected', 0)}")
 
 
 def _cmd_load(args: argparse.Namespace) -> int:

@@ -88,3 +88,67 @@ class ServiceTimeoutError(ServiceError):
     caller with this error and counts in
     :attr:`~repro.service.metrics.ServiceMetrics.timeouts`.
     """
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant request was rejected by an admission-control quota.
+
+    The platform's 429-style structured rejection: never a crash, always
+    an answerable record.  ``tenant`` names the offender, ``reason`` the
+    quota dimension that fired (``"rate"``, ``"queue"``, ``"graphs"``),
+    and ``retry_after_s`` — when the limit is time-based — how long the
+    client should back off before the token bucket can admit it again.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "",
+                 reason: str = "quota", retry_after_s: float | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+    def to_record(self) -> dict:
+        """The JSON-able rejection record served in place of an answer."""
+        record = {
+            "error": str(self),
+            "code": 429,
+            "tenant": self.tenant,
+            "reason": self.reason,
+        }
+        if self.retry_after_s is not None:
+            record["retry_after_s"] = round(float(self.retry_after_s), 6)
+        return record
+
+
+class PoolError(ServiceError):
+    """Base class for the shared worker pool's failure modes."""
+
+
+class PoolSaturatedError(PoolError):
+    """Admission control found the pool's bounded backlog full.
+
+    The pool analogue of :class:`ServiceOverloadError`: submitting past
+    ``max_pending`` queued jobs is rejected immediately instead of
+    growing an unbounded backlog.
+    """
+
+
+class PoolTimeoutError(PoolError):
+    """A pool job exceeded its per-job deadline; its worker was killed."""
+
+
+class WorkerCrashedError(PoolError):
+    """A pool worker process died while running a job."""
+
+
+class PoolJobError(PoolError):
+    """The submitted callable raised inside the worker process."""
+
+
+class PoolUnavailableError(PoolError):
+    """The pool cannot run jobs at all (spawn refused, pool closed).
+
+    Distinct from per-job failures so callers can degrade the whole
+    operation (the shard coordinator falls back to its serial executor)
+    rather than retrying a machinery problem job by job.
+    """

@@ -23,7 +23,12 @@ This package models heavy traffic the way a serving team would:
 * :mod:`repro.load.report` — the SLO report (per-kind p50/p95/p99,
   throughput, coalescing and cache efficiency, error budget, fault
   outcomes) written as ``BENCH_soak.json`` and enforced by
-  ``tools/bench_gate.py``.
+  ``tools/bench_gate.py``;
+* :mod:`repro.load.multitenant` — the same open-loop discipline driven
+  through a :class:`~repro.platform.server.MultiTenantServer`: several
+  tenants' scenarios merged by schedule, quota 429s accounted as their
+  own outcome bucket, per-tenant latency percentiles for the isolation
+  gate (``BENCH_platform.json``).
 
 Typical use::
 
@@ -40,6 +45,12 @@ contract, and the SLO definitions.
 from __future__ import annotations
 
 from repro.load.generator import LoadResult, run_events, run_scenario
+from repro.load.multitenant import (
+    MultiTenantLoadResult,
+    TenantLoad,
+    TenantLoadResult,
+    run_multitenant,
+)
 from repro.load.record import (
     Recorder,
     read_events,
@@ -73,6 +84,10 @@ __all__ = [
     "replay_requests",
     "FaultOutcome",
     "run_soak",
+    "TenantLoad",
+    "TenantLoadResult",
+    "MultiTenantLoadResult",
+    "run_multitenant",
     "slo_summary",
     "build_soak_report",
     "write_report",

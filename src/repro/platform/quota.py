@@ -1,0 +1,143 @@
+"""Per-tenant admission control: token buckets and quota limits.
+
+Quotas are the platform's contract with every *other* tenant: one hot
+client may saturate its own budget, but it cannot grow the shared
+backlog without bound or crowd a cold tenant's graphs out of memory.
+Three dimensions are enforced, each with a distinct structured
+rejection (:class:`~repro.errors.QuotaExceededError`, the 429-style
+record — never a crash):
+
+* **requests/sec** — a :class:`TokenBucket` per tenant; a drained bucket
+  rejects with the exact ``retry_after_s`` until the next token accrues;
+* **queue depth** — at most ``max_queue_depth`` of a tenant's requests
+  may be in flight at once (admission is released on completion, so this
+  bounds the tenant's share of the platform's working memory);
+* **resident graphs** — a hard cap on *registered* graphs per tenant
+  (``max_graphs``); the separate ``resident_budget`` is soft — it evicts
+  the tenant's least-recently-used query engine rather than rejecting
+  (the artifact stays on disk, so the next query reloads warm).
+
+The bucket takes an injectable ``clock`` so refill boundaries are
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import QuotaExceededError
+
+__all__ = ["TokenBucket", "TenantQuota", "DEFAULT_QUOTA", "QuotaExceededError"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s accrue up to ``burst``.
+
+    ``try_take()`` is the only mutator: it refills lazily from the
+    injected monotonic ``clock`` and either spends one token or reports
+    the seconds until the next token accrues.  The bucket starts full —
+    a new tenant gets its burst immediately.  ``rate <= 0`` disables the
+    limit (every take succeeds).
+    """
+
+    def __init__(self, rate: float, burst: float = 1.0, *, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst))
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_take(self) -> float | None:
+        """Spend one token; ``None`` on success, else seconds to back off."""
+        if self.rate <= 0:
+            return None
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refilled to the clock's now)."""
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission-control limits.
+
+    ``max_graphs`` caps registered graphs (hard: the add is rejected);
+    ``resident_budget`` caps *resident query engines* (soft: the LRU
+    engine is dropped, its artifact stays on disk); ``max_queue_depth``
+    caps in-flight requests; ``rate_qps``/``burst`` parameterize the
+    token bucket.  Any non-positive limit disables that dimension.
+    """
+
+    max_graphs: int = 8
+    resident_budget: int = 4
+    max_queue_depth: int = 256
+    rate_qps: float = 0.0
+    burst: float = 1.0
+
+    def make_bucket(self, *, clock=time.monotonic) -> TokenBucket:
+        """A fresh token bucket enforcing this quota's rate dimension."""
+        burst = self.burst if self.burst > 0 else max(1.0, self.rate_qps)
+        return TokenBucket(self.rate_qps, burst, clock=clock)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the manifest's ``quota`` object)."""
+        return {
+            "max_graphs": self.max_graphs,
+            "resident_budget": self.resident_budget,
+            "max_queue_depth": self.max_queue_depth,
+            "rate_qps": self.rate_qps,
+            "burst": self.burst,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantQuota":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in dict(data).items() if k in known})
+
+
+DEFAULT_QUOTA = TenantQuota()
+
+
+def reject_rate(tenant: str, retry_after_s: float) -> QuotaExceededError:
+    """The structured rejection for a drained token bucket."""
+    wait = max(0.0, float(retry_after_s))
+    return QuotaExceededError(
+        f"tenant {tenant!r} over its request rate; retry in {wait:.3f}s",
+        tenant=tenant, reason="rate", retry_after_s=math.ceil(wait * 1e3) / 1e3,
+    )
+
+
+def reject_queue(tenant: str, depth: int, limit: int) -> QuotaExceededError:
+    """The structured rejection for a full per-tenant in-flight window."""
+    return QuotaExceededError(
+        f"tenant {tenant!r} has {depth} requests in flight (limit {limit})",
+        tenant=tenant, reason="queue",
+    )
+
+
+def reject_graphs(tenant: str, count: int, limit: int) -> QuotaExceededError:
+    """The structured rejection for the registered-graph cap."""
+    return QuotaExceededError(
+        f"tenant {tenant!r} already has {count} graphs (limit {limit})",
+        tenant=tenant, reason="graphs",
+    )

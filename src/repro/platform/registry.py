@@ -1,0 +1,547 @@
+"""`GraphPlatform` — many named graphs, many tenants, one worker budget.
+
+The single-graph services (:class:`~repro.service.core.MSTService`,
+:class:`~repro.solve.service.ProblemService`) promoted to a resident
+platform: a registry maps ``tenant/graph`` names to content-addressed
+artifacts and live service instances, admission control enforces each
+tenant's :class:`~repro.platform.quota.TenantQuota`, and every sharded
+solve or background rebuild draws from one shared
+:class:`~repro.platform.pool.WorkerPool`.
+
+Residency is two-tier, mirroring the artifact design: *registration*
+(the entry, its graph arrays, its on-disk artifact) is bounded by the
+hard ``max_graphs`` quota, while *residency* (the built query engine —
+the expensive index) is bounded by the soft ``resident_budget`` and
+managed LRU: the least-recently-used engine is dropped via
+``invalidate()``, and the next query rebuilds it warm from the store.
+Eviction therefore never loses data and never rejects — it trades the
+evicted tenant's next-query latency for everyone else's memory.
+
+Mutations mark an entry *dirty*; the
+:class:`~repro.platform.rebuild.RebuildScheduler` re-solves dirty graphs
+off the request path in pool workers and atomically swaps the artifact
+in — unless the entry was mutated again (version bump), evicted, or
+removed in the meantime, each of which is handled without ever serving
+a half-built artifact.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import QuotaExceededError, ServiceError
+from repro.graphs.csr import CSRGraph
+from repro.obs.trace import span as _obs_span
+from repro.platform.pool import WorkerPool
+from repro.platform.quota import (
+    DEFAULT_QUOTA,
+    TenantQuota,
+    TokenBucket,
+    reject_graphs,
+    reject_queue,
+    reject_rate,
+)
+from repro.service.core import MSTService
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["GraphEntry", "TenantState", "GraphPlatform"]
+
+
+class GraphEntry:
+    """One named graph's registration inside a tenant."""
+
+    __slots__ = ("tenant", "name", "problem", "algorithm", "mode", "shards",
+                 "params", "source", "graph", "service", "version", "dirty",
+                 "last_used", "rebuilds")
+
+    def __init__(self, tenant: str, name: str, *, problem: str,
+                 algorithm: str, mode: Optional[str], shards: int,
+                 params: dict, source: Optional[dict], graph: CSRGraph,
+                 service) -> None:
+        self.tenant = tenant
+        self.name = name
+        self.problem = problem
+        self.algorithm = algorithm
+        self.mode = mode
+        self.shards = shards
+        self.params = params
+        self.source = source or {}
+        self.graph = graph
+        self.service = service
+        self.version = 0  # bumped on every mutation; guards rebuild swaps
+        self.dirty = False
+        self.last_used = 0
+        self.rebuilds = 0
+
+    @property
+    def resident(self) -> bool:
+        """Whether the entry's query engine is currently built."""
+        return getattr(self.service, "_engine", None) is not None
+
+    def to_dict(self) -> dict:
+        """JSON-able row for ``repro tenant stats``."""
+        return {
+            "problem": self.problem,
+            "n_vertices": int(self.graph.n_vertices),
+            "n_edges": int(self.graph.n_edges),
+            "resident": self.resident,
+            "dirty": self.dirty,
+            "version": self.version,
+            "rebuilds": self.rebuilds,
+        }
+
+
+class TenantState:
+    """One tenant: its quota, token bucket, graphs, and counters."""
+
+    def __init__(self, name: str, quota: TenantQuota, *, clock) -> None:
+        self.name = name
+        self.quota = quota
+        self.bucket: TokenBucket = quota.make_bucket(clock=clock)
+        self.graphs: Dict[str, GraphEntry] = {}
+        self.metrics = ServiceMetrics()
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_queue = 0
+        self.evictions = 0
+
+    def to_dict(self) -> dict:
+        """JSON-able summary for ``repro tenant stats``."""
+        return {
+            "quota": self.quota.to_dict(),
+            "graphs": {name: e.to_dict() for name, e in sorted(self.graphs.items())},
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": {"rate": self.rejected_rate, "queue": self.rejected_queue},
+            "evictions": self.evictions,
+        }
+
+
+class GraphPlatform:
+    """The multi-tenant registry: named graphs over one shared pool.
+
+    ``root`` is the platform's state directory — content-addressed
+    artifact stores live under ``<root>/store/`` and are shared across
+    tenants (two tenants registering byte-identical graphs share one
+    artifact); ``None`` keeps everything in memory.  ``pool`` supplies a
+    shared :class:`~repro.platform.pool.WorkerPool`; without one the
+    platform creates its own lazily, on the first operation that needs
+    worker processes.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        pool: Optional[WorkerPool] = None,
+        max_workers: Optional[int] = None,
+        max_pending: int = 256,
+        default_quota: TenantQuota = DEFAULT_QUOTA,
+        clock=time.monotonic,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.default_quota = default_quota
+        self._clock = clock
+        self._max_workers = max_workers
+        self._max_pending = max_pending
+        self._pool = pool
+        self._own_pool = pool is None
+        self._lock = threading.RLock()
+        self._tenants: Dict[str, TenantState] = {}
+        self._seq = itertools.count(1)
+        self._msf_store = None
+        self._problem_store = None
+        self._scheduler = None
+        self._closed = False
+        if self.root is not None:
+            from repro.service.artifacts import ArtifactStore
+            from repro.solve.artifacts import ProblemArtifactStore
+
+            self._msf_store = ArtifactStore(self.root / "store" / "msf")
+            self._problem_store = ProblemArtifactStore(
+                self.root / "store" / "problems")
+
+    # ------------------------------------------------------------------
+    # Shared resources
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> WorkerPool:
+        """The shared worker pool, created lazily on first use."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self._max_workers, max_pending=self._max_pending,
+                    name="platform",
+                )
+            return self._pool
+
+    @property
+    def scheduler(self):
+        """The background rebuild scheduler, created lazily on first use."""
+        with self._lock:
+            if self._scheduler is None:
+                from repro.platform.rebuild import RebuildScheduler
+
+                self._scheduler = RebuildScheduler(self)
+            return self._scheduler
+
+    def close(self) -> None:
+        """Stop the rebuild scheduler and (if owned) the worker pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            scheduler, self._scheduler = self._scheduler, None
+            pool = self._pool if self._own_pool else None
+            self._pool = None
+        if scheduler is not None:
+            scheduler.stop()
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "GraphPlatform":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def add_tenant(self, name: str, quota: TenantQuota | None = None) -> TenantState:
+        """Register a tenant; rejects duplicates and empty names."""
+        if not name or "/" in name:
+            raise ServiceError(f"invalid tenant name {name!r}")
+        with self._lock:
+            if name in self._tenants:
+                raise ServiceError(f"tenant {name!r} already exists")
+            state = TenantState(
+                name, quota if quota is not None else self.default_quota,
+                clock=self._clock,
+            )
+            self._tenants[name] = state
+            return state
+
+    def remove_tenant(self, name: str) -> None:
+        """Drop a tenant and every graph it registered.
+
+        An in-flight background rebuild for one of its graphs completes
+        in the pool but its result is discarded at swap time (the entry
+        no longer resolves).
+        """
+        with self._lock:
+            if self._tenants.pop(name, None) is None:
+                raise ServiceError(f"unknown tenant {name!r}")
+
+    def tenant(self, name: str) -> TenantState:
+        """Look up one tenant's state; unknown names raise."""
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                raise ServiceError(f"unknown tenant {name!r}")
+            return state
+
+    def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+    def _make_service(self, tenant: TenantState, *, problem: str,
+                      algorithm: str, mode: Optional[str], shards: int,
+                      params: dict):
+        if problem == "mst":
+            return MSTService(
+                self._msf_store, algorithm=algorithm, mode=mode,
+                shards=shards, metrics=tenant.metrics,
+                pool=self.pool if shards > 0 else None, tenant=tenant.name,
+            )
+        from repro.solve.service import ProblemService
+
+        return ProblemService(
+            self._problem_store, problem=problem, mode=mode,
+            metrics=tenant.metrics, **params,
+        )
+
+    def add_graph(
+        self,
+        tenant: str,
+        name: str,
+        g: CSRGraph,
+        *,
+        problem: str = "mst",
+        algorithm: str = "kruskal",
+        mode: Optional[str] = "auto",
+        shards: int = 0,
+        source_spec: Optional[dict] = None,
+        **params,
+    ) -> GraphEntry:
+        """Register ``tenant/name`` and solve (or warm-load) its artifact.
+
+        ``problem`` is ``"mst"`` or any registered problem name (the
+        entry then serves that problem's query kinds).  Rejects past the
+        tenant's ``max_graphs`` quota with a structured
+        :class:`~repro.errors.QuotaExceededError`; within it, the solve
+        runs immediately — cold builds are an *admin* operation, kept off
+        the request path by design.
+        """
+        if not name or "/" in name:
+            raise ServiceError(f"invalid graph name {name!r}")
+        with self._lock:
+            state = self.tenant(tenant)
+            if name in state.graphs:
+                raise ServiceError(f"graph {tenant}/{name} already exists")
+            limit = state.quota.max_graphs
+            if limit > 0 and len(state.graphs) >= limit:
+                raise reject_graphs(tenant, len(state.graphs), limit)
+            with _obs_span("platform:add_graph", "platform", tenant=tenant,
+                           graph=name, problem=problem):
+                service = self._make_service(
+                    state, problem=problem, algorithm=algorithm, mode=mode,
+                    shards=shards, params=params,
+                )
+                service.load_graph(g)
+            entry = GraphEntry(
+                tenant, name, problem=problem, algorithm=algorithm,
+                mode=mode, shards=shards, params=params, source=source_spec,
+                graph=g, service=service,
+            )
+            entry.last_used = next(self._seq)
+            state.graphs[name] = entry
+            self._enforce_residency_locked(state)
+            return entry
+
+    def remove_graph(self, tenant: str, name: str) -> None:
+        """Drop one graph registration (its artifact file stays cached)."""
+        with self._lock:
+            state = self.tenant(tenant)
+            if state.graphs.pop(name, None) is None:
+                raise ServiceError(f"unknown graph {tenant}/{name}")
+
+    def entry(self, tenant: str, name: str) -> GraphEntry:
+        """Look up one graph entry; unknown names raise."""
+        with self._lock:
+            state = self.tenant(tenant)
+            e = state.graphs.get(name)
+            if e is None:
+                raise ServiceError(f"unknown graph {tenant}/{name}")
+            return e
+
+    def get_service(self, tenant: str, name: str):
+        """The live service for ``tenant/name`` (LRU-touched).
+
+        An evicted entry re-materializes lazily: its next query rebuilds
+        the engine warm from the content-addressed store via the
+        service's own ``ensure_ready``.  Residency is re-enforced here so
+        a reload can in turn evict someone else's least-recently-used
+        engine.
+        """
+        with self._lock:
+            e = self.entry(tenant, name)
+            e.last_used = next(self._seq)
+            self._enforce_residency_locked(self._tenants[tenant], keep=e)
+            return e.service
+
+    def _enforce_residency_locked(self, state: TenantState,
+                                  keep: GraphEntry | None = None) -> None:
+        """Evict LRU engines past the tenant's soft residency budget."""
+        budget = state.quota.resident_budget
+        if budget <= 0:
+            return
+        resident = [e for e in state.graphs.values() if e.resident]
+        resident.sort(key=lambda e: e.last_used)
+        while len(resident) > budget:
+            victim = resident.pop(0)
+            if victim is keep:
+                continue
+            victim.service.invalidate()
+            state.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Admission control (the request path)
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str):
+        """Admit one request for ``tenant``; returns a release callable.
+
+        Raises the structured :class:`~repro.errors.QuotaExceededError`
+        when the tenant's token bucket is drained (``reason="rate"``,
+        with ``retry_after_s``) or its in-flight window is full
+        (``reason="queue"``).  The caller must invoke the returned
+        callable exactly once when the request finishes (any outcome).
+        """
+        with self._lock:
+            state = self.tenant(tenant)
+            retry = state.bucket.try_take()
+            if retry is not None:
+                state.rejected_rate += 1
+                state.metrics.record_rejected()
+                raise reject_rate(tenant, retry)
+            depth = state.quota.max_queue_depth
+            if depth > 0 and state.inflight >= depth:
+                state.rejected_queue += 1
+                state.metrics.record_rejected()
+                raise reject_queue(tenant, state.inflight, depth)
+            state.inflight += 1
+            state.admitted += 1
+
+        released = threading.Event()
+
+        def release() -> None:
+            if released.is_set():
+                return
+            released.set()
+            with self._lock:
+                state.inflight -= 1
+
+        return release
+
+    def admission(self, tenant: str):
+        """Context-manager sugar over :meth:`admit`."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def _ctx():
+            release = self.admit(tenant)
+            try:
+                yield
+            finally:
+                release()
+
+        return _ctx()
+
+    # ------------------------------------------------------------------
+    # Mutations and background rebuilds
+    # ------------------------------------------------------------------
+    def mutate(self, tenant: str, name: str, op: str, u: int, v: int,
+               w: float | None = None):
+        """Apply one edge mutation and schedule a background re-solve.
+
+        The incremental repair (``DynamicMSF``) answers immediately; the
+        full re-solve runs later in a pool worker and swaps in atomically
+        — unless another mutation bumped the version first, in which case
+        the stale result is dropped and the newer rebuild proceeds.
+        Mutations are an MST capability; problem entries reject them.
+        """
+        with self._lock:
+            e = self.entry(tenant, name)
+            if e.problem != "mst":
+                raise ServiceError(
+                    f"graph {tenant}/{name} serves {e.problem!r}; "
+                    "mutations need an MST entry"
+                )
+            with _obs_span("platform:mutate", "platform", tenant=tenant,
+                           graph=name, op=op):
+                if op == "insert":
+                    out = e.service.insert_edge(int(u), int(v), float(w))
+                elif op == "delete":
+                    e.service.delete_edge(int(u), int(v), w)
+                    out = None
+                else:
+                    raise ServiceError(f"unknown mutation {op!r}")
+            e.graph = e.service.graph
+            e.version += 1
+            e.dirty = True
+            version = e.version
+        self.scheduler.schedule(tenant, name, version)
+        return out
+
+    def mark_dirty(self, tenant: str, name: str) -> None:
+        """Flag ``tenant/name`` for an off-request-path re-solve."""
+        with self._lock:
+            e = self.entry(tenant, name)
+            e.version += 1
+            e.dirty = True
+            version = e.version
+        self.scheduler.schedule(tenant, name, version)
+
+    def snapshot_for_rebuild(self, tenant: str, name: str):
+        """The rebuild job's input: graph arrays + solve spec + version.
+
+        Returns ``None`` when the entry no longer exists (removed tenant
+        or graph) — the scheduler drops the work.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            e = state.graphs.get(name) if state is not None else None
+            if e is None:
+                return None
+            g = e.graph
+            spec = {
+                "n_vertices": int(g.n_vertices),
+                "edge_u": g.edge_u, "edge_v": g.edge_v, "edge_w": g.edge_w,
+                "problem": e.problem, "algorithm": e.algorithm,
+                "mode": e.mode, "params": dict(e.params),
+            }
+            return spec, e.version
+
+    def complete_rebuild(self, tenant: str, name: str, version: int,
+                         artifact) -> str:
+        """Atomically install a finished rebuild; returns the outcome.
+
+        ``"swapped"`` — the entry is live and current, the engine now
+        serves the new artifact; ``"persisted"`` — the entry was evicted
+        mid-rebuild, the artifact went to the content-addressed store so
+        the next query reloads it warm; ``"stale"`` — the entry was
+        mutated again (version bumped), the result is dropped and the
+        newer rebuild will land instead; ``"discarded"`` — the entry (or
+        its tenant) was removed.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            e = state.graphs.get(name) if state is not None else None
+            if e is None:
+                return "discarded"
+            if e.version != version:
+                return "stale"
+            e.dirty = False
+            e.rebuilds += 1
+            if e.resident:
+                e.service.adopt_artifact(artifact)
+                return "swapped"
+            store = e.service.store
+            if store is not None:
+                store.put(artifact)
+            return "persisted"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self, tenant: str | None = None) -> dict:
+        """JSON-able platform counters (one tenant, or all + the pool)."""
+        with self._lock:
+            if tenant is not None:
+                return self.tenant(tenant).to_dict()
+            out = {
+                "tenants": {n: s.to_dict() for n, s in sorted(self._tenants.items())},
+            }
+            if self._pool is not None:
+                out["pool"] = self._pool.stats()
+            if self._scheduler is not None:
+                out["rebuilds"] = self._scheduler.stats()
+            return out
+
+    def metrics_providers(self) -> dict:
+        """Named obs providers: one per tenant, plus the pool's counters.
+
+        Register them on a :class:`~repro.obs.MetricsRegistry` (the CLI's
+        ``--trace`` path does) so the flat metrics snapshot carries
+        per-tenant serving percentiles next to the span timeline.
+        """
+        from repro.obs.registry import service_metrics_provider
+
+        with self._lock:
+            providers = {
+                f"platform.tenant.{name}": service_metrics_provider(state.metrics)
+                for name, state in sorted(self._tenants.items())
+            }
+        providers["platform.pool"] = lambda: (
+            self._pool.stats() if self._pool is not None else {}
+        )
+        return providers

@@ -1,0 +1,138 @@
+"""`MultiTenantServer` — one asyncio front door over many tenants' graphs.
+
+The single-service :class:`~repro.service.server.AsyncMSTService` scaled
+out: requests name a ``tenant`` and ``graph``, admission control runs
+*before* any compute (token bucket, then in-flight window — both from
+the tenant's :class:`~repro.platform.quota.TenantQuota`), and each
+resident graph gets its own coalescing async wrapper lazily, so
+batching/caching stay per-graph while quotas and worker processes are
+shared platform-wide.
+
+Rejections are structured, never crashes: a drained bucket or a full
+in-flight window raises :class:`~repro.errors.QuotaExceededError`, whose
+``to_record()`` is the 429-style JSON the serve loop writes back —
+``{"error": ..., "code": 429, "tenant": ..., "reason": "rate"|"queue",
+"retry_after_s": ...}``.  Admitted requests hold one in-flight slot from
+admission to completion; the open-loop :meth:`query_nowait` path releases
+it from the future's done callback so load generators never leak slots.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Tuple
+
+from repro.service.server import AsyncMSTService
+
+__all__ = ["MultiTenantServer"]
+
+
+class MultiTenantServer:
+    """Async serving tier over a :class:`~repro.platform.registry.GraphPlatform`.
+
+    One :class:`~repro.service.server.AsyncMSTService` wrapper is created
+    lazily per ``(tenant, graph)`` and kept for the server's lifetime —
+    wrappers stay valid across engine eviction because eviction
+    invalidates the underlying service's engine, never the service
+    object.  ``max_batch``/``max_delay_s``/``max_pending``/``cache_size``
+    are per-wrapper knobs passed through unchanged.
+    """
+
+    def __init__(
+        self,
+        platform,
+        *,
+        max_batch: int = 256,
+        max_delay_s: float = 0.002,
+        max_pending: int = 1024,
+        cache_size: int = 4096,
+    ) -> None:
+        self.platform = platform
+        self._opts = dict(
+            max_batch=max_batch, max_delay_s=max_delay_s,
+            max_pending=max_pending, cache_size=cache_size,
+        )
+        self._wrappers: Dict[Tuple[str, str], AsyncMSTService] = {}
+        self._started = False
+
+    async def _wrapper(self, tenant: str, graph: str) -> AsyncMSTService:
+        """The (lazily created and started) async wrapper for one graph."""
+        key = (tenant, graph)
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            svc = self.platform.get_service(tenant, graph)
+            wrapper = AsyncMSTService(svc, **self._opts)
+            self._wrappers[key] = wrapper
+        if self._started:
+            await wrapper.start()
+        return wrapper
+
+    async def ensure(self, tenant: str, graph: str) -> None:
+        """Pre-warm one graph's wrapper (admin path; no admission check)."""
+        await self._wrapper(tenant, graph)
+
+    async def query(self, tenant: str, graph: str, kind: str,
+                    u: int | None = None, v: int | None = None,
+                    w: float | None = None, *,
+                    timeout_s: float | None = None):
+        """Answer one admitted query; quota rejections raise structured.
+
+        Admission happens first — a rejected request never resolves the
+        graph, builds an engine, or enqueues work.  The in-flight slot is
+        held across the await and released on any outcome.
+        """
+        release = self.platform.admit(tenant)
+        try:
+            wrapper = await self._wrapper(tenant, graph)
+            return await wrapper.query(kind, u, v, w, timeout_s=timeout_s)
+        finally:
+            release()
+
+    def query_nowait(self, tenant: str, graph: str, kind: str,
+                     u: int | None = None, v: int | None = None,
+                     w: float | None = None, *,
+                     timeout_s: float | None = None) -> asyncio.Future:
+        """Open-loop submit: admission + shed-don't-block semantics.
+
+        Raises :class:`~repro.errors.QuotaExceededError` (quota) or
+        :class:`~repro.errors.ServiceOverloadError` (wrapper queue full)
+        synchronously; otherwise returns the wrapper's future with the
+        admission slot released from its done callback.  Requires the
+        wrapper to exist already — call :meth:`ensure` during warm-up,
+        which is what the multi-tenant load harness does.
+        """
+        key = (tenant, graph)
+        wrapper = self._wrappers.get(key)
+        if wrapper is None:
+            from repro.errors import ServiceError
+
+            raise ServiceError(
+                f"graph {tenant}/{graph} not warmed; call ensure() first"
+            )
+        release = self.platform.admit(tenant)
+        try:
+            fut = wrapper.query_nowait(kind, u, v, w, timeout_s=timeout_s)
+        except BaseException:
+            release()
+            raise
+        fut.add_done_callback(lambda _f: release())
+        return fut
+
+    async def start(self) -> None:
+        """Start every existing wrapper's batch worker (idempotent)."""
+        self._started = True
+        for wrapper in self._wrappers.values():
+            await wrapper.start()
+
+    async def stop(self) -> None:
+        """Drain and stop every wrapper's batch worker."""
+        self._started = False
+        for wrapper in self._wrappers.values():
+            await wrapper.stop()
+
+    async def __aenter__(self) -> "MultiTenantServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()

@@ -219,6 +219,8 @@ def build_artifact(
     shards: int = 0,
     partition: str = "hash",
     executor: str = "auto",
+    pool=None,
+    tenant: str = "default",
 ) -> MSFArtifact:
     """Solve ``g`` with a registry algorithm and package the artifact.
 
@@ -226,14 +228,17 @@ def build_artifact(
     coordinator with ``algorithm``/``mode`` as the per-shard local solver;
     the artifact records ``solver="sharded"`` provenance and fingerprints
     separately from the plain in-process build.  ``executor`` is the
-    coordinator's execution mode and only matters for sharded builds.
+    coordinator's execution mode and only matters for sharded builds, as
+    do ``pool``/``tenant`` — a shared
+    :class:`~repro.platform.pool.WorkerPool` (and the tenant its jobs
+    bill to) for the coordinator's shard attempts.
     """
     if shards > 0:
         from repro.shard.coordinator import sharded_mst
 
         result = sharded_mst(
             g, n_shards=shards, partition=partition, algorithm=algorithm,
-            mode=mode, executor=executor,
+            mode=mode, executor=executor, pool=pool, tenant=tenant,
         )
         return artifact_from_result(
             g, result, algorithm, mode, solver="sharded", shards=shards
@@ -373,6 +378,8 @@ class ArtifactStore:
         shards: int = 0,
         partition: str = "hash",
         executor: str = "auto",
+        pool=None,
+        tenant: str = "default",
     ) -> tuple[MSFArtifact, bool]:
         """Serve ``g``'s artifact, computing and persisting it on miss.
 
@@ -398,7 +405,7 @@ class ArtifactStore:
         self.misses += 1
         artifact = build_artifact(
             g, algorithm, mode, backend=backend, shards=shards,
-            partition=partition, executor=executor,
+            partition=partition, executor=executor, pool=pool, tenant=tenant,
         )
         self.save(artifact)
         return artifact, False

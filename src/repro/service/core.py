@@ -61,6 +61,8 @@ class MSTService:
         shards: int = 0,
         partition: str = "hash",
         executor: str = "auto",
+        pool=None,
+        tenant: str = "default",
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ArtifactStore(store)
@@ -72,9 +74,13 @@ class MSTService:
         # coordinator (repro.shard); warm loads and queries are unaffected.
         # executor picks the coordinator's execution mode ("auto" lets it
         # decide; "process"/"serial" force worker processes on or off).
+        # pool/tenant route sharded builds through a shared WorkerPool
+        # (the multi-tenant platform's) instead of an ephemeral one.
         self.shards = int(shards)
         self.partition = partition
         self.executor = executor
+        self.pool = pool
+        self.tenant = tenant
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._engine: Optional[QueryEngine] = None
         self._graph: Optional[CSRGraph] = None
@@ -98,13 +104,13 @@ class MSTService:
                 artifact, hit = self.store.get_or_compute(
                     g, self.algorithm, self.mode, backend=self.backend,
                     shards=self.shards, partition=self.partition,
-                    executor=self.executor,
+                    executor=self.executor, pool=self.pool, tenant=self.tenant,
                 )
             else:
                 artifact = build_artifact(
                     g, self.algorithm, self.mode, backend=self.backend,
                     shards=self.shards, partition=self.partition,
-                    executor=self.executor,
+                    executor=self.executor, pool=self.pool, tenant=self.tenant,
                 )
                 hit = False
             sp.set_attr("artifact_hit", hit)
@@ -149,6 +155,30 @@ class MSTService:
     def artifact(self) -> MSFArtifact:
         """The currently served artifact."""
         return self.ensure_ready().artifact
+
+    @property
+    def graph(self) -> Optional[CSRGraph]:
+        """The currently served graph (``None`` in offline-artifact mode).
+
+        Reflects mutations: after ``insert_edge``/``delete_edge`` this is
+        the maintained snapshot, which is what the platform's background
+        rebuild scheduler re-solves from.
+        """
+        return self._graph
+
+    def adopt_artifact(self, artifact: MSFArtifact) -> None:
+        """Atomically swap the served artifact for ``artifact``.
+
+        The background-rebuild hand-off: the new engine is constructed
+        off to the side and installed with one reference assignment, so
+        concurrent queries see either the old complete artifact or the
+        new complete artifact, never a half-built one.  The artifact is
+        also persisted to the store (when there is one).
+        """
+        engine = QueryEngine(artifact, backend=self.backend)
+        if self.store is not None:
+            self.store.put(artifact)
+        self._engine = engine
 
     def invalidate(self) -> None:
         """Drop the live engine (next query rebuilds via :meth:`ensure_ready`)."""

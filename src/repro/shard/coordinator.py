@@ -45,7 +45,7 @@ from repro.shard.filter import boruvka_filter
 from repro.shard.memory import ARENA_BACKINGS, SharedEdgeArena
 from repro.shard.merge import merge_tree
 from repro.shard.partition import PARTITION_STRATEGIES, partition_edges
-from repro.shard.worker import ShardFault, ShardTask, solve_shard_local, worker_main
+from repro.shard.worker import ShardFault, ShardTask, run_shard_task, solve_shard_local
 
 __all__ = [
     "sharded_mst",
@@ -84,6 +84,8 @@ def sharded_mst(
     max_concurrent: int | None = None,
     arena_backing: str = "auto",
     spool_dir: str | None = None,
+    pool=None,
+    tenant: str = "default",
 ) -> MSTResult:
     """Partition, solve shards (in processes where worthwhile), and merge.
 
@@ -112,6 +114,12 @@ def sharded_mst(
     arena lives — ``"shm"`` (/dev/shm), ``"file"`` (a spool file under
     ``spool_dir``, for arenas larger than shared memory), or ``"auto"``
     (file only when /dev/shm cannot hold the arena comfortably).
+
+    ``pool`` is an optional shared
+    :class:`~repro.platform.pool.WorkerPool`: when given, shard attempts
+    are submitted to it (as tenant ``tenant``) instead of an ephemeral
+    per-call pool, so sharded solves and the platform's background
+    rebuilds draw from one admission-controlled worker budget.
     """
     if algorithm == "sharded":
         raise BenchmarkError("sharded cannot recurse into itself as a local solver")
@@ -181,6 +189,7 @@ def sharded_mst(
                         fault=fault, stats=stats,
                         max_concurrent=max_concurrent,
                         arena_backing=arena_backing, spool_dir=spool_dir,
+                        pool=pool, tenant=tenant,
                     )
                 stats["executor"] = "process"  # type: ignore[assignment]
             except ServiceError:
@@ -294,24 +303,40 @@ def _solve_in_processes(
     max_concurrent: int | None = None,
     arena_backing: str = "auto",
     spool_dir: str | None = None,
+    pool=None,
+    tenant: str = "default",
 ) -> List[np.ndarray]:
-    """Run every shard in its own OS process; retry, time out, fall back.
+    """Run every shard as a worker-pool job; retry, time out, fall back.
 
     ``labels`` (Boruvka-filter contraction roots) ride in the arena so
     workers get them zero-copy alongside the edge arrays.  Raises
     :class:`~repro.errors.ServiceError` only when the process machinery
-    itself is unusable (caller degrades to serial); individual worker
+    itself is unusable — the pool cannot spawn workers, is saturated, or
+    was closed under us (caller degrades to serial); individual job
     failures are retried and, past ``max_retries``, solved in process so
     the solve always completes.
 
-    ``max_concurrent`` caps live workers: remaining shards wait in a
-    queue and are dispatched as slots free up, so peak resident memory
-    is the arena plus ``max_concurrent`` shard working sets — the
-    streamed-solve mode paper-scale graphs need.
+    ``pool`` routes shard attempts through a shared
+    :class:`~repro.platform.pool.WorkerPool` (the platform's, also used
+    by background rebuilds); without one an ephemeral pool sized to the
+    concurrency limit is created and torn down around this solve — the
+    historical per-call behaviour.  Retry accounting stays here, not in
+    the pool: each attempt is submitted with the pool's retries off and
+    an incremented :class:`~repro.shard.worker.ShardTask` attempt, which
+    is what keeps the injected-fault semantics (``fault.attempts``)
+    exact.
+
+    ``max_concurrent`` caps in-flight shard jobs: remaining shards wait
+    and are submitted as slots free up, so peak resident memory is the
+    arena plus ``max_concurrent`` shard working sets — the streamed-solve
+    mode paper-scale graphs need.
     """
-    import multiprocessing as mp
     from collections import deque
-    from multiprocessing.connection import wait as conn_wait
+    from concurrent.futures import FIRST_COMPLETED
+    from concurrent.futures import wait as future_wait
+
+    from repro.errors import PoolError, PoolUnavailableError
+    from repro.platform.pool import WorkerPool
 
     tracer = current_tracer()
     backing = arena_backing
@@ -319,7 +344,6 @@ def _solve_in_processes(
         payload = g.n_edges * 24 + (g.n_vertices * 8 if labels is not None else 0)
         backing = _choose_backing(payload)
     try:
-        ctx = mp.get_context()
         arena = SharedEdgeArena.publish(
             g.n_vertices, g.edge_u, g.edge_v, g.edge_w, labels,
             backing=backing, spool_dir=spool_dir,
@@ -328,91 +352,78 @@ def _solve_in_processes(
         raise ServiceError(f"process executor unavailable: {exc}") from exc
     stats["arena_backing"] = backing  # type: ignore[assignment]
 
+    limit = plan.n_shards if max_concurrent is None else max(1, int(max_concurrent))
+    own_pool = pool is None
     forests: Dict[int, np.ndarray] = {}
     fallback: List[int] = []
-    live: Dict[int, tuple] = {}  # shard -> (process, recv_conn, deadline, attempt)
+    inflight: Dict[object, tuple] = {}  # future -> (shard, attempt)
 
-    def _spawn(shard: int, attempt: int) -> None:
+    def _submit(shard: int, attempt: int) -> None:
         task = ShardTask(
             arena=arena.spec, shard=shard, n_shards=plan.n_shards,
             strategy=plan.strategy, seed=seed,
             algorithm=algorithm, mode=mode, attempt=attempt, fault=fault,
             traced=tracer.enabled,
         )
-        recv_conn, send_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=worker_main, args=(send_conn, task), daemon=True,
-            name=f"repro-shard-{shard}-a{attempt}",
+        future = pool.submit(
+            run_shard_task, task, tenant=tenant, timeout_s=timeout_s,
+            label=f"shard:{shard}:a{attempt}",
         )
-        proc.start()
-        # Parent must drop its copy of the send end, or a dead worker's
-        # pipe would never raise EOF and the solve would hang forever.
-        send_conn.close()
-        live[shard] = (proc, recv_conn, time.perf_counter() + timeout_s, attempt)
+        inflight[future] = (shard, attempt)
 
     def _failed(shard: int, attempt: int) -> None:
         stats["retries"] += 1
         if attempt + 1 <= max_retries:
-            _spawn(shard, attempt + 1)
+            _submit(shard, attempt + 1)
         else:
             stats["retries"] -= 1  # the terminal failure is a fallback, not a retry
             stats["fallback_shards"] += 1
             fallback.append(shard)
 
-    pending = deque(range(plan.n_shards))
-    limit = plan.n_shards if max_concurrent is None else max(1, int(max_concurrent))
-
-    def _top_up() -> None:
-        try:
-            while pending and len(live) < limit:
-                _spawn(pending.popleft(), 0)
-        except OSError as exc:  # fork refused (rlimit, sandbox)
-            raise ServiceError(f"cannot spawn shard workers: {exc}") from exc
-
     try:
-        _top_up()
-        while live:
-            ready = conn_wait([c for _, c, _, _ in live.values()], timeout=0.05)
-            now = time.perf_counter()
-            for conn in ready:
-                shard = next(s for s, v in live.items() if v[1] is conn)
-                proc, _, _, attempt = live.pop(shard)
+        if own_pool:
+            try:
+                pool = WorkerPool(
+                    max_workers=min(limit, plan.n_shards),
+                    max_pending=plan.n_shards * (max_retries + 1) + 1,
+                    name="shard",
+                )
+            except OSError as exc:  # reactor thread refused
+                raise ServiceError(f"cannot start shard worker pool: {exc}") from exc
+        pending = deque(range(plan.n_shards))
+        while pending and len(inflight) < limit:
+            _submit(pending.popleft(), 0)
+        while inflight:
+            done, _ = future_wait(list(inflight), return_when=FIRST_COMPLETED)
+            for future in done:
+                shard, attempt = inflight.pop(future)
                 try:
-                    payload = conn.recv()
-                except (EOFError, OSError):  # died without an answer
-                    payload = ("error", f"worker exited with {proc.exitcode}")
-                finally:
-                    conn.close()
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.kill()
-                    proc.join()
-                if payload[0] == "ok":
-                    forests[shard] = np.asarray(payload[1], dtype=np.int64)
-                    # Workers running under tracing append their span
-                    # payload as a fourth element; merge it into this
-                    # process's timeline.  Older 3-tuples stay valid.
-                    if len(payload) > 3:
-                        tracer.adopt(payload[3])
-                else:
+                    forest, _seconds, span_payload = future.result()
+                except PoolUnavailableError as exc:
+                    # Machinery, not a job, failed: degrade the whole
+                    # solve to the serial executor.
+                    raise ServiceError(f"cannot run shard workers: {exc}") from exc
+                except PoolError:
+                    # Crash, hang-reap, or in-worker exception: this
+                    # attempt failed; retry accounting decides what's next.
                     _failed(shard, attempt)
-            # Reap overdue workers (hangs count as crashes).
-            for shard in [s for s, v in live.items() if v[2] < now]:
-                proc, conn, _, attempt = live.pop(shard)
-                proc.terminate()
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - defensive
-                    proc.kill()
-                    proc.join()
-                conn.close()
-                _failed(shard, attempt)
-            # Dispatch queued shards into freed slots (streamed mode).
-            _top_up()
+                    continue
+                forests[shard] = np.asarray(forest, dtype=np.int64)
+                # Workers running under tracing ship their span payload
+                # back with the forest; merge it into this process's
+                # timeline so one trace covers every process.
+                if span_payload is not None:
+                    tracer.adopt(span_payload)
+            # Submit queued shards into freed slots (streamed mode).
+            while pending and len(inflight) < limit:
+                _submit(pending.popleft(), 0)
+    except PoolError as exc:
+        # submit() itself rejected (pool closed or saturated by other
+        # tenants): the solve still completes, just without processes.
+        raise ServiceError(f"shard worker pool unavailable: {exc}") from exc
     finally:
-        for proc, conn, _, _ in live.values():  # pragma: no cover - defensive
-            proc.kill()
-            proc.join()
-            conn.close()
+        if own_pool and pool is not None:
+            pool.close()
         arena.close()
 
     for shard in fallback:

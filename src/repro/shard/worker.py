@@ -36,7 +36,13 @@ from repro.graphs.edgelist import EdgeList
 from repro.shard.memory import ArenaSpec, attach_readonly, labels_view
 from repro.shard.partition import shard_edge_ids
 
-__all__ = ["ShardFault", "ShardTask", "solve_shard_local", "worker_main"]
+__all__ = [
+    "ShardFault",
+    "ShardTask",
+    "solve_shard_local",
+    "run_shard_task",
+    "worker_main",
+]
 
 # Above this arena edge count a worker evaluates its shard membership in
 # chunks (one full-size assignment array per worker would multiply the
@@ -191,13 +197,16 @@ def _maybe_fault(task: ShardTask) -> None:
     os._exit(87)
 
 
-def worker_main(conn, task: ShardTask) -> None:
-    """Worker process entry point: attach, solve own shard, reply, exit.
+def run_shard_task(task: ShardTask):
+    """Solve one :class:`ShardTask` in this process over its shared arena.
 
-    Sends ``("ok", edge_ids, seconds)`` — with a fourth span-payload
-    element when ``task.traced`` — or ``("error", repr)`` over ``conn``.
-    The arena is attached read-only and only *closed* on the way out —
-    unlinking is the coordinator's job alone.
+    The pool-callable job body: the coordinator submits exactly this
+    function to the shared :class:`~repro.platform.pool.WorkerPool`, one
+    call per shard attempt.  Returns ``(edge_ids, seconds, span_payload)``
+    where ``span_payload`` is ``None`` unless ``task.traced`` — the
+    coordinator adopts it into the caller's tracer so one timeline covers
+    every process.  The arena is attached read-only and only *closed* on
+    the way out — unlinking is the coordinator's job alone.
     """
     from repro.obs.trace import NULL_TRACER, Tracer, use_tracer
 
@@ -233,9 +242,30 @@ def worker_main(conn, task: ShardTask) -> None:
                     task.algorithm, task.mode, labels,
                 )
                 sp.set_attr("forest_edges", int(forest.size))
-        reply = ("ok", np.ascontiguousarray(forest), time.perf_counter() - t0)
-        if task.traced:
-            reply = reply + (tracer.to_payload(),)
+        payload = tracer.to_payload() if task.traced else None
+        return np.ascontiguousarray(forest), time.perf_counter() - t0, payload
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+
+def worker_main(conn, task: ShardTask) -> None:
+    """One-shot worker process entry point: solve own shard, reply, exit.
+
+    Sends ``("ok", edge_ids, seconds)`` — with a fourth span-payload
+    element when ``task.traced`` — or ``("error", repr)`` over ``conn``.
+    Kept for callers that spawn dedicated per-shard processes; the
+    coordinator now routes shard attempts through the shared worker pool
+    via :func:`run_shard_task` instead.
+    """
+    try:
+        forest, seconds, payload = run_shard_task(task)
+        reply = ("ok", forest, seconds)
+        if payload is not None:
+            reply = reply + (payload,)
         conn.send(reply)
     except Exception as exc:  # surface as data; the coordinator decides
         try:
@@ -243,11 +273,6 @@ def worker_main(conn, task: ShardTask) -> None:
         except Exception:  # pragma: no cover - pipe already gone
             pass
     finally:
-        if shm is not None:
-            try:
-                shm.close()
-            except Exception:  # pragma: no cover - defensive
-                pass
         try:
             conn.close()
         except Exception:  # pragma: no cover - defensive

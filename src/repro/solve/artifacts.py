@@ -186,6 +186,10 @@ class ProblemArtifactStore:
         """Atomically write one artifact; returns its path."""
         return save_problem_artifact(artifact, self.path_for(artifact.fingerprint))
 
+    def put(self, artifact: ProblemArtifact) -> Path:
+        """Persist an externally built artifact (e.g. a background rebuild)."""
+        return self.save(artifact)
+
     def load(
         self, path: str | Path, expect_fingerprint: str | None = None
     ) -> ProblemArtifact:

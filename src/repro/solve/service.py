@@ -198,6 +198,29 @@ class ProblemService:
         """The currently served artifact."""
         return self.ensure_ready().artifact
 
+    @property
+    def graph(self) -> Optional[CSRGraph]:
+        """The currently served graph (``None`` in offline-artifact mode)."""
+        return self._graph
+
+    def adopt_artifact(self, artifact: ProblemArtifact) -> None:
+        """Atomically swap the served artifact for ``artifact``.
+
+        The background-rebuild hand-off (see
+        :meth:`repro.service.core.MSTService.adopt_artifact`): the new
+        engine is installed with one reference assignment and the
+        artifact persisted to the store when there is one.
+        """
+        if artifact.problem != self.problem:
+            raise ServiceError(
+                f"artifact solves {artifact.problem!r}, service hosts "
+                f"{self.problem!r}"
+            )
+        engine = ProblemQueryEngine(artifact, backend=self.backend)
+        if self.store is not None:
+            self.store.put(artifact)
+        self._engine = engine
+
     def invalidate(self) -> None:
         """Drop the live engine (next query rebuilds via :meth:`ensure_ready`)."""
         self._engine = None

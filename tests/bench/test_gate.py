@@ -301,3 +301,79 @@ def test_scale_gate_reports_missing_config(tmp_path, capsys):
     del fresh["configs"]["road"]
     assert _run_scale_gate(fresh, tmp_path) == 1
     assert "missing from fresh report" in capsys.readouterr().err
+
+
+COMMITTED_PLATFORM = {
+    "schema": 1,
+    "params": {"n_vertices": 2000, "n_edges": 8000, "seed": 7,
+               "duration_s": 2.0, "cold_rate_qps": 200.0,
+               "hot_rate_qps": 2000.0, "hot_quota_qps": 100.0,
+               "hot_quota_burst": 20.0},
+    "alone": {"cold": {"offered": 400, "completed": 400, "rejected": 0,
+                       "quota_rejected": 0, "timeouts": 0, "errors": 0,
+                       "p50_ms": 0.4, "p99_ms": 1.0}},
+    "contended": {
+        "cold": {"offered": 400, "completed": 400, "rejected": 0,
+                 "quota_rejected": 0, "timeouts": 0, "errors": 0,
+                 "p50_ms": 0.5, "p99_ms": 1.2},
+        "hot": {"offered": 4000, "completed": 240, "rejected": 0,
+                "quota_rejected": 3760, "timeouts": 0, "errors": 0,
+                "p50_ms": 0.5, "p99_ms": 1.5},
+    },
+    "isolation_ratio": 1.2,
+    "quota": {"hot_offered": 4000, "hot_quota_rejected": 3760,
+              "hot_rejected_fraction": 0.94, "quota_enforced": True},
+    "accounting_ok": True,
+}
+
+
+def _run_platform_gate(fresh, tmp_path, threshold=0.25):
+    cp = tmp_path / "cp.json"
+    fp = tmp_path / "fp.json"
+    cp.write_text(json.dumps(COMMITTED_PLATFORM))
+    fp.write_text(json.dumps(fresh))
+    return bench_gate.main([
+        "--threshold", str(threshold),
+        "--platform", str(cp), "--fresh-platform", str(fp),
+    ])
+
+
+def test_platform_gate_passes_on_identical_reports(tmp_path):
+    assert _run_platform_gate(COMMITTED_PLATFORM, tmp_path) == 0
+
+
+def test_platform_gate_fails_hard_on_broken_accounting(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_PLATFORM)
+    fresh["accounting_ok"] = False
+    assert _run_platform_gate(fresh, tmp_path) == 1
+    assert "accounting invariant" in capsys.readouterr().err
+
+
+def test_platform_gate_fails_hard_on_unenforced_quota(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_PLATFORM)
+    fresh["quota"]["quota_enforced"] = False
+    assert _run_platform_gate(fresh, tmp_path) == 1
+    assert "admission" in capsys.readouterr().err
+
+
+def test_platform_gate_fails_on_isolation_regression(tmp_path, capsys):
+    fresh = copy.deepcopy(COMMITTED_PLATFORM)
+    # Ceiling = max(1.2, 3.0 floor) * (1 + max(0.25, 1.0)) = 6.0
+    fresh["isolation_ratio"] = 6.5
+    assert _run_platform_gate(fresh, tmp_path) == 1
+    assert "isolation ratio regressed" in capsys.readouterr().err
+
+
+def test_platform_gate_noise_floor_forgives_small_ratios(tmp_path):
+    """p99 jitter at ms scale: ratios under the floored ceiling pass."""
+    fresh = copy.deepcopy(COMMITTED_PLATFORM)
+    fresh["isolation_ratio"] = 5.5  # noisy, but under the 6.0 ceiling
+    assert _run_platform_gate(fresh, tmp_path) == 0
+
+
+def test_platform_gate_skips_ratio_at_tiny_sample(tmp_path):
+    """Hard booleans still gate, but the ratio needs enough completions."""
+    fresh = copy.deepcopy(COMMITTED_PLATFORM)
+    fresh["contended"]["cold"]["completed"] = 50  # < MIN_ISOLATION_COUNT
+    fresh["isolation_ratio"] = 50.0
+    assert _run_platform_gate(fresh, tmp_path) == 0

@@ -1,0 +1,1 @@
+"""Multi-tenant platform test suite."""

@@ -1,0 +1,131 @@
+"""Token-bucket refill boundaries and quota records, on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.platform.quota import (
+    DEFAULT_QUOTA,
+    TenantQuota,
+    TokenBucket,
+    reject_graphs,
+    reject_queue,
+    reject_rate,
+)
+
+
+class FakeClock:
+    def __init__(self, t0: float = 0.0) -> None:
+        self.t = t0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+
+    def test_retry_after_is_exact_time_to_next_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_take() is None
+        # Zero tokens at rate 2/s: the next token is 0.5s away.
+        assert bucket.try_take() == pytest.approx(0.5)
+
+    def test_refill_boundary_exactly_one_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        bucket.try_take()
+        # One instant before the boundary: still rejected.
+        clock.advance(0.4999)
+        retry = bucket.try_take()
+        assert retry is not None and retry == pytest.approx(0.0001, abs=1e-6)
+        # Crossing the boundary admits exactly one request, not two.
+        clock.advance(0.0001)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(1e6)  # a long idle accrues only `burst` tokens
+        assert bucket.tokens == pytest.approx(2.0)
+        assert bucket.try_take() is None
+        assert bucket.try_take() is None
+        assert bucket.try_take() is not None
+
+    def test_fractional_accrual_is_not_lost(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_take()
+        for _ in range(4):  # four 0.25s refills == one 1s refill
+            clock.advance(0.25)
+            bucket.tokens
+        assert bucket.try_take() is None
+
+    def test_zero_rate_disables_the_limit(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        for _ in range(1000):
+            assert bucket.try_take() is None
+
+    def test_burst_floor_is_one_token(self):
+        bucket = TokenBucket(rate=1.0, burst=0.0, clock=FakeClock())
+        assert bucket.burst == 1.0
+        assert bucket.try_take() is None
+
+
+class TestTenantQuota:
+    def test_round_trips_through_dict(self):
+        quota = TenantQuota(max_graphs=3, resident_budget=2,
+                            max_queue_depth=10, rate_qps=5.0, burst=7.0)
+        assert TenantQuota.from_dict(quota.to_dict()) == quota
+
+    def test_from_dict_ignores_unknown_keys(self):
+        quota = TenantQuota.from_dict({"max_graphs": 2, "future_knob": 9})
+        assert quota.max_graphs == 2
+
+    def test_default_quota_is_unthrottled(self):
+        bucket = DEFAULT_QUOTA.make_bucket(clock=FakeClock())
+        assert all(bucket.try_take() is None for _ in range(100))
+
+    def test_make_bucket_defaults_burst_to_rate(self):
+        bucket = TenantQuota(rate_qps=8.0, burst=0.0).make_bucket(
+            clock=FakeClock())
+        assert bucket.burst == 8.0
+
+
+class TestRejections:
+    def test_rate_record_shape(self):
+        exc = reject_rate("acme", 0.0123)
+        record = exc.to_record()
+        assert record["code"] == 429
+        assert record["tenant"] == "acme"
+        assert record["reason"] == "rate"
+        # Ceiled to the millisecond: a client sleeping retry_after_s is
+        # guaranteed a token on arrival.
+        assert record["retry_after_s"] == pytest.approx(0.013)
+
+    def test_queue_record_shape(self):
+        record = reject_queue("acme", 5, 5).to_record()
+        assert record["code"] == 429 and record["reason"] == "queue"
+        assert "retry_after_s" not in record
+
+    def test_graphs_record_shape(self):
+        record = reject_graphs("acme", 8, 8).to_record()
+        assert record["code"] == 429 and record["reason"] == "graphs"
+
+    def test_rejections_are_service_errors(self):
+        from repro.errors import ReproError, ServiceError
+
+        assert issubclass(QuotaExceededError, ServiceError)
+        assert issubclass(QuotaExceededError, ReproError)

@@ -1,0 +1,132 @@
+"""RebuildScheduler: coalescing, outcomes, and failure isolation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.platform.rebuild import RebuildScheduler
+
+
+class _InlineFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def result(self, timeout=None):
+        return self._value
+
+
+class _SentinelPool:
+    """Stands in for the WorkerPool: returns a sentinel artifact inline."""
+
+    def submit(self, fn, *args, tenant=None, timeout_s=None, label=None,
+               **kwargs):
+        return _InlineFuture("artifact")
+
+
+class FakePlatform:
+    """A platform whose snapshot path can be gated for deterministic races."""
+
+    def __init__(self):
+        self.pool = _SentinelPool()
+        self.gate = threading.Event()
+        self.gate.set()
+        self.entries = {}  # (tenant, name) -> version; None-able
+        self.completed = []
+        self.fail_snapshot = False
+
+    def snapshot_for_rebuild(self, tenant, name):
+        self.gate.wait(timeout=10)
+        if self.fail_snapshot:
+            raise RuntimeError("snapshot exploded")
+        version = self.entries.get((tenant, name))
+        if version is None:
+            return None
+        return {"spec": name}, version
+
+    def complete_rebuild(self, tenant, name, version, artifact):
+        self.completed.append((tenant, name, version, artifact))
+        return "swapped" if self.entries.get((tenant, name)) == version else "stale"
+
+
+def test_schedule_runs_and_swaps():
+    platform = FakePlatform()
+    platform.entries[("t", "a")] = 1
+    scheduler = RebuildScheduler(platform)
+    try:
+        assert scheduler.schedule("t", "a", 1) is True
+        assert scheduler.drain(timeout_s=10)
+        assert platform.completed == [("t", "a", 1, "artifact")]
+        stats = scheduler.stats()
+        assert stats["scheduled"] == 1 and stats["swapped"] == 1
+        assert stats["queued"] == 0
+    finally:
+        scheduler.stop()
+
+
+def test_pending_rebuild_coalesces_by_identity():
+    """A second schedule for the same graph is absorbed, not enqueued."""
+    platform = FakePlatform()
+    platform.entries[("t", "a")] = 1
+    platform.entries[("t", "b")] = 2
+    platform.gate.clear()  # park the worker inside job "a"'s snapshot
+    scheduler = RebuildScheduler(platform)
+    try:
+        assert scheduler.schedule("t", "a", 1) is True
+        # Job "a" is popped (no longer pending) and blocked; "b" queues
+        # once — its second mutation coalesces onto the pending job.
+        assert scheduler.schedule("t", "b", 1) is True
+        assert scheduler.schedule("t", "b", 2) is False
+        platform.gate.set()
+        assert scheduler.drain(timeout_s=10)
+        stats = scheduler.stats()
+        assert stats["scheduled"] == 2
+        assert stats["coalesced"] == 1
+        # "b" ran once; the snapshot's version (2, the latest) was used,
+        # so the single rebuild covered both mutations.
+        b_installs = [c for c in platform.completed if c[1] == "b"]
+        assert b_installs == [("t", "b", 2, "artifact")]
+    finally:
+        scheduler.stop()
+
+
+def test_vanished_entry_is_discarded():
+    platform = FakePlatform()  # no entries: snapshot returns None
+    scheduler = RebuildScheduler(platform)
+    try:
+        scheduler.schedule("t", "ghost", 1)
+        assert scheduler.drain(timeout_s=10)
+        assert scheduler.stats()["discarded"] == 1
+        assert platform.completed == []
+    finally:
+        scheduler.stop()
+
+
+def test_failure_is_counted_never_raised():
+    platform = FakePlatform()
+    platform.entries[("t", "a")] = 1
+    platform.fail_snapshot = True
+    scheduler = RebuildScheduler(platform)
+    try:
+        scheduler.schedule("t", "a", 1)
+        assert scheduler.drain(timeout_s=10)
+        assert scheduler.stats()["failed"] == 1
+        # The scheduler thread survives and keeps serving later jobs.
+        platform.fail_snapshot = False
+        scheduler.schedule("t", "a", 1)
+        assert scheduler.drain(timeout_s=10)
+        assert scheduler.stats()["swapped"] == 1
+    finally:
+        scheduler.stop()
+
+
+def test_stop_drops_queued_work():
+    platform = FakePlatform()
+    platform.entries[("t", "a")] = 1
+    platform.gate.clear()
+    scheduler = RebuildScheduler(platform)
+    scheduler.schedule("t", "a", 1)
+    scheduler.schedule("t", "b", 1)  # still queued when stop() lands
+    platform.gate.set()
+    scheduler.stop()
+    assert scheduler.schedule("t", "c", 1) is False  # stopped: no enqueue
+    assert not any(c[1] == "c" for c in platform.completed)

@@ -1,0 +1,264 @@
+"""GraphPlatform contracts: quotas, LRU residency, admission, rebuild swaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuotaExceededError, ServiceError
+from repro.graphs.generators.random_graphs import gnm_random_graph
+from repro.platform import GraphPlatform, TenantQuota
+from repro.platform.rebuild import rebuild_artifact_job
+
+
+class FakeClock:
+    def __init__(self, t0: float = 0.0) -> None:
+        self.t = t0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def g():
+    return gnm_random_graph(60, 180, seed=3)
+
+
+class TestTenants:
+    def test_add_lookup_remove(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            assert platform.tenants() == ["acme"]
+            assert platform.tenant("acme").quota == platform.default_quota
+            platform.remove_tenant("acme")
+            assert platform.tenants() == []
+
+    def test_duplicate_and_unknown_raise(self):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            with pytest.raises(ServiceError, match="already exists"):
+                platform.add_tenant("acme")
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                platform.tenant("ghost")
+            with pytest.raises(ServiceError, match="unknown tenant"):
+                platform.remove_tenant("ghost")
+
+    def test_invalid_names_rejected(self, g):
+        with GraphPlatform() as platform:
+            with pytest.raises(ServiceError, match="invalid tenant"):
+                platform.add_tenant("a/b")
+            platform.add_tenant("acme")
+            with pytest.raises(ServiceError, match="invalid graph"):
+                platform.add_graph("acme", "a/b", g)
+
+
+class TestGraphQuota:
+    def test_exactly_at_max_graphs_boundary(self, g):
+        """The Nth registration fits; the N+1st is a structured 429."""
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme", TenantQuota(max_graphs=2))
+            platform.add_graph("acme", "g1", g)
+            platform.add_graph("acme", "g2", g)  # exactly at the limit: OK
+            with pytest.raises(QuotaExceededError) as info:
+                platform.add_graph("acme", "g3", g)
+            record = info.value.to_record()
+            assert record["code"] == 429 and record["reason"] == "graphs"
+            # Removing one frees the slot again.
+            platform.remove_graph("acme", "g1")
+            platform.add_graph("acme", "g3", g)
+
+    def test_duplicate_and_unknown_graphs_raise(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            with pytest.raises(ServiceError, match="already exists"):
+                platform.add_graph("acme", "g1", g)
+            with pytest.raises(ServiceError, match="unknown graph"):
+                platform.get_service("acme", "ghost")
+            with pytest.raises(ServiceError, match="unknown graph"):
+                platform.remove_graph("acme", "ghost")
+
+
+class TestResidency:
+    def test_lru_engine_eviction_past_budget(self, g, tmp_path):
+        with GraphPlatform(tmp_path) as platform:
+            platform.add_tenant("acme", TenantQuota(resident_budget=1))
+            platform.add_graph("acme", "g1", g)
+            platform.add_graph("acme", "g2", g)
+            # Budget 1: registering g2 evicted g1's engine, not its data.
+            assert not platform.entry("acme", "g1").resident
+            assert platform.entry("acme", "g2").resident
+            assert platform.tenant("acme").evictions == 1
+
+    def test_evicted_entry_rematerializes_warm(self, g, tmp_path):
+        with GraphPlatform(tmp_path) as platform:
+            platform.add_tenant("acme", TenantQuota(resident_budget=1))
+            platform.add_graph("acme", "g1", g)
+            weight = platform.get_service("acme", "g1").total_weight()
+            platform.add_graph("acme", "g2", g)
+            assert not platform.entry("acme", "g1").resident
+            # The next query reloads g1 from the content-addressed store
+            # and answers identically; no data was lost to eviction.
+            svc = platform.get_service("acme", "g1")
+            assert svc.total_weight() == weight
+            assert platform.entry("acme", "g1").resident
+
+    def test_get_service_touches_lru_order(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme", TenantQuota(resident_budget=2))
+            for name in ("g1", "g2", "g3"):
+                platform.add_graph("acme", name, g)
+            # g1 was LRU-evicted by g3's registration; touching g2 then
+            # registering g4 must evict g3 (now least recent), not g2.
+            platform.get_service("acme", "g2")
+            platform.add_graph("acme", "g4", g)
+            assert platform.entry("acme", "g2").resident
+            assert not platform.entry("acme", "g3").resident
+
+
+class TestAdmission:
+    def test_rate_quota_rejects_with_retry_after(self, g):
+        clock = FakeClock()
+        with GraphPlatform(clock=clock) as platform:
+            platform.add_tenant("acme", TenantQuota(rate_qps=1.0, burst=1.0))
+            platform.admit("acme")()
+            with pytest.raises(QuotaExceededError) as info:
+                platform.admit("acme")
+            record = info.value.to_record()
+            assert record["reason"] == "rate"
+            assert 0 < record["retry_after_s"] <= 1.0
+            clock.advance(1.0)  # one token accrues; admitted again
+            platform.admit("acme")()
+            assert platform.tenant("acme").rejected_rate == 1
+
+    def test_queue_depth_bounds_inflight(self):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme", TenantQuota(max_queue_depth=2))
+            releases = [platform.admit("acme") for _ in range(2)]
+            with pytest.raises(QuotaExceededError) as info:
+                platform.admit("acme")
+            assert info.value.to_record()["reason"] == "queue"
+            releases[0]()
+            release = platform.admit("acme")  # freed slot admits again
+            release()
+            releases[1]()
+            assert platform.tenant("acme").inflight == 0
+
+    def test_release_is_idempotent(self):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            release = platform.admit("acme")
+            release()
+            release()  # double release must not underflow the window
+            assert platform.tenant("acme").inflight == 0
+
+    def test_admission_context_manager_releases_on_error(self):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme", TenantQuota(max_queue_depth=1))
+            with pytest.raises(RuntimeError):
+                with platform.admission("acme"):
+                    assert platform.tenant("acme").inflight == 1
+                    raise RuntimeError("query failed")
+            assert platform.tenant("acme").inflight == 0
+
+
+class TestRebuildSwap:
+    """The complete_rebuild outcome matrix, driven without the scheduler."""
+
+    def _rebuilt(self, platform, tenant, name):
+        spec, version = platform.snapshot_for_rebuild(tenant, name)
+        return version, rebuild_artifact_job(spec)
+
+    def test_swapped_when_resident_and_current(self, g, tmp_path):
+        with GraphPlatform(tmp_path) as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            version, artifact = self._rebuilt(platform, "acme", "g1")
+            out = platform.complete_rebuild("acme", "g1", version, artifact)
+            assert out == "swapped"
+            assert platform.entry("acme", "g1").rebuilds == 1
+
+    def test_persisted_when_evicted_mid_rebuild(self, g, tmp_path):
+        with GraphPlatform(tmp_path) as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            version, artifact = self._rebuilt(platform, "acme", "g1")
+            entry = platform.entry("acme", "g1")
+            entry.service.invalidate()  # evicted while the solve ran
+            out = platform.complete_rebuild("acme", "g1", version, artifact)
+            assert out == "persisted"
+            # The persisted artifact loads warm on the next query.
+            assert platform.get_service("acme", "g1").total_weight() > 0
+
+    def test_stale_when_version_moved_on(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            version, artifact = self._rebuilt(platform, "acme", "g1")
+            out = platform.complete_rebuild("acme", "g1", version - 1, artifact)
+            assert out == "stale"
+            assert platform.entry("acme", "g1").rebuilds == 0
+
+    def test_discarded_when_graph_removed(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            version, artifact = self._rebuilt(platform, "acme", "g1")
+            platform.remove_graph("acme", "g1")
+            assert platform.complete_rebuild(
+                "acme", "g1", version, artifact) == "discarded"
+
+    def test_discarded_when_tenant_removed(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            version, artifact = self._rebuilt(platform, "acme", "g1")
+            platform.remove_tenant("acme")
+            assert platform.complete_rebuild(
+                "acme", "g1", version, artifact) == "discarded"
+
+
+class TestMutateEndToEnd:
+    def test_mutation_schedules_and_swaps_in_background(self, g, tmp_path):
+        """mutate -> dirty -> scheduler re-solves in a pool worker -> clean."""
+        with GraphPlatform(tmp_path, max_workers=1) as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            platform.mutate("acme", "g1", "insert", 0, 59, 0.001)
+            assert platform.scheduler.drain(timeout_s=60.0)
+            entry = platform.entry("acme", "g1")
+            assert not entry.dirty
+            assert entry.rebuilds == 1
+            assert platform.scheduler.stats()["swapped"] == 1
+
+    def test_mutation_rejected_for_problem_entries(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "s", g, problem="sssp", source=0)
+            with pytest.raises(ServiceError, match="mutations need an MST"):
+                platform.mutate("acme", "s", "insert", 0, 1, 1.0)
+
+
+class TestIntrospection:
+    def test_stats_shape(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme", TenantQuota(rate_qps=5.0))
+            platform.add_graph("acme", "g1", g)
+            stats = platform.stats()
+            tenant = stats["tenants"]["acme"]
+            assert tenant["quota"]["rate_qps"] == 5.0
+            row = tenant["graphs"]["g1"]
+            assert row["problem"] == "mst" and row["resident"]
+            assert platform.stats("acme") == tenant
+
+    def test_metrics_providers_cover_tenants_and_pool(self, g):
+        with GraphPlatform() as platform:
+            platform.add_tenant("acme")
+            platform.add_graph("acme", "g1", g)
+            providers = platform.metrics_providers()
+            assert "platform.tenant.acme" in providers
+            assert providers["platform.pool"]() == {}  # pool never spawned
+            snapshot = providers["platform.tenant.acme"]()
+            assert isinstance(snapshot, dict)

@@ -65,3 +65,33 @@ def test_external_and_code_block_links_ignored(tmp_path):
 def test_non_markdown_argument_is_usage_error(tmp_path):
     (tmp_path / "notes.txt").write_text("hi")
     assert _run(tmp_path / "notes.txt").returncode == 2
+
+
+def test_index_names_every_subsystem():
+    """The checker's own rule, asserted directly against the source tree."""
+    sys.path.insert(0, str(REPO / "tools"))
+    import check_doc_links
+
+    assert check_doc_links.check_subsystem_index() == []
+
+
+def test_missing_subsystem_detected(tmp_path):
+    sys.path.insert(0, str(REPO / "tools"))
+    import check_doc_links
+
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "index.md").write_text("covers `alpha` only\n")
+    for name in ("alpha", "beta"):
+        pkg = tmp_path / "src" / "repro" / name
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+    problems = check_doc_links.check_subsystem_index(tmp_path)
+    assert len(problems) == 1
+    assert "repro.beta" in problems[0]
+
+
+def test_default_run_reports_uncovered_subsystem_in_output():
+    """The CI run prints the coverage claim, not just link health."""
+    proc = _run()
+    assert proc.returncode == 0, proc.stderr
+    assert "covers every subsystem" in proc.stdout

@@ -3,9 +3,10 @@
 Run:  PYTHONPATH=src python tools/bench_gate.py [--threshold 0.25]
       [--kernels BENCH_kernels.json] [--shard BENCH_shard.json]
       [--soak BENCH_soak.json] [--scale BENCH_scale.json]
-      [--problems BENCH_problems.json]
+      [--problems BENCH_problems.json] [--platform BENCH_platform.json]
       [--fresh-kernels PATH] [--fresh-shard PATH] [--fresh-soak PATH]
-      [--fresh-scale PATH] [--fresh-problems PATH] [--repeats R]
+      [--fresh-scale PATH] [--fresh-problems PATH] [--fresh-platform PATH]
+      [--repeats R]
 
 Absolute seconds are not comparable across machines, so the gate never
 compares a fresh wall time against a committed one.  Every check is a
@@ -41,6 +42,15 @@ compares a fresh wall time against a committed one.  Every check is a
   figure — is gated against the committed value, but only when the
   fresh report was measured at the committed graph shape (same
   ``params``), since bytes-per-edge legitimately shifts with scale.
+
+* **platform** — the multi-tenant isolation report's hard booleans (the
+  per-tenant accounting invariant, the hot tenant's quota actually
+  rejecting) fail the gate at any threshold; ``isolation_ratio``
+  (contended cold-tenant p99 over alone cold-tenant p99, within-report
+  and so machine-independent) is gated against the committed reference
+  with a noise floor — sub-3x ratios are treated as 3x, since p99 over a
+  few hundred samples jitters with the scheduler — and a threshold
+  floored at 1.0, like the soak tail;
 
 * **problems** — each registered problem's fresh mode ``speedup`` must
   clear both the committed speedup within ``threshold`` *and* an
@@ -227,6 +237,54 @@ def gate_scale(committed: dict, fresh: dict, threshold: float) -> list[str]:
     return failures
 
 
+# Isolation ratios below this are p99 sampling noise: with a few hundred
+# cold-tenant requests per phase, p99 sits within a handful of samples
+# of the max and legitimately moves severalfold between runs.
+NOISE_FLOOR_ISOLATION = 3.0
+# Cold-tenant phases with fewer completed requests than this are not
+# gated on the ratio at all — the percentile is statistically meaningless.
+MIN_ISOLATION_COUNT = 100
+
+
+def gate_platform(committed: dict, fresh: dict, threshold: float) -> list[str]:
+    """Failures of the platform report against its committed reference.
+
+    The accounting invariant and quota enforcement are hard failures at
+    any threshold: a tenant whose buckets do not partition its offered
+    load has lost requests, and a hot tenant with zero quota rejections
+    means admission control is not running.  ``isolation_ratio`` is the
+    soft check, floored and widened like the soak tail because tail
+    percentiles at millisecond scale gate the scheduler otherwise.
+    """
+    failures: list[str] = []
+    if not fresh.get("accounting_ok", False):
+        failures.append(
+            "platform: per-tenant accounting invariant violated "
+            "(offered != completed + rejected + quota_rejected + timeouts + errors)"
+        )
+    quota = fresh.get("quota", {})
+    if not quota.get("quota_enforced", False):
+        failures.append(
+            "platform: hot tenant saw zero quota rejections — admission "
+            "control is not enforcing the rate quota"
+        )
+    cold = fresh.get("contended", {}).get("cold", {})
+    if cold.get("completed", 0) < MIN_ISOLATION_COUNT:
+        return failures  # ratio not meaningful at this sample size
+    ratio_threshold = max(threshold, 1.0)
+    ref_ratio = max(committed.get("isolation_ratio", 0.0), NOISE_FLOOR_ISOLATION)
+    ceiling = ref_ratio * (1.0 + ratio_threshold)
+    cur_ratio = fresh.get("isolation_ratio", 0.0)
+    if cur_ratio > ceiling:
+        failures.append(
+            f"platform: isolation ratio regressed "
+            f"{committed.get('isolation_ratio'):.2f}x -> {cur_ratio:.2f}x "
+            f"(ceiling {ceiling:.2f}x) — the hot tenant is degrading the "
+            f"cold tenant's p99"
+        )
+    return failures
+
+
 # The problems report's contract on its committed 100k-edge graph:
 # vectorized mode must beat loop mode by at least this much, regardless
 # of how modest the committed reference happens to be.
@@ -355,6 +413,28 @@ def _measure_fresh_problems(committed: dict, tmp: Path, repeats: int) -> dict:
     return json.loads(path.read_text())
 
 
+def _measure_fresh_platform(committed: dict, tmp: Path) -> dict:
+    """Re-run the platform report script at the committed parameters."""
+    import bench_platform_report
+
+    p = committed.get("params", {})
+    path = tmp / "platform.json"
+    rc = bench_platform_report.main([
+        str(path),
+        "--n", str(p.get("n_vertices", 2000)),
+        "--m", str(p.get("n_edges", 8000)),
+        "--seed", str(p.get("seed", 7)),
+        "--duration", str(p.get("duration_s", 2.0)),
+        "--cold-rate", str(p.get("cold_rate_qps", 200.0)),
+        "--hot-rate", str(p.get("hot_rate_qps", 2000.0)),
+        "--hot-quota-qps", str(p.get("hot_quota_qps", 100.0)),
+        "--hot-quota-burst", str(p.get("hot_quota_burst", 20.0)),
+    ])
+    if rc != 0:
+        raise SystemExit(rc)
+    return json.loads(path.read_text())
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -365,6 +445,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=Path, default=_ROOT / "BENCH_scale.json")
     parser.add_argument("--problems", type=Path,
                         default=_ROOT / "BENCH_problems.json")
+    parser.add_argument("--platform", type=Path,
+                        default=_ROOT / "BENCH_platform.json")
     parser.add_argument("--fresh-kernels", type=Path, default=None,
                         help="pre-computed fresh kernels report (skip measuring)")
     parser.add_argument("--fresh-shard", type=Path, default=None,
@@ -375,14 +457,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="pre-computed fresh scale report (skip measuring)")
     parser.add_argument("--fresh-problems", type=Path, default=None,
                         help="pre-computed fresh problems report (skip measuring)")
+    parser.add_argument("--fresh-platform", type=Path, default=None,
+                        help="pre-computed fresh platform report (skip measuring)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats when re-measuring")
     args = parser.parse_args(argv)
 
     any_fresh = bool(args.fresh_kernels or args.fresh_shard or args.fresh_soak
-                     or args.fresh_scale or args.fresh_problems)
+                     or args.fresh_scale or args.fresh_problems
+                     or args.fresh_platform)
     fresh_kernels = fresh_shard = fresh_soak = fresh_scale = None
-    fresh_problems = None
+    fresh_problems = fresh_platform = None
     if any_fresh:
         # Gate exactly the suites whose fresh report was handed in.
         if args.fresh_kernels:
@@ -395,6 +480,8 @@ def main(argv: list[str] | None = None) -> int:
             fresh_scale = json.loads(args.fresh_scale.read_text())
         if args.fresh_problems:
             fresh_problems = json.loads(args.fresh_problems.read_text())
+        if args.fresh_platform:
+            fresh_platform = json.loads(args.fresh_platform.read_text())
     else:
         committed_kernels = json.loads(args.kernels.read_text())
         committed_shard = json.loads(args.shard.read_text())
@@ -410,6 +497,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             fresh_problems = _measure_fresh_problems(
                 json.loads(args.problems.read_text()), Path(tmp), args.repeats
+            )
+            fresh_platform = _measure_fresh_platform(
+                json.loads(args.platform.read_text()), Path(tmp)
             )
 
     failures: list[str] = []
@@ -432,6 +522,11 @@ def main(argv: list[str] | None = None) -> int:
     if fresh_problems is not None:
         failures += gate_problems(
             json.loads(args.problems.read_text()), fresh_problems,
+            args.threshold
+        )
+    if fresh_platform is not None:
+        failures += gate_platform(
+            json.loads(args.platform.read_text()), fresh_platform,
             args.threshold
         )
     if failures:

@@ -9,8 +9,12 @@ honest: a renamed or deleted doc fails the build instead of leaving a
 dead cross-reference.  Intra-file anchors (``#section``) are validated
 against the target file's headings using GitHub's slug rules.
 
-Exit codes: 0 all links resolve, 1 broken links (listed on stderr),
-2 usage errors.
+The no-argument (CI) run additionally checks coverage: every top-level
+``src/repro`` package must be mentioned in ``docs/index.md``, so a new
+subsystem cannot ship undocumented.
+
+Exit codes: 0 all links resolve, 1 broken links or uncovered subsystems
+(listed on stderr), 2 usage errors.
 """
 
 from __future__ import annotations
@@ -66,6 +70,32 @@ def check_file(path: Path) -> list:
     return problems
 
 
+def check_subsystem_index(repo: Path = REPO) -> list:
+    """Require every top-level ``src/repro`` package in ``docs/index.md``.
+
+    A new subsystem that ships without a row in the documentation index
+    is invisible to readers; this check turns that omission into a CI
+    failure.  The package name must appear as a standalone word anywhere
+    in the index (inline code like ```` `platform` ```` counts — the
+    index's subsystem table names packages that way).
+    """
+    index = repo / "docs" / "index.md"
+    pkg_root = repo / "src" / "repro"
+    if not index.exists() or not pkg_root.is_dir():
+        return []
+    text = index.read_text(encoding="utf-8")
+    problems = []
+    for child in sorted(pkg_root.iterdir()):
+        if not child.is_dir() or not (child / "__init__.py").exists():
+            continue
+        if not re.search(rf"\b{re.escape(child.name)}\b", text):
+            problems.append(
+                f"{index}: subsystem 'repro.{child.name}' is not mentioned "
+                f"in the documentation index"
+            )
+    return problems
+
+
 def check_paths(paths) -> list:
     """Check every markdown file under the given files/directories."""
     files = []
@@ -90,12 +120,14 @@ def main(argv) -> int:
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if not argv:  # repo-default run: also hold the index to the source tree
+        problems.extend(check_subsystem_index())
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
-        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
         return 1
-    print("all internal doc links resolve")
+    print("all internal doc links resolve; index covers every subsystem")
     return 0
 
 
